@@ -1,0 +1,61 @@
+//! Classifier benchmarks on symbolic vs raw day-vectors — the "processing
+//! time" axis of the paper's Figs. 5–6 ("the raw dataset always took
+//! slightly longer to process, mostly because it was composed of numerical
+//! values instead of symbols"; the full-rate raw vectors were "much slower
+//! by two orders of magnitude").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sms_bench::prep::{
+    dataset, per_house_tables, raw_day_vectors, raw_fullrate_day_vectors, symbolic_day_vectors,
+    PAPER_MIN_COVERAGE,
+};
+use sms_bench::Scale;
+use sms_core::separators::SeparatorMethod;
+use sms_ml::classifier::Classifier;
+use sms_ml::forest::RandomForest;
+use sms_ml::naive_bayes::NaiveBayes;
+
+fn bench_scale() -> Scale {
+    Scale { days: 8, interval_secs: 300, forest_trees: 10, cv_folds: 5, seed: 21 }
+}
+
+fn bench_fit_predict(c: &mut Criterion) {
+    let scale = bench_scale();
+    let ds = dataset(scale).unwrap();
+    let tables =
+        per_house_tables(&ds, SeparatorMethod::Median, 4, scale.training_prefix_secs()).unwrap();
+    let symbolic = symbolic_day_vectors(&ds, 900, &tables, PAPER_MIN_COVERAGE).unwrap();
+    let raw = raw_day_vectors(&ds, 900, PAPER_MIN_COVERAGE).unwrap();
+    let raw_full = raw_fullrate_day_vectors(&ds, PAPER_MIN_COVERAGE).unwrap();
+
+    let mut group = c.benchmark_group("classifier_fit_predict");
+    group.sample_size(10);
+    for (label, inst) in
+        [("symbolic_15m_16s", &symbolic), ("raw_15m", &raw), ("raw_fullrate", &raw_full)]
+    {
+        group.bench_function(format!("naive_bayes/{label}"), |b| {
+            b.iter(|| {
+                let mut m = NaiveBayes::new();
+                m.fit(black_box(inst)).unwrap();
+                let mut hits = 0usize;
+                for i in 0..inst.len() {
+                    if m.predict(inst.row(i)).unwrap() == inst.class_of(i).unwrap() {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            });
+        });
+        group.bench_function(format!("random_forest/{label}"), |b| {
+            b.iter(|| {
+                let mut m = RandomForest::new(10, 3);
+                m.fit(black_box(inst)).unwrap();
+                black_box(m.predict(inst.row(0)).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit_predict);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! §2.3 compression benchmarks: bit-packing a day of symbols, lookup-table
+//! wire (de)serialization, and end-to-end encode+pack throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sms_core::alphabet::Alphabet;
+use sms_core::lookup::LookupTable;
+use sms_core::separators::SeparatorMethod;
+use sms_core::symbol::{Symbol, SymbolReader, SymbolWriter};
+
+fn symbols(n: usize, bits: u8) -> Vec<Symbol> {
+    let k = 1u16 << bits;
+    (0..n).map(|i| Symbol::from_rank((i as u16 * 31) % k, bits).unwrap()).collect()
+}
+
+fn bench_bit_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symbol_packing");
+    for bits in [1u8, 4, 8] {
+        let syms = symbols(86_400, bits);
+        group.throughput(Throughput::Elements(syms.len() as u64));
+        group.bench_with_input(BenchmarkId::new("pack", bits), &syms, |b, syms| {
+            b.iter(|| {
+                let mut w = SymbolWriter::new();
+                for &s in syms {
+                    w.write(s);
+                }
+                black_box(w.into_bytes())
+            });
+        });
+        let packed = {
+            let mut w = SymbolWriter::new();
+            for &s in &syms {
+                w.write(s);
+            }
+            w.into_bytes()
+        };
+        group.bench_with_input(BenchmarkId::new("unpack", bits), &packed, |b, packed| {
+            b.iter(|| {
+                let mut r = SymbolReader::new(packed, bits).unwrap();
+                black_box(r.read_all().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_table_wire(c: &mut Criterion) {
+    let values: Vec<f64> = (0..20_000).map(|i| ((i * 7919) % 3000) as f64).collect();
+    let table =
+        LookupTable::learn(SeparatorMethod::Median, Alphabet::with_size(16).unwrap(), &values)
+            .unwrap();
+    let json = table.to_json().unwrap();
+    let mut group = c.benchmark_group("lookup_table_wire");
+    group.bench_function("serialize", |b| b.iter(|| black_box(table.to_json().unwrap())));
+    group.bench_function("deserialize", |b| {
+        b.iter(|| black_box(LookupTable::from_json(&json).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bit_packing, bench_table_wire);
+criterion_main!(benches);

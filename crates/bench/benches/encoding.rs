@@ -1,0 +1,78 @@
+//! Encoding-path microbenchmarks: horizontal segmentation throughput per
+//! separator method and alphabet size, online vs batch encoding, and the
+//! full vertical∘horizontal codec.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sms_core::alphabet::Alphabet;
+use sms_core::encoder::OnlineEncoder;
+use sms_core::horizontal::horizontal_segmentation;
+use sms_core::lookup::LookupTable;
+use sms_core::pipeline::CodecBuilder;
+use sms_core::separators::SeparatorMethod;
+use sms_core::timeseries::TimeSeries;
+use sms_core::vertical::Aggregation;
+
+fn day_series(interval: i64) -> TimeSeries {
+    let n = (86_400 / interval) as usize;
+    let values: Vec<f64> = (0..n)
+        .map(|i| 60.0 + ((i * 7919) % 2400) as f64 * 0.5 + ((i / 360) % 8) as f64 * 120.0)
+        .collect();
+    TimeSeries::from_regular(0, interval, &values).unwrap()
+}
+
+fn bench_horizontal(c: &mut Criterion) {
+    let series = day_series(10);
+    let values = series.values();
+    let mut group = c.benchmark_group("horizontal_segmentation");
+    group.throughput(Throughput::Elements(series.len() as u64));
+    for method in SeparatorMethod::ALL {
+        for bits in [1u8, 4] {
+            let table =
+                LookupTable::learn(method, Alphabet::with_resolution(bits).unwrap(), &values)
+                    .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), format!("{}sym", 1 << bits)),
+                &table,
+                |b, table| {
+                    b.iter(|| horizontal_segmentation(black_box(&series), table).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_online_vs_batch(c: &mut Criterion) {
+    let series = day_series(10);
+    let table = LookupTable::learn(
+        SeparatorMethod::Median,
+        Alphabet::with_size(16).unwrap(),
+        &series.values(),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Elements(series.len() as u64));
+    group.bench_function("batch_15m", |b| {
+        let codec = CodecBuilder::new().window_secs(900).with_table(table.clone());
+        b.iter(|| codec.encode(black_box(&series)).unwrap());
+    });
+    group.bench_function("online_15m", |b| {
+        b.iter(|| {
+            let mut enc = OnlineEncoder::new(table.clone(), 900, Aggregation::Mean).unwrap();
+            let mut n = 0usize;
+            for (t, v) in series.iter() {
+                if enc.push(t, v).unwrap().is_some() {
+                    n += 1;
+                }
+            }
+            if enc.finish().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_horizontal, bench_online_vs_batch);
+criterion_main!(benches);

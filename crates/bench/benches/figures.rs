@@ -1,0 +1,53 @@
+//! End-to-end figure benchmarks at reduced scale: how long each paper
+//! experiment takes to regenerate. These are coarse (sample_size 10) —
+//! they exist to catch pathological regressions in the experiment paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sms_bench::classification::{run_symbolic, ClassifierKind, EncodingSpec, TableMode};
+use sms_bench::figures::{fig2_distribution, fig4_statistics};
+use sms_bench::forecasting::{ForecastFigure, ForecastModel};
+use sms_bench::prep::dataset;
+use sms_bench::Scale;
+use sms_core::separators::SeparatorMethod;
+
+fn bench_scale() -> Scale {
+    Scale { days: 8, interval_secs: 300, forest_trees: 8, cv_folds: 3, seed: 17 }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let scale = bench_scale();
+    let ds = dataset(scale).unwrap();
+    let mut group = c.benchmark_group("paper_figures");
+    group.sample_size(10);
+
+    group.bench_function("fig2_distribution", |b| {
+        b.iter(|| black_box(fig2_distribution(&ds, 1).unwrap().ks));
+    });
+    group.bench_function("fig4_statistics", |b| {
+        b.iter(|| black_box(fig4_statistics(&ds, 1, 3, 100).unwrap().series.len()));
+    });
+    group.bench_function("fig5_one_cell_nb", |b| {
+        let spec = EncodingSpec { method: SeparatorMethod::Median, window_secs: 3600, bits: 4 };
+        b.iter(|| {
+            black_box(
+                run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::NaiveBayes)
+                    .unwrap()
+                    .f_measure,
+            )
+        });
+    });
+    group.bench_function("fig8_forecast_nb", |b| {
+        b.iter(|| {
+            black_box(
+                ForecastFigure::run(&ds, scale, ForecastModel::NaiveBayes)
+                    .unwrap()
+                    .houses
+                    .len(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Forecasting benchmarks: symbolic (Naive Bayes over lag symbols) versus
+//! real-valued SVR, at the paper's protocol sizes (1 week train, 12 lags).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sms_ml::classifier::{Classifier, Regressor};
+use sms_ml::forecast::{lag_dataset_nominal, lag_dataset_numeric, real_forecast, symbolic_forecast};
+use sms_ml::naive_bayes::NaiveBayes;
+use sms_ml::svm::SvrRegressor;
+
+fn hourly_week() -> Vec<f64> {
+    (0..8 * 24)
+        .map(|h| {
+            let hour = h % 24;
+            let base = 80.0 + 40.0 * ((hour as f64 - 6.0) / 4.0).tanh();
+            base + ((h * 131) % 97) as f64 * 3.0
+        })
+        .collect()
+}
+
+fn bench_forecasting(c: &mut Criterion) {
+    let values = hourly_week();
+    let (train, test) = values.split_at(7 * 24);
+    let ranks: Vec<u16> = values.iter().map(|v| ((v / 40.0) as u16).min(15)).collect();
+    let (train_r, test_r) = ranks.split_at(7 * 24);
+
+    let mut group = c.benchmark_group("forecasting_next_day");
+    group.bench_function("symbolic_naive_bayes", |b| {
+        b.iter(|| {
+            let r = symbolic_forecast(
+                || Box::new(NaiveBayes::new()) as Box<dyn Classifier>,
+                black_box(train_r),
+                test_r,
+                test,
+                16,
+                12,
+                |rank| rank as f64 * 40.0 + 20.0,
+            )
+            .unwrap();
+            black_box(r.mae().unwrap())
+        });
+    });
+    group.bench_function("raw_svr", |b| {
+        b.iter(|| {
+            let r = real_forecast(
+                || {
+                    let mut m = SvrRegressor::new();
+                    m.c = 10.0;
+                    Box::new(m) as Box<dyn Regressor>
+                },
+                black_box(train),
+                test,
+                12,
+            )
+            .unwrap();
+            black_box(r.mae().unwrap())
+        });
+    });
+    group.bench_function("lag_dataset_nominal", |b| {
+        b.iter(|| black_box(lag_dataset_nominal(train_r, 16, 12).unwrap().len()));
+    });
+    group.bench_function("lag_dataset_numeric", |b| {
+        b.iter(|| black_box(lag_dataset_numeric(train, 12).unwrap().len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forecasting);
+criterion_main!(benches);

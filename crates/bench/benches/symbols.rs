@@ -1,0 +1,62 @@
+//! Symbol-algebra benchmarks: resolution down-conversion via truncation
+//! versus re-encoding through a coarsened table (a DESIGN.md ablation), and
+//! prefix-order operations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sms_core::alphabet::Alphabet;
+use sms_core::horizontal::horizontal_segmentation;
+use sms_core::lookup::LookupTable;
+use sms_core::separators::SeparatorMethod;
+use sms_core::symbol::Symbol;
+use sms_core::timeseries::TimeSeries;
+
+fn setup() -> (TimeSeries, LookupTable) {
+    let values: Vec<f64> = (0..86_400 / 10).map(|i| ((i * 7919) % 3000) as f64).collect();
+    let series = TimeSeries::from_regular(0, 10, &values).unwrap();
+    let table = LookupTable::learn(
+        SeparatorMethod::Median,
+        Alphabet::with_resolution(4).unwrap(),
+        &values,
+    )
+    .unwrap();
+    (series, table)
+}
+
+fn bench_downconversion(c: &mut Criterion) {
+    let (series, table) = setup();
+    let fine = horizontal_segmentation(&series, &table).unwrap();
+    let coarse_table = table.coarsen(2).unwrap();
+    let mut group = c.benchmark_group("resolution_downconversion");
+    group.throughput(Throughput::Elements(fine.len() as u64));
+    group.bench_function("truncate_symbols", |b| {
+        b.iter(|| black_box(fine.truncate_resolution(2).unwrap()));
+    });
+    group.bench_function("reencode_with_coarse_table", |b| {
+        b.iter(|| black_box(horizontal_segmentation(&series, &coarse_table).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_prefix_ops(c: &mut Criterion) {
+    let symbols: Vec<Symbol> = (0..4096u16)
+        .map(|i| Symbol::from_rank(i % 16, 4).unwrap())
+        .collect();
+    let probe = Symbol::from_rank(2, 2).unwrap();
+    let mut group = c.benchmark_group("symbol_ops");
+    group.throughput(Throughput::Elements(symbols.len() as u64));
+    group.bench_function("covers", |b| {
+        b.iter(|| symbols.iter().filter(|s| probe.covers(**s)).count());
+    });
+    group.bench_function("partial_cmp_prefix", |b| {
+        b.iter(|| {
+            symbols
+                .iter()
+                .filter(|s| probe.partial_cmp_prefix(**s) == Some(std::cmp::Ordering::Less))
+                .count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_downconversion, bench_prefix_ops);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Wire-format benchmarks: JSON versus binary framing for the sensor→server
+//! protocol (§2.3's protocol-overhead concern), encode and decode sides.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sms_core::alphabet::Alphabet;
+use sms_core::encoder::{EncodedWindow, SensorMessage};
+use sms_core::lookup::LookupTable;
+use sms_core::separators::SeparatorMethod;
+use sms_core::symbol::Symbol;
+use sms_core::wire::{encode_message, FrameDecoder};
+
+fn day_of_messages() -> Vec<SensorMessage> {
+    let values: Vec<f64> = (0..5000).map(|i| ((i * 37) % 3000) as f64).collect();
+    let table =
+        LookupTable::learn(SeparatorMethod::Median, Alphabet::with_size(16).unwrap(), &values)
+            .unwrap();
+    let mut msgs = vec![SensorMessage::Table(table)];
+    for i in 0..96i64 {
+        msgs.push(SensorMessage::Window(EncodedWindow {
+            window_start: i * 900,
+            symbol: Symbol::from_rank((i % 16) as u16, 4).unwrap(),
+            samples: 900,
+        }));
+    }
+    msgs
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let msgs = day_of_messages();
+    let mut group = c.benchmark_group("wire_format");
+    group.throughput(Throughput::Elements(msgs.len() as u64));
+
+    group.bench_function("json_encode", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for m in &msgs {
+                total += m.to_json().unwrap().len();
+            }
+            black_box(total)
+        });
+    });
+    group.bench_function("binary_encode", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for m in &msgs {
+                total += encode_message(m).unwrap().len();
+            }
+            black_box(total)
+        });
+    });
+
+    let json_lines: Vec<String> = msgs.iter().map(|m| m.to_json().unwrap()).collect();
+    group.bench_function("json_decode", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for l in &json_lines {
+                let _ = black_box(SensorMessage::from_json(l).unwrap());
+                n += 1;
+            }
+            black_box(n)
+        });
+    });
+    let binary: Vec<u8> = msgs.iter().flat_map(|m| encode_message(m).unwrap()).collect();
+    group.bench_function("binary_decode", |b| {
+        b.iter(|| {
+            let mut dec = FrameDecoder::new();
+            dec.feed(black_box(&binary));
+            black_box(dec.drain().unwrap().len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,193 @@
+//! `repro` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--scale quick|paper] [--seed N]
+//! experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+//!              table1 compression drift privacy all
+//! ```
+
+use sms_bench::ablation::{
+    render_separator_ablation, run_separator_ablation, run_streaming_ablation,
+};
+use sms_bench::classification::{ClassifierKind, FigureRun, TableMode};
+use sms_bench::clustering::{render_clustering, run_clustering};
+use sms_bench::export::export_arff;
+use sms_bench::drift::run_drift;
+use sms_bench::figures::{
+    compression_table, fig1_symbol_tree, fig2_distribution, fig3_normalization, fig4_statistics,
+};
+use sms_bench::forecasting::{ForecastFigure, ForecastModel};
+use sms_bench::prep::dataset;
+use sms_bench::privacy_exp::{render_privacy, run_privacy};
+use sms_bench::sax_exp::{render_sax_comparison, run_sax_comparison};
+use sms_bench::table1::Table1;
+use sms_bench::Scale;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <experiment> [--scale quick|paper] [--seed N]\n\
+         experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9\n\
+         table1 compression drift privacy clustering ablation sax markov fidelity arff all"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let experiment = args[0].clone();
+    let mut scale = Scale::quick();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                scale.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let t0 = Instant::now();
+    if let Err(e) = run(&experiment, scale) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("\n[{experiment} done in {:.1}s]", t0.elapsed().as_secs_f64());
+}
+
+fn run(experiment: &str, scale: Scale) -> Result<(), Box<dyn std::error::Error>> {
+    match experiment {
+        "fig1" => {
+            println!("{}", fig1_symbol_tree(800.0, 3)?);
+        }
+        "fig2" => {
+            let ds = dataset(scale)?;
+            println!("{}", fig2_distribution(&ds, 1)?.render());
+        }
+        "fig3" => {
+            println!("{}", fig3_normalization()?.render());
+        }
+        "fig4" => {
+            let ds = dataset(scale)?;
+            let report_every = (1000 / scale.interval_secs).max(1) as usize * 10;
+            println!("{}", fig4_statistics(&ds, 1, 3, report_every)?.render());
+        }
+        "fig5" | "fig6" | "fig7" => {
+            let ds = dataset(scale)?;
+            let (kind, mode) = match experiment {
+                "fig5" => (ClassifierKind::NaiveBayes, TableMode::PerHouse),
+                "fig6" => (ClassifierKind::RandomForest, TableMode::PerHouse),
+                _ => (ClassifierKind::RandomForest, TableMode::Global),
+            };
+            let fig = FigureRun::run(&ds, scale, kind, mode)?;
+            println!("{}", fig.render());
+            println!("mean F by method: {:?}", fig.mean_f_by_method());
+            if let Some((spec, cell)) = fig.best_symbolic() {
+                println!(
+                    "best symbolic: {} F={:.3} vs best raw F={:.3}",
+                    spec.label(),
+                    cell.f_measure,
+                    fig.best_raw_f()
+                );
+            }
+        }
+        "table1" => {
+            let ds = dataset(scale)?;
+            let t = Table1::run(&ds, scale)?;
+            println!("{}", t.render());
+            println!(
+                "mean per-house F: median={:.3} distinctmedian={:.3} uniform={:.3}",
+                t.mean_per_house("median"),
+                t.mean_per_house("distinctmedian"),
+                t.mean_per_house("uniform"),
+            );
+        }
+        "fig8" | "fig9" | "markov" => {
+            let ds = dataset(scale)?;
+            let model = match experiment {
+                "fig8" => ForecastModel::NaiveBayes,
+                "fig9" => ForecastModel::RandomForest,
+                _ => ForecastModel::Markov,
+            };
+            let fig = ForecastFigure::run(&ds, scale, model)?;
+            println!("{}", fig.render());
+            println!(
+                "houses where some symbolic encoding beats raw SVR: {}/{}",
+                fig.symbolic_wins(),
+                fig.houses.len()
+            );
+        }
+        "compression" => {
+            let ds = dataset(scale)?;
+            println!("{}", compression_table(&ds, scale)?);
+        }
+        "drift" => {
+            let days = if scale.days >= 30 { 365 } else { 180 };
+            println!("{}", run_drift(scale.seed, days, 86_400)?.render());
+        }
+        "privacy" => {
+            let ds = dataset(scale)?;
+            println!("{}", render_privacy(&run_privacy(&ds, scale)?));
+        }
+        "sax" => {
+            let ds = dataset(scale)?;
+            println!("{}", render_sax_comparison(&run_sax_comparison(&ds, scale)?));
+        }
+        "clustering" => {
+            let ds = dataset(scale)?;
+            println!("{}", render_clustering(&run_clustering(&ds, scale)?));
+        }
+        "ablation" => {
+            println!("{}", render_separator_ablation(&run_separator_ablation(scale)?));
+            let s = run_streaming_ablation(scale)?;
+            println!(
+                "Exact vs P² streaming separator learning: max relative deviation {:.3}, \
+                 symbol disagreement {:.1}%",
+                s.max_relative_deviation,
+                s.symbol_disagreement * 100.0
+            );
+        }
+        "fidelity" => {
+            let ds = dataset(scale)?;
+            let reports: Vec<(u32, meterdata::validation::FidelityReport)> = ds
+                .records()
+                .iter()
+                .map(|r| {
+                    meterdata::validation::fidelity_report(&r.series, ds.interval_secs())
+                        .map(|rep| (r.house_id, rep))
+                })
+                .collect::<Result<_, _>>()?;
+            println!("{}", meterdata::validation::render_fidelity(&reports));
+        }
+        "arff" => {
+            let ds = dataset(scale)?;
+            let dir = std::path::Path::new("arff_export");
+            let files = export_arff(&ds, scale, dir)?;
+            println!("wrote {} ARFF files to {}/", files.len(), dir.display());
+        }
+        "all" => {
+            for e in [
+                "fig1", "fig2", "fig3", "fig4", "compression", "fig5", "fig6", "fig7", "table1",
+                "fig8", "fig9", "markov", "drift", "privacy", "clustering", "ablation",
+                "sax", "fidelity",
+            ] {
+                println!("==================== {e} ====================");
+                run(e, scale)?;
+            }
+        }
+        _ => usage(),
+    }
+    Ok(())
+}

@@ -1,0 +1,355 @@
+//! The classification (customer-segmentation) experiment behind the paper's
+//! Figs. 5–7 and Table 1: classify day-vectors by house, across the full
+//! grid of separator methods × aggregation windows × alphabet sizes, under
+//! per-house or global lookup tables, against raw-value baselines.
+
+use crate::prep::{
+    global_table, per_house_tables, raw_day_vectors, raw_fullrate_day_vectors,
+    symbolic_day_vectors, PAPER_MIN_COVERAGE,
+};
+use crate::scale::Scale;
+use meterdata::dataset::MeterDataset;
+use sms_core::error::{Error, Result};
+use sms_core::separators::SeparatorMethod;
+use sms_core::vertical::windows::{FIFTEEN_MINUTES, ONE_HOUR};
+use sms_ml::classifier::Classifier;
+use sms_ml::eval::cross_validate;
+use sms_ml::forest::RandomForest;
+use sms_ml::knn::Knn;
+use sms_ml::logistic::Logistic;
+use sms_ml::naive_bayes::NaiveBayes;
+use sms_ml::tree::C45;
+use sms_ml::zero_r::ZeroR;
+use std::collections::BTreeMap;
+
+/// One symbolic encoding configuration of the paper's grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodingSpec {
+    /// Separator-learning method.
+    pub method: SeparatorMethod,
+    /// Vertical aggregation window (900 or 3600 in the paper).
+    pub window_secs: i64,
+    /// Symbol resolution in bits (1–4 in the paper: 2–16 symbols).
+    pub bits: u8,
+}
+
+impl EncodingSpec {
+    /// The paper's full 24-cell grid, ordered as in Table 1:
+    /// method (distinctmedian, median, uniform) × window (1h, 15m) × k (2–16).
+    pub fn paper_grid() -> Vec<EncodingSpec> {
+        let mut out = Vec::with_capacity(24);
+        for method in SeparatorMethod::ALL {
+            for window_secs in [ONE_HOUR, FIFTEEN_MINUTES] {
+                for bits in 1..=4u8 {
+                    out.push(EncodingSpec { method, window_secs, bits });
+                }
+            }
+        }
+        out
+    }
+
+    /// Paper-style label, e.g. `median 1h 16s`.
+    pub fn label(&self) -> String {
+        let w = if self.window_secs == ONE_HOUR { "1h" } else { "15m" };
+        format!("{} {} {}s", self.method, w, 1u32 << self.bits)
+    }
+}
+
+/// Whether tables are learned per house or pooled over all houses
+/// (the `+` variants in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableMode {
+    /// One table per house from its own first two days (Figs. 5–6).
+    PerHouse,
+    /// One table from all houses' first two days (Fig. 7 / `+` columns).
+    Global,
+}
+
+/// One measured grid cell: the two axes of Figs. 5–7.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Weighted F-measure over 10-fold CV.
+    pub f_measure: f64,
+    /// Processing time (train + test over all folds), seconds.
+    pub seconds: f64,
+    /// Number of day-vector instances evaluated.
+    pub instances: usize,
+}
+
+/// The classifiers of the paper's Table 1 (plus extras).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassifierKind {
+    /// Weka `NaiveBayes`.
+    NaiveBayes,
+    /// Weka `RandomForest`.
+    RandomForest,
+    /// Weka `J48`.
+    J48,
+    /// Weka `Logistic`.
+    Logistic,
+    /// Extra baseline: k-NN (Weka `IBk`).
+    Knn,
+    /// Extra baseline: majority class.
+    ZeroR,
+}
+
+impl ClassifierKind {
+    /// Paper's four Table 1 classifiers, in column order.
+    pub const TABLE1: [ClassifierKind; 4] = [
+        ClassifierKind::RandomForest,
+        ClassifierKind::J48,
+        ClassifierKind::NaiveBayes,
+        ClassifierKind::Logistic,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClassifierKind::NaiveBayes => "Naive Bayes",
+            ClassifierKind::RandomForest => "Random Forest",
+            ClassifierKind::J48 => "J48",
+            ClassifierKind::Logistic => "Logistic",
+            ClassifierKind::Knn => "IBk",
+            ClassifierKind::ZeroR => "ZeroR",
+        }
+    }
+
+    /// Builds a fresh instance configured for `scale`.
+    pub fn build(self, scale: Scale) -> Box<dyn Classifier> {
+        match self {
+            ClassifierKind::NaiveBayes => Box::new(NaiveBayes::new()),
+            ClassifierKind::RandomForest => {
+                Box::new(RandomForest::new(scale.forest_trees, scale.seed))
+            }
+            ClassifierKind::J48 => Box::new(C45::new()),
+            ClassifierKind::Logistic => {
+                let mut l = Logistic::new();
+                // Full-rate raw vectors are huge; cap optimizer effort.
+                l.max_iter = 100;
+                Box::new(l)
+            }
+            ClassifierKind::Knn => Box::new(Knn::new(3)),
+            ClassifierKind::ZeroR => Box::new(ZeroR::new()),
+        }
+    }
+}
+
+fn lookup_tables(
+    ds: &MeterDataset,
+    spec: EncodingSpec,
+    mode: TableMode,
+    training_secs: i64,
+) -> Result<BTreeMap<u32, sms_core::lookup::LookupTable>> {
+    match mode {
+        TableMode::PerHouse => per_house_tables(ds, spec.method, spec.bits, training_secs),
+        TableMode::Global => {
+            let g = global_table(ds, spec.method, spec.bits, training_secs)?;
+            Ok(ds.house_ids().into_iter().map(|id| (id, g.clone())).collect())
+        }
+    }
+}
+
+/// Runs one symbolic grid cell: encode day-vectors, 10-fold CV, report
+/// weighted F-measure and processing time.
+pub fn run_symbolic(
+    ds: &MeterDataset,
+    scale: Scale,
+    spec: EncodingSpec,
+    mode: TableMode,
+    kind: ClassifierKind,
+) -> Result<Cell> {
+    let tables = lookup_tables(ds, spec, mode, scale.training_prefix_secs())?;
+    let inst = symbolic_day_vectors(ds, spec.window_secs, &tables, PAPER_MIN_COVERAGE)?;
+    let cv = cross_validate(|| kind.build(scale), &inst, scale.cv_folds, scale.seed)
+        .map_err(|e| Error::InvalidParameter { name: "cv", reason: e.to_string() })?;
+    Ok(Cell {
+        f_measure: cv.weighted_f_measure(),
+        seconds: cv.processing_time().as_secs_f64(),
+        instances: inst.len(),
+    })
+}
+
+/// Runs a raw-value baseline: `window_secs = Some(w)` for aggregated raw
+/// vectors, `None` for the full-rate "raw 1sec" configuration.
+pub fn run_raw(
+    ds: &MeterDataset,
+    scale: Scale,
+    window_secs: Option<i64>,
+    kind: ClassifierKind,
+) -> Result<Cell> {
+    let inst = match window_secs {
+        Some(w) => raw_day_vectors(ds, w, PAPER_MIN_COVERAGE)?,
+        None => raw_fullrate_day_vectors(ds, PAPER_MIN_COVERAGE)?,
+    };
+    let cv = cross_validate(|| kind.build(scale), &inst, scale.cv_folds, scale.seed)
+        .map_err(|e| Error::InvalidParameter { name: "cv", reason: e.to_string() })?;
+    Ok(Cell {
+        f_measure: cv.weighted_f_measure(),
+        seconds: cv.processing_time().as_secs_f64(),
+        instances: inst.len(),
+    })
+}
+
+/// A full figure run: every grid cell for one classifier + the two
+/// aggregated raw baselines (the exact content of Fig. 5/6/7).
+#[derive(Debug, Clone)]
+pub struct FigureRun {
+    /// Classifier evaluated.
+    pub classifier: ClassifierKind,
+    /// Table mode (per-house for Figs. 5–6, global for Fig. 7).
+    pub mode: TableMode,
+    /// `(spec, cell)` for the 24 symbolic configurations.
+    pub cells: Vec<(EncodingSpec, Cell)>,
+    /// Raw baselines: `(window_secs, cell)` for 1 h and 15 m.
+    pub raw: Vec<(i64, Cell)>,
+}
+
+impl FigureRun {
+    /// Runs the figure.
+    pub fn run(
+        ds: &MeterDataset,
+        scale: Scale,
+        kind: ClassifierKind,
+        mode: TableMode,
+    ) -> Result<FigureRun> {
+        let mut cells = Vec::new();
+        for spec in EncodingSpec::paper_grid() {
+            cells.push((spec, run_symbolic(ds, scale, spec, mode, kind)?));
+        }
+        let mut raw = Vec::new();
+        for w in [ONE_HOUR, FIFTEEN_MINUTES] {
+            raw.push((w, run_raw(ds, scale, Some(w), kind)?));
+        }
+        Ok(FigureRun { classifier: kind, mode, cells, raw })
+    }
+
+    /// Mean F-measure per method across the grid (the paper's "on average,
+    /// median encoding performs better than distinctmedian, which is better
+    /// than uniform").
+    pub fn mean_f_by_method(&self) -> BTreeMap<&'static str, f64> {
+        let mut sums: BTreeMap<&'static str, (f64, usize)> = BTreeMap::new();
+        for (spec, cell) in &self.cells {
+            let e = sums.entry(spec.method.name()).or_insert((0.0, 0));
+            e.0 += cell.f_measure;
+            e.1 += 1;
+        }
+        sums.into_iter().map(|(k, (s, n))| (k, s / n as f64)).collect()
+    }
+
+    /// Best symbolic F-measure in the grid.
+    pub fn best_symbolic(&self) -> Option<(&EncodingSpec, &Cell)> {
+        self.cells
+            .iter()
+            .max_by(|a, b| a.1.f_measure.partial_cmp(&b.1.f_measure).expect("finite"))
+            .map(|(s, c)| (s, c))
+    }
+
+    /// Best raw F-measure among the aggregated baselines.
+    pub fn best_raw_f(&self) -> f64 {
+        self.raw.iter().map(|(_, c)| c.f_measure).fold(0.0, f64::max)
+    }
+
+    /// Renders the figure as an aligned text table.
+    pub fn render(&self) -> String {
+        let mode = match self.mode {
+            TableMode::PerHouse => "per-house tables",
+            TableMode::Global => "single global table (+)",
+        };
+        let mut s = format!(
+            "{} over symbolic and raw data ({mode})\n{:<24} {:>10} {:>12} {:>6}\n",
+            self.classifier.name(),
+            "encoding",
+            "F-measure",
+            "time [s]",
+            "n"
+        );
+        for (spec, cell) in &self.cells {
+            s += &format!(
+                "{:<24} {:>10.3} {:>12.4} {:>6}\n",
+                spec.label(),
+                cell.f_measure,
+                cell.seconds,
+                cell.instances
+            );
+        }
+        for (w, cell) in &self.raw {
+            let label = if *w == ONE_HOUR { "raw 1h" } else { "raw 15m" };
+            s += &format!(
+                "{:<24} {:>10.3} {:>12.4} {:>6}\n",
+                label, cell.f_measure, cell.seconds, cell.instances
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::dataset;
+
+    fn tiny_scale() -> Scale {
+        Scale { days: 6, interval_secs: 600, forest_trees: 8, cv_folds: 3, seed: 3 }
+    }
+
+    #[test]
+    fn paper_grid_has_24_cells_in_table1_order() {
+        let grid = EncodingSpec::paper_grid();
+        assert_eq!(grid.len(), 24);
+        assert_eq!(grid[0].label(), "distinctmedian 1h 2s");
+        assert_eq!(grid[7].label(), "distinctmedian 15m 16s");
+        assert_eq!(grid[8].label(), "median 1h 2s");
+        assert_eq!(grid[23].label(), "uniform 15m 16s");
+    }
+
+    #[test]
+    fn symbolic_cell_runs_and_beats_chance() {
+        let scale = tiny_scale();
+        let ds = dataset(scale).unwrap();
+        let spec =
+            EncodingSpec { method: SeparatorMethod::Median, window_secs: ONE_HOUR, bits: 4 };
+        let cell =
+            run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::NaiveBayes)
+                .unwrap();
+        assert!(cell.instances > 10);
+        assert!(cell.f_measure > 0.4, "median 16s should classify well: {}", cell.f_measure);
+        assert!(cell.seconds > 0.0);
+    }
+
+    #[test]
+    fn raw_cell_runs() {
+        let scale = tiny_scale();
+        let ds = dataset(scale).unwrap();
+        let cell = run_raw(&ds, scale, Some(ONE_HOUR), ClassifierKind::RandomForest).unwrap();
+        assert!(cell.f_measure > 0.3, "{}", cell.f_measure);
+    }
+
+    #[test]
+    fn global_mode_uses_one_table() {
+        let scale = tiny_scale();
+        let ds = dataset(scale).unwrap();
+        let spec =
+            EncodingSpec { method: SeparatorMethod::Median, window_secs: ONE_HOUR, bits: 3 };
+        let tables =
+            lookup_tables(&ds, spec, TableMode::Global, scale.training_prefix_secs()).unwrap();
+        let first = tables.values().next().unwrap();
+        assert!(tables.values().all(|t| t == first), "all houses share the global table");
+        let per_house =
+            lookup_tables(&ds, spec, TableMode::PerHouse, scale.training_prefix_secs()).unwrap();
+        assert!(per_house.values().any(|t| t != first), "per-house tables differ");
+    }
+
+    #[test]
+    fn zero_r_is_a_floor() {
+        let scale = tiny_scale();
+        let ds = dataset(scale).unwrap();
+        let spec =
+            EncodingSpec { method: SeparatorMethod::Median, window_secs: ONE_HOUR, bits: 4 };
+        let zr = run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::ZeroR)
+            .unwrap();
+        let nb =
+            run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::NaiveBayes)
+                .unwrap();
+        assert!(nb.f_measure > zr.f_measure, "NB {} vs ZeroR {}", nb.f_measure, zr.f_measure);
+    }
+}

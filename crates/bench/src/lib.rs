@@ -1,0 +1,43 @@
+//! # sms-bench — experiment harness
+//!
+//! One module per table/figure of the paper, plus the §4 extension
+//! experiments. The `repro` binary (`cargo run -p sms-bench --bin repro`)
+//! regenerates any of them; Criterion benches live under `benches/`.
+//!
+//! | Paper artifact | Module | `repro` subcommand |
+//! |---|---|---|
+//! | Fig. 1 symbol construction | [`figures::fig1_symbol_tree`] | `fig1` |
+//! | Fig. 2 power distribution | [`figures::fig2_distribution`] | `fig2` |
+//! | Fig. 3 normalization | [`figures::fig3_normalization`] | `fig3` |
+//! | Fig. 4 statistics convergence | [`figures::fig4_statistics`] | `fig4` |
+//! | §2.3 compression ratio | [`figures::compression_table`] | `compression` |
+//! | Fig. 5 Naive Bayes grid | [`classification::FigureRun`] | `fig5` |
+//! | Fig. 6 Random Forest grid | [`classification::FigureRun`] | `fig6` |
+//! | Fig. 7 global-table grid | [`classification::FigureRun`] | `fig7` |
+//! | Table 1 full grid | [`table1::Table1`] | `table1` |
+//! | Fig. 8 NB forecasting MAE | [`forecasting::ForecastFigure`] | `fig8` |
+//! | Fig. 9 RF forecasting MAE | [`forecasting::ForecastFigure`] | `fig9` |
+//! | §4 drift adaptation | [`drift::run_drift`] | `drift` |
+//! | §1/§4 privacy measures | [`privacy_exp::run_privacy`] | `privacy` |
+//! | §3.1 motivation: clustering | [`clustering::run_clustering`] | `clustering` |
+//! | §4 utility-driven segmentation | [`ablation::run_separator_ablation`] | `ablation` |
+//! | Weka interchange (ARFF) | [`export::export_arff`] | `arff <dir>` |
+//! | Fig. 3 made executable: SAX comparison | [`sax_exp::run_sax_comparison`] | `sax` |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablation;
+pub mod classification;
+pub mod clustering;
+pub mod drift;
+pub mod export;
+pub mod figures;
+pub mod forecasting;
+pub mod prep;
+pub mod privacy_exp;
+pub mod sax_exp;
+pub mod scale;
+pub mod table1;
+
+pub use scale::Scale;

@@ -1,0 +1,101 @@
+//! Privacy/utility trade-off experiment (paper §1, §3.1 remark, §4): the
+//! classification task doubles as a re-identification attack, so we measure
+//! — per alphabet size — how much identifying information symbols leak
+//! (mutual information, anonymity-set size) against how useful they remain
+//! (re-identification F-measure is reported by the classification
+//! experiment; here we report the information-theoretic side).
+
+use crate::prep::{global_table, PAPER_MIN_COVERAGE};
+use crate::scale::Scale;
+use meterdata::dataset::MeterDataset;
+use sms_core::error::Result;
+use sms_core::horizontal::horizontal_segmentation;
+use sms_core::privacy::{
+    expected_anonymity_set, mutual_information_bits, symbol_entropy_bits, PrivacyReport,
+};
+use sms_core::separators::SeparatorMethod;
+use sms_core::symbol::Symbol;
+use sms_core::vertical::{aggregate_by_window, Aggregation};
+
+/// Runs the privacy measures over alphabet resolutions 1–4 bits with a
+/// global median table (attacker without per-house tables) at hourly
+/// aggregation.
+pub fn run_privacy(ds: &MeterDataset, scale: Scale) -> Result<Vec<PrivacyReport>> {
+    let mut out = Vec::new();
+    for bits in 1..=4u8 {
+        let table =
+            global_table(ds, SeparatorMethod::Median, bits, scale.training_prefix_secs())?;
+        let mut labels: Vec<usize> = Vec::new();
+        let mut symbols: Vec<Symbol> = Vec::new();
+        let mut sequences: Vec<(usize, Vec<Symbol>)> = Vec::new();
+        for (idx, r) in ds.records().iter().enumerate() {
+            let hourly = aggregate_by_window(&r.series, 3600, Aggregation::Mean, 1)?;
+            let symbolic = horizontal_segmentation(&hourly, &table)?;
+            labels.extend(std::iter::repeat_n(idx, symbolic.len()));
+            symbols.extend(symbolic.symbols().iter().copied());
+            // Day-long windows from complete days only.
+            for day in r.series.split_days() {
+                if day.1.coverage_seconds(ds.interval_secs()) < PAPER_MIN_COVERAGE {
+                    continue;
+                }
+                let day_hourly = aggregate_by_window(&day.1, 3600, Aggregation::Mean, 1)?;
+                let day_sym = horizontal_segmentation(&day_hourly, &table)?;
+                sequences.push((idx, day_sym.symbols().to_vec()));
+            }
+        }
+        let entropy_bits = symbol_entropy_bits(&symbols);
+        let mi_bits = mutual_information_bits(&labels, &symbols)?;
+        let anonymity = expected_anonymity_set(&sequences, 6).unwrap_or(f64::NAN);
+        out.push(PrivacyReport { resolution_bits: bits, entropy_bits, mi_bits, anonymity });
+    }
+    Ok(out)
+}
+
+/// Text rendering of the privacy sweep.
+pub fn render_privacy(reports: &[PrivacyReport]) -> String {
+    let mut s = format!(
+        "{:<10} {:>14} {:>18} {:>22}\n",
+        "alphabet", "entropy [bit]", "MI(house;sym) [bit]", "anonymity set (6h win)"
+    );
+    for r in reports {
+        s += &format!(
+            "{:<10} {:>14.3} {:>18.4} {:>22.2}\n",
+            format!("{} sym", 1u32 << r.resolution_bits),
+            r.entropy_bits,
+            r.mi_bits,
+            r.anonymity
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::dataset;
+
+    #[test]
+    fn privacy_sweep_shapes() {
+        let scale = Scale { days: 6, interval_secs: 600, forest_trees: 4, cv_folds: 2, seed: 13 };
+        let ds = dataset(scale).unwrap();
+        let reports = run_privacy(&ds, scale).unwrap();
+        assert_eq!(reports.len(), 4);
+        // Entropy grows with resolution; MI (leakage) does not decrease.
+        for w in reports.windows(2) {
+            assert!(
+                w[1].entropy_bits >= w[0].entropy_bits - 1e-9,
+                "entropy monotone: {:?}",
+                reports
+            );
+            assert!(w[1].mi_bits >= w[0].mi_bits - 0.05, "leakage grows with detail");
+        }
+        // Anonymity shrinks (or stays) as resolution grows.
+        assert!(
+            reports[3].anonymity <= reports[0].anonymity + 1e-9,
+            "finer symbols are more identifying: {:?}",
+            reports
+        );
+        let txt = render_privacy(&reports);
+        assert!(txt.contains("16 sym"));
+    }
+}

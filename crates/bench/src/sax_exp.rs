@@ -1,0 +1,187 @@
+//! SAX-vs-paper-symbols classification — making the paper's §2.2/Fig. 3
+//! argument executable: "individual normalization per house would not allow
+//! us to differentiate big consumers from the small ones". We encode the
+//! same day-vectors three ways and run the same classifier:
+//!
+//! * paper symbols (per-house median table — no normalization);
+//! * SAX words (per-day z-normalization + Gaussian breakpoints, the
+//!   standard SAX pipeline the paper declined to adopt);
+//! * SAX words *without* z-normalization (ablating just the normalization
+//!   step while keeping Gaussian breakpoints).
+
+use crate::classification::{run_symbolic, Cell, ClassifierKind, EncodingSpec, TableMode};
+use crate::prep::{class_indices, PAPER_MIN_COVERAGE};
+use crate::scale::Scale;
+use meterdata::dataset::MeterDataset;
+use sms_core::error::{Error, Result};
+use sms_core::sax::{gaussian_breakpoints, z_normalize};
+use sms_core::separators::SeparatorMethod;
+use sms_core::vertical::{aggregate_by_window, Aggregation};
+use sms_ml::data::{Attribute, Instances, Value};
+use sms_ml::eval::cross_validate;
+
+/// Builds day-vectors of SAX letters: each day is aggregated to
+/// `86 400 / window_secs` segments, optionally z-normalized *within the
+/// day* (SAX's protocol), then quantized with Gaussian breakpoints into
+/// `k` letters.
+pub fn sax_day_vectors(
+    ds: &MeterDataset,
+    window_secs: i64,
+    k: usize,
+    normalize: bool,
+) -> Result<Instances> {
+    let classes = class_indices(ds);
+    let n_windows = (86_400 / window_secs) as usize;
+    let breakpoints = gaussian_breakpoints(k)?;
+
+    let mut attrs: Vec<Attribute> = (0..n_windows)
+        .map(|w| Attribute::nominal_indexed(format!("w{w}"), k))
+        .collect();
+    attrs.push(Attribute::nominal_indexed("house", classes.len()));
+    let class_index = attrs.len() - 1;
+    let mut inst = Instances::new(attrs, class_index)
+        .map_err(|e| Error::InvalidParameter { name: "instances", reason: e.to_string() })?;
+
+    // Global standardization stats for the non-normalized variant (Gaussian
+    // breakpoints expect roughly standardized input).
+    let mut all = Vec::new();
+    if !normalize {
+        for day in ds.complete_days(PAPER_MIN_COVERAGE) {
+            let agg = aggregate_by_window(&day.series, window_secs, Aggregation::Mean, 1)?;
+            all.extend(agg.values());
+        }
+    }
+    let (g_mean, g_std) = if all.is_empty() {
+        (0.0, 1.0)
+    } else {
+        let m = all.iter().sum::<f64>() / all.len() as f64;
+        let v = all.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / all.len() as f64;
+        (m, v.sqrt().max(1e-9))
+    };
+
+    for day in ds.complete_days(PAPER_MIN_COVERAGE) {
+        let agg = aggregate_by_window(&day.series, window_secs, Aggregation::Mean, 1)?;
+        if agg.is_empty() {
+            continue;
+        }
+        let z: Vec<f64> = if normalize {
+            z_normalize(&agg.values())
+        } else {
+            agg.values().iter().map(|v| (v - g_mean) / g_std).collect()
+        };
+        let mut row = vec![Value::Missing; n_windows + 1];
+        for ((t, _), zv) in agg.iter().zip(&z) {
+            let w = (t - day.day_start) / window_secs;
+            if (0..n_windows as i64).contains(&w) {
+                let rank = breakpoints.partition_point(|&b| b < *zv) as u32;
+                row[w as usize] = Value::Nominal(rank);
+            }
+        }
+        row[n_windows] = Value::Nominal(classes[&day.house_id]);
+        inst.push_row(row)
+            .map_err(|e| Error::InvalidParameter { name: "row", reason: e.to_string() })?;
+    }
+    if inst.is_empty() {
+        return Err(Error::EmptyInput("sax_day_vectors: no complete days"));
+    }
+    Ok(inst)
+}
+
+/// Outcome of the SAX comparison: same classifier, three encodings.
+#[derive(Debug, Clone)]
+pub struct SaxComparison {
+    /// Paper's per-house median symbols.
+    pub paper_symbols: Cell,
+    /// Standard SAX (per-day z-normalization).
+    pub sax_normalized: Cell,
+    /// SAX breakpoints without per-day normalization.
+    pub sax_unnormalized: Cell,
+}
+
+/// Runs the comparison at hourly aggregation, k = 16, Naive Bayes.
+pub fn run_sax_comparison(ds: &MeterDataset, scale: Scale) -> Result<SaxComparison> {
+    let kind = ClassifierKind::NaiveBayes;
+    let spec = EncodingSpec { method: SeparatorMethod::Median, window_secs: 3600, bits: 4 };
+    let paper_symbols = run_symbolic(ds, scale, spec, TableMode::PerHouse, kind)?;
+
+    let run_sax = |normalize: bool| -> Result<Cell> {
+        let inst = sax_day_vectors(ds, 3600, 16, normalize)?;
+        let cv = cross_validate(|| kind.build(scale), &inst, scale.cv_folds, scale.seed)
+            .map_err(|e| Error::InvalidParameter { name: "cv", reason: e.to_string() })?;
+        Ok(Cell {
+            f_measure: cv.weighted_f_measure(),
+            seconds: cv.processing_time().as_secs_f64(),
+            instances: inst.len(),
+        })
+    };
+    Ok(SaxComparison {
+        paper_symbols,
+        sax_normalized: run_sax(true)?,
+        sax_unnormalized: run_sax(false)?,
+    })
+}
+
+/// Text rendering.
+pub fn render_sax_comparison(c: &SaxComparison) -> String {
+    format!(
+        "House re-identification, hourly day-vectors, k = 16, Naive Bayes\n\
+         {:<44} {:>10}\n\
+         {:<44} {:>10.3}\n\
+         {:<44} {:>10.3}\n\
+         {:<44} {:>10.3}\n\
+         (paper §2.2/Fig. 3: per-day z-normalization erases the consumer-size\n\
+          signal, so standard SAX should trail both unnormalized encodings)\n",
+        "encoding",
+        "F-measure",
+        "paper symbols (median, per-house)",
+        c.paper_symbols.f_measure,
+        "SAX (z-normalized per day)",
+        c.sax_normalized.f_measure,
+        "SAX breakpoints, no normalization",
+        c.sax_unnormalized.f_measure,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::dataset;
+
+    #[test]
+    fn sax_day_vectors_shape() {
+        let scale = Scale { days: 6, interval_secs: 300, forest_trees: 4, cv_folds: 3, seed: 29 };
+        let ds = dataset(scale).unwrap();
+        let inst = sax_day_vectors(&ds, 3600, 16, true).unwrap();
+        assert_eq!(inst.attributes().len(), 25);
+        assert!(inst.len() > 10);
+        for row in inst.rows() {
+            for v in &row[..24] {
+                if let Value::Nominal(r) = v {
+                    assert!(*r < 16);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_hurts_reidentification() {
+        // The executable version of the paper's Fig. 3 argument.
+        let scale = Scale { days: 10, interval_secs: 300, forest_trees: 6, cv_folds: 5, seed: 29 };
+        let ds = dataset(scale).unwrap();
+        let c = run_sax_comparison(&ds, scale).unwrap();
+        assert!(
+            c.paper_symbols.f_measure > c.sax_normalized.f_measure,
+            "paper symbols {} must beat z-normalized SAX {}",
+            c.paper_symbols.f_measure,
+            c.sax_normalized.f_measure
+        );
+        assert!(
+            c.sax_unnormalized.f_measure > c.sax_normalized.f_measure,
+            "removing normalization should recover signal: {} vs {}",
+            c.sax_unnormalized.f_measure,
+            c.sax_normalized.f_measure
+        );
+        let txt = render_sax_comparison(&c);
+        assert!(txt.contains("SAX"));
+    }
+}

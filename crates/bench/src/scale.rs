@@ -1,0 +1,70 @@
+//! Experiment scales. `quick` keeps every experiment's code path exercisable
+//! in seconds (used by `cargo test` smoke tests); `paper` approximates the
+//! paper's data volumes (REDD: 1–2 months at 1 Hz — we default to 36 days at
+//! 10 s sampling, which preserves every distributional property the
+//! experiments measure while keeping the full Table 1 grid tractable).
+
+use serde::{Deserialize, Serialize};
+
+/// Data volume and evaluation effort for one experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Days of simulated data per house.
+    pub days: i64,
+    /// Sampling interval in seconds (REDD is 1; we trade rate for tractability).
+    pub interval_secs: i64,
+    /// Random-forest ensemble size.
+    pub forest_trees: usize,
+    /// Cross-validation folds (the paper uses 10).
+    pub cv_folds: usize,
+    /// Master seed for the simulator and learners.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Seconds-fast scale for smoke tests.
+    pub fn quick() -> Self {
+        Scale { days: 8, interval_secs: 120, forest_trees: 10, cv_folds: 5, seed: 42 }
+    }
+
+    /// Paper-comparable scale.
+    pub fn paper() -> Self {
+        Scale { days: 36, interval_secs: 10, forest_trees: 30, cv_folds: 10, seed: 42 }
+    }
+
+    /// Parses `"quick"` / `"paper"`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "quick" => Some(Self::quick()),
+            "paper" => Some(Self::paper()),
+            _ => None,
+        }
+    }
+
+    /// Training prefix the paper uses for separator learning: the first two
+    /// days of each house (§3).
+    pub fn training_prefix_secs(&self) -> i64 {
+        2 * 86_400
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_known_scales() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::quick()));
+        assert_eq!(Scale::parse("paper"), Some(Scale::paper()));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn paper_scale_is_larger() {
+        let q = Scale::quick();
+        let p = Scale::paper();
+        assert!(p.days > q.days);
+        assert!(p.interval_secs < q.interval_secs);
+        assert_eq!(p.cv_folds, 10, "the paper's protocol");
+    }
+}

@@ -1,0 +1,68 @@
+//! End-to-end tests of the `repro` command-line interface.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = repro(&[]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage"), "{err}");
+    assert!(err.contains("table1"), "{err}");
+}
+
+#[test]
+fn unknown_experiment_fails() {
+    let out = repro(&["fig99"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn bad_scale_fails() {
+    let out = repro(&["fig1", "--scale", "enormous"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn fig1_runs_without_data_generation() {
+    let out = repro(&["fig1"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("resolution 3 bit"));
+    assert!(stdout.contains("111"));
+}
+
+#[test]
+fn fig3_is_deterministic_across_runs() {
+    let a = repro(&["fig3"]);
+    let b = repro(&["fig3"]);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout);
+}
+
+#[test]
+fn compression_respects_seed_flag() {
+    // Seeds only affect data-dependent outputs; the flag must parse.
+    let out = repro(&["compression", "--scale", "quick", "--seed", "7"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("15m × 16 sym"));
+}
+
+#[test]
+fn seed_changes_generated_results() {
+    let a = repro(&["fig2", "--scale", "quick", "--seed", "1"]);
+    let b = repro(&["fig2", "--scale", "quick", "--seed", "2"]);
+    assert!(a.status.success() && b.status.success());
+    assert_ne!(a.stdout, b.stdout, "different seeds, different histograms");
+    let c = repro(&["fig2", "--scale", "quick", "--seed", "1"]);
+    assert_eq!(a.stdout, c.stdout, "same seed, identical output");
+}

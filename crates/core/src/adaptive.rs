@@ -1,0 +1,319 @@
+//! On-the-fly lookup-table adaptation (paper §4 future work: "when the
+//! consumer consumption pattern changes drastically, e.g., due to seasonal
+//! change, or having an additional family member, on the fly symbol table
+//! modification could be useful").
+//!
+//! [`DriftDetector`] compares the recent value distribution against the one
+//! the current table was trained on (two-sample Kolmogorov–Smirnov distance
+//! over quantile sketches). [`AdaptiveEncoder`] wraps an [`OnlineEncoder`]:
+//! when drift exceeds the threshold it relearns the table from the recent
+//! window and re-emits a [`SensorMessage::Table`], exactly the protocol the
+//! paper sketches ("rebuilding and resending the lookup table periodically
+//! or if the distribution of the data changes too much", §2).
+
+use crate::encoder::{OnlineEncoder, SensorMessage};
+use crate::error::{Error, Result};
+use crate::lookup::LookupTable;
+use crate::separators::SeparatorMethod;
+use crate::stats::ExactQuantiles;
+use crate::timeseries::Timestamp;
+use crate::vertical::Aggregation;
+use crate::alphabet::Alphabet;
+use std::collections::VecDeque;
+
+/// Two-sample distribution-shift detector over a sliding window of recent
+/// raw values versus a frozen reference sample.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    reference: Vec<f64>,
+    window: VecDeque<f64>,
+    window_size: usize,
+}
+
+impl DriftDetector {
+    /// Creates a detector with a frozen `reference` sample and a sliding
+    /// window of `window_size` recent values.
+    pub fn new(reference: Vec<f64>, window_size: usize) -> Result<Self> {
+        if reference.is_empty() {
+            return Err(Error::EmptyInput("DriftDetector reference"));
+        }
+        if window_size < 2 {
+            return Err(Error::InvalidParameter {
+                name: "window_size",
+                reason: "must be at least 2".to_string(),
+            });
+        }
+        Ok(DriftDetector { reference, window: VecDeque::with_capacity(window_size), window_size })
+    }
+
+    /// Feeds one recent value.
+    pub fn push(&mut self, v: f64) {
+        if self.window.len() == self.window_size {
+            self.window.pop_front();
+        }
+        self.window.push_back(v);
+    }
+
+    /// Whether the sliding window is full (statistic is meaningful).
+    pub fn window_full(&self) -> bool {
+        self.window.len() == self.window_size
+    }
+
+    /// Two-sample KS distance between reference and the current window
+    /// (`None` until the window fills).
+    pub fn statistic(&self) -> Option<f64> {
+        if !self.window_full() {
+            return None;
+        }
+        let recent: Vec<f64> = self.window.iter().copied().collect();
+        let r = ExactQuantiles::new(&self.reference).ok()?;
+        let w = ExactQuantiles::new(&recent).ok()?;
+        // Evaluate |F_ref - F_win| on the merged support via quantile grid.
+        let mut d: f64 = 0.0;
+        const GRID: usize = 200;
+        for i in 0..=GRID {
+            let q = i as f64 / GRID as f64;
+            let x = w.quantile(q);
+            let f_ref = ecdf(r.sorted(), x);
+            let f_win = ecdf(w.sorted(), x);
+            d = d.max((f_ref - f_win).abs());
+            let x = r.quantile(q);
+            let f_ref = ecdf(r.sorted(), x);
+            let f_win = ecdf(w.sorted(), x);
+            d = d.max((f_ref - f_win).abs());
+        }
+        Some(d)
+    }
+
+    /// Replaces the reference with the current window contents (called after
+    /// a table rebuild so drift is measured against the new regime).
+    pub fn rebase(&mut self) {
+        self.reference = self.window.iter().copied().collect();
+    }
+
+    /// The current window contents (most recent last).
+    pub fn window(&self) -> Vec<f64> {
+        self.window.iter().copied().collect()
+    }
+}
+
+fn ecdf(sorted: &[f64], x: f64) -> f64 {
+    sorted.partition_point(|&v| v <= x) as f64 / sorted.len() as f64
+}
+
+/// Statistics of one adaptive-encoding run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptiveStats {
+    /// Number of table rebuilds triggered by drift.
+    pub rebuilds: u64,
+    /// Raw samples processed.
+    pub samples: u64,
+    /// Symbols emitted.
+    pub symbols: u64,
+}
+
+/// Online encoder that rebuilds its lookup table when the raw-value
+/// distribution drifts.
+#[derive(Debug)]
+pub struct AdaptiveEncoder {
+    encoder: OnlineEncoder,
+    detector: DriftDetector,
+    method: SeparatorMethod,
+    alphabet: Alphabet,
+    threshold: f64,
+    /// Minimum samples between rebuilds, to avoid thrashing.
+    cooldown: u64,
+    since_rebuild: u64,
+    stats: AdaptiveStats,
+}
+
+impl AdaptiveEncoder {
+    /// Wraps a trained table. `threshold` is the KS distance that triggers a
+    /// rebuild (typical values 0.1–0.3); `window_size` is the recent-sample
+    /// window used both for detection and for re-training.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        table: LookupTable,
+        training_values: Vec<f64>,
+        method: SeparatorMethod,
+        window_secs: i64,
+        aggregation: Aggregation,
+        threshold: f64,
+        window_size: usize,
+    ) -> Result<Self> {
+        if !(0.0..=1.0).contains(&threshold) || threshold == 0.0 {
+            return Err(Error::InvalidParameter {
+                name: "threshold",
+                reason: format!("must be in (0, 1], got {threshold}"),
+            });
+        }
+        let alphabet = table.alphabet();
+        Ok(AdaptiveEncoder {
+            encoder: OnlineEncoder::new(table, window_secs, aggregation)?,
+            detector: DriftDetector::new(training_values, window_size)?,
+            method,
+            alphabet,
+            threshold,
+            cooldown: window_size as u64,
+            since_rebuild: 0,
+            stats: AdaptiveStats::default(),
+        })
+    }
+
+    /// Feeds one raw sample; returns wire messages (a rebuilt table and/or an
+    /// encoded window).
+    pub fn push(&mut self, t: Timestamp, v: f64) -> Result<Vec<SensorMessage>> {
+        self.stats.samples += 1;
+        self.since_rebuild += 1;
+        self.detector.push(v);
+
+        let mut out = Vec::new();
+        if self.since_rebuild >= self.cooldown {
+            if let Some(d) = self.detector.statistic() {
+                if d > self.threshold {
+                    let recent = self.detector.window();
+                    let table = LookupTable::learn(self.method, self.alphabet, &recent)?;
+                    self.encoder.set_table(table.clone());
+                    self.detector.rebase();
+                    self.since_rebuild = 0;
+                    self.stats.rebuilds += 1;
+                    out.push(SensorMessage::Table(table));
+                }
+            }
+        }
+        if let Some(w) = self.encoder.push(t, v)? {
+            self.stats.symbols += 1;
+            out.push(SensorMessage::Window(w));
+        }
+        Ok(out)
+    }
+
+    /// Flushes the trailing window.
+    pub fn finish(&mut self) -> Vec<SensorMessage> {
+        match self.encoder.finish() {
+            Some(w) => {
+                self.stats.symbols += 1;
+                vec![SensorMessage::Window(w)]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> AdaptiveStats {
+        self.stats
+    }
+
+    /// The table currently in use.
+    pub fn current_table(&self) -> &LookupTable {
+        self.encoder.table()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn training() -> Vec<f64> {
+        (0..500).map(|i| 100.0 + ((i * 13) % 50) as f64).collect()
+    }
+
+    #[test]
+    fn detector_quiet_on_same_distribution() {
+        let mut d = DriftDetector::new(training(), 200).unwrap();
+        assert_eq!(d.statistic(), None, "no statistic before window fills");
+        for i in 0..200 {
+            d.push(100.0 + ((i * 13) % 50) as f64);
+        }
+        let s = d.statistic().unwrap();
+        assert!(s < 0.1, "same distribution should look calm, got {s}");
+    }
+
+    #[test]
+    fn detector_fires_on_shift() {
+        let mut d = DriftDetector::new(training(), 200).unwrap();
+        for i in 0..200 {
+            d.push(1000.0 + ((i * 13) % 50) as f64); // 10× level shift
+        }
+        let s = d.statistic().unwrap();
+        assert!(s > 0.9, "disjoint distributions should max the KS distance, got {s}");
+    }
+
+    #[test]
+    fn detector_rebase_resets() {
+        let mut d = DriftDetector::new(training(), 100).unwrap();
+        for i in 0..100 {
+            d.push(1000.0 + (i % 50) as f64);
+        }
+        assert!(d.statistic().unwrap() > 0.9);
+        d.rebase();
+        assert!(d.statistic().unwrap() < 0.05, "after rebase the window matches the reference");
+    }
+
+    #[test]
+    fn detector_validation() {
+        assert!(DriftDetector::new(vec![], 10).is_err());
+        assert!(DriftDetector::new(vec![1.0], 1).is_err());
+    }
+
+    #[test]
+    fn adaptive_encoder_rebuilds_once_per_regime() {
+        let train = training();
+        let table =
+            LookupTable::learn(SeparatorMethod::Median, Alphabet::with_size(8).unwrap(), &train)
+                .unwrap();
+        let mut enc = AdaptiveEncoder::new(
+            table,
+            train,
+            SeparatorMethod::Median,
+            60,
+            Aggregation::Mean,
+            0.5,
+            200,
+        )
+        .unwrap();
+
+        let mut tables = 0;
+        let mut t = 0i64;
+        // Regime 1: same as training — no rebuild expected.
+        for i in 0..400 {
+            let msgs = enc.push(t, 100.0 + ((i * 13) % 50) as f64).unwrap();
+            tables += msgs.iter().filter(|m| matches!(m, SensorMessage::Table(_))).count();
+            t += 1;
+        }
+        assert_eq!(tables, 0, "no drift yet");
+
+        // Regime 2: level shift — exactly one rebuild (then rebase + cooldown).
+        for i in 0..600 {
+            let msgs = enc.push(t, 1000.0 + ((i * 13) % 50) as f64).unwrap();
+            tables += msgs.iter().filter(|m| matches!(m, SensorMessage::Table(_))).count();
+            t += 1;
+        }
+        assert_eq!(tables, 1, "one rebuild for one regime change");
+        assert_eq!(enc.stats().rebuilds, 1);
+
+        // The rebuilt table should now cover the new level.
+        let (_, hi) = enc.current_table().value_range();
+        assert!(hi >= 1000.0, "table retrained on the new regime, max {hi}");
+        enc.finish();
+        assert!(enc.stats().symbols > 0);
+    }
+
+    #[test]
+    fn adaptive_encoder_validates_threshold() {
+        let train = training();
+        let table =
+            LookupTable::learn(SeparatorMethod::Median, Alphabet::with_size(4).unwrap(), &train)
+                .unwrap();
+        assert!(AdaptiveEncoder::new(
+            table,
+            train,
+            SeparatorMethod::Median,
+            60,
+            Aggregation::Mean,
+            0.0,
+            100
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Fixed-resolution alphabets of binary symbols.
+//!
+//! An alphabet of resolution `b` bits contains the `2^b` binary strings of
+//! length `b`, ordered by rank — the leaves at depth `b` of the recursive
+//! range-halving tree of Fig. 1. The paper evaluates alphabet sizes 2–16,
+//! i.e. resolutions 1–4 bits; we support up to 16 bits.
+
+use crate::error::{Error, Result};
+use crate::symbol::{Symbol, MAX_RESOLUTION_BITS};
+use serde::{Deserialize, Serialize};
+
+/// An alphabet `A = {a_1, ..., a_k}` with `k = 2^resolution_bits`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alphabet {
+    resolution_bits: u8,
+}
+
+impl Alphabet {
+    /// Alphabet with `2^bits` symbols; `bits` in `1..=16`.
+    pub fn with_resolution(bits: u8) -> Result<Self> {
+        if bits == 0 || bits > MAX_RESOLUTION_BITS {
+            return Err(Error::InvalidResolution(bits));
+        }
+        Ok(Alphabet { resolution_bits: bits })
+    }
+
+    /// Alphabet of exactly `k` symbols; `k` must be a power of two in
+    /// `[2, 65536]` (paper: "as our symbols are stored as binary numbers, we
+    /// used only the power of 2").
+    pub fn with_size(k: usize) -> Result<Self> {
+        if !(2..=(1usize << MAX_RESOLUTION_BITS)).contains(&k) || !k.is_power_of_two() {
+            return Err(Error::InvalidAlphabetSize(k));
+        }
+        Ok(Alphabet { resolution_bits: k.trailing_zeros() as u8 })
+    }
+
+    /// Number of symbols `k`.
+    pub fn size(self) -> usize {
+        1usize << self.resolution_bits
+    }
+
+    /// Resolution in bits (`log2 k`).
+    pub fn resolution_bits(self) -> u8 {
+        self.resolution_bits
+    }
+
+    /// The `i`-th symbol (rank order). Errors when `i >= k`.
+    pub fn symbol(self, i: usize) -> Result<Symbol> {
+        if i >= self.size() {
+            return Err(Error::InvalidParameter {
+                name: "i",
+                reason: format!("rank {i} out of range for alphabet of {}", self.size()),
+            });
+        }
+        Symbol::from_rank(i as u16, self.resolution_bits)
+    }
+
+    /// Iterates all symbols in rank order.
+    pub fn symbols(self) -> impl Iterator<Item = Symbol> {
+        let bits = self.resolution_bits;
+        (0..self.size() as u32).map(move |r| {
+            Symbol::from_rank(r as u16, bits).expect("rank within alphabet size")
+        })
+    }
+
+    /// The coarser alphabet one bit shorter, or `None` at 1 bit.
+    pub fn coarsen(self) -> Option<Alphabet> {
+        (self.resolution_bits > 1).then(|| Alphabet { resolution_bits: self.resolution_bits - 1 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_size_accepts_only_powers_of_two() {
+        for k in [2usize, 4, 8, 16, 256, 65536] {
+            let a = Alphabet::with_size(k).unwrap();
+            assert_eq!(a.size(), k);
+        }
+        for k in [0usize, 1, 3, 5, 6, 7, 9, 100, 65537, 131072] {
+            assert!(Alphabet::with_size(k).is_err(), "k={k} should be rejected");
+        }
+    }
+
+    #[test]
+    fn resolution_and_size_agree() {
+        let a = Alphabet::with_resolution(4).unwrap();
+        assert_eq!(a.size(), 16);
+        assert_eq!(a.resolution_bits(), 4);
+        assert!(Alphabet::with_resolution(0).is_err());
+        assert!(Alphabet::with_resolution(17).is_err());
+    }
+
+    #[test]
+    fn symbols_enumerate_in_rank_order() {
+        let a = Alphabet::with_size(8).unwrap();
+        let syms: Vec<String> = a.symbols().map(|s| s.to_string()).collect();
+        assert_eq!(syms, vec!["000", "001", "010", "011", "100", "101", "110", "111"]);
+        assert_eq!(a.symbol(5).unwrap().to_string(), "101");
+        assert!(a.symbol(8).is_err());
+    }
+
+    #[test]
+    fn coarsen_halves_alphabet() {
+        let a = Alphabet::with_size(16).unwrap();
+        let c = a.coarsen().unwrap();
+        assert_eq!(c.size(), 8);
+        assert!(Alphabet::with_size(2).unwrap().coarsen().is_none());
+    }
+}

@@ -1,0 +1,156 @@
+//! Compression-ratio accounting (paper §2.3).
+//!
+//! "If the original data is stored as double (64 bit) and sampled at 1 Hz,
+//! we have around 680 kB of data per day. Now if we use 16 symbols and an
+//! aggregation of 15 minutes, it would leave us with only 384 bit, three
+//! order of magnitude lower."
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Sizing report for one encoding configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompressionReport {
+    /// Raw samples covered by the report (e.g. one day at 1 Hz = 86 400).
+    pub raw_samples: u64,
+    /// Bits per raw sample (64 for `f64`).
+    pub bits_per_raw_sample: u32,
+    /// Symbols emitted after vertical segmentation.
+    pub symbols: u64,
+    /// Bits per symbol (`log2 k`).
+    pub bits_per_symbol: u32,
+    /// One-time lookup-table wire cost in bits (amortized separately).
+    pub table_bits: u64,
+    /// Number of reporting periods the table cost is amortized over.
+    pub amortization_periods: u64,
+}
+
+impl CompressionReport {
+    /// Builds a report; `amortization_periods` ≥ 1.
+    pub fn new(
+        raw_samples: u64,
+        bits_per_raw_sample: u32,
+        symbols: u64,
+        bits_per_symbol: u32,
+        table_bits: u64,
+        amortization_periods: u64,
+    ) -> Result<Self> {
+        if bits_per_raw_sample == 0 || bits_per_symbol == 0 {
+            return Err(Error::InvalidParameter {
+                name: "bits",
+                reason: "bit widths must be positive".to_string(),
+            });
+        }
+        if amortization_periods == 0 {
+            return Err(Error::InvalidParameter {
+                name: "amortization_periods",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        Ok(CompressionReport {
+            raw_samples,
+            bits_per_raw_sample,
+            symbols,
+            bits_per_symbol,
+            table_bits,
+            amortization_periods,
+        })
+    }
+
+    /// Raw payload size in bits.
+    pub fn raw_bits(&self) -> u64 {
+        self.raw_samples * self.bits_per_raw_sample as u64
+    }
+
+    /// Symbolic payload size in bits, excluding the table.
+    pub fn symbol_bits(&self) -> u64 {
+        self.symbols * self.bits_per_symbol as u64
+    }
+
+    /// Symbolic size including the table cost amortized over
+    /// `amortization_periods`.
+    pub fn amortized_bits(&self) -> f64 {
+        self.symbol_bits() as f64 + self.table_bits as f64 / self.amortization_periods as f64
+    }
+
+    /// Payload-only compression ratio (raw / symbolic).
+    pub fn ratio(&self) -> f64 {
+        self.raw_bits() as f64 / self.symbol_bits() as f64
+    }
+
+    /// Compression ratio including the amortized table cost.
+    pub fn amortized_ratio(&self) -> f64 {
+        self.raw_bits() as f64 / self.amortized_bits()
+    }
+
+    /// Orders of magnitude of the payload-only ratio (`log10`).
+    pub fn orders_of_magnitude(&self) -> f64 {
+        self.ratio().log10()
+    }
+}
+
+/// The paper's worked example: one day at `sample_hz` Hz of 64-bit doubles,
+/// aggregated to `window_secs` windows with an alphabet of `k` symbols.
+pub fn day_report(sample_hz: u64, window_secs: u64, k: usize, table_bits: u64, amortization_days: u64) -> Result<CompressionReport> {
+    if sample_hz == 0 || window_secs == 0 {
+        return Err(Error::InvalidParameter {
+            name: "sample_hz/window_secs",
+            reason: "must be positive".to_string(),
+        });
+    }
+    if !k.is_power_of_two() || k < 2 {
+        return Err(Error::InvalidAlphabetSize(k));
+    }
+    let raw_samples = 86_400 * sample_hz;
+    let symbols = 86_400 / window_secs;
+    CompressionReport::new(
+        raw_samples,
+        64,
+        symbols,
+        k.trailing_zeros(),
+        table_bits,
+        amortization_days.max(1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // 1 Hz doubles, 15-minute windows, 16 symbols.
+        let r = day_report(1, 900, 16, 0, 1).unwrap();
+        assert_eq!(r.raw_bits(), 86_400 * 64);
+        assert_eq!(r.raw_bits() / 8 / 1024, 675, "≈ 680 kB of data per day");
+        assert_eq!(r.symbol_bits(), 384, "the paper's 384 bit");
+        assert!(r.orders_of_magnitude() >= 3.0, "three orders of magnitude lower");
+        assert!((r.ratio() - 14_400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_cost_amortizes_away() {
+        let table_bits = 5_000 * 8;
+        let day1 = day_report(1, 900, 16, table_bits, 1).unwrap();
+        let day365 = day_report(1, 900, 16, table_bits, 365).unwrap();
+        assert!(day1.amortized_ratio() < day365.amortized_ratio());
+        assert!(day365.amortized_ratio() / day365.ratio() > 0.7);
+        assert!(day1.amortized_bits() > day1.symbol_bits() as f64);
+    }
+
+    #[test]
+    fn ratio_scales_with_alphabet() {
+        let k16 = day_report(1, 900, 16, 0, 1).unwrap();
+        let k2 = day_report(1, 900, 2, 0, 1).unwrap();
+        assert!((k2.ratio() / k16.ratio() - 4.0).abs() < 1e-9, "4-bit vs 1-bit symbols");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(day_report(0, 900, 16, 0, 1).is_err());
+        assert!(day_report(1, 0, 16, 0, 1).is_err());
+        assert!(day_report(1, 900, 3, 0, 1).is_err());
+        assert!(CompressionReport::new(1, 0, 1, 1, 0, 1).is_err());
+        assert!(CompressionReport::new(1, 64, 1, 1, 0, 0).is_err());
+    }
+}

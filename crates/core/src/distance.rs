@@ -1,0 +1,192 @@
+//! Distances over symbolic series, including the **mixed-resolution**
+//! comparison the paper's §4 highlights as the representation's key
+//! flexibility: "higher resolution symbols can easily be converted to lower
+//! resolution and lower resolution symbols can be compared to higher
+//! resolution ones. This allows to run most of the machine learning
+//! algorithms even if the symbolic time series have been encoded with
+//! different resolutions, or if the resolution changed in time."
+//!
+//! Three distances:
+//! * [`rank_l1`] — same-resolution L1 over symbol ranks (ordinal distance);
+//! * [`prefix_distance`] — mixed-resolution: compare at each pair's common
+//!   resolution, where overlapping (prefix-compatible) symbols count 0;
+//! * [`table_distance`] — ground both symbols through a lookup table's
+//!   range centers and take |Δwatts| (comparable across *different tables*).
+
+use crate::error::{Error, Result};
+use crate::horizontal::SymbolicSeries;
+use crate::lookup::{LookupTable, SymbolSemantics};
+use crate::symbol::Symbol;
+
+/// Mean L1 distance between same-resolution symbol sequences (pairs beyond
+/// the shorter length are ignored; errors if either is empty or resolutions
+/// differ).
+pub fn rank_l1(a: &SymbolicSeries, b: &SymbolicSeries) -> Result<f64> {
+    if a.resolution_bits() != b.resolution_bits() {
+        return Err(Error::ResolutionMismatch {
+            left: a.resolution_bits(),
+            right: b.resolution_bits(),
+        });
+    }
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return Err(Error::EmptyInput("rank_l1"));
+    }
+    let sum: f64 = a
+        .symbols()
+        .iter()
+        .zip(b.symbols())
+        .take(n)
+        .map(|(x, y)| x.rank().abs_diff(y.rank()) as f64)
+        .sum();
+    Ok(sum / n as f64)
+}
+
+/// Distance between two symbols of possibly different resolutions: 0 when
+/// one covers the other (their ranges overlap — the paper's "'0' being
+/// equal to '01'"), else the rank gap at their common (coarser) resolution.
+pub fn prefix_symbol_distance(a: Symbol, b: Symbol) -> f64 {
+    if a.compatible(b) {
+        return 0.0;
+    }
+    let common = a.resolution_bits().min(b.resolution_bits());
+    let ar = a.truncate(common).expect("common ≤ own resolution").rank();
+    let br = b.truncate(common).expect("common ≤ own resolution").rank();
+    ar.abs_diff(br) as f64
+}
+
+/// Mean prefix distance between two symbolic series of possibly different
+/// resolutions (aligned positionally; extra tail ignored).
+pub fn prefix_distance(a: &SymbolicSeries, b: &SymbolicSeries) -> Result<f64> {
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return Err(Error::EmptyInput("prefix_distance"));
+    }
+    let sum: f64 = a
+        .symbols()
+        .iter()
+        .zip(b.symbols())
+        .take(n)
+        .map(|(&x, &y)| prefix_symbol_distance(x, y))
+        .sum();
+    Ok(sum / n as f64)
+}
+
+/// Mean absolute watt distance between two symbolic series decoded through
+/// their own lookup tables — the right comparison when the series were
+/// encoded with *different tables* (e.g. two houses' per-house tables, or a
+/// table before and after an adaptive rebuild).
+pub fn table_distance(
+    a: &SymbolicSeries,
+    table_a: &LookupTable,
+    b: &SymbolicSeries,
+    table_b: &LookupTable,
+) -> Result<f64> {
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return Err(Error::EmptyInput("table_distance"));
+    }
+    let mut sum = 0.0;
+    for (&sa, &sb) in a.symbols().iter().zip(b.symbols()).take(n) {
+        let va = table_a.decode_symbol(sa, SymbolSemantics::RangeCenter)?;
+        let vb = table_b.decode_symbol(sb, SymbolSemantics::RangeCenter)?;
+        sum += (va - vb).abs();
+    }
+    Ok(sum / n as f64)
+}
+
+/// Index of the nearest series in `candidates` to `query` under
+/// [`prefix_distance`] — a building block for day-profile retrieval over
+/// mixed-resolution archives.
+pub fn nearest_prefix(query: &SymbolicSeries, candidates: &[SymbolicSeries]) -> Result<usize> {
+    if candidates.is_empty() {
+        return Err(Error::EmptyInput("nearest_prefix"));
+    }
+    let mut best = (f64::INFINITY, 0usize);
+    for (i, c) in candidates.iter().enumerate() {
+        let d = prefix_distance(query, c)?;
+        if d < best.0 {
+            best = (d, i);
+        }
+    }
+    Ok(best.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::horizontal::horizontal_segmentation;
+    use crate::separators::SeparatorMethod;
+    use crate::timeseries::TimeSeries;
+
+    fn series_of(ranks: &[u16], bits: u8) -> SymbolicSeries {
+        let symbols: Vec<Symbol> =
+            ranks.iter().map(|&r| Symbol::from_rank(r, bits).unwrap()).collect();
+        SymbolicSeries::from_parts(bits, (0..ranks.len() as i64).collect(), symbols).unwrap()
+    }
+
+    #[test]
+    fn rank_l1_basics() {
+        let a = series_of(&[0, 1, 2, 3], 2);
+        let b = series_of(&[3, 1, 0, 3], 2);
+        assert_eq!(rank_l1(&a, &b).unwrap(), (3.0 + 0.0 + 2.0 + 0.0) / 4.0);
+        let c = series_of(&[0], 3);
+        assert!(rank_l1(&a, &c).is_err(), "resolution mismatch");
+        let e = SymbolicSeries::new(2).unwrap();
+        assert!(rank_l1(&a, &e).is_err(), "empty");
+    }
+
+    #[test]
+    fn prefix_symbol_distance_matches_partial_order() {
+        let s = |x: &str| x.parse::<Symbol>().unwrap();
+        assert_eq!(prefix_symbol_distance(s("0"), s("01")), 0.0, "overlap = 0");
+        assert_eq!(prefix_symbol_distance(s("00"), s("01")), 1.0);
+        assert_eq!(prefix_symbol_distance(s("0"), s("11")), 1.0, "common 1-bit: |0-1|");
+        assert_eq!(prefix_symbol_distance(s("000"), s("111")), 7.0);
+        assert_eq!(prefix_symbol_distance(s("00"), s("110")), 3.0, "common 2-bit: |0-3|");
+    }
+
+    #[test]
+    fn prefix_distance_mixed_resolutions() {
+        // The §4 scenario: the archive holds 2-bit symbols, the query is
+        // 4-bit (resolution changed in time). Compatible positions cost 0.
+        let coarse = series_of(&[0, 1, 2, 3], 2);
+        let fine = series_of(&[1, 6, 9, 13], 4); // truncate(2) = [0,1,2,3]
+        assert_eq!(prefix_distance(&coarse, &fine).unwrap(), 0.0);
+        let far = series_of(&[15, 0, 0, 0], 4); // truncate(2) = [3,0,0,0]
+        assert!(prefix_distance(&coarse, &far).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn table_distance_compares_across_tables() {
+        // Two houses with different scales: their per-house tables map the
+        // same *rank* to different watt levels; table_distance sees that.
+        let small: Vec<f64> = (0..1000).map(|i| (i % 100) as f64).collect();
+        let big: Vec<f64> = (0..1000).map(|i| (i % 100) as f64 * 10.0).collect();
+        let alphabet = Alphabet::with_size(4).unwrap();
+        let ts = LookupTable::learn(SeparatorMethod::Median, alphabet, &small).unwrap();
+        let tb = LookupTable::learn(SeparatorMethod::Median, alphabet, &big).unwrap();
+        let series = TimeSeries::from_regular(0, 1, &[50.0; 8]).unwrap();
+        let series_big = TimeSeries::from_regular(0, 1, &[500.0; 8]).unwrap();
+        let sa = horizontal_segmentation(&series, &ts).unwrap();
+        let sb = horizontal_segmentation(&series_big, &tb).unwrap();
+        // Same ranks (both mid-range), so prefix distance is zero…
+        assert_eq!(prefix_distance(&sa, &sb).unwrap(), 0.0);
+        // …but the watt-space distance exposes the size difference.
+        let d = table_distance(&sa, &ts, &sb, &tb).unwrap();
+        assert!(d > 300.0, "decoded watt gap: {d}");
+    }
+
+    #[test]
+    fn nearest_prefix_retrieval() {
+        let query = series_of(&[0, 0, 3, 3], 2);
+        let candidates = vec![
+            series_of(&[3, 3, 0, 0], 2),
+            series_of(&[0, 1, 3, 2], 2),
+            series_of(&[2, 2, 2, 2], 2),
+        ];
+        assert_eq!(nearest_prefix(&query, &candidates).unwrap(), 1);
+        assert!(nearest_prefix(&query, &[]).is_err());
+    }
+}

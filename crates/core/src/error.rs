@@ -1,0 +1,110 @@
+//! Error types shared across the `sms-core` crate.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by symbolic-encoding operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// An operation required at least one sample/value but got none.
+    EmptyInput(&'static str),
+    /// Alphabet sizes must be powers of two in `[2, 2^16]` because symbols
+    /// are stored as binary strings (paper §3, "we used only the power of 2").
+    InvalidAlphabetSize(usize),
+    /// Symbol resolution (in bits) outside the supported `1..=16` range.
+    InvalidResolution(u8),
+    /// Separators handed to a lookup table were not non-decreasing.
+    NonMonotonicSeparators {
+        /// Index of the first offending separator.
+        index: usize,
+    },
+    /// A lookup table of `k` symbols needs exactly `k - 1` separators.
+    SeparatorCount {
+        /// Separators required for the alphabet (`k - 1`).
+        expected: usize,
+        /// Separators actually provided.
+        got: usize,
+    },
+    /// Attempted to combine symbolic series of incompatible resolutions
+    /// without an explicit conversion.
+    ResolutionMismatch {
+        /// Resolution (bits) of the first operand.
+        left: u8,
+        /// Resolution (bits) of the second operand.
+        right: u8,
+    },
+    /// Timestamps handed to a time series were decreasing.
+    NonMonotonicTimestamps {
+        /// Index of the first out-of-order sample.
+        index: usize,
+    },
+    /// A parameter was outside its documented domain.
+    InvalidParameter {
+        /// The parameter's name.
+        name: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// A symbol string failed to parse (only '0'/'1' are valid characters).
+    SymbolParse(String),
+    /// Wire-format decoding failed.
+    WireFormat(String),
+    /// (De)serialization of a lookup table failed.
+    Serde(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyInput(what) => write!(f, "empty input: {what}"),
+            Error::InvalidAlphabetSize(k) => {
+                write!(f, "invalid alphabet size {k}: must be a power of two in [2, 65536]")
+            }
+            Error::InvalidResolution(bits) => {
+                write!(f, "invalid symbol resolution {bits} bits: must be in 1..=16")
+            }
+            Error::NonMonotonicSeparators { index } => {
+                write!(f, "separators must be non-decreasing (violated at index {index})")
+            }
+            Error::SeparatorCount { expected, got } => {
+                write!(f, "expected {expected} separators, got {got}")
+            }
+            Error::ResolutionMismatch { left, right } => {
+                write!(f, "symbol resolution mismatch: {left} bits vs {right} bits")
+            }
+            Error::NonMonotonicTimestamps { index } => {
+                write!(f, "timestamps must be non-decreasing (violated at index {index})")
+            }
+            Error::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Error::SymbolParse(s) => write!(f, "cannot parse symbol from {s:?}"),
+            Error::WireFormat(msg) => write!(f, "wire format error: {msg}"),
+            Error::Serde(msg) => write!(f, "serde error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::InvalidAlphabetSize(3);
+        assert!(e.to_string().contains("power of two"));
+        let e = Error::SeparatorCount { expected: 15, got: 3 };
+        assert!(e.to_string().contains("15"));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

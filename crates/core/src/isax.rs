@@ -1,0 +1,554 @@
+//! iSAX baseline (Shieh & Keogh 2008): SAX words whose symbols carry
+//! *individual* cardinalities, enabling a multi-resolution index over
+//! terabyte-scale series collections. The paper cites iSAX as the other
+//! closest prior approach (§2.2); we implement the word representation, the
+//! lower-bounding distance, and a small in-memory index sufficient to
+//! demonstrate (and test) the mechanism.
+//!
+//! Note the structural kinship with the paper's own symbols: an iSAX symbol
+//! of cardinality `2^b` is exactly a `b`-bit binary symbol, and promoting
+//! cardinality appends bits — the same prefix structure as
+//! [`crate::symbol::Symbol`].
+
+use crate::error::{Error, Result};
+use crate::sax::{gaussian_breakpoints, paa, z_normalize};
+use crate::symbol::Symbol;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An iSAX word: one [`Symbol`] (rank + per-symbol bit width) per PAA segment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ISaxWord {
+    /// Per-segment symbols, possibly of different resolutions.
+    pub symbols: Vec<Symbol>,
+    /// Original series length (for the lower-bounding distance).
+    pub original_len: usize,
+}
+
+impl ISaxWord {
+    /// The conventional iSAX rendering, e.g. `"6.8 3.8 0.2"` (rank.cardinality).
+    pub fn notation(&self) -> String {
+        self.symbols
+            .iter()
+            .map(|s| format!("{}.{}", s.rank(), 1u32 << s.resolution_bits()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Truncates every symbol to `bits`, producing the coarser word.
+    pub fn demote(&self, bits: u8) -> Result<ISaxWord> {
+        let symbols =
+            self.symbols.iter().map(|s| s.truncate(bits)).collect::<Result<Vec<_>>>()?;
+        Ok(ISaxWord { symbols, original_len: self.original_len })
+    }
+
+    /// Whether `self` (possibly coarser) covers `other` segment-wise: every
+    /// symbol of `self` is a prefix of the corresponding symbol of `other`.
+    pub fn covers(&self, other: &ISaxWord) -> bool {
+        self.symbols.len() == other.symbols.len()
+            && self.symbols.iter().zip(&other.symbols).all(|(a, b)| a.covers(*b))
+    }
+}
+
+/// iSAX encoder at a base cardinality.
+#[derive(Debug, Clone)]
+pub struct ISax {
+    word_length: usize,
+    base_bits: u8,
+    /// Breakpoints per bit-width `b` (index `b`, 1-based; `[0]` unused).
+    breakpoint_tables: Vec<Vec<f64>>,
+}
+
+impl ISax {
+    /// `word_length` segments at base cardinality `2^base_bits`.
+    pub fn new(word_length: usize, base_bits: u8) -> Result<Self> {
+        if word_length == 0 {
+            return Err(Error::InvalidParameter {
+                name: "word_length",
+                reason: "must be positive".to_string(),
+            });
+        }
+        if base_bits == 0 || base_bits > 10 {
+            return Err(Error::InvalidResolution(base_bits));
+        }
+        let mut breakpoint_tables = vec![Vec::new()];
+        for b in 1..=base_bits {
+            breakpoint_tables.push(gaussian_breakpoints(1usize << b)?);
+        }
+        Ok(ISax { word_length, base_bits, breakpoint_tables })
+    }
+
+    /// Base resolution in bits.
+    pub fn base_bits(&self) -> u8 {
+        self.base_bits
+    }
+
+    /// Word length in segments.
+    pub fn word_length(&self) -> usize {
+        self.word_length
+    }
+
+    /// Encodes at the base cardinality.
+    pub fn encode(&self, values: &[f64]) -> Result<ISaxWord> {
+        let z = z_normalize(values);
+        if z.is_empty() {
+            return Err(Error::EmptyInput("ISax::encode"));
+        }
+        let segments = paa(&z, self.word_length)?;
+        let bp = &self.breakpoint_tables[self.base_bits as usize];
+        let symbols = segments
+            .iter()
+            .map(|&v| {
+                let rank = bp.partition_point(|&b| b < v) as u16;
+                Symbol::from_rank(rank, self.base_bits)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ISaxWord { symbols, original_len: values.len() })
+    }
+
+    /// Lower-bounding distance between a query's PAA (z-normalized) and an
+    /// iSAX word with mixed cardinalities (Shieh & Keogh's MINDIST_PAA_iSAX).
+    pub fn mindist_paa(&self, query_paa: &[f64], word: &ISaxWord) -> Result<f64> {
+        if query_paa.len() != word.symbols.len() {
+            return Err(Error::InvalidParameter {
+                name: "query_paa",
+                reason: format!(
+                    "length {} does not match word length {}",
+                    query_paa.len(),
+                    word.symbols.len()
+                ),
+            });
+        }
+        let n = word.original_len as f64;
+        let w = word.symbols.len() as f64;
+        let mut sum = 0.0;
+        for (&q, sym) in query_paa.iter().zip(&word.symbols) {
+            let bits = sym.resolution_bits() as usize;
+            if bits >= self.breakpoint_tables.len() {
+                return Err(Error::InvalidResolution(sym.resolution_bits()));
+            }
+            let bp = &self.breakpoint_tables[bits];
+            let r = sym.rank() as usize;
+            // Symbol r occupies (bp[r-1], bp[r]] with ±∞ outer edges.
+            let lo = if r == 0 { f64::NEG_INFINITY } else { bp[r - 1] };
+            let hi = if r == bp.len() { f64::INFINITY } else { bp[r] };
+            let d = if q < lo {
+                lo - q
+            } else if q > hi {
+                q - hi
+            } else {
+                0.0
+            };
+            sum += d * d;
+        }
+        Ok((n / w).sqrt() * sum.sqrt())
+    }
+}
+
+/// A minimal in-memory iSAX index: a hash of words at adaptive per-node
+/// resolutions, each bucket splitting (by promoting one segment's
+/// cardinality) once it exceeds `bucket_capacity`. Supports insertion and
+/// approximate nearest-neighbour search, enough to exercise the
+/// multi-resolution machinery end to end.
+#[derive(Debug)]
+pub struct ISaxIndex {
+    isax: ISax,
+    bucket_capacity: usize,
+    root: Node,
+    len: usize,
+    /// z-normalized originals, kept when exact search is enabled.
+    series: Vec<Vec<f64>>,
+    store_series: bool,
+}
+
+/// Work accounting for one exact search (shows how much the iSAX lower
+/// bound prunes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Candidates whose lower bound was evaluated.
+    pub lower_bounds: usize,
+    /// Candidates whose *true* Euclidean distance had to be computed.
+    pub true_distances: usize,
+}
+
+#[derive(Debug)]
+enum Node {
+    /// Leaf bucket of `(word, id)` entries at the node's resolution.
+    Leaf { entries: Vec<(ISaxWord, u64)> },
+    /// Internal split on `segment`: children keyed by that segment's symbol
+    /// promoted one bit.
+    Internal { segment: usize, children: HashMap<Symbol, Node>, depth_bits: u8 },
+}
+
+impl ISaxIndex {
+    /// Creates an index over words from `isax`, splitting buckets larger
+    /// than `bucket_capacity`.
+    pub fn new(isax: ISax, bucket_capacity: usize) -> Result<Self> {
+        if bucket_capacity == 0 {
+            return Err(Error::InvalidParameter {
+                name: "bucket_capacity",
+                reason: "must be positive".to_string(),
+            });
+        }
+        Ok(ISaxIndex {
+            isax,
+            bucket_capacity,
+            root: Node::Leaf { entries: Vec::new() },
+            len: 0,
+            series: Vec::new(),
+            store_series: false,
+        })
+    }
+
+    /// Enables exact search by retaining the z-normalized series alongside
+    /// their words (must be set before the first insert).
+    pub fn with_exact_search(mut self) -> Result<Self> {
+        if self.len > 0 {
+            return Err(Error::InvalidParameter {
+                name: "with_exact_search",
+                reason: "must be enabled before inserting".to_string(),
+            });
+        }
+        self.store_series = true;
+        Ok(self)
+    }
+
+    /// Number of indexed series.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Encodes and inserts a series under `id`.
+    pub fn insert(&mut self, values: &[f64], id: u64) -> Result<()> {
+        let word = self.isax.encode(values)?;
+        let base_bits = self.isax.base_bits();
+        let capacity = self.bucket_capacity;
+        Self::insert_into(&mut self.root, word, id, 1, base_bits, capacity);
+        if self.store_series {
+            // Ids double as storage indices when exact search is on.
+            if id as usize != self.series.len() {
+                return Err(Error::InvalidParameter {
+                    name: "id",
+                    reason: "exact-search indexes require ids 0,1,2,… in insert order"
+                        .to_string(),
+                });
+            }
+            self.series.push(z_normalize(values));
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Exact 1-NN by z-normalized Euclidean distance: ranks every indexed
+    /// word by its lower-bound distance, then computes true distances in
+    /// ascending lower-bound order, stopping as soon as the next lower bound
+    /// cannot beat the best true distance found (the classic iSAX exact-
+    /// search argument). Requires [`ISaxIndex::with_exact_search`].
+    pub fn exact_nearest(&self, values: &[f64]) -> Result<Option<(u64, f64, SearchStats)>> {
+        if !self.store_series {
+            return Err(Error::InvalidParameter {
+                name: "exact_nearest",
+                reason: "index was not built with_exact_search()".to_string(),
+            });
+        }
+        if self.is_empty() {
+            return Ok(None);
+        }
+        let query_paa = paa(&z_normalize(values), self.isax.word_length())?;
+        let qz = z_normalize(values);
+
+        // Collect (lower_bound, id) over all leaves.
+        let mut candidates: Vec<(f64, u64)> = Vec::with_capacity(self.len);
+        let mut stack = vec![&self.root];
+        while let Some(node) = stack.pop() {
+            match node {
+                Node::Leaf { entries } => {
+                    for (w, id) in entries {
+                        candidates.push((self.isax.mindist_paa(&query_paa, w)?, *id));
+                    }
+                }
+                Node::Internal { children, .. } => stack.extend(children.values()),
+            }
+        }
+        candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite lower bounds"));
+
+        let mut stats = SearchStats { lower_bounds: candidates.len(), true_distances: 0 };
+        let mut best: Option<(u64, f64)> = None;
+        for &(lb, id) in &candidates {
+            if let Some((_, bd)) = best {
+                if lb >= bd {
+                    break; // every remaining lower bound is ≥ lb ≥ best
+                }
+            }
+            let s = &self.series[id as usize];
+            let n = s.len().min(qz.len());
+            let d = crate::sax::euclidean(&qz[..n], &s[..n])?;
+            stats.true_distances += 1;
+            if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                best = Some((id, d));
+            }
+        }
+        Ok(best.map(|(id, d)| (id, d, stats)))
+    }
+
+    fn insert_into(
+        node: &mut Node,
+        word: ISaxWord,
+        id: u64,
+        split_bits: u8,
+        base_bits: u8,
+        capacity: usize,
+    ) {
+        match node {
+            Node::Leaf { entries } => {
+                entries.push((word, id));
+                if entries.len() > capacity && split_bits <= base_bits {
+                    // Split on the segment with the most diversity at split_bits.
+                    let word_len = entries[0].0.symbols.len();
+                    let mut best_seg = 0;
+                    let mut best_diversity = 0;
+                    for seg in 0..word_len {
+                        let mut seen: Vec<u16> = entries
+                            .iter()
+                            .map(|(w, _)| {
+                                w.symbols[seg].truncate(split_bits).expect("split ≤ base").rank()
+                            })
+                            .collect();
+                        seen.sort_unstable();
+                        seen.dedup();
+                        if seen.len() > best_diversity {
+                            best_diversity = seen.len();
+                            best_seg = seg;
+                        }
+                    }
+                    let drained = std::mem::take(entries);
+                    let mut children: HashMap<Symbol, Node> = HashMap::new();
+                    for (w, wid) in drained {
+                        let key = w.symbols[best_seg].truncate(split_bits).expect("split ≤ base");
+                        let child = children
+                            .entry(key)
+                            .or_insert_with(|| Node::Leaf { entries: Vec::new() });
+                        Self::insert_into(child, w, wid, split_bits + 1, base_bits, capacity);
+                    }
+                    *node = Node::Internal { segment: best_seg, children, depth_bits: split_bits };
+                }
+            }
+            Node::Internal { segment, children, depth_bits } => {
+                let key = word.symbols[*segment].truncate(*depth_bits).expect("depth ≤ base");
+                let depth = *depth_bits;
+                let child =
+                    children.entry(key).or_insert_with(|| Node::Leaf { entries: Vec::new() });
+                Self::insert_into(child, word, id, depth + 1, base_bits, capacity);
+            }
+        }
+    }
+
+    /// Approximate nearest neighbour: walks to the bucket the query's word
+    /// would land in, then returns the bucket entry with the smallest
+    /// lower-bound distance. `None` on an empty index.
+    pub fn approximate_search(&self, values: &[f64]) -> Result<Option<u64>> {
+        if self.is_empty() {
+            return Ok(None);
+        }
+        let word = self.isax.encode(values)?;
+        let query_paa = paa(&z_normalize(values), self.isax.word_length())?;
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { entries } => {
+                    if entries.is_empty() {
+                        return Ok(None);
+                    }
+                    let mut best = (f64::INFINITY, entries[0].1);
+                    for (w, id) in entries {
+                        let d = self.isax.mindist_paa(&query_paa, w)?;
+                        if d < best.0 {
+                            best = (d, *id);
+                        }
+                    }
+                    return Ok(Some(best.1));
+                }
+                Node::Internal { segment, children, depth_bits } => {
+                    let key = word.symbols[*segment].truncate(*depth_bits).expect("depth ≤ base");
+                    match children.get(&key) {
+                        Some(child) => node = child,
+                        None => {
+                            // Query's branch is empty: fall back to any child.
+                            match children.values().next() {
+                                Some(child) => node = child,
+                                None => return Ok(None),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sax::euclidean;
+
+    fn series(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 40) as f64 / 1000.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn notation_formats_rank_dot_cardinality() {
+        let w = ISaxWord {
+            symbols: vec![Symbol::from_rank(6, 3).unwrap(), Symbol::from_rank(1, 1).unwrap()],
+            original_len: 16,
+        };
+        assert_eq!(w.notation(), "6.8 1.2");
+    }
+
+    #[test]
+    fn demote_and_covers() {
+        let isax = ISax::new(4, 3).unwrap();
+        let w = isax.encode(&series(7, 64)).unwrap();
+        let coarse = w.demote(1).unwrap();
+        assert!(coarse.covers(&w));
+        assert!(!w.covers(&coarse) || w == coarse);
+        assert!(coarse.covers(&coarse));
+    }
+
+    #[test]
+    fn mindist_paa_lower_bounds_euclidean() {
+        let isax = ISax::new(8, 4).unwrap();
+        for seed in 0..20u64 {
+            let a = series(seed, 64);
+            let b = series(seed + 100, 64);
+            let wb = isax.encode(&b).unwrap();
+            let qa = paa(&z_normalize(&a), 8).unwrap();
+            let lower = isax.mindist_paa(&qa, &wb).unwrap();
+            let true_d = euclidean(&z_normalize(&a), &z_normalize(&b)).unwrap();
+            assert!(lower <= true_d + 1e-9, "seed {seed}: {lower} > {true_d}");
+        }
+    }
+
+    #[test]
+    fn mindist_paa_lower_bounds_after_demotion() {
+        // Coarser words must still lower-bound (with a looser bound).
+        let isax = ISax::new(8, 4).unwrap();
+        let a = series(3, 64);
+        let b = series(33, 64);
+        let wb = isax.encode(&b).unwrap();
+        let qa = paa(&z_normalize(&a), 8).unwrap();
+        let full = isax.mindist_paa(&qa, &wb).unwrap();
+        let demoted = isax.mindist_paa(&qa, &wb.demote(1).unwrap()).unwrap();
+        assert!(demoted <= full + 1e-9, "coarser bound {demoted} must not exceed {full}");
+    }
+
+    #[test]
+    fn mindist_zero_when_query_falls_in_symbol_range() {
+        let isax = ISax::new(1, 2).unwrap();
+        let word =
+            ISaxWord { symbols: vec![Symbol::from_rank(1, 2).unwrap()], original_len: 4 };
+        // Symbol 1 of 4 covers (-0.6745, 0]; query PAA 0.0 is inside.
+        assert_eq!(isax.mindist_paa(&[-0.1], &word).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn index_insert_split_and_search() {
+        let isax = ISax::new(4, 4).unwrap();
+        let mut idx = ISaxIndex::new(isax, 4).unwrap();
+        let mut originals = Vec::new();
+        for seed in 0..64u64 {
+            let s = series(seed, 32);
+            idx.insert(&s, seed).unwrap();
+            originals.push(s);
+        }
+        assert_eq!(idx.len(), 64);
+        // Searching with an indexed series should find *a* close match; with
+        // an exact duplicate present, the lower-bound distance to itself is 0.
+        let hit = idx.approximate_search(&originals[10]).unwrap().unwrap();
+        let q = &originals[10];
+        let qz = z_normalize(q);
+        let d_hit = euclidean(&qz, &z_normalize(&originals[hit as usize])).unwrap();
+        // The returned neighbour must be at least as close (in lower-bound
+        // terms) as average; sanity: distance to hit ≤ distance to a random one.
+        let d_rand = euclidean(&qz, &z_normalize(&originals[37])).unwrap();
+        assert!(d_hit <= d_rand + 1e-9 || hit == 10);
+    }
+
+    #[test]
+    fn exact_search_finds_true_nearest_with_pruning() {
+        let isax = ISax::new(8, 4).unwrap();
+        let mut idx = ISaxIndex::new(isax, 4).unwrap().with_exact_search().unwrap();
+        let mut originals = Vec::new();
+        for seed in 0..128u64 {
+            let s = series(seed, 64);
+            idx.insert(&s, seed).unwrap();
+            originals.push(s);
+        }
+        // Query: a perturbed copy of series 42.
+        let mut query = originals[42].clone();
+        for v in query.iter_mut() {
+            *v += 0.001;
+        }
+        let (id, dist, stats) = idx.exact_nearest(&query).unwrap().unwrap();
+        // Brute-force reference.
+        let qz = z_normalize(&query);
+        let brute = (0..originals.len())
+            .min_by(|&a, &b| {
+                let da = euclidean(&qz, &z_normalize(&originals[a])).unwrap();
+                let db = euclidean(&qz, &z_normalize(&originals[b])).unwrap();
+                da.partial_cmp(&db).unwrap()
+            })
+            .unwrap() as u64;
+        assert_eq!(id, brute, "exact search must agree with brute force");
+        assert!(dist < 0.2, "perturbed copy is very close: {dist}");
+        assert_eq!(stats.lower_bounds, 128);
+        assert!(
+            stats.true_distances < 128,
+            "lower bound should prune some candidates: {}",
+            stats.true_distances
+        );
+    }
+
+    #[test]
+    fn exact_search_requires_opt_in_and_sequential_ids() {
+        let isax = ISax::new(4, 2).unwrap();
+        let mut plain = ISaxIndex::new(isax, 4).unwrap();
+        plain.insert(&series(1, 32), 0).unwrap();
+        assert!(plain.exact_nearest(&series(2, 32)).is_err(), "not enabled");
+
+        let isax = ISax::new(4, 2).unwrap();
+        let mut exact = ISaxIndex::new(isax, 4).unwrap().with_exact_search().unwrap();
+        assert!(exact.insert(&series(1, 32), 5).is_err(), "ids must be sequential");
+        exact.insert(&series(1, 32), 0).unwrap();
+        assert!(exact.with_exact_search().is_err(), "cannot enable after inserts");
+    }
+
+    #[test]
+    fn empty_index_returns_none() {
+        let isax = ISax::new(4, 2).unwrap();
+        let idx = ISaxIndex::new(isax, 4).unwrap();
+        assert!(idx.approximate_search(&series(1, 32)).unwrap().is_none());
+        assert!(idx.is_empty());
+        let isax = ISax::new(4, 2).unwrap();
+        let empty_exact = ISaxIndex::new(isax, 4).unwrap().with_exact_search().unwrap();
+        assert!(empty_exact.exact_nearest(&series(1, 32)).unwrap().is_none());
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(ISax::new(0, 2).is_err());
+        assert!(ISax::new(4, 0).is_err());
+        assert!(ISax::new(4, 11).is_err());
+        assert!(ISaxIndex::new(ISax::new(4, 2).unwrap(), 0).is_err());
+    }
+}

@@ -1,0 +1,577 @@
+//! The lookup table `L = (A, B)` of Definition 3: an alphabet plus
+//! separators, mapping real values to symbols and symbols back to
+//! representative real values.
+//!
+//! The paper builds the table once at the sensor from historical data, ships
+//! it to the aggregation server, and optionally rebuilds it when the
+//! distribution drifts (§2, §4). Reconstruction uses either the *center* of
+//! a symbol's range (the forecasting semantics of §3.2) or the *mean of the
+//! training values* that fell into the range (the reconstruction semantics
+//! of §2: "match each symbol to the average real value of it corresponding
+//! range").
+
+use crate::alphabet::Alphabet;
+use crate::error::{Error, Result};
+use crate::separators::{learn_separators, SeparatorMethod};
+use crate::symbol::Symbol;
+use serde::{Deserialize, Serialize};
+
+/// How to map a symbol back to a real value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SymbolSemantics {
+    /// Midpoint of the symbol's value range (§3.2: "we define semantics of a
+    /// symbol as the center of its range").
+    RangeCenter,
+    /// Mean of the training values that fell in the range (§2's lookup-table
+    /// reconstruction). Falls back to the range center for empty bins.
+    RangeMean,
+}
+
+/// A fully specified lookup table: alphabet, separators, and per-bin
+/// statistics gathered at training time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LookupTable {
+    method: SeparatorMethod,
+    alphabet: Alphabet,
+    /// `k - 1` non-decreasing boundaries.
+    separators: Vec<f64>,
+    /// Mean training value per bin (NaN-free; empty bins hold the center).
+    bin_means: Vec<f64>,
+    /// Training observations per bin (used to re-weight when coarsening).
+    bin_counts: Vec<u64>,
+    /// Smallest training value (lower edge of bin 0's effective range).
+    value_min: f64,
+    /// Largest training value (upper edge of the last bin's effective range).
+    value_max: f64,
+}
+
+impl LookupTable {
+    /// Learns a table of `k = alphabet.size()` symbols from historical
+    /// `values` with the given separator `method`.
+    pub fn learn(method: SeparatorMethod, alphabet: Alphabet, values: &[f64]) -> Result<Self> {
+        let separators = learn_separators(method, values, alphabet.size())?;
+        Self::from_parts(method, alphabet, separators, values)
+    }
+
+    /// Builds a table from pre-computed separators, filling bin statistics
+    /// from `values` (which may be empty — bins then use range centers).
+    pub fn from_parts(
+        method: SeparatorMethod,
+        alphabet: Alphabet,
+        separators: Vec<f64>,
+        values: &[f64],
+    ) -> Result<Self> {
+        let k = alphabet.size();
+        if separators.len() != k - 1 {
+            return Err(Error::SeparatorCount { expected: k - 1, got: separators.len() });
+        }
+        for (i, w) in separators.windows(2).enumerate() {
+            if w[1] < w[0] {
+                return Err(Error::NonMonotonicSeparators { index: i + 1 });
+            }
+        }
+        for (i, s) in separators.iter().enumerate() {
+            if !s.is_finite() {
+                return Err(Error::InvalidParameter {
+                    name: "separators",
+                    reason: format!("separator {i} is not finite: {s}"),
+                });
+            }
+        }
+
+        let (mut value_min, mut value_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0u64; k];
+        for &v in values {
+            if !v.is_finite() {
+                return Err(Error::InvalidParameter {
+                    name: "values",
+                    reason: format!("training value is not finite: {v}"),
+                });
+            }
+            value_min = value_min.min(v);
+            value_max = value_max.max(v);
+            let idx = bin_index(&separators, v);
+            sums[idx] += v;
+            counts[idx] += 1;
+        }
+        if values.is_empty() {
+            // No training data: derive a plausible range from the separators.
+            value_min = separators.first().copied().unwrap_or(0.0).min(0.0);
+            value_max = separators.last().copied().unwrap_or(1.0);
+            let span = (value_max - value_min).abs().max(1.0);
+            value_max += span / k as f64;
+        }
+
+        let mut table = LookupTable {
+            method,
+            alphabet,
+            separators,
+            bin_means: vec![0.0; k],
+            bin_counts: counts,
+            value_min,
+            value_max,
+        };
+        for (i, &sum) in sums.iter().enumerate() {
+            table.bin_means[i] = if table.bin_counts[i] > 0 {
+                sum / table.bin_counts[i] as f64
+            } else {
+                table.center_of_bin(i)
+            };
+        }
+        Ok(table)
+    }
+
+    /// Reassembles a table from wire-decoded parts (see [`crate::wire`]).
+    /// Validates shape and monotonicity like [`LookupTable::from_parts`].
+    pub fn from_wire_parts(
+        method: SeparatorMethod,
+        alphabet: Alphabet,
+        separators: Vec<f64>,
+        bin_means: Vec<f64>,
+        bin_counts: Vec<u64>,
+        value_min: f64,
+        value_max: f64,
+    ) -> Result<Self> {
+        let k = alphabet.size();
+        if bin_means.len() != k || bin_counts.len() != k {
+            return Err(Error::WireFormat(format!(
+                "table body has {} means / {} counts for k = {k}",
+                bin_means.len(),
+                bin_counts.len()
+            )));
+        }
+        if !(value_min.is_finite() && value_max.is_finite()) {
+            return Err(Error::WireFormat("non-finite value range".to_string()));
+        }
+        let mut table = Self::from_parts(method, alphabet, separators, &[])?;
+        table.bin_means = bin_means;
+        table.bin_counts = bin_counts;
+        table.value_min = value_min;
+        table.value_max = value_max;
+        Ok(table)
+    }
+
+    /// Builds an expert/custom table from hand-chosen separators (the §3.2
+    /// "low/high consumption" example is `custom(&[threshold], lo, hi)` with
+    /// a 2-symbol alphabet).
+    pub fn custom(separators: &[f64], value_min: f64, value_max: f64) -> Result<Self> {
+        let k = separators.len() + 1;
+        let alphabet = Alphabet::with_size(k)?;
+        let mut t = Self::from_parts(SeparatorMethod::Uniform, alphabet, separators.to_vec(), &[])?;
+        t.value_min = value_min;
+        t.value_max = value_max;
+        for i in 0..k {
+            t.bin_means[i] = t.center_of_bin(i);
+        }
+        Ok(t)
+    }
+
+    /// The separator method the table was learned with.
+    pub fn method(&self) -> SeparatorMethod {
+        self.method
+    }
+
+    /// The table's alphabet.
+    pub fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    /// Alphabet size `k`.
+    pub fn size(&self) -> usize {
+        self.alphabet.size()
+    }
+
+    /// Symbol resolution in bits.
+    pub fn resolution_bits(&self) -> u8 {
+        self.alphabet.resolution_bits()
+    }
+
+    /// The separators `β_1 ≤ … ≤ β_{k-1}`.
+    pub fn separators(&self) -> &[f64] {
+        &self.separators
+    }
+
+    /// Observed training range `(min, max)`.
+    pub fn value_range(&self) -> (f64, f64) {
+        (self.value_min, self.value_max)
+    }
+
+    /// Encodes one value per Definition 3:
+    /// `v ≤ β_1 ⇒ a_1`; `v > β_{k-1} ⇒ a_k`; else `β_{j-1} < v ≤ β_j ⇒ a_j`.
+    pub fn encode_value(&self, v: f64) -> Symbol {
+        let idx = bin_index(&self.separators, v);
+        Symbol::from_rank(idx as u16, self.resolution_bits())
+            .expect("bin index within alphabet size")
+    }
+
+    /// Decodes a symbol of the table's own resolution (or any coarser
+    /// resolution, thanks to the prefix structure) back to a real value.
+    pub fn decode_symbol(&self, sym: Symbol, semantics: SymbolSemantics) -> Result<f64> {
+        let bits = self.resolution_bits();
+        if sym.resolution_bits() > bits {
+            return Err(Error::ResolutionMismatch { left: sym.resolution_bits(), right: bits });
+        }
+        // A coarser symbol covers a contiguous run of this table's bins.
+        let shift = bits - sym.resolution_bits();
+        let first_bin = (sym.rank() as usize) << shift;
+        let last_bin = first_bin + (1usize << shift) - 1;
+        match semantics {
+            SymbolSemantics::RangeCenter => {
+                let lo = self.lower_edge(first_bin);
+                let hi = self.upper_edge(last_bin);
+                Ok((lo + hi) / 2.0)
+            }
+            SymbolSemantics::RangeMean => {
+                let total: u64 = self.bin_counts[first_bin..=last_bin].iter().sum();
+                if total == 0 {
+                    let lo = self.lower_edge(first_bin);
+                    let hi = self.upper_edge(last_bin);
+                    return Ok((lo + hi) / 2.0);
+                }
+                let weighted: f64 = (first_bin..=last_bin)
+                    .map(|i| self.bin_means[i] * self.bin_counts[i] as f64)
+                    .sum();
+                Ok(weighted / total as f64)
+            }
+        }
+    }
+
+    /// The value range `(lo, hi]`-style covered by `sym` (edges clamped to
+    /// the observed training range for the outer bins).
+    pub fn range_of(&self, sym: Symbol) -> Result<(f64, f64)> {
+        let bits = self.resolution_bits();
+        if sym.resolution_bits() > bits {
+            return Err(Error::ResolutionMismatch { left: sym.resolution_bits(), right: bits });
+        }
+        let shift = bits - sym.resolution_bits();
+        let first_bin = (sym.rank() as usize) << shift;
+        let last_bin = first_bin + (1usize << shift) - 1;
+        Ok((self.lower_edge(first_bin), self.upper_edge(last_bin)))
+    }
+
+    fn lower_edge(&self, bin: usize) -> f64 {
+        if bin == 0 {
+            self.value_min.min(self.separators.first().copied().unwrap_or(self.value_min))
+        } else {
+            self.separators[bin - 1]
+        }
+    }
+
+    fn upper_edge(&self, bin: usize) -> f64 {
+        if bin == self.size() - 1 {
+            self.value_max.max(self.separators.last().copied().unwrap_or(self.value_max))
+        } else {
+            self.separators[bin]
+        }
+    }
+
+    fn center_of_bin(&self, bin: usize) -> f64 {
+        (self.lower_edge(bin) + self.upper_edge(bin)) / 2.0
+    }
+
+    /// Training observation count per bin.
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.bin_counts
+    }
+
+    /// Mean training value per bin.
+    pub fn bin_means(&self) -> &[f64] {
+        &self.bin_means
+    }
+
+    /// Derives the coarser table with `to_bits` resolution by keeping every
+    /// second separator (works because quantile and uniform boundaries nest
+    /// when `k` halves). Satisfies: encoding with the coarse table equals
+    /// encoding with this table then truncating the symbol (§4 flexibility;
+    /// property-tested).
+    pub fn coarsen(&self, to_bits: u8) -> Result<LookupTable> {
+        let bits = self.resolution_bits();
+        if to_bits == 0 || to_bits > bits {
+            return Err(Error::InvalidResolution(to_bits));
+        }
+        if to_bits == bits {
+            return Ok(self.clone());
+        }
+        let step = 1usize << (bits - to_bits);
+        let new_k = 1usize << to_bits;
+        // Keep separators at original (1-based) positions step, 2*step, ...
+        let separators: Vec<f64> =
+            (1..new_k).map(|j| self.separators[j * step - 1]).collect();
+        let mut bin_means = Vec::with_capacity(new_k);
+        let mut bin_counts = Vec::with_capacity(new_k);
+        for j in 0..new_k {
+            let bins = j * step..(j + 1) * step;
+            let total: u64 = self.bin_counts[bins.clone()].iter().sum();
+            let mean = if total > 0 {
+                self.bin_counts[bins.clone()]
+                    .iter()
+                    .zip(&self.bin_means[bins.clone()])
+                    .map(|(&c, &m)| c as f64 * m)
+                    .sum::<f64>()
+                    / total as f64
+            } else {
+                f64::NAN // fixed below once we can call center_of_bin
+            };
+            bin_means.push(mean);
+            bin_counts.push(total);
+        }
+        let mut out = LookupTable {
+            method: self.method,
+            alphabet: Alphabet::with_resolution(to_bits)?,
+            separators,
+            bin_means,
+            bin_counts,
+            value_min: self.value_min,
+            value_max: self.value_max,
+        };
+        for i in 0..new_k {
+            if out.bin_means[i].is_nan() {
+                out.bin_means[i] = out.center_of_bin(i);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Entropy (bits) of the symbol distribution this table induced on its
+    /// training data. Median tables maximize this by construction (§2.2b:
+    /// "aims to maximize the entropy of the generated symbols").
+    pub fn training_entropy_bits(&self) -> f64 {
+        let total: u64 = self.bin_counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.bin_counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / total as f64;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    /// Serializes to the JSON wire format used when shipping the table from
+    /// the sensor to the aggregation server.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| Error::Serde(e.to_string()))
+    }
+
+    /// Parses the JSON wire format.
+    pub fn from_json(s: &str) -> Result<Self> {
+        serde_json::from_str(s).map_err(|e| Error::Serde(e.to_string()))
+    }
+
+    /// Approximate wire size in bytes of the serialized table (for the §2.3
+    /// compression accounting, where the table cost "can be amortized over
+    /// time").
+    pub fn wire_size_bytes(&self) -> usize {
+        self.to_json().map(|s| s.len()).unwrap_or(0)
+    }
+}
+
+/// Definition 3's bin selection: the number of separators strictly below `v`
+/// gives the 0-based bin, which realizes `β_{j-1} < v ≤ β_j`.
+fn bin_index(separators: &[f64], v: f64) -> usize {
+    separators.partition_point(|&b| b < v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alphabet(k: usize) -> Alphabet {
+        Alphabet::with_size(k).unwrap()
+    }
+
+    #[test]
+    fn encode_respects_definition_3() {
+        // separators 100, 200, 300 with k=4.
+        let t = LookupTable::from_parts(
+            SeparatorMethod::Uniform,
+            alphabet(4),
+            vec![100.0, 200.0, 300.0],
+            &[0.0, 400.0],
+        )
+        .unwrap();
+        assert_eq!(t.encode_value(50.0).rank(), 0);
+        assert_eq!(t.encode_value(100.0).rank(), 0, "v ≤ β1 ⇒ a1 (boundary inclusive below)");
+        assert_eq!(t.encode_value(100.1).rank(), 1);
+        assert_eq!(t.encode_value(200.0).rank(), 1);
+        assert_eq!(t.encode_value(300.0).rank(), 2);
+        assert_eq!(t.encode_value(300.1).rank(), 3, "v > β_{{k-1}} ⇒ a_k");
+        assert_eq!(t.encode_value(1e9).rank(), 3);
+        assert_eq!(t.encode_value(-1e9).rank(), 0);
+    }
+
+    #[test]
+    fn learn_uniform_from_values() {
+        let vals: Vec<f64> = (0..=800).map(|x| x as f64).collect();
+        let t = LookupTable::learn(SeparatorMethod::Uniform, alphabet(8), &vals).unwrap();
+        assert_eq!(t.separators(), &[100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0]);
+        assert_eq!(t.value_range(), (0.0, 800.0));
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(matches!(
+            LookupTable::from_parts(SeparatorMethod::Uniform, alphabet(4), vec![1.0], &[]),
+            Err(Error::SeparatorCount { expected: 3, got: 1 })
+        ));
+        assert!(matches!(
+            LookupTable::from_parts(
+                SeparatorMethod::Uniform,
+                alphabet(4),
+                vec![3.0, 2.0, 4.0],
+                &[]
+            ),
+            Err(Error::NonMonotonicSeparators { index: 1 })
+        ));
+        assert!(LookupTable::from_parts(
+            SeparatorMethod::Uniform,
+            alphabet(2),
+            vec![f64::NAN],
+            &[]
+        )
+        .is_err());
+        assert!(LookupTable::from_parts(
+            SeparatorMethod::Uniform,
+            alphabet(2),
+            vec![1.0],
+            &[f64::INFINITY]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn decode_center_is_bin_midpoint() {
+        let t = LookupTable::from_parts(
+            SeparatorMethod::Uniform,
+            alphabet(4),
+            vec![100.0, 200.0, 300.0],
+            &[0.0, 400.0],
+        )
+        .unwrap();
+        let s1 = t.encode_value(150.0);
+        assert_eq!(t.decode_symbol(s1, SymbolSemantics::RangeCenter).unwrap(), 150.0);
+        let s0 = t.encode_value(10.0);
+        assert_eq!(t.decode_symbol(s0, SymbolSemantics::RangeCenter).unwrap(), 50.0);
+        let s3 = t.encode_value(350.0);
+        assert_eq!(t.decode_symbol(s3, SymbolSemantics::RangeCenter).unwrap(), 350.0);
+    }
+
+    #[test]
+    fn decode_mean_uses_training_values() {
+        let t = LookupTable::from_parts(
+            SeparatorMethod::Uniform,
+            alphabet(2),
+            vec![100.0],
+            &[10.0, 20.0, 500.0],
+        )
+        .unwrap();
+        let lo = t.encode_value(15.0);
+        assert_eq!(t.decode_symbol(lo, SymbolSemantics::RangeMean).unwrap(), 15.0);
+        let hi = t.encode_value(400.0);
+        assert_eq!(t.decode_symbol(hi, SymbolSemantics::RangeMean).unwrap(), 500.0);
+    }
+
+    #[test]
+    fn decode_rejects_finer_symbols() {
+        let t = LookupTable::from_parts(SeparatorMethod::Uniform, alphabet(2), vec![1.0], &[])
+            .unwrap();
+        let fine = Symbol::from_rank(0, 4).unwrap();
+        assert!(t.decode_symbol(fine, SymbolSemantics::RangeCenter).is_err());
+        assert!(t.range_of(fine).is_err());
+    }
+
+    #[test]
+    fn coarser_symbol_decodes_through_finer_table() {
+        let vals: Vec<f64> = (0..=800).map(|x| x as f64).collect();
+        let t = LookupTable::learn(SeparatorMethod::Uniform, alphabet(8), &vals).unwrap();
+        // '0' covers bins 0..4 = range (0, 400].
+        let s: Symbol = "0".parse().unwrap();
+        let (lo, hi) = t.range_of(s).unwrap();
+        assert_eq!((lo, hi), (0.0, 400.0));
+        assert_eq!(t.decode_symbol(s, SymbolSemantics::RangeCenter).unwrap(), 200.0);
+    }
+
+    #[test]
+    fn coarsen_commutes_with_truncate() {
+        // Core §4 flexibility invariant: encode-then-truncate equals
+        // encode-with-coarsened-table.
+        let vals: Vec<f64> = (0..5000).map(|i| ((i * 131) % 997) as f64).collect();
+        for method in SeparatorMethod::ALL {
+            let t16 = LookupTable::learn(method, alphabet(16), &vals).unwrap();
+            for to_bits in [1u8, 2, 3] {
+                let coarse = t16.coarsen(to_bits).unwrap();
+                for &v in vals.iter().step_by(17) {
+                    let fine = t16.encode_value(v);
+                    let truncated = fine.truncate(to_bits).unwrap();
+                    let direct = coarse.encode_value(v);
+                    assert_eq!(truncated, direct, "{method} v={v} to_bits={to_bits}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coarsen_preserves_counts_and_means() {
+        let vals: Vec<f64> = (0..1000).map(|i| (i % 100) as f64).collect();
+        let t = LookupTable::learn(SeparatorMethod::Median, alphabet(8), &vals).unwrap();
+        let c = t.coarsen(2).unwrap();
+        assert_eq!(c.bin_counts().iter().sum::<u64>(), 1000);
+        let global_mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let reconstructed: f64 = c
+            .bin_counts()
+            .iter()
+            .zip(c.bin_means())
+            .map(|(&n, &m)| n as f64 * m)
+            .sum::<f64>()
+            / 1000.0;
+        assert!((reconstructed - global_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_table_maximizes_entropy() {
+        let vals: Vec<f64> = (0..4096).map(|i| ((i * 7919) % 65536) as f64 / 65536.0).collect();
+        let vals: Vec<f64> = vals.iter().map(|v| v * v * 1000.0).collect(); // skewed
+        let med = LookupTable::learn(SeparatorMethod::Median, alphabet(16), &vals).unwrap();
+        let uni = LookupTable::learn(SeparatorMethod::Uniform, alphabet(16), &vals).unwrap();
+        assert!(
+            med.training_entropy_bits() >= uni.training_entropy_bits(),
+            "median {} vs uniform {}",
+            med.training_entropy_bits(),
+            uni.training_entropy_bits()
+        );
+        assert!(med.training_entropy_bits() > 3.9, "near log2(16)=4");
+    }
+
+    #[test]
+    fn custom_low_high_table() {
+        // §3.2 expert example: low/high threshold at 500 W.
+        let t = LookupTable::custom(&[500.0], 0.0, 3000.0).unwrap();
+        assert_eq!(t.size(), 2);
+        assert_eq!(t.encode_value(499.0).to_string(), "0");
+        assert_eq!(t.encode_value(501.0).to_string(), "1");
+        assert_eq!(t.decode_symbol("0".parse().unwrap(), SymbolSemantics::RangeCenter).unwrap(), 250.0);
+        assert_eq!(t.decode_symbol("1".parse().unwrap(), SymbolSemantics::RangeCenter).unwrap(), 1750.0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let vals: Vec<f64> = (0..100).map(|x| x as f64).collect();
+        let t = LookupTable::learn(SeparatorMethod::DistinctMedian, alphabet(8), &vals).unwrap();
+        let json = t.to_json().unwrap();
+        let back = LookupTable::from_json(&json).unwrap();
+        assert_eq!(t, back);
+        assert!(t.wire_size_bytes() > 0);
+        assert!(LookupTable::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn constant_data_encodes_to_first_symbol() {
+        let vals = vec![42.0; 50];
+        let t = LookupTable::learn(SeparatorMethod::Median, alphabet(4), &vals).unwrap();
+        assert_eq!(t.encode_value(42.0).rank(), 0);
+    }
+}

@@ -1,0 +1,332 @@
+//! End-to-end symbolic codec: vertical segmentation composed with horizontal
+//! segmentation, with a builder that mirrors the paper's protocol (learn the
+//! lookup table from a historical window, then encode the stream).
+
+use crate::error::{Error, Result};
+use crate::horizontal::{horizontal_segmentation, reconstruct, SymbolicSeries};
+use crate::lookup::{LookupTable, SymbolSemantics};
+use crate::separators::SeparatorMethod;
+use crate::timeseries::TimeSeries;
+use crate::vertical::{aggregate_by_window, vertical_segmentation, Aggregation};
+use crate::alphabet::Alphabet;
+use serde::{Deserialize, Serialize};
+
+/// The vertical-segmentation policy of a codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VerticalPolicy {
+    /// Definition 2: every `n` consecutive samples.
+    EveryN(usize),
+    /// Wall-clock windows of `window_secs`, keeping windows with at least
+    /// `min_samples` samples.
+    Window {
+        /// Window length in seconds (e.g. 900 or 3600).
+        window_secs: i64,
+        /// Minimum samples for a window to be emitted.
+        min_samples: usize,
+    },
+    /// No temporal aggregation (horizontal segmentation only).
+    None,
+}
+
+/// A trained symbolic codec: apply [`SymbolicCodec::encode`] to turn a raw
+/// series into symbols and [`SymbolicCodec::decode`] to approximate it back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SymbolicCodec {
+    vertical: VerticalPolicy,
+    aggregation: Aggregation,
+    table: LookupTable,
+}
+
+impl SymbolicCodec {
+    /// Assembles a codec from parts.
+    pub fn new(vertical: VerticalPolicy, aggregation: Aggregation, table: LookupTable) -> Self {
+        SymbolicCodec { vertical, aggregation, table }
+    }
+
+    /// The lookup table in use.
+    pub fn table(&self) -> &LookupTable {
+        &self.table
+    }
+
+    /// The vertical policy in use.
+    pub fn vertical_policy(&self) -> VerticalPolicy {
+        self.vertical
+    }
+
+    /// The aggregation function in use.
+    pub fn aggregation(&self) -> Aggregation {
+        self.aggregation
+    }
+
+    /// Applies only the vertical stage.
+    pub fn aggregate(&self, series: &TimeSeries) -> Result<TimeSeries> {
+        match self.vertical {
+            VerticalPolicy::EveryN(n) => vertical_segmentation(series, n, self.aggregation),
+            VerticalPolicy::Window { window_secs, min_samples } => {
+                aggregate_by_window(series, window_secs, self.aggregation, min_samples)
+            }
+            VerticalPolicy::None => Ok(series.clone()),
+        }
+    }
+
+    /// Full encode: vertical then horizontal segmentation.
+    pub fn encode(&self, series: &TimeSeries) -> Result<SymbolicSeries> {
+        let aggregated = self.aggregate(series)?;
+        horizontal_segmentation(&aggregated, &self.table)
+    }
+
+    /// Decode back to (aggregated-rate) real values.
+    pub fn decode(&self, symbolic: &SymbolicSeries, semantics: SymbolSemantics) -> Result<TimeSeries> {
+        reconstruct(symbolic, &self.table, semantics)
+    }
+
+    /// Mean absolute reconstruction error of `encode∘decode` against the
+    /// *aggregated* series (the information the symbols are meant to carry).
+    pub fn reconstruction_mae(&self, series: &TimeSeries, semantics: SymbolSemantics) -> Result<f64> {
+        let aggregated = self.aggregate(series)?;
+        if aggregated.is_empty() {
+            return Err(Error::EmptyInput("reconstruction_mae"));
+        }
+        let symbolic = horizontal_segmentation(&aggregated, &self.table)?;
+        let decoded = self.decode(&symbolic, semantics)?;
+        let n = aggregated.len() as f64;
+        let mae = aggregated
+            .iter()
+            .zip(decoded.iter())
+            .map(|((_, a), (_, d))| (a - d).abs())
+            .sum::<f64>()
+            / n;
+        Ok(mae)
+    }
+}
+
+/// Builder mirroring the paper's training protocol.
+///
+/// ```
+/// use sms_core::pipeline::CodecBuilder;
+/// use sms_core::separators::SeparatorMethod;
+/// use sms_core::timeseries::TimeSeries;
+///
+/// let history = TimeSeries::from_regular(0, 1, &[10.0, 250.0, 40.0, 800.0, 90.0, 120.0]).unwrap();
+/// let codec = CodecBuilder::new()
+///     .method(SeparatorMethod::Median)
+///     .alphabet_size(4).unwrap()
+///     .window_secs(2)
+///     .train(&history)
+///     .unwrap();
+/// let symbols = codec.encode(&history).unwrap();
+/// assert_eq!(symbols.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CodecBuilder {
+    method: SeparatorMethod,
+    alphabet: Alphabet,
+    vertical: VerticalPolicy,
+    aggregation: Aggregation,
+    /// Whether separators are learned from the aggregated or the raw history.
+    learn_on_aggregated: bool,
+}
+
+impl Default for CodecBuilder {
+    fn default() -> Self {
+        CodecBuilder {
+            method: SeparatorMethod::Median,
+            alphabet: Alphabet::with_size(16).expect("16 is a valid alphabet size"),
+            vertical: VerticalPolicy::Window {
+                window_secs: crate::vertical::windows::FIFTEEN_MINUTES,
+                min_samples: 1,
+            },
+            aggregation: Aggregation::Mean,
+            learn_on_aggregated: false,
+        }
+    }
+}
+
+impl CodecBuilder {
+    /// Default configuration: median separators, 16 symbols, 15-minute mean
+    /// aggregation, separators learned on raw values (as in the paper, which
+    /// estimates the distribution from the raw first two days).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the separator method.
+    pub fn method(mut self, method: SeparatorMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Sets the alphabet size (`k`, a power of two).
+    pub fn alphabet_size(mut self, k: usize) -> Result<Self> {
+        self.alphabet = Alphabet::with_size(k)?;
+        Ok(self)
+    }
+
+    /// Sets the symbol resolution in bits.
+    pub fn resolution_bits(mut self, bits: u8) -> Result<Self> {
+        self.alphabet = Alphabet::with_resolution(bits)?;
+        Ok(self)
+    }
+
+    /// Count-based vertical segmentation of every `n` samples.
+    pub fn every_n(mut self, n: usize) -> Self {
+        self.vertical = VerticalPolicy::EveryN(n);
+        self
+    }
+
+    /// Wall-clock windows of `secs` seconds (min 1 sample per window).
+    pub fn window_secs(mut self, secs: i64) -> Self {
+        self.vertical = VerticalPolicy::Window { window_secs: secs, min_samples: 1 };
+        self
+    }
+
+    /// Wall-clock windows with an explicit completeness requirement.
+    pub fn window(mut self, secs: i64, min_samples: usize) -> Self {
+        self.vertical = VerticalPolicy::Window { window_secs: secs, min_samples };
+        self
+    }
+
+    /// Disables vertical segmentation.
+    pub fn no_aggregation(mut self) -> Self {
+        self.vertical = VerticalPolicy::None;
+        self
+    }
+
+    /// Sets the aggregation function (default mean, per Definition 2).
+    pub fn aggregation(mut self, agg: Aggregation) -> Self {
+        self.aggregation = agg;
+        self
+    }
+
+    /// Learn separators from the *aggregated* history instead of raw values.
+    pub fn learn_on_aggregated(mut self, yes: bool) -> Self {
+        self.learn_on_aggregated = yes;
+        self
+    }
+
+    /// Learns the lookup table from `history` and returns the ready codec.
+    pub fn train(self, history: &TimeSeries) -> Result<SymbolicCodec> {
+        if history.is_empty() {
+            return Err(Error::EmptyInput("CodecBuilder::train"));
+        }
+        let mut proto =
+            SymbolicCodec { vertical: self.vertical, aggregation: self.aggregation, table: placeholder_table() };
+        let values = if self.learn_on_aggregated {
+            proto.aggregate(history)?.values()
+        } else {
+            history.values()
+        };
+        proto.table = LookupTable::learn(self.method, self.alphabet, &values)?;
+        Ok(proto)
+    }
+
+    /// Builds a codec around an externally provided table (e.g. one received
+    /// over the wire, or the global all-houses table of Fig. 7).
+    pub fn with_table(self, table: LookupTable) -> SymbolicCodec {
+        SymbolicCodec { vertical: self.vertical, aggregation: self.aggregation, table }
+    }
+}
+
+fn placeholder_table() -> LookupTable {
+    LookupTable::custom(&[0.5], 0.0, 1.0).expect("static placeholder is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lookup::SymbolSemantics;
+
+    fn history() -> TimeSeries {
+        let values: Vec<f64> = (0..2000).map(|i| 100.0 + ((i * 37) % 900) as f64).collect();
+        TimeSeries::from_regular(0, 1, &values).unwrap()
+    }
+
+    #[test]
+    fn builder_end_to_end() {
+        let h = history();
+        let codec = CodecBuilder::new()
+            .method(SeparatorMethod::Median)
+            .alphabet_size(8)
+            .unwrap()
+            .window_secs(60)
+            .train(&h)
+            .unwrap();
+        let sym = codec.encode(&h).unwrap();
+        assert_eq!(sym.len(), 2000 / 60 + 1);
+        assert_eq!(sym.resolution_bits(), 3);
+        let rec = codec.decode(&sym, SymbolSemantics::RangeMean).unwrap();
+        assert_eq!(rec.len(), sym.len());
+    }
+
+    #[test]
+    fn every_n_matches_definition_2() {
+        let h = history();
+        let codec = CodecBuilder::new().every_n(100).alphabet_size(4).unwrap().train(&h).unwrap();
+        assert_eq!(codec.encode(&h).unwrap().len(), 20);
+    }
+
+    #[test]
+    fn no_aggregation_keeps_length() {
+        let h = history();
+        let codec = CodecBuilder::new().no_aggregation().train(&h).unwrap();
+        assert_eq!(codec.encode(&h).unwrap().len(), h.len());
+    }
+
+    #[test]
+    fn reconstruction_error_shrinks_with_alphabet_size() {
+        let h = history();
+        let mut previous = f64::INFINITY;
+        for k in [2usize, 4, 16, 64] {
+            let codec = CodecBuilder::new()
+                .method(SeparatorMethod::Median)
+                .alphabet_size(k)
+                .unwrap()
+                .no_aggregation()
+                .train(&h)
+                .unwrap();
+            let mae = codec.reconstruction_mae(&h, SymbolSemantics::RangeMean).unwrap();
+            assert!(
+                mae <= previous + 1e-9,
+                "MAE should not increase with k: k={k} mae={mae} prev={previous}"
+            );
+            previous = mae;
+        }
+        assert!(previous < 20.0, "64 symbols over a 900-wide range should be quite accurate");
+    }
+
+    #[test]
+    fn train_rejects_empty_history() {
+        assert!(CodecBuilder::new().train(&TimeSeries::new()).is_err());
+    }
+
+    #[test]
+    fn with_table_uses_external_table() {
+        let table = LookupTable::custom(&[500.0], 0.0, 1000.0).unwrap();
+        let codec = CodecBuilder::new().no_aggregation().with_table(table);
+        let s = TimeSeries::from_regular(0, 1, &[100.0, 900.0]).unwrap();
+        assert_eq!(codec.encode(&s).unwrap().to_string_joined(""), "01");
+    }
+
+    #[test]
+    fn learn_on_aggregated_changes_table() {
+        // Raw has spikes that aggregation smooths away; max-based uniform
+        // separators therefore differ.
+        let mut vals = vec![10.0; 600];
+        vals[300] = 10_000.0;
+        let h = TimeSeries::from_regular(0, 1, &vals).unwrap();
+        let raw_codec = CodecBuilder::new()
+            .method(SeparatorMethod::Uniform)
+            .window_secs(60)
+            .train(&h)
+            .unwrap();
+        let agg_codec = CodecBuilder::new()
+            .method(SeparatorMethod::Uniform)
+            .window_secs(60)
+            .learn_on_aggregated(true)
+            .train(&h)
+            .unwrap();
+        let raw_max = raw_codec.table().separators().last().copied().unwrap();
+        let agg_max = agg_codec.table().separators().last().copied().unwrap();
+        assert!(raw_max > agg_max * 10.0, "raw {raw_max} vs aggregated {agg_max}");
+    }
+}

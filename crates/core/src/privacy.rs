@@ -1,0 +1,182 @@
+//! Privacy measures for symbolic streams (paper §1, §4: symbolic encoding
+//! "obscures smart meter detail measurements"; the classification
+//! experiment of §3.1 doubles as a re-identification attack).
+//!
+//! We quantify the privacy/utility trade-off with three measures:
+//! * **Shannon entropy** of the symbol stream (how much detail survives);
+//! * **mutual information** between symbols and a sensitive label (e.g.
+//!   house identity) estimated from empirical joint frequencies;
+//! * **expected candidate-set size** (an anonymity-set style measure): how
+//!   many distinct (label, symbol-window) candidates an adversary observing
+//!   a window of symbols cannot distinguish between.
+
+use crate::error::{Error, Result};
+use crate::symbol::Symbol;
+use std::collections::HashMap;
+
+/// Shannon entropy (bits) of a symbol sequence's empirical distribution.
+pub fn symbol_entropy_bits(symbols: &[Symbol]) -> f64 {
+    if symbols.is_empty() {
+        return 0.0;
+    }
+    let mut counts: HashMap<Symbol, u64> = HashMap::new();
+    for &s in symbols {
+        *counts.entry(s).or_insert(0) += 1;
+    }
+    let n = symbols.len() as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Empirical mutual information (bits) between a sequence of labels and the
+/// co-occurring symbols: `I(L; S) = Σ p(l,s) log2( p(l,s) / (p(l) p(s)) )`.
+/// High MI means the symbols leak the label (bad for privacy, good for the
+/// classifier); MI = 0 means the encoding hides it completely.
+pub fn mutual_information_bits(labels: &[usize], symbols: &[Symbol]) -> Result<f64> {
+    if labels.len() != symbols.len() {
+        return Err(Error::InvalidParameter {
+            name: "labels/symbols",
+            reason: format!("length mismatch {} vs {}", labels.len(), symbols.len()),
+        });
+    }
+    if labels.is_empty() {
+        return Err(Error::EmptyInput("mutual_information_bits"));
+    }
+    let n = labels.len() as f64;
+    let mut joint: HashMap<(usize, Symbol), u64> = HashMap::new();
+    let mut p_l: HashMap<usize, u64> = HashMap::new();
+    let mut p_s: HashMap<Symbol, u64> = HashMap::new();
+    for (&l, &s) in labels.iter().zip(symbols) {
+        *joint.entry((l, s)).or_insert(0) += 1;
+        *p_l.entry(l).or_insert(0) += 1;
+        *p_s.entry(s).or_insert(0) += 1;
+    }
+    let mut mi = 0.0;
+    for (&(l, s), &c) in &joint {
+        let pls = c as f64 / n;
+        let pl = p_l[&l] as f64 / n;
+        let ps = p_s[&s] as f64 / n;
+        mi += pls * (pls / (pl * ps)).log2();
+    }
+    Ok(mi.max(0.0))
+}
+
+/// Expected anonymity-set size for windows of `window` consecutive symbols:
+/// for each observed window pattern, count how many *distinct labels*
+/// produced it; the expectation is weighted by pattern frequency. A value of
+/// `L` (number of labels) means perfect hiding; 1.0 means every window
+/// pattern identifies its label uniquely.
+pub fn expected_anonymity_set(
+    sequences: &[(usize, Vec<Symbol>)],
+    window: usize,
+) -> Result<f64> {
+    if window == 0 {
+        return Err(Error::InvalidParameter {
+            name: "window",
+            reason: "must be positive".to_string(),
+        });
+    }
+    // pattern -> set of labels (as bitmask-ish vec) and total occurrences.
+    let mut patterns: HashMap<Vec<Symbol>, (Vec<usize>, u64)> = HashMap::new();
+    let mut total = 0u64;
+    for (label, seq) in sequences {
+        if seq.len() < window {
+            continue;
+        }
+        for win in seq.windows(window) {
+            let e = patterns.entry(win.to_vec()).or_insert_with(|| (Vec::new(), 0));
+            if !e.0.contains(label) {
+                e.0.push(*label);
+            }
+            e.1 += 1;
+            total += 1;
+        }
+    }
+    if total == 0 {
+        return Err(Error::EmptyInput("expected_anonymity_set: no windows"));
+    }
+    let expected = patterns
+        .values()
+        .map(|(labels, count)| labels.len() as f64 * *count as f64)
+        .sum::<f64>()
+        / total as f64;
+    Ok(expected)
+}
+
+/// Report comparing privacy measures across alphabet resolutions, produced by
+/// the `privacy_attack` example and the §4 discussion material.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrivacyReport {
+    /// Symbol resolution in bits.
+    pub resolution_bits: u8,
+    /// Entropy of the pooled symbol stream.
+    pub entropy_bits: f64,
+    /// Mutual information between house label and single symbols.
+    pub mi_bits: f64,
+    /// Expected anonymity-set size for day-long windows.
+    pub anonymity: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(rank: u16, bits: u8) -> Symbol {
+        Symbol::from_rank(rank, bits).unwrap()
+    }
+
+    #[test]
+    fn entropy_of_uniform_and_constant_streams() {
+        let constant = vec![sym(0, 2); 100];
+        assert_eq!(symbol_entropy_bits(&constant), 0.0);
+
+        let uniform: Vec<Symbol> = (0..100).map(|i| sym(i % 4, 2)).collect();
+        assert!((symbol_entropy_bits(&uniform) - 2.0).abs() < 1e-9, "4 equiprobable symbols = 2 bits");
+        assert_eq!(symbol_entropy_bits(&[]), 0.0);
+    }
+
+    #[test]
+    fn mi_detects_perfect_leak_and_perfect_hiding() {
+        // Perfect leak: label == symbol rank.
+        let labels: Vec<usize> = (0..400).map(|i| i % 4).collect();
+        let leaky: Vec<Symbol> = labels.iter().map(|&l| sym(l as u16, 2)).collect();
+        let mi = mutual_information_bits(&labels, &leaky).unwrap();
+        assert!((mi - 2.0).abs() < 1e-9, "deterministic 4-way mapping = 2 bits");
+
+        // Perfect hiding: symbol independent of label.
+        let hidden: Vec<Symbol> = (0..400).map(|i| sym((i / 4 % 4) as u16, 2)).collect();
+        let mi = mutual_information_bits(&labels, &hidden).unwrap();
+        assert!(mi < 1e-9, "independent symbol should carry ~0 bits, got {mi}");
+    }
+
+    #[test]
+    fn mi_validation() {
+        assert!(mutual_information_bits(&[0], &[]).is_err());
+        assert!(mutual_information_bits(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn anonymity_set_degrades_with_window_length() {
+        // Two houses, distinctive patterns at window 3 but identical at window 1.
+        let a = vec![sym(0, 1), sym(1, 1), sym(0, 1), sym(1, 1), sym(0, 1), sym(1, 1)];
+        let b = vec![sym(0, 1), sym(0, 1), sym(1, 1), sym(0, 1), sym(0, 1), sym(1, 1)];
+        let seqs = vec![(0usize, a), (1usize, b)];
+        let w1 = expected_anonymity_set(&seqs, 1).unwrap();
+        let w3 = expected_anonymity_set(&seqs, 3).unwrap();
+        assert!(w1 > 1.9, "single symbols are shared by both houses: {w1}");
+        assert!(w3 < w1, "longer windows identify the house: {w3} vs {w1}");
+    }
+
+    #[test]
+    fn anonymity_validation() {
+        assert!(expected_anonymity_set(&[], 1).is_err());
+        let seqs = vec![(0usize, vec![sym(0, 1)])];
+        assert!(expected_anonymity_set(&seqs, 0).is_err());
+        assert!(expected_anonymity_set(&seqs, 5).is_err(), "no window fits");
+    }
+}

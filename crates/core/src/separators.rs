@@ -1,0 +1,323 @@
+//! Separator learning (paper §2.2): the three strategies that place the
+//! `k - 1` range boundaries `β_1 ≤ … ≤ β_{k-1}` of a lookup table.
+//!
+//! * **uniform** — equal-width bins over `[0, max]`;
+//! * **median** — k-quantiles of the empirical distribution (maximizes the
+//!   entropy of the generated symbols; generalizes SAX's Gaussian
+//!   breakpoints to arbitrary distributions);
+//! * **distinctmedian** — k-quantiles over the *set* of distinct values
+//!   (avoids bias toward heavily repeated values such as standby power).
+
+use crate::error::{Error, Result};
+use crate::stats::{OrderedMultiset, P2Quantile};
+use serde::{Deserialize, Serialize};
+
+/// Which separator-generation strategy to use (paper §2.2 a–c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SeparatorMethod {
+    /// Equal-width bins over `[0, max]`.
+    Uniform,
+    /// k-quantiles of the value distribution.
+    Median,
+    /// k-quantiles of the distinct-value set ("distinctmedian").
+    DistinctMedian,
+}
+
+impl SeparatorMethod {
+    /// All three methods, in the order the paper's figures list them.
+    pub const ALL: [SeparatorMethod; 3] =
+        [SeparatorMethod::DistinctMedian, SeparatorMethod::Median, SeparatorMethod::Uniform];
+
+    /// The paper's short name for the method.
+    pub fn name(self) -> &'static str {
+        match self {
+            SeparatorMethod::Uniform => "uniform",
+            SeparatorMethod::Median => "median",
+            SeparatorMethod::DistinctMedian => "distinctmedian",
+        }
+    }
+}
+
+impl std::fmt::Display for SeparatorMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn validate_k(k: usize) -> Result<()> {
+    if !(2..=1 << 16).contains(&k) || !k.is_power_of_two() {
+        return Err(Error::InvalidAlphabetSize(k));
+    }
+    Ok(())
+}
+
+/// Uniform separators: `β_i = i * max / k` for `i = 1..k` (paper §2.2a:
+/// "divide uniformly the range from zero to max in k subranges").
+pub fn uniform_separators(max: f64, k: usize) -> Result<Vec<f64>> {
+    validate_k(k)?;
+    if !max.is_finite() || max <= 0.0 {
+        return Err(Error::InvalidParameter {
+            name: "max",
+            reason: format!("must be positive and finite, got {max}"),
+        });
+    }
+    Ok((1..k).map(|i| i as f64 * max / k as f64).collect())
+}
+
+/// Median separators: `β_i` = the `i/k`-quantile of `values`
+/// (the boundary value between consecutive k-quantile subsets, §2.2b).
+pub fn median_separators(values: &[f64], k: usize) -> Result<Vec<f64>> {
+    validate_k(k)?;
+    if values.is_empty() {
+        return Err(Error::EmptyInput("median_separators"));
+    }
+    let mut ms = OrderedMultiset::new();
+    for &v in values {
+        ms.insert(v)?;
+    }
+    Ok((1..k).map(|i| ms.quantile(i as f64 / k as f64).expect("non-empty")).collect())
+}
+
+/// Distinct-median separators: k-quantiles of the distinct-value set (§2.2c).
+pub fn distinct_median_separators(values: &[f64], k: usize) -> Result<Vec<f64>> {
+    validate_k(k)?;
+    if values.is_empty() {
+        return Err(Error::EmptyInput("distinct_median_separators"));
+    }
+    let mut ms = OrderedMultiset::new();
+    for &v in values {
+        ms.insert(v)?;
+    }
+    Ok((1..k).map(|i| ms.distinct_quantile(i as f64 / k as f64).expect("non-empty")).collect())
+}
+
+/// Learns separators with the chosen `method` from a batch of historical
+/// values (the paper uses the first two days of each house's data, §3).
+pub fn learn_separators(method: SeparatorMethod, values: &[f64], k: usize) -> Result<Vec<f64>> {
+    match method {
+        SeparatorMethod::Uniform => {
+            let max = values
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max);
+            if values.is_empty() {
+                return Err(Error::EmptyInput("learn_separators"));
+            }
+            uniform_separators(max.max(f64::MIN_POSITIVE), k)
+        }
+        SeparatorMethod::Median => median_separators(values, k),
+        SeparatorMethod::DistinctMedian => distinct_median_separators(values, k),
+    }
+}
+
+/// Streaming separator learner for the sensor side: feeds values one at a
+/// time, then produces separators. `Exact` keeps an order-statistics multiset
+/// (exact quantiles, memory ∝ distinct values); `Approximate` keeps one P²
+/// estimator per boundary (constant memory) and supports only
+/// [`SeparatorMethod::Median`] and [`SeparatorMethod::Uniform`].
+#[derive(Debug, Clone)]
+pub struct StreamingLearner(LearnerImpl);
+
+#[derive(Debug, Clone)]
+enum LearnerImpl {
+    Exact { method: SeparatorMethod, k: usize, multiset: OrderedMultiset },
+    Approximate { method: SeparatorMethod, k: usize, estimators: Vec<P2Quantile>, max: f64, count: u64 },
+}
+
+impl StreamingLearner {
+    /// Exact learner for any method.
+    pub fn exact(method: SeparatorMethod, k: usize) -> Result<Self> {
+        validate_k(k)?;
+        Ok(StreamingLearner(LearnerImpl::Exact { method, k, multiset: OrderedMultiset::new() }))
+    }
+
+    /// Approximate constant-memory learner (Median or Uniform only —
+    /// distinct-value quantiles have no constant-memory sketch here).
+    pub fn approximate(method: SeparatorMethod, k: usize) -> Result<Self> {
+        validate_k(k)?;
+        if method == SeparatorMethod::DistinctMedian {
+            return Err(Error::InvalidParameter {
+                name: "method",
+                reason: "distinctmedian is not supported by the approximate learner".to_string(),
+            });
+        }
+        let estimators = (1..k)
+            .map(|i| P2Quantile::new(i as f64 / k as f64))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(StreamingLearner(LearnerImpl::Approximate { method, k, estimators, max: f64::NEG_INFINITY, count: 0 }))
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, v: f64) -> Result<()> {
+        match &mut self.0 {
+            LearnerImpl::Exact { multiset, .. } => multiset.insert(v),
+            LearnerImpl::Approximate { estimators, max, count, .. } => {
+                if !v.is_finite() {
+                    return Err(Error::InvalidParameter {
+                        name: "value",
+                        reason: format!("must be finite, got {v}"),
+                    });
+                }
+                for e in estimators.iter_mut() {
+                    e.push(v);
+                }
+                *max = max.max(v);
+                *count += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Number of observations consumed.
+    pub fn count(&self) -> u64 {
+        match &self.0 {
+            LearnerImpl::Exact { multiset, .. } => multiset.len(),
+            LearnerImpl::Approximate { count, .. } => *count,
+        }
+    }
+
+    /// The learner's configured method.
+    pub fn method(&self) -> SeparatorMethod {
+        match &self.0 {
+            LearnerImpl::Exact { method, .. } => *method,
+            LearnerImpl::Approximate { method, .. } => *method,
+        }
+    }
+
+    /// Produces the separators from everything seen so far.
+    pub fn separators(&self) -> Result<Vec<f64>> {
+        match &self.0 {
+            LearnerImpl::Exact { method, k, multiset } => {
+                if multiset.is_empty() {
+                    return Err(Error::EmptyInput("StreamingLearner::separators"));
+                }
+                match method {
+                    SeparatorMethod::Uniform =>
+
+                        uniform_separators(multiset.iter().last().map(|(v, _)| v).unwrap().max(f64::MIN_POSITIVE), *k),
+                    SeparatorMethod::Median => Ok((1..*k)
+                        .map(|i| multiset.quantile(i as f64 / *k as f64).expect("non-empty"))
+                        .collect()),
+                    SeparatorMethod::DistinctMedian => Ok((1..*k)
+                        .map(|i| multiset.distinct_quantile(i as f64 / *k as f64).expect("non-empty"))
+                        .collect()),
+                }
+            }
+            LearnerImpl::Approximate { method, k, estimators, max, count } => {
+                if *count == 0 {
+                    return Err(Error::EmptyInput("StreamingLearner::separators"));
+                }
+                match method {
+                    SeparatorMethod::Uniform => uniform_separators(max.max(f64::MIN_POSITIVE), *k),
+                    _ => {
+                        let mut seps: Vec<f64> =
+                            estimators.iter().map(|e| e.estimate().expect("count > 0")).collect();
+                        // P² estimators run independently; enforce monotonicity.
+                        for i in 1..seps.len() {
+                            if seps[i] < seps[i - 1] {
+                                seps[i] = seps[i - 1];
+                            }
+                        }
+                        Ok(seps)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_splits_zero_to_max() {
+        let s = uniform_separators(800.0, 8).unwrap();
+        assert_eq!(s, vec![100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0]);
+        assert!(uniform_separators(0.0, 8).is_err());
+        assert!(uniform_separators(800.0, 3).is_err());
+        assert!(uniform_separators(f64::INFINITY, 4).is_err());
+    }
+
+    #[test]
+    fn median_separators_are_quantile_boundaries() {
+        // 1..=8, k=4 ⇒ boundaries at the 2nd, 4th, 6th values.
+        let v: Vec<f64> = (1..=8).map(|x| x as f64).collect();
+        let s = median_separators(&v, 4).unwrap();
+        assert_eq!(s, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn median_biased_by_repeats_distinct_is_not() {
+        let mut v = vec![0.0; 96];
+        v.extend([100.0, 200.0, 300.0, 400.0].iter());
+        let med = median_separators(&v, 4).unwrap();
+        assert_eq!(med, vec![0.0, 0.0, 0.0], "plain median collapses onto the repeated value");
+        let dm = distinct_median_separators(&v, 4).unwrap();
+        // Distinct values {0,100,200,300,400}: boundary i sits at the
+        // ceil(5·i/4)-th distinct value ⇒ the 2nd, 3rd and 4th.
+        assert_eq!(dm, vec![100.0, 200.0, 300.0]);
+    }
+
+    #[test]
+    fn separators_never_decrease() {
+        let v = vec![5.0, 1.0, 3.0, 3.0, 3.0, 9.0, 2.0, 8.0, 7.0, 3.0];
+        for method in SeparatorMethod::ALL {
+            let s = learn_separators(method, &v, 8).unwrap();
+            assert_eq!(s.len(), 7);
+            for w in s.windows(2) {
+                assert!(w[0] <= w[1], "{method}: {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn learn_separators_rejects_empty() {
+        for method in SeparatorMethod::ALL {
+            assert!(learn_separators(method, &[], 4).is_err());
+        }
+    }
+
+    #[test]
+    fn streaming_exact_matches_batch() {
+        let v: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64).collect();
+        for method in SeparatorMethod::ALL {
+            let batch = learn_separators(method, &v, 16).unwrap();
+            let mut sl = StreamingLearner::exact(method, 16).unwrap();
+            for &x in &v {
+                sl.push(x).unwrap();
+            }
+            assert_eq!(sl.separators().unwrap(), batch, "{method}");
+            assert_eq!(sl.count(), 1000);
+        }
+    }
+
+    #[test]
+    fn streaming_approximate_close_to_exact() {
+        let v: Vec<f64> = (0..20_000).map(|i| ((i * 9973) % 4096) as f64).collect();
+        let exact = median_separators(&v, 8).unwrap();
+        let mut sl = StreamingLearner::approximate(SeparatorMethod::Median, 8).unwrap();
+        for &x in &v {
+            sl.push(x).unwrap();
+        }
+        let approx = sl.separators().unwrap();
+        for (a, e) in approx.iter().zip(&exact) {
+            assert!((a - e).abs() < 150.0, "approx {a} vs exact {e}");
+        }
+        for w in approx.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn approximate_rejects_distinctmedian() {
+        assert!(StreamingLearner::approximate(SeparatorMethod::DistinctMedian, 8).is_err());
+    }
+
+    #[test]
+    fn method_names_match_paper() {
+        assert_eq!(SeparatorMethod::Uniform.name(), "uniform");
+        assert_eq!(SeparatorMethod::Median.name(), "median");
+        assert_eq!(SeparatorMethod::DistinctMedian.name(), "distinctmedian");
+    }
+}

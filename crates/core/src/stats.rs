@@ -1,0 +1,732 @@
+//! Streaming and batch statistics used by separator learning and by the
+//! paper's exploratory figures (Fig. 2 distribution histogram, Fig. 4
+//! accumulative mean/median/distinct-median convergence).
+
+use crate::error::{Error, Result};
+use std::collections::BTreeMap;
+
+/// Totally ordered wrapper for finite `f64` values, so they can key a
+/// `BTreeMap`. NaN is rejected at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FiniteF64(u64);
+
+impl FiniteF64 {
+    /// Wraps a finite float. Returns an error on NaN/infinite input.
+    pub fn new(v: f64) -> Result<Self> {
+        if !v.is_finite() {
+            return Err(Error::InvalidParameter {
+                name: "value",
+                reason: format!("must be finite, got {v}"),
+            });
+        }
+        // Order-preserving bijection from finite f64 to u64:
+        // flip all bits for negatives, flip just the sign bit for positives.
+        let bits = v.to_bits();
+        let key = if bits >> 63 == 1 { !bits } else { bits ^ (1 << 63) };
+        Ok(FiniteF64(key))
+    }
+
+    /// Recovers the float value.
+    pub fn get(self) -> f64 {
+        let key = self.0;
+        let bits = if key >> 63 == 1 { key ^ (1 << 63) } else { !key };
+        f64::from_bits(bits)
+    }
+}
+
+/// Welford running mean/variance accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct RunningMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningMoments { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Folds in one observation.
+    pub fn push(&mut self, v: f64) {
+        self.n += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (v - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Population variance (`None` when empty).
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Sample variance with Bessel correction (`None` for n < 2).
+    pub fn sample_variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Minimum observed value.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum observed value.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+/// Exact quantiles over a materialized sample (sorts once, then answers any
+/// number of queries). Quantiles use the "type 7" linear-interpolation rule,
+/// matching NumPy's default and close enough to Weka's for the paper's
+/// purposes.
+#[derive(Debug, Clone)]
+pub struct ExactQuantiles {
+    sorted: Vec<f64>,
+}
+
+impl ExactQuantiles {
+    /// Builds from any sample; copies and sorts.
+    pub fn new(values: &[f64]) -> Result<Self> {
+        if values.is_empty() {
+            return Err(Error::EmptyInput("ExactQuantiles"));
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+        Ok(ExactQuantiles { sorted })
+    }
+
+    /// The sorted sample.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// `q`-quantile for `q` in `[0, 1]` with linear interpolation.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] + (self.sorted[hi] - self.sorted[lo]) * frac
+    }
+
+    /// Median (0.5-quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+}
+
+/// P² (Jain & Chlamtac) streaming quantile estimator: constant memory,
+/// one pass. Used as the approximate alternative to [`ExactQuantiles`] in
+/// sensor-side separator learning (ablation in `benches/separators.rs`).
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based as in the paper).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments.
+    increments: [f64; 5],
+    count: usize,
+    /// Initial observations buffer until we have 5.
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `q`-quantile, `0 < q < 1`.
+    pub fn new(q: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&q) || q == 0.0 || q == 1.0 {
+            return Err(Error::InvalidParameter {
+                name: "q",
+                reason: format!("must be strictly between 0 and 1, got {q}"),
+            });
+        }
+        Ok(P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        })
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, v: f64) {
+        self.count += 1;
+        if self.init.len() < 5 {
+            self.init.push(v);
+            if self.init.len() == 5 {
+                self.init.sort_by(|a, b| a.partial_cmp(b).expect("NaN in P2 input"));
+                self.heights.copy_from_slice(&self.init);
+            }
+            return;
+        }
+
+        // Find cell k such that heights[k] <= v < heights[k+1].
+        let k = if v < self.heights[0] {
+            self.heights[0] = v;
+            0
+        } else if v >= self.heights[4] {
+            self.heights[4] = v;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.heights[i] <= v && v < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+
+        // Adjust interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let parabolic = self.parabolic(i, d);
+                let new_h = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                    parabolic
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = new_h;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate (`None` until at least one observation).
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.init.len() < 5 {
+            // Fall back to an exact small-sample quantile.
+            let mut v = self.init.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in P2 input"));
+            let pos = self.q * (v.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            return Some(v[lo] + (v[hi] - v[lo]) * (pos - lo as f64));
+        }
+        Some(self.heights[2])
+    }
+
+    /// Observations consumed so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+/// Order-statistics multiset over finite floats: supports streaming insert
+/// and exact median / distinct-median queries at any time. Backs the Fig. 4
+/// accumulative-statistics experiment and the exact separator learners.
+#[derive(Debug, Clone, Default)]
+pub struct OrderedMultiset {
+    counts: BTreeMap<FiniteF64, u64>,
+    total: u64,
+}
+
+impl OrderedMultiset {
+    /// Creates an empty multiset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts one value. Errors on non-finite input.
+    pub fn insert(&mut self, v: f64) -> Result<()> {
+        *self.counts.entry(FiniteF64::new(v)?).or_insert(0) += 1;
+        self.total += 1;
+        Ok(())
+    }
+
+    /// Total number of inserted values (with multiplicity).
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no values have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of *distinct* values.
+    pub fn distinct_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `q`-quantile over all values (with multiplicity), lower-value
+    /// convention (type-1: the smallest value whose cumulative count reaches
+    /// `ceil(q * n)`).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut cum = 0;
+        for (k, &c) in &self.counts {
+            cum += c;
+            if cum >= target {
+                return Some(k.get());
+            }
+        }
+        self.counts.keys().next_back().map(|k| k.get())
+    }
+
+    /// Median over all values.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// `q`-quantile over the *set of distinct values* (paper's
+    /// "median of distinct values", §2.2(c)).
+    pub fn distinct_quantile(&self, q: f64) -> Option<f64> {
+        if self.counts.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let n = self.counts.len();
+        let idx = ((q * n as f64).ceil() as usize).max(1) - 1;
+        self.counts.keys().nth(idx.min(n - 1)).map(|k| k.get())
+    }
+
+    /// Median of distinct values.
+    pub fn distinct_median(&self) -> Option<f64> {
+        self.distinct_quantile(0.5)
+    }
+
+    /// Iterator over `(value, multiplicity)` in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts.iter().map(|(k, &c)| (k.get(), c))
+    }
+}
+
+/// Fixed-width histogram over `[0, max)`, as used for the Fig. 2 power-level
+/// distribution plot (100 W bins from 0 to 2400 W in the paper).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bin_width: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// `n_bins` equal bins of `bin_width` starting at zero.
+    pub fn new(bin_width: f64, n_bins: usize) -> Result<Self> {
+        if bin_width <= 0.0 || !bin_width.is_finite() {
+            return Err(Error::InvalidParameter {
+                name: "bin_width",
+                reason: format!("must be positive and finite, got {bin_width}"),
+            });
+        }
+        if n_bins == 0 {
+            return Err(Error::InvalidParameter {
+                name: "n_bins",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        Ok(Histogram { bin_width, bins: vec![0; n_bins], underflow: 0, overflow: 0 })
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, v: f64) {
+        if v < 0.0 {
+            self.underflow += 1;
+            return;
+        }
+        let idx = (v / self.bin_width) as usize;
+        match self.bins.get_mut(idx) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count of negative observations.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at or beyond the last bin edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// `(lower_edge, count)` pairs.
+    pub fn edges_and_counts(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bins.iter().enumerate().map(move |(i, &c)| (i as f64 * self.bin_width, c))
+    }
+
+    /// Total observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+/// Maximum-likelihood log-normal fit: parameters of `ln X ~ N(mu, sigma^2)`
+/// over the strictly positive observations. The paper observes (Fig. 2) that
+/// smart-meter power levels follow a log-normal distribution; the Fig. 2
+/// experiment fits and reports these parameters on the synthetic substrate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormalFit {
+    /// Mean of `ln X`.
+    pub mu: f64,
+    /// Standard deviation of `ln X`.
+    pub sigma: f64,
+    /// Number of positive observations used.
+    pub n: u64,
+    /// Fraction of observations discarded as non-positive.
+    pub discarded_fraction: f64,
+}
+
+impl LogNormalFit {
+    /// Fits over the positive subset of `values`.
+    pub fn fit(values: &[f64]) -> Result<Self> {
+        let mut m = RunningMoments::new();
+        let mut discarded = 0u64;
+        for &v in values {
+            if v > 0.0 {
+                m.push(v.ln());
+            } else {
+                discarded += 1;
+            }
+        }
+        let n = m.count();
+        if n == 0 {
+            return Err(Error::EmptyInput("LogNormalFit: no positive values"));
+        }
+        Ok(LogNormalFit {
+            mu: m.mean().unwrap(),
+            sigma: m.std_dev().unwrap(),
+            n,
+            discarded_fraction: discarded as f64 / (discarded + n) as f64,
+        })
+    }
+
+    /// Density of the fitted log-normal at `x > 0`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 || self.sigma == 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (x * self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Kolmogorov–Smirnov distance between the empirical CDF of `values`
+    /// (positive subset) and the fitted log-normal CDF. A small statistic
+    /// supports the paper's log-normality observation.
+    pub fn ks_statistic(&self, values: &[f64]) -> Result<f64> {
+        let mut pos: Vec<f64> = values.iter().copied().filter(|&v| v > 0.0).collect();
+        if pos.is_empty() {
+            return Err(Error::EmptyInput("ks_statistic"));
+        }
+        pos.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ks input"));
+        let n = pos.len() as f64;
+        let mut d: f64 = 0.0;
+        for (i, &x) in pos.iter().enumerate() {
+            let cdf = self.cdf(x);
+            let lo = i as f64 / n;
+            let hi = (i + 1) as f64 / n;
+            d = d.max((cdf - lo).abs()).max((hi - cdf).abs());
+        }
+        Ok(d)
+    }
+
+    /// CDF of the fitted log-normal at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        if self.sigma == 0.0 {
+            return if x.ln() >= self.mu { 1.0 } else { 0.0 };
+        }
+        let z = (x.ln() - self.mu) / (self.sigma * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+}
+
+/// Error function via the Abramowitz–Stegun 7.1.26 rational approximation
+/// (|error| < 1.5e-7, ample for distribution fitting and SAX breakpoints).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Inverse of the standard normal CDF (probit), via Acklam's rational
+/// approximation (relative error < 1.15e-9). Used to build SAX's Gaussian
+/// breakpoints for arbitrary alphabet sizes.
+pub fn probit(p: f64) -> Result<f64> {
+    if !(0.0 < p && p < 1.0) {
+        return Err(Error::InvalidParameter {
+            name: "p",
+            reason: format!("must be strictly between 0 and 1, got {p}"),
+        });
+    }
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_f64_order_matches_float_order() {
+        let xs = [-1e9, -3.5, -0.0, 0.0, 1e-12, 2.0, 7e8];
+        for w in xs.windows(2) {
+            let a = FiniteF64::new(w[0]).unwrap();
+            let b = FiniteF64::new(w[1]).unwrap();
+            assert!(a <= b, "{} should sort before {}", w[0], w[1]);
+        }
+        assert!(FiniteF64::new(f64::NAN).is_err());
+        assert!(FiniteF64::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn finite_f64_roundtrips() {
+        for v in [-123.456, -0.0, 0.0, 1.0, 9e99] {
+            assert_eq!(FiniteF64::new(v).unwrap().get(), v);
+        }
+    }
+
+    #[test]
+    fn running_moments_matches_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut m = RunningMoments::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        assert_eq!(m.count(), 8);
+        assert!((m.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((m.variance().unwrap() - 4.0).abs() < 1e-12);
+        assert!((m.std_dev().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(m.min(), Some(2.0));
+        assert_eq!(m.max(), Some(9.0));
+    }
+
+    #[test]
+    fn exact_quantiles_interpolate() {
+        let q = ExactQuantiles::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(q.quantile(0.0), 1.0);
+        assert_eq!(q.quantile(1.0), 4.0);
+        assert!((q.median() - 2.5).abs() < 1e-12);
+        assert!(ExactQuantiles::new(&[]).is_err());
+    }
+
+    #[test]
+    fn p2_close_to_exact_on_uniform_stream() {
+        // Deterministic pseudo-uniform stream via a simple LCG.
+        let mut state: u64 = 42;
+        let mut p2 = P2Quantile::new(0.5).unwrap();
+        let mut all = Vec::new();
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = (state >> 11) as f64 / (1u64 << 53) as f64;
+            p2.push(v);
+            all.push(v);
+        }
+        let exact = ExactQuantiles::new(&all).unwrap().median();
+        let approx = p2.estimate().unwrap();
+        assert!((approx - exact).abs() < 0.02, "approx {approx} vs exact {exact}");
+    }
+
+    #[test]
+    fn p2_small_sample_falls_back_to_exact() {
+        let mut p2 = P2Quantile::new(0.5).unwrap();
+        p2.push(10.0);
+        assert_eq!(p2.estimate(), Some(10.0));
+        p2.push(20.0);
+        assert!((p2.estimate().unwrap() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p2_rejects_degenerate_q() {
+        assert!(P2Quantile::new(0.0).is_err());
+        assert!(P2Quantile::new(1.0).is_err());
+    }
+
+    #[test]
+    fn multiset_median_and_distinct_median_differ_under_repeats() {
+        // 0 appears very often (standby), a few large values.
+        let mut ms = OrderedMultiset::new();
+        for _ in 0..90 {
+            ms.insert(0.0).unwrap();
+        }
+        for v in [100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0] {
+            ms.insert(v).unwrap();
+        }
+        assert_eq!(ms.len(), 100);
+        assert_eq!(ms.median(), Some(0.0), "plain median biased toward the repeated value");
+        // Distinct values: {0, 100..1000} = 11 values, median is the 6th = 500.
+        assert_eq!(ms.distinct_median(), Some(500.0));
+    }
+
+    #[test]
+    fn multiset_quantiles_walk_cumulative_counts() {
+        let mut ms = OrderedMultiset::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            ms.insert(v).unwrap();
+        }
+        assert_eq!(ms.quantile(0.25), Some(1.0));
+        assert_eq!(ms.quantile(0.5), Some(2.0));
+        assert_eq!(ms.quantile(1.0), Some(4.0));
+        assert_eq!(OrderedMultiset::new().median(), None);
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(100.0, 3).unwrap();
+        for v in [-5.0, 0.0, 99.9, 100.0, 250.0, 300.0, 1e6] {
+            h.push(v);
+        }
+        assert_eq!(h.bins(), &[2, 1, 1]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 7);
+        assert!(Histogram::new(0.0, 3).is_err());
+        assert!(Histogram::new(1.0, 0).is_err());
+    }
+
+    #[test]
+    fn lognormal_fit_recovers_parameters() {
+        // Deterministic log-normal-ish sample: exp(mu + sigma * z) over a
+        // grid of probits.
+        let (mu, sigma) = (5.0, 0.8);
+        let mut vals = Vec::new();
+        for i in 1..1000 {
+            let p = i as f64 / 1000.0;
+            let z = probit(p).unwrap();
+            vals.push((mu + sigma * z).exp());
+        }
+        let fit = LogNormalFit::fit(&vals).unwrap();
+        assert!((fit.mu - mu).abs() < 0.01, "mu {}", fit.mu);
+        assert!((fit.sigma - sigma).abs() < 0.02, "sigma {}", fit.sigma);
+        let ks = fit.ks_statistic(&vals).unwrap();
+        assert!(ks < 0.01, "ks {ks}");
+    }
+
+    #[test]
+    fn erf_and_probit_sanity() {
+        assert!((erf(0.0)).abs() < 1e-6, "A&S 7.1.26 is accurate to ~1.5e-7");
+        assert!((erf(10.0) - 1.0).abs() < 1e-7);
+        assert!((erf(-10.0) + 1.0).abs() < 1e-7);
+        assert!((probit(0.5).unwrap()).abs() < 1e-9);
+        assert!((probit(0.975).unwrap() - 1.959964).abs() < 1e-4);
+        assert!((probit(0.025).unwrap() + 1.959964).abs() < 1e-4);
+        assert!(probit(0.0).is_err());
+        assert!(probit(1.0).is_err());
+    }
+}

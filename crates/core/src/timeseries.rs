@@ -1,0 +1,393 @@
+//! Time-series primitives (paper Definition 1).
+//!
+//! A time series is an ordered sequence of `(timestamp, value)` pairs with
+//! non-decreasing timestamps. Smart-meter streams are *nominally* regular
+//! (e.g. 1 Hz for REDD-style data) but contain gaps, so the representation
+//! stores explicit timestamps and offers helpers for day-splitting, gap
+//! detection, and coverage accounting that the paper's experiment protocol
+//! relies on (only days with ≥ 20 h of data are kept, §3.1).
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Unix timestamp in seconds. The paper's datasets span months at 1 Hz, so
+/// `i64` seconds are plenty.
+pub type Timestamp = i64;
+
+/// Number of seconds in a day; used by the day-splitting helpers.
+pub const SECONDS_PER_DAY: i64 = 86_400;
+
+/// One measurement: `(t_i, v_i)` per Definition 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Measurement timestamp (Unix seconds).
+    pub t: Timestamp,
+    /// Measured value, e.g. power in watts.
+    pub v: f64,
+}
+
+impl Sample {
+    /// Convenience constructor.
+    pub fn new(t: Timestamp, v: f64) -> Self {
+        Sample { t, v }
+    }
+}
+
+/// A time series `S = {s_1, s_2, ...}` with non-decreasing timestamps
+/// (Definition 1: whenever `j <= i`, `t_i` is no earlier than `t_j`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { samples: Vec::new() }
+    }
+
+    /// Creates an empty series with pre-allocated capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        TimeSeries { samples: Vec::with_capacity(n) }
+    }
+
+    /// Builds a series from raw samples, validating timestamp monotonicity.
+    pub fn from_samples(samples: Vec<Sample>) -> Result<Self> {
+        for (i, w) in samples.windows(2).enumerate() {
+            if w[1].t < w[0].t {
+                return Err(Error::NonMonotonicTimestamps { index: i + 1 });
+            }
+        }
+        Ok(TimeSeries { samples })
+    }
+
+    /// Builds a regular series: `values[i]` is stamped `start + i * interval`.
+    ///
+    /// `interval` is in seconds and must be positive.
+    pub fn from_regular(start: Timestamp, interval: i64, values: &[f64]) -> Result<Self> {
+        if interval <= 0 {
+            return Err(Error::InvalidParameter {
+                name: "interval",
+                reason: format!("must be positive, got {interval}"),
+            });
+        }
+        let samples = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Sample::new(start + i as i64 * interval, v))
+            .collect();
+        Ok(TimeSeries { samples })
+    }
+
+    /// Appends a sample, enforcing non-decreasing timestamps.
+    pub fn push(&mut self, t: Timestamp, v: f64) -> Result<()> {
+        if let Some(last) = self.samples.last() {
+            if t < last.t {
+                return Err(Error::NonMonotonicTimestamps { index: self.samples.len() });
+            }
+        }
+        self.samples.push(Sample::new(t, v));
+        Ok(())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Borrow the underlying samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Iterator over `(timestamp, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Timestamp, f64)> + '_ {
+        self.samples.iter().map(|s| (s.t, s.v))
+    }
+
+    /// Copies the values into a vector (used by separator learners, which
+    /// only need the marginal distribution).
+    pub fn values(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.v).collect()
+    }
+
+    /// Copies the timestamps into a vector.
+    pub fn timestamps(&self) -> Vec<Timestamp> {
+        self.samples.iter().map(|s| s.t).collect()
+    }
+
+    /// First timestamp, if any.
+    pub fn start(&self) -> Option<Timestamp> {
+        self.samples.first().map(|s| s.t)
+    }
+
+    /// Last timestamp, if any.
+    pub fn end(&self) -> Option<Timestamp> {
+        self.samples.last().map(|s| s.t)
+    }
+
+    /// Minimum value (ignores NaN payloads by propagating them like `f64::min`
+    /// never would — series are expected to be NaN-free; generators guarantee it).
+    pub fn min_value(&self) -> Option<f64> {
+        self.samples.iter().map(|s| s.v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(m) => m.min(v),
+            })
+        })
+    }
+
+    /// Maximum value.
+    pub fn max_value(&self) -> Option<f64> {
+        self.samples.iter().map(|s| s.v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(m) => m.max(v),
+            })
+        })
+    }
+
+    /// Arithmetic mean of the values.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().map(|s| s.v).sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Sub-series with `from <= t < to` (half-open window).
+    pub fn window(&self, from: Timestamp, to: Timestamp) -> TimeSeries {
+        let lo = self.samples.partition_point(|s| s.t < from);
+        let hi = self.samples.partition_point(|s| s.t < to);
+        TimeSeries { samples: self.samples[lo..hi].to_vec() }
+    }
+
+    /// Sub-series containing the first `duration` seconds of data,
+    /// relative to the first timestamp. Used by the paper's protocol of
+    /// learning separators from "the first two days of data" (§3).
+    pub fn head_duration(&self, duration: i64) -> TimeSeries {
+        match self.start() {
+            None => TimeSeries::new(),
+            Some(t0) => self.window(t0, t0 + duration),
+        }
+    }
+
+    /// Sub-series after skipping the first `duration` seconds.
+    pub fn skip_duration(&self, duration: i64) -> TimeSeries {
+        match self.start() {
+            None => TimeSeries::new(),
+            Some(t0) => self.window(t0 + duration, i64::MAX),
+        }
+    }
+
+    /// Splits into calendar days (UTC midnight boundaries). Days with no
+    /// samples are omitted. Returns `(day_start_timestamp, sub-series)`.
+    pub fn split_days(&self) -> Vec<(Timestamp, TimeSeries)> {
+        let mut out: Vec<(Timestamp, TimeSeries)> = Vec::new();
+        for &s in &self.samples {
+            let day = s.t.div_euclid(SECONDS_PER_DAY) * SECONDS_PER_DAY;
+            match out.last_mut() {
+                Some((d, ts)) if *d == day => ts.samples.push(s),
+                _ => out.push((day, TimeSeries { samples: vec![s] })),
+            }
+        }
+        out
+    }
+
+    /// Seconds of the day covered by samples, assuming the nominal sampling
+    /// `interval`: each sample covers `interval` seconds. Saturates at
+    /// `SECONDS_PER_DAY`. Used for the ≥ 20 h/day filter.
+    pub fn coverage_seconds(&self, interval: i64) -> i64 {
+        (self.samples.len() as i64 * interval).min(SECONDS_PER_DAY)
+    }
+
+    /// Detects gaps: maximal stretches where consecutive timestamps differ by
+    /// more than `tolerance` seconds. Returns `(gap_start, gap_end)` pairs
+    /// (exclusive of the samples that bound them).
+    pub fn gaps(&self, tolerance: i64) -> Vec<(Timestamp, Timestamp)> {
+        self.samples
+            .windows(2)
+            .filter(|w| w[1].t - w[0].t > tolerance)
+            .map(|w| (w[0].t, w[1].t))
+            .collect()
+    }
+
+    /// Element-wise sum of two series sharing identical timestamps; used by
+    /// the paper's protocol of summing a house's two mains phases (§3:
+    /// "summing the two main power time series for each house").
+    ///
+    /// Timestamps present in only one series are passed through unchanged, so
+    /// gaps in one phase do not silently drop the other phase's data.
+    pub fn merge_sum(&self, other: &TimeSeries) -> TimeSeries {
+        let mut out = Vec::with_capacity(self.len().max(other.len()));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.samples.len() && j < other.samples.len() {
+            let (a, b) = (self.samples[i], other.samples[j]);
+            match a.t.cmp(&b.t) {
+                std::cmp::Ordering::Less => {
+                    out.push(a);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(Sample::new(a.t, a.v + b.v));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.samples[i..]);
+        out.extend_from_slice(&other.samples[j..]);
+        TimeSeries { samples: out }
+    }
+
+    /// Consumes the series, returning the raw samples.
+    pub fn into_samples(self) -> Vec<Sample> {
+        self.samples
+    }
+}
+
+impl FromIterator<(Timestamp, f64)> for TimeSeries {
+    /// Collects from `(t, v)` pairs. Panics in debug builds if timestamps are
+    /// decreasing; prefer [`TimeSeries::from_samples`] for untrusted input.
+    fn from_iter<I: IntoIterator<Item = (Timestamp, f64)>>(iter: I) -> Self {
+        let samples: Vec<Sample> = iter.into_iter().map(|(t, v)| Sample::new(t, v)).collect();
+        debug_assert!(samples.windows(2).all(|w| w[0].t <= w[1].t));
+        TimeSeries { samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(values: &[f64]) -> TimeSeries {
+        TimeSeries::from_regular(0, 1, values).unwrap()
+    }
+
+    #[test]
+    fn from_regular_stamps_correctly() {
+        let s = TimeSeries::from_regular(100, 15, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.timestamps(), vec![100, 115, 130]);
+        assert_eq!(s.values(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_regular_rejects_nonpositive_interval() {
+        assert!(TimeSeries::from_regular(0, 0, &[1.0]).is_err());
+        assert!(TimeSeries::from_regular(0, -5, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn from_samples_validates_order() {
+        let bad = vec![Sample::new(5, 1.0), Sample::new(3, 2.0)];
+        assert_eq!(
+            TimeSeries::from_samples(bad).unwrap_err(),
+            Error::NonMonotonicTimestamps { index: 1 }
+        );
+        let ok = vec![Sample::new(3, 1.0), Sample::new(3, 2.0), Sample::new(4, 0.0)];
+        assert!(TimeSeries::from_samples(ok).is_ok(), "equal timestamps are allowed");
+    }
+
+    #[test]
+    fn push_enforces_order() {
+        let mut s = TimeSeries::new();
+        s.push(10, 1.0).unwrap();
+        s.push(10, 2.0).unwrap();
+        assert!(s.push(9, 3.0).is_err());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let s = ts(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let w = s.window(1, 3);
+        assert_eq!(w.values(), vec![1.0, 2.0]);
+        assert_eq!(w.timestamps(), vec![1, 2]);
+    }
+
+    #[test]
+    fn head_and_skip_partition_the_series() {
+        let s = TimeSeries::from_regular(1000, 10, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let head = s.head_duration(20);
+        let tail = s.skip_duration(20);
+        assert_eq!(head.values(), vec![1.0, 2.0]);
+        assert_eq!(tail.values(), vec![3.0, 4.0]);
+        assert_eq!(head.len() + tail.len(), s.len());
+    }
+
+    #[test]
+    fn split_days_respects_midnight() {
+        let samples = vec![
+            Sample::new(SECONDS_PER_DAY - 1, 1.0),
+            Sample::new(SECONDS_PER_DAY, 2.0),
+            Sample::new(SECONDS_PER_DAY + 1, 3.0),
+        ];
+        let s = TimeSeries::from_samples(samples).unwrap();
+        let days = s.split_days();
+        assert_eq!(days.len(), 2);
+        assert_eq!(days[0].0, 0);
+        assert_eq!(days[0].1.len(), 1);
+        assert_eq!(days[1].0, SECONDS_PER_DAY);
+        assert_eq!(days[1].1.len(), 2);
+    }
+
+    #[test]
+    fn split_days_handles_negative_timestamps() {
+        let s = TimeSeries::from_samples(vec![Sample::new(-1, 1.0), Sample::new(0, 2.0)]).unwrap();
+        let days = s.split_days();
+        assert_eq!(days.len(), 2);
+        assert_eq!(days[0].0, -SECONDS_PER_DAY);
+    }
+
+    #[test]
+    fn gaps_detects_missing_stretches() {
+        let s = TimeSeries::from_samples(vec![
+            Sample::new(0, 1.0),
+            Sample::new(1, 1.0),
+            Sample::new(100, 1.0),
+            Sample::new(101, 1.0),
+        ])
+        .unwrap();
+        assert_eq!(s.gaps(1), vec![(1, 100)]);
+        assert_eq!(s.gaps(99), vec![]);
+    }
+
+    #[test]
+    fn merge_sum_adds_matching_and_passes_through() {
+        let a = TimeSeries::from_samples(vec![Sample::new(0, 1.0), Sample::new(2, 3.0)]).unwrap();
+        let b = TimeSeries::from_samples(vec![
+            Sample::new(0, 10.0),
+            Sample::new(1, 20.0),
+            Sample::new(2, 30.0),
+        ])
+        .unwrap();
+        let m = a.merge_sum(&b);
+        assert_eq!(m.timestamps(), vec![0, 1, 2]);
+        assert_eq!(m.values(), vec![11.0, 20.0, 33.0]);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let s = ts(&[2.0, 4.0, 6.0]);
+        assert_eq!(s.min_value(), Some(2.0));
+        assert_eq!(s.max_value(), Some(6.0));
+        assert_eq!(s.mean(), Some(4.0));
+        assert_eq!(TimeSeries::new().mean(), None);
+    }
+
+    #[test]
+    fn coverage_saturates() {
+        let s = ts(&[0.0; 10]);
+        assert_eq!(s.coverage_seconds(1), 10);
+        assert_eq!(s.coverage_seconds(100_000), SECONDS_PER_DAY);
+    }
+}

@@ -1,0 +1,224 @@
+//! Vertical segmentation (paper Definition 2): temporal aggregation that
+//! reduces data numerosity. The paper averages `n` consecutive samples; we
+//! also provide sum/min/max/first/last aggregators and a wall-clock-aligned
+//! windowed variant that handles gaps, which the experiment harness uses for
+//! the 15-minute and 1-hour aggregation levels.
+
+use crate::error::{Error, Result};
+use crate::timeseries::{Sample, TimeSeries, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// How to aggregate the samples of one vertical segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// Arithmetic mean (the paper's choice, Definition 2).
+    Mean,
+    /// Sum of values (useful for energy rather than power).
+    Sum,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// First value of the segment.
+    First,
+    /// Last value of the segment.
+    Last,
+}
+
+impl Aggregation {
+    fn fold(self, values: impl Iterator<Item = f64>) -> Option<f64> {
+        let mut n = 0usize;
+        let mut acc = 0.0f64;
+        let mut first = None;
+        let mut last = None;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for v in values {
+            n += 1;
+            acc += v;
+            if first.is_none() {
+                first = Some(v);
+            }
+            last = Some(v);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if n == 0 {
+            return None;
+        }
+        Some(match self {
+            Aggregation::Mean => acc / n as f64,
+            Aggregation::Sum => acc,
+            Aggregation::Min => min,
+            Aggregation::Max => max,
+            Aggregation::First => first.unwrap(),
+            Aggregation::Last => last.unwrap(),
+        })
+    }
+}
+
+/// Count-based vertical segmentation, exactly Definition 2: groups every `n`
+/// consecutive samples, stamps the aggregate with the timestamp of the
+/// segment's *last* sample (`t̄_i = t_{i·n}`), and drops a trailing partial
+/// segment (the definition only produces full segments).
+pub fn vertical_segmentation(series: &TimeSeries, n: usize, agg: Aggregation) -> Result<TimeSeries> {
+    if n == 0 {
+        return Err(Error::InvalidParameter { name: "n", reason: "must be positive".to_string() });
+    }
+    let samples = series.samples();
+    let mut out = TimeSeries::with_capacity(samples.len() / n);
+    for chunk in samples.chunks_exact(n) {
+        let v = agg.fold(chunk.iter().map(|s| s.v)).expect("chunk_exact is non-empty");
+        out.push(chunk[n - 1].t, v)?;
+    }
+    Ok(out)
+}
+
+/// Wall-clock windowed aggregation: groups samples into `[w·window, (w+1)·window)`
+/// buckets aligned to the epoch, stamps each aggregate with the *window start*,
+/// and emits only windows whose sample count reaches `min_samples` (gap
+/// tolerance). This is the practical variant the experiments use for "15
+/// minutes" and "1 hour" aggregation over gappy meter data.
+pub fn aggregate_by_window(
+    series: &TimeSeries,
+    window_secs: i64,
+    agg: Aggregation,
+    min_samples: usize,
+) -> Result<TimeSeries> {
+    if window_secs <= 0 {
+        return Err(Error::InvalidParameter {
+            name: "window_secs",
+            reason: format!("must be positive, got {window_secs}"),
+        });
+    }
+    let min_samples = min_samples.max(1);
+    let mut out = TimeSeries::new();
+    let mut bucket: Vec<f64> = Vec::new();
+    let mut bucket_start: Option<Timestamp> = None;
+
+    let flush = |start: Timestamp, bucket: &mut Vec<f64>, out: &mut TimeSeries| -> Result<()> {
+        if bucket.len() >= min_samples {
+            let v = agg.fold(bucket.iter().copied()).expect("non-empty bucket");
+            out.push(start, v)?;
+        }
+        bucket.clear();
+        Ok(())
+    };
+
+    for &Sample { t, v } in series.samples() {
+        let start = t.div_euclid(window_secs) * window_secs;
+        match bucket_start {
+            Some(s) if s == start => bucket.push(v),
+            Some(s) => {
+                flush(s, &mut bucket, &mut out)?;
+                bucket_start = Some(start);
+                bucket.push(v);
+            }
+            None => {
+                bucket_start = Some(start);
+                bucket.push(v);
+            }
+        }
+    }
+    if let Some(s) = bucket_start {
+        flush(s, &mut bucket, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Common aggregation windows used in the paper's evaluation.
+pub mod windows {
+    /// 15 minutes (paper §3: "typical segmentation in smart energy algorithms").
+    pub const FIFTEEN_MINUTES: i64 = 15 * 60;
+    /// 1 hour.
+    pub const ONE_HOUR: i64 = 60 * 60;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn definition_2_average_and_timestamps() {
+        // S sampled every 10s; n=3 ⇒ averages of consecutive triples,
+        // stamped with the triple's last timestamp.
+        let s = TimeSeries::from_regular(0, 10, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]).unwrap();
+        let v = vertical_segmentation(&s, 3, Aggregation::Mean).unwrap();
+        assert_eq!(v.values(), vec![2.0, 5.0]);
+        assert_eq!(v.timestamps(), vec![20, 50], "t̄_i = t_{{i·n}}");
+    }
+
+    #[test]
+    fn trailing_partial_segment_is_dropped() {
+        let s = TimeSeries::from_regular(0, 1, &[1.0, 2.0, 3.0]).unwrap();
+        let v = vertical_segmentation(&s, 2, Aggregation::Mean).unwrap();
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn all_aggregations() {
+        let s = TimeSeries::from_regular(0, 1, &[3.0, 1.0, 2.0, 8.0]).unwrap();
+        let check = |agg, expected: Vec<f64>| {
+            assert_eq!(vertical_segmentation(&s, 2, agg).unwrap().values(), expected, "{agg:?}");
+        };
+        check(Aggregation::Mean, vec![2.0, 5.0]);
+        check(Aggregation::Sum, vec![4.0, 10.0]);
+        check(Aggregation::Min, vec![1.0, 2.0]);
+        check(Aggregation::Max, vec![3.0, 8.0]);
+        check(Aggregation::First, vec![3.0, 2.0]);
+        check(Aggregation::Last, vec![1.0, 8.0]);
+    }
+
+    #[test]
+    fn zero_n_rejected() {
+        let s = TimeSeries::from_regular(0, 1, &[1.0]).unwrap();
+        assert!(vertical_segmentation(&s, 0, Aggregation::Mean).is_err());
+    }
+
+    #[test]
+    fn windowed_aligns_to_epoch() {
+        // Samples at t = 50..70 land in window [0,60) and [60,120).
+        let s = TimeSeries::from_regular(50, 5, &[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let w = aggregate_by_window(&s, 60, Aggregation::Mean, 1).unwrap();
+        assert_eq!(w.timestamps(), vec![0, 60]);
+        assert_eq!(w.values(), vec![1.5, 4.0]);
+    }
+
+    #[test]
+    fn windowed_min_samples_filters_sparse_windows() {
+        let s = TimeSeries::from_samples(vec![
+            Sample::new(0, 1.0),
+            Sample::new(1, 2.0),
+            Sample::new(60, 5.0), // lone sample in second window
+        ])
+        .unwrap();
+        let w = aggregate_by_window(&s, 60, Aggregation::Mean, 2).unwrap();
+        assert_eq!(w.timestamps(), vec![0]);
+        assert_eq!(w.values(), vec![1.5]);
+    }
+
+    #[test]
+    fn windowed_handles_gap_spanning_windows() {
+        let s = TimeSeries::from_samples(vec![
+            Sample::new(0, 1.0),
+            Sample::new(10_000, 2.0), // far in the future
+        ])
+        .unwrap();
+        let w = aggregate_by_window(&s, 60, Aggregation::Mean, 1).unwrap();
+        assert_eq!(w.timestamps(), vec![0, 9960]);
+    }
+
+    #[test]
+    fn windowed_rejects_bad_window() {
+        let s = TimeSeries::from_regular(0, 1, &[1.0]).unwrap();
+        assert!(aggregate_by_window(&s, 0, Aggregation::Mean, 1).is_err());
+        assert!(aggregate_by_window(&s, -60, Aggregation::Mean, 1).is_err());
+    }
+
+    #[test]
+    fn empty_series_aggregate_to_empty() {
+        let e = TimeSeries::new();
+        assert!(vertical_segmentation(&e, 3, Aggregation::Mean).unwrap().is_empty());
+        assert!(aggregate_by_window(&e, 60, Aggregation::Mean, 1).unwrap().is_empty());
+    }
+}

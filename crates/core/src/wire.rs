@@ -1,0 +1,276 @@
+//! Compact binary wire format for the sensor→server protocol.
+//!
+//! The paper's §2.3 notes that "communication and storage overhead, induced
+//! for example by protocols and indexes should also be taken into account
+//! for a real system". The JSON encoding of [`crate::encoder::SensorMessage`]
+//! is convenient for debugging but costs ~75 bytes per symbol; this module
+//! provides a length-prefixed binary framing that gets a window message down
+//! to 20 bytes (15-byte payload + 5-byte header) and supports streaming
+//! decode — the representation a real deployment would ship.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! [u8 tag] [u32 payload length] [payload…]
+//! tag 0x01 = lookup table:  payload = bincode-free hand-rolled table body
+//! tag 0x02 = window:        payload = i64 window_start, u8 bits, u16 rank,
+//!                                      u32 samples
+//! ```
+
+use crate::alphabet::Alphabet;
+use crate::encoder::{EncodedWindow, SensorMessage};
+use crate::error::{Error, Result};
+use crate::lookup::LookupTable;
+use crate::separators::SeparatorMethod;
+use crate::symbol::Symbol;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const TAG_TABLE: u8 = 0x01;
+const TAG_WINDOW: u8 = 0x02;
+
+fn method_code(m: SeparatorMethod) -> u8 {
+    match m {
+        SeparatorMethod::Uniform => 0,
+        SeparatorMethod::Median => 1,
+        SeparatorMethod::DistinctMedian => 2,
+    }
+}
+
+fn method_from(code: u8) -> Result<SeparatorMethod> {
+    Ok(match code {
+        0 => SeparatorMethod::Uniform,
+        1 => SeparatorMethod::Median,
+        2 => SeparatorMethod::DistinctMedian,
+        other => return Err(Error::WireFormat(format!("unknown method code {other}"))),
+    })
+}
+
+fn put_table(buf: &mut BytesMut, table: &LookupTable) {
+    buf.put_u8(method_code(table.method()));
+    buf.put_u8(table.resolution_bits());
+    let (lo, hi) = table.value_range();
+    buf.put_f64_le(lo);
+    buf.put_f64_le(hi);
+    for &s in table.separators() {
+        buf.put_f64_le(s);
+    }
+    for &m in table.bin_means() {
+        buf.put_f64_le(m);
+    }
+    for &c in table.bin_counts() {
+        buf.put_u64_le(c);
+    }
+}
+
+fn get_table(buf: &mut Bytes) -> Result<LookupTable> {
+    if buf.remaining() < 2 + 16 {
+        return Err(Error::WireFormat("table frame truncated".to_string()));
+    }
+    let method = method_from(buf.get_u8())?;
+    let bits = buf.get_u8();
+    let alphabet = Alphabet::with_resolution(bits)?;
+    let k = alphabet.size();
+    let need = 16 + 8 * (k - 1) + 8 * k + 8 * k;
+    if buf.remaining() < need {
+        return Err(Error::WireFormat(format!(
+            "table frame truncated: need {need} bytes, have {}",
+            buf.remaining()
+        )));
+    }
+    let lo = buf.get_f64_le();
+    let hi = buf.get_f64_le();
+    let separators: Vec<f64> = (0..k - 1).map(|_| buf.get_f64_le()).collect();
+    let means: Vec<f64> = (0..k).map(|_| buf.get_f64_le()).collect();
+    let counts: Vec<u64> = (0..k).map(|_| buf.get_u64_le()).collect();
+    LookupTable::from_wire_parts(method, alphabet, separators, means, counts, lo, hi)
+}
+
+/// Encodes one message as a binary frame.
+pub fn encode_message(msg: &SensorMessage) -> Result<Vec<u8>> {
+    let mut payload = BytesMut::new();
+    let tag = match msg {
+        SensorMessage::Table(t) => {
+            put_table(&mut payload, t);
+            TAG_TABLE
+        }
+        SensorMessage::Window(w) => {
+            payload.put_i64_le(w.window_start);
+            payload.put_u8(w.symbol.resolution_bits());
+            payload.put_u16_le(w.symbol.rank());
+            payload.put_u32_le(w.samples);
+            TAG_WINDOW
+        }
+    };
+    let mut frame = BytesMut::with_capacity(5 + payload.len());
+    frame.put_u8(tag);
+    frame.put_u32_le(payload.len() as u32);
+    frame.extend_from_slice(&payload);
+    Ok(frame.to_vec())
+}
+
+/// Streaming frame decoder: feed bytes in arbitrary chunks, drain complete
+/// messages as they become available.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (incomplete frame remainder).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Decodes the next complete message, or `None` if more bytes are needed.
+    pub fn next_message(&mut self) -> Result<Option<SensorMessage>> {
+        if self.buf.len() < 5 {
+            return Ok(None);
+        }
+        let tag = self.buf[0];
+        let len = u32::from_le_bytes([self.buf[1], self.buf[2], self.buf[3], self.buf[4]]) as usize;
+        if self.buf.len() < 5 + len {
+            return Ok(None);
+        }
+        self.buf.advance(5);
+        let mut payload = self.buf.split_to(len).freeze();
+        match tag {
+            TAG_TABLE => Ok(Some(SensorMessage::Table(get_table(&mut payload)?))),
+            TAG_WINDOW => {
+                if payload.remaining() < 8 + 1 + 2 + 4 {
+                    return Err(Error::WireFormat("window frame truncated".to_string()));
+                }
+                let window_start = payload.get_i64_le();
+                let bits = payload.get_u8();
+                let rank = payload.get_u16_le();
+                let samples = payload.get_u32_le();
+                Ok(Some(SensorMessage::Window(EncodedWindow {
+                    window_start,
+                    symbol: Symbol::from_rank(rank, bits)?,
+                    samples,
+                })))
+            }
+            other => Err(Error::WireFormat(format!("unknown frame tag {other:#x}"))),
+        }
+    }
+
+    /// Drains all currently complete messages.
+    pub fn drain(&mut self) -> Result<Vec<SensorMessage>> {
+        let mut out = Vec::new();
+        while let Some(m) = self.next_message()? {
+            out.push(m);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> LookupTable {
+        let values: Vec<f64> = (0..500).map(|i| ((i * 37) % 300) as f64).collect();
+        LookupTable::learn(
+            SeparatorMethod::Median,
+            Alphabet::with_size(16).unwrap(),
+            &values,
+        )
+        .unwrap()
+    }
+
+    fn window(t: i64, rank: u16) -> SensorMessage {
+        SensorMessage::Window(EncodedWindow {
+            window_start: t,
+            symbol: Symbol::from_rank(rank, 4).unwrap(),
+            samples: 900,
+        })
+    }
+
+    #[test]
+    fn roundtrip_table_and_windows() {
+        let msgs = vec![SensorMessage::Table(table()), window(0, 3), window(900, 15)];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend(encode_message(m).unwrap());
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        let out = dec.drain().unwrap();
+        assert_eq!(out, msgs);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_handles_arbitrary_chunking() {
+        let msgs = vec![SensorMessage::Table(table()), window(0, 1), window(900, 2)];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend(encode_message(m).unwrap());
+        }
+        // Feed one byte at a time.
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for &b in &wire {
+            dec.feed(&[b]);
+            out.extend(dec.drain().unwrap());
+        }
+        assert_eq!(out, msgs);
+    }
+
+    #[test]
+    fn window_frame_is_small() {
+        let frame = encode_message(&window(86_400, 7)).unwrap();
+        assert_eq!(frame.len(), 5 + 15, "15-byte payload + 5-byte header");
+        // Versus JSON:
+        let json = window(86_400, 7).to_json().unwrap();
+        assert!(json.len() > frame.len() * 3, "binary ≪ JSON: {} vs {}", frame.len(), json.len());
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[0xFF, 1, 0, 0, 0, 0]);
+        assert!(dec.next_message().is_err(), "unknown tag");
+
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[TAG_WINDOW, 3, 0, 0, 0, 1, 2, 3]); // payload too short
+        assert!(dec.next_message().is_err());
+
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[TAG_TABLE, 1, 0, 0, 0, 9]); // truncated table
+        assert!(dec.next_message().is_err());
+    }
+
+    #[test]
+    fn incomplete_frames_wait_for_more_bytes() {
+        let frame = encode_message(&window(0, 0)).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame[..4]);
+        assert_eq!(dec.next_message().unwrap(), None);
+        dec.feed(&frame[4..frame.len() - 1]);
+        assert_eq!(dec.next_message().unwrap(), None);
+        dec.feed(&frame[frame.len() - 1..]);
+        assert!(dec.next_message().unwrap().is_some());
+    }
+
+    #[test]
+    fn day_of_windows_wire_cost() {
+        // 96 windows/day at 15 min: binary cost per §2.3 discussion.
+        let mut wire = Vec::new();
+        for i in 0..96 {
+            wire.extend(encode_message(&window(i * 900, (i % 16) as u16)).unwrap());
+        }
+        assert_eq!(wire.len(), 96 * 20);
+        // Still far below the raw day (86 400 × 8 B), including all framing.
+        assert!(wire.len() * 300 < 86_400 * 8);
+    }
+}

@@ -1,0 +1,332 @@
+//! A house: an appliance stock plus an occupancy profile, generating the
+//! mains (total) power series that the paper's experiments consume (paper
+//! §3: "we used the total power consumption of the house").
+
+use crate::appliance::{
+    Appliance, BaseLoad, Cooking, Dishwasher, Electronics, EvCharger, Fridge, Hvac, Laundry,
+    Lighting, WaterHeater,
+};
+use crate::profiles::WeeklyProfile;
+use crate::rng::gaussian;
+use sms_core::error::{Error, Result};
+use sms_core::timeseries::{TimeSeries, Timestamp};
+
+/// Which occupancy rhythm a household follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Occupancy {
+    /// 9-to-5 workers: morning/evening peaks on weekdays.
+    Working,
+    /// Night-shift: inverted rhythm.
+    NightShift,
+    /// Home all day (retiree / home office).
+    HomeAllDay,
+}
+
+impl Occupancy {
+    fn profile(self) -> WeeklyProfile {
+        match self {
+            Occupancy::Working => WeeklyProfile::working(),
+            Occupancy::NightShift => WeeklyProfile::night_shift(),
+            Occupancy::HomeAllDay => WeeklyProfile::home_all_day(),
+        }
+    }
+}
+
+/// Declarative description of a house; turned into appliance models by
+/// [`House::build`]. All power figures in watts.
+#[derive(Debug, Clone)]
+pub struct HouseConfig {
+    /// Stable identifier (the class label in the paper's experiments).
+    pub id: u32,
+    /// Occupancy rhythm.
+    pub occupancy: Occupancy,
+    /// Overall consumption scale (1.0 = average household). Scales every
+    /// appliance's rating, producing the big-vs-small-consumer axis that
+    /// per-house median tables capture (paper Fig. 3 discussion).
+    pub scale: f64,
+    /// Fridge compressor watts (0 disables — every real house has one, but
+    /// tests may want isolation).
+    pub fridge_watts: f64,
+    /// Always-on base load watts.
+    pub base_watts: f64,
+    /// Electronics active watts.
+    pub electronics_watts: f64,
+    /// Lighting full-on watts.
+    pub lighting_watts: f64,
+    /// Water heater element watts (0 = gas water heating).
+    pub water_heater_watts: f64,
+    /// Cooking peak watts (0 = gas stove).
+    pub cooking_watts: f64,
+    /// Dryer watts (0 = line drying).
+    pub dryer_watts: f64,
+    /// Dishwasher heater watts (0 = none).
+    pub dishwasher_watts: f64,
+    /// HVAC heating watts (0 = non-electric heating).
+    pub hvac_heat_watts: f64,
+    /// HVAC cooling watts (0 = no AC).
+    pub hvac_cool_watts: f64,
+    /// Laundry probability per weekday.
+    pub laundry_prob: f64,
+    /// Cooking enthusiasm multiplier.
+    pub cooking_enthusiasm: f64,
+    /// Household clock shift in hours (early risers < 0 < night owls).
+    pub schedule_shift_hours: f64,
+    /// EV charger draw (W); 0 = no electric vehicle.
+    pub ev_charger_watts: f64,
+}
+
+impl HouseConfig {
+    /// A plain average working household (useful default for tests).
+    pub fn average(id: u32) -> Self {
+        HouseConfig {
+            id,
+            occupancy: Occupancy::Working,
+            scale: 1.0,
+            fridge_watts: 120.0,
+            base_watts: 15.0,
+            electronics_watts: 140.0,
+            lighting_watts: 280.0,
+            water_heater_watts: 3000.0,
+            cooking_watts: 2000.0,
+            dryer_watts: 2400.0,
+            dishwasher_watts: 1800.0,
+            hvac_heat_watts: 0.0,
+            hvac_cool_watts: 0.0,
+            laundry_prob: 0.3,
+            cooking_enthusiasm: 1.0,
+            schedule_shift_hours: 0.0,
+            ev_charger_watts: 0.0,
+        }
+    }
+}
+
+/// A simulated house ready to produce power readings.
+#[derive(Debug)]
+pub struct House {
+    config: HouseConfig,
+    appliances: Vec<Box<dyn Appliance>>,
+    seed: u64,
+}
+
+impl House {
+    /// Builds the appliance models from a config. `dataset_seed` decorrelates
+    /// otherwise identical configs across datasets.
+    pub fn build(config: HouseConfig, dataset_seed: u64) -> Self {
+        let profile = config.occupancy.profile().shifted(config.schedule_shift_hours);
+        let s = config.scale;
+        let mut stream: u64 = (config.id as u64) << 32;
+        let mut next = || {
+            stream += 101;
+            stream
+        };
+        let mut appliances: Vec<Box<dyn Appliance>> = Vec::new();
+        if config.fridge_watts > 0.0 {
+            appliances.push(Box::new(Fridge {
+                rated_watts: config.fridge_watts * s,
+                duty: 0.42,
+                period_secs: 2400 + (config.id as i64 * 331) % 2400,
+                stream: next(),
+            }));
+        }
+        if config.base_watts > 0.0 {
+            appliances.push(Box::new(BaseLoad { watts: config.base_watts * s, stream: next() }));
+        }
+        if config.electronics_watts > 0.0 {
+            appliances.push(Box::new(Electronics {
+                standby_watts: 10.0 * s,
+                active_watts: config.electronics_watts * s,
+                profile,
+                stream: next(),
+            }));
+        }
+        if config.lighting_watts > 0.0 {
+            appliances.push(Box::new(Lighting {
+                max_watts: config.lighting_watts * s,
+                circuits: 6,
+                profile,
+                stream: next(),
+            }));
+        }
+        if config.water_heater_watts > 0.0 {
+            appliances.push(Box::new(WaterHeater {
+                rated_watts: config.water_heater_watts * s,
+                event_rate: 0.55,
+                profile,
+                stream: next(),
+            }));
+        }
+        if config.cooking_watts > 0.0 {
+            appliances.push(Box::new(Cooking {
+                rated_watts: config.cooking_watts * s,
+                enthusiasm: config.cooking_enthusiasm,
+                profile,
+                stream: next(),
+            }));
+        }
+        if config.laundry_prob > 0.0 {
+            appliances.push(Box::new(Laundry {
+                washer_watts: 400.0 * s,
+                washer_heat_watts: 1800.0 * s,
+                dryer_watts: config.dryer_watts * s,
+                weekday_prob: config.laundry_prob,
+                stream: next(),
+            }));
+        }
+        if config.dishwasher_watts > 0.0 {
+            appliances.push(Box::new(Dishwasher {
+                heater_watts: config.dishwasher_watts * s,
+                daily_prob: 0.55,
+                stream: next(),
+            }));
+        }
+        if config.ev_charger_watts > 0.0 {
+            appliances.push(Box::new(EvCharger {
+                rated_watts: config.ev_charger_watts,
+                daily_prob: 0.45,
+                stream: next(),
+            }));
+        }
+        if config.hvac_heat_watts > 0.0 || config.hvac_cool_watts > 0.0 {
+            appliances.push(Box::new(Hvac {
+                heat_watts: config.hvac_heat_watts * s,
+                cool_watts: config.hvac_cool_watts * s,
+                period_secs: 1200,
+                stream: next(),
+            }));
+        }
+        let seed = crate::rng::mix64(dataset_seed ^ ((config.id as u64) << 17));
+        House { config, appliances, seed }
+    }
+
+    /// The house's configuration.
+    pub fn config(&self) -> &HouseConfig {
+        &self.config
+    }
+
+    /// The house id.
+    pub fn id(&self) -> u32 {
+        self.config.id
+    }
+
+    /// Number of active appliance models.
+    pub fn appliance_count(&self) -> usize {
+        self.appliances.len()
+    }
+
+    /// Total (mains) power at `t`, in watts: the sum over appliances plus a
+    /// small measurement noise floor, quantized to the meter's 1 W
+    /// resolution. Quantization matters: it makes standby levels repeat
+    /// exactly, which is what separates the paper's `median` from its
+    /// `distinctmedian` separators (REDD values are similarly discrete).
+    pub fn power_at(&self, t: Timestamp) -> f64 {
+        let mut w: f64 = self.appliances.iter().map(|a| a.power_at(t, self.seed)).sum();
+        // Measurement noise: ±1% plus a ±2 W floor.
+        w *= 1.0 + 0.01 * gaussian(self.seed, 0xFFFF, t as u64);
+        w += 2.0 * gaussian(self.seed, 0xFFFE, t as u64);
+        w.max(0.0).round()
+    }
+
+    /// Generates readings every `interval_secs` over `[start, start + duration_secs)`.
+    pub fn generate(
+        &self,
+        start: Timestamp,
+        duration_secs: i64,
+        interval_secs: i64,
+    ) -> Result<TimeSeries> {
+        if interval_secs <= 0 || duration_secs < 0 {
+            return Err(Error::InvalidParameter {
+                name: "interval_secs/duration_secs",
+                reason: "interval must be positive and duration non-negative".to_string(),
+            });
+        }
+        let n = (duration_secs / interval_secs) as usize;
+        let mut out = TimeSeries::with_capacity(n);
+        let mut t = start;
+        for _ in 0..n {
+            out.push(t, self.power_at(t))?;
+            t += interval_secs;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_generate() {
+        let h = House::build(HouseConfig::average(1), 99);
+        assert!(h.appliance_count() >= 8);
+        let s = h.generate(0, 3600, 1).unwrap();
+        assert_eq!(s.len(), 3600);
+        assert!(s.min_value().unwrap() >= 0.0);
+        assert!(s.max_value().unwrap() > 50.0, "something must be running");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = House::build(HouseConfig::average(1), 99).generate(0, 600, 1).unwrap();
+        let b = House::build(HouseConfig::average(1), 99).generate(0, 600, 1).unwrap();
+        let c = House::build(HouseConfig::average(1), 100).generate(0, 600, 1).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a.values(), c.values());
+    }
+
+    #[test]
+    fn random_access_matches_sequential() {
+        let h = House::build(HouseConfig::average(2), 7);
+        let seq = h.generate(1000, 100, 1).unwrap();
+        for (i, (t, v)) in seq.iter().enumerate() {
+            assert_eq!(t, 1000 + i as i64);
+            assert_eq!(v, h.power_at(t), "power_at must be random-access");
+        }
+    }
+
+    #[test]
+    fn scale_scales_consumption() {
+        let mut big_cfg = HouseConfig::average(1);
+        big_cfg.scale = 3.0;
+        let big = House::build(big_cfg, 5);
+        let small = House::build(HouseConfig::average(1), 5);
+        let bm = big.generate(0, 86_400, 10).unwrap().mean().unwrap();
+        let sm = small.generate(0, 86_400, 10).unwrap().mean().unwrap();
+        assert!(bm > sm * 2.0, "big {bm} vs small {sm}");
+    }
+
+    #[test]
+    fn occupancy_changes_daily_shape() {
+        let mut night_cfg = HouseConfig::average(3);
+        night_cfg.occupancy = Occupancy::NightShift;
+        let night = House::build(night_cfg, 5);
+        let day = House::build(HouseConfig::average(3), 5);
+        // Mean 02:00–04:00 power vs 19:00–21:00 power over a week.
+        let mut night_night = 0.0;
+        let mut night_evening = 0.0;
+        let mut day_night = 0.0;
+        let mut day_evening = 0.0;
+        for d in 0..7i64 {
+            let base = d * 86_400;
+            night_night +=
+                night.generate(base + 2 * 3600, 2 * 3600, 60).unwrap().mean().unwrap();
+            night_evening +=
+                night.generate(base + 19 * 3600, 2 * 3600, 60).unwrap().mean().unwrap();
+            day_night += day.generate(base + 2 * 3600, 2 * 3600, 60).unwrap().mean().unwrap();
+            day_evening += day.generate(base + 19 * 3600, 2 * 3600, 60).unwrap().mean().unwrap();
+        }
+        let night_ratio = night_night / night_evening;
+        let day_ratio = day_night / day_evening;
+        assert!(
+            night_ratio > day_ratio * 1.5,
+            "night-shift house relatively busier at night: {night_ratio} vs {day_ratio}"
+        );
+    }
+
+    #[test]
+    fn generate_validates_parameters() {
+        let h = House::build(HouseConfig::average(1), 1);
+        assert!(h.generate(0, 100, 0).is_err());
+        assert!(h.generate(0, -5, 1).is_err());
+        assert_eq!(h.generate(0, 0, 1).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! CSV persistence for meter series and datasets. The format mirrors the
+//! REDD release: one `timestamp value` pair per line (we use a comma), one
+//! file per house, named `house_<id>.csv`.
+
+use crate::dataset::{HouseRecord, MeterDataset};
+use sms_core::error::{Error, Result};
+use sms_core::timeseries::TimeSeries;
+use std::fs;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes one series as `timestamp,value` lines.
+pub fn write_series_csv(series: &TimeSeries, path: &Path) -> Result<()> {
+    let file = fs::File::create(path)
+        .map_err(|e| Error::WireFormat(format!("create {}: {e}", path.display())))?;
+    let mut w = BufWriter::new(file);
+    for (t, v) in series.iter() {
+        writeln!(w, "{t},{v}")
+            .map_err(|e| Error::WireFormat(format!("write {}: {e}", path.display())))?;
+    }
+    w.flush().map_err(|e| Error::WireFormat(format!("flush {}: {e}", path.display())))
+}
+
+/// Reads a `timestamp,value` CSV back into a series. Blank lines and lines
+/// starting with `#` are skipped.
+pub fn read_series_csv(path: &Path) -> Result<TimeSeries> {
+    let file = fs::File::open(path)
+        .map_err(|e| Error::WireFormat(format!("open {}: {e}", path.display())))?;
+    let reader = BufReader::new(file);
+    let mut out = TimeSeries::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line =
+            line.map_err(|e| Error::WireFormat(format!("read {}: {e}", path.display())))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (ts, vs) = trimmed.split_once(',').ok_or_else(|| {
+            Error::WireFormat(format!("{}:{}: expected `timestamp,value`", path.display(), lineno + 1))
+        })?;
+        let t: i64 = ts.trim().parse().map_err(|e| {
+            Error::WireFormat(format!("{}:{}: bad timestamp: {e}", path.display(), lineno + 1))
+        })?;
+        let v: f64 = vs.trim().parse().map_err(|e| {
+            Error::WireFormat(format!("{}:{}: bad value: {e}", path.display(), lineno + 1))
+        })?;
+        out.push(t, v)?;
+    }
+    Ok(out)
+}
+
+/// Writes a dataset as `house_<id>.csv` files plus an `interval.txt` marker
+/// under `dir` (created if needed).
+pub fn write_dataset(ds: &MeterDataset, dir: &Path) -> Result<()> {
+    fs::create_dir_all(dir)
+        .map_err(|e| Error::WireFormat(format!("mkdir {}: {e}", dir.display())))?;
+    fs::write(dir.join("interval.txt"), ds.interval_secs().to_string())
+        .map_err(|e| Error::WireFormat(format!("write interval: {e}")))?;
+    for r in ds.records() {
+        write_series_csv(&r.series, &dir.join(format!("house_{}.csv", r.house_id)))?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset directory written by [`write_dataset`].
+pub fn read_dataset(dir: &Path) -> Result<MeterDataset> {
+    let interval: i64 = fs::read_to_string(dir.join("interval.txt"))
+        .map_err(|e| Error::WireFormat(format!("read interval: {e}")))?
+        .trim()
+        .parse()
+        .map_err(|e| Error::WireFormat(format!("bad interval: {e}")))?;
+    let mut records = Vec::new();
+    let mut entries: Vec<_> = fs::read_dir(dir)
+        .map_err(|e| Error::WireFormat(format!("read_dir {}: {e}", dir.display())))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .map(|n| n.starts_with("house_") && n.ends_with(".csv"))
+                .unwrap_or(false)
+        })
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_stem().and_then(|n| n.to_str()).unwrap_or_default();
+        let id: u32 = name
+            .trim_start_matches("house_")
+            .parse()
+            .map_err(|e| Error::WireFormat(format!("bad house file name {name}: {e}")))?;
+        records.push(HouseRecord { house_id: id, series: read_series_csv(&path)? });
+    }
+    MeterDataset::new(records, interval)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::redd_like;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("meterdata_io_test_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn series_roundtrip() {
+        let d = tmpdir("series");
+        let s = TimeSeries::from_regular(100, 60, &[1.5, 2.25, 0.0, 1e6]).unwrap();
+        let p = d.join("s.csv");
+        write_series_csv(&s, &p).unwrap();
+        let back = read_series_csv(&p).unwrap();
+        assert_eq!(back, s);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn read_skips_comments_and_blank_lines() {
+        let d = tmpdir("comments");
+        let p = d.join("s.csv");
+        fs::write(&p, "# header\n\n10,1.5\n 20 , 2.5 \n").unwrap();
+        let s = read_series_csv(&p).unwrap();
+        assert_eq!(s.timestamps(), vec![10, 20]);
+        assert_eq!(s.values(), vec![1.5, 2.5]);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn read_reports_malformed_lines() {
+        let d = tmpdir("bad");
+        let p = d.join("s.csv");
+        fs::write(&p, "10;1.5\n").unwrap();
+        let err = read_series_csv(&p).unwrap_err().to_string();
+        assert!(err.contains(":1:"), "line number in error: {err}");
+        fs::write(&p, "abc,1.5\n").unwrap();
+        assert!(read_series_csv(&p).is_err());
+        fs::write(&p, "10,xyz\n").unwrap();
+        assert!(read_series_csv(&p).is_err());
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn dataset_roundtrip() {
+        let d = tmpdir("dataset");
+        let ds = redd_like(5, 1, 600).generate().unwrap();
+        write_dataset(&ds, &d).unwrap();
+        let back = read_dataset(&d).unwrap();
+        assert_eq!(back.house_count(), ds.house_count());
+        assert_eq!(back.interval_secs(), ds.interval_secs());
+        for r in ds.records() {
+            assert_eq!(back.house(r.house_id).unwrap(), &r.series);
+        }
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn missing_files_error_cleanly() {
+        let d = tmpdir("missing");
+        assert!(read_series_csv(&d.join("nope.csv")).is_err());
+        assert!(read_dataset(&d.join("nope")).is_err());
+        let _ = fs::remove_dir_all(&d);
+    }
+}

@@ -1,0 +1,266 @@
+//! Occupancy and seasonal profiles: when people are home and active, which
+//! drives lighting, cooking, entertainment and hot-water loads.
+//!
+//! The simulation clock starts at `t = 0` = **Monday 00:00 UTC**, so weekday
+//! versus weekend behaviour is a pure function of the timestamp.
+
+use sms_core::timeseries::{Timestamp, SECONDS_PER_DAY};
+
+/// Hour-resolution activity levels for one day, each in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DayProfile {
+    /// Activity per hour-of-day.
+    pub hourly: [f64; 24],
+}
+
+impl DayProfile {
+    /// A typical 9-to-5 working household: morning and evening peaks,
+    /// near-zero activity at night and low during office hours.
+    pub fn working_weekday() -> Self {
+        let mut h = [0.05; 24];
+        h[6] = 0.5;
+        h[7] = 0.9;
+        h[8] = 0.6;
+        h[9] = 0.15;
+        for x in h.iter_mut().take(17).skip(10) {
+            *x = 0.1;
+        }
+        h[17] = 0.5;
+        h[18] = 0.9;
+        h[19] = 1.0;
+        h[20] = 0.95;
+        h[21] = 0.8;
+        h[22] = 0.5;
+        h[23] = 0.2;
+        DayProfile { hourly: h }
+    }
+
+    /// A weekend at home: later start, sustained daytime activity.
+    pub fn weekend() -> Self {
+        let mut h = [0.05; 24];
+        for (i, x) in h.iter_mut().enumerate() {
+            *x = match i {
+                0..=7 => 0.05,
+                8 => 0.3,
+                9 => 0.6,
+                10..=12 => 0.8,
+                13..=17 => 0.7,
+                18..=21 => 0.95,
+                22 => 0.6,
+                _ => 0.25,
+            };
+        }
+        DayProfile { hourly: h }
+    }
+
+    /// A night-shift household: active at night, asleep through the morning.
+    pub fn night_shift() -> Self {
+        let mut h = [0.1; 24];
+        for (i, x) in h.iter_mut().enumerate() {
+            *x = match i {
+                0..=4 => 0.7,
+                5..=6 => 0.5,
+                7..=13 => 0.05,
+                14..=16 => 0.4,
+                17..=20 => 0.6,
+                21..=23 => 0.9,
+                _ => 0.1,
+            };
+        }
+        DayProfile { hourly: h }
+    }
+
+    /// A retiree/home-office household: steady moderate activity all day.
+    pub fn home_all_day() -> Self {
+        let mut h = [0.05; 24];
+        for (i, x) in h.iter_mut().enumerate() {
+            *x = match i {
+                0..=6 => 0.05,
+                7..=8 => 0.6,
+                9..=17 => 0.55,
+                18..=21 => 0.85,
+                22 => 0.4,
+                _ => 0.15,
+            };
+        }
+        DayProfile { hourly: h }
+    }
+
+    /// Linear interpolation between hour anchors, so activity is continuous
+    /// in time (no hard steps at hour boundaries).
+    pub fn at_seconds(&self, second_of_day: i64) -> f64 {
+        let s = second_of_day.rem_euclid(SECONDS_PER_DAY);
+        let hour = (s / 3600) as usize;
+        let frac = (s % 3600) as f64 / 3600.0;
+        let next = (hour + 1) % 24;
+        self.hourly[hour] * (1.0 - frac) + self.hourly[next] * frac
+    }
+}
+
+/// Weekday + weekend pair, with an optional per-household clock shift
+/// (early risers vs night owls — every real household has its own offset,
+/// and this idiosyncrasy is part of what makes houses re-identifiable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeeklyProfile {
+    /// Monday–Friday profile.
+    pub weekday: DayProfile,
+    /// Saturday–Sunday profile.
+    pub weekend: DayProfile,
+    /// Shift of the household clock in seconds (positive = later schedule).
+    pub shift_secs: i64,
+}
+
+impl WeeklyProfile {
+    /// Standard working household.
+    pub fn working() -> Self {
+        WeeklyProfile {
+            weekday: DayProfile::working_weekday(),
+            weekend: DayProfile::weekend(),
+            shift_secs: 0,
+        }
+    }
+
+    /// Night-shift household (same rhythm all week).
+    pub fn night_shift() -> Self {
+        WeeklyProfile {
+            weekday: DayProfile::night_shift(),
+            weekend: DayProfile::night_shift(),
+            shift_secs: 0,
+        }
+    }
+
+    /// Home-all-day household.
+    pub fn home_all_day() -> Self {
+        WeeklyProfile {
+            weekday: DayProfile::home_all_day(),
+            weekend: DayProfile::home_all_day(),
+            shift_secs: 0,
+        }
+    }
+
+    /// The same profile shifted by whole/fractional hours.
+    pub fn shifted(mut self, hours: f64) -> Self {
+        self.shift_secs = (hours * 3600.0) as i64;
+        self
+    }
+
+    /// Day-of-week index for a timestamp (0 = Monday, 6 = Sunday; the clock
+    /// starts on a Monday).
+    pub fn day_of_week(t: Timestamp) -> u8 {
+        t.div_euclid(SECONDS_PER_DAY).rem_euclid(7) as u8
+    }
+
+    /// Whether `t` falls on a weekend.
+    pub fn is_weekend(t: Timestamp) -> bool {
+        Self::day_of_week(t) >= 5
+    }
+
+    /// Activity level in `[0, 1]` at timestamp `t` (household clock shift
+    /// applied to the time-of-day, not to the weekday decision).
+    pub fn activity_at(&self, t: Timestamp) -> f64 {
+        let profile = if Self::is_weekend(t) { &self.weekend } else { &self.weekday };
+        profile.at_seconds((t - self.shift_secs).rem_euclid(SECONDS_PER_DAY))
+    }
+}
+
+/// Smooth annual seasonality in `[0, 1]`: 1 at mid-winter (heating peak),
+/// 0 at mid-summer. The clock's day 0 is taken as January 1st.
+pub fn winter_factor(t: Timestamp) -> f64 {
+    let day_of_year = t.div_euclid(SECONDS_PER_DAY).rem_euclid(365) as f64;
+    let phase = 2.0 * std::f64::consts::PI * day_of_year / 365.0;
+    // Cosine peaking at day 15 (mid-January).
+    0.5 + 0.5 * (phase - 2.0 * std::f64::consts::PI * 15.0 / 365.0).cos()
+}
+
+/// Daylight factor in `[0, 1]`: 1 at solar noon, 0 at night, with seasonal
+/// day-length modulation. Drives the lighting load's inverse dependence.
+pub fn daylight_factor(t: Timestamp) -> f64 {
+    let s = t.rem_euclid(SECONDS_PER_DAY) as f64;
+    let noon = 12.0 * 3600.0;
+    // Half-day length: 6h in winter, 8.5h in summer.
+    let half_day = 3600.0 * (8.5 - 2.5 * winter_factor(t));
+    let d = (s - noon).abs();
+    if d >= half_day {
+        0.0
+    } else {
+        (std::f64::consts::FRAC_PI_2 * (1.0 - d / half_day)).sin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_of_week_starts_monday() {
+        assert_eq!(WeeklyProfile::day_of_week(0), 0);
+        assert_eq!(WeeklyProfile::day_of_week(SECONDS_PER_DAY * 5), 5);
+        assert!(WeeklyProfile::is_weekend(SECONDS_PER_DAY * 6 + 100));
+        assert!(!WeeklyProfile::is_weekend(SECONDS_PER_DAY * 7), "next Monday");
+        assert_eq!(WeeklyProfile::day_of_week(-1), 6, "just before epoch is Sunday");
+    }
+
+    #[test]
+    fn interpolation_is_continuous() {
+        let p = DayProfile::working_weekday();
+        // Just before and after an hour boundary should be close.
+        let before = p.at_seconds(7 * 3600 - 1);
+        let after = p.at_seconds(7 * 3600 + 1);
+        assert!((before - after).abs() < 0.01);
+        // Anchors hit exactly.
+        assert_eq!(p.at_seconds(19 * 3600), 1.0);
+    }
+
+    #[test]
+    fn profiles_bounded() {
+        for p in [
+            DayProfile::working_weekday(),
+            DayProfile::weekend(),
+            DayProfile::night_shift(),
+            DayProfile::home_all_day(),
+        ] {
+            for s in (0..SECONDS_PER_DAY).step_by(600) {
+                let a = p.at_seconds(s);
+                assert!((0.0..=1.0).contains(&a), "{a} at {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn working_profile_peaks_in_evening() {
+        let w = WeeklyProfile::working();
+        let midnight = w.activity_at(3600);
+        let evening = w.activity_at(19 * 3600);
+        let office_hours = w.activity_at(14 * 3600);
+        assert!(evening > office_hours);
+        assert!(office_hours > midnight || midnight < 0.1);
+    }
+
+    #[test]
+    fn weekend_differs_from_weekday_for_working_household() {
+        let w = WeeklyProfile::working();
+        // 11:00 Monday vs 11:00 Saturday.
+        let monday = w.activity_at(11 * 3600);
+        let saturday = w.activity_at(5 * SECONDS_PER_DAY + 11 * 3600);
+        assert!(saturday > monday * 3.0, "weekend midday at home: {saturday} vs {monday}");
+    }
+
+    #[test]
+    fn winter_factor_annual_cycle() {
+        let jan = winter_factor(15 * SECONDS_PER_DAY);
+        let jul = winter_factor(196 * SECONDS_PER_DAY);
+        assert!(jan > 0.99, "mid-January is peak winter: {jan}");
+        assert!(jul < 0.05, "mid-July is peak summer: {jul}");
+    }
+
+    #[test]
+    fn daylight_zero_at_night_positive_at_noon() {
+        assert_eq!(daylight_factor(2 * 3600), 0.0);
+        assert!(daylight_factor(12 * 3600) > 0.9);
+        // Summer days are longer: 18:30 is light in July, dark in January.
+        let t_summer = 196 * SECONDS_PER_DAY + 18 * 3600 + 1800;
+        let t_winter = 15 * SECONDS_PER_DAY + 18 * 3600 + 1800;
+        assert!(daylight_factor(t_summer) > 0.0);
+        assert_eq!(daylight_factor(t_winter), 0.0);
+    }
+}

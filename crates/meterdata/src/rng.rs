@@ -1,0 +1,123 @@
+//! Deterministic, random-access pseudo-randomness for the simulator.
+//!
+//! Appliance models need noise that is (a) reproducible from a seed and
+//! (b) *random-access* — the power at time `t` must be computable without
+//! simulating every preceding second, so that experiments can generate
+//! arbitrary sub-ranges cheaply and tests can probe single instants. We use
+//! SplitMix64-style hashing of `(seed, stream, index)` triples rather than a
+//! sequential RNG.
+
+/// SplitMix64 finalizer: avalanche-mixes one 64-bit word.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a `(seed, stream, index)` triple into one well-mixed word.
+/// `stream` separates independent noise channels (one per appliance and
+/// purpose); `index` is typically a time bucket.
+#[inline]
+pub fn hash3(seed: u64, stream: u64, index: u64) -> u64 {
+    mix64(mix64(seed ^ mix64(stream)).wrapping_add(index.wrapping_mul(0x2545F4914F6CDD1D)))
+}
+
+/// Uniform `[0, 1)` from a hash word.
+#[inline]
+pub fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Uniform `[0, 1)` from a `(seed, stream, index)` triple.
+#[inline]
+pub fn uniform(seed: u64, stream: u64, index: u64) -> f64 {
+    unit_f64(hash3(seed, stream, index))
+}
+
+/// Uniform in `[lo, hi)`.
+#[inline]
+pub fn uniform_in(seed: u64, stream: u64, index: u64, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * uniform(seed, stream, index)
+}
+
+/// Standard normal via Box–Muller over two derived uniforms.
+pub fn gaussian(seed: u64, stream: u64, index: u64) -> f64 {
+    let u1 = unit_f64(hash3(seed, stream, index)).max(1e-12);
+    let u2 = unit_f64(hash3(seed, stream ^ 0xDEAD_BEEF, index));
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal with parameters of the underlying normal.
+pub fn log_normal(seed: u64, stream: u64, index: u64, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * gaussian(seed, stream, index)).exp()
+}
+
+/// Bernoulli event with probability `p`.
+#[inline]
+pub fn bernoulli(seed: u64, stream: u64, index: u64, p: f64) -> bool {
+    uniform(seed, stream, index) < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_stream_separated() {
+        assert_eq!(hash3(1, 2, 3), hash3(1, 2, 3));
+        assert_ne!(hash3(1, 2, 3), hash3(1, 2, 4));
+        assert_ne!(hash3(1, 2, 3), hash3(1, 3, 3));
+        assert_ne!(hash3(1, 2, 3), hash3(2, 2, 3));
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval_and_roughly_uniform() {
+        let mut sum = 0.0;
+        let n = 10_000;
+        for i in 0..n {
+            let u = uniform(42, 7, i);
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let n = 20_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for i in 0..n {
+            let g = gaussian(9, 1, i);
+            sum += g;
+            sq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        for i in 0..1000 {
+            assert!(log_normal(3, 3, i, 4.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let hits = (0..10_000).filter(|&i| bernoulli(5, 5, i, 0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn uniform_in_respects_bounds() {
+        for i in 0..100 {
+            let v = uniform_in(1, 1, i, 10.0, 20.0);
+            assert!((10.0..20.0).contains(&v));
+        }
+    }
+}

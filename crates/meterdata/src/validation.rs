@@ -1,0 +1,200 @@
+//! Statistical validation of the synthetic substrate — the evidence behind
+//! DESIGN.md's claim that the simulator preserves the four properties the
+//! paper's experiments rely on. Each check is a public function so the
+//! fidelity report can be regenerated (and unit tests pin the outcomes).
+
+use sms_core::error::{Error, Result};
+use sms_core::stats::LogNormalFit;
+use sms_core::timeseries::TimeSeries;
+
+/// Sample autocorrelation of a series' values at integer lag `k` (in
+/// samples). Returns `None` for degenerate series.
+pub fn autocorrelation(values: &[f64], lag: usize) -> Option<f64> {
+    let n = values.len();
+    if lag >= n || n < 2 {
+        return None;
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let var: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum();
+    if var <= 0.0 {
+        return None;
+    }
+    let cov: f64 = (0..n - lag).map(|i| (values[i] - mean) * (values[i + lag] - mean)).sum();
+    Some(cov / var)
+}
+
+/// Daily-periodicity score: autocorrelation of the hourly profile at a lag
+/// of 24 hours. Near 1 = strongly periodic days.
+pub fn daily_periodicity(series: &TimeSeries) -> Result<f64> {
+    let hourly = sms_core::vertical::aggregate_by_window(
+        series,
+        3600,
+        sms_core::vertical::Aggregation::Mean,
+        1,
+    )?;
+    let values = hourly.values();
+    autocorrelation(&values, 24).ok_or(Error::EmptyInput("daily_periodicity: series too short"))
+}
+
+/// Fidelity report over one house's series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FidelityReport {
+    /// Log-normal KS distance of the power-level marginal (paper Fig. 2).
+    pub lognormal_ks: f64,
+    /// Fitted `sigma` of `ln X` (spread of the marginal).
+    pub lognormal_sigma: f64,
+    /// Autocorrelation at a 24 h lag of the hourly profile.
+    pub daily_periodicity: f64,
+    /// Autocorrelation at a 1-hour lag of the hourly profile (short-range
+    /// memory that lag-based forecasting exploits).
+    pub hourly_autocorrelation: f64,
+    /// Fraction of days meeting the paper's ≥ 20 h completeness filter.
+    pub complete_day_fraction: f64,
+    /// Fraction of values that repeat exactly (meter quantization mass) —
+    /// what separates `median` from `distinctmedian`.
+    pub repeated_value_fraction: f64,
+}
+
+/// Computes the fidelity report for one house.
+pub fn fidelity_report(series: &TimeSeries, interval_secs: i64) -> Result<FidelityReport> {
+    let values = series.values();
+    if values.len() < 100 {
+        return Err(Error::EmptyInput("fidelity_report: need at least 100 samples"));
+    }
+    let fit = LogNormalFit::fit(&values)?;
+    let ks = fit.ks_statistic(&values)?;
+    let hourly = sms_core::vertical::aggregate_by_window(
+        series,
+        3600,
+        sms_core::vertical::Aggregation::Mean,
+        1,
+    )?;
+    let hourly_values = hourly.values();
+    let daily = autocorrelation(&hourly_values, 24)
+        .ok_or(Error::EmptyInput("fidelity_report: < 1 day"))?;
+    let hourly_ac = autocorrelation(&hourly_values, 1)
+        .ok_or(Error::EmptyInput("fidelity_report: < 2 hours"))?;
+
+    let days = series.split_days();
+    let complete = days
+        .iter()
+        .filter(|(_, d)| d.coverage_seconds(interval_secs) >= 20 * 3600)
+        .count();
+    let complete_day_fraction =
+        if days.is_empty() { 0.0 } else { complete as f64 / days.len() as f64 };
+
+    // Repeated-value mass via the distinct count.
+    let mut sorted = values.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite meter values"));
+    let mut distinct = 1usize;
+    for w in sorted.windows(2) {
+        if w[0] != w[1] {
+            distinct += 1;
+        }
+    }
+    let repeated_value_fraction = 1.0 - distinct as f64 / values.len() as f64;
+
+    Ok(FidelityReport {
+        lognormal_ks: ks,
+        lognormal_sigma: fit.sigma,
+        daily_periodicity: daily,
+        hourly_autocorrelation: hourly_ac,
+        complete_day_fraction,
+        repeated_value_fraction,
+    })
+}
+
+/// Renders a multi-house fidelity table.
+pub fn render_fidelity(reports: &[(u32, FidelityReport)]) -> String {
+    let mut s = format!(
+        "{:<7} {:>8} {:>8} {:>10} {:>9} {:>10} {:>10}\n",
+        "house", "KS(logN)", "sigma", "period(24h)", "AC(1h)", "days≥20h", "repeats"
+    );
+    for (id, r) in reports {
+        s += &format!(
+            "{:<7} {:>8.3} {:>8.2} {:>10.2} {:>9.2} {:>9.0}% {:>9.0}%\n",
+            format!("h{id}"),
+            r.lognormal_ks,
+            r.lognormal_sigma,
+            r.daily_periodicity,
+            r.hourly_autocorrelation,
+            r.complete_day_fraction * 100.0,
+            r.repeated_value_fraction * 100.0,
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::redd_like;
+
+    #[test]
+    fn autocorrelation_basics() {
+        // Perfect period-2 alternation: AC(1) ≈ −1, AC(2) ≈ 1.
+        let v: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&v, 1).unwrap() < -0.9);
+        assert!(autocorrelation(&v, 2).unwrap() > 0.9);
+        assert!(autocorrelation(&v, 200).is_none());
+        assert!(autocorrelation(&[1.0, 1.0, 1.0], 1).is_none(), "constant series degenerate");
+    }
+
+    #[test]
+    fn simulator_meets_fidelity_requirements() {
+        // The four DESIGN.md properties, checked on houses 1 and 4.
+        let ds = redd_like(42, 8, 60).generate().unwrap();
+        for house in [1u32, 4] {
+            let r = fidelity_report(ds.house(house).unwrap(), 60).unwrap();
+            assert!(r.lognormal_ks < 0.25, "h{house}: roughly log-normal, KS {}", r.lognormal_ks);
+            assert!(r.lognormal_sigma > 0.5, "h{house}: broad marginal, sigma {}", r.lognormal_sigma);
+            assert!(
+                r.daily_periodicity > 0.15,
+                "h{house}: daily rhythm, AC24 {}",
+                r.daily_periodicity
+            );
+            assert!(
+                r.hourly_autocorrelation > 0.2,
+                "h{house}: short-range memory, AC1 {}",
+                r.hourly_autocorrelation
+            );
+            assert!(
+                r.complete_day_fraction > 0.7,
+                "h{house}: mostly complete days, {}",
+                r.complete_day_fraction
+            );
+            assert!(
+                r.repeated_value_fraction > 0.3,
+                "h{house}: quantization mass, {}",
+                r.repeated_value_fraction
+            );
+        }
+        // House 5's uplink is broken: the completeness fraction must be low.
+        let r5 = fidelity_report(ds.house(5).unwrap(), 60).unwrap();
+        assert!(
+            r5.complete_day_fraction < 0.4,
+            "house 5 chronically gappy: {}",
+            r5.complete_day_fraction
+        );
+    }
+
+    #[test]
+    fn render_produces_table() {
+        let ds = redd_like(7, 4, 120).generate().unwrap();
+        let reports: Vec<(u32, FidelityReport)> = ds
+            .records()
+            .iter()
+            .map(|r| (r.house_id, fidelity_report(&r.series, 120).unwrap()))
+            .collect();
+        let txt = render_fidelity(&reports);
+        assert!(txt.contains("h1"));
+        assert!(txt.contains("h6"));
+        assert!(txt.contains("KS(logN)"));
+    }
+
+    #[test]
+    fn report_rejects_tiny_series() {
+        let s = TimeSeries::from_regular(0, 1, &[1.0; 10]).unwrap();
+        assert!(fidelity_report(&s, 1).is_err());
+    }
+}

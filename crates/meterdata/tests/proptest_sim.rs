@@ -1,0 +1,89 @@
+//! Property-based tests for the simulator: determinism, physical
+//! plausibility, meter quantization, gap-injection laws, and random access.
+
+use meterdata::gaps::GapConfig;
+use meterdata::generator::{redd_like, smart_star_like};
+use meterdata::house::{House, HouseConfig};
+use proptest::prelude::*;
+use sms_core::timeseries::TimeSeries;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn house_power_is_deterministic_plausible_and_quantized(
+        seed in 0u64..1000,
+        id in 1u32..20,
+        t0 in 0i64..5_000_000,
+    ) {
+        let house = House::build(HouseConfig::average(id), seed);
+        for dt in [0i64, 37, 9999] {
+            let t = t0 + dt;
+            let w1 = house.power_at(t);
+            let w2 = house.power_at(t);
+            prop_assert_eq!(w1, w2, "deterministic");
+            prop_assert!((0.0..30_000.0).contains(&w1), "plausible watts: {w1}");
+            prop_assert_eq!(w1.fract(), 0.0, "1 W meter quantization");
+        }
+    }
+
+    #[test]
+    fn generate_matches_random_access(seed in 0u64..200, start in 0i64..1_000_000) {
+        let house = House::build(HouseConfig::average(3), seed);
+        let series = house.generate(start, 600, 60).unwrap();
+        prop_assert_eq!(series.len(), 10);
+        for (t, v) in series.iter() {
+            prop_assert_eq!(v, house.power_at(t));
+        }
+    }
+
+    #[test]
+    fn gap_injection_is_a_subset_filter(seed in 0u64..200) {
+        let n = 2000usize;
+        let base = TimeSeries::from_regular(0, 60, &vec![100.0; n]).unwrap();
+        for cfg in [GapConfig::light(), GapConfig::moderate(), GapConfig::severe()] {
+            let gapped = cfg.apply(&base, seed).unwrap();
+            prop_assert!(gapped.len() <= base.len());
+            // Every surviving sample exists in the original with equal value.
+            let original: std::collections::BTreeMap<i64, f64> = base.iter().collect();
+            for (t, v) in gapped.iter() {
+                prop_assert_eq!(original.get(&t), Some(&v));
+            }
+            // Idempotence: re-applying the same gaps removes nothing more.
+            let twice = cfg.apply(&gapped, seed).unwrap();
+            prop_assert_eq!(twice, gapped);
+        }
+    }
+
+    #[test]
+    fn severity_ordering_of_gap_presets(seed in 0u64..100) {
+        let n = 5000usize;
+        let base = TimeSeries::from_regular(0, 60, &vec![1.0; n]).unwrap();
+        let light = GapConfig::light().apply(&base, seed).unwrap().len();
+        let severe = GapConfig::severe().apply(&base, seed).unwrap().len();
+        let none = GapConfig::none().apply(&base, seed).unwrap().len();
+        prop_assert_eq!(none, n);
+        prop_assert!(severe <= light, "severe {severe} removes at least as much as light {light}");
+    }
+
+    #[test]
+    fn redd_preset_is_seed_deterministic(seed in 0u64..50) {
+        let a = redd_like(seed, 1, 600).generate().unwrap();
+        let b = redd_like(seed, 1, 600).generate().unwrap();
+        prop_assert_eq!(&a, &b);
+        let c = redd_like(seed + 1, 1, 600).generate().unwrap();
+        prop_assert_ne!(&a, &c);
+    }
+
+    #[test]
+    fn smart_star_houses_differ_from_each_other(seed in 0u64..30) {
+        let ds = smart_star_like(seed, 4, 600).generate().unwrap();
+        let means: Vec<f64> =
+            ds.records().iter().map(|r| r.series.mean().unwrap()).collect();
+        // At least one pair differs substantially (houses are parameterized
+        // with different scales).
+        let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(max > min, "house means should not all coincide: {means:?}");
+    }
+}

@@ -1,0 +1,336 @@
+//! ARFF (Attribute-Relation File Format) interchange — the format the paper
+//! actually used: "The so generated files were used as input for Weka's
+//! implementation of various classifiers" (§3.1). Writing our datasets as
+//! ARFF lets the reproduction be cross-checked against a real Weka
+//! installation; reading lets Weka-prepared data flow back in.
+//!
+//! Supported subset: `@relation`, `@attribute <name> numeric`,
+//! `@attribute <name> {v1,v2,…}` (nominal), `@data` with comma-separated
+//! rows, `?` for missing values, `%` comments, and quoted names/labels.
+
+use crate::data::{Attribute, AttributeKind, Instances, Value};
+use crate::error::{Error, Result};
+use std::fmt::Write as _;
+use std::io::{BufReader, Read, Write};
+
+/// Quotes a name/label if it contains ARFF-special characters.
+fn quote(s: &str) -> String {
+    if s.is_empty()
+        || s.chars().any(|c| c.is_whitespace() || matches!(c, ',' | '{' | '}' | '%' | '\'' | '"'))
+    {
+        format!("'{}'", s.replace('\\', "\\\\").replace('\'', "\\'"))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Serializes a dataset to ARFF text.
+pub fn to_arff(data: &Instances, relation: &str) -> Result<String> {
+    let mut out = String::new();
+    let _ = writeln!(out, "@relation {}", quote(relation));
+    let _ = writeln!(out);
+    for attr in data.attributes() {
+        match &attr.kind {
+            AttributeKind::Numeric => {
+                let _ = writeln!(out, "@attribute {} numeric", quote(&attr.name));
+            }
+            AttributeKind::Nominal(labels) => {
+                let labels: Vec<String> = labels.iter().map(|l| quote(l)).collect();
+                let _ = writeln!(out, "@attribute {} {{{}}}", quote(&attr.name), labels.join(","));
+            }
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "@data");
+    for i in 0..data.len() {
+        let cells: Vec<String> = data
+            .row(i)
+            .iter()
+            .zip(data.attributes())
+            .map(|(v, a)| match (v, &a.kind) {
+                (Value::Missing, _) => Ok("?".to_string()),
+                (Value::Numeric(x), AttributeKind::Numeric) => Ok(format!("{x}")),
+                (Value::Nominal(idx), AttributeKind::Nominal(labels)) => labels
+                    .get(*idx as usize)
+                    .map(|l| quote(l))
+                    .ok_or_else(|| Error::SchemaMismatch(format!("label index {idx} out of range"))),
+                _ => Err(Error::SchemaMismatch(format!(
+                    "row {i}: value does not match attribute {}",
+                    a.name
+                ))),
+            })
+            .collect::<Result<_>>()?;
+        let _ = writeln!(out, "{}", cells.join(","));
+    }
+    Ok(out)
+}
+
+/// Writes ARFF to any sink.
+pub fn write_arff<W: Write>(data: &Instances, relation: &str, mut w: W) -> Result<()> {
+    let text = to_arff(data, relation)?;
+    w.write_all(text.as_bytes())
+        .map_err(|e| Error::InvalidParameter { name: "writer", reason: e.to_string() })
+}
+
+/// Tokenizes one ARFF logical line into fields, honouring quotes.
+fn split_csv_respecting_quotes(line: &str) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quote: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match (c, in_quote) {
+            ('\\', Some(_)) => {
+                if let Some(&next) = chars.peek() {
+                    cur.push(next);
+                    chars.next();
+                }
+            }
+            (q @ ('\'' | '"'), None) => in_quote = Some(q),
+            (q, Some(open)) if q == open => in_quote = None,
+            (',', None) => {
+                fields.push(cur.trim().to_string());
+                cur = String::new();
+            }
+            (c, _) => cur.push(c),
+        }
+    }
+    if in_quote.is_some() {
+        return Err(Error::SchemaMismatch(format!("unterminated quote in: {line}")));
+    }
+    fields.push(cur.trim().to_string());
+    Ok(fields)
+}
+
+/// Parses an `@attribute` line.
+fn parse_attribute(rest: &str) -> Result<Attribute> {
+    let rest = rest.trim();
+    // Name: quoted or bare word.
+    let (name, tail) = if let Some(stripped) = rest.strip_prefix('\'') {
+        let end = stripped
+            .find('\'')
+            .ok_or_else(|| Error::SchemaMismatch(format!("bad attribute name: {rest}")))?;
+        (stripped[..end].to_string(), stripped[end + 1..].trim())
+    } else {
+        let mut parts = rest.splitn(2, char::is_whitespace);
+        let name = parts
+            .next()
+            .ok_or_else(|| Error::SchemaMismatch(format!("bad attribute: {rest}")))?
+            .to_string();
+        (name, parts.next().unwrap_or("").trim())
+    };
+    let tail_lower = tail.to_ascii_lowercase();
+    if tail_lower.starts_with("numeric") || tail_lower.starts_with("real") || tail_lower.starts_with("integer") {
+        return Ok(Attribute::numeric(name));
+    }
+    if tail.starts_with('{') && tail.ends_with('}') {
+        let inner = &tail[1..tail.len() - 1];
+        let labels = split_csv_respecting_quotes(inner)?;
+        if labels.is_empty() || labels.iter().any(|l| l.is_empty()) {
+            return Err(Error::SchemaMismatch(format!("empty nominal label in: {tail}")));
+        }
+        return Ok(Attribute::nominal(name, labels));
+    }
+    Err(Error::SchemaMismatch(format!("unsupported attribute type: {tail}")))
+}
+
+/// Parses ARFF text into a dataset. The **last** attribute becomes the class
+/// (Weka's convention for classification datasets).
+pub fn from_arff(text: &str) -> Result<Instances> {
+    let mut attributes: Vec<Attribute> = Vec::new();
+    let mut in_data = false;
+    let mut inst: Option<Instances> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let lower = line.to_ascii_lowercase();
+        if !in_data {
+            if lower.starts_with("@relation") {
+                continue;
+            }
+            if lower.starts_with("@attribute") {
+                attributes.push(parse_attribute(line["@attribute".len()..].trim())?);
+                continue;
+            }
+            if lower.starts_with("@data") {
+                if attributes.is_empty() {
+                    return Err(Error::SchemaMismatch("@data before any @attribute".to_string()));
+                }
+                let class_index = attributes.len() - 1;
+                inst = Some(
+                    Instances::new(attributes.clone(), class_index)
+                        .map_err(|e| Error::SchemaMismatch(e.to_string()))?,
+                );
+                in_data = true;
+                continue;
+            }
+            return Err(Error::SchemaMismatch(format!("line {}: unexpected: {line}", lineno + 1)));
+        }
+        let inst_ref = inst.as_mut().expect("in_data implies instances");
+        let fields = split_csv_respecting_quotes(line)?;
+        if fields.len() != attributes.len() {
+            return Err(Error::SchemaMismatch(format!(
+                "line {}: {} fields for {} attributes",
+                lineno + 1,
+                fields.len(),
+                attributes.len()
+            )));
+        }
+        let row: Vec<Value> = fields
+            .iter()
+            .zip(&attributes)
+            .map(|(f, a)| {
+                if f == "?" {
+                    return Ok(Value::Missing);
+                }
+                match &a.kind {
+                    AttributeKind::Numeric => f
+                        .parse::<f64>()
+                        .map(Value::Numeric)
+                        .map_err(|e| Error::SchemaMismatch(format!("line {}: {e}", lineno + 1))),
+                    AttributeKind::Nominal(labels) => labels
+                        .iter()
+                        .position(|l| l == f)
+                        .map(|i| Value::Nominal(i as u32))
+                        .ok_or_else(|| {
+                            Error::SchemaMismatch(format!(
+                                "line {}: unknown label {f:?} for {}",
+                                lineno + 1,
+                                a.name
+                            ))
+                        }),
+                }
+            })
+            .collect::<Result<_>>()?;
+        inst_ref.push_row(row)?;
+    }
+    inst.ok_or_else(|| Error::SchemaMismatch("no @data section".to_string()))
+}
+
+/// Reads ARFF from any source.
+pub fn read_arff<R: Read>(r: R) -> Result<Instances> {
+    let mut text = String::new();
+    BufReader::new(r)
+        .read_to_string(&mut text)
+        .map_err(|e| Error::InvalidParameter { name: "reader", reason: e.to_string() })?;
+    from_arff(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{nominal_row, numeric_row, DatasetBuilder};
+
+    fn mixed_dataset() -> Instances {
+        let attrs = vec![
+            Attribute::numeric("power"),
+            Attribute::nominal("symbol", vec!["00".into(), "01".into(), "10".into(), "11".into()]),
+            Attribute::nominal("house", vec!["h1".into(), "h2".into()]),
+        ];
+        let mut ds = Instances::new(attrs, 2).unwrap();
+        ds.push_row(vec![Value::Numeric(123.5), Value::Nominal(2), Value::Nominal(0)]).unwrap();
+        ds.push_row(vec![Value::Missing, Value::Nominal(0), Value::Nominal(1)]).unwrap();
+        ds
+    }
+
+    #[test]
+    fn roundtrip_mixed_dataset() {
+        let ds = mixed_dataset();
+        let text = to_arff(&ds, "meter data").unwrap();
+        assert!(text.contains("@relation 'meter data'"));
+        assert!(text.contains("@attribute power numeric"));
+        assert!(text.contains("@attribute symbol {00,01,10,11}"));
+        assert!(text.contains("123.5,10,h1"));
+        assert!(text.contains("?,00,h2"));
+        let back = from_arff(&text).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn roundtrip_generated_day_vectors() {
+        let mut ds = DatasetBuilder::nominal(4, 4, 3).unwrap();
+        for i in 0..20u32 {
+            ds.push_row(nominal_row(&[i % 4, (i + 1) % 4, 0, 3], i % 3)).unwrap();
+        }
+        let text = to_arff(&ds, "symbols").unwrap();
+        let back = from_arff(&text).unwrap();
+        assert_eq!(back, ds);
+        assert_eq!(back.class_index(), 4, "last attribute is the class");
+    }
+
+    #[test]
+    fn numeric_roundtrip_preserves_values() {
+        let mut ds = DatasetBuilder::numeric(2, 2).unwrap();
+        ds.push_row(numeric_row(&[0.1 + 0.2, -1e-9], 1)).unwrap();
+        let back = from_arff(&to_arff(&ds, "r").unwrap()).unwrap();
+        assert_eq!(back.row(0)[0].as_numeric(), Some(0.1 + 0.2), "exact f64 via Display");
+    }
+
+    #[test]
+    fn quoted_labels_with_special_characters() {
+        let attrs = vec![
+            Attribute::nominal("weird", vec!["has space".into(), "has,comma".into(), "o'quote".into()]),
+            Attribute::nominal("class", vec!["a".into(), "b".into()]),
+        ];
+        let mut ds = Instances::new(attrs, 1).unwrap();
+        ds.push_row(vec![Value::Nominal(0), Value::Nominal(0)]).unwrap();
+        ds.push_row(vec![Value::Nominal(1), Value::Nominal(1)]).unwrap();
+        ds.push_row(vec![Value::Nominal(2), Value::Nominal(0)]).unwrap();
+        let text = to_arff(&ds, "q").unwrap();
+        let back = from_arff(&text).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn parses_weka_style_file() {
+        let text = "\
+% comment line
+@RELATION weather
+
+@ATTRIBUTE outlook {sunny, overcast, rainy}
+@ATTRIBUTE temperature NUMERIC
+@ATTRIBUTE play {yes, no}
+
+@DATA
+sunny, 85, no
+overcast, 83, yes
+rainy, ?, yes
+";
+        let ds = from_arff(text).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.attributes().len(), 3);
+        assert_eq!(ds.class_of(0).unwrap(), 1, "no");
+        assert_eq!(ds.row(2)[1], Value::Missing);
+        assert_eq!(ds.row(0)[1].as_numeric(), Some(85.0));
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(from_arff("@data\n1,2\n").is_err(), "@data before attributes");
+        assert!(from_arff("@attribute x numeric\n").is_err(), "no @data");
+        assert!(from_arff("@attribute x numeric\n@data\n1,2\n").is_err(), "arity");
+        assert!(
+            from_arff("@attribute x {a,b}\n@attribute y {c}\n@data\nz,c\n").is_err(),
+            "unknown label"
+        );
+        assert!(
+            from_arff("@attribute x dateTime\n@data\n").is_err(),
+            "unsupported type"
+        );
+        let err = from_arff("@attribute x numeric\n@attribute c {a}\n@data\nfoo,a\n")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("line 4"), "{err}");
+    }
+
+    #[test]
+    fn write_arff_to_sink() {
+        let ds = mixed_dataset();
+        let mut buf = Vec::new();
+        write_arff(&ds, "sink", &mut buf).unwrap();
+        let back = read_arff(&buf[..]).unwrap();
+        assert_eq!(back, ds);
+    }
+}

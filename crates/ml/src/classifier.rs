@@ -1,0 +1,90 @@
+//! Learner traits: classification (nominal class) and regression (numeric
+//! target). The paper's claim that the symbolic representation "is not
+//! linked to any specific classifier" (§3.1) is realized by these traits:
+//! every experiment is generic over `Classifier`.
+
+use crate::data::{Instances, Value};
+use crate::error::{Error, Result};
+
+/// A trainable classifier over a nominal class attribute.
+pub trait Classifier: Send {
+    /// Fits the model to the dataset.
+    fn fit(&mut self, data: &Instances) -> Result<()>;
+
+    /// Class-probability estimates for one row (same attribute layout as the
+    /// training data; the class cell is ignored). Must sum to ~1.
+    fn predict_proba(&self, row: &[Value]) -> Result<Vec<f64>>;
+
+    /// Predicted class index: argmax of [`Classifier::predict_proba`].
+    fn predict(&self, row: &[Value]) -> Result<usize> {
+        let p = self.predict_proba(row)?;
+        if p.is_empty() {
+            return Err(Error::NumericalFailure("empty probability vector".to_string()));
+        }
+        Ok(argmax(&p))
+    }
+
+    /// Short display name (used in experiment reports).
+    fn name(&self) -> &'static str;
+}
+
+/// A trainable regressor over a numeric target attribute.
+pub trait Regressor: Send {
+    /// Fits the model to the dataset.
+    fn fit(&mut self, data: &Instances) -> Result<()>;
+
+    /// Predicted target for one row (class cell ignored).
+    fn predict(&self, row: &[Value]) -> Result<f64>;
+
+    /// Short display name.
+    fn name(&self) -> &'static str;
+}
+
+/// Index of the maximum value (first winner on ties).
+pub fn argmax(values: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Normalizes a non-negative weight vector into a distribution, falling back
+/// to uniform when the total mass is zero or non-finite.
+pub fn normalize_distribution(weights: &mut [f64]) {
+    let sum: f64 = weights.iter().sum();
+    if sum > 0.0 && sum.is_finite() {
+        for w in weights.iter_mut() {
+            *w /= sum;
+        }
+    } else {
+        let u = 1.0 / weights.len().max(1) as f64;
+        for w in weights.iter_mut() {
+            *w = u;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_first_winner() {
+        assert_eq!(argmax(&[0.1, 0.7, 0.2]), 1);
+        assert_eq!(argmax(&[0.5, 0.5]), 0);
+        assert_eq!(argmax(&[1.0]), 0);
+    }
+
+    #[test]
+    fn normalize_handles_zero_mass() {
+        let mut w = vec![0.0, 0.0];
+        normalize_distribution(&mut w);
+        assert_eq!(w, vec![0.5, 0.5]);
+        let mut w = vec![2.0, 6.0];
+        normalize_distribution(&mut w);
+        assert_eq!(w, vec![0.25, 0.75]);
+    }
+}

@@ -1,0 +1,383 @@
+//! Dataset representation: attributes (nominal or numeric), instances, and
+//! builders — the Rust equivalent of Weka's `Instances`.
+//!
+//! The paper's selling point is that symbolic data makes *nominal-attribute*
+//! algorithms applicable to meter data ("our symbolic representation admit
+//! an additional advantage to allow also algorithms which usually work on
+//! nominal and string to be run on top of smart meter data", §1), so nominal
+//! support is first-class here, not an afterthought.
+
+use crate::error::{Error, Result};
+
+/// Attribute kind: the set of nominal labels, or a real-valued attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttributeKind {
+    /// Categorical attribute with the given value labels.
+    Nominal(Vec<String>),
+    /// Real-valued attribute.
+    Numeric,
+}
+
+/// A named, typed attribute (column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Column name (for reports).
+    pub name: String,
+    /// Column type.
+    pub kind: AttributeKind,
+}
+
+impl Attribute {
+    /// A nominal attribute with labels `0..cardinality` named after their index.
+    pub fn nominal_indexed(name: impl Into<String>, cardinality: usize) -> Self {
+        Attribute {
+            name: name.into(),
+            kind: AttributeKind::Nominal((0..cardinality).map(|i| i.to_string()).collect()),
+        }
+    }
+
+    /// A nominal attribute with explicit labels.
+    pub fn nominal(name: impl Into<String>, labels: Vec<String>) -> Self {
+        Attribute { name: name.into(), kind: AttributeKind::Nominal(labels) }
+    }
+
+    /// A numeric attribute.
+    pub fn numeric(name: impl Into<String>) -> Self {
+        Attribute { name: name.into(), kind: AttributeKind::Numeric }
+    }
+
+    /// Number of nominal labels (`None` for numeric).
+    pub fn cardinality(&self) -> Option<usize> {
+        match &self.kind {
+            AttributeKind::Nominal(l) => Some(l.len()),
+            AttributeKind::Numeric => None,
+        }
+    }
+
+    /// Whether the attribute is nominal.
+    pub fn is_nominal(&self) -> bool {
+        matches!(self.kind, AttributeKind::Nominal(_))
+    }
+}
+
+/// One cell value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Index into a nominal attribute's label set.
+    Nominal(u32),
+    /// A real value.
+    Numeric(f64),
+    /// Missing ("?" in ARFF terms).
+    Missing,
+}
+
+impl Value {
+    /// The nominal index, if this is a nominal value.
+    pub fn as_nominal(self) -> Option<u32> {
+        match self {
+            Value::Nominal(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a numeric value.
+    pub fn as_numeric(self) -> Option<f64> {
+        match self {
+            Value::Numeric(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is missing.
+    pub fn is_missing(self) -> bool {
+        matches!(self, Value::Missing)
+    }
+}
+
+/// A dataset: schema + rows + designated class attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instances {
+    attributes: Vec<Attribute>,
+    class_index: usize,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Instances {
+    /// Creates an empty dataset with the given schema.
+    pub fn new(attributes: Vec<Attribute>, class_index: usize) -> Result<Self> {
+        if attributes.is_empty() {
+            return Err(Error::EmptyDataset("no attributes"));
+        }
+        if class_index >= attributes.len() {
+            return Err(Error::InvalidParameter {
+                name: "class_index",
+                reason: format!("{} out of range for {} attributes", class_index, attributes.len()),
+            });
+        }
+        Ok(Instances { attributes, class_index, rows: Vec::new() })
+    }
+
+    /// Appends a row after validating it against the schema.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.attributes.len() {
+            return Err(Error::SchemaMismatch(format!(
+                "row has {} values, schema has {} attributes",
+                row.len(),
+                self.attributes.len()
+            )));
+        }
+        for (i, (v, a)) in row.iter().zip(&self.attributes).enumerate() {
+            match (v, &a.kind) {
+                (Value::Missing, _) => {}
+                (Value::Nominal(idx), AttributeKind::Nominal(labels)) => {
+                    if *idx as usize >= labels.len() {
+                        return Err(Error::NominalOutOfRange {
+                            attribute: i,
+                            value: *idx,
+                            cardinality: labels.len(),
+                        });
+                    }
+                }
+                (Value::Numeric(x), AttributeKind::Numeric) => {
+                    if !x.is_finite() {
+                        return Err(Error::SchemaMismatch(format!(
+                            "attribute {i}: non-finite numeric value {x}"
+                        )));
+                    }
+                }
+                _ => {
+                    return Err(Error::SchemaMismatch(format!(
+                        "attribute {i} ({}) got a value of the wrong kind",
+                        a.name
+                    )))
+                }
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// The schema.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Index of the class attribute.
+    pub fn class_index(&self) -> usize {
+        self.class_index
+    }
+
+    /// The class attribute itself.
+    pub fn class_attribute(&self) -> &Attribute {
+        &self.attributes[self.class_index]
+    }
+
+    /// Number of classes; errors when the class attribute is numeric.
+    pub fn num_classes(&self) -> Result<usize> {
+        self.class_attribute().cardinality().ok_or(Error::WrongClassKind("nominal"))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// One row.
+    pub fn row(&self, i: usize) -> &[Value] {
+        &self.rows[i]
+    }
+
+    /// Class value of row `i` as a nominal index; errors for numeric or
+    /// missing classes.
+    pub fn class_of(&self, i: usize) -> Result<usize> {
+        match self.rows[i][self.class_index] {
+            Value::Nominal(c) => Ok(c as usize),
+            Value::Missing => Err(Error::SchemaMismatch(format!("row {i} has a missing class"))),
+            Value::Numeric(_) => Err(Error::WrongClassKind("nominal")),
+        }
+    }
+
+    /// Class value of row `i` as a number (for regression); errors otherwise.
+    pub fn target_of(&self, i: usize) -> Result<f64> {
+        match self.rows[i][self.class_index] {
+            Value::Numeric(v) => Ok(v),
+            Value::Missing => Err(Error::SchemaMismatch(format!("row {i} has a missing target"))),
+            Value::Nominal(_) => Err(Error::WrongClassKind("numeric")),
+        }
+    }
+
+    /// Indices of the non-class (feature) attributes.
+    pub fn feature_indices(&self) -> Vec<usize> {
+        (0..self.attributes.len()).filter(|&i| i != self.class_index).collect()
+    }
+
+    /// Class histogram (`num_classes` long).
+    pub fn class_counts(&self) -> Result<Vec<usize>> {
+        let k = self.num_classes()?;
+        let mut counts = vec![0usize; k];
+        for i in 0..self.len() {
+            counts[self.class_of(i)?] += 1;
+        }
+        Ok(counts)
+    }
+
+    /// A new dataset with the same schema containing the selected rows
+    /// (clones; row order follows `indices`).
+    pub fn subset(&self, indices: &[usize]) -> Instances {
+        Instances {
+            attributes: self.attributes.clone(),
+            class_index: self.class_index,
+            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+        }
+    }
+
+    /// An empty dataset sharing this one's schema.
+    pub fn clone_empty(&self) -> Instances {
+        Instances {
+            attributes: self.attributes.clone(),
+            class_index: self.class_index,
+            rows: Vec::new(),
+        }
+    }
+}
+
+/// Convenience builder for schemas used throughout the experiments:
+/// `n` homogeneous feature attributes plus a class.
+pub struct DatasetBuilder;
+
+impl DatasetBuilder {
+    /// All-nominal features (cardinality `feature_card`) and a nominal class
+    /// of `n_classes` labels — the shape of the paper's symbolic day-vector
+    /// and lag datasets.
+    pub fn nominal(n_features: usize, feature_card: usize, n_classes: usize) -> Result<Instances> {
+        let mut attrs: Vec<Attribute> = (0..n_features)
+            .map(|i| Attribute::nominal_indexed(format!("f{i}"), feature_card))
+            .collect();
+        attrs.push(Attribute::nominal_indexed("class", n_classes));
+        let class_index = attrs.len() - 1;
+        Instances::new(attrs, class_index)
+    }
+
+    /// All-numeric features and a nominal class — the shape of the paper's
+    /// raw day-vector datasets.
+    pub fn numeric(n_features: usize, n_classes: usize) -> Result<Instances> {
+        let mut attrs: Vec<Attribute> =
+            (0..n_features).map(|i| Attribute::numeric(format!("f{i}"))).collect();
+        attrs.push(Attribute::nominal_indexed("class", n_classes));
+        let class_index = attrs.len() - 1;
+        Instances::new(attrs, class_index)
+    }
+
+    /// All-numeric features and a numeric target — the shape of the SVR
+    /// forecasting dataset.
+    pub fn regression(n_features: usize) -> Result<Instances> {
+        let mut attrs: Vec<Attribute> =
+            (0..n_features).map(|i| Attribute::numeric(format!("f{i}"))).collect();
+        attrs.push(Attribute::numeric("target"));
+        let class_index = attrs.len() - 1;
+        Instances::new(attrs, class_index)
+    }
+}
+
+/// Builds a nominal row `features... , class` (all `Value::Nominal`).
+pub fn nominal_row(features: &[u32], class: u32) -> Vec<Value> {
+    let mut row: Vec<Value> = features.iter().map(|&f| Value::Nominal(f)).collect();
+    row.push(Value::Nominal(class));
+    row
+}
+
+/// Builds a numeric-features row with a nominal class.
+pub fn numeric_row(features: &[f64], class: u32) -> Vec<Value> {
+    let mut row: Vec<Value> = features.iter().map(|&f| Value::Numeric(f)).collect();
+    row.push(Value::Nominal(class));
+    row
+}
+
+/// Builds an all-numeric regression row.
+pub fn regression_row(features: &[f64], target: f64) -> Vec<Value> {
+    let mut row: Vec<Value> = features.iter().map(|&f| Value::Numeric(f)).collect();
+    row.push(Value::Numeric(target));
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_validation_on_push() {
+        let mut ds = DatasetBuilder::nominal(2, 4, 3).unwrap();
+        ds.push_row(nominal_row(&[0, 3], 2)).unwrap();
+        // Wrong arity.
+        assert!(ds.push_row(nominal_row(&[0], 2)).is_err());
+        // Out-of-range nominal.
+        assert!(matches!(
+            ds.push_row(nominal_row(&[0, 4], 2)),
+            Err(Error::NominalOutOfRange { attribute: 1, value: 4, cardinality: 4 })
+        ));
+        // Wrong kind.
+        assert!(ds.push_row(vec![Value::Numeric(1.0), Value::Nominal(0), Value::Nominal(0)]).is_err());
+        // Missing is always allowed.
+        ds.push_row(vec![Value::Missing, Value::Nominal(1), Value::Nominal(0)]).unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn non_finite_numeric_rejected() {
+        let mut ds = DatasetBuilder::numeric(1, 2).unwrap();
+        assert!(ds.push_row(numeric_row(&[f64::NAN], 0)).is_err());
+        assert!(ds.push_row(numeric_row(&[f64::INFINITY], 0)).is_err());
+        ds.push_row(numeric_row(&[1.0], 0)).unwrap();
+    }
+
+    #[test]
+    fn class_accessors() {
+        let mut ds = DatasetBuilder::nominal(1, 2, 3).unwrap();
+        ds.push_row(nominal_row(&[1], 2)).unwrap();
+        ds.push_row(nominal_row(&[0], 0)).unwrap();
+        assert_eq!(ds.num_classes().unwrap(), 3);
+        assert_eq!(ds.class_of(0).unwrap(), 2);
+        assert_eq!(ds.class_counts().unwrap(), vec![1, 0, 1]);
+        assert_eq!(ds.feature_indices(), vec![0]);
+        assert!(ds.target_of(0).is_err(), "nominal class has no numeric target");
+    }
+
+    #[test]
+    fn regression_accessors() {
+        let mut ds = DatasetBuilder::regression(2).unwrap();
+        ds.push_row(regression_row(&[1.0, 2.0], 3.5)).unwrap();
+        assert_eq!(ds.target_of(0).unwrap(), 3.5);
+        assert!(ds.class_of(0).is_err());
+        assert!(ds.num_classes().is_err());
+    }
+
+    #[test]
+    fn subset_preserves_schema_and_order() {
+        let mut ds = DatasetBuilder::nominal(1, 2, 2).unwrap();
+        for i in 0..5u32 {
+            ds.push_row(nominal_row(&[i % 2], i % 2)).unwrap();
+        }
+        let sub = ds.subset(&[4, 0, 2]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.class_of(0).unwrap(), 0);
+        assert_eq!(sub.attributes(), ds.attributes());
+        let empty = ds.clone_empty();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(Instances::new(vec![], 0).is_err());
+        assert!(Instances::new(vec![Attribute::numeric("x")], 5).is_err());
+    }
+}

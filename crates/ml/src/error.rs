@@ -1,0 +1,71 @@
+//! Error types for the ML substrate.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by dataset handling, training, and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A dataset had no rows / no attributes where some were required.
+    EmptyDataset(&'static str),
+    /// A row's arity or value types did not match the schema.
+    SchemaMismatch(String),
+    /// A nominal value index exceeded its attribute's cardinality.
+    NominalOutOfRange {
+        /// Attribute index.
+        attribute: usize,
+        /// Offending value index.
+        value: u32,
+        /// Attribute cardinality.
+        cardinality: usize,
+    },
+    /// The class attribute was of the wrong kind for the learner
+    /// (classifiers need nominal, regressors numeric).
+    WrongClassKind(&'static str),
+    /// Model used before `fit`.
+    NotFitted(&'static str),
+    /// A parameter was outside its documented domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// Training diverged or produced non-finite parameters.
+    NumericalFailure(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyDataset(what) => write!(f, "empty dataset: {what}"),
+            Error::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            Error::NominalOutOfRange { attribute, value, cardinality } => write!(
+                f,
+                "nominal value {value} out of range for attribute {attribute} (cardinality {cardinality})"
+            ),
+            Error::WrongClassKind(need) => write!(f, "class attribute must be {need}"),
+            Error::NotFitted(model) => write!(f, "{model} used before fit()"),
+            Error::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Error::NumericalFailure(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = Error::NominalOutOfRange { attribute: 2, value: 9, cardinality: 4 };
+        let s = e.to_string();
+        assert!(s.contains('2') && s.contains('9') && s.contains('4'));
+    }
+}

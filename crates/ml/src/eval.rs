@@ -1,0 +1,449 @@
+//! Evaluation machinery: confusion matrices, the weighted F-measure the
+//! paper reports, stratified k-fold cross-validation with wall-clock timing
+//! (the paper's Figs. 5–7 plot F-measure *and* processing time), and
+//! regression error metrics (MAE for Figs. 8–9).
+
+use crate::classifier::Classifier;
+use crate::data::Instances;
+use crate::error::{Error, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Square confusion matrix: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<u64>>,
+}
+
+impl ConfusionMatrix {
+    /// An all-zero `k × k` matrix.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::InvalidParameter {
+                name: "k",
+                reason: "need at least one class".to_string(),
+            });
+        }
+        Ok(ConfusionMatrix { counts: vec![vec![0; k]; k] })
+    }
+
+    /// Records one prediction.
+    pub fn record(&mut self, actual: usize, predicted: usize) -> Result<()> {
+        let k = self.counts.len();
+        if actual >= k || predicted >= k {
+            return Err(Error::InvalidParameter {
+                name: "actual/predicted",
+                reason: format!("class out of range: {actual}/{predicted} vs k={k}"),
+            });
+        }
+        self.counts[actual][predicted] += 1;
+        Ok(())
+    }
+
+    /// Merges another matrix of the same shape (for fold accumulation).
+    pub fn merge(&mut self, other: &ConfusionMatrix) -> Result<()> {
+        if self.counts.len() != other.counts.len() {
+            return Err(Error::InvalidParameter {
+                name: "other",
+                reason: "matrix size mismatch".to_string(),
+            });
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw counts.
+    pub fn counts(&self) -> &[Vec<u64>] {
+        &self.counts
+    }
+
+    /// Total predictions recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flat_map(|r| r.iter()).sum()
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of one class (0 when undefined).
+    pub fn precision(&self, class: usize) -> f64 {
+        let predicted: u64 = self.counts.iter().map(|row| row[class]).sum();
+        if predicted == 0 {
+            return 0.0;
+        }
+        self.counts[class][class] as f64 / predicted as f64
+    }
+
+    /// Recall of one class (0 when the class has no instances).
+    pub fn recall(&self, class: usize) -> f64 {
+        let actual: u64 = self.counts[class].iter().sum();
+        if actual == 0 {
+            return 0.0;
+        }
+        self.counts[class][class] as f64 / actual as f64
+    }
+
+    /// F-measure of one class (harmonic mean of precision and recall).
+    pub fn f_measure(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// Cohen's kappa: agreement beyond chance (Weka prints this alongside
+    /// accuracy). 1 = perfect, 0 = chance-level, negative = worse than chance.
+    pub fn kappa(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let n = total as f64;
+        let po = self.accuracy();
+        let pe: f64 = (0..self.counts.len())
+            .map(|c| {
+                let actual: u64 = self.counts[c].iter().sum();
+                let predicted: u64 = self.counts.iter().map(|row| row[c]).sum();
+                (actual as f64 / n) * (predicted as f64 / n)
+            })
+            .sum();
+        if (1.0 - pe).abs() < 1e-12 {
+            return 0.0;
+        }
+        (po - pe) / (1.0 - pe)
+    }
+
+    /// Weka-style **weighted F-measure**: per-class F-measures averaged with
+    /// class-support weights. This is the metric on the paper's y-axes and
+    /// in Table 1.
+    pub fn weighted_f_measure(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (0..self.counts.len())
+            .map(|c| {
+                let support: u64 = self.counts[c].iter().sum();
+                support as f64 / total as f64 * self.f_measure(c)
+            })
+            .sum()
+    }
+}
+
+/// Result of one cross-validation run.
+#[derive(Debug, Clone)]
+pub struct CvResult {
+    /// Pooled confusion matrix over all folds.
+    pub confusion: ConfusionMatrix,
+    /// Total training time across folds.
+    pub train_time: Duration,
+    /// Total prediction time across folds.
+    pub test_time: Duration,
+    /// Number of folds actually run.
+    pub folds: usize,
+}
+
+impl CvResult {
+    /// Weighted F-measure over the pooled folds.
+    pub fn weighted_f_measure(&self) -> f64 {
+        self.confusion.weighted_f_measure()
+    }
+
+    /// Accuracy over the pooled folds.
+    pub fn accuracy(&self) -> f64 {
+        self.confusion.accuracy()
+    }
+
+    /// Train + test wall-clock, the paper's "processing time".
+    pub fn processing_time(&self) -> Duration {
+        self.train_time + self.test_time
+    }
+}
+
+/// Stratified fold assignment: shuffles within each class, then deals
+/// class-by-class round-robin so every fold gets a proportional class mix.
+/// Returns `folds[f] = row indices of fold f`.
+pub fn stratified_folds(data: &Instances, k: usize, seed: u64) -> Result<Vec<Vec<usize>>> {
+    if k < 2 {
+        return Err(Error::InvalidParameter {
+            name: "k",
+            reason: "need at least 2 folds".to_string(),
+        });
+    }
+    if data.len() < k {
+        return Err(Error::InvalidParameter {
+            name: "k",
+            reason: format!("{k} folds but only {} rows", data.len()),
+        });
+    }
+    let n_classes = data.num_classes()?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for i in 0..data.len() {
+        by_class[data.class_of(i)?].push(i);
+    }
+    let mut folds = vec![Vec::new(); k];
+    let mut next = 0usize;
+    for class_rows in by_class.iter_mut() {
+        class_rows.shuffle(&mut rng);
+        for &i in class_rows.iter() {
+            folds[next % k].push(i);
+            next += 1;
+        }
+    }
+    Ok(folds)
+}
+
+/// Stratified k-fold cross-validation. `factory` builds a fresh classifier
+/// per fold; the result pools predictions over all folds (Weka's protocol).
+pub fn cross_validate<F>(factory: F, data: &Instances, k: usize, seed: u64) -> Result<CvResult>
+where
+    F: Fn() -> Box<dyn Classifier>,
+{
+    let folds = stratified_folds(data, k, seed)?;
+    let n_classes = data.num_classes()?;
+    let mut confusion = ConfusionMatrix::new(n_classes)?;
+    let mut train_time = Duration::ZERO;
+    let mut test_time = Duration::ZERO;
+
+    for f in 0..k {
+        let test_idx = &folds[f];
+        if test_idx.is_empty() {
+            continue;
+        }
+        let train_idx: Vec<usize> =
+            folds.iter().enumerate().filter(|&(g, _)| g != f).flat_map(|(_, v)| v.iter().copied()).collect();
+        let train = data.subset(&train_idx);
+        let mut model = factory();
+
+        let t0 = Instant::now();
+        model.fit(&train)?;
+        train_time += t0.elapsed();
+
+        let t1 = Instant::now();
+        for &i in test_idx {
+            let predicted = model.predict(data.row(i))?;
+            confusion.record(data.class_of(i)?, predicted)?;
+        }
+        test_time += t1.elapsed();
+    }
+    Ok(CvResult { confusion, train_time, test_time, folds: k })
+}
+
+/// Train/test evaluation on explicit splits (used by the forecasting
+/// experiments' rolling protocol).
+pub fn train_test<F>(factory: F, train: &Instances, test: &Instances) -> Result<CvResult>
+where
+    F: Fn() -> Box<dyn Classifier>,
+{
+    let n_classes = train.num_classes()?;
+    let mut confusion = ConfusionMatrix::new(n_classes)?;
+    let mut model = factory();
+    let t0 = Instant::now();
+    model.fit(train)?;
+    let train_time = t0.elapsed();
+    let t1 = Instant::now();
+    for i in 0..test.len() {
+        let predicted = model.predict(test.row(i))?;
+        confusion.record(test.class_of(i)?, predicted)?;
+    }
+    let test_time = t1.elapsed();
+    Ok(CvResult { confusion, train_time, test_time, folds: 1 })
+}
+
+/// Mean absolute error.
+pub fn mae(actual: &[f64], predicted: &[f64]) -> Result<f64> {
+    if actual.len() != predicted.len() || actual.is_empty() {
+        return Err(Error::InvalidParameter {
+            name: "actual/predicted",
+            reason: format!("need equal non-zero lengths, got {}/{}", actual.len(), predicted.len()),
+        });
+    }
+    Ok(actual.iter().zip(predicted).map(|(a, p)| (a - p).abs()).sum::<f64>()
+        / actual.len() as f64)
+}
+
+/// Root-mean-square error.
+pub fn rmse(actual: &[f64], predicted: &[f64]) -> Result<f64> {
+    if actual.len() != predicted.len() || actual.is_empty() {
+        return Err(Error::InvalidParameter {
+            name: "actual/predicted",
+            reason: format!("need equal non-zero lengths, got {}/{}", actual.len(), predicted.len()),
+        });
+    }
+    Ok((actual.iter().zip(predicted).map(|(a, p)| (a - p) * (a - p)).sum::<f64>()
+        / actual.len() as f64)
+        .sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{nominal_row, DatasetBuilder};
+    use crate::naive_bayes::NaiveBayes;
+    use crate::zero_r::ZeroR;
+
+    #[test]
+    fn confusion_metrics() {
+        let mut m = ConfusionMatrix::new(2).unwrap();
+        // 8 true positives of class 0, 2 misses; class 1: 5 correct, 1 miss.
+        for _ in 0..8 {
+            m.record(0, 0).unwrap();
+        }
+        for _ in 0..2 {
+            m.record(0, 1).unwrap();
+        }
+        for _ in 0..5 {
+            m.record(1, 1).unwrap();
+        }
+        m.record(1, 0).unwrap();
+        assert_eq!(m.total(), 16);
+        assert!((m.accuracy() - 13.0 / 16.0).abs() < 1e-12);
+        assert!((m.recall(0) - 0.8).abs() < 1e-12);
+        assert!((m.precision(0) - 8.0 / 9.0).abs() < 1e-12);
+        let f0 = m.f_measure(0);
+        assert!((f0 - 2.0 * 0.8 * (8.0 / 9.0) / (0.8 + 8.0 / 9.0)).abs() < 1e-12);
+        // Weighted F: class 0 has 10/16 weight, class 1 has 6/16.
+        let expected = 10.0 / 16.0 * f0 + 6.0 / 16.0 * m.f_measure(1);
+        assert!((m.weighted_f_measure() - expected).abs() < 1e-12);
+        // Kappa: po = 13/16; pe = (10/16)(9/16) + (6/16)(7/16).
+        let pe = (10.0 * 9.0 + 6.0 * 7.0) / 256.0;
+        let expected_kappa = (13.0 / 16.0 - pe) / (1.0 - pe);
+        assert!((m.kappa() - expected_kappa).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_reference_points() {
+        // Perfect agreement.
+        let mut m = ConfusionMatrix::new(2).unwrap();
+        m.record(0, 0).unwrap();
+        m.record(1, 1).unwrap();
+        assert!((m.kappa() - 1.0).abs() < 1e-12);
+        // Constant prediction on balanced classes: kappa 0.
+        let mut m = ConfusionMatrix::new(2).unwrap();
+        m.record(0, 0).unwrap();
+        m.record(1, 0).unwrap();
+        assert!(m.kappa().abs() < 1e-12);
+        assert_eq!(ConfusionMatrix::new(3).unwrap().kappa(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_metrics_are_zero() {
+        let m = ConfusionMatrix::new(3).unwrap();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.weighted_f_measure(), 0.0);
+        assert_eq!(m.precision(0), 0.0);
+        assert_eq!(m.recall(0), 0.0);
+        assert!(ConfusionMatrix::new(0).is_err());
+        let mut m = ConfusionMatrix::new(2).unwrap();
+        assert!(m.record(2, 0).is_err());
+    }
+
+    fn labelled_dataset(n_per_class: usize) -> Instances {
+        let mut ds = DatasetBuilder::nominal(1, 3, 3).unwrap();
+        for _ in 0..n_per_class {
+            for c in 0..3u32 {
+                ds.push_row(nominal_row(&[c], c)).unwrap();
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn stratified_folds_balance_classes() {
+        let ds = labelled_dataset(10);
+        let folds = stratified_folds(&ds, 5, 42).unwrap();
+        assert_eq!(folds.len(), 5);
+        let total: usize = folds.iter().map(Vec::len).sum();
+        assert_eq!(total, 30);
+        for fold in &folds {
+            assert_eq!(fold.len(), 6);
+            let mut per_class = [0usize; 3];
+            for &i in fold {
+                per_class[ds.class_of(i).unwrap()] += 1;
+            }
+            assert_eq!(per_class, [2, 2, 2], "stratification");
+        }
+        // Folds partition the dataset.
+        let mut all: Vec<usize> = folds.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn folds_deterministic_per_seed() {
+        let ds = labelled_dataset(10);
+        assert_eq!(
+            stratified_folds(&ds, 5, 1).unwrap(),
+            stratified_folds(&ds, 5, 1).unwrap()
+        );
+        assert_ne!(
+            stratified_folds(&ds, 5, 1).unwrap(),
+            stratified_folds(&ds, 5, 2).unwrap()
+        );
+    }
+
+    #[test]
+    fn cross_validation_perfect_problem() {
+        let ds = labelled_dataset(10);
+        let result =
+            cross_validate(|| Box::new(NaiveBayes::new()), &ds, 10, 7).unwrap();
+        assert!(result.weighted_f_measure() > 0.99, "{}", result.weighted_f_measure());
+        assert_eq!(result.confusion.total(), 30);
+        assert!(result.processing_time() >= result.train_time);
+    }
+
+    #[test]
+    fn zero_r_floor() {
+        // ZeroR on balanced 3 classes: accuracy ≈ 1/3.
+        let ds = labelled_dataset(20);
+        let result = cross_validate(|| Box::new(ZeroR::new()), &ds, 10, 3).unwrap();
+        assert!(result.accuracy() < 0.5);
+    }
+
+    #[test]
+    fn train_test_split_protocol() {
+        let train = labelled_dataset(10);
+        let test = labelled_dataset(2);
+        let r = train_test(|| Box::new(NaiveBayes::new()), &train, &test).unwrap();
+        assert_eq!(r.confusion.total(), 6);
+        assert!(r.accuracy() > 0.99);
+    }
+
+    #[test]
+    fn fold_validation() {
+        let ds = labelled_dataset(1);
+        assert!(stratified_folds(&ds, 1, 0).is_err());
+        assert!(stratified_folds(&ds, 50, 0).is_err());
+    }
+
+    #[test]
+    fn regression_metrics() {
+        let a = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 1.0];
+        assert!((mae(&a, &p).unwrap() - 1.0).abs() < 1e-12);
+        assert!((rmse(&a, &p).unwrap() - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!(mae(&a, &p[..2]).is_err());
+        assert!(mae(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # sms-ml — a from-scratch machine-learning substrate
+//!
+//! The paper runs its experiments through Weka (Hall et al. 2009). This
+//! crate reimplements, in Rust and without external ML dependencies, every
+//! learner and evaluation tool those experiments need:
+//!
+//! | Paper / Weka | Here |
+//! |---|---|
+//! | `NaiveBayes` | [`naive_bayes::NaiveBayes`] |
+//! | `J48` (C4.5) | [`tree::C45`] |
+//! | `RandomForest` | [`forest::RandomForest`] |
+//! | `Logistic` | [`logistic::Logistic`] |
+//! | `SMOreg` (ε-SVR) | [`svm::SvrRegressor`] |
+//! | `IBk` (k-NN) | [`knn::Knn`] |
+//! | `ZeroR` | [`zero_r::ZeroR`], [`zero_r::MeanRegressor`] |
+//! | 10-fold CV, weighted F-measure | [`eval`] |
+//! | lag-attribute forecasting | [`forecast`] |
+//! | ARFF files (Weka interchange) | [`arff`] |
+//! | clustering (k-means/k-modes, ARI) | [`cluster`] |
+//!
+//! Nominal attributes are first-class throughout — the paper's central
+//! pitch is that symbolic meter data unlocks nominal-only algorithms.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arff;
+pub mod classifier;
+pub mod cluster;
+pub mod data;
+pub mod error;
+pub mod eval;
+pub mod feature;
+pub mod forecast;
+pub mod forest;
+pub mod knn;
+pub mod logistic;
+pub mod markov;
+pub mod naive_bayes;
+pub mod report;
+pub mod stats_util;
+pub mod svm;
+pub mod tree;
+pub mod zero_r;
+
+pub use classifier::{Classifier, Regressor};
+pub use data::{Attribute, AttributeKind, Instances, Value};
+pub use error::{Error, Result};

@@ -1,0 +1,336 @@
+//! Multinomial (softmax) logistic regression with ridge regularization —
+//! Weka's `Logistic` equivalent. Nominal features are one-hot encoded,
+//! numeric features standardized; training is full-batch gradient descent
+//! with backtracking line search on the penalized negative log-likelihood.
+//!
+//! This is the paper's `Logistic` column in Table 1 — the classifier that
+//! ran out of Java heap on the raw 1-second vectors (our implementation has
+//! no such problem, and the Table 1 reproduction fills in that `-*` cell).
+
+use crate::classifier::Classifier;
+use crate::data::{AttributeKind, Instances, Value};
+use crate::error::{Error, Result};
+use crate::stats_util::{mean, std_dev};
+
+/// Feature encoding plan: maps a schema row to a dense vector.
+#[derive(Debug, Clone)]
+struct Encoder {
+    /// Per source attribute: offset into the dense vector and width.
+    plan: Vec<(usize, Encoding)>,
+    width: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Encoding {
+    OneHot { offset: usize, card: usize },
+    Standardized { offset: usize, mean: f64, std: f64 },
+}
+
+impl Encoder {
+    fn build(data: &Instances) -> Result<Self> {
+        let mut plan = Vec::new();
+        let mut width = 0usize;
+        for a in data.feature_indices() {
+            match &data.attributes()[a].kind {
+                AttributeKind::Nominal(labels) => {
+                    plan.push((a, Encoding::OneHot { offset: width, card: labels.len() }));
+                    width += labels.len();
+                }
+                AttributeKind::Numeric => {
+                    let vals: Vec<f64> = (0..data.len())
+                        .filter_map(|i| data.row(i)[a].as_numeric())
+                        .collect();
+                    let m = mean(&vals);
+                    let s = std_dev(&vals);
+                    plan.push((a, Encoding::Standardized {
+                        offset: width,
+                        mean: m,
+                        std: if s > 1e-12 { s } else { 1.0 },
+                    }));
+                    width += 1;
+                }
+            }
+        }
+        Ok(Encoder { plan, width })
+    }
+
+    /// Encodes a row; missing values contribute zeros (mean after
+    /// standardization, absent category for one-hot).
+    fn encode(&self, row: &[Value], out: &mut Vec<f64>) -> Result<()> {
+        out.clear();
+        out.resize(self.width + 1, 0.0);
+        out[self.width] = 1.0; // bias
+        for (a, enc) in &self.plan {
+            let v = row.get(*a).copied().unwrap_or(Value::Missing);
+            match (enc, v) {
+                (_, Value::Missing) => {}
+                (Encoding::OneHot { offset, card }, Value::Nominal(idx)) => {
+                    if (idx as usize) < *card {
+                        out[offset + idx as usize] = 1.0;
+                    } else {
+                        return Err(Error::NominalOutOfRange {
+                            attribute: *a,
+                            value: idx,
+                            cardinality: *card,
+                        });
+                    }
+                }
+                (Encoding::Standardized { offset, mean, std }, Value::Numeric(x)) => {
+                    out[*offset] = (x - mean) / std;
+                }
+                _ => {
+                    return Err(Error::SchemaMismatch(format!(
+                        "attribute {a}: value kind does not match encoder"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Ridge-penalized multinomial logistic regression.
+#[derive(Debug, Clone)]
+pub struct Logistic {
+    /// Ridge penalty (Weka default 1e-8).
+    pub ridge: f64,
+    /// Maximum optimizer iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on the gradient norm.
+    pub tol: f64,
+    encoder: Option<Encoder>,
+    /// `weights[class][feature]` (last class pinned at zero, as usual).
+    weights: Vec<Vec<f64>>,
+    n_classes: usize,
+}
+
+impl Default for Logistic {
+    fn default() -> Self {
+        Logistic {
+            ridge: 1e-8,
+            max_iter: 200,
+            tol: 1e-5,
+            encoder: None,
+            weights: Vec::new(),
+            n_classes: 0,
+        }
+    }
+}
+
+impl Logistic {
+    /// Weka-default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn softmax_scores(&self, x: &[f64]) -> Vec<f64> {
+        softmax(&self.weights, x)
+    }
+}
+
+/// Softmax probabilities for a `(k-1) × d` weight matrix with the last class
+/// pinned at zero scores.
+fn softmax(weights: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+    let mut scores: Vec<f64> = weights
+        .iter()
+        .map(|w| w.iter().zip(x).map(|(a, b)| a * b).sum::<f64>())
+        .collect();
+    scores.push(0.0); // pinned last class
+    let m = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut exps: Vec<f64> = scores.iter().map(|s| (s - m).exp()).collect();
+    let z: f64 = exps.iter().sum();
+    for e in exps.iter_mut() {
+        *e /= z;
+    }
+    exps
+}
+
+impl Classifier for Logistic {
+    fn fit(&mut self, data: &Instances) -> Result<()> {
+        if data.is_empty() {
+            return Err(Error::EmptyDataset("Logistic::fit"));
+        }
+        let k = data.num_classes()?;
+        self.n_classes = k;
+        let encoder = Encoder::build(data)?;
+        let d = encoder.width + 1;
+        let n = data.len();
+
+        // Pre-encode all rows.
+        let mut xs: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut buf = Vec::new();
+        for i in 0..n {
+            encoder.encode(data.row(i), &mut buf)?;
+            xs.push(buf.clone());
+        }
+        let ys: Vec<usize> = (0..n).map(|i| data.class_of(i)).collect::<Result<_>>()?;
+
+        // (k-1) × d parameter matrix.
+        let mut w = vec![vec![0.0f64; d]; k - 1];
+        self.weights = w.clone();
+
+        let ridge = self.ridge;
+        let nll = |w: &[Vec<f64>]| -> f64 {
+            let mut loss = 0.0;
+            for (x, &y) in xs.iter().zip(&ys) {
+                let p = softmax(w, x);
+                loss -= p[y].max(1e-300).ln();
+            }
+            let reg: f64 =
+                w.iter().flat_map(|row| row.iter()).map(|v| v * v).sum::<f64>() * ridge;
+            loss + reg
+        };
+
+        self.encoder = Some(encoder.clone());
+        let mut step = 1.0;
+        let mut prev_loss = nll(&w);
+        for _ in 0..self.max_iter {
+            // Gradient.
+            let mut grad = vec![vec![0.0f64; d]; k - 1];
+            for (x, &y) in xs.iter().zip(&ys) {
+                let p = softmax(&w, x);
+                for (c, grad_row) in grad.iter_mut().enumerate() {
+                    let err = p[c] - if y == c { 1.0 } else { 0.0 };
+                    for (g, xv) in grad_row.iter_mut().zip(x) {
+                        *g += err * xv;
+                    }
+                }
+            }
+            for (grad_row, w_row) in grad.iter_mut().zip(&w) {
+                for (g, wv) in grad_row.iter_mut().zip(w_row) {
+                    *g += 2.0 * ridge * wv;
+                }
+            }
+            let gnorm: f64 =
+                grad.iter().flat_map(|r| r.iter()).map(|g| g * g).sum::<f64>().sqrt();
+            if gnorm < self.tol {
+                break;
+            }
+            // Backtracking line search along -grad (normalized by n).
+            let scale = 1.0 / n as f64;
+            let mut improved = false;
+            for _ in 0..30 {
+                let trial: Vec<Vec<f64>> = w
+                    .iter()
+                    .zip(&grad)
+                    .map(|(wr, gr)| {
+                        wr.iter().zip(gr).map(|(wv, gv)| wv - step * scale * gv).collect()
+                    })
+                    .collect();
+                let loss = nll(&trial);
+                if loss < prev_loss {
+                    w = trial;
+                    prev_loss = loss;
+                    step *= 1.2;
+                    improved = true;
+                    break;
+                }
+                step *= 0.5;
+                if step < 1e-12 {
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        if w.iter().flat_map(|r| r.iter()).any(|v| !v.is_finite()) {
+            return Err(Error::NumericalFailure("logistic weights diverged".to_string()));
+        }
+        self.weights = w;
+        Ok(())
+    }
+
+    fn predict_proba(&self, row: &[Value]) -> Result<Vec<f64>> {
+        let encoder = self.encoder.as_ref().ok_or(Error::NotFitted("Logistic"))?;
+        let mut x = Vec::new();
+        encoder.encode(row, &mut x)?;
+        Ok(self.softmax_scores(&x))
+    }
+
+    fn name(&self) -> &'static str {
+        "Logistic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{nominal_row, numeric_row, DatasetBuilder};
+
+    #[test]
+    fn linearly_separable_numeric() {
+        let mut ds = DatasetBuilder::numeric(2, 2).unwrap();
+        for i in 0..60 {
+            let x = (i % 20) as f64;
+            let y = (i % 13) as f64;
+            ds.push_row(numeric_row(&[x, y], u32::from(x + y > 15.0))).unwrap();
+        }
+        let mut lg = Logistic::new();
+        lg.fit(&ds).unwrap();
+        assert_eq!(lg.predict(&numeric_row(&[1.0, 1.0], 0)).unwrap(), 0);
+        assert_eq!(lg.predict(&numeric_row(&[19.0, 12.0], 0)).unwrap(), 1);
+    }
+
+    #[test]
+    fn three_class_nominal() {
+        let mut ds = DatasetBuilder::nominal(1, 3, 3).unwrap();
+        for _ in 0..30 {
+            for v in 0..3u32 {
+                ds.push_row(nominal_row(&[v], v)).unwrap();
+            }
+        }
+        let mut lg = Logistic::new();
+        lg.fit(&ds).unwrap();
+        for v in 0..3u32 {
+            assert_eq!(lg.predict(&nominal_row(&[v], 0)).unwrap(), v as usize);
+        }
+        let p = lg.predict_proba(&nominal_row(&[1], 0)).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p[1] > 0.8, "{p:?}");
+    }
+
+    #[test]
+    fn standardization_handles_large_scales() {
+        let mut ds = DatasetBuilder::numeric(1, 2).unwrap();
+        for i in 0..40 {
+            let x = 1e6 + i as f64 * 1e4;
+            ds.push_row(numeric_row(&[x], u32::from(i >= 20))).unwrap();
+        }
+        let mut lg = Logistic::new();
+        lg.fit(&ds).unwrap();
+        assert_eq!(lg.predict(&numeric_row(&[1e6], 0)).unwrap(), 0);
+        assert_eq!(lg.predict(&numeric_row(&[1e6 + 39e4], 0)).unwrap(), 1);
+    }
+
+    #[test]
+    fn missing_values_tolerated() {
+        let mut ds = DatasetBuilder::numeric(2, 2).unwrap();
+        for i in 0..30 {
+            ds.push_row(numeric_row(&[i as f64, 0.0], u32::from(i >= 15))).unwrap();
+        }
+        ds.push_row(vec![Value::Missing, Value::Numeric(0.0), Value::Nominal(0)]).unwrap();
+        let mut lg = Logistic::new();
+        lg.fit(&ds).unwrap();
+        let p = lg.predict_proba(&[Value::Missing, Value::Missing, Value::Missing]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn not_fitted() {
+        let lg = Logistic::new();
+        assert!(matches!(lg.predict_proba(&[]), Err(Error::NotFitted("Logistic"))));
+    }
+
+    #[test]
+    fn constant_feature_is_harmless() {
+        let mut ds = DatasetBuilder::numeric(2, 2).unwrap();
+        for i in 0..20 {
+            ds.push_row(numeric_row(&[5.0, i as f64], u32::from(i >= 10))).unwrap();
+        }
+        let mut lg = Logistic::new();
+        lg.fit(&ds).unwrap();
+        assert_eq!(lg.predict(&numeric_row(&[5.0, 2.0], 0)).unwrap(), 0);
+        assert_eq!(lg.predict(&numeric_row(&[5.0, 18.0], 0)).unwrap(), 1);
+    }
+}

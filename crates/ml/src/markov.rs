@@ -1,0 +1,207 @@
+//! N-gram (Markov) next-symbol predictor — a symbolic-native forecaster.
+//!
+//! The paper reduces forecasting to classification over lag symbols and
+//! notes "in principle we can use any machine learning algorithm for
+//! classification" (§3.2). An n-gram model over the symbol stream is the
+//! most natural such algorithm for purely nominal sequences: it conditions
+//! on the last `order` symbols and backs off to shorter contexts when a
+//! context was never seen (stupid-backoff style, factor 0.4).
+//!
+//! Implemented as a [`Classifier`] over lag datasets (the last `order`
+//! feature columns are the context), so it drops into the same forecasting
+//! harness as Naive Bayes and Random Forest.
+
+use crate::classifier::{normalize_distribution, Classifier};
+use crate::data::{Instances, Value};
+use crate::error::{Error, Result};
+use std::collections::HashMap;
+
+/// Backoff weight per order step (Brants et al.'s "stupid backoff").
+const BACKOFF: f64 = 0.4;
+
+/// N-gram predictor over nominal lag features.
+#[derive(Debug, Clone)]
+pub struct NgramPredictor {
+    /// Maximum context length (in trailing lag features).
+    pub order: usize,
+    /// `tables[o]`: context of length `o+1` → class counts.
+    tables: Vec<HashMap<Vec<u32>, Vec<f64>>>,
+    /// Unconditional class counts (order-0 backoff).
+    unigram: Vec<f64>,
+    n_classes: usize,
+}
+
+impl NgramPredictor {
+    /// Predictor conditioning on up to `order` trailing symbols.
+    pub fn new(order: usize) -> Self {
+        NgramPredictor { order, tables: Vec::new(), unigram: Vec::new(), n_classes: 0 }
+    }
+
+    /// The trailing `len` lag values of a row's features, as a context key.
+    /// Returns `None` when any needed value is missing or non-nominal.
+    fn context(row: &[Value], n_features: usize, len: usize) -> Option<Vec<u32>> {
+        let start = n_features.checked_sub(len)?;
+        row[start..n_features]
+            .iter()
+            .map(|v| v.as_nominal())
+            .collect()
+    }
+}
+
+impl Classifier for NgramPredictor {
+    fn fit(&mut self, data: &Instances) -> Result<()> {
+        if data.is_empty() {
+            return Err(Error::EmptyDataset("NgramPredictor::fit"));
+        }
+        if self.order == 0 {
+            return Err(Error::InvalidParameter {
+                name: "order",
+                reason: "must be positive".to_string(),
+            });
+        }
+        let k = data.num_classes()?;
+        self.n_classes = k;
+        let n_features = data.feature_indices().len();
+        let max_order = self.order.min(n_features);
+
+        self.unigram = vec![0.0; k];
+        self.tables = vec![HashMap::new(); max_order];
+        for i in 0..data.len() {
+            let class = data.class_of(i)?;
+            self.unigram[class] += 1.0;
+            let row = data.row(i);
+            for len in 1..=max_order {
+                if let Some(ctx) = Self::context(row, n_features, len) {
+                    let counts =
+                        self.tables[len - 1].entry(ctx).or_insert_with(|| vec![0.0; k]);
+                    counts[class] += 1.0;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn predict_proba(&self, row: &[Value]) -> Result<Vec<f64>> {
+        if self.n_classes == 0 {
+            return Err(Error::NotFitted("NgramPredictor"));
+        }
+        // Features = everything except a possible trailing class cell; the
+        // lag harness always passes full-width rows, so use the trained
+        // feature count implicitly via the longest available table.
+        let n_features = row.len().saturating_sub(1).max(1);
+        // Longest context with any observations wins; shorter contexts mix
+        // in with stupid-backoff weights.
+        let mut acc = vec![0.0f64; self.n_classes];
+        let mut weight = 1.0;
+        let max_order = self.tables.len().min(n_features);
+        for len in (1..=max_order).rev() {
+            if let Some(ctx) = Self::context(row, n_features, len) {
+                if let Some(counts) = self.tables[len - 1].get(&ctx) {
+                    let total: f64 = counts.iter().sum();
+                    if total > 0.0 {
+                        for (a, &c) in acc.iter_mut().zip(counts) {
+                            *a += weight * c / total;
+                        }
+                        weight *= BACKOFF;
+                    }
+                }
+            }
+        }
+        // Order-0 backoff with Laplace smoothing.
+        let total: f64 = self.unigram.iter().sum::<f64>() + self.n_classes as f64;
+        for (a, &c) in acc.iter_mut().zip(&self.unigram) {
+            *a += weight * (c + 1.0) / total;
+        }
+        normalize_distribution(&mut acc);
+        Ok(acc)
+    }
+
+    fn name(&self) -> &'static str {
+        "Ngram"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{nominal_row, DatasetBuilder};
+    use crate::forecast::{lag_dataset_nominal, symbolic_forecast};
+
+    #[test]
+    fn learns_deterministic_transitions() {
+        // Cycle 0→1→2→3→0… : context of length 1 suffices.
+        let ranks: Vec<u16> = (0..100).map(|i| (i % 4) as u16).collect();
+        let ds = lag_dataset_nominal(&ranks, 4, 3).unwrap();
+        let mut m = NgramPredictor::new(3);
+        m.fit(&ds).unwrap();
+        // Last lag = 2 ⇒ next = 3.
+        assert_eq!(m.predict(&nominal_row(&[0, 1, 2], 0)).unwrap(), 3);
+        assert_eq!(m.predict(&nominal_row(&[2, 3, 0], 0)).unwrap(), 1);
+    }
+
+    #[test]
+    fn backs_off_for_unseen_contexts() {
+        // Train on a stream that never contains context [3,3,3]; prediction
+        // must still produce a valid distribution (via backoff).
+        let ranks: Vec<u16> = (0..60).map(|i| (i % 2) as u16).collect();
+        let ds = lag_dataset_nominal(&ranks, 4, 3).unwrap();
+        let mut m = NgramPredictor::new(3);
+        m.fit(&ds).unwrap();
+        let p = m.predict_proba(&nominal_row(&[3, 3, 3], 0)).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&x| x > 0.0), "smoothed everywhere: {p:?}");
+    }
+
+    #[test]
+    fn longer_context_disambiguates() {
+        // Second-order pattern: 0,0→1 but 1,0→2. Order-1 cannot tell.
+        let mut ranks = Vec::new();
+        for _ in 0..30 {
+            ranks.extend_from_slice(&[0, 0, 1, 0, 2]); // contexts: (0,0)->1, (1,0)->2
+        }
+        let ds = lag_dataset_nominal(&ranks, 3, 2).unwrap();
+        let mut order2 = NgramPredictor::new(2);
+        order2.fit(&ds).unwrap();
+        assert_eq!(order2.predict(&nominal_row(&[0, 0], 0)).unwrap(), 1);
+        assert_eq!(order2.predict(&nominal_row(&[1, 0], 0)).unwrap(), 2);
+    }
+
+    #[test]
+    fn works_in_the_forecasting_harness() {
+        let train: Vec<u16> = (0..96).map(|i| (i % 8) as u16).collect();
+        let test: Vec<u16> = (96..120).map(|i| (i % 8) as u16).collect();
+        let actual: Vec<f64> = test.iter().map(|&r| r as f64 * 50.0).collect();
+        let result = symbolic_forecast(
+            || Box::new(NgramPredictor::new(4)),
+            &train,
+            &test,
+            &actual,
+            8,
+            12,
+            |r| r as f64 * 50.0,
+        )
+        .unwrap();
+        assert!(result.mae().unwrap() < 1e-9, "periodic stream is fully predictable");
+    }
+
+    #[test]
+    fn validation() {
+        let m = NgramPredictor::new(2);
+        assert!(m.predict_proba(&[Value::Nominal(0)]).is_err());
+        let ds = DatasetBuilder::nominal(2, 2, 2).unwrap();
+        assert!(NgramPredictor::new(2).fit(&ds).is_err(), "empty dataset");
+        let mut ds = DatasetBuilder::nominal(2, 2, 2).unwrap();
+        ds.push_row(nominal_row(&[0, 1], 1)).unwrap();
+        assert!(NgramPredictor::new(0).fit(&ds).is_err(), "zero order");
+    }
+
+    #[test]
+    fn missing_context_values_fall_back() {
+        let ranks: Vec<u16> = (0..40).map(|i| (i % 2) as u16).collect();
+        let ds = lag_dataset_nominal(&ranks, 2, 2).unwrap();
+        let mut m = NgramPredictor::new(2);
+        m.fit(&ds).unwrap();
+        let p = m.predict_proba(&[Value::Missing, Value::Nominal(0), Value::Missing]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,153 @@
+//! Human-readable evaluation reports: the per-class precision/recall/F table
+//! Weka prints after cross-validation, which the paper's numbers were read
+//! from.
+
+use crate::error::{Error, Result};
+use crate::eval::{ConfusionMatrix, CvResult};
+use std::fmt::Write as _;
+
+/// Renders the per-class metric table plus the weighted average row.
+pub fn classification_report(
+    confusion: &ConfusionMatrix,
+    class_names: &[String],
+) -> Result<String> {
+    let k = confusion.num_classes();
+    if class_names.len() != k {
+        return Err(Error::InvalidParameter {
+            name: "class_names",
+            reason: format!("{} names for {k} classes", class_names.len()),
+        });
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>9} {:>9} {:>9}",
+        "class", "precision", "recall", "F-measure", "support"
+    );
+    let total = confusion.total();
+    for (c, name) in class_names.iter().enumerate().take(k) {
+        let support: u64 = confusion.counts()[c].iter().sum();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9.3} {:>9.3} {:>9.3} {:>9}",
+            name,
+            confusion.precision(c),
+            confusion.recall(c),
+            confusion.f_measure(c),
+            support
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>9} {:>9.3} {:>9}",
+        "weighted avg", "", "", confusion.weighted_f_measure(), total
+    );
+    let _ = writeln!(out, "accuracy: {:.3}", confusion.accuracy());
+    Ok(out)
+}
+
+/// Renders the confusion matrix with row/column labels (rows = actual).
+pub fn confusion_table(confusion: &ConfusionMatrix, class_names: &[String]) -> Result<String> {
+    let k = confusion.num_classes();
+    if class_names.len() != k {
+        return Err(Error::InvalidParameter {
+            name: "class_names",
+            reason: format!("{} names for {k} classes", class_names.len()),
+        });
+    }
+    let width = class_names.iter().map(|n| n.len()).max().unwrap_or(4).max(5) + 1;
+    let mut out = String::new();
+    let _ = write!(out, "{:<w$}", "a\\p", w = width);
+    for name in class_names {
+        let _ = write!(out, "{name:>w$}", w = width);
+    }
+    let _ = writeln!(out);
+    for (c, row) in confusion.counts().iter().enumerate() {
+        let _ = write!(out, "{:<w$}", class_names[c], w = width);
+        for &v in row {
+            let _ = write!(out, "{v:>w$}", w = width);
+        }
+        let _ = writeln!(out);
+    }
+    Ok(out)
+}
+
+/// One-line summary of a cross-validation run, in the figures' two axes.
+pub fn cv_summary(result: &CvResult) -> String {
+    format!(
+        "F-measure {:.3}  accuracy {:.3}  processing time {:.4}s ({} folds, {} instances)",
+        result.weighted_f_measure(),
+        result.accuracy(),
+        result.processing_time().as_secs_f64(),
+        result.folds,
+        result.confusion.total()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::new(2).unwrap();
+        for _ in 0..8 {
+            m.record(0, 0).unwrap();
+        }
+        for _ in 0..2 {
+            m.record(0, 1).unwrap();
+        }
+        for _ in 0..5 {
+            m.record(1, 1).unwrap();
+        }
+        m.record(1, 0).unwrap();
+        m
+    }
+
+    #[test]
+    fn report_contains_all_classes_and_metrics() {
+        let m = sample_matrix();
+        let names = vec!["house1".to_string(), "house2".to_string()];
+        let r = classification_report(&m, &names).unwrap();
+        assert!(r.contains("house1"));
+        assert!(r.contains("house2"));
+        assert!(r.contains("weighted avg"));
+        assert!(r.contains("accuracy: 0.812"));
+        // Support column: 10 and 6.
+        assert!(r.contains("10"));
+        assert!(r.contains(" 6"));
+    }
+
+    #[test]
+    fn confusion_table_layout() {
+        let m = sample_matrix();
+        let names = vec!["h1".to_string(), "h2".to_string()];
+        let t = confusion_table(&m, &names).unwrap();
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains('8'));
+        assert!(lines[2].contains('5'));
+    }
+
+    #[test]
+    fn wrong_name_count_rejected() {
+        let m = sample_matrix();
+        assert!(classification_report(&m, &["only-one".to_string()]).is_err());
+        assert!(confusion_table(&m, &[]).is_err());
+    }
+
+    #[test]
+    fn cv_summary_format() {
+        use crate::data::{nominal_row, DatasetBuilder};
+        use crate::eval::cross_validate;
+        use crate::naive_bayes::NaiveBayes;
+        let mut ds = DatasetBuilder::nominal(1, 2, 2).unwrap();
+        for i in 0..20u32 {
+            ds.push_row(nominal_row(&[i % 2], i % 2)).unwrap();
+        }
+        let cv = cross_validate(|| Box::new(NaiveBayes::new()), &ds, 5, 1).unwrap();
+        let s = cv_summary(&cv);
+        assert!(s.contains("F-measure"));
+        assert!(s.contains("5 folds"));
+        assert!(s.contains("20 instances"));
+    }
+}

@@ -1,0 +1,772 @@
+//! C4.5 decision tree (Weka's `J48` equivalent) and the randomized variant
+//! underlying random forests.
+//!
+//! Implemented: gain-ratio splits, multiway splits on nominal attributes,
+//! binary threshold splits on numeric attributes, and C4.5's pessimistic
+//! error-based pruning (confidence factor 0.25, Weka's `Stats.addErrs`
+//! formula). Missing values follow the most-populated branch — a documented
+//! simplification of C4.5's fractional instances; the paper's filtered
+//! datasets contain no missing feature values, so this never triggers there.
+
+use crate::classifier::{normalize_distribution, Classifier};
+use crate::data::{AttributeKind, Instances, Value};
+use crate::error::{Error, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Tree nodes. Every node keeps its training class distribution so
+/// prediction can return calibrated-ish probabilities.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        dist: Vec<f64>,
+        /// Training instances that actually reached this leaf. Differs from
+        /// `dist.sum()` only for the virtual leaves created for empty
+        /// nominal branches (which carry the parent's distribution for
+        /// prediction but no real mass — and must contribute zero estimated
+        /// errors during pruning).
+        real_n: f64,
+    },
+    Nominal {
+        attr: usize,
+        children: Vec<Node>,
+        /// Branch taken for missing values (most populated in training).
+        default_branch: usize,
+        dist: Vec<f64>,
+    },
+    Numeric {
+        attr: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+        /// `true` when the left branch had more training mass.
+        default_left: bool,
+        dist: Vec<f64>,
+    },
+}
+
+impl Node {
+    fn count_nodes(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Nominal { children, .. } => {
+                1 + children.iter().map(Node::count_nodes).sum::<usize>()
+            }
+            Node::Numeric { left, right, .. } => 1 + left.count_nodes() + right.count_nodes(),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Nominal { children, .. } => {
+                1 + children.iter().map(Node::depth).max().unwrap_or(0)
+            }
+            Node::Numeric { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+}
+
+/// Split-search policy shared by C4.5 and random trees.
+#[derive(Debug, Clone)]
+struct BuildOptions {
+    /// Minimum instances in at least two branches of an accepted split
+    /// (Weka's `minNumObj`, default 2).
+    min_leaf: usize,
+    /// Use gain ratio (C4.5) instead of plain information gain.
+    gain_ratio: bool,
+    /// Consider only a random subset of this many attributes per node.
+    feature_subset: Option<usize>,
+    /// Maximum tree depth (0 = unlimited).
+    max_depth: usize,
+}
+
+fn entropy(counts: &[f64]) -> f64 {
+    let total: f64 = counts.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    counts
+        .iter()
+        .filter(|&&c| c > 0.0)
+        .map(|&c| {
+            let p = c / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Candidate split found at a node.
+enum Split {
+    Nominal { attr: usize, partitions: Vec<Vec<usize>> },
+    Numeric { attr: usize, threshold: f64, left: Vec<usize>, right: Vec<usize> },
+}
+
+struct Builder<'a> {
+    data: &'a Instances,
+    n_classes: usize,
+    opts: BuildOptions,
+    rng: StdRng,
+}
+
+impl<'a> Builder<'a> {
+    fn class_dist(&self, rows: &[usize]) -> Result<Vec<f64>> {
+        let mut d = vec![0.0; self.n_classes];
+        for &i in rows {
+            d[self.data.class_of(i)?] += 1.0;
+        }
+        Ok(d)
+    }
+
+    fn build(&mut self, rows: &[usize], used_nominal: &mut Vec<bool>, depth: usize) -> Result<Node> {
+        let dist = self.class_dist(rows)?;
+        let h = entropy(&dist);
+        let depth_ok = self.opts.max_depth == 0 || depth < self.opts.max_depth;
+        if h == 0.0 || rows.len() < 2 * self.opts.min_leaf || !depth_ok {
+            let real_n = dist.iter().sum();
+            return Ok(Node::Leaf { dist, real_n });
+        }
+
+        let candidates = self.candidate_attributes(used_nominal);
+        let mut best: Option<(f64, Split)> = None;
+        for attr in candidates {
+            if let Some((score, split)) = self.evaluate_attribute(attr, rows, h)? {
+                if best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
+                    best = Some((score, split));
+                }
+            }
+        }
+
+        let Some((_, split)) = best else {
+            let real_n = dist.iter().sum();
+            return Ok(Node::Leaf { dist, real_n });
+        };
+
+        match split {
+            Split::Nominal { attr, partitions } => {
+                used_nominal[attr] = true;
+                let mut children = Vec::with_capacity(partitions.len());
+                let mut default_branch = 0;
+                let mut best_size = 0;
+                for (b, part) in partitions.iter().enumerate() {
+                    if part.len() > best_size {
+                        best_size = part.len();
+                        default_branch = b;
+                    }
+                    if part.is_empty() {
+                        // Empty branch: predict with the parent distribution,
+                        // but carry zero real mass (see `Node::Leaf::real_n`).
+                        children.push(Node::Leaf { dist: dist.clone(), real_n: 0.0 });
+                    } else {
+                        children.push(self.build(part, used_nominal, depth + 1)?);
+                    }
+                }
+                used_nominal[attr] = false;
+                Ok(Node::Nominal { attr, children, default_branch, dist })
+            }
+            Split::Numeric { attr, threshold, left, right } => {
+                let default_left = left.len() >= right.len();
+                let l = self.build(&left, used_nominal, depth + 1)?;
+                let r = self.build(&right, used_nominal, depth + 1)?;
+                Ok(Node::Numeric { attr, threshold, left: Box::new(l), right: Box::new(r), default_left, dist })
+            }
+        }
+    }
+
+    fn candidate_attributes(&mut self, used_nominal: &[bool]) -> Vec<usize> {
+        let mut feats: Vec<usize> = self
+            .data
+            .feature_indices()
+            .into_iter()
+            .filter(|&a| {
+                // A nominal attribute splits once per path; numeric can repeat.
+                !(self.data.attributes()[a].is_nominal() && used_nominal[a])
+            })
+            .collect();
+        if let Some(m) = self.opts.feature_subset {
+            feats.shuffle(&mut self.rng);
+            feats.truncate(m.max(1));
+        }
+        feats
+    }
+
+    fn evaluate_attribute(
+        &self,
+        attr: usize,
+        rows: &[usize],
+        parent_entropy: f64,
+    ) -> Result<Option<(f64, Split)>> {
+        match &self.data.attributes()[attr].kind {
+            AttributeKind::Nominal(labels) => {
+                self.evaluate_nominal(attr, labels.len(), rows, parent_entropy)
+            }
+            AttributeKind::Numeric => self.evaluate_numeric(attr, rows, parent_entropy),
+        }
+    }
+
+    fn evaluate_nominal(
+        &self,
+        attr: usize,
+        card: usize,
+        rows: &[usize],
+        parent_entropy: f64,
+    ) -> Result<Option<(f64, Split)>> {
+        let mut partitions: Vec<Vec<usize>> = vec![Vec::new(); card];
+        let mut missing = Vec::new();
+        for &i in rows {
+            match self.data.row(i)[attr] {
+                Value::Nominal(v) => partitions[v as usize].push(i),
+                Value::Missing => missing.push(i),
+                Value::Numeric(_) => {
+                    return Err(Error::SchemaMismatch(format!(
+                        "attribute {attr} declared nominal but holds a numeric value"
+                    )))
+                }
+            }
+        }
+        // Route missing rows into the largest branch.
+        if !missing.is_empty() {
+            let biggest = (0..card).max_by_key(|&b| partitions[b].len()).unwrap_or(0);
+            partitions[biggest].extend(missing);
+        }
+        // Weka requirement: at least two branches carrying min_leaf instances.
+        let populated =
+            partitions.iter().filter(|p| p.len() >= self.opts.min_leaf).count();
+        if populated < 2 {
+            return Ok(None);
+        }
+        let n = rows.len() as f64;
+        let mut cond = 0.0;
+        let mut split_info_counts = Vec::with_capacity(card);
+        for part in &partitions {
+            split_info_counts.push(part.len() as f64);
+            if !part.is_empty() {
+                let d = self.class_dist(part)?;
+                cond += part.len() as f64 / n * entropy(&d);
+            }
+        }
+        let gain = parent_entropy - cond;
+        if gain <= 1e-12 {
+            return Ok(None);
+        }
+        let score = if self.opts.gain_ratio {
+            let si = entropy(&split_info_counts);
+            if si <= 1e-12 {
+                return Ok(None);
+            }
+            gain / si
+        } else {
+            gain
+        };
+        Ok(Some((score, Split::Nominal { attr, partitions })))
+    }
+
+    fn evaluate_numeric(
+        &self,
+        attr: usize,
+        rows: &[usize],
+        parent_entropy: f64,
+    ) -> Result<Option<(f64, Split)>> {
+        // Collect (value, class); missing rows are routed to the bigger side
+        // after the threshold is chosen.
+        let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(rows.len());
+        let mut missing = Vec::new();
+        for &i in rows {
+            match self.data.row(i)[attr] {
+                Value::Numeric(v) => pairs.push((v, self.data.class_of(i)?, i)),
+                Value::Missing => missing.push(i),
+                Value::Nominal(_) => {
+                    return Err(Error::SchemaMismatch(format!(
+                        "attribute {attr} declared numeric but holds a nominal value"
+                    )))
+                }
+            }
+        }
+        if pairs.len() < 2 * self.opts.min_leaf {
+            return Ok(None);
+        }
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"));
+
+        // Sweep: maintain left class counts; candidate thresholds between
+        // consecutive distinct values.
+        let total_dist = {
+            let mut d = vec![0.0; self.n_classes];
+            for &(_, c, _) in &pairs {
+                d[c] += 1.0;
+            }
+            d
+        };
+        let n = pairs.len() as f64;
+        let mut left_dist = vec![0.0; self.n_classes];
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, cut_pos, threshold)
+        for cut in 1..pairs.len() {
+            left_dist[pairs[cut - 1].1] += 1.0;
+            if pairs[cut - 1].0 == pairs[cut].0 {
+                continue;
+            }
+            if cut < self.opts.min_leaf || pairs.len() - cut < self.opts.min_leaf {
+                continue;
+            }
+            let mut right_dist = total_dist.clone();
+            for (r, l) in right_dist.iter_mut().zip(&left_dist) {
+                *r -= l;
+            }
+            let cond = cut as f64 / n * entropy(&left_dist)
+                + (n - cut as f64) / n * entropy(&right_dist);
+            let gain = parent_entropy - cond;
+            if best.map(|(g, _, _)| gain > g).unwrap_or(true) {
+                let threshold = (pairs[cut - 1].0 + pairs[cut].0) / 2.0;
+                best = Some((gain, cut, threshold));
+            }
+        }
+        let Some((gain, cut, threshold)) = best else { return Ok(None) };
+        if gain <= 1e-12 {
+            return Ok(None);
+        }
+        let score = if self.opts.gain_ratio {
+            let si = entropy(&[cut as f64, n - cut as f64]);
+            if si <= 1e-12 {
+                return Ok(None);
+            }
+            gain / si
+        } else {
+            gain
+        };
+        let mut left: Vec<usize> = pairs[..cut].iter().map(|&(_, _, i)| i).collect();
+        let mut right: Vec<usize> = pairs[cut..].iter().map(|&(_, _, i)| i).collect();
+        if left.len() >= right.len() {
+            left.extend(missing);
+        } else {
+            right.extend(missing);
+        }
+        Ok(Some((score, Split::Numeric { attr, threshold, left, right })))
+    }
+}
+
+/// Weka's `Stats.addErrs`: additional errors to charge a leaf making `e`
+/// errors over `n` instances, at confidence `cf` (pessimistic upper bound of
+/// the binomial error rate).
+fn added_errors(n: f64, e: f64, cf: f64) -> f64 {
+    if cf > 0.5 {
+        return 0.0; // no pruning pressure
+    }
+    if e < 1.0 {
+        let base = n * (1.0 - cf.powf(1.0 / n));
+        if e == 0.0 {
+            return base;
+        }
+        return base + e * (added_errors(n, 1.0, cf) - base);
+    }
+    if e + 0.5 >= n {
+        return (n - e).max(0.0);
+    }
+    // Normal approximation to the binomial upper confidence limit.
+    let z = crate::stats_util::probit(1.0 - cf);
+    let f = (e + 0.5) / n;
+    let r = (f + z * z / (2.0 * n) + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
+        / (1.0 + z * z / n);
+    r * n - e
+}
+
+/// `(real instance mass, training errors)` of a node treated as a leaf:
+/// errors are the real mass times the misclassification fraction of the
+/// distribution's majority class.
+fn leaf_errors(dist: &[f64], real_n: f64) -> (f64, f64) {
+    let total: f64 = dist.iter().sum();
+    if total <= 0.0 || real_n <= 0.0 {
+        return (0.0, 0.0);
+    }
+    let max = dist.iter().copied().fold(0.0, f64::max);
+    (real_n, real_n * (1.0 - max / total))
+}
+
+/// Pessimistic estimated error of a (pruned) subtree: the sum over its
+/// leaves of `e + addErrs(n, e)`.
+fn subtree_estimated_errors(node: &Node, cf: f64) -> f64 {
+    match node {
+        Node::Leaf { dist, real_n } => {
+            let (n, e) = leaf_errors(dist, *real_n);
+            if n == 0.0 {
+                0.0
+            } else {
+                e + added_errors(n, e, cf)
+            }
+        }
+        Node::Nominal { children, .. } => {
+            children.iter().map(|c| subtree_estimated_errors(c, cf)).sum()
+        }
+        Node::Numeric { left, right, .. } => {
+            subtree_estimated_errors(left, cf) + subtree_estimated_errors(right, cf)
+        }
+    }
+}
+
+/// Pessimistic post-pruning: replace a subtree with a leaf when the leaf's
+/// estimated error does not exceed the subtree's (computed recursively over
+/// the subtree's actual leaves, as in C4.5).
+fn prune(node: Node, cf: f64) -> Node {
+    match node {
+        Node::Leaf { dist, real_n } => Node::Leaf { dist, real_n },
+        Node::Nominal { attr, children, default_branch, dist } => {
+            let children: Vec<Node> = children.into_iter().map(|c| prune(c, cf)).collect();
+            let subtree_est: f64 =
+                children.iter().map(|c| subtree_estimated_errors(c, cf)).sum();
+            let real_n: f64 = dist.iter().sum();
+            let (n, e) = leaf_errors(&dist, real_n);
+            let leaf_est = e + added_errors(n, e, cf);
+            if leaf_est <= subtree_est + 0.1 {
+                Node::Leaf { dist, real_n }
+            } else {
+                Node::Nominal { attr, children, default_branch, dist }
+            }
+        }
+        Node::Numeric { attr, threshold, left, right, default_left, dist } => {
+            let left = Box::new(prune(*left, cf));
+            let right = Box::new(prune(*right, cf));
+            let subtree_est =
+                subtree_estimated_errors(&left, cf) + subtree_estimated_errors(&right, cf);
+            let real_n: f64 = dist.iter().sum();
+            let (n, e) = leaf_errors(&dist, real_n);
+            let leaf_est = e + added_errors(n, e, cf);
+            if leaf_est <= subtree_est + 0.1 {
+                Node::Leaf { dist, real_n }
+            } else {
+                Node::Numeric { attr, threshold, left, right, default_left, dist }
+            }
+        }
+    }
+}
+
+fn predict_node<'n>(mut node: &'n Node, row: &[Value]) -> Result<&'n [f64]> {
+    loop {
+        match node {
+            Node::Leaf { dist, .. } => return Ok(dist),
+            Node::Nominal { attr, children, default_branch, .. } => {
+                let branch = match row.get(*attr) {
+                    Some(Value::Nominal(v)) => (*v as usize).min(children.len() - 1),
+                    Some(Value::Missing) | None => *default_branch,
+                    Some(Value::Numeric(_)) => {
+                        return Err(Error::SchemaMismatch(format!(
+                            "attribute {attr}: numeric value at a nominal split"
+                        )))
+                    }
+                };
+                node = &children[branch];
+            }
+            Node::Numeric { attr, threshold, left, right, default_left, .. } => {
+                let go_left = match row.get(*attr) {
+                    Some(Value::Numeric(v)) => *v <= *threshold,
+                    Some(Value::Missing) | None => *default_left,
+                    Some(Value::Nominal(_)) => {
+                        return Err(Error::SchemaMismatch(format!(
+                            "attribute {attr}: nominal value at a numeric split"
+                        )))
+                    }
+                };
+                node = if go_left { left } else { right };
+            }
+        }
+    }
+}
+
+/// C4.5 decision tree (J48): gain-ratio splits, pessimistic pruning.
+#[derive(Debug, Clone)]
+pub struct C45 {
+    /// Minimum instances per accepted branch (Weka `minNumObj`).
+    pub min_leaf: usize,
+    /// Pruning confidence factor (Weka `confidenceFactor`, default 0.25).
+    pub confidence: f64,
+    /// Whether to prune at all (Weka `unpruned` inverted).
+    pub pruning: bool,
+    root: Option<Node>,
+    n_classes: usize,
+}
+
+impl Default for C45 {
+    fn default() -> Self {
+        C45 { min_leaf: 2, confidence: 0.25, pruning: true, root: None, n_classes: 0 }
+    }
+}
+
+impl C45 {
+    /// J48 with Weka's default parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An unpruned variant.
+    pub fn unpruned() -> Self {
+        C45 { pruning: false, ..Self::default() }
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn node_count(&self) -> usize {
+        self.root.as_ref().map(Node::count_nodes).unwrap_or(0)
+    }
+
+    /// Depth of the fitted tree.
+    pub fn depth(&self) -> usize {
+        self.root.as_ref().map(Node::depth).unwrap_or(0)
+    }
+}
+
+impl Classifier for C45 {
+    fn fit(&mut self, data: &Instances) -> Result<()> {
+        if data.is_empty() {
+            return Err(Error::EmptyDataset("C45::fit"));
+        }
+        self.n_classes = data.num_classes()?;
+        let mut builder = Builder {
+            data,
+            n_classes: self.n_classes,
+            opts: BuildOptions {
+                min_leaf: self.min_leaf,
+                gain_ratio: true,
+                feature_subset: None,
+                max_depth: 0,
+            },
+            rng: StdRng::seed_from_u64(0),
+        };
+        let rows: Vec<usize> = (0..data.len()).collect();
+        let mut used = vec![false; data.attributes().len()];
+        let mut root = builder.build(&rows, &mut used, 0)?;
+        if self.pruning {
+            root = prune(root, self.confidence);
+        }
+        self.root = Some(root);
+        Ok(())
+    }
+
+    fn predict_proba(&self, row: &[Value]) -> Result<Vec<f64>> {
+        let root = self.root.as_ref().ok_or(Error::NotFitted("C45"))?;
+        let dist = predict_node(root, row)?;
+        // Laplace-correct the leaf distribution.
+        let mut p: Vec<f64> = dist.iter().map(|&c| c + 1.0).collect();
+        normalize_distribution(&mut p);
+        Ok(p)
+    }
+
+    fn name(&self) -> &'static str {
+        "J48"
+    }
+}
+
+/// Randomized tree for forests: per-node random feature subsets, plain
+/// information gain, no pruning (Weka's `RandomTree`).
+#[derive(Debug, Clone)]
+pub struct RandomTree {
+    /// Features considered per node (`0` = `ceil(log2(F)) + 1`, Weka's default).
+    pub feature_subset: usize,
+    /// Minimum instances per branch.
+    pub min_leaf: usize,
+    /// Maximum depth (0 = unlimited).
+    pub max_depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+    root: Option<Node>,
+    n_classes: usize,
+}
+
+impl RandomTree {
+    /// Random tree with the given seed and Weka-style defaults.
+    pub fn new(seed: u64) -> Self {
+        RandomTree { feature_subset: 0, min_leaf: 1, max_depth: 0, seed, root: None, n_classes: 0 }
+    }
+}
+
+impl Classifier for RandomTree {
+    fn fit(&mut self, data: &Instances) -> Result<()> {
+        if data.is_empty() {
+            return Err(Error::EmptyDataset("RandomTree::fit"));
+        }
+        self.n_classes = data.num_classes()?;
+        let f = data.feature_indices().len();
+        let subset = if self.feature_subset == 0 {
+            ((f as f64).log2().ceil() as usize + 1).min(f)
+        } else {
+            self.feature_subset.min(f)
+        };
+        let mut builder = Builder {
+            data,
+            n_classes: self.n_classes,
+            opts: BuildOptions {
+                min_leaf: self.min_leaf,
+                gain_ratio: false,
+                feature_subset: Some(subset),
+                max_depth: self.max_depth,
+            },
+            rng: StdRng::seed_from_u64(self.seed),
+        };
+        let rows: Vec<usize> = (0..data.len()).collect();
+        let mut used = vec![false; data.attributes().len()];
+        self.root = Some(builder.build(&rows, &mut used, 0)?);
+        Ok(())
+    }
+
+    fn predict_proba(&self, row: &[Value]) -> Result<Vec<f64>> {
+        let root = self.root.as_ref().ok_or(Error::NotFitted("RandomTree"))?;
+        let dist = predict_node(root, row)?;
+        let mut p = dist.to_vec();
+        normalize_distribution(&mut p);
+        Ok(p)
+    }
+
+    fn name(&self) -> &'static str {
+        "RandomTree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{nominal_row, numeric_row, DatasetBuilder};
+
+    fn and_dataset() -> Instances {
+        // class = f0 AND f1 — needs depth 2, and each feature has positive
+        // gain at the root (unlike XOR, which defeats any greedy splitter).
+        let mut ds = DatasetBuilder::nominal(2, 2, 2).unwrap();
+        for _ in 0..10 {
+            ds.push_row(nominal_row(&[0, 0], 0)).unwrap();
+            ds.push_row(nominal_row(&[0, 1], 0)).unwrap();
+            ds.push_row(nominal_row(&[1, 0], 0)).unwrap();
+            ds.push_row(nominal_row(&[1, 1], 1)).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn learns_conjunction() {
+        let mut tree = C45::new();
+        tree.fit(&and_dataset()).unwrap();
+        assert_eq!(tree.predict(&nominal_row(&[0, 0], 0)).unwrap(), 0);
+        assert_eq!(tree.predict(&nominal_row(&[0, 1], 0)).unwrap(), 0);
+        assert_eq!(tree.predict(&nominal_row(&[1, 0], 0)).unwrap(), 0);
+        assert_eq!(tree.predict(&nominal_row(&[1, 1], 0)).unwrap(), 1);
+        assert!(tree.node_count() >= 4, "AND needs both features: {}", tree.node_count());
+    }
+
+    #[test]
+    fn xor_defeats_greedy_splitting() {
+        // Both features have exactly zero gain at the root of XOR, so C4.5
+        // (like Weka's J48) degenerates to a single majority leaf. This
+        // documents the known greedy limitation rather than a bug.
+        let mut ds = DatasetBuilder::nominal(2, 2, 2).unwrap();
+        for _ in 0..10 {
+            ds.push_row(nominal_row(&[0, 0], 0)).unwrap();
+            ds.push_row(nominal_row(&[0, 1], 1)).unwrap();
+            ds.push_row(nominal_row(&[1, 0], 1)).unwrap();
+            ds.push_row(nominal_row(&[1, 1], 0)).unwrap();
+        }
+        let mut tree = C45::new();
+        tree.fit(&ds).unwrap();
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn learns_numeric_threshold() {
+        let mut ds = DatasetBuilder::numeric(1, 2).unwrap();
+        for i in 0..50 {
+            let v = i as f64;
+            ds.push_row(numeric_row(&[v], u32::from(v > 25.0))).unwrap();
+        }
+        let mut tree = C45::new();
+        tree.fit(&ds).unwrap();
+        assert_eq!(tree.predict(&numeric_row(&[10.0], 0)).unwrap(), 0);
+        assert_eq!(tree.predict(&numeric_row(&[40.0], 0)).unwrap(), 1);
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn pruning_collapses_noise_splits() {
+        // Class is (almost) independent of the feature: an unpruned tree may
+        // split on noise; a pruned one should be (nearly) a single leaf.
+        let mut ds = DatasetBuilder::nominal(4, 2, 2).unwrap();
+        for i in 0..200u32 {
+            let noise = [(i * 7) % 2, (i * 13) % 2, (i * 29) % 2, (i * 31) % 2];
+            // 90% class 0 regardless of features.
+            let class = u32::from(i % 10 == 0);
+            ds.push_row(nominal_row(&noise, class)).unwrap();
+        }
+        let mut pruned = C45::new();
+        pruned.fit(&ds).unwrap();
+        let mut unpruned = C45::unpruned();
+        unpruned.fit(&ds).unwrap();
+        assert!(
+            pruned.node_count() <= unpruned.node_count(),
+            "pruned {} vs unpruned {}",
+            pruned.node_count(),
+            unpruned.node_count()
+        );
+        assert_eq!(pruned.predict(&nominal_row(&[0, 0, 0, 0], 0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn added_errors_monotone_in_confidence() {
+        // Lower confidence = more pessimism = more added errors.
+        let strict = added_errors(100.0, 5.0, 0.1);
+        let loose = added_errors(100.0, 5.0, 0.4);
+        assert!(strict > loose, "{strict} vs {loose}");
+        assert_eq!(added_errors(100.0, 5.0, 0.6), 0.0, "cf > 0.5 disables pruning pressure");
+        assert!(added_errors(10.0, 0.0, 0.25) > 0.0, "even error-free leaves get a charge");
+    }
+
+    #[test]
+    fn missing_values_follow_default_branch() {
+        let mut ds = DatasetBuilder::nominal(1, 2, 2).unwrap();
+        for _ in 0..30 {
+            ds.push_row(nominal_row(&[0], 0)).unwrap();
+        }
+        for _ in 0..10 {
+            ds.push_row(nominal_row(&[1], 1)).unwrap();
+        }
+        let mut tree = C45::unpruned();
+        tree.fit(&ds).unwrap();
+        // Missing goes down the majority (value 0) branch.
+        assert_eq!(tree.predict(&[Value::Missing, Value::Missing]).unwrap(), 0);
+    }
+
+    #[test]
+    fn random_tree_learns_conjunction() {
+        let ds = and_dataset();
+        let mut correct_any = false;
+        for seed in 0..4 {
+            let mut rt = RandomTree::new(seed);
+            rt.fit(&ds).unwrap();
+            let ok = [(0, 0, 0), (0, 1, 0), (1, 0, 0), (1, 1, 1)]
+                .iter()
+                .all(|&(a, b, c)| rt.predict(&nominal_row(&[a, b], 0)).unwrap() == c);
+            correct_any |= ok;
+        }
+        assert!(correct_any, "some seed must solve AND (both features available)");
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let tree = C45::new();
+        assert!(matches!(tree.predict_proba(&[]), Err(Error::NotFitted("C45"))));
+        let rt = RandomTree::new(0);
+        assert!(rt.predict_proba(&[]).is_err());
+    }
+
+    #[test]
+    fn single_class_dataset_yields_single_leaf() {
+        let mut ds = DatasetBuilder::nominal(2, 3, 2).unwrap();
+        for i in 0..20u32 {
+            ds.push_row(nominal_row(&[i % 3, (i + 1) % 3], 0)).unwrap();
+        }
+        let mut tree = C45::new();
+        tree.fit(&ds).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&nominal_row(&[2, 2], 0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let mut tree = C45::new();
+        tree.fit(&and_dataset()).unwrap();
+        let p = tree.predict_proba(&nominal_row(&[0, 1], 0)).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&x| x >= 0.0));
+    }
+}

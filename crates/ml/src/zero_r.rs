@@ -1,0 +1,110 @@
+//! ZeroR baselines: predict the majority class (classification) or the mean
+//! target (regression). Any result worth reporting must beat these.
+
+use crate::classifier::{normalize_distribution, Classifier, Regressor};
+use crate::data::{Instances, Value};
+use crate::error::{Error, Result};
+
+/// Majority-class classifier.
+#[derive(Debug, Clone, Default)]
+pub struct ZeroR {
+    dist: Vec<f64>,
+}
+
+impl ZeroR {
+    /// Creates an untrained baseline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Classifier for ZeroR {
+    fn fit(&mut self, data: &Instances) -> Result<()> {
+        if data.is_empty() {
+            return Err(Error::EmptyDataset("ZeroR::fit"));
+        }
+        let mut d: Vec<f64> =
+            data.class_counts()?.into_iter().map(|c| c as f64).collect();
+        normalize_distribution(&mut d);
+        self.dist = d;
+        Ok(())
+    }
+
+    fn predict_proba(&self, _row: &[Value]) -> Result<Vec<f64>> {
+        if self.dist.is_empty() {
+            return Err(Error::NotFitted("ZeroR"));
+        }
+        Ok(self.dist.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "ZeroR"
+    }
+}
+
+/// Mean-target regressor.
+#[derive(Debug, Clone, Default)]
+pub struct MeanRegressor {
+    mean: Option<f64>,
+}
+
+impl MeanRegressor {
+    /// Creates an untrained baseline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Regressor for MeanRegressor {
+    fn fit(&mut self, data: &Instances) -> Result<()> {
+        if data.is_empty() {
+            return Err(Error::EmptyDataset("MeanRegressor::fit"));
+        }
+        let sum: f64 = (0..data.len()).map(|i| data.target_of(i)).sum::<Result<f64>>()?;
+        self.mean = Some(sum / data.len() as f64);
+        Ok(())
+    }
+
+    fn predict(&self, _row: &[Value]) -> Result<f64> {
+        self.mean.ok_or(Error::NotFitted("MeanRegressor"))
+    }
+
+    fn name(&self) -> &'static str {
+        "Mean"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{nominal_row, regression_row, DatasetBuilder};
+
+    #[test]
+    fn majority_class() {
+        let mut ds = DatasetBuilder::nominal(1, 2, 3).unwrap();
+        for _ in 0..3 {
+            ds.push_row(nominal_row(&[0], 2)).unwrap();
+        }
+        ds.push_row(nominal_row(&[0], 0)).unwrap();
+        let mut z = ZeroR::new();
+        z.fit(&ds).unwrap();
+        assert_eq!(z.predict(&nominal_row(&[1], 0)).unwrap(), 2);
+        assert_eq!(z.predict_proba(&[]).unwrap()[2], 0.75);
+    }
+
+    #[test]
+    fn mean_regressor() {
+        let mut ds = DatasetBuilder::regression(1).unwrap();
+        ds.push_row(regression_row(&[0.0], 10.0)).unwrap();
+        ds.push_row(regression_row(&[1.0], 20.0)).unwrap();
+        let mut m = MeanRegressor::new();
+        m.fit(&ds).unwrap();
+        assert_eq!(m.predict(&regression_row(&[5.0], 0.0)).unwrap(), 15.0);
+    }
+
+    #[test]
+    fn not_fitted() {
+        assert!(ZeroR::new().predict_proba(&[]).is_err());
+        assert!(MeanRegressor::new().predict(&[]).is_err());
+    }
+}

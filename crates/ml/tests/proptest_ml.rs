@@ -1,0 +1,172 @@
+//! Property-based tests for the ML substrate: every classifier must produce
+//! valid, deterministic probability distributions on arbitrary (well-formed)
+//! datasets, evaluation metrics must respect their algebraic bounds, and
+//! ARFF must round-trip arbitrary schemas.
+
+use proptest::prelude::*;
+use sms_ml::arff::{from_arff, to_arff};
+use sms_ml::classifier::Classifier;
+use sms_ml::data::{nominal_row, numeric_row, DatasetBuilder, Instances, Value};
+use sms_ml::eval::ConfusionMatrix;
+use sms_ml::forest::RandomForest;
+use sms_ml::knn::Knn;
+use sms_ml::logistic::Logistic;
+use sms_ml::markov::NgramPredictor;
+use sms_ml::naive_bayes::NaiveBayes;
+use sms_ml::tree::{RandomTree, C45};
+use sms_ml::zero_r::ZeroR;
+
+/// Arbitrary small nominal dataset: rows of (f0, f1, class) with at least
+/// one row per class index used.
+fn nominal_dataset_strategy() -> impl Strategy<Value = Instances> {
+    prop::collection::vec((0u32..4, 0u32..4, 0u32..3), 6..50).prop_map(|rows| {
+        let mut ds = DatasetBuilder::nominal(2, 4, 3).unwrap();
+        for &(a, b, c) in &rows {
+            ds.push_row(nominal_row(&[a, b], c)).unwrap();
+        }
+        ds
+    })
+}
+
+fn classifiers() -> Vec<Box<dyn Classifier>> {
+    vec![
+        Box::new(NaiveBayes::new()),
+        Box::new(C45::new()),
+        Box::new(RandomTree::new(7)),
+        Box::new(RandomForest::new(8, 7)),
+        Box::new(Logistic::new()),
+        Box::new(Knn::new(3)),
+        Box::new(ZeroR::new()),
+        Box::new(NgramPredictor::new(2)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_classifiers_emit_valid_distributions(ds in nominal_dataset_strategy()) {
+        for mut model in classifiers() {
+            model.fit(&ds).unwrap();
+            for i in 0..ds.len().min(8) {
+                let p = model.predict_proba(ds.row(i)).unwrap();
+                prop_assert_eq!(p.len(), 3, "{}", model.name());
+                let sum: f64 = p.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-6, "{}: {p:?}", model.name());
+                prop_assert!(
+                    p.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)),
+                    "{}: {p:?}",
+                    model.name()
+                );
+                let pred = model.predict(ds.row(i)).unwrap();
+                prop_assert!(pred < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn fitting_twice_is_deterministic(ds in nominal_dataset_strategy()) {
+        for maker in [
+            || Box::new(C45::new()) as Box<dyn Classifier>,
+            || Box::new(RandomForest::new(6, 3)) as Box<dyn Classifier>,
+            || Box::new(NaiveBayes::new()) as Box<dyn Classifier>,
+        ] {
+            let mut a = maker();
+            let mut b = maker();
+            a.fit(&ds).unwrap();
+            b.fit(&ds).unwrap();
+            for i in 0..ds.len().min(10) {
+                prop_assert_eq!(
+                    a.predict_proba(ds.row(i)).unwrap(),
+                    b.predict_proba(ds.row(i)).unwrap(),
+                    "{} not deterministic",
+                    a.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classifiers_tolerate_unseen_and_missing_values(ds in nominal_dataset_strategy()) {
+        let probes: Vec<Vec<Value>> = vec![
+            vec![Value::Missing, Value::Missing, Value::Missing],
+            vec![Value::Nominal(3), Value::Nominal(3), Value::Missing],
+            nominal_row(&[0, 3], 0),
+        ];
+        for mut model in classifiers() {
+            model.fit(&ds).unwrap();
+            for probe in &probes {
+                let p = model.predict_proba(probe).unwrap();
+                prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6, "{}", model.name());
+            }
+        }
+    }
+
+    #[test]
+    fn confusion_metrics_respect_bounds(
+        entries in prop::collection::vec((0usize..4, 0usize..4), 1..100)
+    ) {
+        let mut m = ConfusionMatrix::new(4).unwrap();
+        for &(a, p) in &entries {
+            m.record(a, p).unwrap();
+        }
+        prop_assert!((0.0..=1.0).contains(&m.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&m.weighted_f_measure()));
+        prop_assert!((-1.0..=1.0).contains(&m.kappa()));
+        for c in 0..4 {
+            prop_assert!((0.0..=1.0).contains(&m.precision(c)));
+            prop_assert!((0.0..=1.0).contains(&m.recall(c)));
+            prop_assert!((0.0..=1.0).contains(&m.f_measure(c)));
+        }
+        prop_assert_eq!(m.total(), entries.len() as u64);
+        // F-measure never exceeds the larger of precision and recall.
+        for c in 0..4 {
+            let (p, r, f) = (m.precision(c), m.recall(c), m.f_measure(c));
+            prop_assert!(f <= p.max(r) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn arff_roundtrips_arbitrary_mixed_rows(
+        rows in prop::collection::vec((0u32..3, -1000.0f64..1000.0, 0u32..2, prop::bool::ANY), 1..40)
+    ) {
+        let attrs = vec![
+            sms_ml::Attribute::nominal_indexed("sym", 3),
+            sms_ml::Attribute::numeric("watts"),
+            sms_ml::Attribute::nominal_indexed("house", 2),
+        ];
+        let mut ds = Instances::new(attrs, 2).unwrap();
+        for &(s, w, h, missing) in &rows {
+            let wv = if missing { Value::Missing } else { Value::Numeric(w) };
+            ds.push_row(vec![Value::Nominal(s), wv, Value::Nominal(h)]).unwrap();
+        }
+        let text = to_arff(&ds, "prop").unwrap();
+        let back = from_arff(&text).unwrap();
+        prop_assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn knn_numeric_scaling_invariance(
+        rows in prop::collection::vec((0.0f64..10.0, 0u32..2), 8..40),
+        scale in 1.0f64..1000.0,
+    ) {
+        // Range normalization makes k-NN invariant to positive rescaling of
+        // a numeric attribute.
+        let mut a = DatasetBuilder::numeric(1, 2).unwrap();
+        let mut b = DatasetBuilder::numeric(1, 2).unwrap();
+        for &(x, c) in &rows {
+            a.push_row(numeric_row(&[x], c)).unwrap();
+            b.push_row(numeric_row(&[x * scale], c)).unwrap();
+        }
+        let mut ka = Knn::new(3);
+        let mut kb = Knn::new(3);
+        ka.fit(&a).unwrap();
+        kb.fit(&b).unwrap();
+        for &(x, _) in rows.iter().take(10) {
+            prop_assert_eq!(
+                ka.predict(&numeric_row(&[x], 0)).unwrap(),
+                kb.predict(&numeric_row(&[x * scale], 0)).unwrap()
+            );
+        }
+    }
+}

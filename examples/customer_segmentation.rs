@@ -1,0 +1,52 @@
+//! Customer segmentation (paper §3.1): classify day-vectors of symbols by
+//! house with Naive Bayes and Random Forest, comparing a symbolic encoding
+//! against raw aggregates — a scaled-down Fig. 5/6.
+//!
+//! ```sh
+//! cargo run --release --example customer_segmentation
+//! ```
+
+use sms_bench::classification::{run_raw, run_symbolic, ClassifierKind, EncodingSpec, TableMode};
+use sms_bench::prep::dataset;
+use sms_bench::Scale;
+use smart_meter_symbolics::prelude::*;
+
+fn main() -> Result<()> {
+    let scale = Scale { days: 10, interval_secs: 120, forest_trees: 20, cv_folds: 10, seed: 7 };
+    println!("generating {} days × 6 houses at {}s sampling…", scale.days, scale.interval_secs);
+    let ds = dataset(scale)?;
+
+    println!(
+        "\n{:<28} {:>12} {:>12} {:>10}",
+        "configuration", "NaiveBayes F", "Forest F", "NB time[s]"
+    );
+    for method in SeparatorMethod::ALL {
+        for bits in [2u8, 4] {
+            let spec = EncodingSpec { method, window_secs: 3600, bits };
+            let nb =
+                run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::NaiveBayes)?;
+            let rf =
+                run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::RandomForest)?;
+            println!(
+                "{:<28} {:>12.3} {:>12.3} {:>10.4}",
+                spec.label(),
+                nb.f_measure,
+                rf.f_measure,
+                nb.seconds
+            );
+        }
+    }
+    let nb_raw = run_raw(&ds, scale, Some(3600), ClassifierKind::NaiveBayes)?;
+    let rf_raw = run_raw(&ds, scale, Some(3600), ClassifierKind::RandomForest)?;
+    println!(
+        "{:<28} {:>12.3} {:>12.3} {:>10.4}",
+        "raw 1h", nb_raw.f_measure, rf_raw.f_measure, nb_raw.seconds
+    );
+
+    println!(
+        "\nNote (paper §3.1): this classification doubles as a re-identification\n\
+         attack — a high F-measure means day-long symbol sequences identify the\n\
+         household even after encoding."
+    );
+    Ok(())
+}

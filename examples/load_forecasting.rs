@@ -1,0 +1,33 @@
+//! Short-term load forecasting (paper §3.2): predict the next day's hourly
+//! consumption from a week of history — symbolic forecasting (Naive Bayes
+//! over 12 lag symbols, decoded via range centers) versus raw-value SVR.
+//!
+//! ```sh
+//! cargo run --release --example load_forecasting
+//! ```
+
+use sms_bench::forecasting::{ForecastFigure, ForecastModel};
+use sms_bench::prep::dataset;
+use sms_bench::Scale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale { days: 10, interval_secs: 120, forest_trees: 20, cv_folds: 10, seed: 7 };
+    println!("generating {} days × 6 houses…", scale.days);
+    let ds = dataset(scale)?;
+
+    for model in [ForecastModel::NaiveBayes, ForecastModel::RandomForest] {
+        let fig = ForecastFigure::run(&ds, scale, model)?;
+        println!("\n{}", fig.render());
+        println!(
+            "symbolic beats raw SVR on {}/{} houses",
+            fig.symbolic_wins(),
+            fig.houses.len()
+        );
+    }
+    println!(
+        "\nAs in the paper, the chronically gappy house is skipped and symbolic\n\
+         forecasts — despite only knowing range centers — stay in the same MAE\n\
+         ballpark as the real-valued SVR, sometimes beating it."
+    );
+    Ok(())
+}

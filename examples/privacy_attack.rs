@@ -1,0 +1,43 @@
+//! Privacy analysis (paper §1, §3.1 remark, §4): the paper notes that its
+//! classification experiment "could also be seen as an attack against
+//! changing ID's privacy protection mechanisms". This example quantifies
+//! that trade-off: as the alphabet grows, symbols carry more utility *and*
+//! leak more identity (mutual information up, anonymity sets down).
+//!
+//! ```sh
+//! cargo run --release --example privacy_attack
+//! ```
+
+use sms_bench::classification::{run_symbolic, ClassifierKind, EncodingSpec, TableMode};
+use sms_bench::prep::dataset;
+use sms_bench::privacy_exp::{render_privacy, run_privacy};
+use sms_bench::Scale;
+use smart_meter_symbolics::prelude::*;
+
+fn main() -> Result<()> {
+    let scale = Scale { days: 10, interval_secs: 120, forest_trees: 15, cv_folds: 5, seed: 31 };
+    println!("generating {} days × 6 houses…", scale.days);
+    let ds = dataset(scale)?;
+
+    println!("\ninformation-theoretic measures (global median table, hourly symbols):\n");
+    let reports = run_privacy(&ds, scale)?;
+    println!("{}", render_privacy(&reports));
+
+    println!("re-identification attack success (Random Forest, global table):\n");
+    println!("{:<10} {:>22}", "alphabet", "attack F-measure");
+    for bits in 1..=4u8 {
+        let spec = EncodingSpec { method: SeparatorMethod::Median, window_secs: 3600, bits };
+        let cell =
+            run_symbolic(&ds, scale, spec, TableMode::Global, ClassifierKind::RandomForest)
+                .map_err(|e| Error::InvalidParameter { name: "attack", reason: e.to_string() })?;
+        println!("{:<10} {:>22.3}", format!("{} sym", 1 << bits), cell.f_measure);
+    }
+
+    println!(
+        "\nReading: a 2-symbol encoding hides households best (largest anonymity\n\
+         sets, lowest attack F) at the cost of analytic detail; 16 symbols keep\n\
+         analytics sharp but let an attacker re-identify the household from a\n\
+         day of symbols — the paper's privacy/utility tension made concrete."
+    );
+    Ok(())
+}

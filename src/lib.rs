@@ -1,0 +1,45 @@
+//! # smart-meter-symbolics
+//!
+//! Umbrella crate for the reproduction of *Wijaya, Eberle, Aberer —
+//! "Symbolic Representation of Smart Meter Data" (EDBT 2013)*: re-exports
+//! the three library crates and hosts the runnable examples and the
+//! cross-crate integration tests.
+//!
+//! * [`core`] (`sms-core`) — the paper's contribution: vertical/horizontal
+//!   segmentation, variable-length binary symbols, lookup tables with
+//!   uniform / median / distinctmedian separators, online encoding,
+//!   SAX/iSAX baselines, adaptive tables, privacy measures.
+//! * [`meterdata`] — the REDD-stand-in synthetic smart-meter substrate.
+//! * [`ml`] (`sms-ml`) — the Weka-equivalent learners and evaluation
+//!   machinery the paper's experiments need.
+//!
+//! ```
+//! use smart_meter_symbolics::prelude::*;
+//!
+//! // Simulate one day of one house, learn a table, encode it.
+//! let ds = smart_meter_symbolics::meterdata::generator::redd_like(1, 1, 60)
+//!     .generate()
+//!     .unwrap();
+//! let house = ds.house(1).unwrap();
+//! let codec = CodecBuilder::new()
+//!     .method(SeparatorMethod::Median)
+//!     .alphabet_size(16).unwrap()
+//!     .window_secs(900)
+//!     .train(house)
+//!     .unwrap();
+//! let symbols = codec.encode(house).unwrap();
+//! assert!(symbols.len() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use meterdata;
+pub use sms_core as core;
+pub use sms_ml as ml;
+
+/// One-stop import of the most-used types from all three crates.
+pub mod prelude {
+    pub use meterdata::{GapConfig, HouseConfig, MeterDataset};
+    pub use sms_core::prelude::*;
+    pub use sms_ml::{Classifier, Instances, Regressor, Value};
+}

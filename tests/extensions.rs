@@ -1,0 +1,204 @@
+//! Integration tests for the extension features (§4 directions and the
+//! supporting machinery), exercised end-to-end on generated meter data.
+
+use smart_meter_symbolics::core::distance::{prefix_distance, rank_l1, table_distance};
+use smart_meter_symbolics::core::utility::{reconstruction_separators, supervised_separators};
+use smart_meter_symbolics::core::wire::{encode_message, FrameDecoder};
+use smart_meter_symbolics::core::encoder::SensorMessage;
+use smart_meter_symbolics::meterdata::generator::redd_like;
+use smart_meter_symbolics::prelude::*;
+use sms_ml::arff::{from_arff, to_arff};
+use sms_ml::classifier::Classifier;
+use sms_ml::eval::cross_validate;
+use sms_ml::feature::rank_features;
+use sms_ml::report::{classification_report, confusion_table};
+
+fn two_house_codecs() -> (SymbolicCodec, SymbolicCodec, TimeSeries, TimeSeries) {
+    let ds = redd_like(21, 3, 60).generate().unwrap();
+    let h1 = ds.house(1).unwrap().clone();
+    let h6 = ds.house(6).unwrap().clone();
+    let mk = |s: &TimeSeries| {
+        CodecBuilder::new()
+            .method(SeparatorMethod::Median)
+            .alphabet_size(16)
+            .unwrap()
+            .window_secs(3600)
+            .train(&s.head_duration(2 * 86_400))
+            .unwrap()
+    };
+    (mk(&h1), mk(&h6), h1, h6)
+}
+
+#[test]
+fn mixed_resolution_distance_pipeline() {
+    let (c1, c6, h1, h6) = two_house_codecs();
+    let s1 = c1.encode(&h1.skip_duration(2 * 86_400)).unwrap();
+    let s6 = c6.encode(&h6.skip_duration(2 * 86_400)).unwrap();
+
+    // Same-resolution distance works; after truncating one side, only the
+    // prefix distance still applies.
+    let full = rank_l1(&s1, &s6).unwrap();
+    assert!(full.is_finite());
+    let coarse6 = s6.truncate_resolution(2).unwrap();
+    assert!(rank_l1(&s1, &coarse6).is_err(), "rank_l1 demands equal resolutions");
+    let mixed = prefix_distance(&s1, &coarse6).unwrap();
+    assert!(mixed.is_finite() && mixed >= 0.0);
+
+    // Watt-space distance through each house's own table separates the
+    // big consumer (house 6) from the average one (house 1).
+    let d = table_distance(&s1, c1.table(), &s6, c6.table()).unwrap();
+    assert!(d > 100.0, "house 6 runs far hotter than house 1: {d} W");
+}
+
+#[test]
+fn binary_wire_carries_a_whole_sensor_session() {
+    let (c1, _, h1, _) = two_house_codecs();
+    let symbols = c1.encode(&h1).unwrap();
+
+    let mut wire = Vec::new();
+    wire.extend(encode_message(&SensorMessage::Table(c1.table().clone())).unwrap());
+    for (t, sym) in symbols.iter() {
+        wire.extend(
+            encode_message(&SensorMessage::Window(
+                smart_meter_symbolics::core::encoder::EncodedWindow {
+                    window_start: t,
+                    symbol: sym,
+                    samples: 60,
+                },
+            ))
+            .unwrap(),
+        );
+    }
+
+    // Decode in awkward chunk sizes.
+    let mut dec = FrameDecoder::new();
+    let mut restored_table = None;
+    let mut restored = Vec::new();
+    for chunk in wire.chunks(7) {
+        dec.feed(chunk);
+        for m in dec.drain().unwrap() {
+            match m {
+                SensorMessage::Table(t) => restored_table = Some(t),
+                SensorMessage::Window(w) => restored.push((w.window_start, w.symbol)),
+            }
+        }
+    }
+    assert_eq!(restored_table.as_ref(), Some(c1.table()));
+    let expected: Vec<(Timestamp, Symbol)> = symbols.iter().collect();
+    assert_eq!(restored, expected);
+}
+
+#[test]
+fn markov_forecaster_competitive_on_meter_data() {
+    use sms_bench::forecasting::{ForecastFigure, ForecastModel};
+    use sms_bench::prep::dataset;
+    use sms_bench::Scale;
+
+    let scale = Scale { days: 10, interval_secs: 300, forest_trees: 8, cv_folds: 3, seed: 77 };
+    let ds = dataset(scale).unwrap();
+    let markov = ForecastFigure::run(&ds, scale, ForecastModel::Markov).unwrap();
+    assert!(markov.skipped.contains(&5));
+    for h in &markov.houses {
+        let best = h.symbolic_mae.iter().map(|(_, m)| *m).fold(f64::INFINITY, f64::min);
+        assert!(
+            best < h.raw_mae * 4.0,
+            "house {}: markov best {best} vs raw {}",
+            h.house_id,
+            h.raw_mae
+        );
+    }
+}
+
+#[test]
+fn utility_separators_work_inside_lookup_tables() {
+    let ds = redd_like(33, 3, 120).generate().unwrap();
+    // Pool hourly values with house labels.
+    let mut values = Vec::new();
+    let mut labels = Vec::new();
+    for (idx, r) in ds.records().iter().enumerate() {
+        let hourly = aggregate_by_window(&r.series, 3600, Aggregation::Mean, 1).unwrap();
+        values.extend(hourly.values());
+        labels.extend(std::iter::repeat_n(idx, hourly.len()));
+    }
+    for seps in [
+        supervised_separators(&values, &labels, 8).unwrap(),
+        reconstruction_separators(&values, 8).unwrap(),
+    ] {
+        let table = LookupTable::from_parts(
+            SeparatorMethod::Uniform,
+            Alphabet::with_size(8).unwrap(),
+            seps,
+            &values,
+        )
+        .unwrap();
+        // Encode/decode stays within range; coarsening still works.
+        for &v in values.iter().step_by(13) {
+            let sym = table.encode_value(v);
+            let (lo, hi) = table.range_of(sym).unwrap();
+            let dec = table.decode_symbol(sym, SymbolSemantics::RangeCenter).unwrap();
+            assert!(dec >= lo - 1e-9 && dec <= hi + 1e-9);
+        }
+        let coarse = table.coarsen(1).unwrap();
+        assert_eq!(coarse.size(), 2);
+    }
+}
+
+#[test]
+fn feature_ranking_identifies_informative_hours() {
+    use sms_bench::prep::{dataset, per_house_tables, symbolic_day_vectors, PAPER_MIN_COVERAGE};
+    use sms_bench::Scale;
+
+    let scale = Scale { days: 10, interval_secs: 300, forest_trees: 4, cv_folds: 2, seed: 55 };
+    let ds = dataset(scale).unwrap();
+    let tables =
+        per_house_tables(&ds, SeparatorMethod::Median, 4, scale.training_prefix_secs()).unwrap();
+    let inst = symbolic_day_vectors(&ds, 3600, &tables, PAPER_MIN_COVERAGE).unwrap();
+    let ranked = rank_features(&inst, 4).unwrap();
+    assert_eq!(ranked.len(), 24, "24 hourly attributes ranked");
+    assert!(ranked[0].1 > ranked[23].1, "ranking is non-trivial");
+    assert!(ranked[0].1 > 0.3, "some hour identifies houses: {}", ranked[0].1);
+}
+
+#[test]
+fn reports_render_on_real_evaluation() {
+    use sms_bench::prep::{dataset, per_house_tables, symbolic_day_vectors, PAPER_MIN_COVERAGE};
+    use sms_bench::Scale;
+    use sms_ml::naive_bayes::NaiveBayes;
+
+    let scale = Scale { days: 8, interval_secs: 300, forest_trees: 4, cv_folds: 3, seed: 91 };
+    let ds = dataset(scale).unwrap();
+    let tables =
+        per_house_tables(&ds, SeparatorMethod::Median, 4, scale.training_prefix_secs()).unwrap();
+    let inst = symbolic_day_vectors(&ds, 3600, &tables, PAPER_MIN_COVERAGE).unwrap();
+    let cv = cross_validate(|| Box::new(NaiveBayes::new()) as Box<dyn Classifier>, &inst, 3, 1)
+        .unwrap();
+    let names: Vec<String> = (1..=6).map(|i| format!("house{i}")).collect();
+    let report = classification_report(&cv.confusion, &names).unwrap();
+    assert!(report.contains("house1") && report.contains("weighted avg"));
+    let table = confusion_table(&cv.confusion, &names).unwrap();
+    assert_eq!(table.lines().count(), 7, "header + 6 rows");
+}
+
+#[test]
+fn arff_roundtrip_preserves_cv_results() {
+    use sms_bench::prep::{dataset, per_house_tables, symbolic_day_vectors, PAPER_MIN_COVERAGE};
+    use sms_bench::Scale;
+    use sms_ml::naive_bayes::NaiveBayes;
+
+    let scale = Scale { days: 8, interval_secs: 300, forest_trees: 4, cv_folds: 3, seed: 13 };
+    let ds = dataset(scale).unwrap();
+    let tables =
+        per_house_tables(&ds, SeparatorMethod::Median, 3, scale.training_prefix_secs()).unwrap();
+    let inst = symbolic_day_vectors(&ds, 3600, &tables, PAPER_MIN_COVERAGE).unwrap();
+    let text = to_arff(&inst, "roundtrip").unwrap();
+    let back = from_arff(&text).unwrap();
+    assert_eq!(back, inst);
+
+    // Same data ⇒ same CV outcome (deterministic seeds).
+    let f = |d: &sms_ml::Instances| {
+        cross_validate(|| Box::new(NaiveBayes::new()) as Box<dyn Classifier>, d, 3, 7)
+            .unwrap()
+            .weighted_f_measure()
+    };
+    assert_eq!(f(&inst), f(&back));
+}

@@ -1,0 +1,213 @@
+//! Property-based tests (proptest) over the core invariants, spanning
+//! crates: symbol algebra, lookup-table laws, packing, segmentation, SAX
+//! lower-bounding, and the ML evaluation protocol.
+
+use proptest::prelude::*;
+use smart_meter_symbolics::core::horizontal::horizontal_segmentation;
+use smart_meter_symbolics::core::sax::{euclidean, z_normalize, Sax};
+use smart_meter_symbolics::core::symbol::{SymbolReader, SymbolWriter};
+use smart_meter_symbolics::prelude::*;
+use sms_ml::data::{nominal_row, DatasetBuilder};
+use sms_ml::eval::stratified_folds;
+
+fn finite_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..10_000.0, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn symbol_truncate_is_prefix_and_parent_consistent(rank in 0u16..4096, extra in 0u8..4) {
+        let bits = 12 + extra; // 12..=15
+        let sym = Symbol::from_rank(rank, bits).unwrap();
+        for to in 1..=bits {
+            let t = sym.truncate(to).unwrap();
+            prop_assert!(t.covers(sym));
+            prop_assert_eq!(t.to_string(), sym.to_string()[..to as usize].to_string());
+        }
+        // parent == truncate(bits - 1)
+        prop_assert_eq!(sym.parent().unwrap(), sym.truncate(bits - 1).unwrap());
+    }
+
+    #[test]
+    fn prefix_order_is_antisymmetric_and_transitive(
+        a in 0u16..256, la in 1u8..9, b in 0u16..256, lb in 1u8..9, c in 0u16..256, lc in 1u8..9
+    ) {
+        use std::cmp::Ordering;
+        let mk = |r: u16, l: u8| Symbol::from_rank(r % (1 << l.min(15)), l).unwrap();
+        let (x, y, z) = (mk(a, la), mk(b, lb), mk(c, lc));
+        // Antisymmetry of the strict order.
+        if x.partial_cmp_prefix(y) == Some(Ordering::Less) {
+            prop_assert_eq!(y.partial_cmp_prefix(x), Some(Ordering::Greater));
+        }
+        // Transitivity.
+        if x.partial_cmp_prefix(y) == Some(Ordering::Less)
+            && y.partial_cmp_prefix(z) == Some(Ordering::Less)
+        {
+            prop_assert_eq!(x.partial_cmp_prefix(z), Some(Ordering::Less));
+        }
+        // Compatibility is symmetric.
+        prop_assert_eq!(x.compatible(y), y.compatible(x));
+    }
+
+    #[test]
+    fn separators_are_sorted_and_encode_is_monotone(values in finite_values(300), bits in 1u8..5) {
+        let alphabet = Alphabet::with_resolution(bits).unwrap();
+        for method in SeparatorMethod::ALL {
+            let table = LookupTable::learn(method, alphabet, &values).unwrap();
+            for w in table.separators().windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+            // Encoding is monotone in the value.
+            let mut sorted = values.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for w in sorted.windows(2) {
+                let r0 = table.encode_value(w[0]).rank();
+                let r1 = table.encode_value(w[1]).rank();
+                prop_assert!(r0 <= r1, "{method}: encode({}) = {r0} > encode({}) = {r1}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_center_lies_in_symbol_range(values in finite_values(200), bits in 1u8..5) {
+        let alphabet = Alphabet::with_resolution(bits).unwrap();
+        let table = LookupTable::learn(SeparatorMethod::Median, alphabet, &values).unwrap();
+        for sym in alphabet.symbols() {
+            let (lo, hi) = table.range_of(sym).unwrap();
+            for semantics in [SymbolSemantics::RangeCenter, SymbolSemantics::RangeMean] {
+                let v = table.decode_symbol(sym, semantics).unwrap();
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} ∉ [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn coarsen_commutes_with_truncation(values in finite_values(400), to_bits in 1u8..4) {
+        let table = LookupTable::learn(
+            SeparatorMethod::Median,
+            Alphabet::with_resolution(4).unwrap(),
+            &values,
+        )
+        .unwrap();
+        let coarse = table.coarsen(to_bits).unwrap();
+        for &v in &values {
+            prop_assert_eq!(
+                table.encode_value(v).truncate(to_bits).unwrap(),
+                coarse.encode_value(v)
+            );
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip(ranks in prop::collection::vec(0u16..16, 0..200), bits in 1u8..6) {
+        let k = 1u16 << bits;
+        let symbols: Vec<Symbol> =
+            ranks.iter().map(|&r| Symbol::from_rank(r % k, bits).unwrap()).collect();
+        let mut w = SymbolWriter::new();
+        for &s in &symbols {
+            w.write(s);
+        }
+        let bytes = w.into_bytes();
+        let mut r = SymbolReader::new(&bytes, bits).unwrap();
+        let mut restored = Vec::new();
+        for _ in 0..symbols.len() {
+            restored.push(r.read().unwrap());
+        }
+        prop_assert_eq!(restored, symbols);
+    }
+
+    #[test]
+    fn vertical_mean_is_bounded_by_extremes(values in finite_values(200), n in 1usize..20) {
+        let series = TimeSeries::from_regular(0, 1, &values).unwrap();
+        let agg = vertical_segmentation(&series, n, Aggregation::Mean).unwrap();
+        let lo = series.min_value().unwrap();
+        let hi = series.max_value().unwrap();
+        for (_, v) in agg.iter() {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+        prop_assert_eq!(agg.len(), values.len() / n);
+    }
+
+    #[test]
+    fn windowed_aggregation_conserves_sum(values in finite_values(300), window in 1i64..100) {
+        let series = TimeSeries::from_regular(0, 1, &values).unwrap();
+        let agg = aggregate_by_window(&series, window, Aggregation::Sum, 1).unwrap();
+        let total: f64 = agg.iter().map(|(_, v)| v).sum();
+        let expected: f64 = values.iter().sum();
+        prop_assert!((total - expected).abs() < 1e-6 * expected.max(1.0));
+    }
+
+    #[test]
+    fn sax_mindist_lower_bounds_euclidean(
+        a in prop::collection::vec(-100.0f64..100.0, 32..64),
+        b in prop::collection::vec(-100.0f64..100.0, 32..64),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let sax = Sax::new(8, 6).unwrap();
+        let wa = sax.encode(a).unwrap();
+        let wb = sax.encode(b).unwrap();
+        let lower = sax.mindist(&wa, &wb).unwrap();
+        let true_d = euclidean(&z_normalize(a), &z_normalize(b)).unwrap();
+        prop_assert!(lower <= true_d + 1e-6, "mindist {lower} > euclidean {true_d}");
+    }
+
+    #[test]
+    fn stratified_folds_partition_and_balance(
+        class_counts in prop::collection::vec(4usize..20, 2..5),
+        folds in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let n_classes = class_counts.len();
+        let mut ds = DatasetBuilder::nominal(1, 2, n_classes).unwrap();
+        for (c, &count) in class_counts.iter().enumerate() {
+            for i in 0..count {
+                ds.push_row(nominal_row(&[(i % 2) as u32], c as u32)).unwrap();
+            }
+        }
+        let fold_sets = stratified_folds(&ds, folds, seed).unwrap();
+        // Partition: every row exactly once.
+        let mut all: Vec<usize> = fold_sets.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..ds.len()).collect::<Vec<_>>());
+        // Balance: fold sizes differ by at most n_classes.
+        let sizes: Vec<usize> = fold_sets.iter().map(Vec::len).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= n_classes, "{sizes:?}");
+    }
+
+    #[test]
+    fn classifier_probabilities_are_distributions(
+        rows in prop::collection::vec((0u32..4, 0u32..4, 0u32..3), 6..40)
+    ) {
+        use sms_ml::naive_bayes::NaiveBayes;
+        let mut ds = DatasetBuilder::nominal(2, 4, 3).unwrap();
+        for &(f1, f2, c) in &rows {
+            ds.push_row(nominal_row(&[f1, f2], c)).unwrap();
+        }
+        let mut nb = NaiveBayes::new();
+        nb.fit(&ds).unwrap();
+        for &(f1, f2, _) in rows.iter().take(10) {
+            let p = nb.predict_proba(&nominal_row(&[f1, f2], 0)).unwrap();
+            prop_assert_eq!(p.len(), 3);
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn horizontal_segmentation_preserves_length_and_time(values in finite_values(150)) {
+        let series = TimeSeries::from_regular(100, 7, &values).unwrap();
+        let table = LookupTable::learn(
+            SeparatorMethod::Uniform,
+            Alphabet::with_size(4).unwrap(),
+            &values,
+        )
+        .unwrap();
+        let sym = horizontal_segmentation(&series, &table).unwrap();
+        prop_assert_eq!(sym.len(), series.len());
+        prop_assert_eq!(sym.timestamps(), &series.timestamps()[..]);
+    }
+}
