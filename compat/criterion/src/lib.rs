@@ -1,0 +1,274 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This workspace builds with no crates.io access, so external dependencies
+//! are replaced by local implementations of exactly the API surface the
+//! workspace uses (see `compat/README.md`). The benches compile unchanged
+//! against this crate: [`black_box`], [`criterion_group!`],
+//! [`criterion_main!`], [`Criterion::benchmark_group`], group
+//! `throughput`/`sample_size`/`bench_function`/`bench_with_input`/`finish`,
+//! [`BenchmarkId::new`], and `Bencher::iter`.
+//!
+//! Instead of upstream's statistical analysis, each benchmark is calibrated
+//! to a per-sample time budget and reports the **median** per-iteration time
+//! over `sample_size` samples (plus throughput when declared). That is
+//! enough to compare implementations in this repo's BENCH runs; it makes no
+//! attempt at criterion's outlier analysis or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared units of work per iteration, used for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier `function_name/parameter` for parameterized benchmarks.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { full: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Timing context handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` runs of `f`; the harness reads back the elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark driver. One instance is shared by every target in a
+/// [`criterion_group!`].
+pub struct Criterion {
+    sample_size: usize,
+    sample_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Far smaller than upstream's 100-sample default: this harness
+            // reports a median for trend tracking, not a full distribution.
+            sample_size: 10,
+            sample_budget: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup { criterion: self, name, throughput: None, sample_size: None }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let (sample_size, budget) = (self.sample_size, self.sample_budget);
+        run_benchmark(id, None, sample_size, budget, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &full,
+            self.throughput,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.sample_budget,
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (No-op here; upstream finalizes reports.)
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    sample_budget: Duration,
+    mut f: F,
+) {
+    // Calibrate: grow the iteration count until one sample meets the budget.
+    let mut iters: u64 = 1;
+    let per_iter_estimate = loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= sample_budget || iters >= 1 << 20 {
+            break b.elapsed.as_secs_f64() / iters as f64;
+        }
+        // Aim straight for the budget, with padding for timer noise.
+        let scale = sample_budget.as_secs_f64() / b.elapsed.as_secs_f64().max(1e-9);
+        iters = (iters as f64 * scale.clamp(2.0, 100.0)).ceil() as u64;
+    };
+    let iters_per_sample = ((sample_budget.as_secs_f64() / per_iter_estimate.max(1e-12)).ceil()
+        as u64)
+        .clamp(1, 1 << 20);
+
+    let mut per_iter_secs: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters_per_sample as f64
+        })
+        .collect();
+    per_iter_secs.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_secs[per_iter_secs.len() / 2];
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {} elem/s", human_rate(n as f64 / median)),
+        Some(Throughput::Bytes(n)) => format!("  {}B/s", human_rate(n as f64 / median)),
+        None => String::new(),
+    };
+    println!("bench: {name:<55} {:>12}/iter{rate}", human_time(median));
+}
+
+fn human_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn human_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.1} k", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.0} ")
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running each group. Ignores harness CLI flags (cargo
+/// passes `--bench`; upstream parses filters, this stand-in runs everything).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { sample_size: 3, sample_budget: Duration::from_micros(200) };
+        let mut group = c.benchmark_group("smoke");
+        let mut runs = 0u64;
+        group.throughput(Throughput::Elements(64));
+        group.sample_size(3);
+        group.bench_function("sum", |b| {
+            b.iter(|| {
+                runs += 1;
+                (0..64u64).sum::<u64>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scaled", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+        assert!(runs > 3, "calibration plus samples must run the closure");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(human_time(5e-9), "5.0 ns");
+        assert_eq!(human_time(2.5e-3), "2.50 ms");
+        assert_eq!(human_rate(2_500_000.0), "2.50 M");
+        assert_eq!(BenchmarkId::new("pack", 4).to_string(), "pack/4");
+    }
+}

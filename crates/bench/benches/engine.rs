@@ -1,0 +1,83 @@
+//! Fleet-encoding engine benchmarks: serial codec vs the parallel engine at
+//! several worker counts, over a 200-house synthetic fleet. Besides the
+//! criterion timings, prints one `EngineStats` JSON line per worker count so
+//! throughput trajectories can be tracked across runs.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use meterdata::generator::fleet_series;
+use sms_core::engine::{EngineConfig, FleetEngine, TableMode};
+use sms_core::pipeline::CodecBuilder;
+use sms_core::separators::SeparatorMethod;
+use sms_core::timeseries::TimeSeries;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn fleet() -> Vec<TimeSeries> {
+    // 200 houses × 2 days at 10-minute readings = 57 600 samples.
+    fleet_series(42, 200, 2, 600).expect("generator is valid")
+}
+
+fn builder() -> CodecBuilder {
+    CodecBuilder::new()
+        .method(SeparatorMethod::Median)
+        .alphabet_size(16)
+        .expect("16 symbols")
+        .window_secs(3600)
+}
+
+fn bench_fleet_encode(c: &mut Criterion) {
+    let fleet = fleet();
+    let samples: u64 = fleet.iter().map(|h| h.len() as u64).sum();
+    let b = builder();
+
+    let mut group = c.benchmark_group("fleet_encode");
+    group.throughput(Throughput::Elements(samples));
+
+    group.bench_function("serial_codec", |bch| {
+        bch.iter(|| {
+            let out: Vec<_> =
+                fleet.iter().map(|h| b.train(h).unwrap().encode(h).unwrap()).collect();
+            black_box(out)
+        })
+    });
+
+    for workers in WORKER_COUNTS {
+        let engine = FleetEngine::new(b.clone(), EngineConfig::with_workers(workers));
+        group.bench_with_input(
+            BenchmarkId::new("engine", format!("{workers}w")),
+            &engine,
+            |bch, engine| bch.iter(|| black_box(engine.encode_fleet(&fleet).unwrap())),
+        );
+    }
+
+    for mode in [TableMode::PerHouse, TableMode::Shared] {
+        let engine = FleetEngine::new(b.clone(), EngineConfig::with_workers(2).table_mode(mode));
+        group.bench_with_input(
+            BenchmarkId::new("table_mode", format!("{mode:?}")),
+            &engine,
+            |bch, engine| bch.iter(|| black_box(engine.encode_fleet(&fleet).unwrap())),
+        );
+    }
+    group.finish();
+
+    // Throughput trajectory: one stats JSON per worker count, plus the
+    // speedup of each configuration over 1 worker.
+    let serial_start = Instant::now();
+    for h in &fleet {
+        black_box(b.train(h).unwrap().encode(h).unwrap());
+    }
+    let serial_secs = serial_start.elapsed().as_secs_f64();
+    println!("engine_stats: {{\"serial_secs\":{serial_secs:.6}}}");
+    for workers in WORKER_COUNTS {
+        let engine = FleetEngine::new(b.clone(), EngineConfig::with_workers(workers));
+        let enc = engine.encode_fleet(&fleet).unwrap();
+        let wall = enc.stats.train_secs + enc.stats.encode_secs;
+        let speedup = serial_secs / wall.max(f64::MIN_POSITIVE);
+        println!("engine_stats: {} speedup_vs_serial={speedup:.2}", enc.stats.to_json());
+    }
+}
+
+criterion_group!(benches, bench_fleet_encode);
+criterion_main!(benches);

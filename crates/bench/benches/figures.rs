@@ -39,10 +39,7 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("fig8_forecast_nb", |b| {
         b.iter(|| {
             black_box(
-                ForecastFigure::run(&ds, scale, ForecastModel::NaiveBayes)
-                    .unwrap()
-                    .houses
-                    .len(),
+                ForecastFigure::run(&ds, scale, ForecastModel::NaiveBayes).unwrap().houses.len(),
             )
         });
     });

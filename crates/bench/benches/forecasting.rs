@@ -3,7 +3,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sms_ml::classifier::{Classifier, Regressor};
-use sms_ml::forecast::{lag_dataset_nominal, lag_dataset_numeric, real_forecast, symbolic_forecast};
+use sms_ml::forecast::{
+    lag_dataset_nominal, lag_dataset_numeric, real_forecast, symbolic_forecast,
+};
 use sms_ml::naive_bayes::NaiveBayes;
 use sms_ml::svm::SvrRegressor;
 

@@ -15,13 +15,9 @@ fn bench_batch_learning(c: &mut Criterion) {
     group.throughput(Throughput::Elements(values.len() as u64));
     for method in SeparatorMethod::ALL {
         for k in [4usize, 16] {
-            group.bench_with_input(
-                BenchmarkId::new(method.name(), k),
-                &k,
-                |b, &k| {
-                    b.iter(|| learn_separators(method, black_box(&values), k).unwrap());
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(method.name(), k), &k, |b, &k| {
+                b.iter(|| learn_separators(method, black_box(&values), k).unwrap());
+            });
         }
     }
     group.finish();

@@ -13,12 +13,9 @@ use sms_core::timeseries::TimeSeries;
 fn setup() -> (TimeSeries, LookupTable) {
     let values: Vec<f64> = (0..86_400 / 10).map(|i| ((i * 7919) % 3000) as f64).collect();
     let series = TimeSeries::from_regular(0, 10, &values).unwrap();
-    let table = LookupTable::learn(
-        SeparatorMethod::Median,
-        Alphabet::with_resolution(4).unwrap(),
-        &values,
-    )
-    .unwrap();
+    let table =
+        LookupTable::learn(SeparatorMethod::Median, Alphabet::with_resolution(4).unwrap(), &values)
+            .unwrap();
     (series, table)
 }
 
@@ -38,9 +35,8 @@ fn bench_downconversion(c: &mut Criterion) {
 }
 
 fn bench_prefix_ops(c: &mut Criterion) {
-    let symbols: Vec<Symbol> = (0..4096u16)
-        .map(|i| Symbol::from_rank(i % 16, 4).unwrap())
-        .collect();
+    let symbols: Vec<Symbol> =
+        (0..4096u16).map(|i| Symbol::from_rank(i % 16, 4).unwrap()).collect();
     let probe = Symbol::from_rank(2, 2).unwrap();
     let mut group = c.benchmark_group("symbol_ops");
     group.throughput(Throughput::Elements(symbols.len() as u64));

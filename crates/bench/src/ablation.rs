@@ -143,18 +143,13 @@ pub fn run_streaming_ablation(scale: Scale) -> Result<StreamingAblation> {
 
     let range = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - values.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max_dev = exact
-        .iter()
-        .zip(&approx)
-        .map(|(e, a)| (e - a).abs() / range.max(1e-9))
-        .fold(0.0, f64::max);
+    let max_dev =
+        exact.iter().zip(&approx).map(|(e, a)| (e - a).abs() / range.max(1e-9)).fold(0.0, f64::max);
 
     let t_exact = LookupTable::from_parts(SeparatorMethod::Median, alphabet, exact, &values)?;
     let t_approx = LookupTable::from_parts(SeparatorMethod::Median, alphabet, approx, &values)?;
-    let disagreements = values
-        .iter()
-        .filter(|&&v| t_exact.encode_value(v) != t_approx.encode_value(v))
-        .count();
+    let disagreements =
+        values.iter().filter(|&&v| t_exact.encode_value(v) != t_approx.encode_value(v)).count();
     Ok(StreamingAblation {
         max_relative_deviation: max_dev,
         symbol_disagreement: disagreements as f64 / values.len() as f64,

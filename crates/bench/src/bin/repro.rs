@@ -1,18 +1,22 @@
 //! `repro` — regenerate any table or figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--scale quick|paper] [--seed N]
+//! repro <experiment> [--scale quick|paper] [--seed N] [--parallel] [--workers N]
 //! experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-//!              table1 compression drift privacy all
+//!              table1 compression drift privacy fleet all
 //! ```
+//!
+//! `--parallel` routes the `fleet` experiment through the multi-threaded
+//! [`sms_core::engine::FleetEngine`]; `--workers N` sets the worker count
+//! (and implies `--parallel`).
 
 use sms_bench::ablation::{
     render_separator_ablation, run_separator_ablation, run_streaming_ablation,
 };
 use sms_bench::classification::{ClassifierKind, FigureRun, TableMode};
 use sms_bench::clustering::{render_clustering, run_clustering};
-use sms_bench::export::export_arff;
 use sms_bench::drift::run_drift;
+use sms_bench::export::export_arff;
 use sms_bench::figures::{
     compression_table, fig1_symbol_tree, fig2_distribution, fig3_normalization, fig4_statistics,
 };
@@ -26,11 +30,20 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment> [--scale quick|paper] [--seed N]\n\
+        "usage: repro <experiment> [--scale quick|paper] [--seed N] [--parallel] [--workers N]\n\
          experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9\n\
-         table1 compression drift privacy clustering ablation sax markov fidelity arff all"
+         table1 compression drift privacy clustering ablation sax markov fidelity arff fleet all\n\
+         --parallel / --workers N: encode the `fleet` experiment through the\n\
+         multi-threaded FleetEngine (default: serial codec)"
     );
     std::process::exit(2);
+}
+
+/// How the `fleet` experiment should encode: serially or through the engine.
+#[derive(Clone, Copy, Debug)]
+struct ParallelOpts {
+    parallel: bool,
+    workers: Option<usize>,
 }
 
 fn main() {
@@ -40,19 +53,26 @@ fn main() {
     }
     let experiment = args[0].clone();
     let mut scale = Scale::quick();
+    let mut opts = ParallelOpts { parallel: false, workers: None };
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = args
-                    .get(i)
-                    .and_then(|s| Scale::parse(s))
-                    .unwrap_or_else(|| usage());
+                scale = args.get(i).and_then(|s| Scale::parse(s)).unwrap_or_else(|| usage());
             }
             "--seed" => {
                 i += 1;
                 scale.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--parallel" => {
+                opts.parallel = true;
+            }
+            "--workers" => {
+                i += 1;
+                opts.workers =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+                opts.parallel = true;
             }
             _ => usage(),
         }
@@ -60,15 +80,74 @@ fn main() {
     }
 
     let t0 = Instant::now();
-    if let Err(e) = run(&experiment, scale) {
+    if let Err(e) = run_with_opts(&experiment, scale, opts) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }
     eprintln!("\n[{experiment} done in {:.1}s]", t0.elapsed().as_secs_f64());
 }
 
+fn run_with_opts(
+    experiment: &str,
+    scale: Scale,
+    opts: ParallelOpts,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if experiment == "fleet" {
+        run_fleet(scale, opts)
+    } else {
+        run(experiment, scale)
+    }
+}
+
+/// Encode a synthetic fleet, either serially or through the parallel
+/// [`FleetEngine`], and print throughput counters.
+fn run_fleet(scale: Scale, opts: ParallelOpts) -> Result<(), Box<dyn std::error::Error>> {
+    use meterdata::generator::fleet_series;
+    use sms_core::engine::{EngineConfig, FleetEngine};
+    use sms_core::pipeline::CodecBuilder;
+    use sms_core::separators::SeparatorMethod;
+
+    let houses = if scale.days >= 30 { 200 } else { 50 };
+    let fleet = fleet_series(scale.seed, houses, scale.days.clamp(1, 7), scale.interval_secs)?;
+    let samples: usize = fleet.iter().map(|h| h.len()).sum();
+    let builder =
+        CodecBuilder::new().method(SeparatorMethod::Median).alphabet_size(16)?.window_secs(3600);
+
+    if opts.parallel {
+        let mut config = EngineConfig::default();
+        if let Some(w) = opts.workers {
+            config = EngineConfig::with_workers(w);
+        }
+        let engine = FleetEngine::new(builder, config);
+        let enc = engine.encode_fleet(&fleet)?;
+        let symbols: usize = enc.series.iter().map(|s| s.len()).sum();
+        println!(
+            "fleet: {houses} houses, {samples} samples -> {symbols} symbols \
+             ({} workers)",
+            enc.stats.workers
+        );
+        println!("engine_stats: {}", enc.stats.to_json());
+    } else {
+        let t0 = Instant::now();
+        let mut symbols = 0usize;
+        for h in &fleet {
+            symbols += builder.train(h)?.encode(h)?.len();
+        }
+        let secs = t0.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+        println!("fleet: {houses} houses, {samples} samples -> {symbols} symbols (serial)");
+        println!(
+            "serial_stats: {{\"encode_secs\":{secs:.6},\"samples_per_sec\":{:.1}}}",
+            samples as f64 / secs
+        );
+    }
+    Ok(())
+}
+
 fn run(experiment: &str, scale: Scale) -> Result<(), Box<dyn std::error::Error>> {
     match experiment {
+        "fleet" => {
+            run_fleet(scale, ParallelOpts { parallel: false, workers: None })?;
+        }
         "fig1" => {
             println!("{}", fig1_symbol_tree(800.0, 3)?);
         }
@@ -179,9 +258,24 @@ fn run(experiment: &str, scale: Scale) -> Result<(), Box<dyn std::error::Error>>
         }
         "all" => {
             for e in [
-                "fig1", "fig2", "fig3", "fig4", "compression", "fig5", "fig6", "fig7", "table1",
-                "fig8", "fig9", "markov", "drift", "privacy", "clustering", "ablation",
-                "sax", "fidelity",
+                "fig1",
+                "fig2",
+                "fig3",
+                "fig4",
+                "compression",
+                "fig5",
+                "fig6",
+                "fig7",
+                "table1",
+                "fig8",
+                "fig9",
+                "markov",
+                "drift",
+                "privacy",
+                "clustering",
+                "ablation",
+                "sax",
+                "fidelity",
             ] {
                 println!("==================== {e} ====================");
                 run(e, scale)?;

@@ -13,7 +13,7 @@ use sms_core::error::{Error, Result};
 use sms_core::separators::SeparatorMethod;
 use sms_core::vertical::windows::{FIFTEEN_MINUTES, ONE_HOUR};
 use sms_ml::classifier::Classifier;
-use sms_ml::eval::cross_validate;
+use sms_ml::eval::cross_validate_repeated;
 use sms_ml::forest::RandomForest;
 use sms_ml::knn::Knn;
 use sms_ml::logistic::Logistic;
@@ -21,6 +21,12 @@ use sms_ml::naive_bayes::NaiveBayes;
 use sms_ml::tree::C45;
 use sms_ml::zero_r::ZeroR;
 use std::collections::BTreeMap;
+
+/// Repeated-CV runs per grid cell. Weka's evaluation protocol (which the
+/// paper follows) averages several runs of stratified k-fold CV; one run's
+/// fold assignment estimates F-measure with ~±0.05 noise at these dataset
+/// sizes, which is larger than several of the effects the shape tests assert.
+const CV_RUNS: usize = 3;
 
 /// One symbolic encoding configuration of the paper's grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,8 +166,9 @@ pub fn run_symbolic(
 ) -> Result<Cell> {
     let tables = lookup_tables(ds, spec, mode, scale.training_prefix_secs())?;
     let inst = symbolic_day_vectors(ds, spec.window_secs, &tables, PAPER_MIN_COVERAGE)?;
-    let cv = cross_validate(|| kind.build(scale), &inst, scale.cv_folds, scale.seed)
-        .map_err(|e| Error::InvalidParameter { name: "cv", reason: e.to_string() })?;
+    let cv =
+        cross_validate_repeated(|| kind.build(scale), &inst, scale.cv_folds, scale.seed, CV_RUNS)
+            .map_err(|e| Error::InvalidParameter { name: "cv", reason: e.to_string() })?;
     Ok(Cell {
         f_measure: cv.weighted_f_measure(),
         seconds: cv.processing_time().as_secs_f64(),
@@ -181,8 +188,9 @@ pub fn run_raw(
         Some(w) => raw_day_vectors(ds, w, PAPER_MIN_COVERAGE)?,
         None => raw_fullrate_day_vectors(ds, PAPER_MIN_COVERAGE)?,
     };
-    let cv = cross_validate(|| kind.build(scale), &inst, scale.cv_folds, scale.seed)
-        .map_err(|e| Error::InvalidParameter { name: "cv", reason: e.to_string() })?;
+    let cv =
+        cross_validate_repeated(|| kind.build(scale), &inst, scale.cv_folds, scale.seed, CV_RUNS)
+            .map_err(|e| Error::InvalidParameter { name: "cv", reason: e.to_string() })?;
     Ok(Cell {
         f_measure: cv.weighted_f_measure(),
         seconds: cv.processing_time().as_secs_f64(),
@@ -306,11 +314,9 @@ mod tests {
     fn symbolic_cell_runs_and_beats_chance() {
         let scale = tiny_scale();
         let ds = dataset(scale).unwrap();
-        let spec =
-            EncodingSpec { method: SeparatorMethod::Median, window_secs: ONE_HOUR, bits: 4 };
-        let cell =
-            run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::NaiveBayes)
-                .unwrap();
+        let spec = EncodingSpec { method: SeparatorMethod::Median, window_secs: ONE_HOUR, bits: 4 };
+        let cell = run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::NaiveBayes)
+            .unwrap();
         assert!(cell.instances > 10);
         assert!(cell.f_measure > 0.4, "median 16s should classify well: {}", cell.f_measure);
         assert!(cell.seconds > 0.0);
@@ -328,8 +334,7 @@ mod tests {
     fn global_mode_uses_one_table() {
         let scale = tiny_scale();
         let ds = dataset(scale).unwrap();
-        let spec =
-            EncodingSpec { method: SeparatorMethod::Median, window_secs: ONE_HOUR, bits: 3 };
+        let spec = EncodingSpec { method: SeparatorMethod::Median, window_secs: ONE_HOUR, bits: 3 };
         let tables =
             lookup_tables(&ds, spec, TableMode::Global, scale.training_prefix_secs()).unwrap();
         let first = tables.values().next().unwrap();
@@ -343,13 +348,11 @@ mod tests {
     fn zero_r_is_a_floor() {
         let scale = tiny_scale();
         let ds = dataset(scale).unwrap();
-        let spec =
-            EncodingSpec { method: SeparatorMethod::Median, window_secs: ONE_HOUR, bits: 4 };
-        let zr = run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::ZeroR)
+        let spec = EncodingSpec { method: SeparatorMethod::Median, window_secs: ONE_HOUR, bits: 4 };
+        let zr =
+            run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::ZeroR).unwrap();
+        let nb = run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::NaiveBayes)
             .unwrap();
-        let nb =
-            run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::NaiveBayes)
-                .unwrap();
         assert!(nb.f_measure > zr.f_measure, "NB {} vs ZeroR {}", nb.f_measure, zr.f_measure);
     }
 }

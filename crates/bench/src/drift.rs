@@ -93,25 +93,25 @@ fn reconstruction_mae(
     let mut current_table: Option<LookupTable> = None;
     let mut err = 0.0;
     let mut n = 0u64;
-    let mut consume =
-        |msgs: Vec<SensorMessage>, current_table: &mut Option<LookupTable>| -> Result<()> {
-            for m in msgs {
-                match m {
-                    SensorMessage::Table(t) => *current_table = Some(t),
-                    SensorMessage::Window(w) => {
-                        let table = current_table
-                            .as_ref()
-                            .ok_or(Error::EmptyInput("window before table"))?;
-                        let d = table.decode_symbol(w.symbol, SymbolSemantics::RangeCenter)?;
-                        if let Some(actual) = truth.remove(&w.window_start) {
-                            err += (actual - d).abs();
-                            n += 1;
-                        }
+    let mut consume = |msgs: Vec<SensorMessage>,
+                       current_table: &mut Option<LookupTable>|
+     -> Result<()> {
+        for m in msgs {
+            match m {
+                SensorMessage::Table(t) => *current_table = Some(t),
+                SensorMessage::Window(w) => {
+                    let table =
+                        current_table.as_ref().ok_or(Error::EmptyInput("window before table"))?;
+                    let d = table.decode_symbol(w.symbol, SymbolSemantics::RangeCenter)?;
+                    if let Some(actual) = truth.remove(&w.window_start) {
+                        err += (actual - d).abs();
+                        n += 1;
                     }
                 }
             }
-            Ok(())
-        };
+        }
+        Ok(())
+    };
     for (t, v) in series.iter() {
         let msgs = enc.push(t, v)?;
         consume(msgs, &mut current_table)?;

@@ -23,8 +23,7 @@ pub fn export_arff(ds: &MeterDataset, scale: Scale, dir: &Path) -> Result<Vec<St
         .map_err(|e| Error::WireFormat(format!("mkdir {}: {e}", dir.display())))?;
     let mut written = Vec::new();
     for spec in EncodingSpec::paper_grid() {
-        let tables =
-            per_house_tables(ds, spec.method, spec.bits, scale.training_prefix_secs())?;
+        let tables = per_house_tables(ds, spec.method, spec.bits, scale.training_prefix_secs())?;
         let inst = symbolic_day_vectors(ds, spec.window_secs, &tables, PAPER_MIN_COVERAGE)?;
         let name = format!(
             "{}_{}_{}s.arff",
@@ -32,8 +31,7 @@ pub fn export_arff(ds: &MeterDataset, scale: Scale, dir: &Path) -> Result<Vec<St
             if spec.window_secs == 3600 { "1h" } else { "15m" },
             1u32 << spec.bits
         );
-        let text = to_arff(&inst, &spec.label())
-            .map_err(|e| Error::WireFormat(e.to_string()))?;
+        let text = to_arff(&inst, &spec.label()).map_err(|e| Error::WireFormat(e.to_string()))?;
         write(&dir.join(&name), &text)?;
         written.push(name);
     }

@@ -214,10 +214,8 @@ impl Fig4 {
 
     /// Text rendering.
     pub fn render(&self) -> String {
-        let mut s = format!(
-            "{:>10} {:>10} {:>10} {:>14}\n",
-            "t [s]", "mean", "median", "distinctmedian"
-        );
+        let mut s =
+            format!("{:>10} {:>10} {:>10} {:>14}\n", "t [s]", "mean", "median", "distinctmedian");
         for &(t, mean, median, dm) in &self.series {
             s += &format!("{:>10} {:>10.1} {:>10.1} {:>14.1}\n", t, mean, median, dm);
         }
@@ -307,8 +305,9 @@ mod tests {
     fn fig4_statistics_converge() {
         // Finer sampling than the other tests: the distinct-value set needs
         // volume to saturate (1 W quantization keeps it finite).
-        let ds = dataset(Scale { days: 3, interval_secs: 20, forest_trees: 4, cv_folds: 2, seed: 11 })
-            .unwrap();
+        let ds =
+            dataset(Scale { days: 3, interval_secs: 20, forest_trees: 4, cv_folds: 2, seed: 11 })
+                .unwrap();
         let f = fig4_statistics(&ds, 1, 3, 2000).unwrap();
         assert!(f.series.len() > 4);
         let (dm, dmed, ddm) = f.final_quarter_drift();

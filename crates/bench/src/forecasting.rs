@@ -195,8 +195,7 @@ impl ForecastFigure {
                 skipped.push(r.house_id);
                 continue;
             };
-            let (train_vals, test_vals) =
-                hours.split_at(protocol::TRAIN_HOURS);
+            let (train_vals, test_vals) = hours.split_at(protocol::TRAIN_HOURS);
 
             // Raw-value SVR forecast.
             let svr_factory = || -> Box<dyn Regressor> {
@@ -204,15 +203,16 @@ impl ForecastFigure {
                 m.c = 10.0;
                 Box::new(m)
             };
-            let raw =
-                real_forecast(svr_factory, train_vals, test_vals, protocol::LAGS).map_err(to_core)?;
+            let raw = real_forecast(svr_factory, train_vals, test_vals, protocol::LAGS)
+                .map_err(to_core)?;
             let raw_mae = raw.mae().map_err(to_core)?;
 
             let mut symbolic_mae = Vec::new();
             for method in SeparatorMethod::ALL {
                 let table = &tables[method.name()][&r.house_id];
-                let encode =
-                    |vals: &[f64]| -> Vec<u16> { vals.iter().map(|&v| table.encode_value(v).rank()).collect() };
+                let encode = |vals: &[f64]| -> Vec<u16> {
+                    vals.iter().map(|&v| table.encode_value(v).rank()).collect()
+                };
                 let train_ranks = encode(train_vals);
                 let test_ranks = encode(test_vals);
                 let decode = |rank: u16| decode_center(table, rank);
@@ -249,11 +249,7 @@ impl ForecastFigure {
         );
         for h in &self.houses {
             let get = |m: SeparatorMethod| {
-                h.symbolic_mae
-                    .iter()
-                    .find(|(mm, _)| *mm == m)
-                    .map(|(_, v)| *v)
-                    .unwrap_or(f64::NAN)
+                h.symbolic_mae.iter().find(|(mm, _)| *mm == m).map(|(_, v)| *v).unwrap_or(f64::NAN)
             };
             s += &format!(
                 "house {:<4} {:>8.1} {:>16.1} {:>8.1} {:>9.1}\n",
@@ -267,11 +263,7 @@ impl ForecastFigure {
         if !self.skipped.is_empty() {
             s += &format!(
                 "skipped (not enough data): {}\n",
-                self.skipped
-                    .iter()
-                    .map(|h| format!("house {h}"))
-                    .collect::<Vec<_>>()
-                    .join(", ")
+                self.skipped.iter().map(|h| format!("house {h}")).collect::<Vec<_>>().join(", ")
             );
         }
         s
@@ -280,10 +272,7 @@ impl ForecastFigure {
     /// How many houses had at least one symbolic encoding beat raw SVR
     /// (the paper observes this for several houses).
     pub fn symbolic_wins(&self) -> usize {
-        self.houses
-            .iter()
-            .filter(|h| h.symbolic_mae.iter().any(|(_, m)| *m < h.raw_mae))
-            .count()
+        self.houses.iter().filter(|h| h.symbolic_mae.iter().any(|(_, m)| *m < h.raw_mae)).count()
     }
 }
 
@@ -349,11 +338,7 @@ mod tests {
             .houses
             .iter()
             .filter(|h| {
-                let best = h
-                    .symbolic_mae
-                    .iter()
-                    .map(|(_, m)| *m)
-                    .fold(f64::INFINITY, f64::min);
+                let best = h.symbolic_mae.iter().map(|(_, m)| *m).fold(f64::INFINITY, f64::min);
                 best < h.raw_mae * 3.0
             })
             .count();

@@ -175,13 +175,9 @@ mod tests {
     #[test]
     fn tables_trained_per_house_differ() {
         let (scale, ds) = small();
-        let tables = per_house_tables(
-            &ds,
-            SeparatorMethod::Median,
-            4,
-            scale.training_prefix_secs(),
-        )
-        .unwrap();
+        let tables =
+            per_house_tables(&ds, SeparatorMethod::Median, 4, scale.training_prefix_secs())
+                .unwrap();
         assert_eq!(tables.len(), 6);
         // Big house 6 vs small house 2: separators must differ substantially.
         let s6 = tables[&6].separators()[14];
@@ -200,13 +196,9 @@ mod tests {
     #[test]
     fn symbolic_day_vectors_shape() {
         let (scale, ds) = small();
-        let tables = per_house_tables(
-            &ds,
-            SeparatorMethod::Median,
-            2,
-            scale.training_prefix_secs(),
-        )
-        .unwrap();
+        let tables =
+            per_house_tables(&ds, SeparatorMethod::Median, 2, scale.training_prefix_secs())
+                .unwrap();
         let inst = symbolic_day_vectors(&ds, 3600, &tables, PAPER_MIN_COVERAGE).unwrap();
         assert_eq!(inst.attributes().len(), 25, "24 hourly windows + class");
         assert!(inst.len() > 6, "several days across houses: {}", inst.len());

@@ -23,8 +23,7 @@ use sms_core::vertical::{aggregate_by_window, Aggregation};
 pub fn run_privacy(ds: &MeterDataset, scale: Scale) -> Result<Vec<PrivacyReport>> {
     let mut out = Vec::new();
     for bits in 1..=4u8 {
-        let table =
-            global_table(ds, SeparatorMethod::Median, bits, scale.training_prefix_secs())?;
+        let table = global_table(ds, SeparatorMethod::Median, bits, scale.training_prefix_secs())?;
         let mut labels: Vec<usize> = Vec::new();
         let mut symbols: Vec<Symbol> = Vec::new();
         let mut sequences: Vec<(usize, Vec<Symbol>)> = Vec::new();

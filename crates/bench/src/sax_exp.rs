@@ -34,9 +34,8 @@ pub fn sax_day_vectors(
     let n_windows = (86_400 / window_secs) as usize;
     let breakpoints = gaussian_breakpoints(k)?;
 
-    let mut attrs: Vec<Attribute> = (0..n_windows)
-        .map(|w| Attribute::nominal_indexed(format!("w{w}"), k))
-        .collect();
+    let mut attrs: Vec<Attribute> =
+        (0..n_windows).map(|w| Attribute::nominal_indexed(format!("w{w}"), k)).collect();
     attrs.push(Attribute::nominal_indexed("house", classes.len()));
     let class_index = attrs.len() - 1;
     let mut inst = Instances::new(attrs, class_index)

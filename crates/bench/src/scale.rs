@@ -4,10 +4,8 @@
 //! 10 s sampling, which preserves every distributional property the
 //! experiments measure while keeping the full Table 1 grid tractable).
 
-use serde::{Deserialize, Serialize};
-
 /// Data volume and evaluation effort for one experiment run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scale {
     /// Days of simulated data per house.
     pub days: i64,

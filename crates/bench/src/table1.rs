@@ -50,8 +50,7 @@ impl Table1 {
                 per_house: PER_HOUSE_COLUMNS
                     .iter()
                     .map(|&k| {
-                        run_symbolic(ds, scale, spec, TableMode::PerHouse, k)
-                            .map(|c| c.f_measure)
+                        run_symbolic(ds, scale, spec, TableMode::PerHouse, k).map(|c| c.f_measure)
                     })
                     .collect::<Result<_>>()?,
                 global: GLOBAL_COLUMNS
@@ -111,8 +110,7 @@ impl Table1 {
         if rows.is_empty() {
             return 0.0;
         }
-        let total: f64 =
-            rows.iter().flat_map(|r| r.per_house.iter()).sum();
+        let total: f64 = rows.iter().flat_map(|r| r.per_house.iter()).sum();
         total / (rows.len() * 4) as f64
     }
 }

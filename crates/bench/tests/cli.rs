@@ -3,10 +3,7 @@
 use std::process::Command;
 
 fn repro(args: &[&str]) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_repro"))
-        .args(args)
-        .output()
-        .expect("repro binary runs")
+    Command::new(env!("CARGO_BIN_EXE_repro")).args(args).output().expect("repro binary runs")
 }
 
 #[test]

@@ -11,6 +11,7 @@
 //! paper sketches ("rebuilding and resending the lookup table periodically
 //! or if the distribution of the data changes too much", §2).
 
+use crate::alphabet::Alphabet;
 use crate::encoder::{OnlineEncoder, SensorMessage};
 use crate::error::{Error, Result};
 use crate::lookup::LookupTable;
@@ -18,7 +19,6 @@ use crate::separators::SeparatorMethod;
 use crate::stats::ExactQuantiles;
 use crate::timeseries::Timestamp;
 use crate::vertical::Aggregation;
-use crate::alphabet::Alphabet;
 use std::collections::VecDeque;
 
 /// Two-sample distribution-shift detector over a sliding window of recent

@@ -7,10 +7,9 @@
 
 use crate::error::{Error, Result};
 use crate::symbol::{Symbol, MAX_RESOLUTION_BITS};
-use serde::{Deserialize, Serialize};
 
 /// An alphabet `A = {a_1, ..., a_k}` with `k = 2^resolution_bits`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Alphabet {
     resolution_bits: u8,
 }
@@ -58,9 +57,8 @@ impl Alphabet {
     /// Iterates all symbols in rank order.
     pub fn symbols(self) -> impl Iterator<Item = Symbol> {
         let bits = self.resolution_bits;
-        (0..self.size() as u32).map(move |r| {
-            Symbol::from_rank(r as u16, bits).expect("rank within alphabet size")
-        })
+        (0..self.size() as u32)
+            .map(move |r| Symbol::from_rank(r as u16, bits).expect("rank within alphabet size"))
     }
 
     /// The coarser alphabet one bit shorter, or `None` at 1 bit.

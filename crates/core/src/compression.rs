@@ -6,10 +6,9 @@
 //! order of magnitude lower."
 
 use crate::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 
 /// Sizing report for one encoding configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompressionReport {
     /// Raw samples covered by the report (e.g. one day at 1 Hz = 86 400).
     pub raw_samples: u64,
@@ -91,7 +90,13 @@ impl CompressionReport {
 
 /// The paper's worked example: one day at `sample_hz` Hz of 64-bit doubles,
 /// aggregated to `window_secs` windows with an alphabet of `k` symbols.
-pub fn day_report(sample_hz: u64, window_secs: u64, k: usize, table_bits: u64, amortization_days: u64) -> Result<CompressionReport> {
+pub fn day_report(
+    sample_hz: u64,
+    window_secs: u64,
+    k: usize,
+    table_bits: u64,
+    amortization_days: u64,
+) -> Result<CompressionReport> {
     if sample_hz == 0 || window_secs == 0 {
         return Err(Error::InvalidParameter {
             name: "sample_hz/window_secs",

@@ -7,14 +7,14 @@
 //! one window at a time; [`SensorPipeline`] adds the training phase and the
 //! wire protocol ([`SensorMessage`]).
 
+use crate::alphabet::Alphabet;
 use crate::error::{Error, Result};
+use crate::json::{self, JsonValue, JsonWriter};
 use crate::lookup::LookupTable;
 use crate::separators::{SeparatorMethod, StreamingLearner};
 use crate::symbol::Symbol;
 use crate::timeseries::Timestamp;
 use crate::vertical::Aggregation;
-use crate::alphabet::Alphabet;
-use serde::{Deserialize, Serialize};
 
 /// Streaming vertical + horizontal segmentation with a fixed, pre-trained
 /// lookup table. Feed samples in timestamp order; a symbol is emitted every
@@ -36,7 +36,7 @@ pub struct OnlineEncoder {
 }
 
 /// One emitted symbol with the window it summarizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EncodedWindow {
     /// Start of the closed window.
     pub window_start: Timestamp,
@@ -159,7 +159,7 @@ impl OnlineEncoder {
 }
 
 /// Wire messages from sensor to aggregation server.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SensorMessage {
     /// A (re)issued lookup table; subsequent symbols use it.
     Table(LookupTable),
@@ -168,14 +168,73 @@ pub enum SensorMessage {
 }
 
 impl SensorMessage {
-    /// JSON wire encoding.
+    /// JSON wire encoding: externally tagged, `{"Table":{…}}` or
+    /// `{"Window":{…}}` (the shape serde's derive produced before the
+    /// offline rewrite, so old captures keep parsing).
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(self).map_err(|e| Error::Serde(e.to_string()))
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        match self {
+            SensorMessage::Table(t) => {
+                w.key("Table");
+                t.write_json(&mut w);
+            }
+            SensorMessage::Window(win) => {
+                w.key("Window").begin_object();
+                w.key("window_start").i64(win.window_start);
+                w.key("symbol").begin_object();
+                w.key("code").u64(win.symbol.rank() as u64);
+                w.key("len").u64(win.symbol.resolution_bits() as u64);
+                w.end_object();
+                w.key("samples").u64(win.samples as u64);
+                w.end_object();
+            }
+        }
+        w.end_object();
+        Ok(w.finish())
     }
 
     /// JSON wire decoding.
     pub fn from_json(s: &str) -> Result<Self> {
-        serde_json::from_str(s).map_err(|e| Error::Serde(e.to_string()))
+        let doc = json::parse(s).map_err(Error::Serde)?;
+        if let Some(table) = doc.get("Table") {
+            return Ok(SensorMessage::Table(LookupTable::from_json_value(table)?));
+        }
+        if let Some(win) = doc.get("Window") {
+            let int_field = |key: &str| {
+                win.get(key)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| Error::Serde(format!("invalid `{key}`")))
+            };
+            let window_start = win
+                .get("window_start")
+                .and_then(|v| v.as_f64())
+                .filter(|t| t.fract() == 0.0)
+                .ok_or_else(|| Error::Serde("invalid `window_start`".to_string()))?
+                as Timestamp;
+            let symbol =
+                win.get("symbol").ok_or_else(|| Error::Serde("missing `symbol`".to_string()))?;
+            let code = symbol
+                .get("code")
+                .and_then(JsonValue::as_u64)
+                .filter(|&c| c <= u16::MAX as u64)
+                .ok_or_else(|| Error::Serde("invalid `symbol.code`".to_string()))?;
+            let len = symbol
+                .get("len")
+                .and_then(JsonValue::as_u64)
+                .filter(|&l| l <= u8::MAX as u64)
+                .ok_or_else(|| Error::Serde("invalid `symbol.len`".to_string()))?;
+            let samples = int_field("samples")?;
+            if samples > u32::MAX as u64 {
+                return Err(Error::Serde("`samples` out of range".to_string()));
+            }
+            return Ok(SensorMessage::Window(EncodedWindow {
+                window_start,
+                symbol: Symbol::from_rank(code as u16, len as u8)?,
+                samples: samples as u32,
+            }));
+        }
+        Err(Error::Serde("expected a `Table` or `Window` message".to_string()))
     }
 }
 
@@ -199,8 +258,14 @@ pub struct SensorPipeline {
 
 #[derive(Debug)]
 enum PipelineState {
-    Training { learner: StreamingLearner, buffer: Vec<(Timestamp, f64)>, started: Option<Timestamp> },
-    Streaming { encoder: OnlineEncoder },
+    Training {
+        learner: StreamingLearner,
+        buffer: Vec<(Timestamp, f64)>,
+        started: Option<Timestamp>,
+    },
+    Streaming {
+        encoder: OnlineEncoder,
+    },
 }
 
 impl SensorPipeline {
@@ -348,9 +413,8 @@ mod tests {
 
     #[test]
     fn min_samples_drops_sparse_windows() {
-        let mut enc = OnlineEncoder::new(table(), 60, Aggregation::Mean)
-            .unwrap()
-            .with_min_samples(10);
+        let mut enc =
+            OnlineEncoder::new(table(), 60, Aggregation::Mean).unwrap().with_min_samples(10);
         enc.push(0, 50.0).unwrap();
         // Jump two windows ahead: sparse window [0,60) is dropped.
         assert_eq!(enc.push(130, 50.0).unwrap(), None);

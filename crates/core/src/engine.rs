@@ -1,0 +1,633 @@
+//! Parallel fleet-encoding engine.
+//!
+//! The paper's evaluation encodes *hundreds of households* (Fig. 6–7 use the
+//! full CER dataset); a serial [`SymbolicCodec`] walk over the fleet leaves
+//! most of a multi-core sensor gateway idle. This module shards a fleet of
+//! household streams across worker threads connected by bounded channels:
+//!
+//! ```text
+//!                 ┌──────────┐  house indices   ┌───────────┐
+//!  fleet: &[TS] ─▶│  feeder  │═════bounded═════▶│ worker 0  │──┐
+//!                 └──────────┘       MPMC       ├───────────┤  │ (idx, Ŝ)
+//!                                          ════▶│ worker 1  │──┼═══════▶ collector
+//!                                          ════▶│    …      │──┘   places results[idx]
+//!                                               └───────────┘
+//! ```
+//!
+//! * **Batch API** — [`FleetEngine::encode_fleet`] / [`encode_fleet`]: every
+//!   house index travels through one bounded MPMC channel, each worker owns
+//!   reusable scratch buffers ([`SymbolicCodec::encode_into`]) so the hot
+//!   loop is allocation-free, and the collector writes results back by house
+//!   index, which makes the output **byte-identical to the serial codec
+//!   regardless of worker count**.
+//! * **Streaming API** — [`FleetStream`]: feed `(house, chunk)` pairs, drain
+//!   [`WindowEvent`]s; houses are pinned to workers (`house % workers`) so
+//!   per-house symbol order is preserved, and both the per-worker input
+//!   channels and the shared output channel are bounded, giving end-to-end
+//!   backpressure.
+//! * **Table modes** — [`TableMode::PerHouse`] learns one lookup table per
+//!   household (the paper's default protocol); [`TableMode::Shared`] pools
+//!   training values across the fleet and learns a single table reused by
+//!   every house (the global all-houses table of Fig. 7).
+//!
+//! Throughput counters ([`EngineStats`]) report samples/sec, symbols/sec and
+//! per-stage wall time, and serialize to JSON for benchmark trajectories.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crossbeam::channel;
+
+use crate::encoder::{EncodedWindow, OnlineEncoder};
+use crate::error::{Error, Result};
+use crate::horizontal::SymbolicSeries;
+use crate::json::JsonWriter;
+use crate::pipeline::{CodecBuilder, SymbolicCodec, VerticalPolicy};
+use crate::timeseries::{TimeSeries, Timestamp};
+
+/// How the engine obtains lookup tables for a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TableMode {
+    /// Learn one lookup table per household from that household's own
+    /// history (the paper's per-customer protocol). Matches calling
+    /// `builder.train(house)` per house.
+    #[default]
+    PerHouse,
+    /// Pool training values across all households, learn **one** table, and
+    /// reuse it for every house (the global table of Fig. 7). Training cost
+    /// is paid once instead of per house.
+    Shared,
+}
+
+/// Configuration of the parallel engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker thread count; `0` is treated as `1`.
+    pub workers: usize,
+    /// Per-house or shared lookup tables.
+    pub table_mode: TableMode,
+    /// Capacity of each bounded channel (work queue and streaming output).
+    pub channel_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            table_mode: TableMode::PerHouse,
+            channel_capacity: 64,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config with an explicit worker count and defaults otherwise.
+    pub fn with_workers(workers: usize) -> Self {
+        EngineConfig { workers, ..Self::default() }
+    }
+
+    /// Sets the table mode.
+    pub fn table_mode(mut self, mode: TableMode) -> Self {
+        self.table_mode = mode;
+        self
+    }
+
+    /// Sets the bounded-channel capacity (min 1).
+    pub fn channel_capacity(mut self, cap: usize) -> Self {
+        self.channel_capacity = cap.max(1);
+        self
+    }
+}
+
+/// Throughput counters for one engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Households encoded.
+    pub houses: usize,
+    /// Raw samples consumed.
+    pub samples_in: u64,
+    /// Symbols produced.
+    pub symbols_out: u64,
+    /// Wall time of the up-front training stage, seconds. In
+    /// [`TableMode::PerHouse`] training happens inside the encode stage, so
+    /// this covers only the shared-table pre-pass and is `0` there.
+    pub train_secs: f64,
+    /// Wall time of the parallel encode stage, seconds.
+    pub encode_secs: f64,
+}
+
+impl EngineStats {
+    /// Raw samples consumed per wall-clock second (train + encode).
+    pub fn samples_per_sec(&self) -> f64 {
+        self.samples_in as f64 / (self.train_secs + self.encode_secs).max(f64::MIN_POSITIVE)
+    }
+
+    /// Symbols produced per wall-clock second (train + encode).
+    pub fn symbols_per_sec(&self) -> f64 {
+        self.symbols_out as f64 / (self.train_secs + self.encode_secs).max(f64::MIN_POSITIVE)
+    }
+
+    /// JSON object for benchmark trajectories.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("workers");
+        w.u64(self.workers as u64);
+        w.key("houses");
+        w.u64(self.houses as u64);
+        w.key("samples_in");
+        w.u64(self.samples_in);
+        w.key("symbols_out");
+        w.u64(self.symbols_out);
+        w.key("train_secs");
+        w.f64(self.train_secs);
+        w.key("encode_secs");
+        w.f64(self.encode_secs);
+        w.key("samples_per_sec");
+        w.f64(self.samples_per_sec());
+        w.key("symbols_per_sec");
+        w.f64(self.symbols_per_sec());
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// The result of a batch fleet encode: one symbolic series per input house
+/// (same order), plus throughput counters.
+#[derive(Debug, Clone)]
+pub struct FleetEncoding {
+    /// `series[i]` encodes `fleet[i]`.
+    pub series: Vec<SymbolicSeries>,
+    /// Throughput counters for the run.
+    pub stats: EngineStats,
+}
+
+/// A configured parallel encoder for fleets of household streams.
+#[derive(Debug, Clone)]
+pub struct FleetEngine {
+    builder: CodecBuilder,
+    config: EngineConfig,
+}
+
+impl FleetEngine {
+    /// Assembles an engine from a codec recipe and a parallelism config.
+    pub fn new(builder: CodecBuilder, config: EngineConfig) -> Self {
+        FleetEngine { builder, config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Encodes every house of `fleet`, returning symbolic series in input
+    /// order plus throughput counters. Output is byte-identical to training
+    /// and encoding each house serially with the same [`CodecBuilder`],
+    /// regardless of `workers`.
+    pub fn encode_fleet(&self, fleet: &[TimeSeries]) -> Result<FleetEncoding> {
+        let workers = self.config.workers.max(1);
+        let samples_in: u64 = fleet.iter().map(|h| h.len() as u64).sum();
+
+        let train_start = Instant::now();
+        let shared_codec = match self.config.table_mode {
+            TableMode::PerHouse => None,
+            TableMode::Shared => Some(self.train_shared(fleet)?),
+        };
+        let train_secs = train_start.elapsed().as_secs_f64();
+
+        let encode_start = Instant::now();
+        let mut results: Vec<Option<SymbolicSeries>> = fleet.iter().map(|_| None).collect();
+        if !fleet.is_empty() {
+            self.run_batch(fleet, shared_codec.as_ref(), workers, &mut results)?;
+        }
+        let encode_secs = encode_start.elapsed().as_secs_f64();
+
+        let series: Vec<SymbolicSeries> = results
+            .into_iter()
+            .map(|r| r.ok_or_else(|| Error::Engine("worker dropped a house".to_string())))
+            .collect::<Result<_>>()?;
+        let symbols_out: u64 = series.iter().map(|s| s.len() as u64).sum();
+        Ok(FleetEncoding {
+            series,
+            stats: EngineStats {
+                workers,
+                houses: fleet.len(),
+                samples_in,
+                symbols_out,
+                train_secs,
+                encode_secs,
+            },
+        })
+    }
+
+    /// Pools training values across the fleet and learns one shared codec.
+    fn train_shared(&self, fleet: &[TimeSeries]) -> Result<SymbolicCodec> {
+        let mut pool = Vec::new();
+        for house in fleet {
+            if !house.is_empty() {
+                pool.extend(self.builder.training_values(house)?);
+            }
+        }
+        self.builder.learn_from_values(&pool)
+    }
+
+    /// The fan-out/fan-in core: a bounded MPMC queue of house indices feeds
+    /// `workers` scoped threads; results come back tagged with their index so
+    /// the collector can place them deterministically.
+    fn run_batch(
+        &self,
+        fleet: &[TimeSeries],
+        shared: Option<&SymbolicCodec>,
+        workers: usize,
+        results: &mut [Option<SymbolicSeries>],
+    ) -> Result<()> {
+        let cap = self.config.channel_capacity.max(1);
+        let builder = &self.builder;
+        crossbeam::thread::scope(|s| -> Result<()> {
+            let (job_tx, job_rx) = channel::bounded::<usize>(cap);
+            let (res_tx, res_rx) = channel::unbounded::<(usize, Result<SymbolicSeries>)>();
+            for _ in 0..workers {
+                let job_rx = job_rx.clone();
+                let res_tx = res_tx.clone();
+                s.spawn(move |_| {
+                    let mut scratch = TimeSeries::new();
+                    let mut out = SymbolicSeries::new(1).expect("1 bit is a valid resolution");
+                    for idx in job_rx.iter() {
+                        let encoded =
+                            encode_one(&fleet[idx], shared, builder, &mut scratch, &mut out);
+                        if res_tx.send((idx, encoded)).is_err() {
+                            break; // collector bailed on an earlier error
+                        }
+                    }
+                });
+            }
+            drop(job_rx);
+            drop(res_tx);
+            for idx in 0..fleet.len() {
+                job_tx
+                    .send(idx)
+                    .map_err(|_| Error::Engine("all workers exited early".to_string()))?;
+            }
+            drop(job_tx);
+            for (idx, encoded) in res_rx.iter() {
+                results[idx] = Some(encoded?);
+            }
+            Ok(())
+        })
+        .expect("fleet worker panicked")
+    }
+}
+
+/// Encodes one house, training a per-house codec unless a shared one is given.
+fn encode_one(
+    house: &TimeSeries,
+    shared: Option<&SymbolicCodec>,
+    builder: &CodecBuilder,
+    scratch: &mut TimeSeries,
+    out: &mut SymbolicSeries,
+) -> Result<SymbolicSeries> {
+    let per_house;
+    let codec = match shared {
+        Some(c) => c,
+        None => {
+            per_house = builder.train(house)?;
+            &per_house
+        }
+    };
+    codec.encode_into(house, scratch, out)?;
+    Ok(out.clone())
+}
+
+/// One-shot convenience: encode a fleet and keep only the symbolic series.
+pub fn encode_fleet(
+    fleet: &[TimeSeries],
+    builder: &CodecBuilder,
+    config: &EngineConfig,
+) -> Result<Vec<SymbolicSeries>> {
+    Ok(FleetEngine::new(builder.clone(), config.clone()).encode_fleet(fleet)?.series)
+}
+
+// ---------------------------------------------------------------------------
+// Streaming API
+// ---------------------------------------------------------------------------
+
+/// A closed window emitted by the streaming engine, tagged with its house.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowEvent {
+    /// Index of the household the window belongs to.
+    pub house: usize,
+    /// The encoded window.
+    pub window: EncodedWindow,
+}
+
+enum StreamJob {
+    Chunk { house: usize, samples: Vec<(Timestamp, f64)> },
+}
+
+/// Streaming fleet encoder: feed raw `(house, chunk)` readings, drain
+/// [`WindowEvent`]s as windows close.
+///
+/// Each house is pinned to worker `house % workers`, whose input channel is
+/// FIFO, so symbols of one house always arrive in timestamp order. Input and
+/// output channels are bounded: a slow consumer stalls the workers, which
+/// stalls [`FleetStream::feed`] — backpressure end to end.
+pub struct FleetStream {
+    inputs: Vec<channel::Sender<StreamJob>>,
+    events: channel::Receiver<Result<WindowEvent>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    samples_in: u64,
+    symbols_out: u64,
+}
+
+impl std::fmt::Debug for FleetStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetStream")
+            .field("workers", &self.handles.len())
+            .field("samples_in", &self.samples_in)
+            .field("symbols_out", &self.symbols_out)
+            .finish()
+    }
+}
+
+impl FleetStream {
+    /// Spawns `workers` threads that encode with clones of `codec`'s lookup
+    /// table through per-house [`OnlineEncoder`]s. The codec must use a
+    /// wall-clock [`VerticalPolicy::Window`] policy (the online encoder is
+    /// window-based).
+    pub fn spawn(codec: &SymbolicCodec, config: &EngineConfig) -> Result<FleetStream> {
+        let (window_secs, min_samples) = match codec.vertical_policy() {
+            VerticalPolicy::Window { window_secs, min_samples } => (window_secs, min_samples),
+            other => {
+                return Err(Error::InvalidParameter {
+                    name: "codec",
+                    reason: format!("FleetStream needs a wall-clock Window policy, got {other:?}"),
+                })
+            }
+        };
+        let workers = config.workers.max(1);
+        let cap = config.channel_capacity.max(1);
+        let (event_tx, events) = channel::bounded::<Result<WindowEvent>>(cap);
+        let mut inputs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = channel::bounded::<StreamJob>(cap);
+            inputs.push(tx);
+            let event_tx = event_tx.clone();
+            let table = codec.table().clone();
+            let aggregation = codec.aggregation();
+            handles.push(std::thread::spawn(move || {
+                stream_worker(rx, event_tx, table, window_secs, min_samples, aggregation)
+            }));
+        }
+        Ok(FleetStream { inputs, events, handles, samples_in: 0, symbols_out: 0 })
+    }
+
+    /// Feeds a chunk of raw readings for one house. Blocks when the engine's
+    /// queues are full (backpressure), so interleave [`FleetStream::drain`]
+    /// calls with `feed`: a producer that never drains deadlocks once the
+    /// bounded event queue fills. Timestamps must be non-decreasing per
+    /// house across all chunks.
+    pub fn feed(&mut self, house: usize, chunk: &[(Timestamp, f64)]) -> Result<()> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        self.samples_in += chunk.len() as u64;
+        let worker = house % self.inputs.len();
+        self.inputs[worker]
+            .send(StreamJob::Chunk { house, samples: chunk.to_vec() })
+            .map_err(|_| Error::Engine(format!("stream worker {worker} is gone")))
+    }
+
+    /// Drains every window event currently available without blocking.
+    pub fn drain(&mut self) -> Result<Vec<WindowEvent>> {
+        let mut out = Vec::new();
+        while let Ok(ev) = self.events.try_recv() {
+            out.push(ev?);
+        }
+        self.symbols_out += out.len() as u64;
+        Ok(out)
+    }
+
+    /// Closes the inputs, flushes every house's final partial window, joins
+    /// the workers, and returns the remaining events.
+    pub fn finish(mut self) -> Result<Vec<WindowEvent>> {
+        self.inputs.clear(); // disconnect: workers flush and exit
+        let mut out = Vec::new();
+        for ev in self.events.iter() {
+            match ev {
+                Ok(ev) => out.push(ev),
+                Err(e) => {
+                    for h in self.handles.drain(..) {
+                        let _ = h.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        for h in self.handles.drain(..) {
+            h.join().map_err(|_| Error::Engine("stream worker panicked".to_string()))?;
+        }
+        self.symbols_out += out.len() as u64;
+        Ok(out)
+    }
+
+    /// Raw samples fed so far.
+    pub fn samples_in(&self) -> u64 {
+        self.samples_in
+    }
+
+    /// Window events drained so far.
+    pub fn symbols_out(&self) -> u64 {
+        self.symbols_out
+    }
+}
+
+fn stream_worker(
+    rx: channel::Receiver<StreamJob>,
+    tx: channel::Sender<Result<WindowEvent>>,
+    table: crate::lookup::LookupTable,
+    window_secs: i64,
+    min_samples: usize,
+    aggregation: crate::vertical::Aggregation,
+) {
+    let mut encoders: BTreeMap<usize, OnlineEncoder> = BTreeMap::new();
+    for job in rx.iter() {
+        let StreamJob::Chunk { house, samples } = job;
+        let encoder = match encoders.entry(house) {
+            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                match OnlineEncoder::new(table.clone(), window_secs, aggregation) {
+                    Ok(enc) => slot.insert(enc.with_min_samples(min_samples)),
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                }
+            }
+        };
+        for (t, v) in samples {
+            match encoder.push(t, v) {
+                Ok(Some(window)) => {
+                    if tx.send(Ok(WindowEvent { house, window })).is_err() {
+                        return; // consumer gone
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    return;
+                }
+            }
+        }
+    }
+    // Inputs closed: flush final partial windows in house order.
+    for (house, encoder) in encoders.iter_mut() {
+        if let Some(window) = encoder.finish() {
+            if tx.send(Ok(WindowEvent { house: *house, window })).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::separators::SeparatorMethod;
+
+    fn fleet(houses: usize, samples: usize) -> Vec<TimeSeries> {
+        (0..houses)
+            .map(|h| {
+                let values: Vec<f64> =
+                    (0..samples).map(|i| 50.0 + ((i * 31 + h * 97) % 500) as f64).collect();
+                TimeSeries::from_regular(0, 60, &values).unwrap()
+            })
+            .collect()
+    }
+
+    fn builder() -> CodecBuilder {
+        CodecBuilder::new()
+            .method(SeparatorMethod::Median)
+            .alphabet_size(16)
+            .unwrap()
+            .window_secs(900)
+    }
+
+    #[test]
+    fn batch_matches_serial_per_house() {
+        let fleet = fleet(12, 300);
+        let b = builder();
+        let serial: Vec<SymbolicSeries> =
+            fleet.iter().map(|h| b.train(h).unwrap().encode(h).unwrap()).collect();
+        for workers in [1, 2, 8] {
+            let config = EngineConfig::with_workers(workers);
+            let got = encode_fleet(&fleet, &b, &config).unwrap();
+            assert_eq!(got, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn batch_shared_table_reuses_one_table() {
+        let fleet = fleet(6, 300);
+        let b = builder();
+        let config = EngineConfig::with_workers(3).table_mode(TableMode::Shared);
+        let enc = FleetEngine::new(b.clone(), config).encode_fleet(&fleet).unwrap();
+        // Shared mode == serially encoding every house with the pooled table.
+        let mut pool = Vec::new();
+        for h in &fleet {
+            pool.extend(h.values());
+        }
+        let codec = b.learn_from_values(&pool).unwrap();
+        for (house, got) in fleet.iter().zip(&enc.series) {
+            assert_eq!(*got, codec.encode(house).unwrap());
+        }
+        assert_eq!(enc.stats.houses, 6);
+        assert_eq!(enc.stats.samples_in, 6 * 300);
+        assert!(enc.stats.symbols_out > 0);
+    }
+
+    #[test]
+    fn empty_fleet_is_fine() {
+        let enc =
+            FleetEngine::new(builder(), EngineConfig::with_workers(4)).encode_fleet(&[]).unwrap();
+        assert!(enc.series.is_empty());
+        assert_eq!(enc.stats.samples_in, 0);
+    }
+
+    #[test]
+    fn per_house_empty_house_propagates_training_error() {
+        let mut f = fleet(3, 200);
+        f.push(TimeSeries::new());
+        let err = FleetEngine::new(builder(), EngineConfig::with_workers(2))
+            .encode_fleet(&f)
+            .unwrap_err();
+        assert_eq!(err, Error::EmptyInput("CodecBuilder::train"));
+    }
+
+    #[test]
+    fn stats_json_has_counters() {
+        let enc = FleetEngine::new(builder(), EngineConfig::with_workers(2))
+            .encode_fleet(&fleet(4, 300))
+            .unwrap();
+        let json = enc.stats.to_json();
+        for key in [
+            "workers",
+            "houses",
+            "samples_in",
+            "symbols_out",
+            "train_secs",
+            "encode_secs",
+            "samples_per_sec",
+        ] {
+            assert!(json.contains(key), "{json} missing {key}");
+        }
+        assert!(enc.stats.samples_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn streaming_matches_batch_windows() {
+        let fleet = fleet(5, 400);
+        let b = builder();
+        // Shared table so the stream and the batch use the same codec.
+        let mut pool = Vec::new();
+        for h in &fleet {
+            pool.extend(h.values());
+        }
+        let codec = b.learn_from_values(&pool).unwrap();
+
+        let mut stream =
+            FleetStream::spawn(&codec, &EngineConfig::with_workers(3).channel_capacity(8)).unwrap();
+        let mut events = Vec::new();
+        for (house, series) in fleet.iter().enumerate() {
+            // Feed in ragged chunks to exercise chunk boundaries, draining
+            // as we go: with bounded channels a consumer that never drains
+            // would (by design) stall `feed` once the event queue fills.
+            let samples: Vec<(Timestamp, f64)> = series.iter().collect();
+            for chunk in samples.chunks(7) {
+                stream.feed(house, chunk).unwrap();
+                events.extend(stream.drain().unwrap());
+            }
+        }
+        events.extend(stream.finish().unwrap());
+
+        // Regroup per house and compare against the batch encoder.
+        for (house, series) in fleet.iter().enumerate() {
+            let expected = codec.encode(series).unwrap();
+            let got: Vec<(Timestamp, crate::symbol::Symbol)> = events
+                .iter()
+                .filter(|e| e.house == house)
+                .map(|e| (e.window.window_start, e.window.symbol))
+                .collect();
+            let want: Vec<(Timestamp, crate::symbol::Symbol)> = expected.iter().collect();
+            assert_eq!(got, want, "house {house}");
+        }
+    }
+
+    #[test]
+    fn stream_rejects_non_window_codec() {
+        let codec = builder().every_n(4).train(&fleet(1, 100)[0]).unwrap();
+        assert!(FleetStream::spawn(&codec, &EngineConfig::with_workers(1)).is_err());
+    }
+}

@@ -53,6 +53,8 @@ pub enum Error {
     WireFormat(String),
     /// (De)serialization of a lookup table failed.
     Serde(String),
+    /// The parallel fleet engine failed (worker or channel breakdown).
+    Engine(String),
 }
 
 impl fmt::Display for Error {
@@ -83,6 +85,7 @@ impl fmt::Display for Error {
             Error::SymbolParse(s) => write!(f, "cannot parse symbol from {s:?}"),
             Error::WireFormat(msg) => write!(f, "wire format error: {msg}"),
             Error::Serde(msg) => write!(f, "serde error: {msg}"),
+            Error::Engine(msg) => write!(f, "fleet engine error: {msg}"),
         }
     }
 }

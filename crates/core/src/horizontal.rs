@@ -5,11 +5,10 @@ use crate::error::{Error, Result};
 use crate::lookup::{LookupTable, SymbolSemantics};
 use crate::symbol::{Symbol, SymbolReader, SymbolWriter};
 use crate::timeseries::{TimeSeries, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// A symbolic time series `Ŝ = {ŝ_1, ŝ_2, …}`: timestamps plus symbols, all
 /// of one resolution.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SymbolicSeries {
     resolution_bits: u8,
     timestamps: Vec<Timestamp>,
@@ -23,6 +22,34 @@ impl SymbolicSeries {
             return Err(Error::InvalidResolution(resolution_bits));
         }
         Ok(SymbolicSeries { resolution_bits, timestamps: Vec::new(), symbols: Vec::new() })
+    }
+
+    /// Creates an empty series of the given resolution with pre-allocated
+    /// room for `capacity` symbols.
+    pub fn with_capacity(resolution_bits: u8, capacity: usize) -> Result<Self> {
+        let mut s = Self::new(resolution_bits)?;
+        s.timestamps.reserve(capacity);
+        s.symbols.reserve(capacity);
+        Ok(s)
+    }
+
+    /// Removes all symbols, keeping the allocation and resolution. Combined
+    /// with [`Self::reset`] this lets worker threads reuse one output buffer
+    /// across many series.
+    pub fn clear(&mut self) {
+        self.timestamps.clear();
+        self.symbols.clear();
+    }
+
+    /// Clears the series and switches it to a (possibly different)
+    /// resolution, keeping the allocations.
+    pub fn reset(&mut self, resolution_bits: u8) -> Result<()> {
+        if resolution_bits == 0 || resolution_bits > crate::symbol::MAX_RESOLUTION_BITS {
+            return Err(Error::InvalidResolution(resolution_bits));
+        }
+        self.resolution_bits = resolution_bits;
+        self.clear();
+        Ok(())
     }
 
     /// Builds from parallel timestamp/symbol vectors.
@@ -101,22 +128,19 @@ impl SymbolicSeries {
 
     /// The concatenated string form, e.g. `"000 101 110"`.
     pub fn to_string_joined(&self, sep: &str) -> String {
-        self.symbols
-            .iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>()
-            .join(sep)
+        self.symbols.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(sep)
     }
 
     /// Down-converts every symbol to a lower resolution (§4: "higher
     /// resolution symbols can easily be converted to lower resolution").
     pub fn truncate_resolution(&self, to_bits: u8) -> Result<SymbolicSeries> {
-        let symbols = self
-            .symbols
-            .iter()
-            .map(|s| s.truncate(to_bits))
-            .collect::<Result<Vec<_>>>()?;
-        Ok(SymbolicSeries { resolution_bits: to_bits, timestamps: self.timestamps.clone(), symbols })
+        let symbols =
+            self.symbols.iter().map(|s| s.truncate(to_bits)).collect::<Result<Vec<_>>>()?;
+        Ok(SymbolicSeries {
+            resolution_bits: to_bits,
+            timestamps: self.timestamps.clone(),
+            symbols,
+        })
     }
 
     /// Packs the symbol payload into bits (timestamps are implicit for
@@ -158,11 +182,23 @@ impl SymbolicSeries {
 /// Horizontal segmentation `H(S, L)` per Definition 3: encodes every value of
 /// `series` through the lookup table, preserving timestamps.
 pub fn horizontal_segmentation(series: &TimeSeries, table: &LookupTable) -> Result<SymbolicSeries> {
-    let mut out = SymbolicSeries::new(table.resolution_bits())?;
+    let mut out = SymbolicSeries::with_capacity(table.resolution_bits(), series.len())?;
+    horizontal_segmentation_into(series, table, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-reusing variant of [`horizontal_segmentation`]: resets `out` to
+/// the table's resolution and fills it in place.
+pub fn horizontal_segmentation_into(
+    series: &TimeSeries,
+    table: &LookupTable,
+    out: &mut SymbolicSeries,
+) -> Result<()> {
+    out.reset(table.resolution_bits())?;
     for (t, v) in series.iter() {
         out.push(t, table.encode_value(v))?;
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Inverse of horizontal segmentation: maps each symbol back to a real value

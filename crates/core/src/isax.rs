@@ -13,11 +13,10 @@
 use crate::error::{Error, Result};
 use crate::sax::{gaussian_breakpoints, paa, z_normalize};
 use crate::symbol::Symbol;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// An iSAX word: one [`Symbol`] (rank + per-symbol bit width) per PAA segment.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ISaxWord {
     /// Per-segment symbols, possibly of different resolutions.
     pub symbols: Vec<Symbol>,
@@ -37,8 +36,7 @@ impl ISaxWord {
 
     /// Truncates every symbol to `bits`, producing the coarser word.
     pub fn demote(&self, bits: u8) -> Result<ISaxWord> {
-        let symbols =
-            self.symbols.iter().map(|s| s.truncate(bits)).collect::<Result<Vec<_>>>()?;
+        let symbols = self.symbols.iter().map(|s| s.truncate(bits)).collect::<Result<Vec<_>>>()?;
         Ok(ISaxWord { symbols, original_len: self.original_len })
     }
 
@@ -234,8 +232,7 @@ impl ISaxIndex {
             if id as usize != self.series.len() {
                 return Err(Error::InvalidParameter {
                     name: "id",
-                    reason: "exact-search indexes require ids 0,1,2,… in insert order"
-                        .to_string(),
+                    reason: "exact-search indexes require ids 0,1,2,… in insert order".to_string(),
                 });
             }
             self.series.push(z_normalize(values));
@@ -455,8 +452,7 @@ mod tests {
     #[test]
     fn mindist_zero_when_query_falls_in_symbol_range() {
         let isax = ISax::new(1, 2).unwrap();
-        let word =
-            ISaxWord { symbols: vec![Symbol::from_rank(1, 2).unwrap()], original_len: 4 };
+        let word = ISaxWord { symbols: vec![Symbol::from_rank(1, 2).unwrap()], original_len: 4 };
         // Symbol 1 of 4 covers (-0.6745, 0]; query PAA 0.0 is inside.
         assert_eq!(isax.mindist_paa(&[-0.1], &word).unwrap(), 0.0);
     }

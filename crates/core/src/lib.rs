@@ -51,9 +51,11 @@ pub mod alphabet;
 pub mod compression;
 pub mod distance;
 pub mod encoder;
+pub mod engine;
 pub mod error;
 pub mod horizontal;
 pub mod isax;
+pub mod json;
 pub mod lookup;
 pub mod pipeline;
 pub mod privacy;

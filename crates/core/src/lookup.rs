@@ -12,12 +12,12 @@
 
 use crate::alphabet::Alphabet;
 use crate::error::{Error, Result};
+use crate::json::{self, JsonValue, JsonWriter};
 use crate::separators::{learn_separators, SeparatorMethod};
 use crate::symbol::Symbol;
-use serde::{Deserialize, Serialize};
 
 /// How to map a symbol back to a real value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SymbolSemantics {
     /// Midpoint of the symbol's value range (§3.2: "we define semantics of a
     /// symbol as the center of its range").
@@ -29,7 +29,7 @@ pub enum SymbolSemantics {
 
 /// A fully specified lookup table: alphabet, separators, and per-bin
 /// statistics gathered at training time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LookupTable {
     method: SeparatorMethod,
     alphabet: Alphabet,
@@ -296,8 +296,7 @@ impl LookupTable {
         let step = 1usize << (bits - to_bits);
         let new_k = 1usize << to_bits;
         // Keep separators at original (1-based) positions step, 2*step, ...
-        let separators: Vec<f64> =
-            (1..new_k).map(|j| self.separators[j * step - 1]).collect();
+        let separators: Vec<f64> = (1..new_k).map(|j| self.separators[j * step - 1]).collect();
         let mut bin_means = Vec::with_capacity(new_k);
         let mut bin_counts = Vec::with_capacity(new_k);
         for j in 0..new_k {
@@ -354,12 +353,78 @@ impl LookupTable {
     /// Serializes to the JSON wire format used when shipping the table from
     /// the sensor to the aggregation server.
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(self).map_err(|e| Error::Serde(e.to_string()))
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        Ok(w.finish())
     }
 
     /// Parses the JSON wire format.
     pub fn from_json(s: &str) -> Result<Self> {
-        serde_json::from_str(s).map_err(|e| Error::Serde(e.to_string()))
+        let doc = json::parse(s).map_err(Error::Serde)?;
+        Self::from_json_value(&doc)
+    }
+
+    /// Writes this table as one JSON value into `w` (shared with the
+    /// [`crate::encoder::SensorMessage`] wire encoding).
+    pub(crate) fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("method").string(method_variant(self.method));
+        w.key("alphabet").begin_object();
+        w.key("resolution_bits").u64(self.alphabet.resolution_bits() as u64);
+        w.end_object();
+        w.key("separators").f64_array(&self.separators);
+        w.key("bin_means").f64_array(&self.bin_means);
+        w.key("bin_counts").u64_array(&self.bin_counts);
+        w.key("value_min").f64(self.value_min);
+        w.key("value_max").f64(self.value_max);
+        w.end_object();
+    }
+
+    /// Rebuilds a table from a parsed JSON value, validating shapes and
+    /// separator monotonicity like [`LookupTable::from_wire_parts`].
+    pub(crate) fn from_json_value(doc: &JsonValue) -> Result<Self> {
+        let field =
+            |key: &str| doc.get(key).ok_or_else(|| Error::Serde(format!("missing field `{key}`")));
+        let method = field("method")?
+            .as_str()
+            .and_then(method_from_variant)
+            .ok_or_else(|| Error::Serde("invalid `method`".to_string()))?;
+        let bits = field("alphabet")?
+            .get("resolution_bits")
+            .and_then(JsonValue::as_u64)
+            .filter(|&b| b <= u8::MAX as u64)
+            .ok_or_else(|| Error::Serde("invalid `alphabet`".to_string()))?;
+        let f64_field = |key: &str| -> Result<Vec<f64>> {
+            field(key)?
+                .as_array()
+                .ok_or_else(|| Error::Serde(format!("`{key}` is not an array")))?
+                .iter()
+                .map(|v| v.as_f64().ok_or_else(|| Error::Serde(format!("non-number in `{key}`"))))
+                .collect()
+        };
+        let bin_counts: Vec<u64> = field("bin_counts")?
+            .as_array()
+            .ok_or_else(|| Error::Serde("`bin_counts` is not an array".to_string()))?
+            .iter()
+            .map(|v| {
+                v.as_u64().ok_or_else(|| Error::Serde("non-integer in `bin_counts`".to_string()))
+            })
+            .collect::<Result<_>>()?;
+        let value_min = field("value_min")?
+            .as_f64()
+            .ok_or_else(|| Error::Serde("invalid `value_min`".to_string()))?;
+        let value_max = field("value_max")?
+            .as_f64()
+            .ok_or_else(|| Error::Serde("invalid `value_max`".to_string()))?;
+        Self::from_wire_parts(
+            method,
+            Alphabet::with_resolution(bits as u8)?,
+            f64_field("separators")?,
+            f64_field("bin_means")?,
+            bin_counts,
+            value_min,
+            value_max,
+        )
     }
 
     /// Approximate wire size in bytes of the serialized table (for the §2.3
@@ -374,6 +439,25 @@ impl LookupTable {
 /// gives the 0-based bin, which realizes `β_{j-1} < v ≤ β_j`.
 fn bin_index(separators: &[f64], v: f64) -> usize {
     separators.partition_point(|&b| b < v)
+}
+
+/// JSON tag for a method (the Rust variant name, matching what serde's
+/// derive produced before the offline rewrite — old captures keep parsing).
+fn method_variant(m: SeparatorMethod) -> &'static str {
+    match m {
+        SeparatorMethod::Uniform => "Uniform",
+        SeparatorMethod::Median => "Median",
+        SeparatorMethod::DistinctMedian => "DistinctMedian",
+    }
+}
+
+fn method_from_variant(s: &str) -> Option<SeparatorMethod> {
+    Some(match s {
+        "Uniform" => SeparatorMethod::Uniform,
+        "Median" => SeparatorMethod::Median,
+        "DistinctMedian" => SeparatorMethod::DistinctMedian,
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -477,8 +561,8 @@ mod tests {
 
     #[test]
     fn decode_rejects_finer_symbols() {
-        let t = LookupTable::from_parts(SeparatorMethod::Uniform, alphabet(2), vec![1.0], &[])
-            .unwrap();
+        let t =
+            LookupTable::from_parts(SeparatorMethod::Uniform, alphabet(2), vec![1.0], &[]).unwrap();
         let fine = Symbol::from_rank(0, 4).unwrap();
         assert!(t.decode_symbol(fine, SymbolSemantics::RangeCenter).is_err());
         assert!(t.range_of(fine).is_err());
@@ -521,13 +605,9 @@ mod tests {
         let c = t.coarsen(2).unwrap();
         assert_eq!(c.bin_counts().iter().sum::<u64>(), 1000);
         let global_mean = vals.iter().sum::<f64>() / vals.len() as f64;
-        let reconstructed: f64 = c
-            .bin_counts()
-            .iter()
-            .zip(c.bin_means())
-            .map(|(&n, &m)| n as f64 * m)
-            .sum::<f64>()
-            / 1000.0;
+        let reconstructed: f64 =
+            c.bin_counts().iter().zip(c.bin_means()).map(|(&n, &m)| n as f64 * m).sum::<f64>()
+                / 1000.0;
         assert!((reconstructed - global_mean).abs() < 1e-9);
     }
 
@@ -553,8 +633,14 @@ mod tests {
         assert_eq!(t.size(), 2);
         assert_eq!(t.encode_value(499.0).to_string(), "0");
         assert_eq!(t.encode_value(501.0).to_string(), "1");
-        assert_eq!(t.decode_symbol("0".parse().unwrap(), SymbolSemantics::RangeCenter).unwrap(), 250.0);
-        assert_eq!(t.decode_symbol("1".parse().unwrap(), SymbolSemantics::RangeCenter).unwrap(), 1750.0);
+        assert_eq!(
+            t.decode_symbol("0".parse().unwrap(), SymbolSemantics::RangeCenter).unwrap(),
+            250.0
+        );
+        assert_eq!(
+            t.decode_symbol("1".parse().unwrap(), SymbolSemantics::RangeCenter).unwrap(),
+            1750.0
+        );
     }
 
     #[test]
@@ -566,6 +652,27 @@ mod tests {
         assert_eq!(t, back);
         assert!(t.wire_size_bytes() > 0);
         assert!(LookupTable::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn boundary_values_map_to_lower_bin_deterministically() {
+        // Audit of Def. 3's tie rule: a value exactly equal to separator β_j
+        // always encodes as a_j — the LOWER of the two adjacent symbols
+        // (`β_{j-1} < v ≤ β_j ⇒ a_j`) — for every boundary of every method.
+        let vals: Vec<f64> = (0..1000).map(|i| ((i * 37) % 500) as f64).collect();
+        for method in SeparatorMethod::ALL {
+            let t = LookupTable::learn(method, alphabet(8), &vals).unwrap();
+            for (j, &b) in t.separators().iter().enumerate() {
+                assert_eq!(t.encode_value(b).rank() as usize, j, "{method} β_{}", j + 1);
+                // Infinitesimally above the boundary belongs to the next bin.
+                assert_eq!(
+                    t.encode_value(b.next_up()).rank() as usize,
+                    j + 1,
+                    "{method} just above β_{}",
+                    j + 1
+                );
+            }
+        }
     }
 
     #[test]

@@ -2,17 +2,21 @@
 //! segmentation, with a builder that mirrors the paper's protocol (learn the
 //! lookup table from a historical window, then encode the stream).
 
+use crate::alphabet::Alphabet;
 use crate::error::{Error, Result};
-use crate::horizontal::{horizontal_segmentation, reconstruct, SymbolicSeries};
+use crate::horizontal::{
+    horizontal_segmentation, horizontal_segmentation_into, reconstruct, SymbolicSeries,
+};
 use crate::lookup::{LookupTable, SymbolSemantics};
 use crate::separators::SeparatorMethod;
 use crate::timeseries::TimeSeries;
-use crate::vertical::{aggregate_by_window, vertical_segmentation, Aggregation};
-use crate::alphabet::Alphabet;
-use serde::{Deserialize, Serialize};
+use crate::vertical::{
+    aggregate_by_window, aggregate_by_window_into, vertical_segmentation,
+    vertical_segmentation_into, Aggregation,
+};
 
 /// The vertical-segmentation policy of a codec.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VerticalPolicy {
     /// Definition 2: every `n` consecutive samples.
     EveryN(usize),
@@ -30,7 +34,7 @@ pub enum VerticalPolicy {
 
 /// A trained symbolic codec: apply [`SymbolicCodec::encode`] to turn a raw
 /// series into symbols and [`SymbolicCodec::decode`] to approximate it back.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SymbolicCodec {
     vertical: VerticalPolicy,
     aggregation: Aggregation,
@@ -71,18 +75,54 @@ impl SymbolicCodec {
 
     /// Full encode: vertical then horizontal segmentation.
     pub fn encode(&self, series: &TimeSeries) -> Result<SymbolicSeries> {
-        let aggregated = self.aggregate(series)?;
-        horizontal_segmentation(&aggregated, &self.table)
+        let mut scratch = TimeSeries::new();
+        let mut out = SymbolicSeries::new(self.table.resolution_bits())?;
+        self.encode_into(series, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-reusing encode: aggregates into `agg_scratch` and writes the
+    /// symbols into `out`, clearing both first. [`Self::encode`] is this with
+    /// fresh buffers, so outputs are identical; worker threads call this to
+    /// amortise allocations across a fleet of series.
+    pub fn encode_into(
+        &self,
+        series: &TimeSeries,
+        agg_scratch: &mut TimeSeries,
+        out: &mut SymbolicSeries,
+    ) -> Result<()> {
+        match self.vertical {
+            VerticalPolicy::EveryN(n) => {
+                vertical_segmentation_into(series, n, self.aggregation, agg_scratch)?
+            }
+            VerticalPolicy::Window { window_secs, min_samples } => aggregate_by_window_into(
+                series,
+                window_secs,
+                self.aggregation,
+                min_samples,
+                agg_scratch,
+            )?,
+            VerticalPolicy::None => agg_scratch.copy_from(series),
+        }
+        horizontal_segmentation_into(agg_scratch, &self.table, out)
     }
 
     /// Decode back to (aggregated-rate) real values.
-    pub fn decode(&self, symbolic: &SymbolicSeries, semantics: SymbolSemantics) -> Result<TimeSeries> {
+    pub fn decode(
+        &self,
+        symbolic: &SymbolicSeries,
+        semantics: SymbolSemantics,
+    ) -> Result<TimeSeries> {
         reconstruct(symbolic, &self.table, semantics)
     }
 
     /// Mean absolute reconstruction error of `encode∘decode` against the
     /// *aggregated* series (the information the symbols are meant to carry).
-    pub fn reconstruction_mae(&self, series: &TimeSeries, semantics: SymbolSemantics) -> Result<f64> {
+    pub fn reconstruction_mae(
+        &self,
+        series: &TimeSeries,
+        semantics: SymbolSemantics,
+    ) -> Result<f64> {
         let aggregated = self.aggregate(series)?;
         if aggregated.is_empty() {
             return Err(Error::EmptyInput("reconstruction_mae"));
@@ -205,19 +245,36 @@ impl CodecBuilder {
     }
 
     /// Learns the lookup table from `history` and returns the ready codec.
-    pub fn train(self, history: &TimeSeries) -> Result<SymbolicCodec> {
+    pub fn train(&self, history: &TimeSeries) -> Result<SymbolicCodec> {
         if history.is_empty() {
             return Err(Error::EmptyInput("CodecBuilder::train"));
         }
-        let mut proto =
-            SymbolicCodec { vertical: self.vertical, aggregation: self.aggregation, table: placeholder_table() };
-        let values = if self.learn_on_aggregated {
-            proto.aggregate(history)?.values()
+        let values = self.training_values(history)?;
+        self.learn_from_values(&values)
+    }
+
+    /// The values the separator learner would see for `history`: raw samples
+    /// by default, or the aggregated series under
+    /// [`Self::learn_on_aggregated`]. The fleet engine's shared-table mode
+    /// pools these across houses before a single [`Self::learn_from_values`].
+    pub fn training_values(&self, history: &TimeSeries) -> Result<Vec<f64>> {
+        if self.learn_on_aggregated {
+            let proto = SymbolicCodec {
+                vertical: self.vertical,
+                aggregation: self.aggregation,
+                table: placeholder_table(),
+            };
+            Ok(proto.aggregate(history)?.values())
         } else {
-            history.values()
-        };
-        proto.table = LookupTable::learn(self.method, self.alphabet, &values)?;
-        Ok(proto)
+            Ok(history.values())
+        }
+    }
+
+    /// Learns the lookup table directly from a value pool (already extracted
+    /// with [`Self::training_values`]) and returns the ready codec.
+    pub fn learn_from_values(&self, values: &[f64]) -> Result<SymbolicCodec> {
+        let table = LookupTable::learn(self.method, self.alphabet, values)?;
+        Ok(SymbolicCodec { vertical: self.vertical, aggregation: self.aggregation, table })
     }
 
     /// Builds a codec around an externally provided table (e.g. one received
@@ -314,11 +371,8 @@ mod tests {
         let mut vals = vec![10.0; 600];
         vals[300] = 10_000.0;
         let h = TimeSeries::from_regular(0, 1, &vals).unwrap();
-        let raw_codec = CodecBuilder::new()
-            .method(SeparatorMethod::Uniform)
-            .window_secs(60)
-            .train(&h)
-            .unwrap();
+        let raw_codec =
+            CodecBuilder::new().method(SeparatorMethod::Uniform).window_secs(60).train(&h).unwrap();
         let agg_codec = CodecBuilder::new()
             .method(SeparatorMethod::Uniform)
             .window_secs(60)

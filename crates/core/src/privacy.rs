@@ -71,10 +71,7 @@ pub fn mutual_information_bits(labels: &[usize], symbols: &[Symbol]) -> Result<f
 /// produced it; the expectation is weighted by pattern frequency. A value of
 /// `L` (number of labels) means perfect hiding; 1.0 means every window
 /// pattern identifies its label uniquely.
-pub fn expected_anonymity_set(
-    sequences: &[(usize, Vec<Symbol>)],
-    window: usize,
-) -> Result<f64> {
+pub fn expected_anonymity_set(sequences: &[(usize, Vec<Symbol>)], window: usize) -> Result<f64> {
     if window == 0 {
         return Err(Error::InvalidParameter {
             name: "window",
@@ -100,11 +97,9 @@ pub fn expected_anonymity_set(
     if total == 0 {
         return Err(Error::EmptyInput("expected_anonymity_set: no windows"));
     }
-    let expected = patterns
-        .values()
-        .map(|(labels, count)| labels.len() as f64 * *count as f64)
-        .sum::<f64>()
-        / total as f64;
+    let expected =
+        patterns.values().map(|(labels, count)| labels.len() as f64 * *count as f64).sum::<f64>()
+            / total as f64;
     Ok(expected)
 }
 
@@ -136,7 +131,10 @@ mod tests {
         assert_eq!(symbol_entropy_bits(&constant), 0.0);
 
         let uniform: Vec<Symbol> = (0..100).map(|i| sym(i % 4, 2)).collect();
-        assert!((symbol_entropy_bits(&uniform) - 2.0).abs() < 1e-9, "4 equiprobable symbols = 2 bits");
+        assert!(
+            (symbol_entropy_bits(&uniform) - 2.0).abs() < 1e-9,
+            "4 equiprobable symbols = 2 bits"
+        );
         assert_eq!(symbol_entropy_bits(&[]), 0.0);
     }
 

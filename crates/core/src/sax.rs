@@ -10,7 +10,6 @@
 
 use crate::error::{Error, Result};
 use crate::stats::probit;
-use serde::{Deserialize, Serialize};
 
 /// z-normalization: subtract the mean, divide by the standard deviation.
 /// Constant series normalize to all zeros (std = 0 guard).
@@ -44,10 +43,7 @@ pub fn paa(values: &[f64], w: usize) -> Result<Vec<f64>> {
     }
     if n.is_multiple_of(w) {
         let seg = n / w;
-        return Ok(values
-            .chunks_exact(seg)
-            .map(|c| c.iter().sum::<f64>() / seg as f64)
-            .collect());
+        return Ok(values.chunks_exact(seg).map(|c| c.iter().sum::<f64>() / seg as f64).collect());
     }
     // Fractional boundaries: segment j covers [j*n/w, (j+1)*n/w).
     let mut out = vec![0.0f64; w];
@@ -81,7 +77,7 @@ pub fn gaussian_breakpoints(a: usize) -> Result<Vec<f64>> {
 }
 
 /// A SAX word: symbol ranks (0 = lowest) at one alphabet size.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SaxWord {
     /// Symbol ranks per PAA segment.
     pub ranks: Vec<u16>,
@@ -146,10 +142,8 @@ impl Sax {
             return Err(Error::EmptyInput("Sax::encode"));
         }
         let segments = paa(&z, self.word_length)?;
-        let ranks = segments
-            .iter()
-            .map(|&v| self.breakpoints.partition_point(|&b| b < v) as u16)
-            .collect();
+        let ranks =
+            segments.iter().map(|&v| self.breakpoints.partition_point(|&b| b < v) as u16).collect();
         Ok(SaxWord { ranks, alphabet_size: self.alphabet_size, original_len: values.len() })
     }
 
@@ -163,17 +157,14 @@ impl Sax {
         {
             return Err(Error::InvalidParameter {
                 name: "words",
-                reason: "SAX words must share word length, alphabet and original length".to_string(),
+                reason: "SAX words must share word length, alphabet and original length"
+                    .to_string(),
             });
         }
         let n = a.original_len as f64;
         let w = a.ranks.len() as f64;
-        let sum: f64 = a
-            .ranks
-            .iter()
-            .zip(&b.ranks)
-            .map(|(&ra, &rb)| self.cell_dist(ra, rb).powi(2))
-            .sum();
+        let sum: f64 =
+            a.ranks.iter().zip(&b.ranks).map(|(&ra, &rb)| self.cell_dist(ra, rb).powi(2)).sum();
         Ok((n / w).sqrt() * sum.sqrt())
     }
 

@@ -10,10 +10,9 @@
 
 use crate::error::{Error, Result};
 use crate::stats::{OrderedMultiset, P2Quantile};
-use serde::{Deserialize, Serialize};
 
 /// Which separator-generation strategy to use (paper §2.2 a–c).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SeparatorMethod {
     /// Equal-width bins over `[0, max]`.
     Uniform,
@@ -51,6 +50,22 @@ fn validate_k(k: usize) -> Result<()> {
     Ok(())
 }
 
+/// Enforces **strictly increasing** separators. Quantile boundaries collapse
+/// onto a heavily repeated value (e.g. standby power), which would create
+/// duplicate separators and therefore several bins claiming the same range;
+/// each collapsed boundary is nudged up to the next representable double, the
+/// smallest possible distortion that keeps every bin's range unique and the
+/// encoding of every value deterministic (see `LookupTable::bin_index` for
+/// the Def. 3 tie rule).
+fn strictly_increasing(mut seps: Vec<f64>) -> Vec<f64> {
+    for i in 1..seps.len() {
+        if seps[i] <= seps[i - 1] {
+            seps[i] = seps[i - 1].next_up();
+        }
+    }
+    seps
+}
+
 /// Uniform separators: `β_i = i * max / k` for `i = 1..k` (paper §2.2a:
 /// "divide uniformly the range from zero to max in k subranges").
 pub fn uniform_separators(max: f64, k: usize) -> Result<Vec<f64>> {
@@ -75,7 +90,9 @@ pub fn median_separators(values: &[f64], k: usize) -> Result<Vec<f64>> {
     for &v in values {
         ms.insert(v)?;
     }
-    Ok((1..k).map(|i| ms.quantile(i as f64 / k as f64).expect("non-empty")).collect())
+    Ok(strictly_increasing(
+        (1..k).map(|i| ms.quantile(i as f64 / k as f64).expect("non-empty")).collect(),
+    ))
 }
 
 /// Distinct-median separators: k-quantiles of the distinct-value set (§2.2c).
@@ -88,7 +105,9 @@ pub fn distinct_median_separators(values: &[f64], k: usize) -> Result<Vec<f64>> 
     for &v in values {
         ms.insert(v)?;
     }
-    Ok((1..k).map(|i| ms.distinct_quantile(i as f64 / k as f64).expect("non-empty")).collect())
+    Ok(strictly_increasing(
+        (1..k).map(|i| ms.distinct_quantile(i as f64 / k as f64).expect("non-empty")).collect(),
+    ))
 }
 
 /// Learns separators with the chosen `method` from a batch of historical
@@ -96,10 +115,7 @@ pub fn distinct_median_separators(values: &[f64], k: usize) -> Result<Vec<f64>> 
 pub fn learn_separators(method: SeparatorMethod, values: &[f64], k: usize) -> Result<Vec<f64>> {
     match method {
         SeparatorMethod::Uniform => {
-            let max = values
-                .iter()
-                .copied()
-                .fold(f64::NEG_INFINITY, f64::max);
+            let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             if values.is_empty() {
                 return Err(Error::EmptyInput("learn_separators"));
             }
@@ -120,8 +136,18 @@ pub struct StreamingLearner(LearnerImpl);
 
 #[derive(Debug, Clone)]
 enum LearnerImpl {
-    Exact { method: SeparatorMethod, k: usize, multiset: OrderedMultiset },
-    Approximate { method: SeparatorMethod, k: usize, estimators: Vec<P2Quantile>, max: f64, count: u64 },
+    Exact {
+        method: SeparatorMethod,
+        k: usize,
+        multiset: OrderedMultiset,
+    },
+    Approximate {
+        method: SeparatorMethod,
+        k: usize,
+        estimators: Vec<P2Quantile>,
+        max: f64,
+        count: u64,
+    },
 }
 
 impl StreamingLearner {
@@ -141,10 +167,15 @@ impl StreamingLearner {
                 reason: "distinctmedian is not supported by the approximate learner".to_string(),
             });
         }
-        let estimators = (1..k)
-            .map(|i| P2Quantile::new(i as f64 / k as f64))
-            .collect::<Result<Vec<_>>>()?;
-        Ok(StreamingLearner(LearnerImpl::Approximate { method, k, estimators, max: f64::NEG_INFINITY, count: 0 }))
+        let estimators =
+            (1..k).map(|i| P2Quantile::new(i as f64 / k as f64)).collect::<Result<Vec<_>>>()?;
+        Ok(StreamingLearner(LearnerImpl::Approximate {
+            method,
+            k,
+            estimators,
+            max: f64::NEG_INFINITY,
+            count: 0,
+        }))
     }
 
     /// Feeds one observation.
@@ -192,15 +223,22 @@ impl StreamingLearner {
                     return Err(Error::EmptyInput("StreamingLearner::separators"));
                 }
                 match method {
-                    SeparatorMethod::Uniform =>
-
-                        uniform_separators(multiset.iter().last().map(|(v, _)| v).unwrap().max(f64::MIN_POSITIVE), *k),
-                    SeparatorMethod::Median => Ok((1..*k)
-                        .map(|i| multiset.quantile(i as f64 / *k as f64).expect("non-empty"))
-                        .collect()),
-                    SeparatorMethod::DistinctMedian => Ok((1..*k)
-                        .map(|i| multiset.distinct_quantile(i as f64 / *k as f64).expect("non-empty"))
-                        .collect()),
+                    SeparatorMethod::Uniform => uniform_separators(
+                        multiset.iter().last().map(|(v, _)| v).unwrap().max(f64::MIN_POSITIVE),
+                        *k,
+                    ),
+                    SeparatorMethod::Median => Ok(strictly_increasing(
+                        (1..*k)
+                            .map(|i| multiset.quantile(i as f64 / *k as f64).expect("non-empty"))
+                            .collect(),
+                    )),
+                    SeparatorMethod::DistinctMedian => Ok(strictly_increasing(
+                        (1..*k)
+                            .map(|i| {
+                                multiset.distinct_quantile(i as f64 / *k as f64).expect("non-empty")
+                            })
+                            .collect(),
+                    )),
                 }
             }
             LearnerImpl::Approximate { method, k, estimators, max, count } => {
@@ -210,15 +248,11 @@ impl StreamingLearner {
                 match method {
                     SeparatorMethod::Uniform => uniform_separators(max.max(f64::MIN_POSITIVE), *k),
                     _ => {
-                        let mut seps: Vec<f64> =
+                        // P² estimators run independently; enforce the same
+                        // strictly-increasing invariant as the exact paths.
+                        let seps: Vec<f64> =
                             estimators.iter().map(|e| e.estimate().expect("count > 0")).collect();
-                        // P² estimators run independently; enforce monotonicity.
-                        for i in 1..seps.len() {
-                            if seps[i] < seps[i - 1] {
-                                seps[i] = seps[i - 1];
-                            }
-                        }
-                        Ok(seps)
+                        Ok(strictly_increasing(seps))
                     }
                 }
             }
@@ -252,11 +286,58 @@ mod tests {
         let mut v = vec![0.0; 96];
         v.extend([100.0, 200.0, 300.0, 400.0].iter());
         let med = median_separators(&v, 4).unwrap();
-        assert_eq!(med, vec![0.0, 0.0, 0.0], "plain median collapses onto the repeated value");
+        // Plain median collapses onto the repeated value (the §2.2c bias
+        // motivating distinctmedian); collapsed boundaries are nudged to the
+        // next representable doubles so they stay strictly increasing.
+        assert_eq!(med[0], 0.0);
+        assert!(med[2] <= f64::MIN_POSITIVE, "still collapsed near the repeat: {med:?}");
+        assert!(med[0] < med[1] && med[1] < med[2], "no duplicates: {med:?}");
         let dm = distinct_median_separators(&v, 4).unwrap();
         // Distinct values {0,100,200,300,400}: boundary i sits at the
         // ceil(5·i/4)-th distinct value ⇒ the 2nd, 3rd and 4th.
         assert_eq!(dm, vec![100.0, 200.0, 300.0]);
+    }
+
+    #[test]
+    fn quantile_methods_never_emit_duplicate_or_decreasing_separators() {
+        // Regression: heavy repeats and constant inputs used to yield
+        // duplicate separators, i.e. several bins claiming the same range.
+        let inputs: Vec<Vec<f64>> = vec![
+            vec![7.5; 50], // constant
+            {
+                let mut v = vec![0.0; 96];
+                v.extend([100.0, 200.0, 300.0, 400.0]);
+                v
+            },
+            vec![-3.0; 10].into_iter().chain((0..10).map(f64::from)).collect(),
+            vec![1.0, 1.0, 2.0, 2.0], // < k distinct values
+        ];
+        for v in &inputs {
+            for method in [SeparatorMethod::Median, SeparatorMethod::DistinctMedian] {
+                let s = learn_separators(method, v, 8).unwrap();
+                for w in s.windows(2) {
+                    assert!(w[0] < w[1], "{method} on {v:?}: duplicate/decreasing {s:?}");
+                }
+                // Streaming exact learner upholds the same invariant.
+                let mut sl = StreamingLearner::exact(method, 8).unwrap();
+                for &x in v {
+                    sl.push(x).unwrap();
+                }
+                let s = sl.separators().unwrap();
+                for w in s.windows(2) {
+                    assert!(w[0] < w[1], "streaming {method} on {v:?}: {s:?}");
+                }
+            }
+        }
+        // Approximate learner too (median only).
+        let mut sl = StreamingLearner::approximate(SeparatorMethod::Median, 8).unwrap();
+        for _ in 0..100 {
+            sl.push(42.0).unwrap();
+        }
+        let s = sl.separators().unwrap();
+        for w in s.windows(2) {
+            assert!(w[0] < w[1], "approximate on constants: {s:?}");
+        }
     }
 
     #[test]

@@ -9,7 +9,6 @@
 //! resolution symbols can be compared to higher resolution ones").
 
 use crate::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::str::FromStr;
@@ -26,7 +25,7 @@ pub const MAX_RESOLUTION_BITS: u8 = 16;
 /// * across resolutions, the **prefix partial order** applies
 ///   ([`Symbol::partial_cmp_prefix`]), where comparable symbols of different
 ///   length overlap in range.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Symbol {
     code: u16,
     len: u8,

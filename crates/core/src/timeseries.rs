@@ -8,7 +8,6 @@
 //! relies on (only days with ≥ 20 h of data are kept, §3.1).
 
 use crate::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 
 /// Unix timestamp in seconds. The paper's datasets span months at 1 Hz, so
 /// `i64` seconds are plenty.
@@ -18,7 +17,7 @@ pub type Timestamp = i64;
 pub const SECONDS_PER_DAY: i64 = 86_400;
 
 /// One measurement: `(t_i, v_i)` per Definition 1.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sample {
     /// Measurement timestamp (Unix seconds).
     pub t: Timestamp,
@@ -35,7 +34,7 @@ impl Sample {
 
 /// A time series `S = {s_1, s_2, ...}` with non-decreasing timestamps
 /// (Definition 1: whenever `j <= i`, `t_i` is no earlier than `t_j`).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimeSeries {
     samples: Vec<Sample>,
 }
@@ -77,6 +76,19 @@ impl TimeSeries {
             .map(|(i, &v)| Sample::new(start + i as i64 * interval, v))
             .collect();
         Ok(TimeSeries { samples })
+    }
+
+    /// Removes all samples, keeping the allocation (scratch-buffer reuse in
+    /// the fleet engine's hot path).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
+    /// Replaces this series' contents with a copy of `other`, reusing the
+    /// existing allocation where possible.
+    pub fn copy_from(&mut self, other: &TimeSeries) {
+        self.samples.clear();
+        self.samples.extend_from_slice(&other.samples);
     }
 
     /// Appends a sample, enforcing non-decreasing timestamps.

@@ -35,7 +35,8 @@ fn sorted_groups(values: &[f64], labels: &[usize]) -> Result<(Vec<f64>, Vec<Vec<
         });
     }
     let n_labels = labels.iter().max().map(|m| m + 1).unwrap_or(1);
-    let mut map: std::collections::BTreeMap<FiniteF64, Vec<f64>> = std::collections::BTreeMap::new();
+    let mut map: std::collections::BTreeMap<FiniteF64, Vec<f64>> =
+        std::collections::BTreeMap::new();
     for (&v, &l) in values.iter().zip(labels) {
         let entry = map.entry(FiniteF64::new(v)?).or_insert_with(|| vec![0.0; n_labels]);
         entry[l] += 1.0;
@@ -227,7 +228,13 @@ mod tests {
         for i in 0..300 {
             let v = i as f64;
             values.push(v);
-            labels.push(if v < 100.0 { 0 } else if v < 200.0 { 1 } else { 2 });
+            labels.push(if v < 100.0 {
+                0
+            } else if v < 200.0 {
+                1
+            } else {
+                2
+            });
         }
         let seps = supervised_separators(&values, &labels, 4).unwrap();
         assert_eq!(seps.len(), 3);
@@ -307,9 +314,7 @@ mod tests {
         // Reconstruction error: every value within 0.5 of its bin mean.
         for &v in &values {
             let sym = table.encode_value(v);
-            let r = table
-                .decode_symbol(sym, crate::lookup::SymbolSemantics::RangeMean)
-                .unwrap();
+            let r = table.decode_symbol(sym, crate::lookup::SymbolSemantics::RangeMean).unwrap();
             assert!((r - v).abs() < 0.5, "{v} -> {r}");
         }
     }
@@ -334,7 +339,10 @@ mod tests {
                 .iter()
                 .map(|&v| {
                     let r = table
-                        .decode_symbol(table.encode_value(v), crate::lookup::SymbolSemantics::RangeMean)
+                        .decode_symbol(
+                            table.encode_value(v),
+                            crate::lookup::SymbolSemantics::RangeMean,
+                        )
                         .unwrap();
                     (r - v) * (r - v)
                 })

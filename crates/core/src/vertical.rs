@@ -6,10 +6,9 @@
 
 use crate::error::{Error, Result};
 use crate::timeseries::{Sample, TimeSeries, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// How to aggregate the samples of one vertical segment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Aggregation {
     /// Arithmetic mean (the paper's choice, Definition 2).
     Mean,
@@ -61,17 +60,34 @@ impl Aggregation {
 /// consecutive samples, stamps the aggregate with the timestamp of the
 /// segment's *last* sample (`t̄_i = t_{i·n}`), and drops a trailing partial
 /// segment (the definition only produces full segments).
-pub fn vertical_segmentation(series: &TimeSeries, n: usize, agg: Aggregation) -> Result<TimeSeries> {
+pub fn vertical_segmentation(
+    series: &TimeSeries,
+    n: usize,
+    agg: Aggregation,
+) -> Result<TimeSeries> {
+    let mut out = TimeSeries::with_capacity(series.len() / n.max(1));
+    vertical_segmentation_into(series, n, agg, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-reusing variant of [`vertical_segmentation`]: clears `out` and
+/// fills it in place, so a worker thread can amortise its buffers across many
+/// series.
+pub fn vertical_segmentation_into(
+    series: &TimeSeries,
+    n: usize,
+    agg: Aggregation,
+    out: &mut TimeSeries,
+) -> Result<()> {
+    out.clear();
     if n == 0 {
         return Err(Error::InvalidParameter { name: "n", reason: "must be positive".to_string() });
     }
-    let samples = series.samples();
-    let mut out = TimeSeries::with_capacity(samples.len() / n);
-    for chunk in samples.chunks_exact(n) {
+    for chunk in series.samples().chunks_exact(n) {
         let v = agg.fold(chunk.iter().map(|s| s.v)).expect("chunk_exact is non-empty");
         out.push(chunk[n - 1].t, v)?;
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Wall-clock windowed aggregation: groups samples into `[w·window, (w+1)·window)`
@@ -85,6 +101,21 @@ pub fn aggregate_by_window(
     agg: Aggregation,
     min_samples: usize,
 ) -> Result<TimeSeries> {
+    let mut out = TimeSeries::new();
+    aggregate_by_window_into(series, window_secs, agg, min_samples, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-reusing variant of [`aggregate_by_window`]: clears `out` and
+/// fills it in place.
+pub fn aggregate_by_window_into(
+    series: &TimeSeries,
+    window_secs: i64,
+    agg: Aggregation,
+    min_samples: usize,
+    out: &mut TimeSeries,
+) -> Result<()> {
+    out.clear();
     if window_secs <= 0 {
         return Err(Error::InvalidParameter {
             name: "window_secs",
@@ -92,7 +123,6 @@ pub fn aggregate_by_window(
         });
     }
     let min_samples = min_samples.max(1);
-    let mut out = TimeSeries::new();
     let mut bucket: Vec<f64> = Vec::new();
     let mut bucket_start: Option<Timestamp> = None;
 
@@ -110,7 +140,7 @@ pub fn aggregate_by_window(
         match bucket_start {
             Some(s) if s == start => bucket.push(v),
             Some(s) => {
-                flush(s, &mut bucket, &mut out)?;
+                flush(s, &mut bucket, out)?;
                 bucket_start = Some(start);
                 bucket.push(v);
             }
@@ -121,9 +151,9 @@ pub fn aggregate_by_window(
         }
     }
     if let Some(s) = bucket_start {
-        flush(s, &mut bucket, &mut out)?;
+        flush(s, &mut bucket, out)?;
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Common aggregation windows used in the paper's evaluation.

@@ -23,10 +23,56 @@ use crate::error::{Error, Result};
 use crate::lookup::LookupTable;
 use crate::separators::SeparatorMethod;
 use crate::symbol::Symbol;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const TAG_TABLE: u8 = 0x01;
 const TAG_WINDOW: u8 = 0x02;
+
+/// Little-endian cursor over a frame payload.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let bytes: [u8; N] =
+            self.data[self.pos..self.pos + N].try_into().expect("length checked by caller");
+        self.pos += N;
+        bytes
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take::<1>()[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take())
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take())
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take())
+    }
+}
 
 fn method_code(m: SeparatorMethod) -> u8 {
     match m {
@@ -45,24 +91,24 @@ fn method_from(code: u8) -> Result<SeparatorMethod> {
     })
 }
 
-fn put_table(buf: &mut BytesMut, table: &LookupTable) {
-    buf.put_u8(method_code(table.method()));
-    buf.put_u8(table.resolution_bits());
+fn put_table(buf: &mut Vec<u8>, table: &LookupTable) {
+    buf.push(method_code(table.method()));
+    buf.push(table.resolution_bits());
     let (lo, hi) = table.value_range();
-    buf.put_f64_le(lo);
-    buf.put_f64_le(hi);
+    buf.extend_from_slice(&lo.to_le_bytes());
+    buf.extend_from_slice(&hi.to_le_bytes());
     for &s in table.separators() {
-        buf.put_f64_le(s);
+        buf.extend_from_slice(&s.to_le_bytes());
     }
     for &m in table.bin_means() {
-        buf.put_f64_le(m);
+        buf.extend_from_slice(&m.to_le_bytes());
     }
     for &c in table.bin_counts() {
-        buf.put_u64_le(c);
+        buf.extend_from_slice(&c.to_le_bytes());
     }
 }
 
-fn get_table(buf: &mut Bytes) -> Result<LookupTable> {
+fn get_table(buf: &mut Reader<'_>) -> Result<LookupTable> {
     if buf.remaining() < 2 + 16 {
         return Err(Error::WireFormat("table frame truncated".to_string()));
     }
@@ -87,32 +133,32 @@ fn get_table(buf: &mut Bytes) -> Result<LookupTable> {
 
 /// Encodes one message as a binary frame.
 pub fn encode_message(msg: &SensorMessage) -> Result<Vec<u8>> {
-    let mut payload = BytesMut::new();
+    let mut payload = Vec::new();
     let tag = match msg {
         SensorMessage::Table(t) => {
             put_table(&mut payload, t);
             TAG_TABLE
         }
         SensorMessage::Window(w) => {
-            payload.put_i64_le(w.window_start);
-            payload.put_u8(w.symbol.resolution_bits());
-            payload.put_u16_le(w.symbol.rank());
-            payload.put_u32_le(w.samples);
+            payload.extend_from_slice(&w.window_start.to_le_bytes());
+            payload.push(w.symbol.resolution_bits());
+            payload.extend_from_slice(&w.symbol.rank().to_le_bytes());
+            payload.extend_from_slice(&w.samples.to_le_bytes());
             TAG_WINDOW
         }
     };
-    let mut frame = BytesMut::with_capacity(5 + payload.len());
-    frame.put_u8(tag);
-    frame.put_u32_le(payload.len() as u32);
+    let mut frame = Vec::with_capacity(5 + payload.len());
+    frame.push(tag);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(&payload);
-    Ok(frame.to_vec())
+    Ok(frame)
 }
 
 /// Streaming frame decoder: feed bytes in arbitrary chunks, drain complete
 /// messages as they become available.
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl FrameDecoder {
@@ -141,8 +187,8 @@ impl FrameDecoder {
         if self.buf.len() < 5 + len {
             return Ok(None);
         }
-        self.buf.advance(5);
-        let mut payload = self.buf.split_to(len).freeze();
+        let payload_bytes: Vec<u8> = self.buf.drain(..5 + len).skip(5).collect();
+        let mut payload = Reader::new(&payload_bytes);
         match tag {
             TAG_TABLE => Ok(Some(SensorMessage::Table(get_table(&mut payload)?))),
             TAG_WINDOW => {
@@ -179,12 +225,8 @@ mod tests {
 
     fn table() -> LookupTable {
         let values: Vec<f64> = (0..500).map(|i| ((i * 37) % 300) as f64).collect();
-        LookupTable::learn(
-            SeparatorMethod::Median,
-            Alphabet::with_size(16).unwrap(),
-            &values,
-        )
-        .unwrap()
+        LookupTable::learn(SeparatorMethod::Median, Alphabet::with_size(16).unwrap(), &values)
+            .unwrap()
     }
 
     fn window(t: i64, rank: u16) -> SensorMessage {

@@ -250,8 +250,8 @@ impl Appliance for Laundry {
             return 0.0;
         }
         // Start between 08:00 and 20:00.
-        let start = (8.0 * 3600.0 + uniform(seed, self.stream ^ 1, day as u64) * 12.0 * 3600.0)
-            as i64;
+        let start =
+            (8.0 * 3600.0 + uniform(seed, self.stream ^ 1, day as u64) * 12.0 * 3600.0) as i64;
         let s = t.rem_euclid(86_400) - start;
         let wash_len = 2700; // 45 min
         let mut w = 0.0;
@@ -339,8 +339,8 @@ impl EvCharger {
             return 0.0;
         }
         // Plug in between 18:00 and 23:00; charge 2–6 hours.
-        let start = (18.0 * 3600.0
-            + uniform(seed, self.stream ^ 1, day as u64) * 5.0 * 3600.0) as i64;
+        let start =
+            (18.0 * 3600.0 + uniform(seed, self.stream ^ 1, day as u64) * 5.0 * 3600.0) as i64;
         let duration =
             uniform_in(seed, self.stream ^ 2, day as u64, 2.0 * 3600.0, 6.0 * 3600.0) as i64;
         let s = t - (day * 86_400 + start);
@@ -361,8 +361,7 @@ impl Appliance for EvCharger {
     fn power_at(&self, t: Timestamp, seed: u64) -> f64 {
         let day = t.div_euclid(86_400);
         // A session started yesterday evening may still be running.
-        let level =
-            self.session_level(day, t, seed).max(self.session_level(day - 1, t, seed));
+        let level = self.session_level(day, t, seed).max(self.session_level(day - 1, t, seed));
         if level <= 0.0 {
             return 0.0;
         }
@@ -492,7 +491,12 @@ mod tests {
 
     #[test]
     fn lighting_dark_at_noon_bright_evening() {
-        let l = Lighting { max_watts: 300.0, circuits: 6, profile: WeeklyProfile::working(), stream: 4 };
+        let l = Lighting {
+            max_watts: 300.0,
+            circuits: 6,
+            profile: WeeklyProfile::working(),
+            stream: 4,
+        };
         // Average over many evenings/noons to smooth block jitter. Use a
         // mid-winter week (short days) so 19:00 is dark.
         let base = 10 * 86_400;
@@ -631,9 +635,8 @@ mod tests {
             // Must be off in the morning.
             assert_eq!(d.power_at(day * 86_400 + 8 * 3600, SEED), 0.0);
             // Must run at some point between 19:00 and 23:59.
-            let ran = (19 * 3600..86_400)
-                .step_by(60)
-                .any(|s| d.power_at(day * 86_400 + s, SEED) > 80.0);
+            let ran =
+                (19 * 3600..86_400).step_by(60).any(|s| d.power_at(day * 86_400 + s, SEED) > 80.0);
             assert!(ran, "day {day}");
         }
     }

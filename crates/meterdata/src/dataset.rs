@@ -174,10 +174,7 @@ mod tests {
         }
         let s2 = series_covering(0, SECONDS_PER_DAY / 4, 60);
         let ds = MeterDataset::new(
-            vec![
-                HouseRecord { house_id: 1, series: s1 },
-                HouseRecord { house_id: 2, series: s2 },
-            ],
+            vec![HouseRecord { house_id: 1, series: s1 }, HouseRecord { house_id: 2, series: s2 }],
             60,
         )
         .unwrap();
@@ -211,10 +208,7 @@ mod tests {
         let a = TimeSeries::from_samples(vec![Sample::new(0, 1.0), Sample::new(1, 2.0)]).unwrap();
         let b = TimeSeries::from_samples(vec![Sample::new(0, 3.0)]).unwrap();
         let ds = MeterDataset::new(
-            vec![
-                HouseRecord { house_id: 1, series: a },
-                HouseRecord { house_id: 2, series: b },
-            ],
+            vec![HouseRecord { house_id: 1, series: a }, HouseRecord { house_id: 2, series: b }],
             1,
         )
         .unwrap();

@@ -58,7 +58,9 @@ impl GapConfig {
             });
         }
         if self.daily_outage_prob > 0.0
-            && (self.min_secs < 0 || self.max_secs < self.min_secs || self.max_secs > SECONDS_PER_DAY)
+            && (self.min_secs < 0
+                || self.max_secs < self.min_secs
+                || self.max_secs > SECONDS_PER_DAY)
         {
             return Err(Error::InvalidParameter {
                 name: "min_secs/max_secs",
@@ -107,12 +109,8 @@ impl GapConfig {
     /// Removes lost samples from a series.
     pub fn apply(&self, series: &TimeSeries, seed: u64) -> Result<TimeSeries> {
         self.validate()?;
-        let samples = series
-            .samples()
-            .iter()
-            .copied()
-            .filter(|s| !self.is_lost(seed, s.t))
-            .collect();
+        let samples =
+            series.samples().iter().copied().filter(|s| !self.is_lost(seed, s.t)).collect();
         TimeSeries::from_samples(samples)
     }
 }

@@ -2,9 +2,9 @@
 //! Smart\*-like and Irish-CER-like presets (the other two datasets the paper
 //! surveys in §3).
 
+use crate::dataset::{HouseRecord, MeterDataset};
 use crate::gaps::GapConfig;
 use crate::house::{House, HouseConfig, Occupancy};
-use crate::dataset::{HouseRecord, MeterDataset};
 use sms_core::error::Result;
 use sms_core::timeseries::{Timestamp, SECONDS_PER_DAY};
 
@@ -223,9 +223,36 @@ pub fn cer_like(seed: u64, n_houses: u32, days: i64) -> DatasetSpec {
     spec
 }
 
+/// Fleet helper for the parallel engine and its benchmarks: materializes a
+/// gap-free `n_houses`-strong fleet of `days`-day streams at
+/// `interval_secs`, returning just the per-house series in house-id order
+/// (what `sms_core::engine::encode_fleet` consumes).
+pub fn fleet_series(
+    seed: u64,
+    n_houses: u32,
+    days: i64,
+    interval_secs: i64,
+) -> Result<Vec<sms_core::timeseries::TimeSeries>> {
+    let mut spec = smart_star_like(seed, n_houses, interval_secs);
+    spec.days = days;
+    let ds = spec.generate()?;
+    Ok(ds.records().iter().map(|r| r.series.clone()).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_series_shape_and_determinism() {
+        let f = fleet_series(9, 5, 2, 600).unwrap();
+        assert_eq!(f.len(), 5);
+        for h in &f {
+            assert_eq!(h.len(), 2 * (SECONDS_PER_DAY / 600) as usize, "gap-free fleet");
+        }
+        assert_eq!(f, fleet_series(9, 5, 2, 600).unwrap());
+        assert_ne!(f, fleet_series(10, 5, 2, 600).unwrap());
+    }
 
     #[test]
     fn redd_like_six_distinct_houses() {

@@ -307,8 +307,7 @@ mod tests {
         let mut day_evening = 0.0;
         for d in 0..7i64 {
             let base = d * 86_400;
-            night_night +=
-                night.generate(base + 2 * 3600, 2 * 3600, 60).unwrap().mean().unwrap();
+            night_night += night.generate(base + 2 * 3600, 2 * 3600, 60).unwrap().mean().unwrap();
             night_evening +=
                 night.generate(base + 19 * 3600, 2 * 3600, 60).unwrap().mean().unwrap();
             day_night += day.generate(base + 2 * 3600, 2 * 3600, 60).unwrap().mean().unwrap();

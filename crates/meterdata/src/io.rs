@@ -29,14 +29,17 @@ pub fn read_series_csv(path: &Path) -> Result<TimeSeries> {
     let reader = BufReader::new(file);
     let mut out = TimeSeries::new();
     for (lineno, line) in reader.lines().enumerate() {
-        let line =
-            line.map_err(|e| Error::WireFormat(format!("read {}: {e}", path.display())))?;
+        let line = line.map_err(|e| Error::WireFormat(format!("read {}: {e}", path.display())))?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
         let (ts, vs) = trimmed.split_once(',').ok_or_else(|| {
-            Error::WireFormat(format!("{}:{}: expected `timestamp,value`", path.display(), lineno + 1))
+            Error::WireFormat(format!(
+                "{}:{}: expected `timestamp,value`",
+                path.display(),
+                lineno + 1
+            ))
         })?;
         let t: i64 = ts.trim().parse().map_err(|e| {
             Error::WireFormat(format!("{}:{}: bad timestamp: {e}", path.display(), lineno + 1))
@@ -99,7 +102,8 @@ mod tests {
     use crate::generator::redd_like;
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir().join(format!("meterdata_io_test_{name}_{}", std::process::id()));
+        let d =
+            std::env::temp_dir().join(format!("meterdata_io_test_{name}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&d);
         fs::create_dir_all(&d).unwrap();
         d

@@ -70,16 +70,14 @@ pub fn fidelity_report(series: &TimeSeries, interval_secs: i64) -> Result<Fideli
         1,
     )?;
     let hourly_values = hourly.values();
-    let daily = autocorrelation(&hourly_values, 24)
-        .ok_or(Error::EmptyInput("fidelity_report: < 1 day"))?;
+    let daily =
+        autocorrelation(&hourly_values, 24).ok_or(Error::EmptyInput("fidelity_report: < 1 day"))?;
     let hourly_ac = autocorrelation(&hourly_values, 1)
         .ok_or(Error::EmptyInput("fidelity_report: < 2 hours"))?;
 
     let days = series.split_days();
-    let complete = days
-        .iter()
-        .filter(|(_, d)| d.coverage_seconds(interval_secs) >= 20 * 3600)
-        .count();
+    let complete =
+        days.iter().filter(|(_, d)| d.coverage_seconds(interval_secs) >= 20 * 3600).count();
     let complete_day_fraction =
         if days.is_empty() { 0.0 } else { complete as f64 / days.len() as f64 };
 
@@ -147,7 +145,11 @@ mod tests {
         for house in [1u32, 4] {
             let r = fidelity_report(ds.house(house).unwrap(), 60).unwrap();
             assert!(r.lognormal_ks < 0.25, "h{house}: roughly log-normal, KS {}", r.lognormal_ks);
-            assert!(r.lognormal_sigma > 0.5, "h{house}: broad marginal, sigma {}", r.lognormal_sigma);
+            assert!(
+                r.lognormal_sigma > 0.5,
+                "h{house}: broad marginal, sigma {}",
+                r.lognormal_sigma
+            );
             assert!(
                 r.daily_periodicity > 0.15,
                 "h{house}: daily rhythm, AC24 {}",

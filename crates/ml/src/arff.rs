@@ -50,10 +50,11 @@ pub fn to_arff(data: &Instances, relation: &str) -> Result<String> {
             .map(|(v, a)| match (v, &a.kind) {
                 (Value::Missing, _) => Ok("?".to_string()),
                 (Value::Numeric(x), AttributeKind::Numeric) => Ok(format!("{x}")),
-                (Value::Nominal(idx), AttributeKind::Nominal(labels)) => labels
-                    .get(*idx as usize)
-                    .map(|l| quote(l))
-                    .ok_or_else(|| Error::SchemaMismatch(format!("label index {idx} out of range"))),
+                (Value::Nominal(idx), AttributeKind::Nominal(labels)) => {
+                    labels.get(*idx as usize).map(|l| quote(l)).ok_or_else(|| {
+                        Error::SchemaMismatch(format!("label index {idx} out of range"))
+                    })
+                }
                 _ => Err(Error::SchemaMismatch(format!(
                     "row {i}: value does not match attribute {}",
                     a.name
@@ -120,7 +121,10 @@ fn parse_attribute(rest: &str) -> Result<Attribute> {
         (name, parts.next().unwrap_or("").trim())
     };
     let tail_lower = tail.to_ascii_lowercase();
-    if tail_lower.starts_with("numeric") || tail_lower.starts_with("real") || tail_lower.starts_with("integer") {
+    if tail_lower.starts_with("numeric")
+        || tail_lower.starts_with("real")
+        || tail_lower.starts_with("integer")
+    {
         return Ok(Attribute::numeric(name));
     }
     if tail.starts_with('{') && tail.ends_with('}') {
@@ -271,7 +275,10 @@ mod tests {
     #[test]
     fn quoted_labels_with_special_characters() {
         let attrs = vec![
-            Attribute::nominal("weird", vec!["has space".into(), "has,comma".into(), "o'quote".into()]),
+            Attribute::nominal(
+                "weird",
+                vec!["has space".into(), "has,comma".into(), "o'quote".into()],
+            ),
             Attribute::nominal("class", vec!["a".into(), "b".into()]),
         ];
         let mut ds = Instances::new(attrs, 1).unwrap();
@@ -315,10 +322,7 @@ rainy, ?, yes
             from_arff("@attribute x {a,b}\n@attribute y {c}\n@data\nz,c\n").is_err(),
             "unknown label"
         );
-        assert!(
-            from_arff("@attribute x dateTime\n@data\n").is_err(),
-            "unsupported type"
-        );
+        assert!(from_arff("@attribute x dateTime\n@data\n").is_err(), "unsupported type");
         let err = from_arff("@attribute x numeric\n@attribute c {a}\n@data\nfoo,a\n")
             .unwrap_err()
             .to_string();

@@ -177,18 +177,13 @@ fn nominal_matrix(data: &Instances) -> Result<NominalMatrix> {
         match &data.attributes()[a].kind {
             AttributeKind::Nominal(labels) => cards.push(labels.len()),
             AttributeKind::Numeric => {
-                return Err(Error::SchemaMismatch(
-                    "k-modes requires nominal features".to_string(),
-                ))
+                return Err(Error::SchemaMismatch("k-modes requires nominal features".to_string()))
             }
         }
     }
     let mut rows = Vec::with_capacity(data.len());
     for i in 0..data.len() {
-        let row: Vec<Option<u32>> = feats
-            .iter()
-            .map(|&a| data.row(i)[a].as_nominal())
-            .collect();
+        let row: Vec<Option<u32>> = feats.iter().map(|&a| data.row(i)[a].as_nominal()).collect();
         rows.push(row);
     }
     Ok((rows, cards))
@@ -233,9 +228,7 @@ pub fn kmodes(data: &Instances, k: usize, seed: u64, max_iter: usize) -> Result<
         iterations = it + 1;
         let mut changed = false;
         for (i, row) in rows.iter().enumerate() {
-            let best = (0..k)
-                .min_by_key(|&c| mismatch(row, &centers[c]))
-                .expect("k > 0");
+            let best = (0..k).min_by_key(|&c| mismatch(row, &centers[c])).expect("k > 0");
             if assignments[i] != best {
                 assignments[i] = best;
                 changed = true;
@@ -255,9 +248,7 @@ pub fn kmodes(data: &Instances, k: usize, seed: u64, max_iter: usize) -> Result<
                         }
                     }
                 }
-                if let Some((best, &cnt)) =
-                    counts.iter().enumerate().max_by_key(|&(_, c)| *c)
-                {
+                if let Some((best, &cnt)) = counts.iter().enumerate().max_by_key(|&(_, c)| *c) {
                     if cnt > 0 {
                         center[j] = best as u32;
                     }

@@ -326,7 +326,9 @@ mod tests {
             Err(Error::NominalOutOfRange { attribute: 1, value: 4, cardinality: 4 })
         ));
         // Wrong kind.
-        assert!(ds.push_row(vec![Value::Numeric(1.0), Value::Nominal(0), Value::Nominal(0)]).is_err());
+        assert!(ds
+            .push_row(vec![Value::Numeric(1.0), Value::Nominal(0), Value::Nominal(0)])
+            .is_err());
         // Missing is always allowed.
         ds.push_row(vec![Value::Missing, Value::Nominal(1), Value::Nominal(0)]).unwrap();
         assert_eq!(ds.len(), 2);

@@ -231,8 +231,12 @@ where
         if test_idx.is_empty() {
             continue;
         }
-        let train_idx: Vec<usize> =
-            folds.iter().enumerate().filter(|&(g, _)| g != f).flat_map(|(_, v)| v.iter().copied()).collect();
+        let train_idx: Vec<usize> = folds
+            .iter()
+            .enumerate()
+            .filter(|&(g, _)| g != f)
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
         let train = data.subset(&train_idx);
         let mut model = factory();
 
@@ -248,6 +252,45 @@ where
         test_time += t1.elapsed();
     }
     Ok(CvResult { confusion, train_time, test_time, folds: k })
+}
+
+/// Repeated stratified cross-validation: `runs` independent CV passes with
+/// derived seeds, pooled into one confusion matrix. This is Weka's "×N runs
+/// of k-fold CV" protocol; a single fold assignment estimates F-measure with
+/// high variance on small datasets, and pooling runs shrinks that noise
+/// without touching the classifier under test.
+pub fn cross_validate_repeated<F>(
+    factory: F,
+    data: &Instances,
+    k: usize,
+    seed: u64,
+    runs: usize,
+) -> Result<CvResult>
+where
+    F: Fn() -> Box<dyn Classifier>,
+{
+    if runs == 0 {
+        return Err(Error::InvalidParameter {
+            name: "runs",
+            reason: "need at least 1 run".to_string(),
+        });
+    }
+    let mut confusion = ConfusionMatrix::new(data.num_classes()?)?;
+    let mut train_time = Duration::ZERO;
+    let mut test_time = Duration::ZERO;
+    for r in 0..runs {
+        // Run 0 reproduces the single-pass assignment for `seed` exactly.
+        let run_seed = if r == 0 {
+            seed
+        } else {
+            seed.wrapping_add((r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        };
+        let res = cross_validate(&factory, data, k, run_seed)?;
+        confusion.merge(&res.confusion)?;
+        train_time += res.train_time;
+        test_time += res.test_time;
+    }
+    Ok(CvResult { confusion, train_time, test_time, folds: k * runs })
 }
 
 /// Train/test evaluation on explicit splits (used by the forecasting
@@ -276,11 +319,14 @@ pub fn mae(actual: &[f64], predicted: &[f64]) -> Result<f64> {
     if actual.len() != predicted.len() || actual.is_empty() {
         return Err(Error::InvalidParameter {
             name: "actual/predicted",
-            reason: format!("need equal non-zero lengths, got {}/{}", actual.len(), predicted.len()),
+            reason: format!(
+                "need equal non-zero lengths, got {}/{}",
+                actual.len(),
+                predicted.len()
+            ),
         });
     }
-    Ok(actual.iter().zip(predicted).map(|(a, p)| (a - p).abs()).sum::<f64>()
-        / actual.len() as f64)
+    Ok(actual.iter().zip(predicted).map(|(a, p)| (a - p).abs()).sum::<f64>() / actual.len() as f64)
 }
 
 /// Root-mean-square error.
@@ -288,7 +334,11 @@ pub fn rmse(actual: &[f64], predicted: &[f64]) -> Result<f64> {
     if actual.len() != predicted.len() || actual.is_empty() {
         return Err(Error::InvalidParameter {
             name: "actual/predicted",
-            reason: format!("need equal non-zero lengths, got {}/{}", actual.len(), predicted.len()),
+            reason: format!(
+                "need equal non-zero lengths, got {}/{}",
+                actual.len(),
+                predicted.len()
+            ),
         });
     }
     Ok((actual.iter().zip(predicted).map(|(a, p)| (a - p) * (a - p)).sum::<f64>()
@@ -393,24 +443,34 @@ mod tests {
     #[test]
     fn folds_deterministic_per_seed() {
         let ds = labelled_dataset(10);
-        assert_eq!(
-            stratified_folds(&ds, 5, 1).unwrap(),
-            stratified_folds(&ds, 5, 1).unwrap()
-        );
-        assert_ne!(
-            stratified_folds(&ds, 5, 1).unwrap(),
-            stratified_folds(&ds, 5, 2).unwrap()
-        );
+        assert_eq!(stratified_folds(&ds, 5, 1).unwrap(), stratified_folds(&ds, 5, 1).unwrap());
+        assert_ne!(stratified_folds(&ds, 5, 1).unwrap(), stratified_folds(&ds, 5, 2).unwrap());
     }
 
     #[test]
     fn cross_validation_perfect_problem() {
         let ds = labelled_dataset(10);
-        let result =
-            cross_validate(|| Box::new(NaiveBayes::new()), &ds, 10, 7).unwrap();
+        let result = cross_validate(|| Box::new(NaiveBayes::new()), &ds, 10, 7).unwrap();
         assert!(result.weighted_f_measure() > 0.99, "{}", result.weighted_f_measure());
         assert_eq!(result.confusion.total(), 30);
         assert!(result.processing_time() >= result.train_time);
+    }
+
+    #[test]
+    fn repeated_cv_pools_runs_and_reproduces_run_zero() {
+        let ds = labelled_dataset(10);
+        assert!(cross_validate_repeated(|| Box::new(NaiveBayes::new()), &ds, 5, 7, 0).is_err());
+        // runs=1 must be exactly the single-pass result for the same seed.
+        let single = cross_validate(|| Box::new(NaiveBayes::new()), &ds, 5, 7).unwrap();
+        let once = cross_validate_repeated(|| Box::new(NaiveBayes::new()), &ds, 5, 7, 1).unwrap();
+        assert_eq!(once.confusion.total(), single.confusion.total());
+        assert_eq!(once.folds, single.folds);
+        assert!((once.weighted_f_measure() - single.weighted_f_measure()).abs() < 1e-12);
+        // runs=3 pools every run's predictions into one confusion matrix.
+        let triple = cross_validate_repeated(|| Box::new(NaiveBayes::new()), &ds, 5, 7, 3).unwrap();
+        assert_eq!(triple.confusion.total(), 3 * single.confusion.total());
+        assert_eq!(triple.folds, 15);
+        assert!(triple.processing_time() >= triple.train_time);
     }
 
     #[test]

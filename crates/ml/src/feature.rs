@@ -30,15 +30,10 @@ fn discretize(data: &Instances, attr: usize, bins: usize) -> Vec<Option<u32>> {
     if values.is_empty() {
         return vec![None; data.len()];
     }
-    let cuts: Vec<f64> = (1..bins)
-        .map(|b| values[(b * values.len() / bins).min(values.len() - 1)])
-        .collect();
+    let cuts: Vec<f64> =
+        (1..bins).map(|b| values[(b * values.len() / bins).min(values.len() - 1)]).collect();
     (0..data.len())
-        .map(|i| {
-            data.row(i)[attr]
-                .as_numeric()
-                .map(|v| cuts.partition_point(|&c| c < v) as u32)
-        })
+        .map(|i| data.row(i)[attr].as_numeric().map(|v| cuts.partition_point(|&c| c < v) as u32))
         .collect()
 }
 
@@ -49,8 +44,7 @@ pub fn information_gain(data: &Instances, attr: usize, numeric_bins: usize) -> R
         return Err(Error::EmptyDataset("information_gain"));
     }
     let k = data.num_classes()?;
-    let class_counts: Vec<f64> =
-        data.class_counts()?.into_iter().map(|c| c as f64).collect();
+    let class_counts: Vec<f64> = data.class_counts()?.into_iter().map(|c| c as f64).collect();
     let h_class = entropy(&class_counts);
 
     let values: Vec<Option<u32>> = match &data.attributes()[attr].kind {

@@ -21,7 +21,10 @@ use crate::error::{Error, Result};
 /// `[s_{i-lags}, …, s_{i-1}]` and class `s_i`.
 pub fn lag_dataset_nominal(ranks: &[u16], cardinality: usize, lags: usize) -> Result<Instances> {
     if lags == 0 {
-        return Err(Error::InvalidParameter { name: "lags", reason: "must be positive".to_string() });
+        return Err(Error::InvalidParameter {
+            name: "lags",
+            reason: "must be positive".to_string(),
+        });
     }
     if ranks.len() <= lags {
         return Err(Error::EmptyDataset("lag_dataset_nominal: series shorter than lags"));
@@ -38,7 +41,10 @@ pub fn lag_dataset_nominal(ranks: &[u16], cardinality: usize, lags: usize) -> Re
 /// `[v_{i-lags}, …, v_{i-1}]` and target `v_i`.
 pub fn lag_dataset_numeric(values: &[f64], lags: usize) -> Result<Instances> {
     if lags == 0 {
-        return Err(Error::InvalidParameter { name: "lags", reason: "must be positive".to_string() });
+        return Err(Error::InvalidParameter {
+            name: "lags",
+            reason: "must be positive".to_string(),
+        });
     }
     if values.len() <= lags {
         return Err(Error::EmptyDataset("lag_dataset_numeric: series shorter than lags"));
@@ -114,8 +120,7 @@ where
     }
     let mut predicted = Vec::with_capacity(test_ranks.len());
     for (&true_rank, _) in test_ranks.iter().zip(test_actual) {
-        let window: Vec<u32> =
-            history[history.len() - lags..].iter().map(|&r| r as u32).collect();
+        let window: Vec<u32> = history[history.len() - lags..].iter().map(|&r| r as u32).collect();
         let row = nominal_row(&window, 0);
         let pred_rank = model.predict(&row)? as u16;
         predicted.push(decode(pred_rank));
@@ -229,8 +234,7 @@ mod tests {
         let result = real_forecast(svr, &train, &test, 12).unwrap();
         let mae = result.mae().unwrap();
         // A mean regressor is far worse on this sawtooth.
-        let baseline =
-            real_forecast(|| Box::new(MeanRegressor::new()), &train, &test, 12).unwrap();
+        let baseline = real_forecast(|| Box::new(MeanRegressor::new()), &train, &test, 12).unwrap();
         assert!(
             mae < baseline.mae().unwrap() / 2.0,
             "SVR {mae} should beat mean {}",

@@ -32,7 +32,14 @@ pub struct RandomForest {
 impl RandomForest {
     /// Forest with `n_trees` trees and the given seed.
     pub fn new(n_trees: usize, seed: u64) -> Self {
-        RandomForest { n_trees, feature_subset: 0, max_depth: 0, seed, trees: Vec::new(), n_classes: 0 }
+        RandomForest {
+            n_trees,
+            feature_subset: 0,
+            max_depth: 0,
+            seed,
+            trees: Vec::new(),
+            n_classes: 0,
+        }
     }
 
     /// Number of fitted trees.
@@ -123,16 +130,18 @@ mod tests {
         for i in 0..120 {
             let signal = (i % 60) as f64;
             let noise = [(i * 7 % 13) as f64, (i * 11 % 17) as f64, (i * 3 % 19) as f64];
-            ds.push_row(numeric_row(&[signal, noise[0], noise[1], noise[2]], u32::from(signal > 30.0)))
-                .unwrap();
+            ds.push_row(numeric_row(
+                &[signal, noise[0], noise[1], noise[2]],
+                u32::from(signal > 30.0),
+            ))
+            .unwrap();
         }
         let mut rf = RandomForest::new(25, 3);
         rf.fit(&ds).unwrap();
         let mut correct = 0;
         for i in 0..60 {
             let v = i as f64;
-            let pred =
-                rf.predict(&numeric_row(&[v, 1.0, 2.0, 3.0], 0)).unwrap();
+            let pred = rf.predict(&numeric_row(&[v, 1.0, 2.0, 3.0], 0)).unwrap();
             if pred == usize::from(v > 30.0) {
                 correct += 1;
             }

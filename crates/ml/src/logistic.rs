@@ -37,16 +37,18 @@ impl Encoder {
                     width += labels.len();
                 }
                 AttributeKind::Numeric => {
-                    let vals: Vec<f64> = (0..data.len())
-                        .filter_map(|i| data.row(i)[a].as_numeric())
-                        .collect();
+                    let vals: Vec<f64> =
+                        (0..data.len()).filter_map(|i| data.row(i)[a].as_numeric()).collect();
                     let m = mean(&vals);
                     let s = std_dev(&vals);
-                    plan.push((a, Encoding::Standardized {
-                        offset: width,
-                        mean: m,
-                        std: if s > 1e-12 { s } else { 1.0 },
-                    }));
+                    plan.push((
+                        a,
+                        Encoding::Standardized {
+                            offset: width,
+                            mean: m,
+                            std: if s > 1e-12 { s } else { 1.0 },
+                        },
+                    ));
                     width += 1;
                 }
             }
@@ -131,10 +133,8 @@ impl Logistic {
 /// Softmax probabilities for a `(k-1) × d` weight matrix with the last class
 /// pinned at zero scores.
 fn softmax(weights: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
-    let mut scores: Vec<f64> = weights
-        .iter()
-        .map(|w| w.iter().zip(x).map(|(a, b)| a * b).sum::<f64>())
-        .collect();
+    let mut scores: Vec<f64> =
+        weights.iter().map(|w| w.iter().zip(x).map(|(a, b)| a * b).sum::<f64>()).collect();
     scores.push(0.0); // pinned last class
     let m = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let mut exps: Vec<f64> = scores.iter().map(|s| (s - m).exp()).collect();
@@ -176,8 +176,7 @@ impl Classifier for Logistic {
                 let p = softmax(w, x);
                 loss -= p[y].max(1e-300).ln();
             }
-            let reg: f64 =
-                w.iter().flat_map(|row| row.iter()).map(|v| v * v).sum::<f64>() * ridge;
+            let reg: f64 = w.iter().flat_map(|row| row.iter()).map(|v| v * v).sum::<f64>() * ridge;
             loss + reg
         };
 
@@ -201,8 +200,7 @@ impl Classifier for Logistic {
                     *g += 2.0 * ridge * wv;
                 }
             }
-            let gnorm: f64 =
-                grad.iter().flat_map(|r| r.iter()).map(|g| g * g).sum::<f64>().sqrt();
+            let gnorm: f64 = grad.iter().flat_map(|r| r.iter()).map(|g| g * g).sum::<f64>().sqrt();
             if gnorm < self.tol {
                 break;
             }

@@ -41,10 +41,7 @@ impl NgramPredictor {
     /// Returns `None` when any needed value is missing or non-nominal.
     fn context(row: &[Value], n_features: usize, len: usize) -> Option<Vec<u32>> {
         let start = n_features.checked_sub(len)?;
-        row[start..n_features]
-            .iter()
-            .map(|v| v.as_nominal())
-            .collect()
+        row[start..n_features].iter().map(|v| v.as_nominal()).collect()
     }
 }
 
@@ -72,8 +69,7 @@ impl Classifier for NgramPredictor {
             let row = data.row(i);
             for len in 1..=max_order {
                 if let Some(ctx) = Self::context(row, n_features, len) {
-                    let counts =
-                        self.tables[len - 1].entry(ctx).or_insert_with(|| vec![0.0; k]);
+                    let counts = self.tables[len - 1].entry(ctx).or_insert_with(|| vec![0.0; k]);
                     counts[class] += 1.0;
                 }
             }

@@ -103,9 +103,7 @@ impl Classifier for NaiveBayes {
             let v = match row.get(a) {
                 Some(v) => *v,
                 None => {
-                    return Err(Error::SchemaMismatch(format!(
-                        "row too short: no attribute {a}"
-                    )))
+                    return Err(Error::SchemaMismatch(format!("row too short: no attribute {a}")))
                 }
             };
             if v.is_missing() {
@@ -131,8 +129,8 @@ impl Classifier for NaiveBayes {
                 (AttrModel::Gaussian { mean, var }, Value::Numeric(x)) => {
                     for (c, lp) in log_p.iter_mut().enumerate() {
                         let d = x - mean[c];
-                        *lp += -0.5 * (d * d / var[c] + var[c].ln()
-                            + (2.0 * std::f64::consts::PI).ln());
+                        *lp += -0.5
+                            * (d * d / var[c] + var[c].ln() + (2.0 * std::f64::consts::PI).ln());
                     }
                 }
                 _ => {

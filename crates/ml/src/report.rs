@@ -40,7 +40,11 @@ pub fn classification_report(
     let _ = writeln!(
         out,
         "{:<16} {:>9} {:>9} {:>9.3} {:>9}",
-        "weighted avg", "", "", confusion.weighted_f_measure(), total
+        "weighted avg",
+        "",
+        "",
+        confusion.weighted_f_measure(),
+        total
     );
     let _ = writeln!(out, "accuracy: {:.3}", confusion.accuracy());
     Ok(out)

@@ -9,9 +9,9 @@
 //! — an SMO-style decomposition with single-coordinate working sets. Inputs
 //! and target are standardized internally.
 
+use crate::classifier::Regressor;
 use crate::data::{Instances, Value};
 use crate::error::{Error, Result};
-use crate::classifier::Regressor;
 use crate::stats_util::{mean, std_dev};
 
 /// Kernel functions.
@@ -131,9 +131,7 @@ impl SvrRegressor {
                     j += 1;
                 }
                 Value::Nominal(_) => {
-                    return Err(Error::SchemaMismatch(
-                        "SVR requires numeric features".to_string(),
-                    ))
+                    return Err(Error::SchemaMismatch("SVR requires numeric features".to_string()))
                 }
             }
         }
@@ -190,9 +188,7 @@ impl Regressor for SvrRegressor {
 
         let xs: Vec<Vec<f64>> = (0..n)
             .map(|i| {
-                (0..d)
-                    .map(|j| (cols[j][i] - self.x_mean[j]) / self.x_std[j])
-                    .collect::<Vec<f64>>()
+                (0..d).map(|j| (cols[j][i] - self.x_mean[j]) / self.x_std[j]).collect::<Vec<f64>>()
             })
             .collect();
         let y: Vec<f64> = ys.iter().map(|v| (v - self.y_mean) / self.y_std).collect();

@@ -119,7 +119,12 @@ impl<'a> Builder<'a> {
         Ok(d)
     }
 
-    fn build(&mut self, rows: &[usize], used_nominal: &mut Vec<bool>, depth: usize) -> Result<Node> {
+    fn build(
+        &mut self,
+        rows: &[usize],
+        used_nominal: &mut Vec<bool>,
+        depth: usize,
+    ) -> Result<Node> {
         let dist = self.class_dist(rows)?;
         let h = entropy(&dist);
         let depth_ok = self.opts.max_depth == 0 || depth < self.opts.max_depth;
@@ -169,7 +174,14 @@ impl<'a> Builder<'a> {
                 let default_left = left.len() >= right.len();
                 let l = self.build(&left, used_nominal, depth + 1)?;
                 let r = self.build(&right, used_nominal, depth + 1)?;
-                Ok(Node::Numeric { attr, threshold, left: Box::new(l), right: Box::new(r), default_left, dist })
+                Ok(Node::Numeric {
+                    attr,
+                    threshold,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    default_left,
+                    dist,
+                })
             }
         }
     }
@@ -231,8 +243,7 @@ impl<'a> Builder<'a> {
             partitions[biggest].extend(missing);
         }
         // Weka requirement: at least two branches carrying min_leaf instances.
-        let populated =
-            partitions.iter().filter(|p| p.len() >= self.opts.min_leaf).count();
+        let populated = partitions.iter().filter(|p| p.len() >= self.opts.min_leaf).count();
         if populated < 2 {
             return Ok(None);
         }
@@ -312,8 +323,8 @@ impl<'a> Builder<'a> {
             for (r, l) in right_dist.iter_mut().zip(&left_dist) {
                 *r -= l;
             }
-            let cond = cut as f64 / n * entropy(&left_dist)
-                + (n - cut as f64) / n * entropy(&right_dist);
+            let cond =
+                cut as f64 / n * entropy(&left_dist) + (n - cut as f64) / n * entropy(&right_dist);
             let gain = parent_entropy - cond;
             if best.map(|(g, _, _)| gain > g).unwrap_or(true) {
                 let threshold = (pairs[cut - 1].0 + pairs[cut].0) / 2.0;
@@ -410,8 +421,7 @@ fn prune(node: Node, cf: f64) -> Node {
         Node::Leaf { dist, real_n } => Node::Leaf { dist, real_n },
         Node::Nominal { attr, children, default_branch, dist } => {
             let children: Vec<Node> = children.into_iter().map(|c| prune(c, cf)).collect();
-            let subtree_est: f64 =
-                children.iter().map(|c| subtree_estimated_errors(c, cf)).sum();
+            let subtree_est: f64 = children.iter().map(|c| subtree_estimated_errors(c, cf)).sum();
             let real_n: f64 = dist.iter().sum();
             let (n, e) = leaf_errors(&dist, real_n);
             let leaf_est = e + added_errors(n, e, cf);

@@ -23,8 +23,7 @@ impl Classifier for ZeroR {
         if data.is_empty() {
             return Err(Error::EmptyDataset("ZeroR::fit"));
         }
-        let mut d: Vec<f64> =
-            data.class_counts()?.into_iter().map(|c| c as f64).collect();
+        let mut d: Vec<f64> = data.class_counts()?.into_iter().map(|c| c as f64).collect();
         normalize_distribution(&mut d);
         self.dist = d;
         Ok(())

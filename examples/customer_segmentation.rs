@@ -6,10 +6,10 @@
 //! cargo run --release --example customer_segmentation
 //! ```
 
+use smart_meter_symbolics::prelude::*;
 use sms_bench::classification::{run_raw, run_symbolic, ClassifierKind, EncodingSpec, TableMode};
 use sms_bench::prep::dataset;
 use sms_bench::Scale;
-use smart_meter_symbolics::prelude::*;
 
 fn main() -> Result<()> {
     let scale = Scale { days: 10, interval_secs: 120, forest_trees: 20, cv_folds: 10, seed: 7 };

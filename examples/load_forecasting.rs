@@ -18,11 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for model in [ForecastModel::NaiveBayes, ForecastModel::RandomForest] {
         let fig = ForecastFigure::run(&ds, scale, model)?;
         println!("\n{}", fig.render());
-        println!(
-            "symbolic beats raw SVR on {}/{} houses",
-            fig.symbolic_wins(),
-            fig.houses.len()
-        );
+        println!("symbolic beats raw SVR on {}/{} houses", fig.symbolic_wins(), fig.houses.len());
     }
     println!(
         "\nAs in the paper, the chronically gappy house is skipped and symbolic\n\

@@ -9,8 +9,8 @@
 //! ```
 
 use smart_meter_symbolics::core::distance::{nearest_prefix, prefix_distance, table_distance};
-use smart_meter_symbolics::core::wire::{encode_message, FrameDecoder};
 use smart_meter_symbolics::core::encoder::SensorMessage;
+use smart_meter_symbolics::core::wire::{encode_message, FrameDecoder};
 use smart_meter_symbolics::meterdata::generator::redd_like;
 use smart_meter_symbolics::prelude::*;
 
@@ -51,13 +51,7 @@ fn main() -> Result<()> {
             "house {id}: {} symbols at {} bits → first 12: {}",
             series.len(),
             bits,
-            series
-                .symbols()
-                .iter()
-                .take(12)
-                .map(|s| s.to_string())
-                .collect::<Vec<_>>()
-                .join(" ")
+            series.symbols().iter().take(12).map(|s| s.to_string()).collect::<Vec<_>>().join(" ")
         );
         fleet.push((*id, table.clone(), series));
     }

@@ -8,11 +8,11 @@
 //! cargo run --release --example privacy_attack
 //! ```
 
+use smart_meter_symbolics::prelude::*;
 use sms_bench::classification::{run_symbolic, ClassifierKind, EncodingSpec, TableMode};
 use sms_bench::prep::dataset;
 use sms_bench::privacy_exp::{render_privacy, run_privacy};
 use sms_bench::Scale;
-use smart_meter_symbolics::prelude::*;
 
 fn main() -> Result<()> {
     let scale = Scale { days: 10, interval_secs: 120, forest_trees: 15, cv_folds: 5, seed: 31 };
@@ -27,9 +27,8 @@ fn main() -> Result<()> {
     println!("{:<10} {:>22}", "alphabet", "attack F-measure");
     for bits in 1..=4u8 {
         let spec = EncodingSpec { method: SeparatorMethod::Median, window_secs: 3600, bits };
-        let cell =
-            run_symbolic(&ds, scale, spec, TableMode::Global, ClassifierKind::RandomForest)
-                .map_err(|e| Error::InvalidParameter { name: "attack", reason: e.to_string() })?;
+        let cell = run_symbolic(&ds, scale, spec, TableMode::Global, ClassifierKind::RandomForest)
+            .map_err(|e| Error::InvalidParameter { name: "attack", reason: e.to_string() })?;
         println!("{:<10} {:>22.3}", format!("{} sym", 1 << bits), cell.f_measure);
     }
 

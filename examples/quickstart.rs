@@ -41,7 +41,10 @@ fn main() -> Result<()> {
         day3.len(),
         day3.len() * 64
     );
-    println!("first 24 symbols: {}", symbols.to_string_joined(" ").chars().take(24 * 5).collect::<String>());
+    println!(
+        "first 24 symbols: {}",
+        symbols.to_string_joined(" ").chars().take(24 * 5).collect::<String>()
+    );
 
     // Reconstruct and measure error against the 15-minute aggregates.
     let mae = codec.reconstruction_mae(&day3, SymbolSemantics::RangeMean)?;
@@ -53,10 +56,8 @@ fn main() -> Result<()> {
 
     // The §3.2 expert example: a custom low/high table at 500 W.
     let expert = LookupTable::custom(&[500.0], 0.0, 5000.0)?;
-    let low_high = sms_core::horizontal::horizontal_segmentation(
-        &codec.aggregate(&day3)?,
-        &expert,
-    )?;
+    let low_high =
+        sms_core::horizontal::horizontal_segmentation(&codec.aggregate(&day3)?, &expert)?;
     println!("expert low/high view:  {}", low_high.to_string_joined(""));
     Ok(())
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Local CI gate (GitHub Actions is unavailable in this environment).
+#
+#   scripts/ci.sh          # everything: fmt, clippy, tier-1, full suite
+#   scripts/ci.sh --quick  # skip the full --workspace test pass
+#
+# Tier-1 (the must-stay-green contract, see README "Tests and benches"):
+#   cargo build --release && cargo test -q
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+if [[ $quick -eq 0 ]]; then
+    echo "==> full suite: cargo test -q --workspace"
+    cargo test -q --workspace
+fi
+
+echo "==> CI green"

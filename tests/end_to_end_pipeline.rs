@@ -136,12 +136,9 @@ fn adaptive_encoder_handles_generated_regime_change() {
     let small = ds.house(2).unwrap();
     let big = ds.house(6).unwrap();
     let train = small.head_duration(86_400).values();
-    let table = LookupTable::learn(
-        SeparatorMethod::Median,
-        Alphabet::with_size(8).unwrap(),
-        &train,
-    )
-    .unwrap();
+    let table =
+        LookupTable::learn(SeparatorMethod::Median, Alphabet::with_size(8).unwrap(), &train)
+            .unwrap();
     let mut enc = AdaptiveEncoder::new(
         table,
         train,
@@ -162,10 +159,7 @@ fn adaptive_encoder_handles_generated_regime_change() {
         enc.push(t, v * 3.0).unwrap();
         t += 30;
     }
-    assert!(
-        enc.stats().rebuilds > before,
-        "splice to a 3× bigger house must trigger a rebuild"
-    );
+    assert!(enc.stats().rebuilds > before, "splice to a 3× bigger house must trigger a rebuild");
 }
 
 #[test]

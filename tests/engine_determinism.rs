@@ -1,0 +1,104 @@
+//! Cross-crate determinism guarantees for the parallel fleet-encoding
+//! engine: its output must be byte-identical to the serial `SymbolicCodec`
+//! path regardless of worker count, and sharding must never drop or
+//! reorder a house.
+
+use meterdata::generator::fleet_series;
+use proptest::prelude::*;
+use smart_meter_symbolics::core::engine::{encode_fleet, EngineConfig, FleetEngine, TableMode};
+use smart_meter_symbolics::core::horizontal::SymbolicSeries;
+use smart_meter_symbolics::core::pipeline::CodecBuilder;
+use smart_meter_symbolics::core::separators::SeparatorMethod;
+use smart_meter_symbolics::core::timeseries::TimeSeries;
+
+fn builder() -> CodecBuilder {
+    CodecBuilder::new()
+        .method(SeparatorMethod::Median)
+        .alphabet_size(16)
+        .expect("16 symbols")
+        .window_secs(3600)
+}
+
+/// Serial reference: per-house train + encode through `SymbolicCodec`.
+fn serial_reference(fleet: &[TimeSeries], b: &CodecBuilder) -> Vec<SymbolicSeries> {
+    fleet.iter().map(|h| b.train(h).expect("train").encode(h).expect("encode")).collect()
+}
+
+/// The acceptance-gate determinism test: a seeded 50-house fleet encodes
+/// byte-identically through the engine at 1, 2, and 8 workers.
+#[test]
+fn engine_matches_serial_on_50_house_fleet_for_all_worker_counts() {
+    let fleet = fleet_series(2013, 50, 2, 600).expect("fleet generator");
+    assert_eq!(fleet.len(), 50);
+    let b = builder();
+    let serial = serial_reference(&fleet, &b);
+
+    for workers in [1usize, 2, 8] {
+        let engine = FleetEngine::new(b.clone(), EngineConfig::with_workers(workers));
+        let enc = engine.encode_fleet(&fleet).expect("engine encode");
+        assert_eq!(enc.series.len(), fleet.len(), "workers={workers}");
+        assert_eq!(enc.series, serial, "workers={workers}");
+        assert_eq!(enc.stats.houses, fleet.len());
+        assert_eq!(
+            enc.stats.samples_in,
+            fleet.iter().map(|h| h.len() as u64).sum::<u64>(),
+            "workers={workers}"
+        );
+    }
+}
+
+/// Shared-table mode is also deterministic across worker counts (it just
+/// has a different — pooled — serial reference).
+#[test]
+fn shared_table_mode_is_worker_count_invariant() {
+    let fleet = fleet_series(7, 20, 1, 900).expect("fleet generator");
+    let b = builder();
+    let reference =
+        FleetEngine::new(b.clone(), EngineConfig::with_workers(1).table_mode(TableMode::Shared))
+            .encode_fleet(&fleet)
+            .expect("1-worker shared encode")
+            .series;
+    for workers in [2usize, 8] {
+        let config = EngineConfig::with_workers(workers).table_mode(TableMode::Shared);
+        let enc = FleetEngine::new(b.clone(), config).encode_fleet(&fleet).expect("shared encode");
+        assert_eq!(enc.series, reference, "workers={workers}");
+    }
+}
+
+/// Build a synthetic fleet where every house's values are unique to that
+/// house, so any dropped, duplicated, or reordered house changes the
+/// encoded output for its slot.
+fn tagged_fleet(houses: usize, samples: usize) -> Vec<TimeSeries> {
+    (0..houses)
+        .map(|h| {
+            let values: Vec<f64> = (0..samples)
+                .map(|i| 10.0 + (h * 1_000) as f64 + ((i * 37 + h * 13) % 400) as f64)
+                .collect();
+            TimeSeries::from_regular(0, 600, &values).expect("regular series")
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sharding across any worker count never drops or reorders a house:
+    /// slot `i` of the engine output always equals the serial encoding of
+    /// house `i`, and the output length always equals the fleet size.
+    #[test]
+    fn sharding_never_drops_or_reorders_a_house(
+        houses in 0usize..40,
+        workers in 1usize..9,
+        samples in 24usize..120,
+    ) {
+        let fleet = tagged_fleet(houses, samples);
+        let b = builder();
+        let config = EngineConfig::with_workers(workers);
+        let got = encode_fleet(&fleet, &b, &config).expect("engine encode");
+        prop_assert_eq!(got.len(), fleet.len());
+        for (i, house) in fleet.iter().enumerate() {
+            let want = b.train(house).expect("train").encode(house).expect("encode");
+            prop_assert_eq!(&got[i], &want, "house {} misplaced (workers={})", i, workers);
+        }
+    }
+}

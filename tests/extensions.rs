@@ -2,9 +2,9 @@
 //! supporting machinery), exercised end-to-end on generated meter data.
 
 use smart_meter_symbolics::core::distance::{prefix_distance, rank_l1, table_distance};
+use smart_meter_symbolics::core::encoder::SensorMessage;
 use smart_meter_symbolics::core::utility::{reconstruction_separators, supervised_separators};
 use smart_meter_symbolics::core::wire::{encode_message, FrameDecoder};
-use smart_meter_symbolics::core::encoder::SensorMessage;
 use smart_meter_symbolics::meterdata::generator::redd_like;
 use smart_meter_symbolics::prelude::*;
 use sms_ml::arff::{from_arff, to_arff};
@@ -170,8 +170,8 @@ fn reports_render_on_real_evaluation() {
     let tables =
         per_house_tables(&ds, SeparatorMethod::Median, 4, scale.training_prefix_secs()).unwrap();
     let inst = symbolic_day_vectors(&ds, 3600, &tables, PAPER_MIN_COVERAGE).unwrap();
-    let cv = cross_validate(|| Box::new(NaiveBayes::new()) as Box<dyn Classifier>, &inst, 3, 1)
-        .unwrap();
+    let cv =
+        cross_validate(|| Box::new(NaiveBayes::new()) as Box<dyn Classifier>, &inst, 3, 1).unwrap();
     let names: Vec<String> = (1..=6).map(|i| format!("house{i}")).collect();
     let report = classification_report(&cv.confusion, &names).unwrap();
     assert!(report.contains("house1") && report.contains("weighted avg"));

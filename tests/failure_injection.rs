@@ -10,12 +10,9 @@ use sms_ml::arff::from_arff;
 
 fn valid_stream() -> Vec<u8> {
     let values: Vec<f64> = (0..200).map(|i| ((i * 13) % 500) as f64).collect();
-    let table = LookupTable::learn(
-        SeparatorMethod::Median,
-        Alphabet::with_size(8).unwrap(),
-        &values,
-    )
-    .unwrap();
+    let table =
+        LookupTable::learn(SeparatorMethod::Median, Alphabet::with_size(8).unwrap(), &values)
+            .unwrap();
     let mut wire = encode_message(&SensorMessage::Table(table)).unwrap();
     for i in 0..10i64 {
         wire.extend(

@@ -2,11 +2,11 @@
 //! non-trivial scale. These assert the *direction* of every comparison the
 //! paper draws, not its absolute numbers (see EXPERIMENTS.md).
 
+use smart_meter_symbolics::prelude::*;
 use sms_bench::classification::{run_raw, run_symbolic, ClassifierKind, EncodingSpec, TableMode};
 use sms_bench::forecasting::{ForecastFigure, ForecastModel};
 use sms_bench::prep::dataset;
 use sms_bench::Scale;
-use smart_meter_symbolics::prelude::*;
 
 fn scale() -> Scale {
     Scale { days: 10, interval_secs: 180, forest_trees: 12, cv_folds: 5, seed: 2013 }
@@ -159,10 +159,7 @@ fn global_table_degrades_symbolic_accuracy_at_fine_alphabets() {
     }
     // Loose assertion: the global grid must not dominate everywhere — the
     // direction of the paper's Fig. 7 finding at matched settings.
-    assert!(
-        per_house_sum > global_sum * 0.8,
-        "per-house {per_house_sum} vs global {global_sum}"
-    );
+    assert!(per_house_sum > global_sum * 0.8, "per-house {per_house_sum} vs global {global_sum}");
 }
 
 #[test]
