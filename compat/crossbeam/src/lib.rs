@@ -7,7 +7,8 @@
 //!
 //! * [`channel::bounded`] / [`channel::unbounded`] MPMC channels with
 //!   cloneable [`channel::Sender`]/[`channel::Receiver`] ends, blocking
-//!   `send`/`recv`, `try_recv`, and a blocking `iter()`;
+//!   `send`/`recv`, non-blocking `try_send`/`try_recv`, and a blocking
+//!   `iter()`;
 //! * [`thread::scope`] scoped spawning (a thin wrapper over
 //!   `std::thread::scope`).
 //!
@@ -52,6 +53,25 @@ pub mod channel {
     impl<T> std::fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Sender::try_send`]; the unsent message is handed
+    /// back in either case.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity; sending would block.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
         }
     }
 
@@ -110,6 +130,24 @@ pub mod channel {
                         state = self.inner.not_full.wait(state).unwrap();
                     }
                     _ => break,
+                }
+            }
+            state.queue.push_back(msg);
+            drop(state);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send: enqueues `msg` if there is room right now,
+        /// otherwise hands it back immediately instead of blocking.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.inner.state.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = state.cap {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
                 }
             }
             state.queue.push_back(msg);
@@ -308,6 +346,18 @@ mod tests {
         assert_eq!(producer.join().unwrap(), "sent");
         assert_eq!(rx.recv(), Ok(2));
         assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        use super::channel::TrySendError;
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)), "full channel hands msg back");
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]

@@ -68,6 +68,29 @@ fn bench_wire(c: &mut Criterion) {
             black_box(dec.drain().unwrap().len())
         });
     });
+
+    // Regression guard for the cursor-based decoder: draining a large
+    // backlog fed in one shot used to re-copy the whole remaining buffer for
+    // every frame (quadratic in the backlog); it must scale linearly, so
+    // this reports bytes/s over a 16k-frame backlog.
+    let backlog: Vec<u8> = (0..16_384i64)
+        .flat_map(|i| {
+            encode_message(&SensorMessage::Window(EncodedWindow {
+                window_start: i * 900,
+                symbol: Symbol::from_rank((i % 16) as u16, 4).unwrap(),
+                samples: 900,
+            }))
+            .unwrap()
+        })
+        .collect();
+    group.throughput(Throughput::Bytes(backlog.len() as u64));
+    group.bench_function("binary_decode_backlog_16k", |b| {
+        b.iter(|| {
+            let mut dec = FrameDecoder::new();
+            dec.feed(black_box(&backlog));
+            black_box(dec.drain().unwrap().len())
+        });
+    });
     group.finish();
 }
 

@@ -1,14 +1,15 @@
 //! `repro` — regenerate any table or figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--scale quick|paper] [--seed N] [--parallel] [--workers N]
+//! repro <experiment> [--scale quick|paper] [--seed N] [--parallel] [--workers N] [--faults]
 //! experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-//!              table1 compression drift privacy fleet all
+//!              table1 compression drift privacy fleet ingest all
 //! ```
 //!
 //! `--parallel` routes the `fleet` experiment through the multi-threaded
 //! [`sms_core::engine::FleetEngine`]; `--workers N` sets the worker count
-//! (and implies `--parallel`).
+//! (and implies `--parallel`). `--faults` makes the `ingest` experiment
+//! corrupt its wire streams with the deterministic fault injector.
 
 use sms_bench::ablation::{
     render_separator_ablation, run_separator_ablation, run_streaming_ablation,
@@ -21,6 +22,7 @@ use sms_bench::figures::{
     compression_table, fig1_symbol_tree, fig2_distribution, fig3_normalization, fig4_statistics,
 };
 use sms_bench::forecasting::{ForecastFigure, ForecastModel};
+use sms_bench::ingest_exp::{render_ingest, run_ingest};
 use sms_bench::prep::dataset;
 use sms_bench::privacy_exp::{render_privacy, run_privacy};
 use sms_bench::sax_exp::{render_sax_comparison, run_sax_comparison};
@@ -30,11 +32,15 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment> [--scale quick|paper] [--seed N] [--parallel] [--workers N]\n\
+        "usage: repro <experiment> [--scale quick|paper] [--seed N] [--parallel] [--workers N] \
+         [--faults]\n\
          experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9\n\
-         table1 compression drift privacy clustering ablation sax markov fidelity arff fleet all\n\
+         table1 compression drift privacy clustering ablation sax markov fidelity arff fleet \
+         ingest all\n\
          --parallel / --workers N: encode the `fleet` experiment through the\n\
-         multi-threaded FleetEngine (default: serial codec)"
+         multi-threaded FleetEngine (default: serial codec)\n\
+         --faults: corrupt the `ingest` experiment's wire streams (bit flips,\n\
+         truncation, duplication) before the server-side gateway decodes them"
     );
     std::process::exit(2);
 }
@@ -44,6 +50,7 @@ fn usage() -> ! {
 struct ParallelOpts {
     parallel: bool,
     workers: Option<usize>,
+    faults: bool,
 }
 
 fn main() {
@@ -53,7 +60,7 @@ fn main() {
     }
     let experiment = args[0].clone();
     let mut scale = Scale::quick();
-    let mut opts = ParallelOpts { parallel: false, workers: None };
+    let mut opts = ParallelOpts { parallel: false, workers: None, faults: false };
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -67,6 +74,9 @@ fn main() {
             }
             "--parallel" => {
                 opts.parallel = true;
+            }
+            "--faults" => {
+                opts.faults = true;
             }
             "--workers" => {
                 i += 1;
@@ -92,11 +102,20 @@ fn run_with_opts(
     scale: Scale,
     opts: ParallelOpts,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    if experiment == "fleet" {
-        run_fleet(scale, opts)
-    } else {
-        run(experiment, scale)
+    match experiment {
+        "fleet" => run_fleet(scale, opts),
+        "ingest" => run_ingest_exp(scale, opts.faults),
+        _ => run(experiment, scale),
     }
+}
+
+/// Encode a fleet, ship it over a (optionally faulted) wire, and decode it
+/// through the hardened per-meter ingest gateways.
+fn run_ingest_exp(scale: Scale, faults: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let report = run_ingest(scale, faults)?;
+    println!("{}", render_ingest(&report));
+    println!("engine_stats: {}", report.stats.to_json());
+    Ok(())
 }
 
 /// Encode a synthetic fleet, either serially or through the parallel
@@ -146,7 +165,10 @@ fn run_fleet(scale: Scale, opts: ParallelOpts) -> Result<(), Box<dyn std::error:
 fn run(experiment: &str, scale: Scale) -> Result<(), Box<dyn std::error::Error>> {
     match experiment {
         "fleet" => {
-            run_fleet(scale, ParallelOpts { parallel: false, workers: None })?;
+            run_fleet(scale, ParallelOpts { parallel: false, workers: None, faults: false })?;
+        }
+        "ingest" => {
+            run_ingest_exp(scale, false)?;
         }
         "fig1" => {
             println!("{}", fig1_symbol_tree(800.0, 3)?);

@@ -1,0 +1,332 @@
+//! §2.3's sensor→server link made hostile: the `ingest` experiment.
+//!
+//! The paper motivates symbols by the cost of shipping meter data to a
+//! server; this experiment reproduces that link end to end and then attacks
+//! it. A synthetic fleet is encoded through the parallel
+//! [`FleetStream`] engine (feeding with the hardened
+//! [`try_feed`](FleetStream::try_feed) path, so backpressure is counted
+//! rather than deadlocking), each meter's table + window messages are
+//! serialized to the length-prefixed wire format, a deterministic
+//! [`FaultInjector`] corrupts the byte streams (bit flips, truncation,
+//! duplication), delivery is split at random mid-frame boundaries, and the
+//! server-side [`FleetIngest`] gateway decodes what survives. The
+//! [`IngestStats`](sms_core::ingest::IngestStats) counter block lands in
+//! [`EngineStats`] JSON, which `repro ingest [--faults]` prints.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::scale::Scale;
+use meterdata::generator::fleet_series;
+use sms_core::encoder::SensorMessage;
+use sms_core::engine::{EngineConfig, EngineStats, FleetStream, WindowEvent};
+use sms_core::error::{Error, Result};
+use sms_core::ingest::{FleetIngest, IngestConfig};
+use sms_core::pipeline::CodecBuilder;
+use sms_core::separators::SeparatorMethod;
+use sms_core::wire::encode_message;
+
+/// One kind of deterministic wire-level fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// XOR one random bit of one random byte (line noise).
+    BitFlip,
+    /// Remove a short random byte range (lossy transport, reconnect gaps).
+    Truncate,
+    /// Re-insert a copy of a short random byte range right after itself
+    /// (retransmission without dedup).
+    Duplicate,
+}
+
+/// All fault kinds, in the order [`FaultInjector::apply_nth`] cycles them.
+pub const ALL_FAULTS: [Fault; 3] = [Fault::BitFlip, Fault::Truncate, Fault::Duplicate];
+
+/// Longest byte range a single truncation/duplication touches.
+const MAX_FAULT_SPAN: usize = 24;
+
+/// Seeded source of reproducible wire corruption and chunked delivery.
+///
+/// Every draw comes from one [`StdRng`], so a `(seed, call sequence)` pair
+/// always produces the same mutations — failures found by the fuzz tests
+/// replay exactly.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// Creates an injector with a fully deterministic stream.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Applies `fault` at a seeded position, returning the offset of the
+    /// first byte affected (`0` on an empty buffer, which is left alone).
+    pub fn apply(&mut self, fault: Fault, wire: &mut Vec<u8>) -> usize {
+        if wire.is_empty() {
+            return 0;
+        }
+        match fault {
+            Fault::BitFlip => {
+                let i = self.rng.gen_range(0..wire.len());
+                let bit = self.rng.gen_range(0..8u32);
+                wire[i] ^= 1 << bit;
+                i
+            }
+            Fault::Truncate => {
+                let i = self.rng.gen_range(0..wire.len());
+                let n = self.rng.gen_range(1..=MAX_FAULT_SPAN.min(wire.len() - i));
+                wire.drain(i..i + n);
+                i
+            }
+            Fault::Duplicate => {
+                let i = self.rng.gen_range(0..wire.len());
+                let n = self.rng.gen_range(1..=MAX_FAULT_SPAN.min(wire.len() - i));
+                let dup: Vec<u8> = wire[i..i + n].to_vec();
+                wire.splice(i + n..i + n, dup);
+                i
+            }
+        }
+    }
+
+    /// Applies the `n`-th fault of the cycling schedule
+    /// (flip, truncate, duplicate, flip, …); see [`apply`](Self::apply).
+    pub fn apply_nth(&mut self, n: u64, wire: &mut Vec<u8>) -> (Fault, usize) {
+        let fault = ALL_FAULTS[(n % ALL_FAULTS.len() as u64) as usize];
+        (fault, self.apply(fault, wire))
+    }
+
+    /// Splits `total` bytes into random delivery chunk lengths in
+    /// `1..=max_chunk` — guaranteed to land mid-frame regularly, which is
+    /// what stresses a streaming decoder's buffering.
+    pub fn chunk_lens(&mut self, total: usize, max_chunk: usize) -> Vec<usize> {
+        let max_chunk = max_chunk.max(1);
+        let mut lens = Vec::new();
+        let mut remaining = total;
+        while remaining > 0 {
+            let n = self.rng.gen_range(1..=max_chunk.min(remaining));
+            lens.push(n);
+            remaining -= n;
+        }
+        lens
+    }
+}
+
+/// Outcome of one `ingest` experiment run.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// Whether the transport was faulted.
+    pub faults: bool,
+    /// Meters in the fleet.
+    pub houses: usize,
+    /// Frames serialized sensor-side (tables + windows).
+    pub frames_sent: u64,
+    /// Faults injected across the fleet's byte streams.
+    pub faults_injected: u64,
+    /// Messages the server-side gateways decoded.
+    pub messages_decoded: u64,
+    /// Engine counters with the [`ingest`](EngineStats::ingest) block set.
+    pub stats: EngineStats,
+}
+
+/// Runs the sensor→wire→fault→server pipeline at `scale`.
+pub fn run_ingest(scale: Scale, faults: bool) -> Result<IngestReport> {
+    let houses = if scale.days >= 30 { 24 } else { 8 };
+    let fleet =
+        fleet_series(scale.seed, houses as u32, scale.days.clamp(1, 7), scale.interval_secs)?;
+
+    // Stage 1 — train a shared table, then encode the fleet through the
+    // streaming engine using the hardened non-blocking feed path.
+    let t_train = Instant::now();
+    let codec = CodecBuilder::new()
+        .method(SeparatorMethod::Median)
+        .alphabet_size(16)?
+        .window_secs(3600)
+        .train(&fleet[0])?;
+    let train_secs = t_train.elapsed().as_secs_f64();
+
+    let config = EngineConfig::with_workers(2).channel_capacity(8);
+    let mut stream = FleetStream::spawn(&codec, &config)?;
+    let t_encode = Instant::now();
+    let mut events: Vec<WindowEvent> = Vec::new();
+    for (house, series) in fleet.iter().enumerate() {
+        let samples: Vec<_> = series.iter().collect();
+        for chunk in samples.chunks(512) {
+            loop {
+                match stream.try_feed(house, chunk) {
+                    Ok(()) => break,
+                    Err(Error::WouldBlock) => events.extend(stream.drain()?),
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+    let samples_in = stream.samples_in();
+    let stalls = stream.backpressure_stalls();
+    events.extend(stream.finish()?);
+    let encode_secs = t_encode.elapsed().as_secs_f64();
+
+    // Stage 2 — serialize each meter's stream: its table first, then every
+    // window the engine emitted for it.
+    let table_frame = encode_message(&SensorMessage::Table(codec.table().clone()))?;
+    let mut wires: Vec<Vec<u8>> = vec![table_frame; houses];
+    let mut frames_sent = houses as u64;
+    for ev in &events {
+        wires[ev.house].extend(encode_message(&SensorMessage::Window(ev.window))?);
+        frames_sent += 1;
+    }
+
+    // Stage 3 — deterministic corruption, roughly one fault per 1.5 kB.
+    let mut injector = FaultInjector::new(scale.seed ^ 0x1B4D_F00D);
+    let mut faults_injected = 0u64;
+    if faults {
+        for wire in &mut wires {
+            let n = 1 + (wire.len() / 1500) as u64;
+            for _ in 0..n {
+                injector.apply_nth(faults_injected, wire);
+                faults_injected += 1;
+            }
+        }
+    }
+
+    // Stage 4 — server-side decode through per-meter gateways, delivered in
+    // random chunks that split frames mid-header and mid-payload.
+    let mut gateway = FleetIngest::new(IngestConfig::default().max_frame_len(1 << 16));
+    let mut messages_decoded = 0u64;
+    for (house, wire) in wires.iter().enumerate() {
+        let mut offset = 0usize;
+        for len in injector.chunk_lens(wire.len(), 777) {
+            messages_decoded +=
+                gateway.ingest(house as u64, &wire[offset..offset + len])?.len() as u64;
+            offset += len;
+        }
+    }
+
+    let mut ingest_stats = gateway.stats();
+    ingest_stats.backpressure_stalls = stalls;
+    ingest_stats.feed_secs = encode_secs;
+    let stats = EngineStats {
+        workers: config.workers,
+        houses,
+        samples_in,
+        symbols_out: events.len() as u64,
+        train_secs,
+        encode_secs,
+        ingest: Some(ingest_stats),
+    };
+    Ok(IngestReport { faults, houses, frames_sent, faults_injected, messages_decoded, stats })
+}
+
+/// Human-readable summary printed by `repro ingest`.
+pub fn render_ingest(r: &IngestReport) -> String {
+    let s = r.stats.ingest.as_ref().expect("run_ingest always sets the ingest block");
+    format!(
+        "ingest: {} meters, {} samples -> {} frames on the wire (faults: {})\n\
+         transport: {} faults injected, {} bytes delivered in mid-frame chunks\n\
+         gateway: {} ok, {} corrupt, {} oversized, {} resyncs -> {} messages \
+         ({:.1}% frame survival)\n\
+         backpressure: {} stalls absorbed by try_feed",
+        r.houses,
+        r.stats.samples_in,
+        r.frames_sent,
+        if r.faults { "on" } else { "off" },
+        r.faults_injected,
+        s.bytes_in,
+        s.frames_ok,
+        s.frames_corrupt,
+        s.frames_oversized,
+        s.resyncs,
+        r.messages_decoded,
+        100.0 * s.frame_success_rate(),
+        s.backpressure_stalls,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_is_deterministic_per_seed() {
+        let base: Vec<u8> = (0..=255u8).cycle().take(2000).collect();
+        let mutate = |seed: u64| {
+            let mut inj = FaultInjector::new(seed);
+            let mut wire = base.clone();
+            let offsets: Vec<(Fault, usize)> =
+                (0..9).map(|n| inj.apply_nth(n, &mut wire)).collect();
+            (wire, offsets, inj.chunk_lens(base.len(), 64))
+        };
+        assert_eq!(mutate(7), mutate(7));
+        assert_ne!(mutate(7).0, mutate(8).0);
+    }
+
+    #[test]
+    fn injector_faults_change_the_stream_as_advertised() {
+        let base: Vec<u8> = (0..=255u8).cycle().take(512).collect();
+        let mut inj = FaultInjector::new(1);
+
+        let mut flipped = base.clone();
+        inj.apply(Fault::BitFlip, &mut flipped);
+        assert_eq!(flipped.len(), base.len());
+        assert_eq!(base.iter().zip(&flipped).filter(|(a, b)| a != b).count(), 1);
+
+        let mut truncated = base.clone();
+        inj.apply(Fault::Truncate, &mut truncated);
+        assert!(truncated.len() < base.len());
+        assert!(base.len() - truncated.len() <= MAX_FAULT_SPAN);
+
+        let mut duplicated = base.clone();
+        let at = inj.apply(Fault::Duplicate, &mut duplicated);
+        assert!(duplicated.len() > base.len());
+        let n = duplicated.len() - base.len();
+        assert_eq!(duplicated[at..at + n], duplicated[at + n..at + 2 * n]);
+
+        let mut empty = Vec::new();
+        assert_eq!(inj.apply(Fault::Truncate, &mut empty), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn chunk_lens_cover_exactly_the_stream() {
+        let mut inj = FaultInjector::new(3);
+        for total in [1usize, 5, 999, 10_240] {
+            let lens = inj.chunk_lens(total, 97);
+            assert_eq!(lens.iter().sum::<usize>(), total);
+            assert!(lens.iter().all(|&n| (1..=97).contains(&n)));
+        }
+        assert!(inj.chunk_lens(0, 8).is_empty());
+    }
+
+    #[test]
+    fn clean_run_loses_nothing_and_reports_counters() {
+        let mut scale = Scale::quick();
+        scale.days = 2;
+        let r = run_ingest(scale, false).unwrap();
+        let s = r.stats.ingest.as_ref().unwrap();
+        assert_eq!(r.faults_injected, 0);
+        assert_eq!(s.frames_corrupt + s.frames_oversized + s.resyncs, 0);
+        assert_eq!(s.frames_ok, r.frames_sent);
+        assert_eq!(r.messages_decoded, r.frames_sent);
+        let json = r.stats.to_json();
+        assert!(json.contains("\"ingest\""), "{json}");
+        assert!(json.contains("backpressure_stalls"), "{json}");
+    }
+
+    #[test]
+    fn faulted_run_survives_and_recovers_most_frames() {
+        let mut scale = Scale::quick();
+        scale.days = 2;
+        let r = run_ingest(scale, true).unwrap();
+        let s = r.stats.ingest.as_ref().unwrap();
+        assert!(r.faults_injected > 0);
+        assert!(s.frames_corrupt + s.frames_oversized > 0, "{s:?}");
+        assert!(s.resyncs > 0);
+        // A handful of localized faults must not take down the stream.
+        assert!(s.frame_success_rate() > 0.8, "expected most frames to survive: {s:?}");
+        let rendered = render_ingest(&r);
+        assert!(rendered.contains("faults: on"));
+        assert!(rendered.contains("stalls"));
+    }
+}

@@ -23,6 +23,7 @@
 //! | §4 utility-driven segmentation | [`ablation::run_separator_ablation`] | `ablation` |
 //! | Weka interchange (ARFF) | [`export::export_arff`] | `arff <dir>` |
 //! | Fig. 3 made executable: SAX comparison | [`sax_exp::run_sax_comparison`] | `sax` |
+//! | §2.3 hostile-transport ingest | [`ingest_exp::run_ingest`] | `ingest [--faults]` |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -34,6 +35,7 @@ pub mod drift;
 pub mod export;
 pub mod figures;
 pub mod forecasting;
+pub mod ingest_exp;
 pub mod prep;
 pub mod privacy_exp;
 pub mod sax_exp;

@@ -116,6 +116,9 @@ pub struct EngineStats {
     pub train_secs: f64,
     /// Wall time of the parallel encode stage, seconds.
     pub encode_secs: f64,
+    /// Wire-ingest counters, when the run consumed a byte stream through
+    /// [`crate::ingest`] (`None` for purely in-memory encodes).
+    pub ingest: Option<crate::ingest::IngestStats>,
 }
 
 impl EngineStats {
@@ -149,6 +152,10 @@ impl EngineStats {
         w.f64(self.samples_per_sec());
         w.key("symbols_per_sec");
         w.f64(self.symbols_per_sec());
+        if let Some(ingest) = &self.ingest {
+            w.key("ingest");
+            ingest.write_json(&mut w);
+        }
         w.end_object();
         w.finish()
     }
@@ -218,6 +225,7 @@ impl FleetEngine {
                 symbols_out,
                 train_secs,
                 encode_secs,
+                ingest: None,
             },
         })
     }
@@ -326,6 +334,15 @@ enum StreamJob {
     Chunk { house: usize, samples: Vec<(Timestamp, f64)> },
 }
 
+/// Smallest backpressure wait of [`FleetStream::feed_timeout`]'s exponential
+/// backoff schedule.
+const BACKOFF_START: std::time::Duration = std::time::Duration::from_micros(50);
+
+/// Largest single backpressure wait of the backoff schedule: waits double
+/// from [`BACKOFF_START`] and saturate here, so a stalled pipeline is polled
+/// every few milliseconds rather than busily.
+const BACKOFF_CAP: std::time::Duration = std::time::Duration::from_millis(5);
+
 /// Streaming fleet encoder: feed raw `(house, chunk)` readings, drain
 /// [`WindowEvent`]s as windows close.
 ///
@@ -333,12 +350,28 @@ enum StreamJob {
 /// FIFO, so symbols of one house always arrive in timestamp order. Input and
 /// output channels are bounded: a slow consumer stalls the workers, which
 /// stalls [`FleetStream::feed`] — backpressure end to end.
+///
+/// Three feed flavors trade blocking for error reporting:
+///
+/// * [`feed`](Self::feed) — blocks while the queues are full; simplest when
+///   the caller interleaves [`drain`](Self::drain) correctly;
+/// * [`try_feed`](Self::try_feed) — never blocks; returns
+///   [`Error::WouldBlock`] when the pipeline is saturated;
+/// * [`feed_timeout`](Self::feed_timeout) — retries with bounded
+///   exponential backoff and returns [`Error::FeedTimeout`] when the
+///   pipeline never drained; the hardened choice for producers that cannot
+///   guarantee a draining consumer.
+///
+/// Every rejected or retried send is counted as a *backpressure stall*
+/// ([`backpressure_stalls`](Self::backpressure_stalls)), surfaced through
+/// [`crate::ingest::IngestStats`].
 pub struct FleetStream {
     inputs: Vec<channel::Sender<StreamJob>>,
     events: channel::Receiver<Result<WindowEvent>>,
     handles: Vec<std::thread::JoinHandle<()>>,
     samples_in: u64,
     symbols_out: u64,
+    stalls: u64,
 }
 
 impl std::fmt::Debug for FleetStream {
@@ -381,23 +414,92 @@ impl FleetStream {
                 stream_worker(rx, event_tx, table, window_secs, min_samples, aggregation)
             }));
         }
-        Ok(FleetStream { inputs, events, handles, samples_in: 0, symbols_out: 0 })
+        Ok(FleetStream { inputs, events, handles, samples_in: 0, symbols_out: 0, stalls: 0 })
     }
 
-    /// Feeds a chunk of raw readings for one house. Blocks when the engine's
-    /// queues are full (backpressure), so interleave [`FleetStream::drain`]
-    /// calls with `feed`: a producer that never drains deadlocks once the
-    /// bounded event queue fills. Timestamps must be non-decreasing per
-    /// house across all chunks.
+    /// Feeds a chunk of raw readings for one house. Blocks while the
+    /// engine's queues are full (backpressure), so interleave
+    /// [`FleetStream::drain`] calls with `feed`. A producer that never
+    /// drains will block here indefinitely once the bounded event queue
+    /// fills — use [`try_feed`](Self::try_feed) or
+    /// [`feed_timeout`](Self::feed_timeout) to get an error instead of a
+    /// stall. Timestamps must be non-decreasing per house across all chunks.
     pub fn feed(&mut self, house: usize, chunk: &[(Timestamp, f64)]) -> Result<()> {
         if chunk.is_empty() {
             return Ok(());
         }
-        self.samples_in += chunk.len() as u64;
         let worker = house % self.inputs.len();
         self.inputs[worker]
             .send(StreamJob::Chunk { house, samples: chunk.to_vec() })
-            .map_err(|_| Error::Engine(format!("stream worker {worker} is gone")))
+            .map_err(|_| Error::Engine(format!("stream worker {worker} is gone")))?;
+        self.samples_in += chunk.len() as u64;
+        Ok(())
+    }
+
+    /// Non-blocking [`feed`](Self::feed): enqueues the chunk if its worker
+    /// has room right now, otherwise counts a backpressure stall and
+    /// returns [`Error::WouldBlock`] without queueing anything. The caller
+    /// should [`drain`](Self::drain) and retry.
+    pub fn try_feed(&mut self, house: usize, chunk: &[(Timestamp, f64)]) -> Result<()> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let worker = house % self.inputs.len();
+        match self.inputs[worker].try_send(StreamJob::Chunk { house, samples: chunk.to_vec() }) {
+            Ok(()) => {
+                self.samples_in += chunk.len() as u64;
+                Ok(())
+            }
+            Err(channel::TrySendError::Full(_)) => {
+                self.stalls += 1;
+                Err(Error::WouldBlock)
+            }
+            Err(channel::TrySendError::Disconnected(_)) => {
+                Err(Error::Engine(format!("stream worker {worker} is gone")))
+            }
+        }
+    }
+
+    /// [`feed`](Self::feed) with a deadline: retries a full queue with
+    /// bounded exponential backoff (50 µs doubling to 5 ms) and gives up
+    /// with [`Error::FeedTimeout`] once `timeout` has elapsed, so a
+    /// never-draining pipeline produces an error instead of the blocking
+    /// `feed`'s indefinite stall. Each backoff wait counts as a
+    /// backpressure stall.
+    pub fn feed_timeout(
+        &mut self,
+        house: usize,
+        chunk: &[(Timestamp, f64)],
+        timeout: std::time::Duration,
+    ) -> Result<()> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let worker = house % self.inputs.len();
+        let start = Instant::now();
+        let mut backoff = BACKOFF_START;
+        let mut job = StreamJob::Chunk { house, samples: chunk.to_vec() };
+        loop {
+            match self.inputs[worker].try_send(job) {
+                Ok(()) => {
+                    self.samples_in += chunk.len() as u64;
+                    return Ok(());
+                }
+                Err(channel::TrySendError::Disconnected(_)) => {
+                    return Err(Error::Engine(format!("stream worker {worker} is gone")));
+                }
+                Err(channel::TrySendError::Full(j)) => {
+                    job = j;
+                    self.stalls += 1;
+                    let elapsed = start.elapsed();
+                    if elapsed >= timeout {
+                        return Err(Error::FeedTimeout { waited_ms: elapsed.as_millis() as u64 });
+                    }
+                    std::thread::sleep(backoff.min(timeout - elapsed));
+                    backoff = (backoff * 2).min(BACKOFF_CAP);
+                }
+            }
+        }
     }
 
     /// Drains every window event currently available without blocking.
@@ -441,6 +543,13 @@ impl FleetStream {
     /// Window events drained so far.
     pub fn symbols_out(&self) -> u64 {
         self.symbols_out
+    }
+
+    /// Times a feed was rejected ([`try_feed`](Self::try_feed)) or had to
+    /// back off ([`feed_timeout`](Self::feed_timeout)) because the pipeline
+    /// was saturated.
+    pub fn backpressure_stalls(&self) -> u64 {
+        self.stalls
     }
 }
 
@@ -603,7 +712,8 @@ mod tests {
         for (house, series) in fleet.iter().enumerate() {
             // Feed in ragged chunks to exercise chunk boundaries, draining
             // as we go: with bounded channels a consumer that never drains
-            // would (by design) stall `feed` once the event queue fills.
+            // would stall the blocking `feed` once the event queue fills
+            // (see `try_feed_reports_would_block_instead_of_deadlocking`).
             let samples: Vec<(Timestamp, f64)> = series.iter().collect();
             for chunk in samples.chunks(7) {
                 stream.feed(house, chunk).unwrap();
@@ -629,5 +739,89 @@ mod tests {
     fn stream_rejects_non_window_codec() {
         let codec = builder().every_n(4).train(&fleet(1, 100)[0]).unwrap();
         assert!(FleetStream::spawn(&codec, &EngineConfig::with_workers(1)).is_err());
+    }
+
+    #[test]
+    fn try_feed_reports_would_block_instead_of_deadlocking() {
+        // A producer that NEVER drains: the blocking `feed` would deadlock
+        // here once input + event queues fill; `try_feed` must surface
+        // `WouldBlock` in bounded time instead.
+        let house = fleet(1, 400).remove(0);
+        let codec = builder().train(&house).unwrap();
+        let mut stream =
+            FleetStream::spawn(&codec, &EngineConfig::with_workers(1).channel_capacity(1)).unwrap();
+        let samples: Vec<(Timestamp, f64)> = house.iter().collect();
+        let mut would_block = None;
+        for (i, chunk) in samples.chunks(16).enumerate() {
+            match stream.try_feed(0, chunk) {
+                Ok(()) => {}
+                Err(Error::WouldBlock) => {
+                    would_block = Some(i);
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(would_block.is_some(), "a never-draining producer must hit WouldBlock");
+        assert!(stream.backpressure_stalls() >= 1);
+        // The stream is still healthy: retry the rejected chunk (it was
+        // never queued), draining between attempts, and finish cleanly.
+        let mut events = stream.drain().unwrap();
+        for chunk in samples.chunks(16).skip(would_block.unwrap()) {
+            loop {
+                match stream.try_feed(0, chunk) {
+                    Ok(()) => break,
+                    Err(Error::WouldBlock) => events.extend(stream.drain().unwrap()),
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+        }
+        events.extend(stream.finish().unwrap());
+        assert!(!events.is_empty(), "recovered stream must still emit windows");
+    }
+
+    #[test]
+    fn feed_timeout_errors_once_deadline_passes() {
+        let house = fleet(1, 400).remove(0);
+        let codec = builder().train(&house).unwrap();
+        let mut stream =
+            FleetStream::spawn(&codec, &EngineConfig::with_workers(1).channel_capacity(1)).unwrap();
+        let samples: Vec<(Timestamp, f64)> = house.iter().collect();
+        let timeout = std::time::Duration::from_millis(20);
+        let t0 = std::time::Instant::now();
+        let mut timed_out = false;
+        for chunk in samples.chunks(16) {
+            match stream.feed_timeout(0, chunk, timeout) {
+                Ok(()) => {}
+                Err(Error::FeedTimeout { waited_ms }) => {
+                    assert!(waited_ms >= 20, "must have waited the full deadline: {waited_ms}");
+                    timed_out = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            assert!(t0.elapsed() < std::time::Duration::from_secs(30), "must not hang");
+        }
+        assert!(timed_out, "a saturated pipeline must time out, not deadlock");
+        assert!(stream.backpressure_stalls() >= 1);
+        let _ = stream.drain().unwrap();
+        let _ = stream.finish().unwrap();
+    }
+
+    #[test]
+    fn stats_json_merges_ingest_block() {
+        let mut enc = FleetEngine::new(builder(), EngineConfig::with_workers(2))
+            .encode_fleet(&fleet(2, 300))
+            .unwrap();
+        assert!(!enc.stats.to_json().contains("ingest"), "no block for in-memory runs");
+        enc.stats.ingest = Some(crate::ingest::IngestStats {
+            frames_ok: 7,
+            backpressure_stalls: 3,
+            ..Default::default()
+        });
+        let json = enc.stats.to_json();
+        for key in ["\"ingest\"", "frames_ok", "frames_corrupt", "resyncs", "backpressure_stalls"] {
+            assert!(json.contains(key), "{json} missing {key}");
+        }
     }
 }

@@ -51,6 +51,27 @@ pub enum Error {
     SymbolParse(String),
     /// Wire-format decoding failed.
     WireFormat(String),
+    /// A frame header announced a payload larger than the decoder's
+    /// configured [`max_frame_len`](crate::wire::FrameDecoder::max_frame_len).
+    /// Returned instead of buffering indefinitely for a frame that may never
+    /// complete (an adversarial header can announce up to 4 GiB).
+    FrameTooLarge {
+        /// Payload length announced by the frame header.
+        len: usize,
+        /// The decoder's configured maximum.
+        max: usize,
+    },
+    /// A non-blocking operation could not proceed without blocking (e.g.
+    /// [`try_feed`](crate::engine::FleetStream::try_feed) on a full queue).
+    /// Retry after draining, or use a timeout-based variant.
+    WouldBlock,
+    /// A bounded-wait operation gave up after its timeout elapsed (e.g.
+    /// [`feed_timeout`](crate::engine::FleetStream::feed_timeout) against a
+    /// pipeline that never drained).
+    FeedTimeout {
+        /// How long the operation waited before giving up, in milliseconds.
+        waited_ms: u64,
+    },
     /// (De)serialization of a lookup table failed.
     Serde(String),
     /// The parallel fleet engine failed (worker or channel breakdown).
@@ -84,6 +105,13 @@ impl fmt::Display for Error {
             }
             Error::SymbolParse(s) => write!(f, "cannot parse symbol from {s:?}"),
             Error::WireFormat(msg) => write!(f, "wire format error: {msg}"),
+            Error::FrameTooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the decoder limit of {max} bytes")
+            }
+            Error::WouldBlock => write!(f, "operation would block (queue full)"),
+            Error::FeedTimeout { waited_ms } => {
+                write!(f, "feed timed out after {waited_ms} ms of backpressure")
+            }
             Error::Serde(msg) => write!(f, "serde error: {msg}"),
             Error::Engine(msg) => write!(f, "fleet engine error: {msg}"),
         }

@@ -1,0 +1,443 @@
+//! Hardened server-side ingest of meter byte streams.
+//!
+//! The paper's §2.3 motivates the symbolic representation by the
+//! communication cost of a real sensor→server deployment; this module is the
+//! server half of that deployment grown up: the collector for a fleet of
+//! meters whose transports duplicate, truncate, and corrupt bytes, and whose
+//! firmware may be buggy or adversarial. A collector serving millions of
+//! meters cannot afford to trust a single byte, abort a connection on the
+//! first bad frame, or let one misbehaving producer wedge the pipeline.
+//!
+//! Three layers provide that hardening:
+//!
+//! * [`crate::wire::FrameDecoder`] enforces a frame-size cap
+//!   ([`Error::FrameTooLarge`]) and exposes
+//!   [`resync`](crate::wire::FrameDecoder::resync) to skip to the next
+//!   plausible frame boundary after corruption;
+//! * [`MeterIngest`] (this module) is the per-meter gateway: it owns one
+//!   decoder, turns the error/resync dance into a simple
+//!   [`ingest`](MeterIngest::ingest) call, and counts every outcome in
+//!   [`IngestStats`];
+//! * [`crate::engine::FleetStream::try_feed`] /
+//!   [`feed_timeout`](crate::engine::FleetStream::feed_timeout) turn
+//!   downstream backpressure into typed errors
+//!   ([`Error::WouldBlock`] / [`Error::FeedTimeout`]) instead of the
+//!   unbounded stall a never-draining producer used to cause.
+//!
+//! [`IngestStats`] merges into [`crate::engine::EngineStats`] (its `ingest`
+//! JSON block), so one counter line describes a whole collector run:
+//!
+//! ```
+//! use sms_core::ingest::{FleetIngest, IngestConfig};
+//! use sms_core::prelude::*;
+//! use sms_core::wire::encode_message;
+//!
+//! let table = LookupTable::custom(&[100.0, 200.0, 300.0], 0.0, 400.0)?;
+//! let mut wire = encode_message(&SensorMessage::Table(table))?;
+//! wire.extend(encode_message(&SensorMessage::Window(EncodedWindow {
+//!     window_start: 0,
+//!     symbol: Symbol::from_rank(2, 2)?,
+//!     samples: 900,
+//! }))?);
+//! wire[3] ^= 0x40; // a bit flip in flight
+//!
+//! let mut fleet = FleetIngest::new(IngestConfig::default());
+//! let msgs = fleet.ingest(7, &wire)?; // meter 7's bytes, any chunking
+//! let stats = fleet.stats();
+//! assert_eq!(stats.frames_ok + stats.frames_corrupt + stats.frames_oversized, 2);
+//! # Ok::<(), sms_core::error::Error>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::encoder::SensorMessage;
+use crate::error::{Error, Result};
+use crate::json::JsonWriter;
+use crate::lookup::LookupTable;
+use crate::wire::{FrameDecoder, DEFAULT_MAX_FRAME_LEN};
+
+/// Policy knobs of an ingest gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Largest frame payload accepted before the decoder reports
+    /// [`Error::FrameTooLarge`] (passed to the underlying
+    /// [`FrameDecoder`]).
+    pub max_frame_len: usize,
+    /// `true` (default): resynchronize past corrupt frames, counting them.
+    /// `false`: fail fast — the first corrupt frame aborts the stream with
+    /// its typed error (for transports with their own integrity layer,
+    /// where corruption means a software bug rather than line noise).
+    pub recover: bool,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig { max_frame_len: DEFAULT_MAX_FRAME_LEN, recover: true }
+    }
+}
+
+impl IngestConfig {
+    /// Sets the frame payload cap.
+    pub fn max_frame_len(mut self, max: usize) -> Self {
+        self.max_frame_len = max;
+        self
+    }
+
+    /// Sets corruption handling: recover-and-count vs fail-fast.
+    pub fn recover(mut self, recover: bool) -> Self {
+        self.recover = recover;
+        self
+    }
+}
+
+/// Counter block describing one ingest run; merged into
+/// [`crate::engine::EngineStats`] JSON as its `ingest` object.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IngestStats {
+    /// Frames decoded successfully.
+    pub frames_ok: u64,
+    /// Frames rejected with a decode error (bad tag, bad payload,
+    /// tampered table invariants).
+    pub frames_corrupt: u64,
+    /// Times the decoder scanned forward to a new frame boundary.
+    pub resyncs: u64,
+    /// Frames rejected because their header announced a payload above the
+    /// configured cap.
+    pub frames_oversized: u64,
+    /// Raw bytes fed into the gateway.
+    pub bytes_in: u64,
+    /// Times a downstream feed was rejected or had to back off
+    /// ([`crate::engine::FleetStream::backpressure_stalls`]).
+    pub backpressure_stalls: u64,
+    /// Wall time spent in wire decode (including resync scans), seconds.
+    pub decode_secs: f64,
+    /// Wall time spent feeding decoded data downstream (including
+    /// backpressure waits), seconds.
+    pub feed_secs: f64,
+}
+
+impl IngestStats {
+    /// Accumulates `other` into `self` (counters add, stage times add).
+    pub fn merge(&mut self, other: &IngestStats) {
+        self.frames_ok += other.frames_ok;
+        self.frames_corrupt += other.frames_corrupt;
+        self.resyncs += other.resyncs;
+        self.frames_oversized += other.frames_oversized;
+        self.bytes_in += other.bytes_in;
+        self.backpressure_stalls += other.backpressure_stalls;
+        self.decode_secs += other.decode_secs;
+        self.feed_secs += other.feed_secs;
+    }
+
+    /// Fraction of seen frames that decoded, in `[0, 1]` (`1.0` for an
+    /// empty run).
+    pub fn frame_success_rate(&self) -> f64 {
+        let total = self.frames_ok + self.frames_corrupt + self.frames_oversized;
+        if total == 0 {
+            return 1.0;
+        }
+        self.frames_ok as f64 / total as f64
+    }
+
+    /// JSON object for benchmark trajectories.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    /// Writes this block as one JSON value into `w` (shared with
+    /// [`crate::engine::EngineStats::to_json`]).
+    pub(crate) fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("frames_ok");
+        w.u64(self.frames_ok);
+        w.key("frames_corrupt");
+        w.u64(self.frames_corrupt);
+        w.key("resyncs");
+        w.u64(self.resyncs);
+        w.key("frames_oversized");
+        w.u64(self.frames_oversized);
+        w.key("bytes_in");
+        w.u64(self.bytes_in);
+        w.key("backpressure_stalls");
+        w.u64(self.backpressure_stalls);
+        w.key("decode_secs");
+        w.f64(self.decode_secs);
+        w.key("feed_secs");
+        w.f64(self.feed_secs);
+        w.end_object();
+    }
+}
+
+/// Per-meter ingest gateway: one untrusted byte stream in, decoded
+/// [`SensorMessage`]s and [`IngestStats`] out.
+///
+/// With [`IngestConfig::recover`] (the default), corruption never aborts the
+/// stream: corrupt and oversized frames are counted, the decoder
+/// resynchronizes to the next plausible frame boundary, and decoding
+/// continues. The gateway also tracks the most recent lookup table the
+/// meter shipped, since every subsequent window is meaningless without it.
+#[derive(Debug)]
+pub struct MeterIngest {
+    decoder: FrameDecoder,
+    config: IngestConfig,
+    stats: IngestStats,
+    table: Option<LookupTable>,
+}
+
+impl MeterIngest {
+    /// Creates a gateway with the given policy.
+    pub fn new(config: IngestConfig) -> Self {
+        MeterIngest {
+            decoder: FrameDecoder::with_max_frame_len(config.max_frame_len),
+            config,
+            stats: IngestStats::default(),
+            table: None,
+        }
+    }
+
+    /// Feeds received bytes (any chunking, including mid-frame splits) and
+    /// returns every message decodable so far.
+    ///
+    /// In recover mode this never fails: corrupt frames increment
+    /// [`IngestStats::frames_corrupt`] (or
+    /// [`frames_oversized`](IngestStats::frames_oversized)), trigger a
+    /// counted resync, and decoding continues with the next frame. In
+    /// fail-fast mode the first error is returned as-is.
+    pub fn ingest(&mut self, bytes: &[u8]) -> Result<Vec<SensorMessage>> {
+        let t0 = Instant::now();
+        self.stats.bytes_in += bytes.len() as u64;
+        self.decoder.feed(bytes);
+        let mut out = Vec::new();
+        loop {
+            match self.decoder.next_message() {
+                Ok(Some(msg)) => {
+                    self.stats.frames_ok += 1;
+                    if let SensorMessage::Table(t) = &msg {
+                        self.table = Some(t.clone());
+                    }
+                    out.push(msg);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    match e {
+                        Error::FrameTooLarge { .. } => self.stats.frames_oversized += 1,
+                        _ => self.stats.frames_corrupt += 1,
+                    }
+                    if !self.config.recover {
+                        self.stats.decode_secs += t0.elapsed().as_secs_f64();
+                        return Err(e);
+                    }
+                    // `resync` always discards at least one byte, so this
+                    // loop terminates within the buffered data.
+                    self.decoder.resync();
+                    self.stats.resyncs += 1;
+                }
+            }
+        }
+        self.stats.decode_secs += t0.elapsed().as_secs_f64();
+        Ok(out)
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    /// The most recent lookup table this meter shipped, if any survived.
+    pub fn table(&self) -> Option<&LookupTable> {
+        self.table.as_ref()
+    }
+
+    /// Bytes buffered awaiting a frame completion.
+    pub fn buffered(&self) -> usize {
+        self.decoder.buffered()
+    }
+}
+
+/// Fleet-level ingest: routes `(meter, bytes)` to per-meter gateways
+/// created on first sight, and aggregates their counters.
+#[derive(Debug)]
+pub struct FleetIngest {
+    config: IngestConfig,
+    meters: BTreeMap<u64, MeterIngest>,
+}
+
+impl FleetIngest {
+    /// Creates an empty router; gateways spawn lazily per meter id.
+    pub fn new(config: IngestConfig) -> Self {
+        FleetIngest { config, meters: BTreeMap::new() }
+    }
+
+    /// Feeds bytes received from one meter; see [`MeterIngest::ingest`].
+    pub fn ingest(&mut self, meter: u64, bytes: &[u8]) -> Result<Vec<SensorMessage>> {
+        self.meters.entry(meter).or_insert_with(|| MeterIngest::new(self.config)).ingest(bytes)
+    }
+
+    /// The gateway of one meter, if it has sent anything yet.
+    pub fn meter(&self, meter: u64) -> Option<&MeterIngest> {
+        self.meters.get(&meter)
+    }
+
+    /// Number of distinct meters seen.
+    pub fn meter_count(&self) -> usize {
+        self.meters.len()
+    }
+
+    /// Counters aggregated across every meter.
+    pub fn stats(&self) -> IngestStats {
+        let mut total = IngestStats::default();
+        for m in self.meters.values() {
+            total.merge(m.stats());
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::encoder::EncodedWindow;
+    use crate::separators::SeparatorMethod;
+    use crate::symbol::Symbol;
+    use crate::wire::encode_message;
+
+    fn table() -> LookupTable {
+        let values: Vec<f64> = (0..400).map(|i| ((i * 29) % 350) as f64).collect();
+        LookupTable::learn(SeparatorMethod::Median, Alphabet::with_size(8).unwrap(), &values)
+            .unwrap()
+    }
+
+    fn window(i: i64) -> SensorMessage {
+        SensorMessage::Window(EncodedWindow {
+            window_start: i * 900,
+            symbol: Symbol::from_rank((i % 8) as u16, 3).unwrap(),
+            samples: 900,
+        })
+    }
+
+    fn stream(windows: i64) -> (Vec<SensorMessage>, Vec<u8>) {
+        let mut msgs = vec![SensorMessage::Table(table())];
+        msgs.extend((0..windows).map(window));
+        let wire = msgs.iter().flat_map(|m| encode_message(m).unwrap()).collect();
+        (msgs, wire)
+    }
+
+    #[test]
+    fn clean_stream_decodes_fully_any_chunking() {
+        let (msgs, wire) = stream(20);
+        for chunk_size in [1, 3, 7, 64, wire.len()] {
+            let mut gw = MeterIngest::new(IngestConfig::default());
+            let mut out = Vec::new();
+            for chunk in wire.chunks(chunk_size) {
+                out.extend(gw.ingest(chunk).unwrap());
+            }
+            assert_eq!(out, msgs, "chunk_size={chunk_size}");
+            let s = gw.stats();
+            assert_eq!(s.frames_ok, 21);
+            assert_eq!(s.frames_corrupt + s.frames_oversized + s.resyncs, 0);
+            assert_eq!(s.bytes_in, wire.len() as u64);
+            assert_eq!(s.frame_success_rate(), 1.0);
+            assert!(gw.table().is_some());
+        }
+    }
+
+    #[test]
+    fn corruption_is_counted_and_survived() {
+        let (_, mut wire) = stream(20);
+        // Corrupt a window frame's tag in the middle of the stream.
+        let table_frame_len = encode_message(&SensorMessage::Table(table())).unwrap().len();
+        wire[table_frame_len + 5 * 20] ^= 0xFF;
+        let mut gw = MeterIngest::new(IngestConfig::default());
+        let out = gw.ingest(&wire).unwrap();
+        let s = gw.stats();
+        assert!(s.frames_corrupt >= 1);
+        assert!(s.resyncs >= 1);
+        assert!(s.frames_ok >= 19, "one corrupt frame must not take neighbors down: {s:?}");
+        assert!(out.len() >= 19);
+        assert!(s.decode_secs >= 0.0);
+    }
+
+    #[test]
+    fn oversized_header_counted_separately() {
+        let (_, wire) = stream(3);
+        let mut hostile = vec![0x02, 0xFF, 0xFF, 0xFF, 0xFF]; // 4 GiB announcement
+        hostile.extend(&wire);
+        let mut gw = MeterIngest::new(IngestConfig::default());
+        let out = gw.ingest(&hostile).unwrap();
+        let s = gw.stats();
+        assert_eq!(s.frames_oversized, 1);
+        assert_eq!(s.frames_ok, 4);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn fail_fast_mode_propagates_typed_errors() {
+        let (_, mut wire) = stream(5);
+        wire[0] = 0x7E;
+        let mut gw = MeterIngest::new(IngestConfig::default().recover(false));
+        assert!(matches!(gw.ingest(&wire), Err(Error::WireFormat(_))));
+
+        let mut gw = MeterIngest::new(IngestConfig::default().recover(false));
+        assert!(matches!(
+            gw.ingest(&[0x02, 0xFF, 0xFF, 0xFF, 0xFF]),
+            Err(Error::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn fleet_routes_per_meter_and_aggregates() {
+        let (msgs, wire) = stream(4);
+        let mut fleet = FleetIngest::new(IngestConfig::default());
+        // Interleave two meters' streams chunk by chunk.
+        for chunk in wire.chunks(9) {
+            fleet.ingest(1, chunk).unwrap();
+            fleet.ingest(2, chunk).unwrap();
+        }
+        assert_eq!(fleet.meter_count(), 2);
+        for meter in [1, 2] {
+            let s = fleet.meter(meter).unwrap().stats();
+            assert_eq!(s.frames_ok, msgs.len() as u64, "meter {meter}");
+        }
+        let total = fleet.stats();
+        assert_eq!(total.frames_ok, 2 * msgs.len() as u64);
+        assert_eq!(total.bytes_in, 2 * wire.len() as u64);
+        assert!(fleet.meter(3).is_none());
+    }
+
+    #[test]
+    fn stats_json_has_every_counter() {
+        let stats = IngestStats {
+            frames_ok: 1,
+            frames_corrupt: 2,
+            resyncs: 3,
+            frames_oversized: 4,
+            bytes_in: 5,
+            backpressure_stalls: 6,
+            decode_secs: 0.5,
+            feed_secs: 0.25,
+        };
+        let json = stats.to_json();
+        for key in [
+            "frames_ok",
+            "frames_corrupt",
+            "resyncs",
+            "frames_oversized",
+            "bytes_in",
+            "backpressure_stalls",
+            "decode_secs",
+            "feed_secs",
+        ] {
+            assert!(json.contains(key), "{json} missing {key}");
+        }
+        let mut merged = IngestStats::default();
+        merged.merge(&stats);
+        merged.merge(&stats);
+        assert_eq!(merged.frames_ok, 2);
+        assert_eq!(merged.bytes_in, 10);
+        assert!((merged.decode_secs - 1.0).abs() < 1e-12);
+    }
+}

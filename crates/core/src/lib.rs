@@ -54,6 +54,7 @@ pub mod encoder;
 pub mod engine;
 pub mod error;
 pub mod horizontal;
+pub mod ingest;
 pub mod isax;
 pub mod json;
 pub mod lookup;
@@ -75,6 +76,7 @@ pub mod prelude {
     pub use crate::encoder::{EncodedWindow, OnlineEncoder, SensorMessage, SensorPipeline};
     pub use crate::error::{Error, Result};
     pub use crate::horizontal::{horizontal_segmentation, reconstruct, SymbolicSeries};
+    pub use crate::ingest::{FleetIngest, IngestConfig, IngestStats, MeterIngest};
     pub use crate::lookup::{LookupTable, SymbolSemantics};
     pub use crate::pipeline::{CodecBuilder, SymbolicCodec, VerticalPolicy};
     pub use crate::separators::SeparatorMethod;

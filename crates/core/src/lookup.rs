@@ -123,7 +123,13 @@ impl LookupTable {
     }
 
     /// Reassembles a table from wire-decoded parts (see [`crate::wire`]).
-    /// Validates shape and monotonicity like [`LookupTable::from_parts`].
+    ///
+    /// The wire is untrusted, so this validates *more* than
+    /// [`LookupTable::from_parts`]: separators must be **strictly**
+    /// increasing (the invariant `separators::learn_separators` guarantees
+    /// for every locally learned table — equal boundaries would let two bins
+    /// claim the same range), the value range must satisfy
+    /// `value_min ≤ value_max`, and bin means must be finite.
     pub fn from_wire_parts(
         method: SeparatorMethod,
         alphabet: Alphabet,
@@ -143,6 +149,28 @@ impl LookupTable {
         }
         if !(value_min.is_finite() && value_max.is_finite()) {
             return Err(Error::WireFormat("non-finite value range".to_string()));
+        }
+        if value_min > value_max {
+            return Err(Error::WireFormat(format!(
+                "inverted value range: min {value_min} > max {value_max}"
+            )));
+        }
+        for (i, w) in separators.windows(2).enumerate() {
+            if w[1] <= w[0] {
+                return Err(Error::WireFormat(format!(
+                    "separators must be strictly increasing on the wire \
+                     (separator {} = {} does not exceed separator {} = {})",
+                    i + 1,
+                    w[1],
+                    i,
+                    w[0]
+                )));
+            }
+        }
+        for (i, m) in bin_means.iter().enumerate() {
+            if !m.is_finite() {
+                return Err(Error::WireFormat(format!("bin mean {i} is not finite: {m}")));
+            }
         }
         let mut table = Self::from_parts(method, alphabet, separators, &[])?;
         table.bin_means = bin_means;
@@ -525,6 +553,34 @@ mod tests {
             &[f64::INFINITY]
         )
         .is_err());
+    }
+
+    #[test]
+    fn from_wire_parts_rejects_tampered_invariants() {
+        let ok = |seps: Vec<f64>, means: Vec<f64>, lo: f64, hi: f64| {
+            LookupTable::from_wire_parts(
+                SeparatorMethod::Uniform,
+                alphabet(4),
+                seps,
+                means,
+                vec![1; 4],
+                lo,
+                hi,
+            )
+        };
+        // Baseline accepted.
+        assert!(ok(vec![1.0, 2.0, 3.0], vec![0.5; 4], 0.0, 4.0).is_ok());
+        // Equal separators: non-strict, rejected (learned tables nudge
+        // collapsed quantiles apart; the wire must not bypass that).
+        assert!(ok(vec![1.0, 1.0, 3.0], vec![0.5; 4], 0.0, 4.0).is_err());
+        // Decreasing separators: rejected.
+        assert!(ok(vec![3.0, 2.0, 1.0], vec![0.5; 4], 0.0, 4.0).is_err());
+        // Inverted value range: rejected.
+        assert!(ok(vec![1.0, 2.0, 3.0], vec![0.5; 4], 4.0, 0.0).is_err());
+        // Non-finite bin mean: rejected.
+        assert!(ok(vec![1.0, 2.0, 3.0], vec![0.5, f64::NAN, 0.5, 0.5], 0.0, 4.0).is_err());
+        // Degenerate-but-legal constant range still accepted.
+        assert!(ok(vec![1.0, 2.0, 3.0], vec![0.5; 4], 2.0, 2.0).is_ok());
     }
 
     #[test]

@@ -27,6 +27,25 @@ use crate::symbol::Symbol;
 const TAG_TABLE: u8 = 0x01;
 const TAG_WINDOW: u8 = 0x02;
 
+/// Frame header size: one tag byte plus a little-endian `u32` payload length.
+pub const HEADER_LEN: usize = 5;
+
+/// Exact payload length of a window frame (`i64` start + `u8` bits +
+/// `u16` rank + `u32` samples).
+const WINDOW_PAYLOAD_LEN: usize = 8 + 1 + 2 + 4;
+
+/// Exact payload length of a table frame for a `bits`-bit alphabet:
+/// method + bits + lo/hi + `k-1` separators + `k` means + `k` counts.
+fn table_payload_len(bits: u8) -> usize {
+    let k = 1usize << bits;
+    2 + 16 + 8 * (k - 1) + 8 * k + 8 * k
+}
+
+/// Default [`FrameDecoder`] payload cap: 2 MiB, comfortably above the
+/// largest legitimate frame (a 16-bit table is ~1.5 MiB) while refusing the
+/// up-to-4-GiB allocations an adversarial header could otherwise demand.
+pub const DEFAULT_MAX_FRAME_LEN: usize = 2 << 20;
+
 /// Little-endian cursor over a frame payload.
 struct Reader<'a> {
     data: &'a [u8],
@@ -154,62 +173,189 @@ pub fn encode_message(msg: &SensorMessage) -> Result<Vec<u8>> {
     Ok(frame)
 }
 
+/// Decodes one payload whose frame header (tag + announced length) already
+/// checked out.
+fn decode_payload(tag: u8, payload_bytes: &[u8]) -> Result<SensorMessage> {
+    let mut payload = Reader::new(payload_bytes);
+    match tag {
+        TAG_TABLE => Ok(SensorMessage::Table(get_table(&mut payload)?)),
+        TAG_WINDOW => {
+            if payload.remaining() != WINDOW_PAYLOAD_LEN {
+                return Err(Error::WireFormat(format!(
+                    "window frame has {} payload bytes, expected {WINDOW_PAYLOAD_LEN}",
+                    payload.remaining()
+                )));
+            }
+            let window_start = payload.get_i64_le();
+            let bits = payload.get_u8();
+            let rank = payload.get_u16_le();
+            let samples = payload.get_u32_le();
+            Ok(SensorMessage::Window(EncodedWindow {
+                window_start,
+                symbol: Symbol::from_rank(rank, bits)?,
+                samples,
+            }))
+        }
+        other => Err(Error::WireFormat(format!("unknown frame tag {other:#x}"))),
+    }
+}
+
+/// Whether `buf` could be the start of a valid frame — the resync predicate.
+///
+/// Checks everything the buffered bytes allow: tag, announced length against
+/// `max_frame_len` and the tag's structural length (windows are fixed-size;
+/// a table's length is fully determined by its resolution byte), and — when
+/// the whole frame is buffered — an actual payload decode. Prefix-only
+/// matches are accepted tentatively; later bytes may still disprove them,
+/// which simply triggers another resync.
+fn plausible_frame_at(buf: &[u8], max_frame_len: usize) -> bool {
+    let Some(&tag) = buf.first() else { return false };
+    if tag != TAG_TABLE && tag != TAG_WINDOW {
+        return false;
+    }
+    if buf.len() < HEADER_LEN {
+        return true; // tag checks out; length bytes not yet received
+    }
+    let len = u32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
+    if len > max_frame_len {
+        return false;
+    }
+    match tag {
+        TAG_WINDOW if len != WINDOW_PAYLOAD_LEN => return false,
+        TAG_TABLE => {
+            // method byte ≤ 2, resolution in 1..=16, and the announced
+            // length must match the one the resolution dictates.
+            if buf.len() > HEADER_LEN && buf[HEADER_LEN] > 2 {
+                return false;
+            }
+            if buf.len() > HEADER_LEN + 1 {
+                let bits = buf[HEADER_LEN + 1];
+                if !(1..=16).contains(&bits) || len != table_payload_len(bits) {
+                    return false;
+                }
+            }
+        }
+        _ => {}
+    }
+    if buf.len() >= HEADER_LEN + len {
+        decode_payload(tag, &buf[HEADER_LEN..HEADER_LEN + len]).is_ok()
+    } else {
+        true
+    }
+}
+
 /// Streaming frame decoder: feed bytes in arbitrary chunks, drain complete
 /// messages as they become available.
-#[derive(Debug, Default)]
+///
+/// Decoding is cursor-based: consumed frames advance a read offset instead
+/// of draining the front of the buffer, and the consumed prefix is compacted
+/// away on the next [`feed`](FrameDecoder::feed) — one amortized copy per
+/// byte, where the previous per-frame `Vec::drain` re-copied the whole
+/// remaining buffer for every frame (quadratic over large batched feeds).
+///
+/// The decoder is hardened against untrusted producers:
+///
+/// * a header announcing more than [`max_frame_len`](Self::max_frame_len)
+///   payload bytes yields [`Error::FrameTooLarge`] instead of waiting
+///   (potentially forever) for up to 4 GiB to arrive;
+/// * an invalid tag is reported as soon as the byte arrives;
+/// * after any error, [`resync`](Self::resync) skips to the next plausible
+///   frame boundary so decoding can continue past corruption.
+#[derive(Debug)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
+    /// Read offset: `buf[..pos]` is consumed, awaiting compaction.
+    pos: usize,
+    max_frame_len: usize,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl FrameDecoder {
-    /// Creates an empty decoder.
+    /// Creates an empty decoder with the [`DEFAULT_MAX_FRAME_LEN`] cap.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_max_frame_len(DEFAULT_MAX_FRAME_LEN)
     }
 
-    /// Appends received bytes.
+    /// Creates an empty decoder rejecting payloads above `max_frame_len`
+    /// bytes. Deployments whose meters only send window frames (and small
+    /// re-issued tables) can set this far below the default.
+    pub fn with_max_frame_len(max_frame_len: usize) -> Self {
+        FrameDecoder { buf: Vec::new(), pos: 0, max_frame_len }
+    }
+
+    /// The largest payload length this decoder accepts.
+    pub fn max_frame_len(&self) -> usize {
+        self.max_frame_len
+    }
+
+    /// Appends received bytes, first compacting away the consumed prefix.
     pub fn feed(&mut self, bytes: &[u8]) {
+        if self.pos > 0 {
+            let remaining = self.buf.len() - self.pos;
+            self.buf.copy_within(self.pos.., 0);
+            self.buf.truncate(remaining);
+            self.pos = 0;
+        }
         self.buf.extend_from_slice(bytes);
     }
 
     /// Bytes currently buffered (incomplete frame remainder).
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.pos
     }
 
-    /// Decodes the next complete message, or `None` if more bytes are needed.
+    /// Decodes the next complete message, or `None` if more bytes are
+    /// needed.
+    ///
+    /// On error the offending bytes are **not** consumed: calling
+    /// `next_message` again returns the same error. Callers that want to
+    /// continue past corruption call [`resync`](Self::resync) and retry;
+    /// [`crate::ingest::MeterIngest`] packages that loop with counters.
     pub fn next_message(&mut self) -> Result<Option<SensorMessage>> {
-        if self.buf.len() < 5 {
+        let avail = &self.buf[self.pos..];
+        let Some(&tag) = avail.first() else { return Ok(None) };
+        if tag != TAG_TABLE && tag != TAG_WINDOW {
+            return Err(Error::WireFormat(format!("unknown frame tag {tag:#x}")));
+        }
+        if avail.len() < HEADER_LEN {
             return Ok(None);
         }
-        let tag = self.buf[0];
-        let len = u32::from_le_bytes([self.buf[1], self.buf[2], self.buf[3], self.buf[4]]) as usize;
-        if self.buf.len() < 5 + len {
+        let len = u32::from_le_bytes([avail[1], avail[2], avail[3], avail[4]]) as usize;
+        if len > self.max_frame_len {
+            return Err(Error::FrameTooLarge { len, max: self.max_frame_len });
+        }
+        if avail.len() < HEADER_LEN + len {
             return Ok(None);
         }
-        let payload_bytes: Vec<u8> = self.buf.drain(..5 + len).skip(5).collect();
-        let mut payload = Reader::new(&payload_bytes);
-        match tag {
-            TAG_TABLE => Ok(Some(SensorMessage::Table(get_table(&mut payload)?))),
-            TAG_WINDOW => {
-                if payload.remaining() < 8 + 1 + 2 + 4 {
-                    return Err(Error::WireFormat("window frame truncated".to_string()));
-                }
-                let window_start = payload.get_i64_le();
-                let bits = payload.get_u8();
-                let rank = payload.get_u16_le();
-                let samples = payload.get_u32_le();
-                Ok(Some(SensorMessage::Window(EncodedWindow {
-                    window_start,
-                    symbol: Symbol::from_rank(rank, bits)?,
-                    samples,
-                })))
-            }
-            other => Err(Error::WireFormat(format!("unknown frame tag {other:#x}"))),
-        }
+        let msg = decode_payload(tag, &avail[HEADER_LEN..HEADER_LEN + len])?;
+        self.pos += HEADER_LEN + len;
+        Ok(Some(msg))
     }
 
-    /// Drains all currently complete messages.
+    /// Recovers from a corrupt frame: skips at least one byte, then scans to
+    /// the next offset that could plausibly start a frame (valid tag, sane
+    /// length, and — when fully buffered — a payload that actually decodes).
+    /// Returns the number of bytes discarded. Progress is guaranteed, so a
+    /// `next_message`/`resync` loop always terminates.
+    pub fn resync(&mut self) -> usize {
+        let start = self.pos;
+        if self.pos < self.buf.len() {
+            self.pos += 1;
+        }
+        while self.pos < self.buf.len()
+            && !plausible_frame_at(&self.buf[self.pos..], self.max_frame_len)
+        {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+
+    /// Drains all currently complete messages, stopping at the first error.
     pub fn drain(&mut self) -> Result<Vec<SensorMessage>> {
         let mut out = Vec::new();
         while let Some(m) = self.next_message()? {
@@ -302,6 +448,143 @@ mod tests {
         assert_eq!(dec.next_message().unwrap(), None);
         dec.feed(&frame[frame.len() - 1..]);
         assert!(dec.next_message().unwrap().is_some());
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_not_buffered() {
+        // The adversarial header: len = 0xFFFF_FFFF. The old decoder would
+        // return Ok(None) forever, buffering everything it was fed.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[TAG_WINDOW, 0xFF, 0xFF, 0xFF, 0xFF]);
+        assert_eq!(
+            dec.next_message(),
+            Err(Error::FrameTooLarge { len: 0xFFFF_FFFF, max: DEFAULT_MAX_FRAME_LEN })
+        );
+
+        // A tighter cap rejects frames the default would accept.
+        let frame = encode_message(&SensorMessage::Table(table())).unwrap();
+        let mut dec = FrameDecoder::with_max_frame_len(64);
+        dec.feed(&frame);
+        assert!(matches!(dec.next_message(), Err(Error::FrameTooLarge { .. })));
+        // ... while windows (15-byte payloads) still pass.
+        let mut dec = FrameDecoder::with_max_frame_len(64);
+        dec.feed(&encode_message(&window(0, 3)).unwrap());
+        assert_eq!(dec.next_message().unwrap(), Some(window(0, 3)));
+    }
+
+    #[test]
+    fn unknown_tag_fails_fast_without_waiting_for_header() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[0x7F]);
+        assert!(dec.next_message().is_err(), "garbage tag must not buffer quietly");
+    }
+
+    #[test]
+    fn resync_skips_corruption_and_recovers_following_frames() {
+        let msgs = vec![window(0, 1), window(900, 2), window(1800, 3), window(2700, 4)];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend(encode_message(m).unwrap());
+        }
+        wire[20] = 0xEE; // corrupt the second frame's tag
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        let mut out = Vec::new();
+        let mut resyncs = 0;
+        loop {
+            match dec.next_message() {
+                Ok(Some(m)) => out.push(m),
+                Ok(None) => break,
+                Err(_) => {
+                    resyncs += 1;
+                    assert!(resyncs < 100, "resync loop must make progress");
+                    dec.resync();
+                }
+            }
+        }
+        assert!(resyncs >= 1);
+        assert!(out.contains(&msgs[0]));
+        assert!(out.contains(&msgs[2]), "frames after the corruption must decode");
+        assert!(out.contains(&msgs[3]));
+    }
+
+    #[test]
+    fn resync_rejects_implausible_table_structure() {
+        // tag TABLE, len consistent-looking, but resolution byte of 200:
+        // structurally impossible, so resync must skip past it.
+        let mut bad = vec![TAG_TABLE, 40, 0, 0, 0, 0, 200];
+        bad.extend(vec![0u8; 40]);
+        let good = encode_message(&window(0, 5)).unwrap();
+        let mut wire = vec![0xFFu8]; // force an initial error + resync
+        wire.extend(&bad);
+        wire.extend(&good);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        let mut out = Vec::new();
+        loop {
+            match dec.next_message() {
+                Ok(Some(m)) => out.push(m),
+                Ok(None) => break,
+                Err(_) => {
+                    dec.resync();
+                }
+            }
+        }
+        assert_eq!(out, vec![window(0, 5)]);
+    }
+
+    #[test]
+    fn tampered_table_frames_are_rejected() {
+        // Regression: `get_table` used to accept wire tables whose
+        // separators were not strictly increasing or whose lo > hi,
+        // bypassing the invariant `learn_separators` enforces locally.
+        let frame = encode_message(&SensorMessage::Table(table())).unwrap();
+        // Payload layout: [5 header][1 method][1 bits][8 lo][8 hi][seps…].
+        let (hi_at, seps_at) = (5 + 2 + 8, 5 + 2 + 16);
+
+        // Tamper 1: inverted value range (hi below any training value).
+        let mut inverted = frame.clone();
+        inverted[hi_at..hi_at + 8].copy_from_slice(&(-1e12f64).to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.feed(&inverted);
+        match dec.next_message() {
+            Err(Error::WireFormat(msg)) => assert!(msg.contains("inverted"), "{msg}"),
+            other => panic!("inverted range must be rejected, got {other:?}"),
+        }
+
+        // Tamper 2: duplicate separator (β2 := β1) — no longer strictly
+        // increasing.
+        let mut duped = frame.clone();
+        let first: [u8; 8] = duped[seps_at..seps_at + 8].try_into().unwrap();
+        duped[seps_at + 8..seps_at + 16].copy_from_slice(&first);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&duped);
+        match dec.next_message() {
+            Err(Error::WireFormat(msg)) => {
+                assert!(msg.contains("strictly increasing"), "{msg}")
+            }
+            other => panic!("duplicate separators must be rejected, got {other:?}"),
+        }
+
+        // The untampered frame still round-trips.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame);
+        assert_eq!(dec.next_message().unwrap(), Some(SensorMessage::Table(table())));
+    }
+
+    #[test]
+    fn cursor_compaction_keeps_buffered_accounting_exact() {
+        let frame = encode_message(&window(0, 1)).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame);
+        dec.feed(&frame[..7]); // one full frame + a partial one
+        assert_eq!(dec.buffered(), frame.len() + 7);
+        assert!(dec.next_message().unwrap().is_some());
+        assert_eq!(dec.buffered(), 7, "consumed bytes no longer count");
+        dec.feed(&frame[7..]); // compacts, then completes the second frame
+        assert_eq!(dec.buffered(), frame.len());
+        assert_eq!(dec.next_message().unwrap(), Some(window(0, 1)));
+        assert_eq!(dec.buffered(), 0);
     }
 
     #[test]

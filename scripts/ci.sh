@@ -27,6 +27,12 @@ cargo test -q
 if [[ $quick -eq 0 ]]; then
     echo "==> full suite: cargo test -q --workspace"
     cargo test -q --workspace
+
+    echo "==> wire hardening: mutation fuzz (release)"
+    cargo test -q --release --test failure_injection mutation_fuzz
+
+    echo "==> wire hardening: repro ingest --faults smoke"
+    cargo run -q --release -p sms-bench --bin repro -- ingest --faults
 fi
 
 echo "==> CI green"
