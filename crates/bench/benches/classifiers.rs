@@ -39,7 +39,7 @@ fn bench_fit_predict(c: &mut Criterion) {
                 m.fit(black_box(inst)).unwrap();
                 let mut hits = 0usize;
                 for i in 0..inst.len() {
-                    if m.predict(inst.row(i)).unwrap() == inst.class_of(i).unwrap() {
+                    if m.predict(&inst.row(i)).unwrap() == inst.class_of(i).unwrap() {
                         hits += 1;
                     }
                 }
@@ -50,7 +50,7 @@ fn bench_fit_predict(c: &mut Criterion) {
             b.iter(|| {
                 let mut m = RandomForest::new(10, 3);
                 m.fit(black_box(inst)).unwrap();
-                black_box(m.predict(inst.row(0)).unwrap())
+                black_box(m.predict(&inst.row(0)).unwrap())
             });
         });
     }

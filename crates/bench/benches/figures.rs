@@ -30,7 +30,7 @@ fn bench_figures(c: &mut Criterion) {
         let spec = EncodingSpec { method: SeparatorMethod::Median, window_secs: 3600, bits: 4 };
         b.iter(|| {
             black_box(
-                run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::NaiveBayes)
+                run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::NaiveBayes, 1)
                     .unwrap()
                     .f_measure,
             )

@@ -3,13 +3,17 @@
 //! ```text
 //! repro <experiment> [--scale quick|paper] [--seed N] [--parallel] [--workers N] [--faults]
 //! experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-//!              table1 compression drift privacy fleet ingest all
+//!              table1 classification compression drift privacy fleet ingest all
 //! ```
 //!
 //! `--parallel` routes the `fleet` experiment through the multi-threaded
 //! [`sms_core::engine::FleetEngine`]; `--workers N` sets the worker count
-//! (and implies `--parallel`). `--faults` makes the `ingest` experiment
-//! corrupt its wire streams with the deterministic fault injector.
+//! (and implies `--parallel`). The evaluation-matrix experiments
+//! (`classification`, `fig5`–`fig7`, `table1`, `sax`) also honour
+//! `--workers`: their independent grid cells run on a worker pool, with
+//! results bit-identical to a serial run at any worker count. `--faults`
+//! makes the `ingest` experiment corrupt its wire streams with the
+//! deterministic fault injector.
 
 use sms_bench::ablation::{
     render_separator_ablation, run_separator_ablation, run_streaming_ablation,
@@ -35,10 +39,12 @@ fn usage() -> ! {
         "usage: repro <experiment> [--scale quick|paper] [--seed N] [--parallel] [--workers N] \
          [--faults]\n\
          experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9\n\
-         table1 compression drift privacy clustering ablation sax markov fidelity arff fleet \
-         ingest all\n\
+         table1 classification compression drift privacy clustering ablation sax markov fidelity \
+         arff fleet ingest all\n\
          --parallel / --workers N: encode the `fleet` experiment through the\n\
-         multi-threaded FleetEngine (default: serial codec)\n\
+         multi-threaded FleetEngine (default: serial codec); also parallelize\n\
+         the evaluation-matrix experiments (classification, fig5-7, table1,\n\
+         sax) at the grid-cell level — results are bit-identical to serial\n\
          --faults: corrupt the `ingest` experiment's wire streams (bit flips,\n\
          truncation, duplication) before the server-side gateway decodes them"
     );
@@ -102,10 +108,13 @@ fn run_with_opts(
     scale: Scale,
     opts: ParallelOpts,
 ) -> Result<(), Box<dyn std::error::Error>> {
+    // Evaluation-matrix experiments: serial unless the user opted in;
+    // `--parallel` alone means "all cores".
+    let eval_workers = if opts.parallel { opts.workers.unwrap_or(0) } else { 1 };
     match experiment {
         "fleet" => run_fleet(scale, opts),
         "ingest" => run_ingest_exp(scale, opts.faults),
-        _ => run(experiment, scale),
+        _ => run(experiment, scale, eval_workers),
     }
 }
 
@@ -162,7 +171,7 @@ fn run_fleet(scale: Scale, opts: ParallelOpts) -> Result<(), Box<dyn std::error:
     Ok(())
 }
 
-fn run(experiment: &str, scale: Scale) -> Result<(), Box<dyn std::error::Error>> {
+fn run(experiment: &str, scale: Scale, workers: usize) -> Result<(), Box<dyn std::error::Error>> {
     match experiment {
         "fleet" => {
             run_fleet(scale, ParallelOpts { parallel: false, workers: None, faults: false })?;
@@ -192,7 +201,7 @@ fn run(experiment: &str, scale: Scale) -> Result<(), Box<dyn std::error::Error>>
                 "fig6" => (ClassifierKind::RandomForest, TableMode::PerHouse),
                 _ => (ClassifierKind::RandomForest, TableMode::Global),
             };
-            let fig = FigureRun::run(&ds, scale, kind, mode)?;
+            let fig = FigureRun::run(&ds, scale, kind, mode, workers)?;
             println!("{}", fig.render());
             println!("mean F by method: {:?}", fig.mean_f_by_method());
             if let Some((spec, cell)) = fig.best_symbolic() {
@@ -204,9 +213,33 @@ fn run(experiment: &str, scale: Scale) -> Result<(), Box<dyn std::error::Error>>
                 );
             }
         }
+        "classification" => {
+            // Fig. 5's grid with full engine counters: one JSON block per
+            // run, mirroring the `fleet`/`ingest` experiments.
+            let ds = dataset(scale)?;
+            let fig = FigureRun::run(
+                &ds,
+                scale,
+                ClassifierKind::NaiveBayes,
+                TableMode::PerHouse,
+                workers,
+            )?;
+            println!("{}", fig.render());
+            let stats = sms_core::engine::EngineStats {
+                workers: fig.eval.workers,
+                houses: ds.records().len(),
+                samples_in: ds.records().iter().map(|r| r.series.len() as u64).sum(),
+                symbols_out: 0,
+                train_secs: 0.0,
+                encode_secs: 0.0,
+                ingest: None,
+                eval: Some(fig.eval),
+            };
+            println!("engine_stats: {}", stats.to_json());
+        }
         "table1" => {
             let ds = dataset(scale)?;
-            let t = Table1::run(&ds, scale)?;
+            let t = Table1::run(&ds, scale, workers)?;
             println!("{}", t.render());
             println!(
                 "mean per-house F: median={:.3} distinctmedian={:.3} uniform={:.3}",
@@ -244,7 +277,7 @@ fn run(experiment: &str, scale: Scale) -> Result<(), Box<dyn std::error::Error>>
         }
         "sax" => {
             let ds = dataset(scale)?;
-            println!("{}", render_sax_comparison(&run_sax_comparison(&ds, scale)?));
+            println!("{}", render_sax_comparison(&run_sax_comparison(&ds, scale, workers)?));
         }
         "clustering" => {
             let ds = dataset(scale)?;
@@ -288,6 +321,7 @@ fn run(experiment: &str, scale: Scale) -> Result<(), Box<dyn std::error::Error>>
                 "fig5",
                 "fig6",
                 "fig7",
+                "classification",
                 "table1",
                 "fig8",
                 "fig9",
@@ -300,7 +334,7 @@ fn run(experiment: &str, scale: Scale) -> Result<(), Box<dyn std::error::Error>>
                 "fidelity",
             ] {
                 println!("==================== {e} ====================");
-                run(e, scale)?;
+                run(e, scale, workers)?;
             }
         }
         _ => usage(),

@@ -4,16 +4,17 @@
 //! per-house or global lookup tables, against raw-value baselines.
 
 use crate::prep::{
-    global_table, per_house_tables, raw_day_vectors, raw_fullrate_day_vectors,
-    symbolic_day_vectors, PAPER_MIN_COVERAGE,
+    raw_day_vectors, raw_fullrate_day_vectors, symbolic_day_vectors, TableCache, PAPER_MIN_COVERAGE,
 };
 use crate::scale::Scale;
 use meterdata::dataset::MeterDataset;
+use sms_core::engine::EvalStats;
 use sms_core::error::{Error, Result};
+use sms_core::pool::{run_indexed, PoolConfig};
 use sms_core::separators::SeparatorMethod;
 use sms_core::vertical::windows::{FIFTEEN_MINUTES, ONE_HOUR};
 use sms_ml::classifier::Classifier;
-use sms_ml::eval::cross_validate_repeated;
+use sms_ml::eval::{cross_validate_repeated_parallel, CvResult};
 use sms_ml::forest::RandomForest;
 use sms_ml::knn::Knn;
 use sms_ml::logistic::Logistic;
@@ -26,7 +27,7 @@ use std::collections::BTreeMap;
 /// paper follows) averages several runs of stratified k-fold CV; one run's
 /// fold assignment estimates F-measure with ~±0.05 noise at these dataset
 /// sizes, which is larger than several of the effects the shape tests assert.
-const CV_RUNS: usize = 3;
+pub(crate) const CV_RUNS: usize = 3;
 
 /// One symbolic encoding configuration of the paper's grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,8 +79,25 @@ pub struct Cell {
     pub f_measure: f64,
     /// Processing time (train + test over all folds), seconds.
     pub seconds: f64,
+    /// Training share of `seconds`.
+    pub train_seconds: f64,
+    /// Prediction share of `seconds`.
+    pub test_seconds: f64,
+    /// CV folds executed (k × runs).
+    pub folds: usize,
     /// Number of day-vector instances evaluated.
     pub instances: usize,
+}
+
+pub(crate) fn cell_from_cv(cv: &CvResult, instances: usize) -> Cell {
+    Cell {
+        f_measure: cv.weighted_f_measure(),
+        seconds: cv.processing_time().as_secs_f64(),
+        train_seconds: cv.train_time.as_secs_f64(),
+        test_seconds: cv.test_time.as_secs_f64(),
+        folds: cv.folds,
+        instances,
+    }
 }
 
 /// The classifiers of the paper's Table 1 (plus extras).
@@ -141,39 +159,58 @@ impl ClassifierKind {
 }
 
 fn lookup_tables(
-    ds: &MeterDataset,
+    cache: &TableCache,
     spec: EncodingSpec,
     mode: TableMode,
-    training_secs: i64,
 ) -> Result<BTreeMap<u32, sms_core::lookup::LookupTable>> {
     match mode {
-        TableMode::PerHouse => per_house_tables(ds, spec.method, spec.bits, training_secs),
+        TableMode::PerHouse => cache.per_house_tables(spec.method, spec.bits),
         TableMode::Global => {
-            let g = global_table(ds, spec.method, spec.bits, training_secs)?;
-            Ok(ds.house_ids().into_iter().map(|id| (id, g.clone())).collect())
+            let g = cache.global_table(spec.method, spec.bits)?;
+            Ok(cache.house_ids().into_iter().map(|id| (id, g.clone())).collect())
         }
     }
 }
 
 /// Runs one symbolic grid cell: encode day-vectors, 10-fold CV, report
-/// weighted F-measure and processing time.
+/// weighted F-measure and processing time. `workers` parallelizes the CV
+/// folds (0 = all cores, 1 = serial); the F-measure is bit-identical at any
+/// worker count.
 pub fn run_symbolic(
     ds: &MeterDataset,
     scale: Scale,
     spec: EncodingSpec,
     mode: TableMode,
     kind: ClassifierKind,
+    workers: usize,
 ) -> Result<Cell> {
-    let tables = lookup_tables(ds, spec, mode, scale.training_prefix_secs())?;
+    let cache = TableCache::new(ds, scale.training_prefix_secs())?;
+    run_symbolic_cached(ds, scale, &cache, spec, mode, kind, workers)
+}
+
+/// [`run_symbolic`] against a prebuilt [`TableCache`], so grid runners sort
+/// each house's training prefix once instead of once per cell.
+pub fn run_symbolic_cached(
+    ds: &MeterDataset,
+    scale: Scale,
+    cache: &TableCache,
+    spec: EncodingSpec,
+    mode: TableMode,
+    kind: ClassifierKind,
+    workers: usize,
+) -> Result<Cell> {
+    let tables = lookup_tables(cache, spec, mode)?;
     let inst = symbolic_day_vectors(ds, spec.window_secs, &tables, PAPER_MIN_COVERAGE)?;
-    let cv =
-        cross_validate_repeated(|| kind.build(scale), &inst, scale.cv_folds, scale.seed, CV_RUNS)
-            .map_err(|e| Error::InvalidParameter { name: "cv", reason: e.to_string() })?;
-    Ok(Cell {
-        f_measure: cv.weighted_f_measure(),
-        seconds: cv.processing_time().as_secs_f64(),
-        instances: inst.len(),
-    })
+    let cv = cross_validate_repeated_parallel(
+        || kind.build(scale),
+        &inst,
+        scale.cv_folds,
+        scale.seed,
+        CV_RUNS,
+        workers,
+    )
+    .map_err(|e| Error::InvalidParameter { name: "cv", reason: e.to_string() })?;
+    Ok(cell_from_cv(&cv, inst.len()))
 }
 
 /// Runs a raw-value baseline: `window_secs = Some(w)` for aggregated raw
@@ -183,19 +220,35 @@ pub fn run_raw(
     scale: Scale,
     window_secs: Option<i64>,
     kind: ClassifierKind,
+    workers: usize,
 ) -> Result<Cell> {
     let inst = match window_secs {
         Some(w) => raw_day_vectors(ds, w, PAPER_MIN_COVERAGE)?,
         None => raw_fullrate_day_vectors(ds, PAPER_MIN_COVERAGE)?,
     };
-    let cv =
-        cross_validate_repeated(|| kind.build(scale), &inst, scale.cv_folds, scale.seed, CV_RUNS)
-            .map_err(|e| Error::InvalidParameter { name: "cv", reason: e.to_string() })?;
-    Ok(Cell {
-        f_measure: cv.weighted_f_measure(),
-        seconds: cv.processing_time().as_secs_f64(),
-        instances: inst.len(),
-    })
+    let cv = cross_validate_repeated_parallel(
+        || kind.build(scale),
+        &inst,
+        scale.cv_folds,
+        scale.seed,
+        CV_RUNS,
+        workers,
+    )
+    .map_err(|e| Error::InvalidParameter { name: "cv", reason: e.to_string() })?;
+    Ok(cell_from_cv(&cv, inst.len()))
+}
+
+/// Folds a slice of finished cells plus the pool's own counters into the
+/// engine-stats evaluation block.
+pub(crate) fn aggregate_eval(cells: &[Cell], workers: usize, max_queue_depth: usize) -> EvalStats {
+    EvalStats {
+        cells: cells.len() as u64,
+        folds: cells.iter().map(|c| c.folds as u64).sum(),
+        train_secs: cells.iter().map(|c| c.train_seconds).sum(),
+        test_secs: cells.iter().map(|c| c.test_seconds).sum(),
+        workers,
+        max_queue_depth,
+    }
 }
 
 /// A full figure run: every grid cell for one classifier + the two
@@ -210,25 +263,40 @@ pub struct FigureRun {
     pub cells: Vec<(EncodingSpec, Cell)>,
     /// Raw baselines: `(window_secs, cell)` for 1 h and 15 m.
     pub raw: Vec<(i64, Cell)>,
+    /// Evaluation-engine counters for the run.
+    pub eval: EvalStats,
 }
 
 impl FigureRun {
-    /// Runs the figure.
+    /// Runs the figure. The 26 cells (24 grid configurations + 2 raw
+    /// baselines) are independent, so they run on a cell-level worker pool
+    /// (`workers`: 0 = all cores, 1 = serial); cross-validation inside each
+    /// cell stays serial to avoid oversubscribing the pool. Results are
+    /// merged in grid order and are bit-identical at any worker count.
     pub fn run(
         ds: &MeterDataset,
         scale: Scale,
         kind: ClassifierKind,
         mode: TableMode,
+        workers: usize,
     ) -> Result<FigureRun> {
-        let mut cells = Vec::new();
-        for spec in EncodingSpec::paper_grid() {
-            cells.push((spec, run_symbolic(ds, scale, spec, mode, kind)?));
-        }
-        let mut raw = Vec::new();
-        for w in [ONE_HOUR, FIFTEEN_MINUTES] {
-            raw.push((w, run_raw(ds, scale, Some(w), kind)?));
-        }
-        Ok(FigureRun { classifier: kind, mode, cells, raw })
+        let cache = TableCache::new(ds, scale.training_prefix_secs())?;
+        let grid = EncodingSpec::paper_grid();
+        let raw_windows = [ONE_HOUR, FIFTEEN_MINUTES];
+        let n_jobs = grid.len() + raw_windows.len();
+        let (results, pool_stats) = run_indexed(n_jobs, &PoolConfig::with_workers(workers), |i| {
+            if i < grid.len() {
+                run_symbolic_cached(ds, scale, &cache, grid[i], mode, kind, 1)
+            } else {
+                run_raw(ds, scale, Some(raw_windows[i - grid.len()]), kind, 1)
+            }
+        });
+        // Index order keeps which error surfaces deterministic.
+        let flat = results.into_iter().collect::<Result<Vec<Cell>>>()?;
+        let eval = aggregate_eval(&flat, pool_stats.workers, pool_stats.max_queue_depth);
+        let cells = grid.iter().copied().zip(flat.iter().copied()).collect();
+        let raw = raw_windows.iter().copied().zip(flat[grid.len()..].iter().copied()).collect();
+        Ok(FigureRun { classifier: kind, mode, cells, raw, eval })
     }
 
     /// Mean F-measure per method across the grid (the paper's "on average,
@@ -315,18 +383,25 @@ mod tests {
         let scale = tiny_scale();
         let ds = dataset(scale).unwrap();
         let spec = EncodingSpec { method: SeparatorMethod::Median, window_secs: ONE_HOUR, bits: 4 };
-        let cell = run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::NaiveBayes)
-            .unwrap();
+        let cell =
+            run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::NaiveBayes, 1)
+                .unwrap();
         assert!(cell.instances > 10);
         assert!(cell.f_measure > 0.4, "median 16s should classify well: {}", cell.f_measure);
         assert!(cell.seconds > 0.0);
+        assert_eq!(cell.folds, scale.cv_folds * CV_RUNS);
+        // Parallel cells reproduce the serial F-measure bit for bit.
+        let par =
+            run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::NaiveBayes, 4)
+                .unwrap();
+        assert_eq!(par.f_measure.to_bits(), cell.f_measure.to_bits());
     }
 
     #[test]
     fn raw_cell_runs() {
         let scale = tiny_scale();
         let ds = dataset(scale).unwrap();
-        let cell = run_raw(&ds, scale, Some(ONE_HOUR), ClassifierKind::RandomForest).unwrap();
+        let cell = run_raw(&ds, scale, Some(ONE_HOUR), ClassifierKind::RandomForest, 1).unwrap();
         assert!(cell.f_measure > 0.3, "{}", cell.f_measure);
     }
 
@@ -335,12 +410,11 @@ mod tests {
         let scale = tiny_scale();
         let ds = dataset(scale).unwrap();
         let spec = EncodingSpec { method: SeparatorMethod::Median, window_secs: ONE_HOUR, bits: 3 };
-        let tables =
-            lookup_tables(&ds, spec, TableMode::Global, scale.training_prefix_secs()).unwrap();
+        let cache = TableCache::new(&ds, scale.training_prefix_secs()).unwrap();
+        let tables = lookup_tables(&cache, spec, TableMode::Global).unwrap();
         let first = tables.values().next().unwrap();
         assert!(tables.values().all(|t| t == first), "all houses share the global table");
-        let per_house =
-            lookup_tables(&ds, spec, TableMode::PerHouse, scale.training_prefix_secs()).unwrap();
+        let per_house = lookup_tables(&cache, spec, TableMode::PerHouse).unwrap();
         assert!(per_house.values().any(|t| t != first), "per-house tables differ");
     }
 
@@ -350,8 +424,8 @@ mod tests {
         let ds = dataset(scale).unwrap();
         let spec = EncodingSpec { method: SeparatorMethod::Median, window_secs: ONE_HOUR, bits: 4 };
         let zr =
-            run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::ZeroR).unwrap();
-        let nb = run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::NaiveBayes)
+            run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::ZeroR, 1).unwrap();
+        let nb = run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::NaiveBayes, 1)
             .unwrap();
         assert!(nb.f_measure > zr.f_measure, "NB {} vs ZeroR {}", nb.f_measure, zr.f_measure);
     }

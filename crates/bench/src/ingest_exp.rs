@@ -215,6 +215,7 @@ pub fn run_ingest(scale: Scale, faults: bool) -> Result<IngestReport> {
         train_secs,
         encode_secs,
         ingest: Some(ingest_stats),
+        eval: None,
     };
     Ok(IngestReport { faults, houses, frames_sent, faults_injected, messages_decoded, stats })
 }

@@ -8,7 +8,7 @@ use meterdata::generator::redd_like;
 use sms_core::alphabet::Alphabet;
 use sms_core::error::{Error, Result};
 use sms_core::lookup::LookupTable;
-use sms_core::separators::SeparatorMethod;
+use sms_core::separators::{SeparatorMethod, SortedSample};
 use sms_core::timeseries::SECONDS_PER_DAY;
 use sms_core::vertical::{aggregate_by_window, Aggregation};
 use sms_ml::data::{Attribute, Instances, Value};
@@ -53,6 +53,60 @@ pub fn global_table(
         return Err(Error::EmptyInput("global_table: empty training prefix"));
     }
     LookupTable::learn(method, alphabet, &pooled)
+}
+
+/// Cached training samples for table learning. A house's training prefix
+/// depends only on the house and `training_secs` — not on the encoding spec —
+/// so the paper's whole grid (3 methods × 2 windows × 4 alphabet sizes) can
+/// learn its tables from **one sort per house** (plus one pooled sort)
+/// instead of re-sorting the same two days for every cell. Tables produced
+/// here are bit-identical to [`per_house_tables`] / [`global_table`].
+#[derive(Debug, Clone)]
+pub struct TableCache {
+    samples: BTreeMap<u32, SortedSample>,
+    pooled: SortedSample,
+}
+
+impl TableCache {
+    /// Sorts every house's training prefix (and the pooled prefix) once.
+    pub fn new(ds: &MeterDataset, training_secs: i64) -> Result<Self> {
+        let mut samples = BTreeMap::new();
+        for r in ds.records() {
+            let head = r.series.head_duration(training_secs);
+            if head.is_empty() {
+                return Err(Error::EmptyInput("per_house_tables: empty training prefix"));
+            }
+            samples.insert(r.house_id, SortedSample::new(&head.values())?);
+        }
+        let pooled = ds.head_duration(training_secs).pooled_values();
+        if pooled.is_empty() {
+            return Err(Error::EmptyInput("global_table: empty training prefix"));
+        }
+        Ok(TableCache { samples, pooled: SortedSample::new(&pooled)? })
+    }
+
+    /// House ids with cached samples (insertion = id order).
+    pub fn house_ids(&self) -> Vec<u32> {
+        self.samples.keys().copied().collect()
+    }
+
+    /// [`per_house_tables`] from the cached sorts.
+    pub fn per_house_tables(
+        &self,
+        method: SeparatorMethod,
+        bits: u8,
+    ) -> Result<BTreeMap<u32, LookupTable>> {
+        let alphabet = Alphabet::with_resolution(bits)?;
+        self.samples
+            .iter()
+            .map(|(&h, s)| LookupTable::learn_from_sample(method, alphabet, s).map(|t| (h, t)))
+            .collect()
+    }
+
+    /// [`global_table`] from the cached pooled sort.
+    pub fn global_table(&self, method: SeparatorMethod, bits: u8) -> Result<LookupTable> {
+        LookupTable::learn_from_sample(method, Alphabet::with_resolution(bits)?, &self.pooled)
+    }
 }
 
 /// Maps house ids to consecutive class indices (insertion order).
@@ -183,6 +237,24 @@ mod tests {
         let s6 = tables[&6].separators()[14];
         let s2 = tables[&2].separators()[14];
         assert!(s6 > s2, "house 6 top separator {s6} vs house 2 {s2}");
+    }
+
+    #[test]
+    fn table_cache_is_bit_identical_to_direct_learning() {
+        let (scale, ds) = small();
+        let cache = TableCache::new(&ds, scale.training_prefix_secs()).unwrap();
+        for method in SeparatorMethod::ALL {
+            for bits in 1..=4u8 {
+                let direct =
+                    per_house_tables(&ds, method, bits, scale.training_prefix_secs()).unwrap();
+                let cached = cache.per_house_tables(method, bits).unwrap();
+                assert_eq!(direct, cached, "{method} {bits} bits");
+                let g_direct =
+                    global_table(&ds, method, bits, scale.training_prefix_secs()).unwrap();
+                assert_eq!(g_direct, cache.global_table(method, bits).unwrap());
+            }
+        }
+        assert_eq!(cache.house_ids(), ds.house_ids());
     }
 
     #[test]

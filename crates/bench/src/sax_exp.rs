@@ -9,7 +9,9 @@
 //! * SAX words *without* z-normalization (ablating just the normalization
 //!   step while keeping Gaussian breakpoints).
 
-use crate::classification::{run_symbolic, Cell, ClassifierKind, EncodingSpec, TableMode};
+use crate::classification::{
+    cell_from_cv, run_symbolic, Cell, ClassifierKind, EncodingSpec, TableMode, CV_RUNS,
+};
 use crate::prep::{class_indices, PAPER_MIN_COVERAGE};
 use crate::scale::Scale;
 use meterdata::dataset::MeterDataset;
@@ -18,7 +20,7 @@ use sms_core::sax::{gaussian_breakpoints, z_normalize};
 use sms_core::separators::SeparatorMethod;
 use sms_core::vertical::{aggregate_by_window, Aggregation};
 use sms_ml::data::{Attribute, Instances, Value};
-use sms_ml::eval::cross_validate;
+use sms_ml::eval::cross_validate_repeated_parallel;
 
 /// Builds day-vectors of SAX letters: each day is aggregated to
 /// `86 400 / window_secs` segments, optionally z-normalized *within the
@@ -98,20 +100,29 @@ pub struct SaxComparison {
 }
 
 /// Runs the comparison at hourly aggregation, k = 16, Naive Bayes.
-pub fn run_sax_comparison(ds: &MeterDataset, scale: Scale) -> Result<SaxComparison> {
+/// All three encodings use the same repeated-CV protocol as the grid
+/// experiments; `workers` parallelizes the folds (0 = all cores).
+pub fn run_sax_comparison(
+    ds: &MeterDataset,
+    scale: Scale,
+    workers: usize,
+) -> Result<SaxComparison> {
     let kind = ClassifierKind::NaiveBayes;
     let spec = EncodingSpec { method: SeparatorMethod::Median, window_secs: 3600, bits: 4 };
-    let paper_symbols = run_symbolic(ds, scale, spec, TableMode::PerHouse, kind)?;
+    let paper_symbols = run_symbolic(ds, scale, spec, TableMode::PerHouse, kind, workers)?;
 
     let run_sax = |normalize: bool| -> Result<Cell> {
         let inst = sax_day_vectors(ds, 3600, 16, normalize)?;
-        let cv = cross_validate(|| kind.build(scale), &inst, scale.cv_folds, scale.seed)
-            .map_err(|e| Error::InvalidParameter { name: "cv", reason: e.to_string() })?;
-        Ok(Cell {
-            f_measure: cv.weighted_f_measure(),
-            seconds: cv.processing_time().as_secs_f64(),
-            instances: inst.len(),
-        })
+        let cv = cross_validate_repeated_parallel(
+            || kind.build(scale),
+            &inst,
+            scale.cv_folds,
+            scale.seed,
+            CV_RUNS,
+            workers,
+        )
+        .map_err(|e| Error::InvalidParameter { name: "cv", reason: e.to_string() })?;
+        Ok(cell_from_cv(&cv, inst.len()))
     };
     Ok(SaxComparison {
         paper_symbols,
@@ -167,7 +178,7 @@ mod tests {
         // The executable version of the paper's Fig. 3 argument.
         let scale = Scale { days: 10, interval_secs: 300, forest_trees: 6, cv_folds: 5, seed: 29 };
         let ds = dataset(scale).unwrap();
-        let c = run_sax_comparison(&ds, scale).unwrap();
+        let c = run_sax_comparison(&ds, scale, 1).unwrap();
         assert!(
             c.paper_symbols.f_measure > c.sax_normalized.f_measure,
             "paper symbols {} must beat z-normalized SAX {}",

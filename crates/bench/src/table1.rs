@@ -2,10 +2,14 @@
 //! encoding, with per-house and global (`+`) table variants, plus the raw
 //! 1 h / 15 m / full-rate rows.
 
-use crate::classification::{run_raw, run_symbolic, Cell, ClassifierKind, EncodingSpec, TableMode};
+use crate::classification::{
+    run_raw, run_symbolic_cached, Cell, ClassifierKind, EncodingSpec, TableMode,
+};
+use crate::prep::TableCache;
 use crate::scale::Scale;
 use meterdata::dataset::MeterDataset;
 use sms_core::error::Result;
+use sms_core::pool::{run_indexed, PoolConfig};
 use sms_core::vertical::windows::{FIFTEEN_MINUTES, ONE_HOUR};
 
 /// One Table 1 row: an encoding plus the per-column F-measures.
@@ -39,44 +43,73 @@ pub const GLOBAL_COLUMNS: [ClassifierKind; 4] = [
     ClassifierKind::NaiveBayes,
 ];
 
+/// One cell's coordinates in the flattened Table 1 job list.
+#[derive(Clone, Copy)]
+enum Table1Job {
+    Symbolic(EncodingSpec, TableMode, ClassifierKind),
+    Raw(Option<i64>, ClassifierKind),
+}
+
 impl Table1 {
     /// Runs the whole table. This is the most expensive experiment:
-    /// 24 encodings × 8 classifier columns + 3 raw rows × 8.
-    pub fn run(ds: &MeterDataset, scale: Scale) -> Result<Table1> {
-        let mut rows = Vec::new();
-        for spec in EncodingSpec::paper_grid() {
-            rows.push(Table1Row {
-                label: spec.label(),
-                per_house: PER_HOUSE_COLUMNS
-                    .iter()
-                    .map(|&k| {
-                        run_symbolic(ds, scale, spec, TableMode::PerHouse, k).map(|c| c.f_measure)
-                    })
-                    .collect::<Result<_>>()?,
-                global: GLOBAL_COLUMNS
-                    .iter()
-                    .map(|&k| {
-                        run_symbolic(ds, scale, spec, TableMode::Global, k).map(|c| c.f_measure)
-                    })
-                    .collect::<Result<_>>()?,
-            });
-        }
-        let mut raw_rows = Vec::new();
-        for (label, window) in [
+    /// 24 encodings × 8 classifier columns + 3 raw rows × 4 distinct cells,
+    /// all independent, so they run on a cell-level worker pool (`workers`:
+    /// 0 = all cores, 1 = serial). Cross-validation inside each cell stays
+    /// serial to avoid oversubscription; results are merged in row-major
+    /// order and are bit-identical at any worker count.
+    pub fn run(ds: &MeterDataset, scale: Scale, workers: usize) -> Result<Table1> {
+        let cache = TableCache::new(ds, scale.training_prefix_secs())?;
+        let grid = EncodingSpec::paper_grid();
+        let raw_configs = [
             ("raw 1h", Some(ONE_HOUR)),
             ("raw 15m", Some(FIFTEEN_MINUTES)),
             ("raw full-rate", None),
-        ] {
-            let cells: Vec<Cell> = PER_HOUSE_COLUMNS
-                .iter()
-                .map(|&k| run_raw(ds, scale, window, k))
-                .collect::<Result<_>>()?;
-            // Raw rows have no lookup table, so the `+` columns equal the
-            // plain ones (the paper prints them duplicated too).
-            let per_house: Vec<f64> = cells.iter().map(|c| c.f_measure).collect();
-            let global = vec![per_house[3], per_house[0], per_house[1], per_house[2]];
-            raw_rows.push(Table1Row { label: label.to_string(), per_house, global });
+        ];
+        let mut jobs = Vec::with_capacity(grid.len() * 8 + raw_configs.len() * 4);
+        for &spec in &grid {
+            for &k in &PER_HOUSE_COLUMNS {
+                jobs.push(Table1Job::Symbolic(spec, TableMode::PerHouse, k));
+            }
+            for &k in &GLOBAL_COLUMNS {
+                jobs.push(Table1Job::Symbolic(spec, TableMode::Global, k));
+            }
         }
+        for &(_, window) in &raw_configs {
+            for &k in &PER_HOUSE_COLUMNS {
+                jobs.push(Table1Job::Raw(window, k));
+            }
+        }
+        let (results, _stats) =
+            run_indexed(jobs.len(), &PoolConfig::with_workers(workers), |i| match jobs[i] {
+                Table1Job::Symbolic(spec, mode, k) => {
+                    run_symbolic_cached(ds, scale, &cache, spec, mode, k, 1)
+                }
+                Table1Job::Raw(window, k) => run_raw(ds, scale, window, k, 1),
+            });
+        // Index order keeps which error surfaces deterministic.
+        let cells = results.into_iter().collect::<Result<Vec<Cell>>>()?;
+        let rows = grid
+            .iter()
+            .enumerate()
+            .map(|(r, spec)| Table1Row {
+                label: spec.label(),
+                per_house: cells[r * 8..r * 8 + 4].iter().map(|c| c.f_measure).collect(),
+                global: cells[r * 8 + 4..r * 8 + 8].iter().map(|c| c.f_measure).collect(),
+            })
+            .collect();
+        let raw_rows = raw_configs
+            .iter()
+            .enumerate()
+            .map(|(r, &(label, _))| {
+                let base = grid.len() * 8 + r * 4;
+                let per_house: Vec<f64> =
+                    cells[base..base + 4].iter().map(|c| c.f_measure).collect();
+                // Raw rows have no lookup table, so the `+` columns equal the
+                // plain ones (the paper prints them duplicated too).
+                let global = vec![per_house[3], per_house[0], per_house[1], per_house[2]];
+                Table1Row { label: label.to_string(), per_house, global }
+            })
+            .collect();
         Ok(Table1 { rows, raw_rows })
     }
 
@@ -125,7 +158,7 @@ mod tests {
         // Deliberately tiny: this exercises the full code path, not accuracy.
         let scale = Scale { days: 5, interval_secs: 900, forest_trees: 4, cv_folds: 2, seed: 5 };
         let ds = dataset(scale).unwrap();
-        let t = Table1::run(&ds, scale).unwrap();
+        let t = Table1::run(&ds, scale, 2).unwrap();
         assert_eq!(t.rows.len(), 24);
         assert_eq!(t.raw_rows.len(), 3);
         for row in &t.rows {

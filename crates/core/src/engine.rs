@@ -119,6 +119,51 @@ pub struct EngineStats {
     /// Wire-ingest counters, when the run consumed a byte stream through
     /// [`crate::ingest`] (`None` for purely in-memory encodes).
     pub ingest: Option<crate::ingest::IngestStats>,
+    /// Evaluation counters, when the run drove a parallel experiment matrix
+    /// (`None` for pure encode runs).
+    pub eval: Option<EvalStats>,
+}
+
+/// Timing counters for a parallel evaluation run (cross-validated
+/// classification cells dispatched through [`crate::pool`]). Mirrors the
+/// paper's habit of reporting *processing time* next to F-measure
+/// (Figs. 5–7), and merges into [`EngineStats::to_json`] like the ingest
+/// block.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EvalStats {
+    /// Experiment cells completed.
+    pub cells: u64,
+    /// Cross-validation folds executed (k × runs per cell, summed).
+    pub folds: u64,
+    /// Total per-fold training wall time, seconds.
+    pub train_secs: f64,
+    /// Total per-fold prediction wall time, seconds.
+    pub test_secs: f64,
+    /// Worker threads used by the evaluation pool.
+    pub workers: usize,
+    /// High-water mark of the evaluation pool's job queue.
+    pub max_queue_depth: usize,
+}
+
+impl EvalStats {
+    /// Writes this block as one JSON value into `w` (shared with
+    /// [`EngineStats::to_json`]).
+    pub(crate) fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("cells");
+        w.u64(self.cells);
+        w.key("folds");
+        w.u64(self.folds);
+        w.key("train_secs");
+        w.f64(self.train_secs);
+        w.key("test_secs");
+        w.f64(self.test_secs);
+        w.key("workers");
+        w.u64(self.workers as u64);
+        w.key("max_queue_depth");
+        w.u64(self.max_queue_depth as u64);
+        w.end_object();
+    }
 }
 
 impl EngineStats {
@@ -155,6 +200,10 @@ impl EngineStats {
         if let Some(ingest) = &self.ingest {
             w.key("ingest");
             ingest.write_json(&mut w);
+        }
+        if let Some(eval) = &self.eval {
+            w.key("eval");
+            eval.write_json(&mut w);
         }
         w.end_object();
         w.finish()
@@ -226,6 +275,7 @@ impl FleetEngine {
                 train_secs,
                 encode_secs,
                 ingest: None,
+                eval: None,
             },
         })
     }
@@ -241,9 +291,10 @@ impl FleetEngine {
         self.builder.learn_from_values(&pool)
     }
 
-    /// The fan-out/fan-in core: a bounded MPMC queue of house indices feeds
-    /// `workers` scoped threads; results come back tagged with their index so
-    /// the collector can place them deterministically.
+    /// The fan-out/fan-in core, now delegated to the shared [`crate::pool`]:
+    /// house indices feed the bounded MPMC queue, workers keep reusable
+    /// scratch buffers, and results land back at their index so the output
+    /// is deterministic regardless of worker count.
     fn run_batch(
         &self,
         fleet: &[TimeSeries],
@@ -251,40 +302,22 @@ impl FleetEngine {
         workers: usize,
         results: &mut [Option<SymbolicSeries>],
     ) -> Result<()> {
-        let cap = self.config.channel_capacity.max(1);
+        let config = crate::pool::PoolConfig {
+            workers,
+            channel_capacity: self.config.channel_capacity.max(1),
+        };
         let builder = &self.builder;
-        crossbeam::thread::scope(|s| -> Result<()> {
-            let (job_tx, job_rx) = channel::bounded::<usize>(cap);
-            let (res_tx, res_rx) = channel::unbounded::<(usize, Result<SymbolicSeries>)>();
-            for _ in 0..workers {
-                let job_rx = job_rx.clone();
-                let res_tx = res_tx.clone();
-                s.spawn(move |_| {
-                    let mut scratch = TimeSeries::new();
-                    let mut out = SymbolicSeries::new(1).expect("1 bit is a valid resolution");
-                    for idx in job_rx.iter() {
-                        let encoded =
-                            encode_one(&fleet[idx], shared, builder, &mut scratch, &mut out);
-                        if res_tx.send((idx, encoded)).is_err() {
-                            break; // collector bailed on an earlier error
-                        }
-                    }
-                });
-            }
-            drop(job_rx);
-            drop(res_tx);
-            for idx in 0..fleet.len() {
-                job_tx
-                    .send(idx)
-                    .map_err(|_| Error::Engine("all workers exited early".to_string()))?;
-            }
-            drop(job_tx);
-            for (idx, encoded) in res_rx.iter() {
-                results[idx] = Some(encoded?);
-            }
-            Ok(())
-        })
-        .expect("fleet worker panicked")
+        let (encoded, _stats) = crate::pool::run_indexed_with(
+            fleet.len(),
+            &config,
+            || (TimeSeries::new(), SymbolicSeries::new(1).expect("1 bit is a valid resolution")),
+            |(scratch, out), idx| encode_one(&fleet[idx], shared, builder, scratch, out),
+        );
+        // Index order makes which error surfaces deterministic too.
+        for (slot, enc) in results.iter_mut().zip(encoded) {
+            *slot = Some(enc?);
+        }
+        Ok(())
     }
 }
 

@@ -59,6 +59,7 @@ pub mod isax;
 pub mod json;
 pub mod lookup;
 pub mod pipeline;
+pub mod pool;
 pub mod privacy;
 pub mod sax;
 pub mod separators;

@@ -13,7 +13,9 @@
 use crate::alphabet::Alphabet;
 use crate::error::{Error, Result};
 use crate::json::{self, JsonValue, JsonWriter};
-use crate::separators::{learn_separators, SeparatorMethod};
+use crate::separators::{
+    learn_separators, learn_separators_from_sample, SeparatorMethod, SortedSample,
+};
 use crate::symbol::Symbol;
 
 /// How to map a symbol back to a real value.
@@ -51,6 +53,19 @@ impl LookupTable {
     pub fn learn(method: SeparatorMethod, alphabet: Alphabet, values: &[f64]) -> Result<Self> {
         let separators = learn_separators(method, values, alphabet.size())?;
         Self::from_parts(method, alphabet, separators, values)
+    }
+
+    /// [`LookupTable::learn`] from a pre-sorted sample: bit-identical output
+    /// (separator quantiles from the cached sort, bin statistics summed in
+    /// the sample's original value order), but learning a whole grid of
+    /// alphabet sizes from one sample pays the sort only once.
+    pub fn learn_from_sample(
+        method: SeparatorMethod,
+        alphabet: Alphabet,
+        sample: &SortedSample,
+    ) -> Result<Self> {
+        let separators = learn_separators_from_sample(method, sample, alphabet.size())?;
+        Self::from_parts(method, alphabet, separators, sample.values())
     }
 
     /// Builds a table from pre-computed separators, filling bin statistics
@@ -494,6 +509,21 @@ mod tests {
 
     fn alphabet(k: usize) -> Alphabet {
         Alphabet::with_size(k).unwrap()
+    }
+
+    #[test]
+    fn learn_from_sample_is_bit_identical_to_learn() {
+        let values: Vec<f64> =
+            (0..500).map(|i| ((i * 37) % 97) as f64 + f64::from(i % 3) * 0.125).collect();
+        let sample = SortedSample::new(&values).unwrap();
+        for method in SeparatorMethod::ALL {
+            for k in [2, 4, 16, 64] {
+                let direct = LookupTable::learn(method, alphabet(k), &values).unwrap();
+                let cached = LookupTable::learn_from_sample(method, alphabet(k), &sample).unwrap();
+                assert_eq!(direct.separators(), cached.separators(), "{method} k={k}");
+                assert_eq!(direct.bin_means(), cached.bin_means(), "{method} k={k}");
+            }
+        }
     }
 
     #[test]

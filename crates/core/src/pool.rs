@@ -1,0 +1,229 @@
+//! Shared bounded-channel worker pool.
+//!
+//! The fan-out/fan-in core that [`crate::engine::FleetEngine`] introduced for
+//! fleet encoding, generalized so any indexed batch of independent jobs —
+//! fleet houses, cross-validation folds, experiment-matrix cells — runs
+//! through the same machinery:
+//!
+//! ```text
+//!              ┌──────────┐   job indices    ┌───────────┐
+//!  0..n_jobs ─▶│  feeder  │═════bounded═════▶│ worker 0  │──┐
+//!              └──────────┘       MPMC       ├───────────┤  │ (idx, R)
+//!                                       ════▶│ worker 1  │──┼═══════▶ collector
+//!                                       ════▶│    …      │──┘   places results[idx]
+//!                                            └───────────┘
+//! ```
+//!
+//! Determinism contract: the collector writes every result back at its job
+//! index, so the output `Vec<R>` is **independent of worker count and
+//! scheduling** whenever each job is a pure function of its index. Callers
+//! that fold the results do so over that index-ordered vector, which is what
+//! makes parallel cross-validation bit-identical to serial (see
+//! `DESIGN.md` §9).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::channel;
+
+/// Parallelism knobs for one pool run.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker thread count; `0` means one thread per available core.
+    pub workers: usize,
+    /// Capacity of the bounded job queue.
+    pub channel_capacity: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig { workers: 0, channel_capacity: 64 }
+    }
+}
+
+impl PoolConfig {
+    /// Config with an explicit worker count and defaults otherwise.
+    pub fn with_workers(workers: usize) -> Self {
+        PoolConfig { workers, ..Self::default() }
+    }
+
+    /// The effective thread count: `workers`, or the machine's parallelism
+    /// when `workers` is `0`, never exceeding the job count.
+    pub fn effective_workers(&self, n_jobs: usize) -> usize {
+        let requested = if self.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.workers
+        };
+        requested.max(1).min(n_jobs.max(1))
+    }
+}
+
+/// Counters describing one pool run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Worker threads actually spawned.
+    pub workers: usize,
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Capacity of the bounded job queue.
+    pub queue_capacity: usize,
+    /// High-water mark of jobs enqueued but not yet claimed by a worker.
+    /// Tracked with a relaxed atomic gauge (the compat channel has no
+    /// `len()`), so it can transiently overshoot `queue_capacity` by up to
+    /// the worker count plus the one job the feeder is blocked on.
+    pub max_queue_depth: usize,
+}
+
+/// Runs `n_jobs` independent jobs across a worker pool and returns the
+/// results in job order. `job(idx)` must be a pure function of `idx` for the
+/// output to be deterministic (the pool guarantees placement, the caller
+/// guarantees purity). Fallible jobs simply use `R = Result<T>` and the
+/// caller short-circuits over the ordered results, which keeps *which* error
+/// surfaces deterministic too.
+pub fn run_indexed<R, F>(n_jobs: usize, config: &PoolConfig, job: F) -> (Vec<R>, PoolStats)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    run_indexed_with(n_jobs, config, || (), move |(), idx| job(idx))
+}
+
+/// [`run_indexed`] with per-worker scratch state: `init` runs once on each
+/// worker thread and the resulting state is passed to every job that worker
+/// claims. This is how the fleet encoder keeps allocation-free reusable
+/// buffers without any locking.
+pub fn run_indexed_with<S, R, I, F>(
+    n_jobs: usize,
+    config: &PoolConfig,
+    init: I,
+    job: F,
+) -> (Vec<R>, PoolStats)
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let workers = config.effective_workers(n_jobs);
+    let cap = config.channel_capacity.max(1);
+    let mut stats = PoolStats { workers, jobs: n_jobs, queue_capacity: cap, max_queue_depth: 0 };
+    if n_jobs == 0 {
+        return (Vec::new(), stats);
+    }
+
+    let mut results: Vec<Option<R>> = (0..n_jobs).map(|_| None).collect();
+    let queued = AtomicUsize::new(0);
+    let high_water = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        let (job_tx, job_rx) = channel::bounded::<usize>(cap);
+        let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let (init, job, queued) = (&init, &job, &queued);
+            s.spawn(move |_| {
+                let mut state = init();
+                for idx in job_rx.iter() {
+                    queued.fetch_sub(1, Ordering::Relaxed);
+                    if res_tx.send((idx, job(&mut state, idx))).is_err() {
+                        break; // collector is gone
+                    }
+                }
+            });
+        }
+        drop(job_rx);
+        drop(res_tx);
+        for idx in 0..n_jobs {
+            // Count before sending so a fast worker's decrement can never
+            // underflow the gauge.
+            let depth = queued.fetch_add(1, Ordering::Relaxed) + 1;
+            high_water.fetch_max(depth, Ordering::Relaxed);
+            job_tx.send(idx).expect("pool workers exited early");
+        }
+        drop(job_tx);
+        for (idx, r) in res_rx.iter() {
+            results[idx] = Some(r);
+        }
+    })
+    .expect("pool worker panicked");
+
+    stats.max_queue_depth = high_water.load(Ordering::Relaxed);
+    let results = results
+        .into_iter()
+        .map(|r| r.expect("every job index produces exactly one result"))
+        .collect();
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_index_ordered_at_any_worker_count() {
+        let expected: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for workers in [1, 2, 8] {
+            let (got, stats) = run_indexed(97, &PoolConfig::with_workers(workers), |i| i * i);
+            assert_eq!(got, expected, "workers={workers}");
+            assert_eq!(stats.jobs, 97);
+            assert_eq!(stats.workers, workers);
+            assert!(stats.max_queue_depth <= stats.queue_capacity + stats.workers + 1);
+        }
+    }
+
+    #[test]
+    fn empty_run_is_fine() {
+        let (got, stats) = run_indexed(0, &PoolConfig::default(), |i| i);
+        assert!(got.is_empty());
+        assert_eq!(stats.jobs, 0);
+    }
+
+    #[test]
+    fn worker_count_is_capped_by_jobs() {
+        let (got, stats) = run_indexed(3, &PoolConfig::with_workers(16), |i| i + 1);
+        assert_eq!(got, vec![1, 2, 3]);
+        assert_eq!(stats.workers, 3);
+    }
+
+    #[test]
+    fn per_worker_state_is_initialized_once_per_thread() {
+        let inits = AtomicU64::new(0);
+        let (got, stats) = run_indexed_with(
+            50,
+            &PoolConfig::with_workers(4),
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::new()
+            },
+            |scratch, idx| {
+                scratch.push(idx); // reused buffer, grows per worker
+                idx
+            },
+        );
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+        assert_eq!(inits.load(Ordering::Relaxed) as usize, stats.workers);
+    }
+
+    #[test]
+    fn fallible_jobs_surface_deterministic_errors() {
+        for workers in [1, 3] {
+            let (results, _) = run_indexed(10, &PoolConfig::with_workers(workers), |i| {
+                if i % 4 == 3 {
+                    Err(i)
+                } else {
+                    Ok(i)
+                }
+            });
+            let first_err = results.into_iter().collect::<Result<Vec<_>, _>>().unwrap_err();
+            assert_eq!(first_err, 3, "index order makes error selection deterministic");
+        }
+    }
+
+    #[test]
+    fn zero_workers_means_available_parallelism() {
+        let config = PoolConfig::default();
+        assert!(config.effective_workers(100) >= 1);
+        let (got, _) = run_indexed(8, &config, |i| i);
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+}

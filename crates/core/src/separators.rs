@@ -126,6 +126,107 @@ pub fn learn_separators(method: SeparatorMethod, values: &[f64], k: usize) -> Re
     }
 }
 
+/// A training batch sorted **once**, answering the same quantile queries as
+/// [`OrderedMultiset`] for every alphabet size. The paper's experiments
+/// learn a table per `(house, method, k)` cell over the same two training
+/// days; going through the multiset re-inserted (re-sorted) those days once
+/// per cell. Build one `SortedSample` per house and reuse it across the
+/// whole `k` grid.
+#[derive(Debug, Clone)]
+pub struct SortedSample {
+    /// Values in their original (time) order — bin statistics sum in this
+    /// order, keeping cached tables bit-identical to the uncached path.
+    original: Vec<f64>,
+    /// Values sorted ascending (total order).
+    sorted: Vec<f64>,
+    /// Distinct sorted values (bitwise dedup, matching the multiset's
+    /// `FiniteF64` keys — `-0.0` and `+0.0` stay distinct).
+    distinct: Vec<f64>,
+}
+
+impl SortedSample {
+    /// Sorts a non-empty batch of finite values.
+    pub fn new(values: &[f64]) -> Result<Self> {
+        if values.is_empty() {
+            return Err(Error::EmptyInput("SortedSample::new"));
+        }
+        for &v in values {
+            if !v.is_finite() {
+                return Err(Error::InvalidParameter {
+                    name: "value",
+                    reason: format!("must be finite, got {v}"),
+                });
+            }
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mut distinct = Vec::new();
+        for &v in &sorted {
+            if distinct.last().map(|d: &f64| d.to_bits() != v.to_bits()).unwrap_or(true) {
+                distinct.push(v);
+            }
+        }
+        Ok(SortedSample { original: values.to_vec(), sorted, distinct })
+    }
+
+    /// Number of values (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false — construction rejects empty batches.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The values in their original order.
+    pub fn values(&self) -> &[f64] {
+        &self.original
+    }
+
+    /// Largest value.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Type-1 `q`-quantile over all values, identical to
+    /// [`OrderedMultiset::quantile`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        let target = ((q * n as f64).ceil() as usize).max(1);
+        self.sorted[(target - 1).min(n - 1)]
+    }
+
+    /// `q`-quantile over the distinct-value set, identical to
+    /// [`OrderedMultiset::distinct_quantile`].
+    pub fn distinct_quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let n = self.distinct.len();
+        let idx = ((q * n as f64).ceil() as usize).max(1) - 1;
+        self.distinct[idx.min(n - 1)]
+    }
+}
+
+/// [`learn_separators`] from a pre-sorted sample — same output, but the
+/// `O(n log n)` work is paid once per sample instead of once per `(method, k)`.
+pub fn learn_separators_from_sample(
+    method: SeparatorMethod,
+    sample: &SortedSample,
+    k: usize,
+) -> Result<Vec<f64>> {
+    validate_k(k)?;
+    match method {
+        SeparatorMethod::Uniform => uniform_separators(sample.max().max(f64::MIN_POSITIVE), k),
+        SeparatorMethod::Median => {
+            Ok(strictly_increasing((1..k).map(|i| sample.quantile(i as f64 / k as f64)).collect()))
+        }
+        SeparatorMethod::DistinctMedian => Ok(strictly_increasing(
+            (1..k).map(|i| sample.distinct_quantile(i as f64 / k as f64)).collect(),
+        )),
+    }
+}
+
 /// Streaming separator learner for the sensor side: feeds values one at a
 /// time, then produces separators. `Exact` keeps an order-statistics multiset
 /// (exact quantiles, memory ∝ distinct values); `Approximate` keeps one P²
@@ -350,6 +451,38 @@ mod tests {
                 assert!(w[0] <= w[1], "{method}: {s:?}");
             }
         }
+    }
+
+    #[test]
+    fn sorted_sample_matches_multiset_learning() {
+        // Heavy repeats, unsorted input, < k distinct values — all the
+        // cases where the quantile conventions could diverge.
+        let inputs: Vec<Vec<f64>> = vec![
+            vec![5.0, 1.0, 3.0, 3.0, 3.0, 9.0, 2.0, 8.0, 7.0, 3.0],
+            {
+                let mut v = vec![0.0; 96];
+                v.extend([100.0, 200.0, 300.0, 400.0]);
+                v
+            },
+            vec![7.5; 50],
+            (0..1000).map(|i| ((i * 37) % 101) as f64).collect(),
+        ];
+        for v in &inputs {
+            let sample = SortedSample::new(v).unwrap();
+            assert_eq!(sample.len(), v.len());
+            assert_eq!(sample.values(), &v[..]);
+            for method in SeparatorMethod::ALL {
+                for k in [2, 4, 8, 16] {
+                    assert_eq!(
+                        learn_separators_from_sample(method, &sample, k).unwrap(),
+                        learn_separators(method, v, k).unwrap(),
+                        "{method} k={k} on {v:?}"
+                    );
+                }
+            }
+        }
+        assert!(SortedSample::new(&[]).is_err());
+        assert!(SortedSample::new(&[1.0, f64::NAN]).is_err());
     }
 
     #[test]

@@ -35,7 +35,7 @@ fn numeric_matrix(data: &Instances) -> Result<Vec<Vec<f64>>> {
     for i in 0..data.len() {
         let mut row = Vec::with_capacity(feats.len());
         for &a in &feats {
-            match data.row(i)[a] {
+            match data.value(i, a) {
                 Value::Numeric(v) => row.push(v),
                 Value::Missing => row.push(f64::NAN), // patched below
                 Value::Nominal(_) => {
@@ -183,7 +183,7 @@ fn nominal_matrix(data: &Instances) -> Result<NominalMatrix> {
     }
     let mut rows = Vec::with_capacity(data.len());
     for i in 0..data.len() {
-        let row: Vec<Option<u32>> = feats.iter().map(|&a| data.row(i)[a].as_nominal()).collect();
+        let row: Vec<Option<u32>> = feats.iter().map(|&a| data.value(i, a).as_nominal()).collect();
         rows.push(row);
     }
     Ok((rows, cards))

@@ -6,8 +6,26 @@
 //! an additional advantage to allow also algorithms which usually work on
 //! nominal and string to be run on top of smart meter data", §1), so nominal
 //! support is first-class here, not an afterthought.
+//!
+//! ## Storage layout
+//!
+//! Storage is **columnar** (struct-of-arrays): each nominal attribute is a
+//! contiguous `Vec<u16>` code buffer and each numeric attribute a
+//! `Vec<f64>`. Missing cells use in-band sentinels — [`MISSING_CODE`]
+//! (`u16::MAX`) for nominal columns and NaN for numeric ones (unambiguous
+//! because [`Instances::push_row`] rejects non-finite user values). The
+//! row-oriented API ([`Instances::row`], [`Instances::value`]) is a thin
+//! materializing view over the columns, so classifiers can migrate to the
+//! column accessors ([`Instances::nominal_codes`],
+//! [`Instances::numeric_values`], [`Instances::class_codes`]) incrementally.
 
 use crate::error::{Error, Result};
+
+/// Sentinel code marking a missing cell in a nominal column.
+pub const MISSING_CODE: u16 = u16::MAX;
+
+/// Maximum nominal cardinality: `u16` codes with [`MISSING_CODE`] reserved.
+pub const MAX_CARDINALITY: usize = u16::MAX as usize;
 
 /// Attribute kind: the set of nominal labels, or a real-valued attribute.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,12 +112,38 @@ impl Value {
     }
 }
 
-/// A dataset: schema + rows + designated class attribute.
-#[derive(Debug, Clone, PartialEq)]
+/// One attribute's contiguous storage.
+#[derive(Debug, Clone)]
+enum Column {
+    /// Nominal codes; [`MISSING_CODE`] marks missing cells.
+    Nominal(Vec<u16>),
+    /// Numeric values; NaN marks missing cells.
+    Numeric(Vec<f64>),
+}
+
+impl Column {
+    fn empty_for(attr: &Attribute) -> Column {
+        match attr.kind {
+            AttributeKind::Nominal(_) => Column::Nominal(Vec::new()),
+            AttributeKind::Numeric => Column::Numeric(Vec::new()),
+        }
+    }
+
+    fn gather(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::Nominal(codes) => Column::Nominal(indices.iter().map(|&i| codes[i]).collect()),
+            Column::Numeric(vals) => Column::Numeric(indices.iter().map(|&i| vals[i]).collect()),
+        }
+    }
+}
+
+/// A dataset: schema + columnar cell storage + designated class attribute.
+#[derive(Debug, Clone)]
 pub struct Instances {
     attributes: Vec<Attribute>,
     class_index: usize,
-    rows: Vec<Vec<Value>>,
+    len: usize,
+    columns: Vec<Column>,
 }
 
 impl Instances {
@@ -114,7 +158,21 @@ impl Instances {
                 reason: format!("{} out of range for {} attributes", class_index, attributes.len()),
             });
         }
-        Ok(Instances { attributes, class_index, rows: Vec::new() })
+        for (i, a) in attributes.iter().enumerate() {
+            if let Some(card) = a.cardinality() {
+                if card > MAX_CARDINALITY {
+                    return Err(Error::InvalidParameter {
+                        name: "cardinality",
+                        reason: format!(
+                            "attribute {i} ({}) has {card} labels; max is {MAX_CARDINALITY}",
+                            a.name
+                        ),
+                    });
+                }
+            }
+        }
+        let columns = attributes.iter().map(Column::empty_for).collect();
+        Ok(Instances { attributes, class_index, len: 0, columns })
     }
 
     /// Appends a row after validating it against the schema.
@@ -153,7 +211,19 @@ impl Instances {
                 }
             }
         }
-        self.rows.push(row);
+        for (v, col) in row.iter().zip(&mut self.columns) {
+            match col {
+                Column::Nominal(codes) => codes.push(match v {
+                    Value::Nominal(idx) => *idx as u16,
+                    _ => MISSING_CODE,
+                }),
+                Column::Numeric(vals) => vals.push(match v {
+                    Value::Numeric(x) => *x,
+                    _ => f64::NAN,
+                }),
+            }
+        }
+        self.len += 1;
         Ok(())
     }
 
@@ -179,40 +249,95 @@ impl Instances {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// Whether there are no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
     }
 
-    /// The rows.
-    pub fn rows(&self) -> &[Vec<Value>] {
-        &self.rows
+    /// Cell `(row, attribute)`, decoded from the column sentinels.
+    pub fn value(&self, i: usize, a: usize) -> Value {
+        match &self.columns[a] {
+            Column::Nominal(codes) => match codes[i] {
+                MISSING_CODE => Value::Missing,
+                c => Value::Nominal(u32::from(c)),
+            },
+            Column::Numeric(vals) => {
+                let v = vals[i];
+                if v.is_nan() {
+                    Value::Missing
+                } else {
+                    Value::Numeric(v)
+                }
+            }
+        }
     }
 
-    /// One row.
-    pub fn row(&self, i: usize) -> &[Value] {
-        &self.rows[i]
+    /// One row, materialized from the columns.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        (0..self.attributes.len()).map(|a| self.value(i, a)).collect()
+    }
+
+    /// Materializes row `i` into a reusable buffer (hot evaluation loops).
+    pub fn copy_row_into(&self, i: usize, buf: &mut Vec<Value>) {
+        buf.clear();
+        buf.extend((0..self.attributes.len()).map(|a| self.value(i, a)));
+    }
+
+    /// Iterator over materialized rows.
+    pub fn rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.len).map(move |i| self.row(i))
+    }
+
+    /// The contiguous code buffer of a nominal attribute
+    /// ([`MISSING_CODE`] marks missing cells); `None` for numeric columns.
+    pub fn nominal_codes(&self, a: usize) -> Option<&[u16]> {
+        match &self.columns[a] {
+            Column::Nominal(codes) => Some(codes),
+            Column::Numeric(_) => None,
+        }
+    }
+
+    /// The contiguous value buffer of a numeric attribute (NaN marks missing
+    /// cells); `None` for nominal columns.
+    pub fn numeric_values(&self, a: usize) -> Option<&[f64]> {
+        match &self.columns[a] {
+            Column::Numeric(vals) => Some(vals),
+            Column::Nominal(_) => None,
+        }
+    }
+
+    /// The class column's code buffer; errors when the class is numeric.
+    pub fn class_codes(&self) -> Result<&[u16]> {
+        self.nominal_codes(self.class_index).ok_or(Error::WrongClassKind("nominal"))
     }
 
     /// Class value of row `i` as a nominal index; errors for numeric or
     /// missing classes.
     pub fn class_of(&self, i: usize) -> Result<usize> {
-        match self.rows[i][self.class_index] {
-            Value::Nominal(c) => Ok(c as usize),
-            Value::Missing => Err(Error::SchemaMismatch(format!("row {i} has a missing class"))),
-            Value::Numeric(_) => Err(Error::WrongClassKind("nominal")),
+        match &self.columns[self.class_index] {
+            Column::Nominal(codes) => match codes[i] {
+                MISSING_CODE => Err(Error::SchemaMismatch(format!("row {i} has a missing class"))),
+                c => Ok(c as usize),
+            },
+            Column::Numeric(_) => Err(Error::WrongClassKind("nominal")),
         }
     }
 
     /// Class value of row `i` as a number (for regression); errors otherwise.
     pub fn target_of(&self, i: usize) -> Result<f64> {
-        match self.rows[i][self.class_index] {
-            Value::Numeric(v) => Ok(v),
-            Value::Missing => Err(Error::SchemaMismatch(format!("row {i} has a missing target"))),
-            Value::Nominal(_) => Err(Error::WrongClassKind("numeric")),
+        match &self.columns[self.class_index] {
+            Column::Numeric(vals) => {
+                let v = vals[i];
+                if v.is_nan() {
+                    Err(Error::SchemaMismatch(format!("row {i} has a missing target")))
+                } else {
+                    Ok(v)
+                }
+            }
+            Column::Nominal(_) => Err(Error::WrongClassKind("numeric")),
         }
     }
 
@@ -225,19 +350,20 @@ impl Instances {
     pub fn class_counts(&self) -> Result<Vec<usize>> {
         let k = self.num_classes()?;
         let mut counts = vec![0usize; k];
-        for i in 0..self.len() {
+        for i in 0..self.len {
             counts[self.class_of(i)?] += 1;
         }
         Ok(counts)
     }
 
     /// A new dataset with the same schema containing the selected rows
-    /// (clones; row order follows `indices`).
+    /// (per-column gather; row order follows `indices`).
     pub fn subset(&self, indices: &[usize]) -> Instances {
         Instances {
             attributes: self.attributes.clone(),
             class_index: self.class_index,
-            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+            len: indices.len(),
+            columns: self.columns.iter().map(|c| c.gather(indices)).collect(),
         }
     }
 
@@ -246,8 +372,22 @@ impl Instances {
         Instances {
             attributes: self.attributes.clone(),
             class_index: self.class_index,
-            rows: Vec::new(),
+            len: 0,
+            columns: self.attributes.iter().map(Column::empty_for).collect(),
         }
+    }
+}
+
+// Manual equality: the NaN missing sentinel makes derived `PartialEq` wrong
+// (NaN != NaN would report two identical datasets unequal), so cells are
+// compared through `value()` where both sides decode to `Value::Missing`.
+impl PartialEq for Instances {
+    fn eq(&self, other: &Self) -> bool {
+        self.attributes == other.attributes
+            && self.class_index == other.class_index
+            && self.len == other.len
+            && (0..self.len)
+                .all(|i| (0..self.attributes.len()).all(|a| self.value(i, a) == other.value(i, a)))
     }
 }
 
@@ -332,6 +472,8 @@ mod tests {
         // Missing is always allowed.
         ds.push_row(vec![Value::Missing, Value::Nominal(1), Value::Nominal(0)]).unwrap();
         assert_eq!(ds.len(), 2);
+        // A rejected row must not leave partial column state behind.
+        assert_eq!(ds.row(1), vec![Value::Missing, Value::Nominal(1), Value::Nominal(0)]);
     }
 
     #[test]
@@ -352,6 +494,7 @@ mod tests {
         assert_eq!(ds.class_counts().unwrap(), vec![1, 0, 1]);
         assert_eq!(ds.feature_indices(), vec![0]);
         assert!(ds.target_of(0).is_err(), "nominal class has no numeric target");
+        assert_eq!(ds.class_codes().unwrap(), &[2, 0]);
     }
 
     #[test]
@@ -381,5 +524,49 @@ mod tests {
     fn constructor_validation() {
         assert!(Instances::new(vec![], 0).is_err());
         assert!(Instances::new(vec![Attribute::numeric("x")], 5).is_err());
+        // Cardinality must leave room for the u16 missing sentinel.
+        let too_wide = Attribute::nominal_indexed("w", MAX_CARDINALITY + 1);
+        assert!(Instances::new(vec![too_wide], 0).is_err());
+        let just_fits = Attribute::nominal_indexed("w", 70_000.min(MAX_CARDINALITY));
+        assert!(Instances::new(vec![just_fits], 0).is_ok());
+    }
+
+    #[test]
+    fn columnar_accessors_and_sentinels() {
+        let mut attrs = vec![Attribute::nominal_indexed("sym", 4), Attribute::numeric("load")];
+        attrs.push(Attribute::nominal_indexed("class", 2));
+        let mut ds = Instances::new(attrs, 2).unwrap();
+        ds.push_row(vec![Value::Nominal(3), Value::Numeric(1.5), Value::Nominal(0)]).unwrap();
+        ds.push_row(vec![Value::Missing, Value::Missing, Value::Nominal(1)]).unwrap();
+
+        assert_eq!(ds.nominal_codes(0).unwrap(), &[3, MISSING_CODE]);
+        assert!(ds.nominal_codes(1).is_none());
+        let nums = ds.numeric_values(1).unwrap();
+        assert_eq!(nums[0], 1.5);
+        assert!(nums[1].is_nan(), "missing numeric stored as NaN");
+        assert!(ds.numeric_values(0).is_none());
+
+        // The row view decodes the sentinels back into Value::Missing.
+        assert_eq!(ds.value(1, 0), Value::Missing);
+        assert_eq!(ds.value(1, 1), Value::Missing);
+        assert_eq!(ds.row(0), vec![Value::Nominal(3), Value::Numeric(1.5), Value::Nominal(0)]);
+        let mut buf = Vec::new();
+        ds.copy_row_into(1, &mut buf);
+        assert_eq!(buf, ds.row(1));
+        assert_eq!(ds.rows().count(), 2);
+    }
+
+    #[test]
+    fn equality_treats_missing_numerics_as_equal() {
+        let build = || {
+            let mut ds = DatasetBuilder::numeric(1, 2).unwrap();
+            ds.push_row(vec![Value::Missing, Value::Nominal(0)]).unwrap();
+            ds.push_row(numeric_row(&[2.0], 1)).unwrap();
+            ds
+        };
+        assert_eq!(build(), build(), "NaN sentinels must not break dataset equality");
+        let mut other = build();
+        other.push_row(numeric_row(&[3.0], 0)).unwrap();
+        assert_ne!(build(), other);
     }
 }

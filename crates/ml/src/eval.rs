@@ -9,6 +9,7 @@ use crate::error::{Error, Result};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use sms_core::pool::{run_indexed, PoolConfig};
 use std::time::{Duration, Instant};
 
 /// Square confusion matrix: `counts[actual][predicted]`.
@@ -245,8 +246,10 @@ where
         train_time += t0.elapsed();
 
         let t1 = Instant::now();
+        let mut row = Vec::new();
         for &i in test_idx {
-            let predicted = model.predict(data.row(i))?;
+            data.copy_row_into(i, &mut row);
+            let predicted = model.predict(&row)?;
             confusion.record(data.class_of(i)?, predicted)?;
         }
         test_time += t1.elapsed();
@@ -293,6 +296,90 @@ where
     Ok(CvResult { confusion, train_time, test_time, folds: k * runs })
 }
 
+/// [`cross_validate_repeated`] across a worker pool, **bit-identical to the
+/// serial protocol at any worker count**: every run's fold assignment is
+/// derived up front on this thread (consuming exactly the serial RNG
+/// stream), each `(run, fold)` pair becomes one independent pool job, and
+/// the per-fold confusion matrices are merged back in `(run, fold)` order.
+/// Matrix merging is u64 addition, so the pooled counts — and everything
+/// derived from them (accuracy, F-measures, kappa) — match the serial result
+/// exactly; only the wall-clock fields vary run to run.
+///
+/// `workers == 0` uses one thread per available core.
+pub fn cross_validate_repeated_parallel<F>(
+    factory: F,
+    data: &Instances,
+    k: usize,
+    seed: u64,
+    runs: usize,
+    workers: usize,
+) -> Result<CvResult>
+where
+    F: Fn() -> Box<dyn Classifier> + Sync,
+{
+    if runs == 0 {
+        return Err(Error::InvalidParameter {
+            name: "runs",
+            reason: "need at least 1 run".to_string(),
+        });
+    }
+    let n_classes = data.num_classes()?;
+    let mut jobs: Vec<(Vec<usize>, Vec<usize>)> = Vec::with_capacity(k * runs);
+    for r in 0..runs {
+        // Same run-seed derivation as the serial path: run 0 is `seed`.
+        let run_seed = if r == 0 {
+            seed
+        } else {
+            seed.wrapping_add((r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        };
+        let folds = stratified_folds(data, k, run_seed)?;
+        for f in 0..k {
+            let train_idx: Vec<usize> = folds
+                .iter()
+                .enumerate()
+                .filter(|&(g, _)| g != f)
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect();
+            jobs.push((train_idx, folds[f].clone()));
+        }
+    }
+
+    let config = PoolConfig::with_workers(workers);
+    let (results, _stats) = run_indexed(jobs.len(), &config, |j| {
+        let (train_idx, test_idx) = &jobs[j];
+        let mut confusion = ConfusionMatrix::new(n_classes)?;
+        if test_idx.is_empty() {
+            // The serial loop skips empty test folds; an all-zero matrix
+            // merges to the same thing.
+            return Ok((confusion, Duration::ZERO, Duration::ZERO));
+        }
+        let train = data.subset(train_idx);
+        let mut model = factory();
+        let t0 = Instant::now();
+        model.fit(&train)?;
+        let train_time = t0.elapsed();
+        let t1 = Instant::now();
+        let mut row = Vec::new();
+        for &i in test_idx {
+            data.copy_row_into(i, &mut row);
+            let predicted = model.predict(&row)?;
+            confusion.record(data.class_of(i)?, predicted)?;
+        }
+        Ok((confusion, train_time, t1.elapsed()))
+    });
+
+    let mut confusion = ConfusionMatrix::new(n_classes)?;
+    let mut train_time = Duration::ZERO;
+    let mut test_time = Duration::ZERO;
+    for res in results {
+        let (m, fit_t, pred_t) = res?;
+        confusion.merge(&m)?;
+        train_time += fit_t;
+        test_time += pred_t;
+    }
+    Ok(CvResult { confusion, train_time, test_time, folds: k * runs })
+}
+
 /// Train/test evaluation on explicit splits (used by the forecasting
 /// experiments' rolling protocol).
 pub fn train_test<F>(factory: F, train: &Instances, test: &Instances) -> Result<CvResult>
@@ -306,8 +393,10 @@ where
     model.fit(train)?;
     let train_time = t0.elapsed();
     let t1 = Instant::now();
+    let mut row = Vec::new();
     for i in 0..test.len() {
-        let predicted = model.predict(test.row(i))?;
+        test.copy_row_into(i, &mut row);
+        let predicted = model.predict(&row)?;
         confusion.record(test.class_of(i)?, predicted)?;
     }
     let test_time = t1.elapsed();
@@ -471,6 +560,28 @@ mod tests {
         assert_eq!(triple.confusion.total(), 3 * single.confusion.total());
         assert_eq!(triple.folds, 15);
         assert!(triple.processing_time() >= triple.train_time);
+    }
+
+    #[test]
+    fn parallel_cv_is_bit_identical_to_serial() {
+        let ds = labelled_dataset(8);
+        let serial =
+            cross_validate_repeated(|| Box::new(NaiveBayes::new()), &ds, 4, 11, 3).unwrap();
+        for workers in [1, 2, 8] {
+            let par = cross_validate_repeated_parallel(
+                || Box::new(NaiveBayes::new()),
+                &ds,
+                4,
+                11,
+                3,
+                workers,
+            )
+            .unwrap();
+            assert_eq!(par.confusion, serial.confusion, "workers={workers}");
+            assert_eq!(par.folds, serial.folds);
+        }
+        assert!(cross_validate_repeated_parallel(|| Box::new(NaiveBayes::new()), &ds, 4, 11, 0, 2)
+            .is_err());
     }
 
     #[test]

@@ -24,17 +24,15 @@ fn entropy(counts: &[f64]) -> f64 {
 /// Equal-frequency discretization of a numeric column into `bins` bins,
 /// returning each row's bin index (missing → `None`).
 fn discretize(data: &Instances, attr: usize, bins: usize) -> Vec<Option<u32>> {
-    let mut values: Vec<f64> =
-        (0..data.len()).filter_map(|i| data.row(i)[attr].as_numeric()).collect();
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let column = data.numeric_values(attr).expect("numeric column");
+    let mut values: Vec<f64> = column.iter().copied().filter(|v| !v.is_nan()).collect();
+    values.sort_by(f64::total_cmp);
     if values.is_empty() {
         return vec![None; data.len()];
     }
     let cuts: Vec<f64> =
         (1..bins).map(|b| values[(b * values.len() / bins).min(values.len() - 1)]).collect();
-    (0..data.len())
-        .map(|i| data.row(i)[attr].as_numeric().map(|v| cuts.partition_point(|&c| c < v) as u32))
-        .collect()
+    column.iter().map(|&v| (!v.is_nan()).then(|| cuts.partition_point(|&c| c < v) as u32)).collect()
 }
 
 /// Information gain of one attribute about the class. Numeric attributes
@@ -49,7 +47,7 @@ pub fn information_gain(data: &Instances, attr: usize, numeric_bins: usize) -> R
 
     let values: Vec<Option<u32>> = match &data.attributes()[attr].kind {
         AttributeKind::Nominal(_) => (0..data.len())
-            .map(|i| match data.row(i)[attr] {
+            .map(|i| match data.value(i, attr) {
                 Value::Nominal(v) => Some(v),
                 _ => None,
             })

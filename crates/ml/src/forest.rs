@@ -8,7 +8,7 @@ use crate::classifier::{normalize_distribution, Classifier};
 use crate::data::Instances;
 use crate::data::Value;
 use crate::error::{Error, Result};
-use crate::tree::RandomTree;
+use crate::tree::{RandomTree, SplitSearch};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -25,6 +25,9 @@ pub struct RandomForest {
     pub max_depth: usize,
     /// Ensemble seed.
     pub seed: u64,
+    /// Split-search strategy forwarded to every tree (identical forests
+    /// either way; see [`SplitSearch`]).
+    pub split_search: SplitSearch,
     trees: Vec<RandomTree>,
     n_classes: usize,
 }
@@ -37,6 +40,7 @@ impl RandomForest {
             feature_subset: 0,
             max_depth: 0,
             seed,
+            split_search: SplitSearch::default(),
             trees: Vec::new(),
             n_classes: 0,
         }
@@ -76,6 +80,7 @@ impl Classifier for RandomForest {
             let mut tree = RandomTree::new(self.seed.wrapping_add(1 + t as u64));
             tree.feature_subset = self.feature_subset;
             tree.max_depth = self.max_depth;
+            tree.split_search = self.split_search;
             tree.fit(&sample)?;
             self.trees.push(tree);
         }

@@ -30,7 +30,7 @@ impl Knn {
     fn distance(&self, data: &Instances, i: usize, row: &[Value]) -> Result<f64> {
         let mut d = 0.0;
         for a in data.feature_indices() {
-            let x = data.row(i)[a];
+            let x = data.value(i, a);
             let y = row.get(a).copied().unwrap_or(Value::Missing);
             let term = match (&data.attributes()[a].kind, x, y) {
                 // HEOM: missing on either side contributes the maximum (1).
@@ -80,8 +80,9 @@ impl Classifier for Knn {
                 AttributeKind::Numeric => {
                     let mut lo = f64::INFINITY;
                     let mut hi = f64::NEG_INFINITY;
-                    for i in 0..data.len() {
-                        if let Value::Numeric(v) = data.row(i)[a] {
+                    let vals = data.numeric_values(a).expect("numeric column");
+                    for &v in vals {
+                        if !v.is_nan() {
                             lo = lo.min(v);
                             hi = hi.max(v);
                         }

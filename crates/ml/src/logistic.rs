@@ -37,8 +37,8 @@ impl Encoder {
                     width += labels.len();
                 }
                 AttributeKind::Numeric => {
-                    let vals: Vec<f64> =
-                        (0..data.len()).filter_map(|i| data.row(i)[a].as_numeric()).collect();
+                    let column = data.numeric_values(a).expect("numeric column");
+                    let vals: Vec<f64> = column.iter().copied().filter(|v| !v.is_nan()).collect();
                     let m = mean(&vals);
                     let s = std_dev(&vals);
                     plan.push((
@@ -159,8 +159,10 @@ impl Classifier for Logistic {
         // Pre-encode all rows.
         let mut xs: Vec<Vec<f64>> = Vec::with_capacity(n);
         let mut buf = Vec::new();
+        let mut row = Vec::new();
         for i in 0..n {
-            encoder.encode(data.row(i), &mut buf)?;
+            data.copy_row_into(i, &mut row);
+            encoder.encode(&row, &mut buf)?;
             xs.push(buf.clone());
         }
         let ys: Vec<usize> = (0..n).map(|i| data.class_of(i)).collect::<Result<_>>()?;

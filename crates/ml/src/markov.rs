@@ -63,12 +63,13 @@ impl Classifier for NgramPredictor {
 
         self.unigram = vec![0.0; k];
         self.tables = vec![HashMap::new(); max_order];
+        let mut row = Vec::new();
         for i in 0..data.len() {
             let class = data.class_of(i)?;
             self.unigram[class] += 1.0;
-            let row = data.row(i);
+            data.copy_row_into(i, &mut row);
             for len in 1..=max_order {
-                if let Some(ctx) = Self::context(row, n_features, len) {
+                if let Some(ctx) = Self::context(&row, n_features, len) {
                     let counts = self.tables[len - 1].entry(ctx).or_insert_with(|| vec![0.0; k]);
                     counts[class] += 1.0;
                 }

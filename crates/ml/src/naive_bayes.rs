@@ -7,7 +7,7 @@
 //! configuration in the paper.
 
 use crate::classifier::{normalize_distribution, Classifier};
-use crate::data::{AttributeKind, Instances, Value};
+use crate::data::{AttributeKind, Instances, Value, MISSING_CODE};
 use crate::error::{Error, Result};
 
 #[derive(Debug, Clone)]
@@ -56,10 +56,13 @@ impl Classifier for NaiveBayes {
                 AttributeKind::Nominal(labels) => {
                     let card = labels.len();
                     let mut counts = vec![vec![0.0f64; card]; k];
-                    for i in 0..data.len() {
-                        let c = data.class_of(i)?;
-                        if let Value::Nominal(v) = data.row(i)[a] {
-                            counts[c][v as usize] += 1.0;
+                    // Columnar scan: class codes are non-missing here (the
+                    // class_counts() call above already validated them).
+                    let codes = data.nominal_codes(a).expect("nominal column");
+                    let classes = data.class_codes()?;
+                    for (&v, &c) in codes.iter().zip(classes) {
+                        if v != MISSING_CODE {
+                            counts[c as usize][v as usize] += 1.0;
                         }
                     }
                     AttrModel::Nominal { counts }
@@ -68,9 +71,11 @@ impl Classifier for NaiveBayes {
                     let mut sum = vec![0.0f64; k];
                     let mut sq = vec![0.0f64; k];
                     let mut cnt = vec![0.0f64; k];
-                    for i in 0..data.len() {
-                        let c = data.class_of(i)?;
-                        if let Value::Numeric(v) = data.row(i)[a] {
+                    let vals = data.numeric_values(a).expect("numeric column");
+                    let classes = data.class_codes()?;
+                    for (&v, &c) in vals.iter().zip(classes) {
+                        if !v.is_nan() {
+                            let c = c as usize;
                             sum[c] += v;
                             sq[c] += v * v;
                             cnt[c] += 1.0;

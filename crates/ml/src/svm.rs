@@ -156,18 +156,13 @@ impl Regressor for SvrRegressor {
         // Collect matrices and standardize.
         let mut cols: Vec<Vec<f64>> = vec![Vec::with_capacity(n); d];
         let mut ys = Vec::with_capacity(n);
+        for (j, &a) in feats.iter().enumerate() {
+            let column = data.numeric_values(a).ok_or_else(|| {
+                Error::SchemaMismatch("SVR requires numeric features".to_string())
+            })?;
+            cols[j].extend(column.iter().map(|&v| if v.is_nan() { 0.0 } else { v }));
+        }
         for i in 0..n {
-            for (j, &a) in feats.iter().enumerate() {
-                match data.row(i)[a] {
-                    Value::Numeric(v) => cols[j].push(v),
-                    Value::Missing => cols[j].push(0.0),
-                    Value::Nominal(_) => {
-                        return Err(Error::SchemaMismatch(
-                            "SVR requires numeric features".to_string(),
-                        ))
-                    }
-                }
-            }
             ys.push(data.target_of(i)?);
         }
         self.x_mean = cols.iter().map(|c| mean(c)).collect();

@@ -9,11 +9,33 @@
 //! datasets contain no missing feature values, so this never triggers there.
 
 use crate::classifier::{normalize_distribution, Classifier};
-use crate::data::{AttributeKind, Instances, Value};
+use crate::data::{AttributeKind, Instances, Value, MISSING_CODE};
 use crate::error::{Error, Result};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+
+/// How a tree searches for the best split at each node.
+///
+/// Both strategies produce **identical trees**: every node statistic is an
+/// integer-valued class histogram (exact in f64), so the split chosen is
+/// invariant to the order rows are visited in, and the RNG stream (feature
+/// subsampling) is consumed identically. The per-node-sort path is kept for
+/// benchmarking and as an executable specification of the presorted one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitSearch {
+    /// Argsort every numeric attribute **once per fit**, then maintain the
+    /// sorted orders through splits with a stable counting partition;
+    /// nominal attributes use flat per-branch class histograms. This turns
+    /// the per-node `O(s log s)` re-sort of the naive C4.5 into `O(s)` work
+    /// per node per attribute.
+    #[default]
+    Presorted,
+    /// The textbook approach: re-sort the node's rows for every numeric
+    /// candidate attribute and materialize `Vec<Vec<usize>>` partitions for
+    /// nominal ones.
+    PerNodeSort,
+}
 
 /// Tree nodes. Every node keeps its training class distribution so
 /// prediction can return calibrated-ish probabilities.
@@ -297,7 +319,9 @@ impl<'a> Builder<'a> {
         if pairs.len() < 2 * self.opts.min_leaf {
             return Ok(None);
         }
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"));
+        // total_cmp keeps any NaN (the missing sentinel, should one leak
+        // through) ordered last instead of panicking mid-fit.
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         // Sweep: maintain left class counts; candidate thresholds between
         // consecutive distinct values.
@@ -352,6 +376,409 @@ impl<'a> Builder<'a> {
             right.extend(missing);
         }
         Ok(Some((score, Split::Numeric { attr, threshold, left, right })))
+    }
+}
+
+/// Candidate split found at a node by the presorted search. Row membership
+/// is implicit (recoverable from the column codes / sorted order), so
+/// nothing per-row is materialized until the split is actually committed.
+enum SegSplit {
+    Nominal {
+        attr: usize,
+        /// Branch sizes *after* missing rows were folded into `biggest`.
+        sizes: Vec<usize>,
+        /// Branch that absorbs missing values (largest before folding).
+        biggest: usize,
+    },
+    Numeric {
+        attr: usize,
+        threshold: f64,
+        /// Rows (of the node's non-missing ones, in attribute order) that go
+        /// left of the threshold.
+        cut: usize,
+        /// Non-missing row count for this attribute in the node.
+        non_missing: usize,
+    },
+}
+
+/// Stably reorders `seg` (one node's slice of an index array) so rows land
+/// grouped by their branch in `side`, preserving relative order within each
+/// branch. `counts[b]` is the number of rows going to branch `b`.
+fn stable_partition(seg: &mut [u32], scratch: &mut Vec<u32>, side: &[u16], counts: &[usize]) {
+    scratch.clear();
+    scratch.extend_from_slice(seg);
+    let mut cursors = Vec::with_capacity(counts.len());
+    let mut acc = 0;
+    for &c in counts {
+        cursors.push(acc);
+        acc += c;
+    }
+    for &r in scratch.iter() {
+        let b = side[r as usize] as usize;
+        seg[cursors[b]] = r;
+        cursors[b] += 1;
+    }
+}
+
+/// The presorted split search. Each numeric attribute is argsorted **once**
+/// at construction; every accepted split then repartitions each attribute's
+/// index array (and the master row array) with one stable counting pass, so
+/// sorted order survives all the way down the tree. Nominal attributes are
+/// scanned into flat `card × n_classes` histograms instead of materialized
+/// `Vec<Vec<usize>>` partitions. A node is a contiguous `[lo, hi)` segment
+/// of every index array.
+struct PresortedBuilder<'a> {
+    data: &'a Instances,
+    n_classes: usize,
+    opts: BuildOptions,
+    rng: StdRng,
+    /// Class code per row (validated non-missing up front).
+    classes: Vec<u32>,
+    /// Row ids, permuted so each node owns a contiguous segment.
+    master: Vec<u32>,
+    /// Per numeric attribute: row ids sorted by value (missing/NaN last);
+    /// empty for nominal attributes. Same segment structure as `master`.
+    sorted: Vec<Vec<u32>>,
+    /// Branch marker per row id, valid only while committing one split.
+    side: Vec<u16>,
+    /// Reusable buffer for `stable_partition`.
+    scratch: Vec<u32>,
+}
+
+impl<'a> PresortedBuilder<'a> {
+    fn new(data: &'a Instances, n_classes: usize, opts: BuildOptions, rng: StdRng) -> Result<Self> {
+        let n = data.len();
+        let mut classes = Vec::with_capacity(n);
+        for i in 0..n {
+            classes.push(data.class_of(i)? as u32);
+        }
+        let mut sorted = vec![Vec::new(); data.attributes().len()];
+        for a in data.feature_indices() {
+            if let Some(vals) = data.numeric_values(a) {
+                let mut idx: Vec<u32> = (0..n as u32).collect();
+                // Stable + total_cmp: ties keep row order, NaN sentinels
+                // (missing values) sort after every real number.
+                idx.sort_by(|&x, &y| vals[x as usize].total_cmp(&vals[y as usize]));
+                sorted[a] = idx;
+            }
+        }
+        Ok(PresortedBuilder {
+            data,
+            n_classes,
+            opts,
+            rng,
+            classes,
+            master: (0..n as u32).collect(),
+            sorted,
+            side: vec![0; n],
+            scratch: Vec::with_capacity(n),
+        })
+    }
+
+    fn build_root(&mut self, used_nominal: &mut Vec<bool>) -> Result<Node> {
+        self.build(0, self.data.len(), used_nominal, 0)
+    }
+
+    fn segment_dist(&self, lo: usize, hi: usize) -> Vec<f64> {
+        let mut d = vec![0.0; self.n_classes];
+        for &r in &self.master[lo..hi] {
+            d[self.classes[r as usize] as usize] += 1.0;
+        }
+        d
+    }
+
+    fn candidate_attributes(&mut self, used_nominal: &[bool]) -> Vec<usize> {
+        let mut feats: Vec<usize> = self
+            .data
+            .feature_indices()
+            .into_iter()
+            .filter(|&a| !(self.data.attributes()[a].is_nominal() && used_nominal[a]))
+            .collect();
+        if let Some(m) = self.opts.feature_subset {
+            feats.shuffle(&mut self.rng);
+            feats.truncate(m.max(1));
+        }
+        feats
+    }
+
+    /// Repartitions `master` and every numeric attribute's sorted array
+    /// over `[lo, hi)` according to `side`, returning the child segment
+    /// boundaries (`branches + 1` entries).
+    fn partition(&mut self, lo: usize, hi: usize, branches: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; branches];
+        for &r in &self.master[lo..hi] {
+            counts[self.side[r as usize] as usize] += 1;
+        }
+        let mut starts = Vec::with_capacity(branches + 1);
+        let mut acc = lo;
+        starts.push(lo);
+        for &c in &counts {
+            acc += c;
+            starts.push(acc);
+        }
+        let side = &self.side;
+        stable_partition(&mut self.master[lo..hi], &mut self.scratch, side, &counts);
+        for arr in self.sorted.iter_mut().filter(|v| !v.is_empty()) {
+            stable_partition(&mut arr[lo..hi], &mut self.scratch, side, &counts);
+        }
+        starts
+    }
+
+    fn build(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        used_nominal: &mut Vec<bool>,
+        depth: usize,
+    ) -> Result<Node> {
+        let dist = self.segment_dist(lo, hi);
+        let h = entropy(&dist);
+        let depth_ok = self.opts.max_depth == 0 || depth < self.opts.max_depth;
+        if h == 0.0 || hi - lo < 2 * self.opts.min_leaf || !depth_ok {
+            let real_n = dist.iter().sum();
+            return Ok(Node::Leaf { dist, real_n });
+        }
+
+        let candidates = self.candidate_attributes(used_nominal);
+        let mut best: Option<(f64, SegSplit)> = None;
+        for attr in candidates {
+            if let Some((score, split)) = self.evaluate(attr, lo, hi, h) {
+                if best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
+                    best = Some((score, split));
+                }
+            }
+        }
+
+        let Some((_, split)) = best else {
+            let real_n = dist.iter().sum();
+            return Ok(Node::Leaf { dist, real_n });
+        };
+
+        match split {
+            SegSplit::Nominal { attr, sizes, biggest } => {
+                let codes = self.data.nominal_codes(attr).expect("nominal column");
+                for &r in &self.master[lo..hi] {
+                    let code = codes[r as usize];
+                    self.side[r as usize] =
+                        if code == MISSING_CODE { biggest as u16 } else { code };
+                }
+                let starts = self.partition(lo, hi, sizes.len());
+                let mut default_branch = 0;
+                let mut best_size = 0;
+                for (b, &sz) in sizes.iter().enumerate() {
+                    if sz > best_size {
+                        best_size = sz;
+                        default_branch = b;
+                    }
+                }
+                used_nominal[attr] = true;
+                let mut children = Vec::with_capacity(sizes.len());
+                for b in 0..sizes.len() {
+                    let (blo, bhi) = (starts[b], starts[b + 1]);
+                    if blo == bhi {
+                        // Empty branch: parent distribution, zero real mass.
+                        children.push(Node::Leaf { dist: dist.clone(), real_n: 0.0 });
+                    } else {
+                        children.push(self.build(blo, bhi, used_nominal, depth + 1)?);
+                    }
+                }
+                used_nominal[attr] = false;
+                Ok(Node::Nominal { attr, children, default_branch, dist })
+            }
+            SegSplit::Numeric { attr, threshold, cut, non_missing } => {
+                let m = non_missing;
+                // Missing rows follow the larger side; that side is also the
+                // prediction default (matching the per-node-sort path, where
+                // `default_left` is measured after missing rows land).
+                let left_gets_missing = cut >= m - cut;
+                {
+                    let seg = &self.sorted[attr][lo..hi];
+                    for (k, &r) in seg.iter().enumerate() {
+                        let s = if k < cut {
+                            0u16
+                        } else if k < m || !left_gets_missing {
+                            1
+                        } else {
+                            0
+                        };
+                        self.side[r as usize] = s;
+                    }
+                }
+                let starts = self.partition(lo, hi, 2);
+                let l = self.build(starts[0], starts[1], used_nominal, depth + 1)?;
+                let r = self.build(starts[1], starts[2], used_nominal, depth + 1)?;
+                Ok(Node::Numeric {
+                    attr,
+                    threshold,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    default_left: left_gets_missing,
+                    dist,
+                })
+            }
+        }
+    }
+
+    fn evaluate(&self, attr: usize, lo: usize, hi: usize, h: f64) -> Option<(f64, SegSplit)> {
+        match &self.data.attributes()[attr].kind {
+            AttributeKind::Nominal(labels) => self.evaluate_nominal(attr, labels.len(), lo, hi, h),
+            AttributeKind::Numeric => self.evaluate_numeric(attr, lo, hi, h),
+        }
+    }
+
+    fn evaluate_nominal(
+        &self,
+        attr: usize,
+        card: usize,
+        lo: usize,
+        hi: usize,
+        parent_entropy: f64,
+    ) -> Option<(f64, SegSplit)> {
+        let codes = self.data.nominal_codes(attr).expect("nominal column");
+        let nc = self.n_classes;
+        // One flat histogram pass replaces the naive path's per-branch index
+        // vectors + per-branch class_dist re-scans.
+        let mut counts = vec![0u32; card * nc];
+        let mut missing_dist = vec![0u32; nc];
+        let mut sizes = vec![0usize; card];
+        let mut n_missing = 0usize;
+        for &r in &self.master[lo..hi] {
+            let c = self.classes[r as usize] as usize;
+            let code = codes[r as usize];
+            if code == MISSING_CODE {
+                missing_dist[c] += 1;
+                n_missing += 1;
+            } else {
+                sizes[code as usize] += 1;
+                counts[code as usize * nc + c] += 1;
+            }
+        }
+        // Route missing rows into the largest branch (`max_by_key` keeps the
+        // last maximum — same tie rule as the naive path).
+        let biggest = (0..card).max_by_key(|&b| sizes[b]).unwrap_or(0);
+        if n_missing > 0 {
+            sizes[biggest] += n_missing;
+            for (slot, &m) in counts[biggest * nc..(biggest + 1) * nc].iter_mut().zip(&missing_dist)
+            {
+                *slot += m;
+            }
+        }
+        let populated = sizes.iter().filter(|&&s| s >= self.opts.min_leaf).count();
+        if populated < 2 {
+            return None;
+        }
+        let n = (hi - lo) as f64;
+        let mut cond = 0.0;
+        let mut split_info_counts = Vec::with_capacity(card);
+        let mut dbuf = vec![0.0; nc];
+        for b in 0..card {
+            split_info_counts.push(sizes[b] as f64);
+            if sizes[b] > 0 {
+                for (slot, &count) in dbuf.iter_mut().zip(&counts[b * nc..(b + 1) * nc]) {
+                    *slot = f64::from(count);
+                }
+                cond += sizes[b] as f64 / n * entropy(&dbuf);
+            }
+        }
+        let gain = parent_entropy - cond;
+        if gain <= 1e-12 {
+            return None;
+        }
+        let score = if self.opts.gain_ratio {
+            let si = entropy(&split_info_counts);
+            if si <= 1e-12 {
+                return None;
+            }
+            gain / si
+        } else {
+            gain
+        };
+        Some((score, SegSplit::Nominal { attr, sizes, biggest }))
+    }
+
+    fn evaluate_numeric(
+        &self,
+        attr: usize,
+        lo: usize,
+        hi: usize,
+        parent_entropy: f64,
+    ) -> Option<(f64, SegSplit)> {
+        let vals = self.data.numeric_values(attr).expect("numeric column");
+        let seg = &self.sorted[attr][lo..hi];
+        // Missing (NaN) sentinels sort last, so the non-missing rows are a
+        // prefix; no re-sort, no (value, class) pair materialization.
+        let m = seg.partition_point(|&r| !vals[r as usize].is_nan());
+        if m < 2 * self.opts.min_leaf {
+            return None;
+        }
+        let nc = self.n_classes;
+        let mut total = vec![0u32; nc];
+        for &r in &seg[..m] {
+            total[self.classes[r as usize] as usize] += 1;
+        }
+        let n = m as f64;
+        let mut left = vec![0u32; nc];
+        let mut lbuf = vec![0.0; nc];
+        let mut rbuf = vec![0.0; nc];
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, cut, threshold)
+        for cut in 1..m {
+            let prev = seg[cut - 1] as usize;
+            left[self.classes[prev] as usize] += 1;
+            if vals[prev] == vals[seg[cut] as usize] {
+                continue;
+            }
+            if cut < self.opts.min_leaf || m - cut < self.opts.min_leaf {
+                continue;
+            }
+            for c in 0..nc {
+                lbuf[c] = f64::from(left[c]);
+                rbuf[c] = f64::from(total[c] - left[c]);
+            }
+            let cond = cut as f64 / n * entropy(&lbuf) + (n - cut as f64) / n * entropy(&rbuf);
+            let gain = parent_entropy - cond;
+            if best.map(|(g, _, _)| gain > g).unwrap_or(true) {
+                let threshold = (vals[prev] + vals[seg[cut] as usize]) / 2.0;
+                best = Some((gain, cut, threshold));
+            }
+        }
+        let (gain, cut, threshold) = best?;
+        if gain <= 1e-12 {
+            return None;
+        }
+        let score = if self.opts.gain_ratio {
+            let si = entropy(&[cut as f64, n - cut as f64]);
+            if si <= 1e-12 {
+                return None;
+            }
+            gain / si
+        } else {
+            gain
+        };
+        Some((score, SegSplit::Numeric { attr, threshold, cut, non_missing: m }))
+    }
+}
+
+/// Builds a tree with the requested strategy; shared by [`C45`] and
+/// [`RandomTree`].
+fn build_tree(
+    data: &Instances,
+    n_classes: usize,
+    opts: BuildOptions,
+    seed: u64,
+    strategy: SplitSearch,
+) -> Result<Node> {
+    let mut used = vec![false; data.attributes().len()];
+    match strategy {
+        SplitSearch::Presorted => {
+            let mut builder =
+                PresortedBuilder::new(data, n_classes, opts, StdRng::seed_from_u64(seed))?;
+            builder.build_root(&mut used)
+        }
+        SplitSearch::PerNodeSort => {
+            let mut builder = Builder { data, n_classes, opts, rng: StdRng::seed_from_u64(seed) };
+            let rows: Vec<usize> = (0..data.len()).collect();
+            builder.build(&rows, &mut used, 0)
+        }
     }
 }
 
@@ -489,13 +916,22 @@ pub struct C45 {
     pub confidence: f64,
     /// Whether to prune at all (Weka `unpruned` inverted).
     pub pruning: bool,
+    /// Split-search strategy (identical trees either way; see [`SplitSearch`]).
+    pub split_search: SplitSearch,
     root: Option<Node>,
     n_classes: usize,
 }
 
 impl Default for C45 {
     fn default() -> Self {
-        C45 { min_leaf: 2, confidence: 0.25, pruning: true, root: None, n_classes: 0 }
+        C45 {
+            min_leaf: 2,
+            confidence: 0.25,
+            pruning: true,
+            split_search: SplitSearch::default(),
+            root: None,
+            n_classes: 0,
+        }
     }
 }
 
@@ -527,20 +963,13 @@ impl Classifier for C45 {
             return Err(Error::EmptyDataset("C45::fit"));
         }
         self.n_classes = data.num_classes()?;
-        let mut builder = Builder {
-            data,
-            n_classes: self.n_classes,
-            opts: BuildOptions {
-                min_leaf: self.min_leaf,
-                gain_ratio: true,
-                feature_subset: None,
-                max_depth: 0,
-            },
-            rng: StdRng::seed_from_u64(0),
+        let opts = BuildOptions {
+            min_leaf: self.min_leaf,
+            gain_ratio: true,
+            feature_subset: None,
+            max_depth: 0,
         };
-        let rows: Vec<usize> = (0..data.len()).collect();
-        let mut used = vec![false; data.attributes().len()];
-        let mut root = builder.build(&rows, &mut used, 0)?;
+        let mut root = build_tree(data, self.n_classes, opts, 0, self.split_search)?;
         if self.pruning {
             root = prune(root, self.confidence);
         }
@@ -574,6 +1003,8 @@ pub struct RandomTree {
     pub max_depth: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Split-search strategy (identical trees either way; see [`SplitSearch`]).
+    pub split_search: SplitSearch,
     root: Option<Node>,
     n_classes: usize,
 }
@@ -581,7 +1012,15 @@ pub struct RandomTree {
 impl RandomTree {
     /// Random tree with the given seed and Weka-style defaults.
     pub fn new(seed: u64) -> Self {
-        RandomTree { feature_subset: 0, min_leaf: 1, max_depth: 0, seed, root: None, n_classes: 0 }
+        RandomTree {
+            feature_subset: 0,
+            min_leaf: 1,
+            max_depth: 0,
+            seed,
+            split_search: SplitSearch::default(),
+            root: None,
+            n_classes: 0,
+        }
     }
 }
 
@@ -597,20 +1036,13 @@ impl Classifier for RandomTree {
         } else {
             self.feature_subset.min(f)
         };
-        let mut builder = Builder {
-            data,
-            n_classes: self.n_classes,
-            opts: BuildOptions {
-                min_leaf: self.min_leaf,
-                gain_ratio: false,
-                feature_subset: Some(subset),
-                max_depth: self.max_depth,
-            },
-            rng: StdRng::seed_from_u64(self.seed),
+        let opts = BuildOptions {
+            min_leaf: self.min_leaf,
+            gain_ratio: false,
+            feature_subset: Some(subset),
+            max_depth: self.max_depth,
         };
-        let rows: Vec<usize> = (0..data.len()).collect();
-        let mut used = vec![false; data.attributes().len()];
-        self.root = Some(builder.build(&rows, &mut used, 0)?);
+        self.root = Some(build_tree(data, self.n_classes, opts, self.seed, self.split_search)?);
         Ok(())
     }
 
@@ -630,7 +1062,7 @@ impl Classifier for RandomTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::data::{nominal_row, numeric_row, DatasetBuilder};
+    use crate::data::{nominal_row, numeric_row, Attribute, DatasetBuilder};
 
     fn and_dataset() -> Instances {
         // class = f0 AND f1 — needs depth 2, and each feature has positive
@@ -769,6 +1201,95 @@ mod tests {
         tree.fit(&ds).unwrap();
         assert_eq!(tree.node_count(), 1);
         assert_eq!(tree.predict(&nominal_row(&[2, 2], 0)).unwrap(), 0);
+    }
+
+    /// Mixed nominal/numeric dataset with missing values in both kinds of
+    /// column — the worst case for split bookkeeping.
+    fn mixed_dataset_with_missing() -> Instances {
+        let attrs = vec![
+            Attribute::numeric("kwh"),
+            Attribute::nominal("sym", vec!["a".into(), "b".into(), "c".into()]),
+            Attribute::numeric("peak"),
+            Attribute::nominal("class", vec!["lo".into(), "hi".into()]),
+        ];
+        let mut ds = Instances::new(attrs, 3).unwrap();
+        for i in 0..120u32 {
+            let kwh = if i % 11 == 0 {
+                Value::Missing
+            } else {
+                Value::Numeric(f64::from(i % 40) + f64::from(i % 3) * 0.25)
+            };
+            let sym = if i % 17 == 0 { Value::Missing } else { Value::Nominal(i % 3) };
+            let peak = Value::Numeric(f64::from((i * 7) % 23));
+            let class = Value::Nominal(u32::from(i % 40 > 18));
+            ds.push_row(vec![kwh, sym, peak, class]).unwrap();
+        }
+        ds
+    }
+
+    /// The presorted search must grow byte-for-byte the same trees as the
+    /// per-node-sort reference on every dataset shape we have, including
+    /// missing (NaN-sentinel) values — the regression case for the old
+    /// `partial_cmp(..).expect("finite values")` sort.
+    #[test]
+    fn presorted_matches_per_node_sort() {
+        let numeric = {
+            let mut ds = DatasetBuilder::numeric(2, 2).unwrap();
+            for i in 0..80 {
+                ds.push_row(numeric_row(
+                    &[(i % 13) as f64, ((i * 5) % 17) as f64],
+                    u32::from(i % 13 > 6),
+                ))
+                .unwrap();
+            }
+            ds
+        };
+        for ds in [and_dataset(), numeric, mixed_dataset_with_missing()] {
+            for pruning in [true, false] {
+                let mut fast = C45 { pruning, ..C45::default() };
+                let mut slow =
+                    C45 { pruning, split_search: SplitSearch::PerNodeSort, ..C45::default() };
+                fast.fit(&ds).unwrap();
+                slow.fit(&ds).unwrap();
+                assert_eq!(fast.node_count(), slow.node_count(), "pruning={pruning}");
+                assert_eq!(fast.depth(), slow.depth(), "pruning={pruning}");
+                for i in 0..ds.len() {
+                    let row = ds.row(i);
+                    assert_eq!(
+                        fast.predict_proba(&row).unwrap(),
+                        slow.predict_proba(&row).unwrap(),
+                        "row {i}, pruning={pruning}"
+                    );
+                }
+            }
+            for seed in 0..3 {
+                let mut fast = RandomTree::new(seed);
+                let mut slow = RandomTree::new(seed);
+                slow.split_search = SplitSearch::PerNodeSort;
+                fast.fit(&ds).unwrap();
+                slow.fit(&ds).unwrap();
+                for i in 0..ds.len() {
+                    let row = ds.row(i);
+                    assert_eq!(
+                        fast.predict_proba(&row).unwrap(),
+                        slow.predict_proba(&row).unwrap(),
+                        "row {i}, seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_numeric_values_sort_last_and_follow_larger_side() {
+        let ds = mixed_dataset_with_missing();
+        for strategy in [SplitSearch::Presorted, SplitSearch::PerNodeSort] {
+            let mut tree = C45 { split_search: strategy, ..C45::default() };
+            tree.fit(&ds).unwrap();
+            // Fully-missing probe rows must route through default branches.
+            let p = tree.predict_proba(&[Value::Missing, Value::Missing, Value::Missing]).unwrap();
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{strategy:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Parallel evaluation must be a pure throughput change: for any worker
+//! count, `cross_validate_repeated_parallel` has to reproduce the serial
+//! `cross_validate_repeated` byte for byte — same fold assignments, same
+//! pooled confusion matrix, same F-measure bits.
+
+use sms_ml::classifier::Classifier;
+use sms_ml::data::{Attribute, Instances, Value};
+use sms_ml::eval::{cross_validate_repeated, cross_validate_repeated_parallel, mae, CvResult};
+use sms_ml::forest::RandomForest;
+use sms_ml::naive_bayes::NaiveBayes;
+use sms_ml::tree::{SplitSearch, C45};
+
+/// Deterministic mixed nominal/numeric dataset with some missing values,
+/// imbalanced over 3 classes (so stratification and weighted F both matter).
+fn mixed_dataset(n: usize) -> Instances {
+    let attrs = vec![
+        Attribute::numeric("kwh"),
+        Attribute::nominal("sym", vec!["a".into(), "b".into(), "c".into(), "d".into()]),
+        Attribute::numeric("peak"),
+        Attribute::nominal("house", vec!["h0".into(), "h1".into(), "h2".into()]),
+    ];
+    let mut inst = Instances::new(attrs, 3).unwrap();
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    for i in 0..n {
+        // xorshift64* keeps the fixture independent of any RNG crate.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let class = if i % 7 == 0 { 2 } else { (i % 2) as u32 };
+        let kwh = if i % 11 == 3 {
+            Value::Missing
+        } else {
+            Value::Numeric((r & 0xFFFF) as f64 / 997.0 + class as f64)
+        };
+        let sym = if i % 13 == 5 { Value::Missing } else { Value::Nominal(((r >> 16) % 4) as u32) };
+        let peak = Value::Numeric(((r >> 32) & 0xFFF) as f64 / 61.0);
+        inst.push_row(vec![kwh, sym, peak, Value::Nominal(class)]).unwrap();
+    }
+    inst
+}
+
+/// MAE between the actual and predicted class-count marginals — a derived
+/// regression-style metric whose bits can only match if the pooled
+/// confusion matrices match exactly.
+fn marginal_mae(cv: &CvResult) -> f64 {
+    let counts = cv.confusion.counts();
+    let actual: Vec<f64> = counts.iter().map(|row| row.iter().sum::<u64>() as f64).collect();
+    let predicted: Vec<f64> =
+        (0..counts.len()).map(|c| counts.iter().map(|row| row[c]).sum::<u64>() as f64).collect();
+    mae(&actual, &predicted).unwrap()
+}
+
+fn assert_bit_identical<F>(factory: F, data: &Instances, k: usize, seed: u64, runs: usize)
+where
+    F: Fn() -> Box<dyn Classifier> + Sync,
+{
+    let serial = cross_validate_repeated(&factory, data, k, seed, runs).unwrap();
+    for workers in [1usize, 2, 8] {
+        let par = cross_validate_repeated_parallel(&factory, data, k, seed, runs, workers).unwrap();
+        assert_eq!(par.confusion, serial.confusion, "confusion differs at workers={workers}");
+        assert_eq!(par.folds, serial.folds, "fold count differs at workers={workers}");
+        assert_eq!(
+            par.weighted_f_measure().to_bits(),
+            serial.weighted_f_measure().to_bits(),
+            "F-measure bits differ at workers={workers}"
+        );
+        assert_eq!(
+            par.confusion.accuracy().to_bits(),
+            serial.confusion.accuracy().to_bits(),
+            "accuracy bits differ at workers={workers}"
+        );
+        assert_eq!(
+            marginal_mae(&par).to_bits(),
+            marginal_mae(&serial).to_bits(),
+            "MAE bits differ at workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn naive_bayes_parallel_cv_is_bit_identical() {
+    let data = mixed_dataset(90);
+    assert_bit_identical(|| Box::new(NaiveBayes::new()), &data, 5, 42, 3);
+}
+
+#[test]
+fn j48_parallel_cv_is_bit_identical_for_both_split_searches() {
+    let data = mixed_dataset(90);
+    for search in [SplitSearch::Presorted, SplitSearch::PerNodeSort] {
+        assert_bit_identical(
+            || {
+                let mut t = C45::new();
+                t.split_search = search;
+                Box::new(t)
+            },
+            &data,
+            4,
+            7,
+            2,
+        );
+    }
+}
+
+#[test]
+fn random_forest_parallel_cv_is_bit_identical() {
+    let data = mixed_dataset(72);
+    assert_bit_identical(|| Box::new(RandomForest::new(5, 11)), &data, 3, 11, 2);
+}
+
+#[test]
+fn presorted_and_per_node_sort_agree_under_cv() {
+    // The two split-search strategies must induce identical trees, so their
+    // whole cross-validated evaluation must match bit for bit too.
+    let data = mixed_dataset(90);
+    let run = |search: SplitSearch| {
+        cross_validate_repeated_parallel(
+            || {
+                let mut t = C45::new();
+                t.split_search = search;
+                Box::new(t) as Box<dyn Classifier>
+            },
+            &data,
+            4,
+            19,
+            2,
+            2,
+        )
+        .unwrap()
+    };
+    let fast = run(SplitSearch::Presorted);
+    let slow = run(SplitSearch::PerNodeSort);
+    assert_eq!(fast.confusion, slow.confusion);
+    assert_eq!(fast.weighted_f_measure().to_bits(), slow.weighted_f_measure().to_bits());
+}

@@ -49,7 +49,7 @@ proptest! {
         for mut model in classifiers() {
             model.fit(&ds).unwrap();
             for i in 0..ds.len().min(8) {
-                let p = model.predict_proba(ds.row(i)).unwrap();
+                let p = model.predict_proba(&ds.row(i)).unwrap();
                 prop_assert_eq!(p.len(), 3, "{}", model.name());
                 let sum: f64 = p.iter().sum();
                 prop_assert!((sum - 1.0).abs() < 1e-6, "{}: {p:?}", model.name());
@@ -58,7 +58,7 @@ proptest! {
                     "{}: {p:?}",
                     model.name()
                 );
-                let pred = model.predict(ds.row(i)).unwrap();
+                let pred = model.predict(&ds.row(i)).unwrap();
                 prop_assert!(pred < 3);
             }
         }
@@ -77,8 +77,8 @@ proptest! {
             b.fit(&ds).unwrap();
             for i in 0..ds.len().min(10) {
                 prop_assert_eq!(
-                    a.predict_proba(ds.row(i)).unwrap(),
-                    b.predict_proba(ds.row(i)).unwrap(),
+                    a.predict_proba(&ds.row(i)).unwrap(),
+                    b.predict_proba(&ds.row(i)).unwrap(),
                     "{} not deterministic",
                     a.name()
                 );

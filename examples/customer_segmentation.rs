@@ -24,9 +24,15 @@ fn main() -> Result<()> {
         for bits in [2u8, 4] {
             let spec = EncodingSpec { method, window_secs: 3600, bits };
             let nb =
-                run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::NaiveBayes)?;
-            let rf =
-                run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::RandomForest)?;
+                run_symbolic(&ds, scale, spec, TableMode::PerHouse, ClassifierKind::NaiveBayes, 1)?;
+            let rf = run_symbolic(
+                &ds,
+                scale,
+                spec,
+                TableMode::PerHouse,
+                ClassifierKind::RandomForest,
+                1,
+            )?;
             println!(
                 "{:<28} {:>12.3} {:>12.3} {:>10.4}",
                 spec.label(),
@@ -36,8 +42,8 @@ fn main() -> Result<()> {
             );
         }
     }
-    let nb_raw = run_raw(&ds, scale, Some(3600), ClassifierKind::NaiveBayes)?;
-    let rf_raw = run_raw(&ds, scale, Some(3600), ClassifierKind::RandomForest)?;
+    let nb_raw = run_raw(&ds, scale, Some(3600), ClassifierKind::NaiveBayes, 1)?;
+    let rf_raw = run_raw(&ds, scale, Some(3600), ClassifierKind::RandomForest, 1)?;
     println!(
         "{:<28} {:>12.3} {:>12.3} {:>10.4}",
         "raw 1h", nb_raw.f_measure, rf_raw.f_measure, nb_raw.seconds

@@ -27,8 +27,9 @@ fn main() -> Result<()> {
     println!("{:<10} {:>22}", "alphabet", "attack F-measure");
     for bits in 1..=4u8 {
         let spec = EncodingSpec { method: SeparatorMethod::Median, window_secs: 3600, bits };
-        let cell = run_symbolic(&ds, scale, spec, TableMode::Global, ClassifierKind::RandomForest)
-            .map_err(|e| Error::InvalidParameter { name: "attack", reason: e.to_string() })?;
+        let cell =
+            run_symbolic(&ds, scale, spec, TableMode::Global, ClassifierKind::RandomForest, 1)
+                .map_err(|e| Error::InvalidParameter { name: "attack", reason: e.to_string() })?;
         println!("{:<10} {:>22.3}", format!("{} sym", 1 << bits), cell.f_measure);
     }
 

@@ -33,6 +33,12 @@ if [[ $quick -eq 0 ]]; then
 
     echo "==> wire hardening: repro ingest --faults smoke"
     cargo run -q --release -p sms-bench --bin repro -- ingest --faults
+
+    echo "==> ml split-search bench smoke (down-scaled)"
+    BENCH_ML_SMOKE=1 cargo bench -q -p sms-bench --bench ml
+
+    echo "==> parallel evaluation determinism"
+    cargo test -q -p sms-ml --test eval_determinism
 fi
 
 echo "==> CI green"

@@ -33,6 +33,7 @@ fn f_measure_improves_with_alphabet_size() {
                     spec(method, window, bits),
                     TableMode::PerHouse,
                     ClassifierKind::NaiveBayes,
+                    1,
                 )
                 .unwrap()
                 .f_measure;
@@ -63,6 +64,7 @@ fn quantile_methods_beat_uniform_on_average() {
                     spec(method, window, bits),
                     TableMode::PerHouse,
                     ClassifierKind::NaiveBayes,
+                    1,
                 )
                 .unwrap()
                 .f_measure;
@@ -93,12 +95,13 @@ fn per_house_median_competitive_with_raw() {
                 spec(SeparatorMethod::Median, 3600, bits),
                 TableMode::PerHouse,
                 ClassifierKind::NaiveBayes,
+                1,
             )
             .unwrap()
             .f_measure
         })
         .fold(0.0, f64::max);
-    let raw = run_raw(&ds, scale, Some(3600), ClassifierKind::NaiveBayes).unwrap().f_measure;
+    let raw = run_raw(&ds, scale, Some(3600), ClassifierKind::NaiveBayes, 1).unwrap().f_measure;
     assert!(
         best_median >= raw - 0.05,
         "median encoding {best_median} should match/beat raw NB {raw}"
@@ -119,9 +122,10 @@ fn symbolic_processing_is_not_slower_than_fullrate_raw() {
         spec(SeparatorMethod::Median, 900, 4),
         TableMode::PerHouse,
         ClassifierKind::NaiveBayes,
+        1,
     )
     .unwrap();
-    let full = run_raw(&ds, scale, None, ClassifierKind::NaiveBayes).unwrap();
+    let full = run_raw(&ds, scale, None, ClassifierKind::NaiveBayes, 1).unwrap();
     // At 20 s sampling the dimensionality gap is 45× (4 320 vs 96 features);
     // we require a conservative ≥8× wall-clock gap to stay robust across
     // debug/release builds and CI noise. At REDD's true 1 Hz the same gap is
@@ -148,11 +152,11 @@ fn global_table_degrades_symbolic_accuracy_at_fine_alphabets() {
         for window in [3600, 900] {
             let s = spec(SeparatorMethod::Median, window, bits);
             per_house_sum +=
-                run_symbolic(&ds, scale, s, TableMode::PerHouse, ClassifierKind::NaiveBayes)
+                run_symbolic(&ds, scale, s, TableMode::PerHouse, ClassifierKind::NaiveBayes, 1)
                     .unwrap()
                     .f_measure;
             global_sum +=
-                run_symbolic(&ds, scale, s, TableMode::Global, ClassifierKind::NaiveBayes)
+                run_symbolic(&ds, scale, s, TableMode::Global, ClassifierKind::NaiveBayes, 1)
                     .unwrap()
                     .f_measure;
         }
