@@ -3,7 +3,8 @@
 //! ```text
 //! repro <experiment> [--scale quick|paper] [--seed N] [--parallel] [--workers N] [--faults]
 //! experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-//!              table1 classification compression drift privacy fleet ingest all
+//!              table1 classification compression drift privacy fleet ingest
+//!              quality all
 //! ```
 //!
 //! `--parallel` routes the `fleet` experiment through the multi-threaded
@@ -29,6 +30,7 @@ use sms_bench::forecasting::{ForecastFigure, ForecastModel};
 use sms_bench::ingest_exp::{render_ingest, run_ingest};
 use sms_bench::prep::dataset;
 use sms_bench::privacy_exp::{render_privacy, run_privacy};
+use sms_bench::quality_exp::{render_quality, run_quality};
 use sms_bench::sax_exp::{render_sax_comparison, run_sax_comparison};
 use sms_bench::table1::Table1;
 use sms_bench::Scale;
@@ -40,13 +42,16 @@ fn usage() -> ! {
          [--faults]\n\
          experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9\n\
          table1 classification compression drift privacy clustering ablation sax markov fidelity \
-         arff fleet ingest all\n\
+         arff fleet ingest quality all\n\
          --parallel / --workers N: encode the `fleet` experiment through the\n\
          multi-threaded FleetEngine (default: serial codec); also parallelize\n\
          the evaluation-matrix experiments (classification, fig5-7, table1,\n\
          sax) at the grid-cell level — results are bit-identical to serial\n\
          --faults: corrupt the `ingest` experiment's wire streams (bit flips,\n\
-         truncation, duplication) before the server-side gateway decodes them"
+         truncation, duplication) before the server-side gateway decodes them;\n\
+         for the `quality` experiment, corrupt generated series at the sample\n\
+         level (NaN runs, gaps, duplicates, reset spikes) and seed panicking\n\
+         encode jobs — the engine must repair, retry or quarantine, never abort"
     );
     std::process::exit(2);
 }
@@ -114,8 +119,18 @@ fn run_with_opts(
     match experiment {
         "fleet" => run_fleet(scale, opts),
         "ingest" => run_ingest_exp(scale, opts.faults),
+        "quality" => run_quality_exp(scale, opts.faults),
         _ => run(experiment, scale, eval_workers),
     }
+}
+
+/// Corrupt a fleet's samples and panic-seed its encode jobs, then prove the
+/// supervised engine repairs, retries or quarantines without aborting.
+fn run_quality_exp(scale: Scale, faults: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let report = run_quality(scale, faults)?;
+    println!("{}", render_quality(&report));
+    println!("engine_stats: {}", report.stats.to_json());
+    Ok(())
 }
 
 /// Encode a fleet, ship it over a (optionally faulted) wire, and decode it
@@ -234,6 +249,8 @@ fn run(experiment: &str, scale: Scale, workers: usize) -> Result<(), Box<dyn std
                 encode_secs: 0.0,
                 ingest: None,
                 eval: Some(fig.eval),
+                pool: None,
+                quality: None,
             };
             println!("engine_stats: {}", stats.to_json());
         }

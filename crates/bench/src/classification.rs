@@ -290,7 +290,7 @@ impl FigureRun {
             } else {
                 run_raw(ds, scale, Some(raw_windows[i - grid.len()]), kind, 1)
             }
-        });
+        })?;
         // Index order keeps which error surfaces deterministic.
         let flat = results.into_iter().collect::<Result<Vec<Cell>>>()?;
         let eval = aggregate_eval(&flat, pool_stats.workers, pool_stats.max_queue_depth);

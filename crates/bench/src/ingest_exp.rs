@@ -12,7 +12,14 @@
 //! server-side [`FleetIngest`] gateway decodes what survives. The
 //! [`IngestStats`](sms_core::ingest::IngestStats) counter block lands in
 //! [`EngineStats`] JSON, which `repro ingest [--faults]` prints.
+//!
+//! The injector also owns the *compute-level* fault vocabulary
+//! ([`SeriesFault`]): NaN runs, gaps, duplicated sample runs and reset
+//! spikes applied to the generated series themselves, which the
+//! `repro quality [--faults]` experiment (see [`crate::quality_exp`]) feeds
+//! through the sanitizing, panic-isolating fleet engine.
 
+use std::collections::BTreeSet;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -26,6 +33,7 @@ use sms_core::error::{Error, Result};
 use sms_core::ingest::{FleetIngest, IngestConfig};
 use sms_core::pipeline::CodecBuilder;
 use sms_core::separators::SeparatorMethod;
+use sms_core::timeseries::Sample;
 use sms_core::wire::encode_message;
 
 /// One kind of deterministic wire-level fault.
@@ -45,6 +53,35 @@ pub const ALL_FAULTS: [Fault; 3] = [Fault::BitFlip, Fault::Truncate, Fault::Dupl
 
 /// Longest byte range a single truncation/duplication touches.
 const MAX_FAULT_SPAN: usize = 24;
+
+/// One kind of deterministic sample-level (compute) fault, mirroring the
+/// defect taxonomy of [`sms_core::quality`]: these corrupt the *data* a
+/// house hands the encoder, where [`Fault`] corrupts the *bytes* it ships.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesFault {
+    /// Overwrite a short run of values with `NaN` (sensor glitch).
+    NanRun,
+    /// Delete a short run of samples (outage / reporting gap).
+    Gap,
+    /// Re-insert a copy of a short sample run with identical timestamps
+    /// (retransmission without dedup, now at the sample level).
+    DuplicateRun,
+    /// A meter-reset artifact: one implausibly huge spike followed by a
+    /// negative reading.
+    ResetSpike,
+}
+
+/// All series fault kinds, in the order
+/// [`FaultInjector::corrupt_series_nth`] cycles them.
+pub const ALL_SERIES_FAULTS: [SeriesFault; 4] =
+    [SeriesFault::NanRun, SeriesFault::Gap, SeriesFault::DuplicateRun, SeriesFault::ResetSpike];
+
+/// Longest sample run a single series fault touches.
+const MAX_SERIES_SPAN: usize = 8;
+
+/// Wattage of an injected reset spike — far above any plausible household
+/// draw, so the sanitizer's spike policy always sees it.
+pub const RESET_SPIKE_WATTS: f64 = 5.0e6;
 
 /// Seeded source of reproducible wire corruption and chunked delivery.
 ///
@@ -96,6 +133,80 @@ impl FaultInjector {
     pub fn apply_nth(&mut self, n: u64, wire: &mut Vec<u8>) -> (Fault, usize) {
         let fault = ALL_FAULTS[(n % ALL_FAULTS.len() as u64) as usize];
         (fault, self.apply(fault, wire))
+    }
+
+    /// Applies `fault` to `samples` at a seeded position, returning the
+    /// index of the first sample affected (`0` on an empty series, which is
+    /// left alone). `DuplicateRun` and `NanRun` leave timestamps sorted but
+    /// violate the clean-series invariants, so callers must rebuild through
+    /// [`sms_core::timeseries::TimeSeries::from_samples_unchecked`].
+    pub fn corrupt_series(&mut self, fault: SeriesFault, samples: &mut Vec<Sample>) -> usize {
+        if samples.is_empty() {
+            return 0;
+        }
+        match fault {
+            SeriesFault::NanRun => {
+                let i = self.rng.gen_range(0..samples.len());
+                let n = self.rng.gen_range(1..=MAX_SERIES_SPAN.min(samples.len() - i));
+                for s in &mut samples[i..i + n] {
+                    s.v = f64::NAN;
+                }
+                i
+            }
+            SeriesFault::Gap => {
+                // Keep at least one sample so the house stays non-empty.
+                if samples.len() == 1 {
+                    return 0;
+                }
+                let i = self.rng.gen_range(0..samples.len() - 1);
+                let n = self.rng.gen_range(1..=MAX_SERIES_SPAN.min(samples.len() - 1 - i).max(1));
+                samples.drain(i..i + n);
+                i
+            }
+            SeriesFault::DuplicateRun => {
+                let i = self.rng.gen_range(0..samples.len());
+                let n = self.rng.gen_range(1..=MAX_SERIES_SPAN.min(samples.len() - i));
+                let dup: Vec<Sample> = samples[i..i + n].to_vec();
+                samples.splice(i + n..i + n, dup);
+                i
+            }
+            SeriesFault::ResetSpike => {
+                let i = self.rng.gen_range(0..samples.len());
+                samples[i].v = RESET_SPIKE_WATTS;
+                if i + 1 < samples.len() {
+                    samples[i + 1].v = -samples[i + 1].v.abs().max(1.0);
+                }
+                i
+            }
+        }
+    }
+
+    /// Applies the `n`-th series fault of the cycling schedule
+    /// (NaN, gap, duplicate, reset, NaN, …); see
+    /// [`corrupt_series`](Self::corrupt_series).
+    pub fn corrupt_series_nth(
+        &mut self,
+        n: u64,
+        samples: &mut Vec<Sample>,
+    ) -> (SeriesFault, usize) {
+        let fault = ALL_SERIES_FAULTS[(n % ALL_SERIES_FAULTS.len() as u64) as usize];
+        (fault, self.corrupt_series(fault, samples))
+    }
+
+    /// Draws `count` distinct house indices out of `0..n_houses`
+    /// (deterministic per seed; fewer when `count > n_houses`).
+    pub fn pick_houses(&mut self, n_houses: usize, count: usize) -> BTreeSet<usize> {
+        let mut picked = BTreeSet::new();
+        if n_houses == 0 {
+            return picked;
+        }
+        // Rejection sampling keeps draws independent of `count`'s order of
+        // magnitude; bounded because count is capped at n_houses.
+        let count = count.min(n_houses);
+        while picked.len() < count {
+            picked.insert(self.rng.gen_range(0..n_houses));
+        }
+        picked
     }
 
     /// Splits `total` bytes into random delivery chunk lengths in
@@ -216,6 +327,8 @@ pub fn run_ingest(scale: Scale, faults: bool) -> Result<IngestReport> {
         encode_secs,
         ingest: Some(ingest_stats),
         eval: None,
+        pool: None,
+        quality: None,
     };
     Ok(IngestReport { faults, houses, frames_sent, faults_injected, messages_decoded, stats })
 }
@@ -287,6 +400,52 @@ mod tests {
         let mut empty = Vec::new();
         assert_eq!(inj.apply(Fault::Truncate, &mut empty), 0);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn series_faults_corrupt_as_advertised() {
+        let base: Vec<Sample> = (0..200).map(|i| Sample::new(i * 60, 100.0 + i as f64)).collect();
+        let mut inj = FaultInjector::new(11);
+
+        let mut nans = base.clone();
+        let at = inj.corrupt_series(SeriesFault::NanRun, &mut nans);
+        assert_eq!(nans.len(), base.len());
+        let n_nan = nans.iter().filter(|s| s.v.is_nan()).count();
+        assert!((1..=MAX_SERIES_SPAN).contains(&n_nan));
+        assert!(nans[at].v.is_nan());
+
+        let mut gapped = base.clone();
+        inj.corrupt_series(SeriesFault::Gap, &mut gapped);
+        assert!(gapped.len() < base.len());
+        assert!(base.len() - gapped.len() <= MAX_SERIES_SPAN);
+
+        let mut duped = base.clone();
+        let at = inj.corrupt_series(SeriesFault::DuplicateRun, &mut duped);
+        let n = duped.len() - base.len();
+        assert!((1..=MAX_SERIES_SPAN).contains(&n));
+        assert_eq!(duped[at..at + n], duped[at + n..at + 2 * n]);
+
+        let mut reset = base.clone();
+        let at = inj.corrupt_series(SeriesFault::ResetSpike, &mut reset);
+        assert_eq!(reset[at].v, RESET_SPIKE_WATTS);
+        if at + 1 < reset.len() {
+            assert!(reset[at + 1].v < 0.0);
+        }
+
+        let mut empty: Vec<Sample> = Vec::new();
+        assert_eq!(inj.corrupt_series(SeriesFault::NanRun, &mut empty), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn pick_houses_is_deterministic_and_bounded() {
+        let pick = |seed: u64| FaultInjector::new(seed).pick_houses(24, 5);
+        assert_eq!(pick(9), pick(9));
+        let houses = pick(9);
+        assert_eq!(houses.len(), 5);
+        assert!(houses.iter().all(|&h| h < 24));
+        assert_eq!(FaultInjector::new(1).pick_houses(3, 99).len(), 3);
+        assert!(FaultInjector::new(1).pick_houses(0, 4).is_empty());
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! | Weka interchange (ARFF) | [`export::export_arff`] | `arff <dir>` |
 //! | Fig. 3 made executable: SAX comparison | [`sax_exp::run_sax_comparison`] | `sax` |
 //! | §2.3 hostile-transport ingest | [`ingest_exp::run_ingest`] | `ingest [--faults]` |
+//! | Dirty-data quarantine + panic isolation | [`quality_exp::run_quality`] | `quality [--faults]` |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -38,6 +39,7 @@ pub mod forecasting;
 pub mod ingest_exp;
 pub mod prep;
 pub mod privacy_exp;
+pub mod quality_exp;
 pub mod sax_exp;
 pub mod scale;
 pub mod table1;

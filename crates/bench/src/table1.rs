@@ -85,7 +85,7 @@ impl Table1 {
                     run_symbolic_cached(ds, scale, &cache, spec, mode, k, 1)
                 }
                 Table1Job::Raw(window, k) => run_raw(ds, scale, window, k, 1),
-            });
+            })?;
         // Index order keeps which error surfaces deterministic.
         let cells = results.into_iter().collect::<Result<Vec<Cell>>>()?;
         let rows = grid

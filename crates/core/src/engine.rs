@@ -33,8 +33,9 @@
 //! Throughput counters ([`EngineStats`]) report samples/sec, symbols/sec and
 //! per-stage wall time, and serialize to JSON for benchmark trajectories.
 
-use std::collections::BTreeMap;
-use std::time::Instant;
+use std::borrow::Cow;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 
@@ -43,6 +44,8 @@ use crate::error::{Error, Result};
 use crate::horizontal::SymbolicSeries;
 use crate::json::JsonWriter;
 use crate::pipeline::{CodecBuilder, SymbolicCodec, VerticalPolicy};
+use crate::pool::{Outcome, PoolStats, RetryPolicy, SupervisorPolicy};
+use crate::quality::{QualityStats, Sanitizer, SanitizerConfig};
 use crate::timeseries::{TimeSeries, Timestamp};
 
 /// How the engine obtains lookup tables for a fleet.
@@ -59,6 +62,76 @@ pub enum TableMode {
     Shared,
 }
 
+/// How [`FleetEngine::encode_fleet`] treats a house that cannot be encoded
+/// (its series fails sanitization, its job exhausts every retry, or the run
+/// deadline skips it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QuarantinePolicy {
+    /// The first failing house fails the whole run with a typed error (the
+    /// legacy behavior, minus the process abort).
+    #[default]
+    Strict,
+    /// Failing houses are quarantined into
+    /// [`FleetEncoding::quarantined`] with their reason while every healthy
+    /// house still encodes — byte-identically to a serial run over the same
+    /// healthy set.
+    Isolate,
+}
+
+/// Deterministic chaos-injection plan for the supervised encode stage:
+/// selected houses panic on their first `panics_per_job` attempts. Used by
+/// the fault-injection tests and the `repro quality --faults` experiment; a
+/// house recovers iff the engine's [`RetryPolicy`] allows more attempts
+/// than the plan poisons.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PanicPlan {
+    /// Fleet indices of the houses whose jobs panic.
+    pub houses: BTreeSet<usize>,
+    /// How many leading attempts panic for each selected house.
+    pub panics_per_job: u32,
+}
+
+/// Why a house landed in [`FleetEncoding::quarantined`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuarantineReason {
+    /// The sanitizer rejected the house's series (a defect whose policy is
+    /// [`crate::quality::Policy::Reject`]).
+    DirtyData(Error),
+    /// The encode job returned a typed error (e.g. empty series).
+    EncodeError(Error),
+    /// The encode job panicked on every allowed attempt.
+    Panicked {
+        /// Rendered payload of the final panic.
+        message: String,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+    /// The run deadline elapsed before the job could start.
+    TimedOut,
+}
+
+impl std::fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuarantineReason::DirtyData(e) => write!(f, "dirty data: {e}"),
+            QuarantineReason::EncodeError(e) => write!(f, "encode error: {e}"),
+            QuarantineReason::Panicked { message, attempts } => {
+                write!(f, "panicked after {attempts} attempt(s): {message}")
+            }
+            QuarantineReason::TimedOut => write!(f, "run deadline elapsed before encode"),
+        }
+    }
+}
+
+/// One quarantined house of a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quarantined {
+    /// Fleet index of the house.
+    pub house: usize,
+    /// Why it was quarantined.
+    pub reason: QuarantineReason,
+}
+
 /// Configuration of the parallel engine.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -68,6 +141,19 @@ pub struct EngineConfig {
     pub table_mode: TableMode,
     /// Capacity of each bounded channel (work queue and streaming output).
     pub channel_capacity: usize,
+    /// Abort the run or quarantine failing houses.
+    pub quarantine: QuarantinePolicy,
+    /// Sanitization pre-pass applied to every house before encoding
+    /// (`None` skips it: input is trusted to uphold the clean invariants).
+    pub sanitizer: Option<SanitizerConfig>,
+    /// Retry schedule for panicking encode jobs (only consulted under
+    /// [`QuarantinePolicy::Isolate`]; the default never retries).
+    pub retry: RetryPolicy,
+    /// Per-run deadline for the supervised encode stage.
+    pub deadline: Option<Duration>,
+    /// Deterministic panic injection for robustness tests (`None` in
+    /// production).
+    pub chaos: Option<PanicPlan>,
 }
 
 impl Default for EngineConfig {
@@ -76,6 +162,11 @@ impl Default for EngineConfig {
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             table_mode: TableMode::PerHouse,
             channel_capacity: 64,
+            quarantine: QuarantinePolicy::default(),
+            sanitizer: None,
+            retry: RetryPolicy::default(),
+            deadline: None,
+            chaos: None,
         }
     }
 }
@@ -95,6 +186,36 @@ impl EngineConfig {
     /// Sets the bounded-channel capacity (min 1).
     pub fn channel_capacity(mut self, cap: usize) -> Self {
         self.channel_capacity = cap.max(1);
+        self
+    }
+
+    /// Sets the quarantine policy.
+    pub fn quarantine(mut self, policy: QuarantinePolicy) -> Self {
+        self.quarantine = policy;
+        self
+    }
+
+    /// Enables the sanitization pre-pass.
+    pub fn sanitizer(mut self, config: SanitizerConfig) -> Self {
+        self.sanitizer = Some(config);
+        self
+    }
+
+    /// Sets the retry schedule for panicking encode jobs.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the per-run encode deadline.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Installs a deterministic panic-injection plan (tests only).
+    pub fn chaos(mut self, plan: PanicPlan) -> Self {
+        self.chaos = Some(plan);
         self
     }
 }
@@ -122,6 +243,11 @@ pub struct EngineStats {
     /// Evaluation counters, when the run drove a parallel experiment matrix
     /// (`None` for pure encode runs).
     pub eval: Option<EvalStats>,
+    /// Worker-pool counters (queue depth, panics, retries, deadline skips)
+    /// when the run dispatched jobs through [`crate::pool`].
+    pub pool: Option<PoolStats>,
+    /// Data-quality counters when the run sanitized or quarantined houses.
+    pub quality: Option<QualityStats>,
 }
 
 /// Timing counters for a parallel evaluation run (cross-validated
@@ -205,19 +331,41 @@ impl EngineStats {
             w.key("eval");
             eval.write_json(&mut w);
         }
+        if let Some(pool) = &self.pool {
+            w.key("pool");
+            pool.write_json(&mut w);
+        }
+        if let Some(quality) = &self.quality {
+            w.key("quality");
+            quality.write_json(&mut w);
+        }
         w.end_object();
         w.finish()
     }
 }
 
 /// The result of a batch fleet encode: one symbolic series per input house
-/// (same order), plus throughput counters.
+/// (same order), plus throughput counters and (under
+/// [`QuarantinePolicy::Isolate`]) the houses that could not be encoded.
 #[derive(Debug, Clone)]
 pub struct FleetEncoding {
-    /// `series[i]` encodes `fleet[i]`.
+    /// `series[i]` encodes `fleet[i]`. A quarantined house's slot holds an
+    /// **empty placeholder** series (at the codec's resolution) so indices
+    /// stay aligned with the input fleet; consult
+    /// [`quarantined`](Self::quarantined) before consuming a slot.
     pub series: Vec<SymbolicSeries>,
+    /// Houses that failed sanitization or encoding, in index order. Empty
+    /// under [`QuarantinePolicy::Strict`] (failures error out instead).
+    pub quarantined: Vec<Quarantined>,
     /// Throughput counters for the run.
     pub stats: EngineStats,
+}
+
+impl FleetEncoding {
+    /// Whether `house` was quarantined.
+    pub fn is_quarantined(&self, house: usize) -> bool {
+        self.quarantined.iter().any(|q| q.house == house)
+    }
 }
 
 /// A configured parallel encoder for fleets of household streams.
@@ -241,32 +389,117 @@ impl FleetEngine {
     /// Encodes every house of `fleet`, returning symbolic series in input
     /// order plus throughput counters. Output is byte-identical to training
     /// and encoding each house serially with the same [`CodecBuilder`],
-    /// regardless of `workers`.
+    /// regardless of `workers` — and under [`QuarantinePolicy::Isolate`]
+    /// the surviving houses stay byte-identical to a serial run over the
+    /// same healthy set while failing houses are reported in
+    /// [`FleetEncoding::quarantined`] instead of failing the run.
     pub fn encode_fleet(&self, fleet: &[TimeSeries]) -> Result<FleetEncoding> {
         let workers = self.config.workers.max(1);
         let samples_in: u64 = fleet.iter().map(|h| h.len() as u64).sum();
 
+        // Sanitization pre-pass. Deliberately serial: quarantine decisions
+        // happen before any parallelism so they are reproducible at every
+        // worker count, and the single pass is cheap next to encoding.
+        let mut quarantined: Vec<Quarantined> = Vec::new();
+        let mut quality: Option<QualityStats> = None;
+        let mut prepared: Vec<Option<Cow<'_, TimeSeries>>> = Vec::with_capacity(fleet.len());
+        if let Some(cfg) = self.config.sanitizer {
+            let sanitize_start = Instant::now();
+            let sanitizer = Sanitizer::new(cfg);
+            let mut qstats = QualityStats::default();
+            for (house, series) in fleet.iter().enumerate() {
+                match sanitizer.sanitize(series) {
+                    Ok((clean, report)) => {
+                        qstats.merge_report(&report);
+                        prepared.push(Some(Cow::Owned(clean)));
+                    }
+                    Err(e) => match self.config.quarantine {
+                        QuarantinePolicy::Strict => return Err(e),
+                        QuarantinePolicy::Isolate => {
+                            qstats.houses += 1;
+                            quarantined.push(Quarantined {
+                                house,
+                                reason: QuarantineReason::DirtyData(e),
+                            });
+                            prepared.push(None);
+                        }
+                    },
+                }
+            }
+            qstats.sanitize_secs = sanitize_start.elapsed().as_secs_f64();
+            quality = Some(qstats);
+        } else {
+            prepared.extend(fleet.iter().map(|s| Some(Cow::Borrowed(s))));
+        }
+
+        // Shared-table training pools values from the surviving houses
+        // only: a quarantined house contributes nothing to the fleet table
+        // (the documented deviation from a no-fault run — its dirty values
+        // must not shape everyone else's separators).
         let train_start = Instant::now();
         let shared_codec = match self.config.table_mode {
             TableMode::PerHouse => None,
-            TableMode::Shared => Some(self.train_shared(fleet)?),
+            TableMode::Shared => Some(
+                self.train_shared(prepared.iter().filter_map(|p| p.as_ref().map(|c| c.as_ref())))?,
+            ),
         };
         let train_secs = train_start.elapsed().as_secs_f64();
 
         let encode_start = Instant::now();
+        let active: Vec<usize> =
+            prepared.iter().enumerate().filter(|(_, p)| p.is_some()).map(|(i, _)| i).collect();
         let mut results: Vec<Option<SymbolicSeries>> = fleet.iter().map(|_| None).collect();
-        if !fleet.is_empty() {
-            self.run_batch(fleet, shared_codec.as_ref(), workers, &mut results)?;
+        let mut pool_stats = PoolStats::default();
+        if !active.is_empty() {
+            pool_stats = match self.config.quarantine {
+                QuarantinePolicy::Strict => self.run_batch_strict(
+                    &prepared,
+                    &active,
+                    shared_codec.as_ref(),
+                    workers,
+                    &mut results,
+                )?,
+                QuarantinePolicy::Isolate => self.run_batch_isolated(
+                    &prepared,
+                    &active,
+                    shared_codec.as_ref(),
+                    workers,
+                    &mut results,
+                    &mut quarantined,
+                ),
+            };
         }
         let encode_secs = encode_start.elapsed().as_secs_f64();
 
+        // Sanitize-phase and encode-phase quarantines both exist now; a
+        // single index-ordered list keeps reports deterministic.
+        quarantined.sort_by_key(|q| q.house);
+        match (&mut quality, quarantined.is_empty()) {
+            (Some(q), _) => q.quarantined = quarantined.len() as u64,
+            (None, false) => {
+                quality = Some(QualityStats {
+                    houses: fleet.len() as u64,
+                    quarantined: quarantined.len() as u64,
+                    ..QualityStats::default()
+                });
+            }
+            (None, true) => {}
+        }
+
+        let placeholder = SymbolicSeries::new(self.builder.resolution())?;
         let series: Vec<SymbolicSeries> = results
             .into_iter()
-            .map(|r| r.ok_or_else(|| Error::Engine("worker dropped a house".to_string())))
+            .enumerate()
+            .map(|(house, r)| match r {
+                Some(s) => Ok(s),
+                None if quarantined.iter().any(|q| q.house == house) => Ok(placeholder.clone()),
+                None => Err(Error::Engine(format!("worker dropped house {house}"))),
+            })
             .collect::<Result<_>>()?;
         let symbols_out: u64 = series.iter().map(|s| s.len() as u64).sum();
         Ok(FleetEncoding {
             series,
+            quarantined,
             stats: EngineStats {
                 workers,
                 houses: fleet.len(),
@@ -276,14 +509,20 @@ impl FleetEngine {
                 encode_secs,
                 ingest: None,
                 eval: None,
+                pool: if fleet.is_empty() { None } else { Some(pool_stats) },
+                quality,
             },
         })
     }
 
-    /// Pools training values across the fleet and learns one shared codec.
-    fn train_shared(&self, fleet: &[TimeSeries]) -> Result<SymbolicCodec> {
+    /// Pools training values across the given houses and learns one shared
+    /// codec.
+    fn train_shared<'a>(
+        &self,
+        houses: impl Iterator<Item = &'a TimeSeries>,
+    ) -> Result<SymbolicCodec> {
         let mut pool = Vec::new();
-        for house in fleet {
+        for house in houses {
             if !house.is_empty() {
                 pool.extend(self.builder.training_values(house)?);
             }
@@ -291,33 +530,101 @@ impl FleetEngine {
         self.builder.learn_from_values(&pool)
     }
 
-    /// The fan-out/fan-in core, now delegated to the shared [`crate::pool`]:
-    /// house indices feed the bounded MPMC queue, workers keep reusable
-    /// scratch buffers, and results land back at their index so the output
-    /// is deterministic regardless of worker count.
-    fn run_batch(
+    /// The strict fan-out/fan-in path on the legacy [`crate::pool`] entry
+    /// point: any failing house fails the run (typed error, not an abort).
+    fn run_batch_strict(
         &self,
-        fleet: &[TimeSeries],
+        prepared: &[Option<Cow<'_, TimeSeries>>],
+        active: &[usize],
         shared: Option<&SymbolicCodec>,
         workers: usize,
         results: &mut [Option<SymbolicSeries>],
-    ) -> Result<()> {
+    ) -> Result<PoolStats> {
         let config = crate::pool::PoolConfig {
             workers,
             channel_capacity: self.config.channel_capacity.max(1),
         };
         let builder = &self.builder;
-        let (encoded, _stats) = crate::pool::run_indexed_with(
-            fleet.len(),
+        let chaos = self.config.chaos.as_ref();
+        let (encoded, stats) = crate::pool::run_indexed_with(
+            active.len(),
             &config,
             || (TimeSeries::new(), SymbolicSeries::new(1).expect("1 bit is a valid resolution")),
-            |(scratch, out), idx| encode_one(&fleet[idx], shared, builder, scratch, out),
-        );
+            |(scratch, out), job| {
+                let house = active[job];
+                inject_chaos(chaos, house, 1);
+                let series = prepared[house].as_ref().expect("active houses are prepared");
+                encode_one(series, shared, builder, scratch, out)
+            },
+        )?;
         // Index order makes which error surfaces deterministic too.
-        for (slot, enc) in results.iter_mut().zip(encoded) {
-            *slot = Some(enc?);
+        for (job, enc) in encoded.into_iter().enumerate() {
+            results[active[job]] = Some(enc?);
         }
-        Ok(())
+        Ok(stats)
+    }
+
+    /// The supervised path: panicking jobs are caught and retried per the
+    /// engine's [`RetryPolicy`]; houses that still fail land in
+    /// `quarantined` instead of failing the run.
+    fn run_batch_isolated(
+        &self,
+        prepared: &[Option<Cow<'_, TimeSeries>>],
+        active: &[usize],
+        shared: Option<&SymbolicCodec>,
+        workers: usize,
+        results: &mut [Option<SymbolicSeries>],
+        quarantined: &mut Vec<Quarantined>,
+    ) -> PoolStats {
+        let config = crate::pool::PoolConfig {
+            workers,
+            channel_capacity: self.config.channel_capacity.max(1),
+        };
+        let mut policy = SupervisorPolicy::with_retry(self.config.retry);
+        policy.deadline = self.config.deadline;
+        let builder = &self.builder;
+        let chaos = self.config.chaos.as_ref();
+        let report = crate::pool::run_indexed_supervised_with(
+            active.len(),
+            &config,
+            &policy,
+            || (TimeSeries::new(), SymbolicSeries::new(1).expect("1 bit is a valid resolution")),
+            |(scratch, out), job, attempt| {
+                let house = active[job];
+                inject_chaos(chaos, house, attempt);
+                let series = prepared[house].as_ref().expect("active houses are prepared");
+                encode_one(series, shared, builder, scratch, out)
+            },
+        );
+        for (job, outcome) in report.results.into_iter().enumerate() {
+            let house = active[job];
+            match outcome {
+                Outcome::Ok(Ok(s)) | Outcome::Retried { value: Ok(s), .. } => {
+                    results[house] = Some(s)
+                }
+                Outcome::Ok(Err(e)) | Outcome::Retried { value: Err(e), .. } => quarantined
+                    .push(Quarantined { house, reason: QuarantineReason::EncodeError(e) }),
+                Outcome::Panicked { message, attempts } => quarantined.push(Quarantined {
+                    house,
+                    reason: QuarantineReason::Panicked { message, attempts },
+                }),
+                Outcome::TimedOut => {
+                    quarantined.push(Quarantined { house, reason: QuarantineReason::TimedOut })
+                }
+            }
+        }
+        report.stats
+    }
+}
+
+/// Panics iff the chaos plan poisons this `(house, attempt)` pair. The
+/// panic is deliberately *injected above* the pool's `catch_unwind`, so the
+/// tests exercise the same recovery machinery a genuine encoder bug would.
+fn inject_chaos(plan: Option<&PanicPlan>, house: usize, attempt: u32) {
+    if let Some(plan) = plan {
+        if plan.houses.contains(&house) && attempt <= plan.panics_per_job {
+            panic!("injected fault: house {house} attempt {attempt}");
+        }
     }
 }
 
@@ -726,6 +1033,137 @@ mod tests {
             assert!(json.contains(key), "{json} missing {key}");
         }
         assert!(enc.stats.samples_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn isolate_quarantines_dirty_houses_and_keeps_clean_ones_identical() {
+        use crate::quality::SanitizerConfig;
+
+        let clean = fleet(6, 300);
+        let serial: Vec<SymbolicSeries> =
+            clean.iter().map(|h| builder().train(h).unwrap().encode(h).unwrap()).collect();
+
+        // Corrupt houses 1 and 4 with NaN runs; strict sanitizer rejects them.
+        let mut dirty = clean.clone();
+        for &h in &[1usize, 4] {
+            let mut samples = dirty[h].samples().to_vec();
+            for s in samples.iter_mut().take(10) {
+                s.v = f64::NAN;
+            }
+            dirty[h] = TimeSeries::from_samples_unchecked(samples);
+        }
+
+        for workers in [1, 2, 8] {
+            let config = EngineConfig::with_workers(workers)
+                .quarantine(QuarantinePolicy::Isolate)
+                .sanitizer(SanitizerConfig::strict());
+            let enc = FleetEngine::new(builder(), config).encode_fleet(&dirty).unwrap();
+            assert_eq!(
+                enc.quarantined.iter().map(|q| q.house).collect::<Vec<_>>(),
+                vec![1, 4],
+                "workers={workers}"
+            );
+            for q in &enc.quarantined {
+                assert!(
+                    matches!(&q.reason, QuarantineReason::DirtyData(Error::DataQuality { .. })),
+                    "workers={workers}: {:?}",
+                    q.reason
+                );
+            }
+            for (h, expected) in serial.iter().enumerate() {
+                if h == 1 || h == 4 {
+                    assert!(enc.series[h].is_empty(), "quarantined slot is a placeholder");
+                } else {
+                    assert_eq!(enc.series[h], *expected, "workers={workers} house={h}");
+                }
+            }
+            let q = enc.stats.quality.expect("quality block present");
+            assert_eq!(q.quarantined, 2);
+            assert_eq!(q.houses, 6);
+            let json = enc.stats.to_json();
+            for key in ["\"pool\"", "\"quality\"", "panics", "quarantined"] {
+                assert!(json.contains(key), "{json} missing {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn strict_sanitizer_rejects_the_run_on_dirty_data() {
+        use crate::quality::SanitizerConfig;
+        let mut f = fleet(3, 200);
+        let mut samples = f[2].samples().to_vec();
+        samples[5].v = f64::NAN;
+        f[2] = TimeSeries::from_samples_unchecked(samples);
+        let config = EngineConfig::with_workers(2).sanitizer(SanitizerConfig::strict());
+        let err = FleetEngine::new(builder(), config).encode_fleet(&f).unwrap_err();
+        assert_eq!(err, Error::DataQuality { defect: "non_finite", index: 5 });
+    }
+
+    #[test]
+    fn chaos_panics_recover_via_retry_or_quarantine() {
+        use crate::pool::RetryPolicy;
+        let f = fleet(8, 300);
+        let serial: Vec<SymbolicSeries> =
+            f.iter().map(|h| builder().train(h).unwrap().encode(h).unwrap()).collect();
+        // Houses 2 and 5 each panic on their first attempt...
+        let merged = PanicPlan { houses: [2, 5].into_iter().collect(), panics_per_job: 1 };
+        for workers in [1, 2, 8] {
+            let config = EngineConfig::with_workers(workers)
+                .quarantine(QuarantinePolicy::Isolate)
+                .retry(RetryPolicy::with_max_attempts(2).no_backoff())
+                .chaos(merged.clone());
+            let enc = FleetEngine::new(builder(), config).encode_fleet(&f).unwrap();
+            // ...and max_attempts=2 lets both recover.
+            assert!(enc.quarantined.is_empty(), "workers={workers}: {:?}", enc.quarantined);
+            assert_eq!(enc.series, serial, "workers={workers}");
+            let pool = enc.stats.pool.expect("pool block present");
+            assert_eq!(pool.panics, 2, "workers={workers}");
+            assert_eq!(pool.retries, 2, "workers={workers}");
+            assert_eq!(pool.gave_up, 0);
+
+            // With no retries allowed, the same plan quarantines both houses.
+            let config = EngineConfig::with_workers(workers)
+                .quarantine(QuarantinePolicy::Isolate)
+                .chaos(merged.clone());
+            let enc = FleetEngine::new(builder(), config).encode_fleet(&f).unwrap();
+            assert_eq!(
+                enc.quarantined.iter().map(|q| q.house).collect::<Vec<_>>(),
+                vec![2, 5],
+                "workers={workers}"
+            );
+            for q in &enc.quarantined {
+                assert!(matches!(q.reason, QuarantineReason::Panicked { attempts: 1, .. }));
+            }
+            for (h, expected) in serial.iter().enumerate() {
+                if h != 2 && h != 5 {
+                    assert_eq!(enc.series[h], *expected, "workers={workers} house={h}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strict_chaos_panic_is_a_typed_error_not_an_abort() {
+        let f = fleet(4, 200);
+        let plan = PanicPlan { houses: [1].into_iter().collect(), panics_per_job: u32::MAX };
+        let config = EngineConfig::with_workers(2).chaos(plan);
+        let err = FleetEngine::new(builder(), config).encode_fleet(&f).unwrap_err();
+        assert!(matches!(err, Error::Engine(ref msg) if msg.contains("panicked")), "{err:?}");
+    }
+
+    #[test]
+    fn isolate_quarantines_empty_house_as_encode_error() {
+        let mut f = fleet(3, 200);
+        f.push(TimeSeries::new());
+        let config = EngineConfig::with_workers(2).quarantine(QuarantinePolicy::Isolate);
+        let enc = FleetEngine::new(builder(), config).encode_fleet(&f).unwrap();
+        assert_eq!(enc.quarantined.len(), 1);
+        assert_eq!(enc.quarantined[0].house, 3);
+        assert!(matches!(
+            enc.quarantined[0].reason,
+            QuarantineReason::EncodeError(Error::EmptyInput(_))
+        ));
+        assert!(enc.is_quarantined(3) && !enc.is_quarantined(0));
     }
 
     #[test]

@@ -40,6 +40,39 @@ pub enum Error {
         /// Index of the first out-of-order sample.
         index: usize,
     },
+    /// A value handed to a time series was NaN or infinite. Series are
+    /// NaN-free by construction; untrusted readings go through
+    /// [`crate::quality::Sanitizer`] instead.
+    NonFiniteValue {
+        /// Index of the first non-finite sample.
+        index: usize,
+    },
+    /// A sample failed a data-quality check whose policy is
+    /// [`crate::quality::Policy::Reject`].
+    DataQuality {
+        /// The defect class that was rejected (e.g. `"non_finite"`).
+        defect: &'static str,
+        /// Index of the first offending sample.
+        index: usize,
+    },
+    /// [`crate::ingest::FleetIngest`] refused to create a gateway for a new
+    /// meter because [`max_meters`](crate::ingest::IngestConfig::max_meters)
+    /// gateways already exist.
+    TooManyMeters {
+        /// The configured cap.
+        max: usize,
+    },
+    /// [`crate::ingest::FleetIngest`] refused a chunk because accepting it
+    /// could push the fleet's buffered backlog past
+    /// [`max_buffered_bytes`](crate::ingest::IngestConfig::max_buffered_bytes).
+    BacklogExceeded {
+        /// Bytes currently buffered across every meter.
+        buffered: usize,
+        /// Size of the rejected chunk.
+        incoming: usize,
+        /// The configured cap.
+        max: usize,
+    },
     /// A parameter was outside its documented domain.
     InvalidParameter {
         /// The parameter's name.
@@ -99,6 +132,22 @@ impl fmt::Display for Error {
             }
             Error::NonMonotonicTimestamps { index } => {
                 write!(f, "timestamps must be non-decreasing (violated at index {index})")
+            }
+            Error::NonFiniteValue { index } => {
+                write!(f, "values must be finite (NaN/inf at index {index})")
+            }
+            Error::DataQuality { defect, index } => {
+                write!(f, "data-quality check `{defect}` rejected sample {index}")
+            }
+            Error::TooManyMeters { max } => {
+                write!(f, "meter limit reached: {max} gateways already exist")
+            }
+            Error::BacklogExceeded { buffered, incoming, max } => {
+                write!(
+                    f,
+                    "ingest backlog limit: {buffered} bytes buffered + {incoming} incoming \
+                     exceeds the {max}-byte cap"
+                )
             }
             Error::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")

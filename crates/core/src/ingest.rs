@@ -69,11 +69,28 @@ pub struct IngestConfig {
     /// its typed error (for transports with their own integrity layer,
     /// where corruption means a software bug rather than line noise).
     pub recover: bool,
+    /// Most distinct meters a [`FleetIngest`] will create gateways for;
+    /// bytes from a meter beyond the cap are rejected with
+    /// [`Error::TooManyMeters`]. An id-spoofing (or misconfigured) producer
+    /// must not be able to allocate unbounded per-meter state. Default:
+    /// unlimited.
+    pub max_meters: usize,
+    /// Cap on the bytes buffered across every gateway of a [`FleetIngest`]
+    /// awaiting frame completion; a chunk that could push the backlog past
+    /// it is rejected with [`Error::BacklogExceeded`] before buffering
+    /// anything. Protects the collector from a fleet of producers that
+    /// send headers and never finish their frames. Default: unlimited.
+    pub max_buffered_bytes: usize,
 }
 
 impl Default for IngestConfig {
     fn default() -> Self {
-        IngestConfig { max_frame_len: DEFAULT_MAX_FRAME_LEN, recover: true }
+        IngestConfig {
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            recover: true,
+            max_meters: usize::MAX,
+            max_buffered_bytes: usize::MAX,
+        }
     }
 }
 
@@ -87,6 +104,18 @@ impl IngestConfig {
     /// Sets corruption handling: recover-and-count vs fail-fast.
     pub fn recover(mut self, recover: bool) -> Self {
         self.recover = recover;
+        self
+    }
+
+    /// Sets the distinct-meter cap.
+    pub fn max_meters(mut self, max: usize) -> Self {
+        self.max_meters = max;
+        self
+    }
+
+    /// Sets the fleet-wide buffered-byte cap.
+    pub fn max_buffered_bytes(mut self, max: usize) -> Self {
+        self.max_buffered_bytes = max;
         self
     }
 }
@@ -110,6 +139,12 @@ pub struct IngestStats {
     /// Times a downstream feed was rejected or had to back off
     /// ([`crate::engine::FleetStream::backpressure_stalls`]).
     pub backpressure_stalls: u64,
+    /// Chunks rejected because the sending meter would exceed
+    /// [`IngestConfig::max_meters`].
+    pub meters_rejected: u64,
+    /// Chunks rejected because accepting them could exceed
+    /// [`IngestConfig::max_buffered_bytes`].
+    pub backlog_rejections: u64,
     /// Wall time spent in wire decode (including resync scans), seconds.
     pub decode_secs: f64,
     /// Wall time spent feeding decoded data downstream (including
@@ -126,6 +161,8 @@ impl IngestStats {
         self.frames_oversized += other.frames_oversized;
         self.bytes_in += other.bytes_in;
         self.backpressure_stalls += other.backpressure_stalls;
+        self.meters_rejected += other.meters_rejected;
+        self.backlog_rejections += other.backlog_rejections;
         self.decode_secs += other.decode_secs;
         self.feed_secs += other.feed_secs;
     }
@@ -163,6 +200,10 @@ impl IngestStats {
         w.u64(self.bytes_in);
         w.key("backpressure_stalls");
         w.u64(self.backpressure_stalls);
+        w.key("meters_rejected");
+        w.u64(self.meters_rejected);
+        w.key("backlog_rejections");
+        w.u64(self.backlog_rejections);
         w.key("decode_secs");
         w.f64(self.decode_secs);
         w.key("feed_secs");
@@ -258,22 +299,62 @@ impl MeterIngest {
 }
 
 /// Fleet-level ingest: routes `(meter, bytes)` to per-meter gateways
-/// created on first sight, and aggregates their counters.
+/// created on first sight, aggregates their counters, and enforces the
+/// fleet-wide resource caps ([`IngestConfig::max_meters`],
+/// [`IngestConfig::max_buffered_bytes`]) — without them the per-meter map
+/// and the decoders' partial-frame buffers grow without bound under an
+/// id-spoofing or never-completing producer.
 #[derive(Debug)]
 pub struct FleetIngest {
     config: IngestConfig,
     meters: BTreeMap<u64, MeterIngest>,
+    /// Bytes buffered across every gateway, maintained incrementally (the
+    /// per-call delta of [`MeterIngest::buffered`]) so the backlog check is
+    /// O(1) rather than a walk over millions of meters.
+    buffered_total: usize,
+    meters_rejected: u64,
+    backlog_rejections: u64,
 }
 
 impl FleetIngest {
     /// Creates an empty router; gateways spawn lazily per meter id.
     pub fn new(config: IngestConfig) -> Self {
-        FleetIngest { config, meters: BTreeMap::new() }
+        FleetIngest {
+            config,
+            meters: BTreeMap::new(),
+            buffered_total: 0,
+            meters_rejected: 0,
+            backlog_rejections: 0,
+        }
     }
 
     /// Feeds bytes received from one meter; see [`MeterIngest::ingest`].
+    ///
+    /// Rejects with [`Error::TooManyMeters`] when the chunk would create a
+    /// gateway beyond [`IngestConfig::max_meters`], and with
+    /// [`Error::BacklogExceeded`] when `buffered + incoming` could exceed
+    /// [`IngestConfig::max_buffered_bytes`] (a conservative upper bound:
+    /// the chunk is rejected before buffering, so a rejected call changes
+    /// no state and the caller may retry after the backlog drains).
     pub fn ingest(&mut self, meter: u64, bytes: &[u8]) -> Result<Vec<SensorMessage>> {
-        self.meters.entry(meter).or_insert_with(|| MeterIngest::new(self.config)).ingest(bytes)
+        if self.buffered_total.saturating_add(bytes.len()) > self.config.max_buffered_bytes {
+            self.backlog_rejections += 1;
+            return Err(Error::BacklogExceeded {
+                buffered: self.buffered_total,
+                incoming: bytes.len(),
+                max: self.config.max_buffered_bytes,
+            });
+        }
+        if !self.meters.contains_key(&meter) && self.meters.len() >= self.config.max_meters {
+            self.meters_rejected += 1;
+            return Err(Error::TooManyMeters { max: self.config.max_meters });
+        }
+        let gateway = self.meters.entry(meter).or_insert_with(|| MeterIngest::new(self.config));
+        let before = gateway.buffered();
+        let result = gateway.ingest(bytes);
+        let after = gateway.buffered();
+        self.buffered_total = self.buffered_total - before + after;
+        result
     }
 
     /// The gateway of one meter, if it has sent anything yet.
@@ -286,12 +367,21 @@ impl FleetIngest {
         self.meters.len()
     }
 
-    /// Counters aggregated across every meter.
+    /// Bytes currently buffered across every gateway awaiting frame
+    /// completion.
+    pub fn buffered_total(&self) -> usize {
+        self.buffered_total
+    }
+
+    /// Counters aggregated across every meter, plus the fleet-level
+    /// rejection counters.
     pub fn stats(&self) -> IngestStats {
         let mut total = IngestStats::default();
         for m in self.meters.values() {
             total.merge(m.stats());
         }
+        total.meters_rejected = self.meters_rejected;
+        total.backlog_rejections = self.backlog_rejections;
         total
     }
 }
@@ -409,6 +499,46 @@ mod tests {
     }
 
     #[test]
+    fn meter_cap_rejects_new_meters_only() {
+        let (msgs, wire) = stream(2);
+        let mut fleet = FleetIngest::new(IngestConfig::default().max_meters(2));
+        fleet.ingest(1, &wire).unwrap();
+        fleet.ingest(2, &wire).unwrap();
+        // A third meter is rejected; the known meters keep working.
+        assert_eq!(fleet.ingest(3, &wire).unwrap_err(), Error::TooManyMeters { max: 2 });
+        assert_eq!(fleet.ingest(3, &wire).unwrap_err(), Error::TooManyMeters { max: 2 });
+        let again = fleet.ingest(1, &wire).unwrap();
+        assert_eq!(again.len(), msgs.len());
+        assert_eq!(fleet.meter_count(), 2);
+        assert_eq!(fleet.stats().meters_rejected, 2);
+    }
+
+    #[test]
+    fn backlog_cap_rejects_before_buffering() {
+        // A header that announces a large frame and never completes it.
+        let mut fleet = FleetIngest::new(IngestConfig::default().max_buffered_bytes(64));
+        let partial = vec![0x02, 200, 0, 0, 0]; // 200-byte payload, never sent
+        fleet.ingest(1, &partial).unwrap();
+        assert_eq!(fleet.buffered_total(), partial.len());
+
+        // 61 incoming bytes would exceed 64 total; rejected, nothing buffered.
+        let big = vec![0u8; 61];
+        let err = fleet.ingest(1, &big).unwrap_err();
+        assert_eq!(err, Error::BacklogExceeded { buffered: partial.len(), incoming: 61, max: 64 });
+        assert_eq!(fleet.buffered_total(), partial.len(), "rejected chunk changes no state");
+        assert_eq!(fleet.stats().backlog_rejections, 1);
+
+        // A chunk that *completes* frames shrinks the backlog and is fine.
+        let (_, wire) = stream(1);
+        let mut fleet = FleetIngest::new(IngestConfig::default().max_buffered_bytes(wire.len()));
+        for chunk in wire.chunks(7) {
+            fleet.ingest(1, chunk).unwrap();
+        }
+        assert_eq!(fleet.buffered_total(), 0, "completed frames leave no backlog");
+        assert_eq!(fleet.stats().backlog_rejections, 0);
+    }
+
+    #[test]
     fn stats_json_has_every_counter() {
         let stats = IngestStats {
             frames_ok: 1,
@@ -417,6 +547,8 @@ mod tests {
             frames_oversized: 4,
             bytes_in: 5,
             backpressure_stalls: 6,
+            meters_rejected: 7,
+            backlog_rejections: 8,
             decode_secs: 0.5,
             feed_secs: 0.25,
         };
@@ -428,6 +560,8 @@ mod tests {
             "frames_oversized",
             "bytes_in",
             "backpressure_stalls",
+            "meters_rejected",
+            "backlog_rejections",
             "decode_secs",
             "feed_secs",
         ] {

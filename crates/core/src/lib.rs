@@ -61,6 +61,7 @@ pub mod lookup;
 pub mod pipeline;
 pub mod pool;
 pub mod privacy;
+pub mod quality;
 pub mod sax;
 pub mod separators;
 pub mod stats;
@@ -80,6 +81,7 @@ pub mod prelude {
     pub use crate::ingest::{FleetIngest, IngestConfig, IngestStats, MeterIngest};
     pub use crate::lookup::{LookupTable, SymbolSemantics};
     pub use crate::pipeline::{CodecBuilder, SymbolicCodec, VerticalPolicy};
+    pub use crate::quality::{Policy, QualityReport, Sanitizer, SanitizerConfig};
     pub use crate::separators::SeparatorMethod;
     pub use crate::symbol::Symbol;
     pub use crate::timeseries::{Sample, TimeSeries, Timestamp};

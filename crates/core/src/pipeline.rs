@@ -208,6 +208,12 @@ impl CodecBuilder {
         Ok(self)
     }
 
+    /// The configured symbol resolution in bits (the engine uses this to
+    /// shape placeholder series for quarantined houses).
+    pub fn resolution(&self) -> u8 {
+        self.alphabet.resolution_bits()
+    }
+
     /// Count-based vertical segmentation of every `n` samples.
     pub fn every_n(mut self, n: usize) -> Self {
         self.vertical = VerticalPolicy::EveryN(n);

@@ -1,4 +1,4 @@
-//! Shared bounded-channel worker pool.
+//! Shared bounded-channel worker pool with optional supervision.
 //!
 //! The fan-out/fan-in core that [`crate::engine::FleetEngine`] introduced for
 //! fleet encoding, generalized so any indexed batch of independent jobs —
@@ -14,16 +14,36 @@
 //!                                            └───────────┘
 //! ```
 //!
+//! Two entry-point families share that topology:
+//!
+//! * [`run_indexed`] / [`run_indexed_with`] — the fast path. A panicking
+//!   job fails the whole run, but as a typed [`Error::Engine`] `Result`
+//!   rather than a process abort.
+//! * [`run_indexed_supervised`] / [`run_indexed_supervised_with`] — the
+//!   hardened path. Every job executes under `catch_unwind`; a panicking
+//!   job is retried per [`RetryPolicy`] (deterministic jittered backoff),
+//!   bounded by an optional per-run deadline, and reported as a per-job
+//!   [`Outcome`] inside a [`PoolReport`] instead of taking the run down.
+//!   A worker whose thread body itself crashes is re-armed with fresh
+//!   scratch state (a logical respawn), so one panic never shrinks the
+//!   pool.
+//!
 //! Determinism contract: the collector writes every result back at its job
-//! index, so the output `Vec<R>` is **independent of worker count and
-//! scheduling** whenever each job is a pure function of its index. Callers
-//! that fold the results do so over that index-ordered vector, which is what
-//! makes parallel cross-validation bit-identical to serial (see
-//! `DESIGN.md` §9).
+//! index, so the output is **independent of worker count and scheduling**
+//! whenever each job is a pure function of its index (and, under
+//! supervision, of its attempt number). Callers that fold the results do so
+//! over that index-ordered vector, which is what makes parallel
+//! cross-validation bit-identical to serial (see `DESIGN.md` §9) and fleet
+//! quarantine decisions bit-identical at any worker count (`DESIGN.md` §10).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use crossbeam::channel;
+
+use crate::error::{Error, Result};
+use crate::json::JsonWriter;
 
 /// Parallelism knobs for one pool run.
 #[derive(Debug, Clone)]
@@ -58,6 +78,193 @@ impl PoolConfig {
     }
 }
 
+/// Retry schedule for supervised jobs whose attempt panicked.
+///
+/// Delays are **fully deterministic**: exponential doubling from
+/// [`backoff_base`](Self::backoff_base), saturating at
+/// [`backoff_cap`](Self::backoff_cap), plus a jitter derived by hashing the
+/// `(job index, attempt)` pair — no wall-clock or RNG nondeterminism, so a
+/// replayed run waits exactly as long as the original while distinct jobs
+/// still decorrelate their retry storms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job, counting the first (`1` = never retry).
+    pub max_attempts: u32,
+    /// Delay before the first retry; later retries double it.
+    pub backoff_base: Duration,
+    /// Upper bound on any single retry delay.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Policy that retries up to `max_attempts` total attempts with the
+    /// default backoff schedule.
+    pub fn with_max_attempts(max_attempts: u32) -> Self {
+        RetryPolicy { max_attempts: max_attempts.max(1), ..Self::default() }
+    }
+
+    /// Disables the inter-attempt sleep (for tests and benchmarks).
+    pub fn no_backoff(mut self) -> Self {
+        self.backoff_base = Duration::ZERO;
+        self
+    }
+
+    /// The deterministic delay before retrying `job` after its
+    /// `attempt`-th attempt (1-based) failed: `backoff_base * 2^(attempt-1)`
+    /// capped at `backoff_cap`, plus up to 50% index-derived jitter.
+    pub fn delay(&self, job: usize, attempt: u32) -> Duration {
+        if self.backoff_base.is_zero() {
+            return Duration::ZERO;
+        }
+        let step = self
+            .backoff_base
+            .saturating_mul(1u32.checked_shl(attempt.saturating_sub(1)).unwrap_or(u32::MAX))
+            .min(self.backoff_cap);
+        let jitter_span = step.as_nanos() as u64 / 2;
+        if jitter_span == 0 {
+            return step;
+        }
+        let jitter = splitmix64((job as u64) ^ ((attempt as u64) << 32)) % (jitter_span + 1);
+        (step + Duration::from_nanos(jitter)).min(self.backoff_cap)
+    }
+}
+
+/// SplitMix64 — a tiny, well-mixed hash used to derive jitter from job
+/// coordinates without any RNG state.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Supervision knobs for one [`run_indexed_supervised`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SupervisorPolicy {
+    /// Retry schedule applied when a job attempt panics.
+    pub retry: RetryPolicy,
+    /// Per-run deadline: once elapsed, jobs that have not yet started an
+    /// attempt resolve to [`Outcome::TimedOut`] instead of executing
+    /// (attempts already running are never interrupted — safe Rust cannot
+    /// cancel them — so the run drains quickly but cooperatively).
+    pub deadline: Option<Duration>,
+}
+
+impl SupervisorPolicy {
+    /// Policy with a retry schedule and no deadline.
+    pub fn with_retry(retry: RetryPolicy) -> Self {
+        SupervisorPolicy { retry, deadline: None }
+    }
+
+    /// Sets the per-run deadline.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Per-job result of a supervised run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome<R> {
+    /// The first attempt succeeded.
+    Ok(R),
+    /// The job succeeded after `retries` panicking attempts.
+    Retried {
+        /// The successful attempt's result.
+        value: R,
+        /// How many earlier attempts panicked.
+        retries: u32,
+    },
+    /// Every allowed attempt panicked; `message` is the last panic payload.
+    Panicked {
+        /// Rendered payload of the final panic.
+        message: String,
+        /// Attempts consumed (== the policy's `max_attempts`).
+        attempts: u32,
+    },
+    /// The run's deadline elapsed before this job could start an attempt.
+    TimedOut,
+}
+
+impl<R> Outcome<R> {
+    /// The successful value, if any (first-try or retried).
+    pub fn value(&self) -> Option<&R> {
+        match self {
+            Outcome::Ok(v) | Outcome::Retried { value: v, .. } => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome, returning the successful value if any.
+    pub fn into_value(self) -> Option<R> {
+        match self {
+            Outcome::Ok(v) | Outcome::Retried { value: v, .. } => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether the job produced a value.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Outcome::Ok(_) | Outcome::Retried { .. })
+    }
+}
+
+/// Why a supervised job produced no value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Every allowed attempt panicked.
+    Panic,
+    /// The per-run deadline elapsed before the job ran.
+    Deadline,
+}
+
+/// One failed job of a supervised run, in job-index order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobFailure {
+    /// Index of the failed job.
+    pub index: usize,
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Human-readable detail (the last panic payload, or a deadline note).
+    pub message: String,
+    /// Attempts consumed before giving up.
+    pub attempts: u32,
+}
+
+/// Everything a supervised run reports: index-ordered per-job outcomes, the
+/// failures extracted from them (also index-ordered), and run counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolReport<R> {
+    /// `results[i]` is the outcome of job `i`.
+    pub results: Vec<Outcome<R>>,
+    /// Jobs that produced no value, in index order.
+    pub errors: Vec<JobFailure>,
+    /// Counters for the run.
+    pub stats: PoolStats,
+}
+
+impl<R> PoolReport<R> {
+    /// Consumes the report, returning `(index, value)` for every job that
+    /// succeeded (first-try or after retries), in index order.
+    pub fn into_successes(self) -> Vec<(usize, R)> {
+        self.results
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.into_value().map(|v| (i, v)))
+            .collect()
+    }
+}
+
 /// Counters describing one pool run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PoolStats {
@@ -72,6 +279,65 @@ pub struct PoolStats {
     /// `len()`), so it can transiently overshoot `queue_capacity` by up to
     /// the worker count plus the one job the feeder is blocked on.
     pub max_queue_depth: usize,
+    /// Job attempts that panicked (caught by the supervisor; includes
+    /// attempts that were later retried successfully).
+    pub panics: u64,
+    /// Retry attempts executed after a panicking attempt.
+    pub retries: u64,
+    /// Jobs that exhausted every allowed attempt.
+    pub gave_up: u64,
+    /// Jobs skipped because the per-run deadline had elapsed.
+    pub deadline_exceeded: u64,
+    /// Times a worker's thread body crashed and was re-armed with fresh
+    /// scratch state (a logical respawn; per-job panics are caught one
+    /// level deeper and do not count here).
+    pub respawns: u64,
+}
+
+impl PoolStats {
+    /// Writes this block as one JSON value into `w` (shared with
+    /// [`crate::engine::EngineStats::to_json`]).
+    pub(crate) fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("workers");
+        w.u64(self.workers as u64);
+        w.key("jobs");
+        w.u64(self.jobs as u64);
+        w.key("queue_capacity");
+        w.u64(self.queue_capacity as u64);
+        w.key("max_queue_depth");
+        w.u64(self.max_queue_depth as u64);
+        w.key("panics");
+        w.u64(self.panics);
+        w.key("retries");
+        w.u64(self.retries);
+        w.key("gave_up");
+        w.u64(self.gave_up);
+        w.key("deadline_exceeded");
+        w.u64(self.deadline_exceeded);
+        w.key("respawns");
+        w.u64(self.respawns);
+        w.end_object();
+    }
+
+    /// JSON object for benchmark trajectories.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+}
+
+/// Renders a caught panic payload (`&str` and `String` payloads cover
+/// `panic!` in practice; anything else is labelled opaquely).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Runs `n_jobs` independent jobs across a worker pool and returns the
@@ -80,7 +346,11 @@ pub struct PoolStats {
 /// guarantees purity). Fallible jobs simply use `R = Result<T>` and the
 /// caller short-circuits over the ordered results, which keeps *which* error
 /// surfaces deterministic too.
-pub fn run_indexed<R, F>(n_jobs: usize, config: &PoolConfig, job: F) -> (Vec<R>, PoolStats)
+///
+/// A panicking job fails the whole run with a typed [`Error::Engine`]
+/// instead of aborting the process; callers that must survive poisoned jobs
+/// use [`run_indexed_supervised`].
+pub fn run_indexed<R, F>(n_jobs: usize, config: &PoolConfig, job: F) -> Result<(Vec<R>, PoolStats)>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
@@ -97,7 +367,7 @@ pub fn run_indexed_with<S, R, I, F>(
     config: &PoolConfig,
     init: I,
     job: F,
-) -> (Vec<R>, PoolStats)
+) -> Result<(Vec<R>, PoolStats)>
 where
     R: Send,
     I: Fn() -> S + Sync,
@@ -105,27 +375,207 @@ where
 {
     let workers = config.effective_workers(n_jobs);
     let cap = config.channel_capacity.max(1);
-    let mut stats = PoolStats { workers, jobs: n_jobs, queue_capacity: cap, max_queue_depth: 0 };
+    let mut stats =
+        PoolStats { workers, jobs: n_jobs, queue_capacity: cap, ..PoolStats::default() };
     if n_jobs == 0 {
-        return (Vec::new(), stats);
+        return Ok((Vec::new(), stats));
     }
 
     let mut results: Vec<Option<R>> = (0..n_jobs).map(|_| None).collect();
     let queued = AtomicUsize::new(0);
     let high_water = AtomicUsize::new(0);
+    // `std::thread::scope` (under the compat crossbeam wrapper) re-raises a
+    // spawned thread's panic on the joining thread; catching it here turns
+    // "one poisoned job aborts the fleet run" into a typed error. The
+    // `AssertUnwindSafe` is sound because on the error path every borrowed
+    // value (`results`, the gauges) is either discarded or written only
+    // through atomics.
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        crossbeam::thread::scope(|s| {
+            let (job_tx, job_rx) = channel::bounded::<usize>(cap);
+            let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+            for _ in 0..workers {
+                let job_rx = job_rx.clone();
+                let res_tx = res_tx.clone();
+                let (init, job, queued) = (&init, &job, &queued);
+                s.spawn(move |_| {
+                    let mut state = init();
+                    for idx in job_rx.iter() {
+                        queued.fetch_sub(1, Ordering::Relaxed);
+                        if res_tx.send((idx, job(&mut state, idx))).is_err() {
+                            break; // collector is gone
+                        }
+                    }
+                });
+            }
+            drop(job_rx);
+            drop(res_tx);
+            for idx in 0..n_jobs {
+                // Count before sending so a fast worker's decrement can
+                // never underflow the gauge.
+                let depth = queued.fetch_add(1, Ordering::Relaxed) + 1;
+                high_water.fetch_max(depth, Ordering::Relaxed);
+                if job_tx.send(idx).is_err() {
+                    // Workers only vanish by panicking; the panic will
+                    // surface when the scope joins them, so just stop
+                    // feeding and let that error win.
+                    break;
+                }
+            }
+            drop(job_tx);
+            for (idx, r) in res_rx.iter() {
+                results[idx] = Some(r);
+            }
+        })
+        .expect("compat scope propagates panics instead of returning Err");
+    }));
+    if let Err(payload) = run {
+        return Err(Error::Engine(format!("pool worker panicked: {}", panic_message(&*payload))));
+    }
+
+    stats.max_queue_depth = high_water.load(Ordering::Relaxed);
+    let results = results
+        .into_iter()
+        .enumerate()
+        .map(|(idx, r)| r.ok_or_else(|| Error::Engine(format!("job {idx} produced no result"))))
+        .collect::<Result<Vec<R>>>()?;
+    Ok((results, stats))
+}
+
+/// [`run_indexed_supervised_with`] without per-worker scratch state. The
+/// job receives `(index, attempt)`; `attempt` is 1-based and only exceeds 1
+/// when the policy retried a panicking attempt.
+pub fn run_indexed_supervised<R, F>(
+    n_jobs: usize,
+    config: &PoolConfig,
+    policy: &SupervisorPolicy,
+    job: F,
+) -> PoolReport<R>
+where
+    R: Send,
+    F: Fn(usize, u32) -> R + Sync,
+{
+    run_indexed_supervised_with(
+        n_jobs,
+        config,
+        policy,
+        || (),
+        move |(), idx, attempt| job(idx, attempt),
+    )
+}
+
+/// The supervised pool: every job attempt runs under `catch_unwind`, panics
+/// are retried per [`SupervisorPolicy::retry`] (the scratch state is
+/// re-initialized after each caught panic, since the panicking attempt may
+/// have torn it), jobs that cannot start before the deadline resolve to
+/// [`Outcome::TimedOut`], and a worker whose thread body itself crashes is
+/// re-armed with fresh scratch instead of shrinking the pool.
+///
+/// The report's `results` are index-ordered and — when `job` is
+/// deterministic per `(index, attempt)` — independent of worker count and
+/// scheduling, deadline pressure aside.
+pub fn run_indexed_supervised_with<S, R, I, F>(
+    n_jobs: usize,
+    config: &PoolConfig,
+    policy: &SupervisorPolicy,
+    init: I,
+    job: F,
+) -> PoolReport<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, u32) -> R + Sync,
+{
+    let workers = config.effective_workers(n_jobs);
+    let cap = config.channel_capacity.max(1);
+    let mut stats =
+        PoolStats { workers, jobs: n_jobs, queue_capacity: cap, ..PoolStats::default() };
+    if n_jobs == 0 {
+        return PoolReport { results: Vec::new(), errors: Vec::new(), stats };
+    }
+
+    let deadline_at = policy.deadline.map(|d| Instant::now() + d);
+    let retry = policy.retry;
+    let mut results: Vec<Option<Outcome<R>>> = (0..n_jobs).map(|_| None).collect();
+    let queued = AtomicUsize::new(0);
+    let high_water = AtomicUsize::new(0);
+    let panics = AtomicU64::new(0);
+    let retries = AtomicU64::new(0);
+    let gave_up = AtomicU64::new(0);
+    let deadline_exceeded = AtomicU64::new(0);
+    let respawns = AtomicU64::new(0);
+
     crossbeam::thread::scope(|s| {
         let (job_tx, job_rx) = channel::bounded::<usize>(cap);
-        let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+        let (res_tx, res_rx) = channel::unbounded::<(usize, Outcome<R>)>();
         for _ in 0..workers {
             let job_rx = job_rx.clone();
             let res_tx = res_tx.clone();
-            let (init, job, queued) = (&init, &job, &queued);
+            let (init, job) = (&init, &job);
+            let (queued, panics, retries, gave_up, deadline_exceeded, respawns) =
+                (&queued, &panics, &retries, &gave_up, &deadline_exceeded, &respawns);
             s.spawn(move |_| {
-                let mut state = init();
-                for idx in job_rx.iter() {
-                    queued.fetch_sub(1, Ordering::Relaxed);
-                    if res_tx.send((idx, job(&mut state, idx))).is_err() {
-                        break; // collector is gone
+                // Respawn-in-place loop: should the worker body below ever
+                // panic outside the per-attempt catch (an `init` panic, or a
+                // result whose channel-send drop panics), the worker is
+                // re-armed with fresh scratch and keeps draining the queue
+                // rather than shrinking the pool. The job it was holding is
+                // repaired by the collector (see the `None` backfill below).
+                loop {
+                    let body = catch_unwind(AssertUnwindSafe(|| {
+                        let mut state = init();
+                        for idx in job_rx.iter() {
+                            queued.fetch_sub(1, Ordering::Relaxed);
+                            let mut attempt = 0u32;
+                            let outcome = loop {
+                                if let Some(t) = deadline_at {
+                                    if Instant::now() >= t {
+                                        deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                        break Outcome::TimedOut;
+                                    }
+                                }
+                                attempt += 1;
+                                if attempt > 1 {
+                                    retries.fetch_add(1, Ordering::Relaxed);
+                                    std::thread::sleep(retry.delay(idx, attempt - 1));
+                                }
+                                match catch_unwind(AssertUnwindSafe(|| {
+                                    job(&mut state, idx, attempt)
+                                })) {
+                                    Ok(value) => {
+                                        break if attempt == 1 {
+                                            Outcome::Ok(value)
+                                        } else {
+                                            Outcome::Retried { value, retries: attempt - 1 }
+                                        };
+                                    }
+                                    Err(payload) => {
+                                        panics.fetch_add(1, Ordering::Relaxed);
+                                        // The attempt may have torn the
+                                        // scratch buffers mid-write; rebuild
+                                        // them before any retry touches them.
+                                        state = init();
+                                        if attempt >= retry.max_attempts.max(1) {
+                                            gave_up.fetch_add(1, Ordering::Relaxed);
+                                            break Outcome::Panicked {
+                                                message: panic_message(&*payload),
+                                                attempts: attempt,
+                                            };
+                                        }
+                                    }
+                                }
+                            };
+                            if res_tx.send((idx, outcome)).is_err() {
+                                return; // collector is gone
+                            }
+                        }
+                    }));
+                    match body {
+                        Ok(()) => break,
+                        Err(_) => {
+                            respawns.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
                     }
                 }
             });
@@ -133,25 +583,64 @@ where
         drop(job_rx);
         drop(res_tx);
         for idx in 0..n_jobs {
-            // Count before sending so a fast worker's decrement can never
-            // underflow the gauge.
             let depth = queued.fetch_add(1, Ordering::Relaxed) + 1;
             high_water.fetch_max(depth, Ordering::Relaxed);
-            job_tx.send(idx).expect("pool workers exited early");
+            if job_tx.send(idx).is_err() {
+                break; // all workers gone (only possible via repeated crashes)
+            }
         }
         drop(job_tx);
-        for (idx, r) in res_rx.iter() {
-            results[idx] = Some(r);
+        for (idx, outcome) in res_rx.iter() {
+            results[idx] = Some(outcome);
         }
     })
-    .expect("pool worker panicked");
+    .expect("supervised workers catch their own panics");
+
+    // A job claimed by a worker that crashed outside the per-attempt catch
+    // never reported back; account it as a panic failure so the report stays
+    // total (every index has exactly one outcome).
+    let results: Vec<Outcome<R>> = results
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                panics.fetch_add(1, Ordering::Relaxed);
+                gave_up.fetch_add(1, Ordering::Relaxed);
+                Outcome::Panicked {
+                    message: "worker crashed outside the job (lost the claim)".to_string(),
+                    attempts: 1,
+                }
+            })
+        })
+        .collect();
 
     stats.max_queue_depth = high_water.load(Ordering::Relaxed);
-    let results = results
-        .into_iter()
-        .map(|r| r.expect("every job index produces exactly one result"))
+    stats.panics = panics.load(Ordering::Relaxed);
+    stats.retries = retries.load(Ordering::Relaxed);
+    stats.gave_up = gave_up.load(Ordering::Relaxed);
+    stats.deadline_exceeded = deadline_exceeded.load(Ordering::Relaxed);
+    stats.respawns = respawns.load(Ordering::Relaxed);
+
+    let errors = results
+        .iter()
+        .enumerate()
+        .filter_map(|(index, outcome)| match outcome {
+            Outcome::Panicked { message, attempts } => Some(JobFailure {
+                index,
+                kind: FailureKind::Panic,
+                message: message.clone(),
+                attempts: *attempts,
+            }),
+            Outcome::TimedOut => Some(JobFailure {
+                index,
+                kind: FailureKind::Deadline,
+                message: "deadline elapsed before the job could start".to_string(),
+                attempts: 0,
+            }),
+            _ => None,
+        })
         .collect();
-    (results, stats)
+
+    PoolReport { results, errors, stats }
 }
 
 #[cfg(test)]
@@ -163,7 +652,8 @@ mod tests {
     fn results_are_index_ordered_at_any_worker_count() {
         let expected: Vec<usize> = (0..97).map(|i| i * i).collect();
         for workers in [1, 2, 8] {
-            let (got, stats) = run_indexed(97, &PoolConfig::with_workers(workers), |i| i * i);
+            let (got, stats) =
+                run_indexed(97, &PoolConfig::with_workers(workers), |i| i * i).unwrap();
             assert_eq!(got, expected, "workers={workers}");
             assert_eq!(stats.jobs, 97);
             assert_eq!(stats.workers, workers);
@@ -173,14 +663,14 @@ mod tests {
 
     #[test]
     fn empty_run_is_fine() {
-        let (got, stats) = run_indexed(0, &PoolConfig::default(), |i| i);
+        let (got, stats) = run_indexed(0, &PoolConfig::default(), |i| i).unwrap();
         assert!(got.is_empty());
         assert_eq!(stats.jobs, 0);
     }
 
     #[test]
     fn worker_count_is_capped_by_jobs() {
-        let (got, stats) = run_indexed(3, &PoolConfig::with_workers(16), |i| i + 1);
+        let (got, stats) = run_indexed(3, &PoolConfig::with_workers(16), |i| i + 1).unwrap();
         assert_eq!(got, vec![1, 2, 3]);
         assert_eq!(stats.workers, 3);
     }
@@ -199,7 +689,8 @@ mod tests {
                 scratch.push(idx); // reused buffer, grows per worker
                 idx
             },
-        );
+        )
+        .unwrap();
         assert_eq!(got, (0..50).collect::<Vec<_>>());
         assert_eq!(inits.load(Ordering::Relaxed) as usize, stats.workers);
     }
@@ -213,8 +704,10 @@ mod tests {
                 } else {
                     Ok(i)
                 }
-            });
-            let first_err = results.into_iter().collect::<Result<Vec<_>, _>>().unwrap_err();
+            })
+            .unwrap();
+            let first_err =
+                results.into_iter().collect::<std::result::Result<Vec<_>, usize>>().unwrap_err();
             assert_eq!(first_err, 3, "index order makes error selection deterministic");
         }
     }
@@ -223,7 +716,194 @@ mod tests {
     fn zero_workers_means_available_parallelism() {
         let config = PoolConfig::default();
         assert!(config.effective_workers(100) >= 1);
-        let (got, _) = run_indexed(8, &config, |i| i);
+        let (got, _) = run_indexed(8, &config, |i| i).unwrap();
         assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn legacy_path_turns_job_panic_into_typed_error() {
+        for workers in [1, 4] {
+            let err = run_indexed(16, &PoolConfig::with_workers(workers), |i| {
+                if i == 7 {
+                    panic!("poisoned job {i}");
+                }
+                i
+            })
+            .unwrap_err();
+            match err {
+                Error::Engine(msg) => {
+                    assert!(msg.contains("panicked"), "workers={workers}: {msg}")
+                }
+                other => panic!("expected Engine error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_isolates_panics_and_reports_index_ordered() {
+        let policy = SupervisorPolicy::default(); // max_attempts = 1
+        for workers in [1, 2, 8] {
+            let report = run_indexed_supervised(
+                20,
+                &PoolConfig::with_workers(workers),
+                &policy,
+                |i, _attempt| {
+                    if i % 5 == 2 {
+                        panic!("injected fault at job {i}");
+                    }
+                    i * 10
+                },
+            );
+            assert_eq!(report.results.len(), 20);
+            for (i, outcome) in report.results.iter().enumerate() {
+                if i % 5 == 2 {
+                    assert!(
+                        matches!(outcome, Outcome::Panicked { attempts: 1, .. }),
+                        "workers={workers} job={i}: {outcome:?}"
+                    );
+                } else {
+                    assert_eq!(*outcome, Outcome::Ok(i * 10), "workers={workers}");
+                }
+            }
+            assert_eq!(report.errors.len(), 4);
+            assert_eq!(
+                report.errors.iter().map(|f| f.index).collect::<Vec<_>>(),
+                vec![2, 7, 12, 17],
+                "failures are index-ordered at workers={workers}"
+            );
+            assert_eq!(report.stats.panics, 4);
+            assert_eq!(report.stats.gave_up, 4);
+            assert_eq!(report.stats.retries, 0);
+        }
+    }
+
+    #[test]
+    fn supervised_retries_recover_flaky_jobs() {
+        use std::collections::HashMap;
+        use std::sync::Mutex;
+        // Job 3 panics on its first 2 attempts, then succeeds; job 9 always
+        // panics. With max_attempts = 3 the first recovers, the second
+        // exhausts.
+        let attempts_seen: Mutex<HashMap<usize, u32>> = Mutex::new(HashMap::new());
+        let policy = SupervisorPolicy::with_retry(RetryPolicy::with_max_attempts(3).no_backoff());
+        let report =
+            run_indexed_supervised(12, &PoolConfig::with_workers(3), &policy, |i, attempt| {
+                *attempts_seen.lock().unwrap().entry(i).or_insert(0) = attempt;
+                if i == 3 && attempt <= 2 {
+                    panic!("flaky job 3");
+                }
+                if i == 9 {
+                    panic!("hopeless job 9");
+                }
+                i
+            });
+        assert_eq!(report.results[3], Outcome::Retried { value: 3, retries: 2 });
+        assert!(matches!(report.results[9], Outcome::Panicked { attempts: 3, .. }));
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(report.errors[0].index, 9);
+        assert_eq!(report.errors[0].kind, FailureKind::Panic);
+        assert_eq!(report.stats.panics, 2 + 3);
+        assert_eq!(report.stats.retries, 2 + 2);
+        assert_eq!(report.stats.gave_up, 1);
+        assert_eq!(attempts_seen.lock().unwrap()[&3], 3);
+        let successes = report.into_successes();
+        assert_eq!(successes.len(), 11);
+        assert!(successes.contains(&(3, 3)));
+    }
+
+    #[test]
+    fn supervised_scratch_is_rebuilt_after_a_panic() {
+        // A panicking attempt must not leak its torn scratch into the retry.
+        let policy = SupervisorPolicy::with_retry(RetryPolicy::with_max_attempts(2).no_backoff());
+        let report = run_indexed_supervised_with(
+            6,
+            &PoolConfig::with_workers(2),
+            &policy,
+            Vec::<usize>::new,
+            |scratch, idx, attempt| {
+                scratch.push(idx); // simulate a partial write...
+                if idx == 4 && attempt == 1 {
+                    panic!("tear the scratch"); // ...torn mid-job
+                }
+                scratch.len()
+            },
+        );
+        // Job 4's retry sees a *fresh* scratch: exactly one element (its own
+        // push), not the torn leftovers plus one.
+        assert_eq!(report.results[4], Outcome::Retried { value: 1, retries: 1 });
+    }
+
+    #[test]
+    fn supervised_deadline_times_out_pending_jobs() {
+        let policy = SupervisorPolicy::default().deadline(Duration::from_millis(30));
+        let report =
+            run_indexed_supervised(6, &PoolConfig::with_workers(1), &policy, |i, _attempt| {
+                if i == 0 {
+                    std::thread::sleep(Duration::from_millis(120));
+                }
+                i
+            });
+        assert_eq!(report.results[0], Outcome::Ok(0), "running jobs are never interrupted");
+        let timed_out =
+            report.results.iter().filter(|o| matches!(o, Outcome::TimedOut)).count() as u64;
+        assert!(timed_out >= 1, "deadline must skip queued jobs: {:?}", report.stats);
+        assert_eq!(report.stats.deadline_exceeded, timed_out);
+        assert!(report.errors.iter().all(|f| f.kind != FailureKind::Deadline || f.attempts == 0));
+    }
+
+    #[test]
+    fn retry_delays_are_deterministic_and_bounded() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            backoff_base: Duration::from_micros(100),
+            backoff_cap: Duration::from_millis(2),
+        };
+        for job in [0usize, 1, 17, 1000] {
+            for attempt in 1..=6u32 {
+                let a = policy.delay(job, attempt);
+                let b = policy.delay(job, attempt);
+                assert_eq!(a, b, "same coordinates, same delay");
+                assert!(a <= policy.backoff_cap);
+                assert!(a >= policy.backoff_base.min(policy.backoff_cap));
+            }
+        }
+        // Jitter decorrelates jobs at the same attempt.
+        assert_ne!(policy.delay(1, 2), policy.delay(2, 2));
+        // Zero base disables sleeping entirely.
+        assert_eq!(RetryPolicy::with_max_attempts(3).no_backoff().delay(9, 4), Duration::ZERO);
+    }
+
+    #[test]
+    fn supervised_empty_run_is_fine() {
+        let report = run_indexed_supervised(
+            0,
+            &PoolConfig::default(),
+            &SupervisorPolicy::default(),
+            |i, _| i,
+        );
+        assert!(report.results.is_empty());
+        assert!(report.errors.is_empty());
+        assert_eq!(report.stats.jobs, 0);
+    }
+
+    #[test]
+    fn pool_stats_json_has_supervision_counters() {
+        let stats = PoolStats {
+            workers: 2,
+            jobs: 10,
+            queue_capacity: 64,
+            max_queue_depth: 5,
+            panics: 3,
+            retries: 2,
+            gave_up: 1,
+            deadline_exceeded: 4,
+            respawns: 1,
+        };
+        let json = stats.to_json();
+        for key in
+            ["workers", "jobs", "panics", "retries", "gave_up", "deadline_exceeded", "respawns"]
+        {
+            assert!(json.contains(key), "{json} missing {key}");
+        }
     }
 }

@@ -50,14 +50,28 @@ impl TimeSeries {
         TimeSeries { samples: Vec::with_capacity(n) }
     }
 
-    /// Builds a series from raw samples, validating timestamp monotonicity.
+    /// Builds a series from raw samples, validating timestamp monotonicity
+    /// and value finiteness.
     pub fn from_samples(samples: Vec<Sample>) -> Result<Self> {
         for (i, w) in samples.windows(2).enumerate() {
             if w[1].t < w[0].t {
                 return Err(Error::NonMonotonicTimestamps { index: i + 1 });
             }
         }
+        if let Some(i) = samples.iter().position(|s| !s.v.is_finite()) {
+            return Err(Error::NonFiniteValue { index: i });
+        }
         Ok(TimeSeries { samples })
+    }
+
+    /// Builds a series from raw samples **without** validating order or
+    /// finiteness. This is the deliberate escape hatch for fault injection
+    /// and quality tooling that must represent dirty meter readings (NaN
+    /// runs, reset spikes) before they reach the sanitizer; everything
+    /// downstream of [`crate::quality::Sanitizer`] may assume the invariants
+    /// hold. Do not feed an unchecked dirty series straight to an encoder.
+    pub fn from_samples_unchecked(samples: Vec<Sample>) -> Self {
+        TimeSeries { samples }
     }
 
     /// Builds a regular series: `values[i]` is stamped `start + i * interval`.
@@ -69,6 +83,9 @@ impl TimeSeries {
                 name: "interval",
                 reason: format!("must be positive, got {interval}"),
             });
+        }
+        if let Some(i) = values.iter().position(|v| !v.is_finite()) {
+            return Err(Error::NonFiniteValue { index: i });
         }
         let samples = values
             .iter()
@@ -91,12 +108,17 @@ impl TimeSeries {
         self.samples.extend_from_slice(&other.samples);
     }
 
-    /// Appends a sample, enforcing non-decreasing timestamps.
+    /// Appends a sample, enforcing non-decreasing timestamps and finite
+    /// values. Dirty readings (NaN, ±inf) must go through
+    /// [`crate::quality::Sanitizer`] before they can enter a series.
     pub fn push(&mut self, t: Timestamp, v: f64) -> Result<()> {
         if let Some(last) = self.samples.last() {
             if t < last.t {
                 return Err(Error::NonMonotonicTimestamps { index: self.samples.len() });
             }
+        }
+        if !v.is_finite() {
+            return Err(Error::NonFiniteValue { index: self.samples.len() });
         }
         self.samples.push(Sample::new(t, v));
         Ok(())
@@ -143,8 +165,15 @@ impl TimeSeries {
         self.samples.last().map(|s| s.t)
     }
 
-    /// Minimum value (ignores NaN payloads by propagating them like `f64::min`
-    /// never would — series are expected to be NaN-free; generators guarantee it).
+    /// Minimum value. Series are NaN-free by construction — [`push`],
+    /// [`from_samples`] and [`from_regular`] reject non-finite values, and
+    /// only [`from_samples_unchecked`] (quality/fault-injection tooling) can
+    /// bypass the invariant — so plain `f64::min` folding is exact here.
+    ///
+    /// [`push`]: Self::push
+    /// [`from_samples`]: Self::from_samples
+    /// [`from_regular`]: Self::from_regular
+    /// [`from_samples_unchecked`]: Self::from_samples_unchecked
     pub fn min_value(&self) -> Option<f64> {
         self.samples.iter().map(|s| s.v).fold(None, |acc, v| {
             Some(match acc {
@@ -268,11 +297,13 @@ impl TimeSeries {
 }
 
 impl FromIterator<(Timestamp, f64)> for TimeSeries {
-    /// Collects from `(t, v)` pairs. Panics in debug builds if timestamps are
-    /// decreasing; prefer [`TimeSeries::from_samples`] for untrusted input.
+    /// Collects from `(t, v)` pairs. Panics in debug builds if timestamps
+    /// are decreasing or values are non-finite; prefer
+    /// [`TimeSeries::from_samples`] for untrusted input.
     fn from_iter<I: IntoIterator<Item = (Timestamp, f64)>>(iter: I) -> Self {
         let samples: Vec<Sample> = iter.into_iter().map(|(t, v)| Sample::new(t, v)).collect();
         debug_assert!(samples.windows(2).all(|w| w[0].t <= w[1].t));
+        debug_assert!(samples.iter().all(|s| s.v.is_finite()));
         TimeSeries { samples }
     }
 }
@@ -316,6 +347,35 @@ mod tests {
         s.push(10, 2.0).unwrap();
         assert!(s.push(9, 3.0).is_err());
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn constructors_reject_non_finite_values() {
+        // Regression: NaN/inf used to slip in here and only blow up later
+        // inside the encoder; the invariant is now enforced at the boundary.
+        let mut s = TimeSeries::new();
+        s.push(0, 1.0).unwrap();
+        assert_eq!(s.push(1, f64::NAN).unwrap_err(), Error::NonFiniteValue { index: 1 });
+        assert_eq!(s.push(1, f64::INFINITY).unwrap_err(), Error::NonFiniteValue { index: 1 });
+        assert_eq!(s.len(), 1, "rejected samples must not be appended");
+
+        let bad = vec![Sample::new(0, 1.0), Sample::new(1, f64::NEG_INFINITY)];
+        assert_eq!(TimeSeries::from_samples(bad).unwrap_err(), Error::NonFiniteValue { index: 1 });
+        assert_eq!(
+            TimeSeries::from_regular(0, 1, &[1.0, f64::NAN]).unwrap_err(),
+            Error::NonFiniteValue { index: 1 }
+        );
+    }
+
+    #[test]
+    fn unchecked_constructor_bypasses_validation() {
+        // The documented escape hatch for quality/fault-injection tooling.
+        let s = TimeSeries::from_samples_unchecked(vec![
+            Sample::new(0, f64::NAN),
+            Sample::new(1, -5.0),
+        ]);
+        assert_eq!(s.len(), 2);
+        assert!(s.samples()[0].v.is_nan());
     }
 
     #[test]

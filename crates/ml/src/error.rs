@@ -35,6 +35,9 @@ pub enum Error {
     },
     /// Training diverged or produced non-finite parameters.
     NumericalFailure(String),
+    /// The parallel evaluation pool failed (a worker panicked or a channel
+    /// broke); carries the pool's rendered error.
+    Pool(String),
 }
 
 impl fmt::Display for Error {
@@ -52,6 +55,7 @@ impl fmt::Display for Error {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             Error::NumericalFailure(msg) => write!(f, "numerical failure: {msg}"),
+            Error::Pool(msg) => write!(f, "worker pool failure: {msg}"),
         }
     }
 }

@@ -346,6 +346,9 @@ where
 
     let config = PoolConfig::with_workers(workers);
     let (results, _stats) = run_indexed(jobs.len(), &config, |j| {
+        // Body unchanged; the pool itself now returns a typed error
+        // (mapped to `Error::Pool` below) instead of aborting if a fold
+        // job panics.
         let (train_idx, test_idx) = &jobs[j];
         let mut confusion = ConfusionMatrix::new(n_classes)?;
         if test_idx.is_empty() {
@@ -366,7 +369,8 @@ where
             confusion.record(data.class_of(i)?, predicted)?;
         }
         Ok((confusion, train_time, t1.elapsed()))
-    });
+    })
+    .map_err(|e| Error::Pool(e.to_string()))?;
 
     let mut confusion = ConfusionMatrix::new(n_classes)?;
     let mut train_time = Duration::ZERO;

@@ -39,6 +39,15 @@ if [[ $quick -eq 0 ]]; then
 
     echo "==> parallel evaluation determinism"
     cargo test -q -p sms-ml --test eval_determinism
+
+    echo "==> supervised pool: panic-injection fuzz at workers {1,2,8} (release)"
+    PANIC_FUZZ_ITERS=250 cargo test -q --release --test panic_injection
+
+    echo "==> dirty-data quarantine: repro quality --faults smoke"
+    cargo run -q --release -p sms-bench --bin repro -- quality --faults
+
+    echo "==> quality sanitizer + supervised pool bench smoke (down-scaled)"
+    BENCH_QUALITY_SMOKE=1 cargo bench -q -p sms-bench --bench quality
 fi
 
 echo "==> CI green"

@@ -5,11 +5,16 @@
 
 use meterdata::generator::fleet_series;
 use proptest::prelude::*;
-use smart_meter_symbolics::core::engine::{encode_fleet, EngineConfig, FleetEngine, TableMode};
+use smart_meter_symbolics::core::engine::{
+    encode_fleet, EngineConfig, FleetEngine, PanicPlan, QuarantinePolicy, QuarantineReason,
+    TableMode,
+};
 use smart_meter_symbolics::core::horizontal::SymbolicSeries;
 use smart_meter_symbolics::core::pipeline::CodecBuilder;
+use smart_meter_symbolics::core::pool::RetryPolicy;
+use smart_meter_symbolics::core::quality::SanitizerConfig;
 use smart_meter_symbolics::core::separators::SeparatorMethod;
-use smart_meter_symbolics::core::timeseries::TimeSeries;
+use smart_meter_symbolics::core::timeseries::{Sample, TimeSeries};
 
 fn builder() -> CodecBuilder {
     CodecBuilder::new()
@@ -62,6 +67,68 @@ fn shared_table_mode_is_worker_count_invariant() {
         let config = EngineConfig::with_workers(workers).table_mode(TableMode::Shared);
         let enc = FleetEngine::new(b.clone(), config).encode_fleet(&fleet).expect("shared encode");
         assert_eq!(enc.series, reference, "workers={workers}");
+    }
+}
+
+/// The supervised acceptance gate: a fleet with NaN-corrupted houses *and*
+/// seeded panicking encode jobs completes under `Isolate` at 1, 2, and 8
+/// workers — clean houses byte-identical to the serial no-fault reference,
+/// corrupted houses quarantined with dirty-data reasons, flaky houses
+/// recovered by retries, and the whole report independent of worker count.
+#[test]
+fn supervised_fleet_is_worker_count_invariant_under_faults() {
+    let mut fleet = fleet_series(2013, 20, 1, 600).expect("fleet generator");
+    let b = builder();
+    let serial = serial_reference(&fleet, &b);
+
+    // Houses 3 and 11 carry NaN runs (unrepairable under a strict
+    // sanitizer); houses 5 and 14 panic on their first encode attempt.
+    for &h in &[3usize, 11] {
+        let mut samples: Vec<Sample> = fleet[h].samples().to_vec();
+        let mid = samples.len() / 2;
+        for s in &mut samples[mid..mid + 4] {
+            s.v = f64::NAN;
+        }
+        fleet[h] = TimeSeries::from_samples_unchecked(samples);
+    }
+    let chaos = PanicPlan { houses: [5usize, 14].into_iter().collect(), panics_per_job: 1 };
+
+    let mut reference = None;
+    for workers in [1usize, 2, 8] {
+        let config = EngineConfig::with_workers(workers)
+            .quarantine(QuarantinePolicy::Isolate)
+            .sanitizer(SanitizerConfig::strict())
+            .retry(RetryPolicy::with_max_attempts(2).no_backoff())
+            .chaos(chaos.clone());
+        let enc = FleetEngine::new(b.clone(), config).encode_fleet(&fleet).expect("encode");
+
+        assert_eq!(
+            enc.quarantined.iter().map(|q| q.house).collect::<Vec<_>>(),
+            vec![3, 11],
+            "workers={workers}"
+        );
+        for q in &enc.quarantined {
+            assert!(matches!(q.reason, QuarantineReason::DirtyData(_)), "{q:?}");
+        }
+        for (i, got) in enc.series.iter().enumerate() {
+            if enc.is_quarantined(i) {
+                assert!(got.is_empty(), "quarantined house {i} must hold a placeholder");
+            } else {
+                assert_eq!(got, &serial[i], "house {i} diverged (workers={workers})");
+            }
+        }
+        let pool = enc.stats.pool.expect("pool stats");
+        assert_eq!((pool.panics, pool.retries, pool.gave_up), (2, 2, 0), "workers={workers}");
+        let quality = enc.stats.quality.expect("quality stats");
+        assert_eq!(quality.quarantined, 2, "workers={workers}");
+
+        match &reference {
+            None => reference = Some((enc.series.clone(), enc.quarantined.clone())),
+            Some((series, quarantined)) => {
+                assert_eq!(&enc.series, series, "workers={workers}");
+                assert_eq!(&enc.quarantined, quarantined, "workers={workers}");
+            }
+        }
     }
 }
 

@@ -1,0 +1,142 @@
+//! Backpressure contract of the streaming fleet engine, exercised across
+//! crate boundaries: `try_feed` must account exactly one stall per
+//! rejection and queue nothing on failure, `feed_timeout` must back off
+//! (counting every wait) and give up at the deadline, and a producer
+//! throttled by either path must still recover the exact event stream an
+//! unthrottled run produces.
+
+use meterdata::generator::fleet_series;
+use smart_meter_symbolics::core::engine::{EngineConfig, FleetStream, WindowEvent};
+use smart_meter_symbolics::core::error::Error;
+use smart_meter_symbolics::core::pipeline::{CodecBuilder, SymbolicCodec};
+use smart_meter_symbolics::core::separators::SeparatorMethod;
+use smart_meter_symbolics::core::timeseries::Timestamp;
+use std::time::{Duration, Instant};
+
+/// One generated house plus a codec trained on it.
+fn house_and_codec() -> (Vec<(Timestamp, f64)>, SymbolicCodec) {
+    let house = fleet_series(42, 1, 1, 300).expect("fleet generator").remove(0);
+    let codec = CodecBuilder::new()
+        .method(SeparatorMethod::Median)
+        .alphabet_size(16)
+        .expect("16 symbols")
+        .window_secs(3600)
+        .train(&house)
+        .expect("train");
+    (house.iter().collect(), codec)
+}
+
+/// A 1-worker, capacity-1 stream saturates after a handful of chunks when
+/// nobody drains; this feeds until the first rejection and returns the
+/// stream plus the index of the rejected chunk.
+fn saturate(stream: &mut FleetStream, samples: &[(Timestamp, f64)]) -> usize {
+    for (i, chunk) in samples.chunks(16).enumerate() {
+        match stream.try_feed(0, chunk) {
+            Ok(()) => {}
+            Err(Error::WouldBlock) => return i,
+            Err(e) => panic!("unexpected error while saturating: {e}"),
+        }
+    }
+    panic!("a never-draining producer must saturate a capacity-1 stream");
+}
+
+#[test]
+fn try_feed_accounts_exactly_one_stall_per_rejection() {
+    let (samples, codec) = house_and_codec();
+    let mut stream = FleetStream::spawn(&codec, &EngineConfig::with_workers(1).channel_capacity(1))
+        .expect("spawn");
+
+    let mut expected_stalls = 0u64;
+    let mut accepted_samples = 0u64;
+    let mut rejections = 0u32;
+    for chunk in samples.chunks(16) {
+        loop {
+            let before = stream.samples_in();
+            match stream.try_feed(0, chunk) {
+                Ok(()) => {
+                    // An accepted chunk is counted in full and costs no stall.
+                    accepted_samples += chunk.len() as u64;
+                    assert_eq!(stream.samples_in(), before + chunk.len() as u64);
+                    assert_eq!(stream.backpressure_stalls(), expected_stalls);
+                    break;
+                }
+                Err(Error::WouldBlock) => {
+                    // A rejected chunk queues nothing and costs exactly one.
+                    expected_stalls += 1;
+                    rejections += 1;
+                    assert_eq!(stream.samples_in(), before, "rejected chunk must not queue");
+                    assert_eq!(stream.backpressure_stalls(), expected_stalls);
+                    let _ = stream.drain().expect("drain");
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+    }
+    assert!(rejections > 0, "capacity-1 stream must reject at least once");
+    assert_eq!(stream.samples_in(), accepted_samples);
+    let _ = stream.finish().expect("finish");
+}
+
+#[test]
+fn feed_timeout_backs_off_counting_every_wait() {
+    let (samples, codec) = house_and_codec();
+    let mut stream = FleetStream::spawn(&codec, &EngineConfig::with_workers(1).channel_capacity(1))
+        .expect("spawn");
+    let rejected_at = saturate(&mut stream, &samples);
+    let stalls_before = stream.backpressure_stalls();
+    let samples_before = stream.samples_in();
+
+    // The pipeline is full and nobody is draining: a 25 ms deadline with a
+    // 50 µs starting backoff must wait several times before giving up.
+    let timeout = Duration::from_millis(25);
+    let chunk: Vec<(Timestamp, f64)> = samples.chunks(16).nth(rejected_at).unwrap().to_vec();
+    let t0 = Instant::now();
+    match stream.feed_timeout(0, &chunk, timeout) {
+        Err(Error::FeedTimeout { waited_ms }) => {
+            assert!(waited_ms >= 25, "reported wait below the deadline: {waited_ms} ms");
+        }
+        other => panic!("saturated feed_timeout must time out, got {other:?}"),
+    }
+    assert!(t0.elapsed() >= timeout, "gave up before the deadline");
+    let waits = stream.backpressure_stalls() - stalls_before;
+    assert!(waits >= 2, "a 25 ms deadline must back off repeatedly, saw {waits} waits");
+    assert_eq!(stream.samples_in(), samples_before, "timed-out chunk must not queue");
+
+    // The stream is still healthy: drain, retry with a generous deadline.
+    let _ = stream.drain().expect("drain");
+    stream.feed_timeout(0, &chunk, Duration::from_secs(30)).expect("post-drain feed");
+    let _ = stream.finish().expect("finish");
+}
+
+#[test]
+fn throttled_producer_recovers_the_unthrottled_event_stream() {
+    let (samples, codec) = house_and_codec();
+
+    // Reference: blocking feeds through a roomy pipeline.
+    let mut roomy = FleetStream::spawn(&codec, &EngineConfig::with_workers(1).channel_capacity(64))
+        .expect("spawn roomy");
+    for chunk in samples.chunks(16) {
+        roomy.feed(0, chunk).expect("feed");
+    }
+    let mut want = Vec::new();
+    want.extend(roomy.finish().expect("finish roomy"));
+
+    // Throttled: capacity 1, every rejection drained and retried.
+    let mut tight = FleetStream::spawn(&codec, &EngineConfig::with_workers(1).channel_capacity(1))
+        .expect("spawn tight");
+    let mut got: Vec<WindowEvent> = Vec::new();
+    for chunk in samples.chunks(16) {
+        loop {
+            match tight.try_feed(0, chunk) {
+                Ok(()) => break,
+                Err(Error::WouldBlock) => got.extend(tight.drain().expect("drain")),
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+    }
+    let stalls = tight.backpressure_stalls();
+    got.extend(tight.finish().expect("finish tight"));
+
+    assert!(stalls > 0, "the tight pipeline must have stalled at least once");
+    assert_eq!(got, want, "backpressure must never change the emitted windows");
+}
