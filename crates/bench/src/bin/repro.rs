@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! repro <experiment> [--scale quick|paper] [--seed N] [--parallel] [--workers N] [--faults]
+//!                    [--metrics[=FILE]]
+//! repro validate-metrics <FILE>
 //! experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!              table1 classification compression drift privacy fleet ingest
 //!              quality all
@@ -15,6 +17,14 @@
 //! results bit-identical to a serial run at any worker count. `--faults`
 //! makes the `ingest` experiment corrupt its wire streams with the
 //! deterministic fault injector.
+//!
+//! `--metrics` exports the run's [`sms_core::telemetry`] registry — every
+//! catalog counter, gauge and histogram plus the recorded spans — after the
+//! experiment finishes: one `metrics_json: {...}` line on stdout followed by
+//! the Prometheus text exposition (on stdout, or written to `FILE` with
+//! `--metrics=FILE`). `validate-metrics` parses a saved `metrics_json`
+//! document back through `sms_core::json` and checks its documented shape;
+//! CI uses it as the exporter smoke test (see `OBSERVABILITY.md`).
 
 use sms_bench::ablation::{
     render_separator_ablation, run_separator_ablation, run_streaming_ablation,
@@ -34,12 +44,14 @@ use sms_bench::quality_exp::{render_quality, run_quality};
 use sms_bench::sax_exp::{render_sax_comparison, run_sax_comparison};
 use sms_bench::table1::Table1;
 use sms_bench::Scale;
+use sms_core::telemetry::{render_metrics_json, Registry};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment> [--scale quick|paper] [--seed N] [--parallel] [--workers N] \
-         [--faults]\n\
+         [--faults] [--metrics[=FILE]]\n\
+         \x20      repro validate-metrics <FILE>\n\
          experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9\n\
          table1 classification compression drift privacy clustering ablation sax markov fidelity \
          arff fleet ingest quality all\n\
@@ -51,7 +63,12 @@ fn usage() -> ! {
          truncation, duplication) before the server-side gateway decodes them;\n\
          for the `quality` experiment, corrupt generated series at the sample\n\
          level (NaN runs, gaps, duplicates, reset spikes) and seed panicking\n\
-         encode jobs — the engine must repair, retry or quarantine, never abort"
+         encode jobs — the engine must repair, retry or quarantine, never abort\n\
+         --metrics: after the run, print `metrics_json: {{...}}` plus the\n\
+         Prometheus text exposition of every telemetry counter, gauge,\n\
+         histogram and span (to FILE instead of stdout with --metrics=FILE);\n\
+         `validate-metrics FILE` re-parses a saved metrics_json document and\n\
+         verifies its documented shape (the CI exporter smoke test)"
     );
     std::process::exit(2);
 }
@@ -64,14 +81,34 @@ struct ParallelOpts {
     faults: bool,
 }
 
+/// Where `--metrics` sends the Prometheus text exposition.
+#[derive(Clone, Debug)]
+enum MetricsSink {
+    /// Bare `--metrics`: exposition follows the `metrics_json:` line on
+    /// stdout.
+    Stdout,
+    /// `--metrics=FILE`: exposition is written to `FILE`.
+    File(String),
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
     }
     let experiment = args[0].clone();
+    if experiment == "validate-metrics" {
+        let path = args.get(1).cloned().unwrap_or_else(|| usage());
+        if let Err(e) = validate_metrics_file(&path) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        println!("metrics file {path} is valid");
+        return;
+    }
     let mut scale = Scale::quick();
     let mut opts = ParallelOpts { parallel: false, workers: None, faults: false };
+    let mut metrics: Option<MetricsSink> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -95,39 +132,106 @@ fn main() {
                     Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
                 opts.parallel = true;
             }
-            _ => usage(),
+            "--metrics" => {
+                metrics = Some(MetricsSink::Stdout);
+            }
+            arg => match arg.strip_prefix("--metrics=") {
+                Some(path) if !path.is_empty() => {
+                    metrics = Some(MetricsSink::File(path.to_string()));
+                }
+                _ => usage(),
+            },
         }
         i += 1;
     }
 
+    // One registry per `repro` invocation: experiments register their
+    // finished stats blocks into it, and the whole run is timed under a root
+    // span named after the experiment.
+    let reg = Registry::with_catalog();
     let t0 = Instant::now();
-    if let Err(e) = run_with_opts(&experiment, scale, opts) {
+    let result = {
+        let _root = reg.span(&experiment);
+        run_with_opts(&experiment, scale, opts, &reg)
+    };
+    if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);
     }
+    if let Some(sink) = metrics {
+        if let Err(e) = export_metrics(&reg, &experiment, &sink) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
     eprintln!("\n[{experiment} done in {:.1}s]", t0.elapsed().as_secs_f64());
+}
+
+/// Emits the two `--metrics` exports: the merged JSON document on stdout and
+/// the Prometheus text exposition on stdout or into a file.
+fn export_metrics(
+    reg: &Registry,
+    experiment: &str,
+    sink: &MetricsSink,
+) -> Result<(), Box<dyn std::error::Error>> {
+    println!("metrics_json: {}", render_metrics_json(reg, experiment));
+    let exposition = reg.render_prometheus();
+    match sink {
+        MetricsSink::Stdout => print!("{exposition}"),
+        MetricsSink::File(path) => std::fs::write(path, exposition)?,
+    }
+    Ok(())
+}
+
+/// `repro validate-metrics FILE`: re-parses a saved metrics document through
+/// `sms_core::json` and checks the documented top-level shape. Accepts either
+/// the raw JSON or a captured stdout line starting with `metrics_json: `.
+fn validate_metrics_file(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let raw = std::fs::read_to_string(path)?;
+    let doc = raw
+        .lines()
+        .find_map(|l| l.strip_prefix("metrics_json: "))
+        .unwrap_or(raw.trim())
+        .to_string();
+    let parsed = sms_core::json::parse(&doc).map_err(|e| format!("metrics JSON: {e}"))?;
+    for key in ["experiment", "metrics", "histograms", "spans"] {
+        if parsed.get(key).is_none() {
+            return Err(format!("metrics JSON is missing the top-level key {key:?}").into());
+        }
+    }
+    let blocks = parsed.get("metrics").and_then(|m| m.as_object());
+    if blocks.is_none_or(|m| m.is_empty()) {
+        return Err("metrics JSON has an empty \"metrics\" section".into());
+    }
+    Ok(())
 }
 
 fn run_with_opts(
     experiment: &str,
     scale: Scale,
     opts: ParallelOpts,
+    reg: &Registry,
 ) -> Result<(), Box<dyn std::error::Error>> {
     // Evaluation-matrix experiments: serial unless the user opted in;
     // `--parallel` alone means "all cores".
     let eval_workers = if opts.parallel { opts.workers.unwrap_or(0) } else { 1 };
     match experiment {
-        "fleet" => run_fleet(scale, opts),
-        "ingest" => run_ingest_exp(scale, opts.faults),
-        "quality" => run_quality_exp(scale, opts.faults),
-        _ => run(experiment, scale, eval_workers),
+        "fleet" => run_fleet(scale, opts, reg),
+        "ingest" => run_ingest_exp(scale, opts.faults, reg),
+        "quality" => run_quality_exp(scale, opts.faults, reg),
+        _ => run(experiment, scale, eval_workers, reg),
     }
 }
 
 /// Corrupt a fleet's samples and panic-seed its encode jobs, then prove the
 /// supervised engine repairs, retries or quarantines without aborting.
-fn run_quality_exp(scale: Scale, faults: bool) -> Result<(), Box<dyn std::error::Error>> {
+fn run_quality_exp(
+    scale: Scale,
+    faults: bool,
+    reg: &Registry,
+) -> Result<(), Box<dyn std::error::Error>> {
     let report = run_quality(scale, faults)?;
+    report.stats.register_into(reg);
     println!("{}", render_quality(&report));
     println!("engine_stats: {}", report.stats.to_json());
     Ok(())
@@ -135,16 +239,26 @@ fn run_quality_exp(scale: Scale, faults: bool) -> Result<(), Box<dyn std::error:
 
 /// Encode a fleet, ship it over a (optionally faulted) wire, and decode it
 /// through the hardened per-meter ingest gateways.
-fn run_ingest_exp(scale: Scale, faults: bool) -> Result<(), Box<dyn std::error::Error>> {
+fn run_ingest_exp(
+    scale: Scale,
+    faults: bool,
+    reg: &Registry,
+) -> Result<(), Box<dyn std::error::Error>> {
     let report = run_ingest(scale, faults)?;
+    report.stats.register_into(reg);
     println!("{}", render_ingest(&report));
     println!("engine_stats: {}", report.stats.to_json());
     Ok(())
 }
 
 /// Encode a synthetic fleet, either serially or through the parallel
-/// [`FleetEngine`], and print throughput counters.
-fn run_fleet(scale: Scale, opts: ParallelOpts) -> Result<(), Box<dyn std::error::Error>> {
+/// [`FleetEngine`](sms_core::engine::FleetEngine), and print throughput
+/// counters.
+fn run_fleet(
+    scale: Scale,
+    opts: ParallelOpts,
+    reg: &Registry,
+) -> Result<(), Box<dyn std::error::Error>> {
     use meterdata::generator::fleet_series;
     use sms_core::engine::{EngineConfig, FleetEngine};
     use sms_core::pipeline::CodecBuilder;
@@ -163,6 +277,7 @@ fn run_fleet(scale: Scale, opts: ParallelOpts) -> Result<(), Box<dyn std::error:
         }
         let engine = FleetEngine::new(builder, config);
         let enc = engine.encode_fleet(&fleet)?;
+        enc.stats.register_into(reg);
         let symbols: usize = enc.series.iter().map(|s| s.len()).sum();
         println!(
             "fleet: {houses} houses, {samples} samples -> {symbols} symbols \
@@ -186,13 +301,18 @@ fn run_fleet(scale: Scale, opts: ParallelOpts) -> Result<(), Box<dyn std::error:
     Ok(())
 }
 
-fn run(experiment: &str, scale: Scale, workers: usize) -> Result<(), Box<dyn std::error::Error>> {
+fn run(
+    experiment: &str,
+    scale: Scale,
+    workers: usize,
+    reg: &Registry,
+) -> Result<(), Box<dyn std::error::Error>> {
     match experiment {
         "fleet" => {
-            run_fleet(scale, ParallelOpts { parallel: false, workers: None, faults: false })?;
+            run_fleet(scale, ParallelOpts { parallel: false, workers: None, faults: false }, reg)?;
         }
         "ingest" => {
-            run_ingest_exp(scale, false)?;
+            run_ingest_exp(scale, false, reg)?;
         }
         "fig1" => {
             println!("{}", fig1_symbol_tree(800.0, 3)?);
@@ -217,6 +337,7 @@ fn run(experiment: &str, scale: Scale, workers: usize) -> Result<(), Box<dyn std
                 _ => (ClassifierKind::RandomForest, TableMode::Global),
             };
             let fig = FigureRun::run(&ds, scale, kind, mode, workers)?;
+            fig.eval.register_into(reg);
             println!("{}", fig.render());
             println!("mean F by method: {:?}", fig.mean_f_by_method());
             if let Some((spec, cell)) = fig.best_symbolic() {
@@ -245,13 +366,10 @@ fn run(experiment: &str, scale: Scale, workers: usize) -> Result<(), Box<dyn std
                 houses: ds.records().len(),
                 samples_in: ds.records().iter().map(|r| r.series.len() as u64).sum(),
                 symbols_out: 0,
-                train_secs: 0.0,
-                encode_secs: 0.0,
-                ingest: None,
                 eval: Some(fig.eval),
-                pool: None,
-                quality: None,
+                ..Default::default()
             };
+            stats.register_into(reg);
             println!("engine_stats: {}", stats.to_json());
         }
         "table1" => {
@@ -351,7 +469,7 @@ fn run(experiment: &str, scale: Scale, workers: usize) -> Result<(), Box<dyn std
                 "fidelity",
             ] {
                 println!("==================== {e} ====================");
-                run(e, scale, workers)?;
+                run(e, scale, workers, reg)?;
             }
         }
         _ => usage(),

@@ -87,6 +87,8 @@ pub struct Cell {
     pub folds: usize,
     /// Number of day-vector instances evaluated.
     pub instances: usize,
+    /// Test-partition sizes of every executed fold (deterministic).
+    pub fold_rows: sms_core::telemetry::Log2Histogram,
 }
 
 pub(crate) fn cell_from_cv(cv: &CvResult, instances: usize) -> Cell {
@@ -97,6 +99,7 @@ pub(crate) fn cell_from_cv(cv: &CvResult, instances: usize) -> Cell {
         test_seconds: cv.test_time.as_secs_f64(),
         folds: cv.folds,
         instances,
+        fold_rows: cv.fold_test_rows,
     }
 }
 
@@ -241,6 +244,10 @@ pub fn run_raw(
 /// Folds a slice of finished cells plus the pool's own counters into the
 /// engine-stats evaluation block.
 pub(crate) fn aggregate_eval(cells: &[Cell], workers: usize, max_queue_depth: usize) -> EvalStats {
+    let mut fold_test_rows = sms_core::telemetry::Log2Histogram::new();
+    for c in cells {
+        fold_test_rows.merge(&c.fold_rows);
+    }
     EvalStats {
         cells: cells.len() as u64,
         folds: cells.iter().map(|c| c.folds as u64).sum(),
@@ -248,6 +255,7 @@ pub(crate) fn aggregate_eval(cells: &[Cell], workers: usize, max_queue_depth: us
         test_secs: cells.iter().map(|c| c.test_seconds).sum(),
         workers,
         max_queue_depth,
+        fold_test_rows,
     }
 }
 

@@ -326,9 +326,7 @@ pub fn run_ingest(scale: Scale, faults: bool) -> Result<IngestReport> {
         train_secs,
         encode_secs,
         ingest: Some(ingest_stats),
-        eval: None,
-        pool: None,
-        quality: None,
+        ..Default::default()
     };
     Ok(IngestReport { faults, houses, frames_sent, faults_injected, messages_decoded, stats })
 }

@@ -4,7 +4,7 @@
 //! monotone series; real fleets don't. This experiment generates a synthetic
 //! fleet, corrupts a seeded subset of houses at the *sample* level (NaN
 //! runs, gaps, duplicated runs, reset spikes via
-//! [`FaultInjector`](crate::ingest_exp::FaultInjector)), arms a seeded
+//! [`FaultInjector`]), arms a seeded
 //! panic plan against another subset, and pushes the whole thing through
 //! [`FleetEngine`] under [`QuarantinePolicy::Isolate`] with a sanitizing
 //! pre-pass and a retry schedule. The run must complete without aborting:

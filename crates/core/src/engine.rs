@@ -46,6 +46,7 @@ use crate::json::JsonWriter;
 use crate::pipeline::{CodecBuilder, SymbolicCodec, VerticalPolicy};
 use crate::pool::{Outcome, PoolStats, RetryPolicy, SupervisorPolicy};
 use crate::quality::{QualityStats, Sanitizer, SanitizerConfig};
+use crate::telemetry::{Log2Histogram, Registry, SpanSnapshot};
 use crate::timeseries::{TimeSeries, Timestamp};
 
 /// How the engine obtains lookup tables for a fleet.
@@ -221,7 +222,7 @@ impl EngineConfig {
 }
 
 /// Throughput counters for one engine run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct EngineStats {
     /// Worker threads used.
     pub workers: usize,
@@ -248,6 +249,18 @@ pub struct EngineStats {
     pub pool: Option<PoolStats>,
     /// Data-quality counters when the run sanitized or quarantined houses.
     pub quality: Option<QualityStats>,
+    /// Distribution of per-house input sample counts. Deterministic (a
+    /// pure function of the input fleet), rendered in the `"histograms"`
+    /// section of [`to_json`](Self::to_json).
+    pub house_samples: Log2Histogram,
+    /// Distribution of per-house output symbol counts (quarantined houses
+    /// observe their empty placeholder, i.e. `0`).
+    pub house_symbols: Log2Histogram,
+    /// Stage-attribution spans recorded during the run
+    /// (`encode_fleet` → `sanitize` / `train` / `encode`), sorted by
+    /// path. Paths and call counts are deterministic; the seconds are
+    /// wall-clock.
+    pub spans: Vec<SpanSnapshot>,
 }
 
 /// Timing counters for a parallel evaluation run (cross-validated
@@ -269,26 +282,24 @@ pub struct EvalStats {
     pub workers: usize,
     /// High-water mark of the evaluation pool's job queue.
     pub max_queue_depth: usize,
+    /// Distribution of test-set sizes over the executed folds (one
+    /// observation per fold). Rendered in the `"histograms"` section of
+    /// [`EngineStats::to_json`], not this block's object.
+    pub fold_test_rows: Log2Histogram,
 }
 
 impl EvalStats {
-    /// Writes this block as one JSON value into `w` (shared with
-    /// [`EngineStats::to_json`]).
-    pub(crate) fn write_json(&self, w: &mut JsonWriter) {
-        w.begin_object();
-        w.key("cells");
-        w.u64(self.cells);
-        w.key("folds");
-        w.u64(self.folds);
-        w.key("train_secs");
-        w.f64(self.train_secs);
-        w.key("test_secs");
-        w.f64(self.test_secs);
-        w.key("workers");
-        w.u64(self.workers as u64);
-        w.key("max_queue_depth");
-        w.u64(self.max_queue_depth as u64);
-        w.end_object();
+    /// Registers this block's [`crate::telemetry::CATALOG`] metrics into
+    /// `reg` and loads their current values.
+    pub fn register_into(&self, reg: &Registry) {
+        reg.register_block("eval");
+        reg.add("sms_eval_cells", self.cells);
+        reg.add("sms_eval_folds", self.folds);
+        reg.set_f64("sms_eval_train_secs", self.train_secs);
+        reg.set_f64("sms_eval_test_secs", self.test_secs);
+        reg.set("sms_eval_workers", self.workers as u64);
+        reg.set_max("sms_eval_max_queue_depth", self.max_queue_depth as u64);
+        reg.merge_histogram("sms_eval_fold_test_rows", &self.fold_test_rows);
     }
 }
 
@@ -303,42 +314,69 @@ impl EngineStats {
         self.symbols_out as f64 / (self.train_secs + self.encode_secs).max(f64::MIN_POSITIVE)
     }
 
-    /// JSON object for benchmark trajectories.
-    pub fn to_json(&self) -> String {
-        let mut w = JsonWriter::new();
-        w.begin_object();
-        w.key("workers");
-        w.u64(self.workers as u64);
-        w.key("houses");
-        w.u64(self.houses as u64);
-        w.key("samples_in");
-        w.u64(self.samples_in);
-        w.key("symbols_out");
-        w.u64(self.symbols_out);
-        w.key("train_secs");
-        w.f64(self.train_secs);
-        w.key("encode_secs");
-        w.f64(self.encode_secs);
-        w.key("samples_per_sec");
-        w.f64(self.samples_per_sec());
-        w.key("symbols_per_sec");
-        w.f64(self.symbols_per_sec());
+    /// Registers every metric of this run — the engine block plus every
+    /// present sub-block and recorded span — into `reg`. This is how a
+    /// `repro <exp> --metrics` session registry picks up a finished run's
+    /// counters for the Prometheus exporter.
+    pub fn register_into(&self, reg: &Registry) {
+        reg.register_block("engine");
+        reg.set("sms_engine_workers", self.workers as u64);
+        reg.set("sms_engine_houses", self.houses as u64);
+        reg.add("sms_engine_samples_in", self.samples_in);
+        reg.add("sms_engine_symbols_out", self.symbols_out);
+        reg.set_f64("sms_engine_train_secs", self.train_secs);
+        reg.set_f64("sms_engine_encode_secs", self.encode_secs);
+        reg.set_f64("sms_engine_samples_per_sec", self.samples_per_sec());
+        reg.set_f64("sms_engine_symbols_per_sec", self.symbols_per_sec());
+        reg.merge_histogram("sms_engine_house_samples", &self.house_samples);
+        reg.merge_histogram("sms_engine_house_symbols", &self.house_symbols);
         if let Some(ingest) = &self.ingest {
-            w.key("ingest");
-            ingest.write_json(&mut w);
+            ingest.register_into(reg);
         }
         if let Some(eval) = &self.eval {
-            w.key("eval");
-            eval.write_json(&mut w);
+            eval.register_into(reg);
         }
         if let Some(pool) = &self.pool {
-            w.key("pool");
-            pool.write_json(&mut w);
+            pool.register_into(reg);
         }
         if let Some(quality) = &self.quality {
-            w.key("quality");
-            quality.write_json(&mut w);
+            quality.register_into(reg);
         }
+        for s in &self.spans {
+            reg.record_span(&s.path, s.calls, s.secs);
+        }
+    }
+
+    /// JSON object for benchmark trajectories. Scalar keys are unchanged
+    /// from the pre-telemetry layout (they now render from the
+    /// [`crate::telemetry::CATALOG`]); the `"histograms"` and `"spans"`
+    /// sections are additive.
+    pub fn to_json(&self) -> String {
+        let reg = Registry::new();
+        self.register_into(&reg);
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        reg.write_block_fields(&mut w, "engine");
+        if self.ingest.is_some() {
+            w.key("ingest");
+            reg.write_block_json(&mut w, "ingest");
+        }
+        if self.eval.is_some() {
+            w.key("eval");
+            reg.write_block_json(&mut w, "eval");
+        }
+        if self.pool.is_some() {
+            w.key("pool");
+            reg.write_block_json(&mut w, "pool");
+        }
+        if self.quality.is_some() {
+            w.key("quality");
+            reg.write_block_json(&mut w, "quality");
+        }
+        w.key("histograms");
+        reg.write_histograms_json(&mut w);
+        w.key("spans");
+        reg.write_spans_json(&mut w);
         w.end_object();
         w.finish()
     }
@@ -396,6 +434,15 @@ impl FleetEngine {
     pub fn encode_fleet(&self, fleet: &[TimeSeries]) -> Result<FleetEncoding> {
         let workers = self.config.workers.max(1);
         let samples_in: u64 = fleet.iter().map(|h| h.len() as u64).sum();
+        // Stage spans for this run; snapshotted into `EngineStats::spans`.
+        // The paths and call counts are deterministic, only the recorded
+        // seconds are wall-clock.
+        let telemetry = Registry::new();
+        let span_run = telemetry.span("encode_fleet");
+        let mut house_samples = Log2Histogram::new();
+        for house in fleet {
+            house_samples.observe(house.len() as u64);
+        }
 
         // Sanitization pre-pass. Deliberately serial: quarantine decisions
         // happen before any parallelism so they are reproducible at every
@@ -404,6 +451,7 @@ impl FleetEngine {
         let mut quality: Option<QualityStats> = None;
         let mut prepared: Vec<Option<Cow<'_, TimeSeries>>> = Vec::with_capacity(fleet.len());
         if let Some(cfg) = self.config.sanitizer {
+            let _span = telemetry.span("sanitize");
             let sanitize_start = Instant::now();
             let sanitizer = Sanitizer::new(cfg);
             let mut qstats = QualityStats::default();
@@ -437,15 +485,19 @@ impl FleetEngine {
         // (the documented deviation from a no-fault run — its dirty values
         // must not shape everyone else's separators).
         let train_start = Instant::now();
-        let shared_codec = match self.config.table_mode {
-            TableMode::PerHouse => None,
-            TableMode::Shared => Some(
-                self.train_shared(prepared.iter().filter_map(|p| p.as_ref().map(|c| c.as_ref())))?,
-            ),
+        let shared_codec = {
+            let _span = telemetry.span("train");
+            match self.config.table_mode {
+                TableMode::PerHouse => None,
+                TableMode::Shared => Some(self.train_shared(
+                    prepared.iter().filter_map(|p| p.as_ref().map(|c| c.as_ref())),
+                )?),
+            }
         };
         let train_secs = train_start.elapsed().as_secs_f64();
 
         let encode_start = Instant::now();
+        let span_encode = telemetry.span("encode");
         let active: Vec<usize> =
             prepared.iter().enumerate().filter(|(_, p)| p.is_some()).map(|(i, _)| i).collect();
         let mut results: Vec<Option<SymbolicSeries>> = fleet.iter().map(|_| None).collect();
@@ -469,6 +521,7 @@ impl FleetEngine {
                 ),
             };
         }
+        drop(span_encode);
         let encode_secs = encode_start.elapsed().as_secs_f64();
 
         // Sanitize-phase and encode-phase quarantines both exist now; a
@@ -497,6 +550,11 @@ impl FleetEngine {
             })
             .collect::<Result<_>>()?;
         let symbols_out: u64 = series.iter().map(|s| s.len() as u64).sum();
+        let mut house_symbols = Log2Histogram::new();
+        for s in &series {
+            house_symbols.observe(s.len() as u64);
+        }
+        drop(span_run);
         Ok(FleetEncoding {
             series,
             quarantined,
@@ -511,6 +569,9 @@ impl FleetEngine {
                 eval: None,
                 pool: if fleet.is_empty() { None } else { Some(pool_stats) },
                 quality,
+                house_samples,
+                house_symbols,
+                spans: telemetry.span_snapshots(),
             },
         })
     }

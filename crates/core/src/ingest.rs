@@ -150,6 +150,10 @@ pub struct IngestStats {
     /// Wall time spent feeding decoded data downstream (including
     /// backpressure waits), seconds.
     pub feed_secs: f64,
+    /// Wire sizes (header + payload bytes) of successfully decoded
+    /// frames. Rendered through the `"histograms"` section of
+    /// [`crate::engine::EngineStats::to_json`], not this block's object.
+    pub frame_bytes: crate::telemetry::Log2Histogram,
 }
 
 impl IngestStats {
@@ -165,6 +169,24 @@ impl IngestStats {
         self.backlog_rejections += other.backlog_rejections;
         self.decode_secs += other.decode_secs;
         self.feed_secs += other.feed_secs;
+        self.frame_bytes.merge(&other.frame_bytes);
+    }
+
+    /// Registers this block's [`crate::telemetry::CATALOG`] metrics into
+    /// `reg` and loads their current values.
+    pub fn register_into(&self, reg: &crate::telemetry::Registry) {
+        reg.register_block("ingest");
+        reg.add("sms_ingest_frames_ok", self.frames_ok);
+        reg.add("sms_ingest_frames_corrupt", self.frames_corrupt);
+        reg.add("sms_ingest_resyncs", self.resyncs);
+        reg.add("sms_ingest_frames_oversized", self.frames_oversized);
+        reg.add("sms_ingest_bytes_in", self.bytes_in);
+        reg.add("sms_ingest_backpressure_stalls", self.backpressure_stalls);
+        reg.add("sms_ingest_meters_rejected", self.meters_rejected);
+        reg.add("sms_ingest_backlog_rejections", self.backlog_rejections);
+        reg.set_f64("sms_ingest_decode_secs", self.decode_secs);
+        reg.set_f64("sms_ingest_feed_secs", self.feed_secs);
+        reg.merge_histogram("sms_ingest_frame_bytes", &self.frame_bytes);
     }
 
     /// Fraction of seen frames that decoded, in `[0, 1]` (`1.0` for an
@@ -185,30 +207,12 @@ impl IngestStats {
     }
 
     /// Writes this block as one JSON value into `w` (shared with
-    /// [`crate::engine::EngineStats::to_json`]).
+    /// [`crate::engine::EngineStats::to_json`]). The key names and order
+    /// come from the telemetry [`crate::telemetry::CATALOG`].
     pub(crate) fn write_json(&self, w: &mut JsonWriter) {
-        w.begin_object();
-        w.key("frames_ok");
-        w.u64(self.frames_ok);
-        w.key("frames_corrupt");
-        w.u64(self.frames_corrupt);
-        w.key("resyncs");
-        w.u64(self.resyncs);
-        w.key("frames_oversized");
-        w.u64(self.frames_oversized);
-        w.key("bytes_in");
-        w.u64(self.bytes_in);
-        w.key("backpressure_stalls");
-        w.u64(self.backpressure_stalls);
-        w.key("meters_rejected");
-        w.u64(self.meters_rejected);
-        w.key("backlog_rejections");
-        w.u64(self.backlog_rejections);
-        w.key("decode_secs");
-        w.f64(self.decode_secs);
-        w.key("feed_secs");
-        w.f64(self.feed_secs);
-        w.end_object();
+        let reg = crate::telemetry::Registry::new();
+        self.register_into(&reg);
+        reg.write_block_json(w, "ingest");
     }
 }
 
@@ -253,9 +257,16 @@ impl MeterIngest {
         self.decoder.feed(bytes);
         let mut out = Vec::new();
         loop {
+            let buffered_before = self.decoder.buffered();
             match self.decoder.next_message() {
                 Ok(Some(msg)) => {
                     self.stats.frames_ok += 1;
+                    // The decoder consumed exactly this frame's bytes, so
+                    // the buffered() delta is its wire size — independent
+                    // of how the bytes were chunked on the way in.
+                    self.stats
+                        .frame_bytes
+                        .observe((buffered_before - self.decoder.buffered()) as u64);
                     if let SensorMessage::Table(t) = &msg {
                         self.table = Some(t.clone());
                     }
@@ -551,6 +562,7 @@ mod tests {
             backlog_rejections: 8,
             decode_secs: 0.5,
             feed_secs: 0.25,
+            ..IngestStats::default()
         };
         let json = stats.to_json();
         for key in [

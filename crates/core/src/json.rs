@@ -72,6 +72,14 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The value as an object map, if it is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(map) => Some(map),
+            _ => None,
+        }
+    }
 }
 
 /// Parses one JSON document, rejecting trailing non-whitespace.

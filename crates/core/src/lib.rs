@@ -43,7 +43,7 @@
 //! assert_eq!(approx.len(), 96);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod adaptive;
@@ -66,6 +66,7 @@ pub mod sax;
 pub mod separators;
 pub mod stats;
 pub mod symbol;
+pub mod telemetry;
 pub mod timeseries;
 pub mod utility;
 pub mod vertical;

@@ -44,6 +44,7 @@ use crossbeam::channel;
 
 use crate::error::{Error, Result};
 use crate::json::JsonWriter;
+use crate::telemetry::{Log2Histogram, Registry, ShardSet};
 
 /// Parallelism knobs for one pool run.
 #[derive(Debug, Clone)]
@@ -292,32 +293,38 @@ pub struct PoolStats {
     /// scratch state (a logical respawn; per-job panics are caught one
     /// level deeper and do not count here).
     pub respawns: u64,
+    /// Distribution of attempts needed per resolved job (1 = first try).
+    /// Recorded into per-worker [`ShardSet`] shards and merged in
+    /// worker-index order, so it is identical at any worker count.
+    /// Rendered through the `"histograms"` section of
+    /// [`crate::engine::EngineStats::to_json`], not this block's object.
+    pub job_attempts: Log2Histogram,
 }
 
 impl PoolStats {
+    /// Registers this block's [`crate::telemetry::CATALOG`] metrics into
+    /// `reg` and loads their current values.
+    pub fn register_into(&self, reg: &Registry) {
+        reg.register_block("pool");
+        reg.set("sms_pool_workers", self.workers as u64);
+        reg.add("sms_pool_jobs", self.jobs as u64);
+        reg.set("sms_pool_queue_capacity", self.queue_capacity as u64);
+        reg.set_max("sms_pool_max_queue_depth", self.max_queue_depth as u64);
+        reg.add("sms_pool_panics", self.panics);
+        reg.add("sms_pool_retries", self.retries);
+        reg.add("sms_pool_gave_up", self.gave_up);
+        reg.add("sms_pool_deadline_exceeded", self.deadline_exceeded);
+        reg.add("sms_pool_respawns", self.respawns);
+        reg.merge_histogram("sms_pool_job_attempts", &self.job_attempts);
+    }
+
     /// Writes this block as one JSON value into `w` (shared with
-    /// [`crate::engine::EngineStats::to_json`]).
+    /// [`crate::engine::EngineStats::to_json`]). The key names and order
+    /// come from the telemetry [`crate::telemetry::CATALOG`].
     pub(crate) fn write_json(&self, w: &mut JsonWriter) {
-        w.begin_object();
-        w.key("workers");
-        w.u64(self.workers as u64);
-        w.key("jobs");
-        w.u64(self.jobs as u64);
-        w.key("queue_capacity");
-        w.u64(self.queue_capacity as u64);
-        w.key("max_queue_depth");
-        w.u64(self.max_queue_depth as u64);
-        w.key("panics");
-        w.u64(self.panics);
-        w.key("retries");
-        w.u64(self.retries);
-        w.key("gave_up");
-        w.u64(self.gave_up);
-        w.key("deadline_exceeded");
-        w.u64(self.deadline_exceeded);
-        w.key("respawns");
-        w.u64(self.respawns);
-        w.end_object();
+        let reg = Registry::new();
+        self.register_into(&reg);
+        reg.write_block_json(w, "pool");
     }
 
     /// JSON object for benchmark trajectories.
@@ -384,6 +391,7 @@ where
     let mut results: Vec<Option<R>> = (0..n_jobs).map(|_| None).collect();
     let queued = AtomicUsize::new(0);
     let high_water = AtomicUsize::new(0);
+    let shards = ShardSet::new(workers);
     // `std::thread::scope` (under the compat crossbeam wrapper) re-raises a
     // spawned thread's panic on the joining thread; catching it here turns
     // "one poisoned job aborts the fleet run" into a typed error. The
@@ -394,15 +402,21 @@ where
         crossbeam::thread::scope(|s| {
             let (job_tx, job_rx) = channel::bounded::<usize>(cap);
             let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
-            for _ in 0..workers {
+            for w in 0..workers {
                 let job_rx = job_rx.clone();
                 let res_tx = res_tx.clone();
-                let (init, job, queued) = (&init, &job, &queued);
+                let (init, job, queued, shards) = (&init, &job, &queued, &shards);
                 s.spawn(move |_| {
                     let mut state = init();
                     for idx in job_rx.iter() {
                         queued.fetch_sub(1, Ordering::Relaxed);
-                        if res_tx.send((idx, job(&mut state, idx))).is_err() {
+                        let r = job(&mut state, idx);
+                        // Every fast-path job resolves on its first try;
+                        // the shard still records per worker so the merge
+                        // (index order, commutative adds) is exercised on
+                        // every run, not only under supervision.
+                        shards.with(w, |sh| sh.observe("sms_pool_job_attempts", 1));
+                        if res_tx.send((idx, r)).is_err() {
                             break; // collector is gone
                         }
                     }
@@ -434,6 +448,7 @@ where
     }
 
     stats.max_queue_depth = high_water.load(Ordering::Relaxed);
+    stats.job_attempts = shards.merged().histogram("sms_pool_job_attempts");
     let results = results
         .into_iter()
         .enumerate()
@@ -504,14 +519,15 @@ where
     let gave_up = AtomicU64::new(0);
     let deadline_exceeded = AtomicU64::new(0);
     let respawns = AtomicU64::new(0);
+    let shards = ShardSet::new(workers);
 
     crossbeam::thread::scope(|s| {
         let (job_tx, job_rx) = channel::bounded::<usize>(cap);
         let (res_tx, res_rx) = channel::unbounded::<(usize, Outcome<R>)>();
-        for _ in 0..workers {
+        for w in 0..workers {
             let job_rx = job_rx.clone();
             let res_tx = res_tx.clone();
-            let (init, job) = (&init, &job);
+            let (init, job, shards) = (&init, &job, &shards);
             let (queued, panics, retries, gave_up, deadline_exceeded, respawns) =
                 (&queued, &panics, &retries, &gave_up, &deadline_exceeded, &respawns);
             s.spawn(move |_| {
@@ -565,6 +581,16 @@ where
                                     }
                                 }
                             };
+                            // Attempts-per-job is a pure function of the
+                            // job index (given a deterministic fault
+                            // plan), so the merged shard histogram is
+                            // worker-count-independent; timed-out jobs ran
+                            // zero attempts and are skipped.
+                            if !matches!(outcome, Outcome::TimedOut) {
+                                shards.with(w, |sh| {
+                                    sh.observe("sms_pool_job_attempts", u64::from(attempt))
+                                });
+                            }
                             if res_tx.send((idx, outcome)).is_err() {
                                 return; // collector is gone
                             }
@@ -614,6 +640,7 @@ where
         .collect();
 
     stats.max_queue_depth = high_water.load(Ordering::Relaxed);
+    stats.job_attempts = shards.merged().histogram("sms_pool_job_attempts");
     stats.panics = panics.load(Ordering::Relaxed);
     stats.retries = retries.load(Ordering::Relaxed);
     stats.gave_up = gave_up.load(Ordering::Relaxed);
@@ -898,6 +925,7 @@ mod tests {
             gave_up: 1,
             deadline_exceeded: 4,
             respawns: 1,
+            ..PoolStats::default()
         };
         let json = stats.to_json();
         for key in

@@ -33,6 +33,7 @@
 
 use crate::error::{Error, Result};
 use crate::json::JsonWriter;
+use crate::telemetry::{Log2Histogram, Registry};
 use crate::timeseries::{Sample, TimeSeries, Timestamp};
 
 /// The defect taxonomy the sanitizer can detect.
@@ -232,23 +233,6 @@ impl DefectCounts {
         self.gaps += other.gaps;
         self.reset_spikes += other.reset_spikes;
     }
-
-    fn write_json(&self, w: &mut JsonWriter) {
-        w.begin_object();
-        w.key("non_finite");
-        w.u64(self.non_finite);
-        w.key("negative_power");
-        w.u64(self.negative_power);
-        w.key("duplicate_timestamps");
-        w.u64(self.duplicate_timestamps);
-        w.key("out_of_order");
-        w.u64(self.out_of_order);
-        w.key("gaps");
-        w.u64(self.gaps);
-        w.key("reset_spikes");
-        w.u64(self.reset_spikes);
-        w.end_object();
-    }
 }
 
 /// What one sanitization pass found and did for one house.
@@ -305,6 +289,10 @@ pub struct QualityStats {
     pub marked_missing: u64,
     /// Wall time of the sanitization pre-pass, seconds.
     pub sanitize_secs: f64,
+    /// Distribution of per-house defect totals (one observation per
+    /// sanitized house). Rendered through the `"histograms"` section of
+    /// [`crate::engine::EngineStats::to_json`], not this block's object.
+    pub house_defects: Log2Histogram,
 }
 
 impl QualityStats {
@@ -318,33 +306,39 @@ impl QualityStats {
         self.clamped += report.clamped;
         self.filled += report.filled;
         self.marked_missing += report.marked_missing;
+        self.house_defects.observe(report.defects.total());
+    }
+
+    /// Registers this block's [`crate::telemetry::CATALOG`] metrics into
+    /// `reg` and loads their current values.
+    pub fn register_into(&self, reg: &Registry) {
+        reg.register_block("quality");
+        reg.add("sms_quality_houses", self.houses);
+        reg.add("sms_quality_quarantined", self.quarantined);
+        reg.add("sms_quality_samples_in", self.samples_in);
+        reg.add("sms_quality_samples_out", self.samples_out);
+        reg.add("sms_quality_defects_non_finite", self.defects.non_finite);
+        reg.add("sms_quality_defects_negative_power", self.defects.negative_power);
+        reg.add("sms_quality_defects_duplicate_timestamps", self.defects.duplicate_timestamps);
+        reg.add("sms_quality_defects_out_of_order", self.defects.out_of_order);
+        reg.add("sms_quality_defects_gaps", self.defects.gaps);
+        reg.add("sms_quality_defects_reset_spikes", self.defects.reset_spikes);
+        reg.add("sms_quality_dropped", self.dropped);
+        reg.add("sms_quality_clamped", self.clamped);
+        reg.add("sms_quality_filled", self.filled);
+        reg.add("sms_quality_marked_missing", self.marked_missing);
+        reg.set_f64("sms_quality_sanitize_secs", self.sanitize_secs);
+        reg.merge_histogram("sms_quality_house_defects", &self.house_defects);
     }
 
     /// Writes this block as one JSON value into `w` (shared with
-    /// [`crate::engine::EngineStats::to_json`]).
+    /// [`crate::engine::EngineStats::to_json`]). The key names, order,
+    /// and the nested `"defects"` object come from the telemetry
+    /// [`crate::telemetry::CATALOG`]'s dotted keys.
     pub(crate) fn write_json(&self, w: &mut JsonWriter) {
-        w.begin_object();
-        w.key("houses");
-        w.u64(self.houses);
-        w.key("quarantined");
-        w.u64(self.quarantined);
-        w.key("samples_in");
-        w.u64(self.samples_in);
-        w.key("samples_out");
-        w.u64(self.samples_out);
-        w.key("defects");
-        self.defects.write_json(w);
-        w.key("dropped");
-        w.u64(self.dropped);
-        w.key("clamped");
-        w.u64(self.clamped);
-        w.key("filled");
-        w.u64(self.filled);
-        w.key("marked_missing");
-        w.u64(self.marked_missing);
-        w.key("sanitize_secs");
-        w.f64(self.sanitize_secs);
-        w.end_object();
+        let reg = Registry::new();
+        self.register_into(&reg);
+        reg.write_block_json(w, "quality");
     }
 
     /// JSON object for benchmark trajectories.

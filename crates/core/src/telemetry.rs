@@ -1,0 +1,1474 @@
+//! Unified telemetry: a zero-dependency metric [`Registry`], log2-bucketed
+//! [`Log2Histogram`]s, scoped [`Span`] timers, and two exporters (the
+//! engine-stats JSON blocks and a Prometheus text format).
+//!
+//! PRs 1–4 left the crate with five hand-rolled stats blocks
+//! ([`crate::engine::EngineStats`], [`crate::ingest::IngestStats`],
+//! [`crate::pool::PoolStats`], [`crate::quality::QualityStats`],
+//! [`crate::engine::EvalStats`]) that each invented their own counter
+//! names and JSON layout. This module is the single source of truth they
+//! now render through: every metric is declared once in [`CATALOG`] with
+//! its JSON key, Prometheus name, type, and unit, and the blocks'
+//! `to_json` output is produced by [`Registry::write_block_json`] from
+//! those declarations — so the JSON shape, the Prometheus exposition, and
+//! the `OBSERVABILITY.md` reference manual can never drift apart (CI
+//! diffs the rendered names against the manual).
+//!
+//! ## Determinism contract
+//!
+//! The repo-wide rule — *byte-identical results at any worker count* —
+//! extends to telemetry:
+//!
+//! * Counters and histograms only ever record **deterministic quantities**
+//!   (sample counts, frame sizes, job attempts), never wall-clock. Worker
+//!   shards ([`ShardSet`]) are merged in worker-index order, and since
+//!   every merge is a commutative `u64` add over a deterministic multiset
+//!   of observations, the merged totals are identical at 1, 2, or 8
+//!   workers.
+//! * Wall-clock lives only in **gauges** (`*_secs`) and **spans**, which
+//!   are structurally deterministic (same paths, same call counts) but
+//!   carry non-deterministic durations.
+//!
+//! ## Example
+//!
+//! ```
+//! use sms_core::telemetry::Registry;
+//!
+//! let reg = Registry::with_catalog();
+//! reg.add("sms_engine_samples_in", 86_400);
+//! reg.observe("sms_ingest_frame_bytes", 512);
+//! {
+//!     let _root = reg.span("encode_fleet");
+//!     let _child = reg.span("train"); // nests: "encode_fleet/train"
+//! }
+//! let text = reg.render_prometheus();
+//! assert!(text.contains("sms_engine_samples_in 86400"));
+//! assert!(text.contains("span=\"encode_fleet/train\""));
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+use crate::json::JsonWriter;
+
+/// What a metric measures and how it may be updated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic `u64` total (events, samples, bytes).
+    Counter,
+    /// Point-in-time `u64` level (worker counts, queue depths).
+    Gauge,
+    /// Point-in-time `f64` level (stage wall times, rates).
+    GaugeF64,
+    /// A [`Log2Histogram`] of `u64` observations.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword for this kind.
+    pub fn prometheus_type(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge | MetricKind::GaugeF64 => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// The declaration of one metric: where it lives in the engine-stats JSON,
+/// what it is called in Prometheus output, and what it measures.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricSpec {
+    /// Stats block the metric belongs to (`"engine"`, `"ingest"`,
+    /// `"eval"`, `"pool"`, `"quality"`).
+    pub block: &'static str,
+    /// Key within the block's JSON object. A dotted key (for example
+    /// `"defects.non_finite"`) renders as a nested object.
+    pub key: &'static str,
+    /// Globally unique Prometheus metric name (`sms_<block>_<key>`).
+    pub name: &'static str,
+    /// How the metric is typed and updated.
+    pub kind: MetricKind,
+    /// Unit of the recorded value (`"samples"`, `"bytes"`, `"seconds"`…).
+    pub unit: &'static str,
+    /// One-line description, emitted as the Prometheus `# HELP` text.
+    pub help: &'static str,
+}
+
+macro_rules! spec {
+    ($block:literal, $key:literal, $name:literal, $kind:ident, $unit:literal, $help:literal) => {
+        MetricSpec {
+            block: $block,
+            key: $key,
+            name: $name,
+            kind: MetricKind::$kind,
+            unit: $unit,
+            help: $help,
+        }
+    };
+}
+
+/// Every metric the crate can emit, in the exact order the legacy
+/// `to_json` layouts write their keys. [`Registry::write_block_json`]
+/// iterates this order, which is what keeps the five migrated stats
+/// blocks byte-identical to their pre-telemetry JSON output.
+pub const CATALOG: &[MetricSpec] = &[
+    // --- engine -----------------------------------------------------------
+    spec!(
+        "engine",
+        "workers",
+        "sms_engine_workers",
+        Gauge,
+        "threads",
+        "Worker threads used by the fleet engine."
+    ),
+    spec!(
+        "engine",
+        "houses",
+        "sms_engine_houses",
+        Gauge,
+        "houses",
+        "Households encoded in the run."
+    ),
+    spec!(
+        "engine",
+        "samples_in",
+        "sms_engine_samples_in",
+        Counter,
+        "samples",
+        "Raw samples consumed by the engine."
+    ),
+    spec!(
+        "engine",
+        "symbols_out",
+        "sms_engine_symbols_out",
+        Counter,
+        "symbols",
+        "Symbols produced by the engine."
+    ),
+    spec!(
+        "engine",
+        "train_secs",
+        "sms_engine_train_secs",
+        GaugeF64,
+        "seconds",
+        "Wall time of the up-front training stage."
+    ),
+    spec!(
+        "engine",
+        "encode_secs",
+        "sms_engine_encode_secs",
+        GaugeF64,
+        "seconds",
+        "Wall time of the parallel encode stage."
+    ),
+    spec!(
+        "engine",
+        "samples_per_sec",
+        "sms_engine_samples_per_sec",
+        GaugeF64,
+        "samples/second",
+        "Raw samples consumed per wall-clock second."
+    ),
+    spec!(
+        "engine",
+        "symbols_per_sec",
+        "sms_engine_symbols_per_sec",
+        GaugeF64,
+        "symbols/second",
+        "Symbols produced per wall-clock second."
+    ),
+    spec!(
+        "engine",
+        "house_samples",
+        "sms_engine_house_samples",
+        Histogram,
+        "samples",
+        "Per-house input sample counts."
+    ),
+    spec!(
+        "engine",
+        "house_symbols",
+        "sms_engine_house_symbols",
+        Histogram,
+        "symbols",
+        "Per-house output symbol counts."
+    ),
+    // --- ingest -----------------------------------------------------------
+    spec!(
+        "ingest",
+        "frames_ok",
+        "sms_ingest_frames_ok",
+        Counter,
+        "frames",
+        "Frames decoded successfully."
+    ),
+    spec!(
+        "ingest",
+        "frames_corrupt",
+        "sms_ingest_frames_corrupt",
+        Counter,
+        "frames",
+        "Frames rejected with a decode error."
+    ),
+    spec!(
+        "ingest",
+        "resyncs",
+        "sms_ingest_resyncs",
+        Counter,
+        "scans",
+        "Times the decoder scanned forward to a new frame boundary."
+    ),
+    spec!(
+        "ingest",
+        "frames_oversized",
+        "sms_ingest_frames_oversized",
+        Counter,
+        "frames",
+        "Frames whose header announced a payload above the cap."
+    ),
+    spec!(
+        "ingest",
+        "bytes_in",
+        "sms_ingest_bytes_in",
+        Counter,
+        "bytes",
+        "Raw bytes fed into the gateway."
+    ),
+    spec!(
+        "ingest",
+        "backpressure_stalls",
+        "sms_ingest_backpressure_stalls",
+        Counter,
+        "stalls",
+        "Times a downstream feed was rejected or had to back off."
+    ),
+    spec!(
+        "ingest",
+        "meters_rejected",
+        "sms_ingest_meters_rejected",
+        Counter,
+        "chunks",
+        "Chunks rejected because the meter would exceed max_meters."
+    ),
+    spec!(
+        "ingest",
+        "backlog_rejections",
+        "sms_ingest_backlog_rejections",
+        Counter,
+        "chunks",
+        "Chunks rejected because the byte backlog cap would be exceeded."
+    ),
+    spec!(
+        "ingest",
+        "decode_secs",
+        "sms_ingest_decode_secs",
+        GaugeF64,
+        "seconds",
+        "Wall time spent in wire decode (including resync scans)."
+    ),
+    spec!(
+        "ingest",
+        "feed_secs",
+        "sms_ingest_feed_secs",
+        GaugeF64,
+        "seconds",
+        "Wall time spent feeding decoded data downstream."
+    ),
+    spec!(
+        "ingest",
+        "frame_bytes",
+        "sms_ingest_frame_bytes",
+        Histogram,
+        "bytes",
+        "Wire sizes of successfully decoded frames."
+    ),
+    // --- eval -------------------------------------------------------------
+    spec!("eval", "cells", "sms_eval_cells", Counter, "cells", "Experiment cells completed."),
+    spec!("eval", "folds", "sms_eval_folds", Counter, "folds", "Cross-validation folds executed."),
+    spec!(
+        "eval",
+        "train_secs",
+        "sms_eval_train_secs",
+        GaugeF64,
+        "seconds",
+        "Total per-fold training wall time."
+    ),
+    spec!(
+        "eval",
+        "test_secs",
+        "sms_eval_test_secs",
+        GaugeF64,
+        "seconds",
+        "Total per-fold prediction wall time."
+    ),
+    spec!(
+        "eval",
+        "workers",
+        "sms_eval_workers",
+        Gauge,
+        "threads",
+        "Worker threads used by the evaluation pool."
+    ),
+    spec!(
+        "eval",
+        "max_queue_depth",
+        "sms_eval_max_queue_depth",
+        Gauge,
+        "jobs",
+        "High-water mark of the evaluation pool's job queue."
+    ),
+    spec!(
+        "eval",
+        "fold_test_rows",
+        "sms_eval_fold_test_rows",
+        Histogram,
+        "rows",
+        "Test-set sizes of the executed cross-validation folds."
+    ),
+    // --- pool -------------------------------------------------------------
+    spec!(
+        "pool",
+        "workers",
+        "sms_pool_workers",
+        Gauge,
+        "threads",
+        "Worker threads actually spawned."
+    ),
+    spec!("pool", "jobs", "sms_pool_jobs", Counter, "jobs", "Jobs executed."),
+    spec!(
+        "pool",
+        "queue_capacity",
+        "sms_pool_queue_capacity",
+        Gauge,
+        "jobs",
+        "Capacity of the bounded job queue."
+    ),
+    spec!(
+        "pool",
+        "max_queue_depth",
+        "sms_pool_max_queue_depth",
+        Gauge,
+        "jobs",
+        "High-water mark of jobs enqueued but not yet claimed."
+    ),
+    spec!(
+        "pool",
+        "panics",
+        "sms_pool_panics",
+        Counter,
+        "attempts",
+        "Job attempts that panicked (caught by the supervisor)."
+    ),
+    spec!(
+        "pool",
+        "retries",
+        "sms_pool_retries",
+        Counter,
+        "attempts",
+        "Retry attempts executed after a panicking attempt."
+    ),
+    spec!(
+        "pool",
+        "gave_up",
+        "sms_pool_gave_up",
+        Counter,
+        "jobs",
+        "Jobs that exhausted every allowed attempt."
+    ),
+    spec!(
+        "pool",
+        "deadline_exceeded",
+        "sms_pool_deadline_exceeded",
+        Counter,
+        "jobs",
+        "Jobs skipped because the per-run deadline had elapsed."
+    ),
+    spec!(
+        "pool",
+        "respawns",
+        "sms_pool_respawns",
+        Counter,
+        "workers",
+        "Worker thread bodies re-armed after a crash."
+    ),
+    spec!(
+        "pool",
+        "job_attempts",
+        "sms_pool_job_attempts",
+        Histogram,
+        "attempts",
+        "Attempts needed per resolved job (1 = first try)."
+    ),
+    // --- quality ----------------------------------------------------------
+    spec!("quality", "houses", "sms_quality_houses", Counter, "houses", "Houses sanitized."),
+    spec!(
+        "quality",
+        "quarantined",
+        "sms_quality_quarantined",
+        Counter,
+        "houses",
+        "Houses quarantined (dirty data or exhausted retries)."
+    ),
+    spec!(
+        "quality",
+        "samples_in",
+        "sms_quality_samples_in",
+        Counter,
+        "samples",
+        "Samples examined across the fleet."
+    ),
+    spec!(
+        "quality",
+        "samples_out",
+        "sms_quality_samples_out",
+        Counter,
+        "samples",
+        "Samples surviving sanitization across the fleet."
+    ),
+    spec!(
+        "quality",
+        "defects.non_finite",
+        "sms_quality_defects_non_finite",
+        Counter,
+        "defects",
+        "NaN/infinite values seen."
+    ),
+    spec!(
+        "quality",
+        "defects.negative_power",
+        "sms_quality_defects_negative_power",
+        Counter,
+        "defects",
+        "Negative power readings seen."
+    ),
+    spec!(
+        "quality",
+        "defects.duplicate_timestamps",
+        "sms_quality_defects_duplicate_timestamps",
+        Counter,
+        "defects",
+        "Duplicated timestamps seen."
+    ),
+    spec!(
+        "quality",
+        "defects.out_of_order",
+        "sms_quality_defects_out_of_order",
+        Counter,
+        "defects",
+        "Out-of-order timestamps seen."
+    ),
+    spec!(
+        "quality",
+        "defects.gaps",
+        "sms_quality_defects_gaps",
+        Counter,
+        "defects",
+        "Gap spans seen."
+    ),
+    spec!(
+        "quality",
+        "defects.reset_spikes",
+        "sms_quality_defects_reset_spikes",
+        Counter,
+        "defects",
+        "Reset spikes seen."
+    ),
+    spec!(
+        "quality",
+        "dropped",
+        "sms_quality_dropped",
+        Counter,
+        "samples",
+        "Samples discarded across the fleet."
+    ),
+    spec!(
+        "quality",
+        "clamped",
+        "sms_quality_clamped",
+        Counter,
+        "samples",
+        "Values clamped across the fleet."
+    ),
+    spec!(
+        "quality",
+        "filled",
+        "sms_quality_filled",
+        Counter,
+        "samples",
+        "Samples repaired or synthesized by fill-forward."
+    ),
+    spec!(
+        "quality",
+        "marked_missing",
+        "sms_quality_marked_missing",
+        Counter,
+        "spans",
+        "Spans marked missing across the fleet."
+    ),
+    spec!(
+        "quality",
+        "sanitize_secs",
+        "sms_quality_sanitize_secs",
+        GaugeF64,
+        "seconds",
+        "Wall time of the sanitization pre-pass."
+    ),
+    spec!(
+        "quality",
+        "house_defects",
+        "sms_quality_house_defects",
+        Histogram,
+        "defects",
+        "Per-house defect totals found by the sanitizer."
+    ),
+];
+
+/// Looks up a metric's [`CATALOG`] declaration by Prometheus name.
+pub fn catalog_spec(name: &str) -> Option<&'static MetricSpec> {
+    CATALOG.iter().find(|s| s.name == name)
+}
+
+/// Number of buckets in a [`Log2Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A fixed-layout histogram with power-of-two bucket boundaries, sized for
+/// latencies in microseconds, frame sizes in bytes, and per-house counts.
+///
+/// Bucket `0` counts zero-valued observations; bucket `i` (for `i ≥ 1`)
+/// counts values in `[2^(i-1), 2^i - 1]`; the last bucket absorbs
+/// everything from `2^30` up. The layout is fixed so two histograms always
+/// merge bucket-by-bucket — the property that makes per-worker shards
+/// order-insensitive.
+///
+/// ```
+/// use sms_core::telemetry::Log2Histogram;
+///
+/// let mut h = Log2Histogram::default();
+/// h.observe(0);
+/// h.observe(1);
+/// h.observe(900); // 2^9 ≤ 900 < 2^10 → bucket 10
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.sum(), 901);
+/// assert_eq!(Log2Histogram::bucket_index(900), 10);
+/// assert_eq!(h.buckets()[10], 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Log2Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum: 0 }
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram (same as `default()`, usable in `const` context).
+    pub const fn new() -> Self {
+        Log2Histogram { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum: 0 }
+    }
+
+    /// The bucket `value` falls into: `0` for zero, otherwise
+    /// `min(bit_length(value), 31)`.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// The largest value bucket `i` counts, or `None` for the unbounded
+    /// last bucket (rendered as `+Inf` in Prometheus output).
+    pub fn bucket_upper_edge(i: usize) -> Option<u64> {
+        match i {
+            0 => Some(0),
+            _ if i < HISTOGRAM_BUCKETS - 1 => Some((1u64 << i) - 1),
+            _ => None,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Adds every bucket of `other` into `self`. Merging is commutative
+    /// and associative, so shard order cannot change the result.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Whether no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The raw per-bucket counts.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Writes `{"unit":…,"count":…,"sum":…,"buckets":[…]}` into `w`,
+    /// trimming trailing empty buckets (the boundaries are fixed by the
+    /// type, so the reader reconstructs them from the index alone).
+    pub fn write_json(&self, w: &mut JsonWriter, unit: &str) {
+        let used = HISTOGRAM_BUCKETS - self.buckets.iter().rev().take_while(|&&b| b == 0).count();
+        w.begin_object();
+        w.key("unit");
+        w.string(unit);
+        w.key("count");
+        w.u64(self.count);
+        w.key("sum");
+        w.u64(self.sum);
+        w.key("buckets");
+        w.u64_array(&self.buckets[..used]);
+        w.end_object();
+    }
+}
+
+/// One metric's current value, typed per its [`MetricKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// `u64` total or level ([`MetricKind::Counter`] / [`MetricKind::Gauge`]).
+    U64(u64),
+    /// `f64` level ([`MetricKind::GaugeF64`]).
+    F64(f64),
+    /// Histogram state ([`MetricKind::Histogram`]), boxed to keep the
+    /// common scalar variants pointer-sized.
+    Histogram(Box<Log2Histogram>),
+}
+
+impl MetricValue {
+    fn zero_for(kind: MetricKind) -> MetricValue {
+        match kind {
+            MetricKind::Counter | MetricKind::Gauge => MetricValue::U64(0),
+            MetricKind::GaugeF64 => MetricValue::F64(0.0),
+            MetricKind::Histogram => MetricValue::Histogram(Box::new(Log2Histogram::new())),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Metric {
+    spec: MetricSpec,
+    value: MetricValue,
+}
+
+/// One span's accumulated state: full path, call count, wall seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSnapshot {
+    /// `/`-joined path from the root span (for example
+    /// `"encode_fleet/train"`).
+    pub path: String,
+    /// Completed activations of this exact path.
+    pub calls: u64,
+    /// Wall seconds accumulated over those activations.
+    pub secs: f64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    metrics: Vec<Metric>,
+    by_name: HashMap<&'static str, usize>,
+    spans: Vec<SpanSnapshot>,
+    by_path: HashMap<String, usize>,
+    stacks: HashMap<ThreadId, Vec<usize>>,
+}
+
+impl Inner {
+    fn register(&mut self, spec: MetricSpec) -> usize {
+        if let Some(&i) = self.by_name.get(spec.name) {
+            return i;
+        }
+        let i = self.metrics.len();
+        self.metrics.push(Metric { spec, value: MetricValue::zero_for(spec.kind) });
+        self.by_name.insert(spec.name, i);
+        i
+    }
+
+    fn ensure(&mut self, name: &'static str, kind: MetricKind) -> usize {
+        if let Some(&i) = self.by_name.get(name) {
+            return i;
+        }
+        let spec = catalog_spec(name).copied().unwrap_or(MetricSpec {
+            block: "adhoc",
+            key: name,
+            name,
+            kind,
+            unit: "",
+            help: "ad-hoc metric (not in the catalog)",
+        });
+        self.register(spec)
+    }
+
+    fn span_node(&mut self, path: &str) -> usize {
+        if let Some(&i) = self.by_path.get(path) {
+            return i;
+        }
+        let i = self.spans.len();
+        self.spans.push(SpanSnapshot { path: path.to_string(), calls: 0, secs: 0.0 });
+        self.by_path.insert(path.to_string(), i);
+        i
+    }
+}
+
+/// The central instrument store: typed metrics in registration order plus
+/// the span tree. Cheap to create, internally synchronized (`&self`
+/// everywhere), and safe to share across worker threads.
+///
+/// ```
+/// use sms_core::telemetry::{Registry, MetricKind};
+///
+/// let reg = Registry::new();
+/// reg.add("sms_pool_jobs", 3);
+/// reg.set("sms_pool_workers", 2);
+/// reg.observe("sms_pool_job_attempts", 1);
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.len(), 3);
+/// assert_eq!(snap[0].0.kind, MetricKind::Counter);
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry; metrics register lazily on first touch.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// A registry with every [`CATALOG`] metric pre-registered at zero, so
+    /// exports always expose the complete metric surface (this is what the
+    /// `check_metrics_docs.sh` CI step diffs against `OBSERVABILITY.md`).
+    pub fn with_catalog() -> Self {
+        let reg = Registry::new();
+        {
+            let mut inner = reg.lock();
+            for spec in CATALOG {
+                inner.register(*spec);
+            }
+        }
+        reg
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned lock only means a panic unwound through a caller —
+        // the counters themselves are always in a consistent state.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers `spec` (idempotent; the first registration wins).
+    pub fn register(&self, spec: MetricSpec) {
+        self.lock().register(spec);
+    }
+
+    /// Registers every catalog metric of `block`, in catalog order.
+    pub fn register_block(&self, block: &str) {
+        let mut inner = self.lock();
+        for spec in CATALOG.iter().filter(|s| s.block == block) {
+            inner.register(*spec);
+        }
+    }
+
+    /// Adds `delta` to a counter (registers it on first touch).
+    pub fn add(&self, name: &'static str, delta: u64) {
+        let mut inner = self.lock();
+        let i = inner.ensure(name, MetricKind::Counter);
+        if let MetricValue::U64(v) = &mut inner.metrics[i].value {
+            *v += delta;
+        }
+    }
+
+    /// Sets a `u64` gauge (registers it on first touch).
+    pub fn set(&self, name: &'static str, value: u64) {
+        let mut inner = self.lock();
+        let i = inner.ensure(name, MetricKind::Gauge);
+        if let MetricValue::U64(v) = &mut inner.metrics[i].value {
+            *v = value;
+        }
+    }
+
+    /// Sets an `f64` gauge (registers it on first touch).
+    pub fn set_f64(&self, name: &'static str, value: f64) {
+        let mut inner = self.lock();
+        let i = inner.ensure(name, MetricKind::GaugeF64);
+        if let MetricValue::F64(v) = &mut inner.metrics[i].value {
+            *v = value;
+        }
+    }
+
+    /// Raises a `u64` gauge to `value` if it is below it.
+    pub fn set_max(&self, name: &'static str, value: u64) {
+        let mut inner = self.lock();
+        let i = inner.ensure(name, MetricKind::Gauge);
+        if let MetricValue::U64(v) = &mut inner.metrics[i].value {
+            *v = (*v).max(value);
+        }
+    }
+
+    /// Records one histogram observation (registers it on first touch).
+    pub fn observe(&self, name: &'static str, value: u64) {
+        let mut inner = self.lock();
+        let i = inner.ensure(name, MetricKind::Histogram);
+        if let MetricValue::Histogram(h) = &mut inner.metrics[i].value {
+            h.observe(value);
+        }
+    }
+
+    /// Merges a whole histogram into the named metric.
+    pub fn merge_histogram(&self, name: &'static str, hist: &Log2Histogram) {
+        let mut inner = self.lock();
+        let i = inner.ensure(name, MetricKind::Histogram);
+        if let MetricValue::Histogram(h) = &mut inner.metrics[i].value {
+            h.merge(hist);
+        }
+    }
+
+    /// Folds one worker [`Shard`] into the registry. Call in worker-index
+    /// order; every fold is a commutative add, so the merged totals are
+    /// independent of worker count and scheduling.
+    pub fn absorb_shard(&self, shard: &Shard) {
+        for (name, delta) in &shard.counters {
+            self.add(name, *delta);
+        }
+        for (name, hist) in &shard.hists {
+            self.merge_histogram(name, hist);
+        }
+    }
+
+    /// Reads one metric's current value, if registered.
+    pub fn get(&self, name: &str) -> Option<MetricValue> {
+        let inner = self.lock();
+        inner.by_name.get(name).map(|&i| inner.metrics[i].value.clone())
+    }
+
+    /// Every registered metric `(spec, value)`, in registration order.
+    pub fn snapshot(&self) -> Vec<(MetricSpec, MetricValue)> {
+        self.lock().metrics.iter().map(|m| (m.spec, m.value.clone())).collect()
+    }
+
+    // --- spans ------------------------------------------------------------
+
+    /// Opens a scoped timer. The span's path nests under whatever span is
+    /// currently open **on this thread**; dropping the guard records one
+    /// call plus the elapsed wall time and pops the span — including
+    /// during a panic unwind, so a panicking job cannot leave the stack
+    /// corrupted for the jobs that follow it on the same worker
+    /// (see the supervised [`crate::pool`]).
+    ///
+    /// ```
+    /// use sms_core::telemetry::Registry;
+    ///
+    /// let reg = Registry::new();
+    /// {
+    ///     let _a = reg.span("encode");
+    ///     let _b = reg.span("train");
+    /// }
+    /// let paths: Vec<String> =
+    ///     reg.span_snapshots().into_iter().map(|s| s.path).collect();
+    /// assert_eq!(paths, ["encode", "encode/train"]);
+    /// ```
+    pub fn span(&self, name: &str) -> Span<'_> {
+        let thread = std::thread::current().id();
+        let mut inner = self.lock();
+        let top = {
+            let stack = inner.stacks.entry(thread).or_default();
+            (stack.len(), stack.last().copied())
+        };
+        let (saved_depth, parent_node) = top;
+        let parent = parent_node.map(|i| inner.spans[i].path.clone());
+        let path = match parent {
+            Some(p) => format!("{p}/{name}"),
+            None => name.to_string(),
+        };
+        let node = inner.span_node(&path);
+        inner.stacks.entry(thread).or_default().push(node);
+        Span { registry: self, thread, node, saved_depth, start: Instant::now() }
+    }
+
+    /// Merges an already-finished span (for example one captured inside
+    /// [`crate::engine::EngineStats`]) into this registry's span tree.
+    pub fn record_span(&self, path: &str, calls: u64, secs: f64) {
+        let mut inner = self.lock();
+        let i = inner.span_node(path);
+        inner.spans[i].calls += calls;
+        inner.spans[i].secs += secs;
+    }
+
+    /// Every span recorded so far, sorted by path for deterministic
+    /// output.
+    pub fn span_snapshots(&self) -> Vec<SpanSnapshot> {
+        let mut spans = self.lock().spans.clone();
+        spans.sort_by(|a, b| a.path.cmp(&b.path));
+        spans
+    }
+
+    // --- exporters --------------------------------------------------------
+
+    /// Writes the named block's scalar metrics as `"key":value` fields
+    /// into an **already open** JSON object, in catalog order, nesting
+    /// dotted keys. Histograms are skipped here (they render through
+    /// [`write_histograms_json`](Self::write_histograms_json)), which is
+    /// exactly what keeps the migrated blocks' JSON byte-identical to
+    /// their hand-rolled predecessors.
+    pub fn write_block_fields(&self, w: &mut JsonWriter, block: &str) {
+        let inner = self.lock();
+        let mut open_group: Option<&str> = None;
+        for m in inner.metrics.iter().filter(|m| m.spec.block == block) {
+            if matches!(m.spec.kind, MetricKind::Histogram) {
+                continue;
+            }
+            match m.spec.key.split_once('.') {
+                Some((group, leaf)) => {
+                    if open_group != Some(group) {
+                        if open_group.is_some() {
+                            w.end_object();
+                        }
+                        w.key(group);
+                        w.begin_object();
+                        open_group = Some(group);
+                    }
+                    w.key(leaf);
+                    write_value(w, &m.value);
+                }
+                None => {
+                    if open_group.take().is_some() {
+                        w.end_object();
+                    }
+                    w.key(m.spec.key);
+                    write_value(w, &m.value);
+                }
+            }
+        }
+        if open_group.is_some() {
+            w.end_object();
+        }
+    }
+
+    /// Writes the named block as one complete JSON object.
+    pub fn write_block_json(&self, w: &mut JsonWriter, block: &str) {
+        w.begin_object();
+        self.write_block_fields(w, block);
+        w.end_object();
+    }
+
+    /// Writes every registered histogram as one JSON object keyed by
+    /// Prometheus name, in registration order.
+    pub fn write_histograms_json(&self, w: &mut JsonWriter) {
+        let inner = self.lock();
+        w.begin_object();
+        for m in &inner.metrics {
+            if let MetricValue::Histogram(h) = &m.value {
+                w.key(m.spec.name);
+                h.write_json(w, m.spec.unit);
+            }
+        }
+        w.end_object();
+    }
+
+    /// Writes the span tree as a JSON array of
+    /// `{"path":…,"calls":…,"secs":…}` objects, sorted by path.
+    pub fn write_spans_json(&self, w: &mut JsonWriter) {
+        w.begin_array();
+        for s in self.span_snapshots() {
+            w.begin_object();
+            w.key("path");
+            w.string(&s.path);
+            w.key("calls");
+            w.u64(s.calls);
+            w.key("secs");
+            w.f64(s.secs);
+            w.end_object();
+        }
+        w.end_array();
+    }
+
+    /// Renders every metric and span in the Prometheus text exposition
+    /// format (`# HELP` / `# TYPE` comments, cumulative histogram buckets
+    /// with `le` labels, spans as `sms_span_seconds{span="…"}` /
+    /// `sms_span_calls{span="…"}` series).
+    ///
+    /// ```
+    /// use sms_core::telemetry::Registry;
+    ///
+    /// let reg = Registry::new();
+    /// reg.observe("sms_ingest_frame_bytes", 5);
+    /// let text = reg.render_prometheus();
+    /// assert!(text.contains("# TYPE sms_ingest_frame_bytes histogram"));
+    /// assert!(text.contains("sms_ingest_frame_bytes_bucket{le=\"7\"} 1"));
+    /// assert!(text.contains("sms_ingest_frame_bytes_count 1"));
+    /// ```
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let snapshot = self.snapshot();
+        for (spec, value) in &snapshot {
+            let _ = writeln!(out, "# HELP {} {}", spec.name, spec.help);
+            let _ = writeln!(out, "# TYPE {} {}", spec.name, spec.kind.prometheus_type());
+            match value {
+                MetricValue::U64(v) => {
+                    let _ = writeln!(out, "{} {}", spec.name, v);
+                }
+                MetricValue::F64(v) => {
+                    let _ = writeln!(out, "{} {}", spec.name, fmt_f64(*v));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (i, b) in h.buckets().iter().enumerate() {
+                        cumulative += b;
+                        match Log2Histogram::bucket_upper_edge(i) {
+                            Some(le) => {
+                                let _ = writeln!(
+                                    out,
+                                    "{}_bucket{{le=\"{}\"}} {}",
+                                    spec.name, le, cumulative
+                                );
+                            }
+                            None => {
+                                let _ = writeln!(
+                                    out,
+                                    "{}_bucket{{le=\"+Inf\"}} {}",
+                                    spec.name, cumulative
+                                );
+                            }
+                        }
+                    }
+                    let _ = writeln!(out, "{}_sum {}", spec.name, h.sum());
+                    let _ = writeln!(out, "{}_count {}", spec.name, h.count());
+                }
+            }
+        }
+        let spans = self.span_snapshots();
+        if !spans.is_empty() {
+            let _ =
+                writeln!(out, "# HELP sms_span_seconds Wall seconds accumulated per span path.");
+            let _ = writeln!(out, "# TYPE sms_span_seconds counter");
+            for s in &spans {
+                let _ = writeln!(
+                    out,
+                    "sms_span_seconds{{span=\"{}\"}} {}",
+                    escape_label(&s.path),
+                    fmt_f64(s.secs)
+                );
+            }
+            let _ = writeln!(out, "# HELP sms_span_calls Completed activations per span path.");
+            let _ = writeln!(out, "# TYPE sms_span_calls counter");
+            for s in &spans {
+                let _ = writeln!(
+                    out,
+                    "sms_span_calls{{span=\"{}\"}} {}",
+                    escape_label(&s.path),
+                    s.calls
+                );
+            }
+        }
+        out
+    }
+}
+
+/// RAII guard for one span activation; see [`Registry::span`].
+#[derive(Debug)]
+pub struct Span<'a> {
+    registry: &'a Registry,
+    thread: ThreadId,
+    node: usize,
+    saved_depth: usize,
+    start: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let secs = self.start.elapsed().as_secs_f64();
+        let mut inner = self.registry.lock();
+        inner.spans[self.node].calls += 1;
+        inner.spans[self.node].secs += secs;
+        if let Some(stack) = inner.stacks.get_mut(&self.thread) {
+            // Truncating (not popping) self-heals the stack when children
+            // leaked past their parent — the panic-unwind case.
+            stack.truncate(self.saved_depth);
+        }
+    }
+}
+
+/// One worker's private metric shard: plain owned counters and histograms
+/// with no locking against other workers. Collect shards with
+/// [`ShardSet`] and fold them into a [`Registry`] (or a stats block) in
+/// worker-index order.
+#[derive(Debug, Clone, Default)]
+pub struct Shard {
+    counters: Vec<(&'static str, u64)>,
+    hists: Vec<(&'static str, Log2Histogram)>,
+}
+
+impl Shard {
+    /// An empty shard.
+    pub fn new() -> Self {
+        Shard::default()
+    }
+
+    /// Adds `delta` to this shard's counter `name`.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        match self.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += delta,
+            None => self.counters.push((name, delta)),
+        }
+    }
+
+    /// Records one observation into this shard's histogram `name`.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        match self.hists.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, h)) => h.observe(value),
+            None => {
+                let mut h = Log2Histogram::new();
+                h.observe(value);
+                self.hists.push((name, h));
+            }
+        }
+    }
+
+    /// This shard's counter total for `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| *n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// This shard's histogram for `name` (empty if never touched).
+    pub fn histogram(&self, name: &str) -> Log2Histogram {
+        self.hists.iter().find(|(n, _)| *n == name).map_or_else(Log2Histogram::new, |(_, h)| *h)
+    }
+
+    /// Folds `other` into `self` (commutative adds only).
+    pub fn merge(&mut self, other: &Shard) {
+        for (name, delta) in &other.counters {
+            self.add(name, *delta);
+        }
+        for (name, hist) in &other.hists {
+            match self.hists.iter_mut().find(|(n, _)| n == name) {
+                Some((_, h)) => h.merge(hist),
+                None => self.hists.push((name, *hist)),
+            }
+        }
+    }
+}
+
+/// A fixed set of per-worker [`Shard`]s. Worker `w` records through
+/// `with(w, …)` — each shard has its own lock, so workers never contend
+/// with each other — and the coordinator folds the shards together **in
+/// worker-index order** with [`merged`](Self::merged).
+///
+/// ```
+/// use sms_core::telemetry::ShardSet;
+///
+/// let shards = ShardSet::new(2);
+/// shards.with(0, |s| s.observe("sms_pool_job_attempts", 1));
+/// shards.with(1, |s| s.observe("sms_pool_job_attempts", 3));
+/// let merged = shards.merged();
+/// assert_eq!(merged.histogram("sms_pool_job_attempts").count(), 2);
+/// ```
+#[derive(Debug)]
+pub struct ShardSet {
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl ShardSet {
+    /// `workers` empty shards.
+    pub fn new(workers: usize) -> Self {
+        ShardSet { shards: (0..workers).map(|_| Mutex::new(Shard::new())).collect() }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the set has no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Runs `f` with exclusive access to worker `w`'s shard.
+    pub fn with<R>(&self, w: usize, f: impl FnOnce(&mut Shard) -> R) -> R {
+        let mut shard = self.shards[w].lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut shard)
+    }
+
+    /// Folds every shard, **in index order**, into one merged [`Shard`].
+    pub fn merged(&self) -> Shard {
+        let mut out = Shard::new();
+        for s in &self.shards {
+            out.merge(&s.lock().unwrap_or_else(PoisonError::into_inner));
+        }
+        out
+    }
+}
+
+/// Renders the full `--metrics` JSON document: experiment name, every
+/// registered block's scalar metrics, all histograms, and the span tree.
+/// The output parses with [`crate::json::parse`] and always contains the
+/// top-level keys `experiment`, `metrics`, `histograms`, `spans`.
+///
+/// ```
+/// use sms_core::telemetry::{render_metrics_json, Registry};
+///
+/// let reg = Registry::with_catalog();
+/// reg.add("sms_engine_samples_in", 7);
+/// let doc = render_metrics_json(&reg, "fleet");
+/// let parsed = sms_core::json::parse(&doc).unwrap();
+/// assert_eq!(parsed.get("experiment").and_then(|v| v.as_str()), Some("fleet"));
+/// let engine = parsed.get("metrics").and_then(|m| m.get("engine")).unwrap();
+/// assert_eq!(engine.get("samples_in").and_then(|v| v.as_u64()), Some(7));
+/// ```
+pub fn render_metrics_json(reg: &Registry, experiment: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("experiment");
+    w.string(experiment);
+    w.key("metrics");
+    w.begin_object();
+    let mut blocks: Vec<&'static str> = Vec::new();
+    for (spec, _) in reg.snapshot() {
+        if !blocks.contains(&spec.block) {
+            blocks.push(spec.block);
+        }
+    }
+    for block in blocks {
+        w.key(block);
+        reg.write_block_json(&mut w, block);
+    }
+    w.end_object();
+    w.key("histograms");
+    reg.write_histograms_json(&mut w);
+    w.key("spans");
+    reg.write_spans_json(&mut w);
+    w.end_object();
+    w.finish()
+}
+
+fn write_value(w: &mut JsonWriter, value: &MetricValue) {
+    match value {
+        MetricValue::U64(v) => {
+            w.u64(*v);
+        }
+        MetricValue::F64(v) => {
+            w.f64(*v);
+        }
+        MetricValue::Histogram(_) => unreachable!("histograms render separately"),
+    }
+}
+
+/// Formats an `f64` like [`JsonWriter::f64`] (shortest round-trip, `.0`
+/// marker on whole numbers) so JSON and Prometheus agree byte-for-byte.
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return if v.is_nan() {
+            "NaN".to_string()
+        } else if v > 0.0 {
+            "+Inf".to_string()
+        } else {
+            "-Inf".to_string()
+        };
+    }
+    let mut s = format!("{v}");
+    if v.fract() == 0.0 && v.abs() < 1e17 {
+        s.push_str(".0");
+    }
+    s
+}
+
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Log2Histogram::bucket_index(0), 0);
+        assert_eq!(Log2Histogram::bucket_index(1), 1);
+        assert_eq!(Log2Histogram::bucket_index(2), 2);
+        assert_eq!(Log2Histogram::bucket_index(3), 2);
+        assert_eq!(Log2Histogram::bucket_index(4), 3);
+        assert_eq!(Log2Histogram::bucket_index(1023), 10);
+        assert_eq!(Log2Histogram::bucket_index(1024), 11);
+        assert_eq!(Log2Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Edges agree with the index rule: a bucket's upper edge maps into
+        // that bucket, edge + 1 maps into the next.
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            let le = Log2Histogram::bucket_upper_edge(i).unwrap();
+            assert_eq!(Log2Histogram::bucket_index(le), i);
+            assert_eq!(Log2Histogram::bucket_index(le + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_order_insensitive() {
+        let values = [0u64, 1, 7, 900, 4096, 1 << 40];
+        let mut serial = Log2Histogram::new();
+        for v in values {
+            serial.observe(v);
+        }
+        // Split across 3 "workers" two different ways; merge both orders.
+        let mut a = [Log2Histogram::new(), Log2Histogram::new(), Log2Histogram::new()];
+        for (i, v) in values.iter().enumerate() {
+            a[i % 3].observe(*v);
+        }
+        let mut fwd = Log2Histogram::new();
+        for h in &a {
+            fwd.merge(h);
+        }
+        let mut rev = Log2Histogram::new();
+        for h in a.iter().rev() {
+            rev.merge(h);
+        }
+        assert_eq!(fwd, serial);
+        assert_eq!(rev, serial);
+    }
+
+    #[test]
+    fn catalog_names_are_unique_and_follow_the_naming_rule() {
+        let mut seen = std::collections::HashSet::new();
+        for spec in CATALOG {
+            assert!(seen.insert(spec.name), "duplicate metric name {}", spec.name);
+            let expected = format!("sms_{}_{}", spec.block, spec.key.replace('.', "_"));
+            assert_eq!(spec.name, expected, "name must be sms_<block>_<key>");
+        }
+    }
+
+    #[test]
+    fn block_json_nests_dotted_keys() {
+        let reg = Registry::new();
+        reg.register_block("quality");
+        reg.add("sms_quality_defects_gaps", 3);
+        reg.add("sms_quality_houses", 2);
+        let mut w = JsonWriter::new();
+        reg.write_block_json(&mut w, "quality");
+        let json = w.finish();
+        let parsed = crate::json::parse(&json).unwrap();
+        assert_eq!(parsed.get("houses").and_then(|v| v.as_u64()), Some(2));
+        let defects = parsed.get("defects").expect("nested defects object");
+        assert_eq!(defects.get("gaps").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(defects.get("non_finite").and_then(|v| v.as_u64()), Some(0));
+    }
+
+    #[test]
+    fn spans_nest_per_thread_and_self_heal_after_panics() {
+        let reg = Registry::new();
+        {
+            let _root = reg.span("root");
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _child = reg.span("child");
+                panic!("boom");
+            }));
+            // The panicked child's guard dropped during unwind; a new span
+            // must nest under root, not under the dead child.
+            let _next = reg.span("next");
+        }
+        let paths: Vec<String> = reg.span_snapshots().into_iter().map(|s| s.path).collect();
+        assert_eq!(paths, ["root", "root/child", "root/next"]);
+    }
+
+    #[test]
+    fn shard_set_merges_in_index_order_to_the_same_totals() {
+        let shards = ShardSet::new(4);
+        for (w, v) in [(0usize, 5u64), (1, 9), (2, 5), (3, 1)] {
+            shards.with(w, |s| {
+                s.add("jobs", 1);
+                s.observe("sizes", v);
+            });
+        }
+        let merged = shards.merged();
+        assert_eq!(merged.counter("jobs"), 4);
+        let mut expected = Log2Histogram::new();
+        for v in [5u64, 9, 5, 1] {
+            expected.observe(v);
+        }
+        assert_eq!(merged.histogram("sizes"), expected);
+    }
+
+    #[test]
+    fn prometheus_output_is_stable_and_parseable() {
+        let build = || {
+            let reg = Registry::with_catalog();
+            reg.add("sms_engine_samples_in", 1234);
+            reg.set_f64("sms_engine_train_secs", 1.5);
+            reg.observe("sms_pool_job_attempts", 1);
+            reg.record_span("fleet/encode", 2, 0.25);
+            reg
+        };
+        let a = build().render_prometheus();
+        let b = build().render_prometheus();
+        assert_eq!(a, b, "same inputs must render identically");
+        for line in a.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment: {line}"
+                );
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("name value");
+            assert!(
+                !series.is_empty() && !series.contains(' ') || series.contains("{"),
+                "bad series: {line}"
+            );
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+                "unparseable value in: {line}"
+            );
+        }
+        assert!(a.contains("sms_engine_samples_in 1234"));
+        assert!(a.contains("sms_engine_train_secs 1.5"));
+        assert!(a.contains("sms_span_calls{span=\"fleet/encode\"} 2"));
+    }
+
+    #[test]
+    fn metrics_json_has_documented_top_level_keys() {
+        let reg = Registry::with_catalog();
+        reg.add("sms_ingest_bytes_in", 10);
+        let doc = render_metrics_json(&reg, "ingest");
+        let parsed = crate::json::parse(&doc).unwrap();
+        for key in ["experiment", "metrics", "histograms", "spans"] {
+            assert!(parsed.get(key).is_some(), "missing {key} in {doc}");
+        }
+        for block in ["engine", "ingest", "eval", "pool", "quality"] {
+            assert!(
+                parsed.get("metrics").and_then(|m| m.get(block)).is_some(),
+                "missing block {block}"
+            );
+        }
+    }
+}

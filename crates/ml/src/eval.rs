@@ -162,6 +162,11 @@ pub struct CvResult {
     pub test_time: Duration,
     /// Number of folds actually run.
     pub folds: usize,
+    /// Distribution of test-set sizes over the executed folds (one
+    /// observation per non-empty fold). Deterministic: fold assignment is
+    /// a pure function of `(data, k, seed)`, and the parallel path
+    /// observes from its precomputed job list in `(run, fold)` order.
+    pub fold_test_rows: sms_core::telemetry::Log2Histogram,
 }
 
 impl CvResult {
@@ -226,12 +231,14 @@ where
     let mut confusion = ConfusionMatrix::new(n_classes)?;
     let mut train_time = Duration::ZERO;
     let mut test_time = Duration::ZERO;
+    let mut fold_test_rows = sms_core::telemetry::Log2Histogram::new();
 
     for f in 0..k {
         let test_idx = &folds[f];
         if test_idx.is_empty() {
             continue;
         }
+        fold_test_rows.observe(test_idx.len() as u64);
         let train_idx: Vec<usize> = folds
             .iter()
             .enumerate()
@@ -254,7 +261,7 @@ where
         }
         test_time += t1.elapsed();
     }
-    Ok(CvResult { confusion, train_time, test_time, folds: k })
+    Ok(CvResult { confusion, train_time, test_time, folds: k, fold_test_rows })
 }
 
 /// Repeated stratified cross-validation: `runs` independent CV passes with
@@ -281,6 +288,7 @@ where
     let mut confusion = ConfusionMatrix::new(data.num_classes()?)?;
     let mut train_time = Duration::ZERO;
     let mut test_time = Duration::ZERO;
+    let mut fold_test_rows = sms_core::telemetry::Log2Histogram::new();
     for r in 0..runs {
         // Run 0 reproduces the single-pass assignment for `seed` exactly.
         let run_seed = if r == 0 {
@@ -292,8 +300,9 @@ where
         confusion.merge(&res.confusion)?;
         train_time += res.train_time;
         test_time += res.test_time;
+        fold_test_rows.merge(&res.fold_test_rows);
     }
-    Ok(CvResult { confusion, train_time, test_time, folds: k * runs })
+    Ok(CvResult { confusion, train_time, test_time, folds: k * runs, fold_test_rows })
 }
 
 /// [`cross_validate_repeated`] across a worker pool, **bit-identical to the
@@ -375,13 +384,20 @@ where
     let mut confusion = ConfusionMatrix::new(n_classes)?;
     let mut train_time = Duration::ZERO;
     let mut test_time = Duration::ZERO;
-    for res in results {
+    let mut fold_test_rows = sms_core::telemetry::Log2Histogram::new();
+    for (res, (_, test_idx)) in results.into_iter().zip(jobs.iter()) {
         let (m, fit_t, pred_t) = res?;
         confusion.merge(&m)?;
         train_time += fit_t;
         test_time += pred_t;
+        // Observed coordinator-side from the precomputed job list, in
+        // `(run, fold)` order, skipping the empty folds the serial path
+        // skips — so the histogram matches serial at any worker count.
+        if !test_idx.is_empty() {
+            fold_test_rows.observe(test_idx.len() as u64);
+        }
     }
-    Ok(CvResult { confusion, train_time, test_time, folds: k * runs })
+    Ok(CvResult { confusion, train_time, test_time, folds: k * runs, fold_test_rows })
 }
 
 /// Train/test evaluation on explicit splits (used by the forecasting
@@ -404,7 +420,11 @@ where
         confusion.record(test.class_of(i)?, predicted)?;
     }
     let test_time = t1.elapsed();
-    Ok(CvResult { confusion, train_time, test_time, folds: 1 })
+    let mut fold_test_rows = sms_core::telemetry::Log2Histogram::new();
+    if !test.is_empty() {
+        fold_test_rows.observe(test.len() as u64);
+    }
+    Ok(CvResult { confusion, train_time, test_time, folds: 1, fold_test_rows })
 }
 
 /// Mean absolute error.

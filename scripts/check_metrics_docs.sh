@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Diffs the metric names the telemetry registry actually exposes against the
+# names documented in OBSERVABILITY.md.
+#
+# Runs `repro quality --faults --metrics=FILE` (the experiment that touches
+# the most blocks), collects every `# TYPE <name> <kind>` line from the
+# Prometheus exposition — with `Registry::with_catalog` that is the complete
+# catalog plus the two span series — and requires each name to appear in
+# backticks in OBSERVABILITY.md, and every documented `sms_` name to exist
+# in the exposition. Fails on drift in either direction.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+doc=OBSERVABILITY.md
+[[ -f "$doc" ]] || { echo "missing $doc" >&2; exit 1; }
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+echo "==> running repro quality --faults --metrics to enumerate live metrics"
+cargo run -q --release -p sms-bench --bin repro -- \
+    quality --faults "--metrics=$tmpdir/metrics.prom" > /dev/null
+
+awk '$1 == "#" && $2 == "TYPE" { print $3 }' "$tmpdir/metrics.prom" \
+    | sort -u > "$tmpdir/live.txt"
+grep -o '`sms_[a-z0-9_]*`' "$doc" | tr -d '`' | sort -u > "$tmpdir/doc.txt"
+
+[[ -s "$tmpdir/live.txt" ]] || { echo "no metrics in the exposition?" >&2; exit 1; }
+
+status=0
+undocumented=$(comm -23 "$tmpdir/live.txt" "$tmpdir/doc.txt")
+if [[ -n "$undocumented" ]]; then
+    echo "registered metrics missing from $doc:" >&2
+    echo "$undocumented" | sed 's/^/  /' >&2
+    status=1
+fi
+stale=$(comm -13 "$tmpdir/live.txt" "$tmpdir/doc.txt")
+if [[ -n "$stale" ]]; then
+    echo "metrics documented in $doc but not registered:" >&2
+    echo "$stale" | sed 's/^/  /' >&2
+    status=1
+fi
+
+if [[ $status -eq 0 ]]; then
+    echo "==> OBSERVABILITY.md matches the live registry ($(wc -l < "$tmpdir/live.txt") series)"
+fi
+exit $status

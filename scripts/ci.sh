@@ -24,6 +24,12 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> rustdoc: cargo doc --no-deps (missing_docs is deny in sms-core)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "==> doctests: cargo test --doc"
+cargo test -q --doc --workspace
+
 if [[ $quick -eq 0 ]]; then
     echo "==> full suite: cargo test -q --workspace"
     cargo test -q --workspace
@@ -48,6 +54,20 @@ if [[ $quick -eq 0 ]]; then
 
     echo "==> quality sanitizer + supervised pool bench smoke (down-scaled)"
     BENCH_QUALITY_SMOKE=1 cargo bench -q -p sms-bench --bench quality
+
+    echo "==> telemetry: --metrics exporter smoke (JSON shape via sms_core::json)"
+    metrics_tmp=$(mktemp -d)
+    trap 'rm -rf "$metrics_tmp"' EXIT
+    cargo run -q --release -p sms-bench --bin repro -- \
+        fleet --parallel --workers 2 "--metrics=$metrics_tmp/fleet.prom" \
+        > "$metrics_tmp/fleet.out"
+    grep -q '^metrics_json: ' "$metrics_tmp/fleet.out"
+    grep -q '^# TYPE sms_engine_samples_in counter$' "$metrics_tmp/fleet.prom"
+    cargo run -q --release -p sms-bench --bin repro -- \
+        validate-metrics "$metrics_tmp/fleet.out"
+
+    echo "==> telemetry: OBSERVABILITY.md vs live registry"
+    scripts/check_metrics_docs.sh
 fi
 
 echo "==> CI green"

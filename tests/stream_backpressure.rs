@@ -27,14 +27,24 @@ fn house_and_codec() -> (Vec<(Timestamp, f64)>, SymbolicCodec) {
 }
 
 /// A 1-worker, capacity-1 stream saturates after a handful of chunks when
-/// nobody drains; this feeds until the first rejection and returns the
-/// stream plus the index of the rejected chunk.
+/// nobody drains; this feeds until a *sustained* rejection and returns the
+/// index of the permanently rejected chunk. A first rejection can be
+/// transient — the worker may drain the input queue moments later — so a
+/// chunk only counts as rejected once it has bounced repeatedly with pauses
+/// long enough for the worker to park on the full event queue.
 fn saturate(stream: &mut FleetStream, samples: &[(Timestamp, f64)]) -> usize {
     for (i, chunk) in samples.chunks(16).enumerate() {
-        match stream.try_feed(0, chunk) {
-            Ok(()) => {}
-            Err(Error::WouldBlock) => return i,
-            Err(e) => panic!("unexpected error while saturating: {e}"),
+        let mut rejections = 0u32;
+        loop {
+            match stream.try_feed(0, chunk) {
+                Ok(()) => break,
+                Err(Error::WouldBlock) if rejections < 25 => {
+                    rejections += 1;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(Error::WouldBlock) => return i,
+                Err(e) => panic!("unexpected error while saturating: {e}"),
+            }
         }
     }
     panic!("a never-draining producer must saturate a capacity-1 stream");
