@@ -1,0 +1,70 @@
+//! Encode hot-path benchmark: the columnar fast path (branchless flat
+//! separator scan + batched symbol construction) vs the legacy per-value
+//! binary-search encode, across alphabet sizes. The sweep body lives in
+//! [`sms_bench::encode_bench`] (also reachable as `repro encode-bench`);
+//! this harness adds the machine-readable record and the CI gate:
+//!
+//! * `BENCH_ENCODE_SMOKE=1` — down-scaled CI pass;
+//! * `BENCH_ENCODE_OUT=PATH` — write the `BENCH_encode.json` record;
+//! * `BENCH_ENCODE_BASELINE=PATH` — regression gate: fail if any batched
+//!   per-core throughput drops more than 20% below the committed baseline
+//!   (more than 50% in smoke mode, whose short passes carry more scheduler
+//!   noise — there the gate is a halved-throughput tripwire, not a tight
+//!   perf contract).
+
+use sms_bench::encode_bench::{render_encode_bench, run_encode_bench_with};
+use sms_core::json::parse;
+use sms_core::telemetry::Registry;
+
+fn main() {
+    let smoke = std::env::var("BENCH_ENCODE_SMOKE").is_ok();
+    let (n, samples) = if smoke { (200_000, 5) } else { (2_000_000, 9) };
+    let reg = Registry::new();
+    let report = run_encode_bench_with(n, samples, &reg).expect("encode bench runs");
+    print!("{}", render_encode_bench(&report));
+
+    if let Ok(path) = std::env::var("BENCH_ENCODE_OUT") {
+        std::fs::write(&path, format!("{}\n", report.to_json())).unwrap();
+        println!("wrote {path}");
+    }
+
+    // Regression gate: each batched per-core throughput must stay within
+    // 20% of the committed baseline — 50% for the smoke pass, whose 10×
+    // shorter timed region is dominated by run-to-run scheduler noise.
+    let floor = if smoke { 0.5 } else { 0.8 };
+    if let Ok(path) = std::env::var("BENCH_ENCODE_BASELINE") {
+        let doc = parse(&std::fs::read_to_string(&path).expect("baseline file readable"))
+            .expect("baseline file parses");
+        let mut failed = false;
+        for row in &report.rows {
+            let Some(baseline) = doc
+                .get(&row.label)
+                .and_then(|e| e.get("batched_samples_per_sec"))
+                .and_then(|v| v.as_f64())
+            else {
+                println!("gate: no baseline for {}, skipping", row.label);
+                continue;
+            };
+            let ratio = row.batched_samples_per_sec / baseline.max(f64::MIN_POSITIVE);
+            if ratio < floor {
+                println!(
+                    "gate: {} REGRESSED {:.1}% ({:.1} -> {:.1} Msamples/s)",
+                    row.label,
+                    (1.0 - ratio) * 100.0,
+                    baseline / 1e6,
+                    row.batched_samples_per_sec / 1e6
+                );
+                failed = true;
+            } else {
+                println!("gate: {} ok ({:.2}x baseline)", row.label, ratio);
+            }
+        }
+        if failed {
+            eprintln!(
+                "encode bench: per-core throughput regressed >{:.0}% vs {path}",
+                (1.0 - floor) * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -23,7 +23,7 @@ fn reconstruction_mae(ds: &MeterDataset, table: &LookupTable) -> Result<f64> {
     for r in ds.records() {
         let hourly = aggregate_by_window(&r.series, 3600, Aggregation::Mean, 1)?;
         for (_, v) in hourly.iter() {
-            let d = table.decode_symbol(table.encode_value(v), SymbolSemantics::RangeMean)?;
+            let d = table.decode_symbol(table.encode_value(v)?, SymbolSemantics::RangeMean)?;
             err += (v - d).abs();
             n += 1;
         }
@@ -81,7 +81,7 @@ pub fn run_separator_ablation(scale: Scale) -> Result<Vec<SeparatorAblationRow>>
                 }
                 let hourly = aggregate_by_window(&day.1, 3600, Aggregation::Mean, 1)?;
                 for (_, v) in hourly.iter() {
-                    symbols.push(table.encode_value(v));
+                    symbols.push(table.encode_value(v)?);
                     sym_labels.push(idx);
                 }
             }
@@ -148,8 +148,10 @@ pub fn run_streaming_ablation(scale: Scale) -> Result<StreamingAblation> {
 
     let t_exact = LookupTable::from_parts(SeparatorMethod::Median, alphabet, exact, &values)?;
     let t_approx = LookupTable::from_parts(SeparatorMethod::Median, alphabet, approx, &values)?;
-    let disagreements =
-        values.iter().filter(|&&v| t_exact.encode_value(v) != t_approx.encode_value(v)).count();
+    let disagreements = values
+        .iter()
+        .filter(|&&v| t_exact.encode_value(v).unwrap() != t_approx.encode_value(v).unwrap())
+        .count();
     Ok(StreamingAblation {
         max_relative_deviation: max_dev,
         symbol_disagreement: disagreements as f64 / values.len() as f64,

@@ -6,7 +6,7 @@
 //! repro validate-metrics <FILE>
 //! experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!              table1 classification compression drift privacy fleet ingest
-//!              quality all
+//!              quality encode-bench all
 //! ```
 //!
 //! `--parallel` routes the `fleet` experiment through the multi-threaded
@@ -32,6 +32,7 @@ use sms_bench::ablation::{
 use sms_bench::classification::{ClassifierKind, FigureRun, TableMode};
 use sms_bench::clustering::{render_clustering, run_clustering};
 use sms_bench::drift::run_drift;
+use sms_bench::encode_bench::{render_encode_bench, run_encode_bench};
 use sms_bench::export::export_arff;
 use sms_bench::figures::{
     compression_table, fig1_symbol_tree, fig2_distribution, fig3_normalization, fig4_statistics,
@@ -54,7 +55,7 @@ fn usage() -> ! {
          \x20      repro validate-metrics <FILE>\n\
          experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9\n\
          table1 classification compression drift privacy clustering ablation sax markov fidelity \
-         arff fleet ingest quality all\n\
+         arff fleet ingest quality encode-bench all\n\
          --parallel / --workers N: encode the `fleet` experiment through the\n\
          multi-threaded FleetEngine (default: serial codec); also parallelize\n\
          the evaluation-matrix experiments (classification, fig5-7, table1,\n\
@@ -417,6 +418,14 @@ fn run(
         "clustering" => {
             let ds = dataset(scale)?;
             println!("{}", render_clustering(&run_clustering(&ds, scale)?));
+        }
+        "encode-bench" => {
+            // The encode hot-path sweep behind `BENCH_encode.json`: scalar
+            // vs batched per-core throughput, with each timed side recorded
+            // as a span under this experiment's root span.
+            let report = run_encode_bench(scale, reg)?;
+            print!("{}", render_encode_bench(&report));
+            println!("encode_bench: {}", report.to_json());
         }
         "ablation" => {
             println!("{}", render_separator_ablation(&run_separator_ablation(scale)?));

@@ -1,0 +1,221 @@
+//! The encode hot-path experiment behind `BENCH_encode.json`: per-core
+//! throughput of the legacy scalar encode (one binary search plus one checked
+//! `Symbol::from_rank` per value) versus the batched fast path
+//! ([`LookupTable::encode_batch_into`]) across alphabet sizes.
+//!
+//! k ≤ 8 exercises the columnar per-boundary kernel, k = 16 the four-step
+//! branchless ladder, k = 32 the five-step ladder, and k = 64 the
+//! binary-search fallback (where the win is dropping per-value symbol
+//! validation alone). Each timed side is recorded as a telemetry span
+//! (`scalar_k4`, `batched_k4`, …) nested under the caller's open span, so
+//! `repro encode-bench --metrics` exports the wall time alongside the
+//! derived samples/sec.
+//!
+//! The Criterion-style harness (`cargo bench -p sms-bench --bench encode`)
+//! drives the same [`run_encode_bench_with`] body and adds the JSON record
+//! writer plus the CI regression gate.
+
+use crate::scale::Scale;
+use sms_core::alphabet::Alphabet;
+use sms_core::error::Result;
+use sms_core::lookup::LookupTable;
+use sms_core::separators::{def3_bin_index, SeparatorMethod};
+use sms_core::symbol::Symbol;
+use sms_core::telemetry::Registry;
+use std::time::Instant;
+
+/// Alphabet sizes the experiment sweeps: the three fast-path regimes plus
+/// the k > 32 binary-search fallback.
+pub const ENCODE_BENCH_ALPHABETS: [usize; 4] = [4, 16, 32, 64];
+
+/// One alphabet's scalar-vs-batched throughput comparison.
+#[derive(Debug, Clone)]
+pub struct EncodeBenchRow {
+    /// `k{size}`, or `k{size}_fallback` past the 32-slot flat-table cap.
+    pub label: String,
+    /// Legacy per-value encode throughput, samples per second on one core.
+    pub scalar_samples_per_sec: f64,
+    /// Batched fast-path throughput, samples per second on one core.
+    pub batched_samples_per_sec: f64,
+    /// `scalar_secs / batched_secs` (> 1 means the fast path wins).
+    pub speedup: f64,
+}
+
+/// The full sweep: one row per alphabet in [`ENCODE_BENCH_ALPHABETS`].
+#[derive(Debug, Clone)]
+pub struct EncodeBenchReport {
+    /// Values encoded per timed pass.
+    pub values: usize,
+    /// Timed passes per side; the reported time is the median.
+    pub samples: usize,
+    /// Per-alphabet results, in sweep order.
+    pub rows: Vec<EncodeBenchRow>,
+}
+
+impl EncodeBenchReport {
+    /// The `BENCH_encode.json` document: one object per row keyed by label,
+    /// matching the committed baseline the CI gate diffs against.
+    pub fn to_json(&self) -> String {
+        let mut json = String::from("{\"bench\":\"encode\",");
+        json += &format!("\"values\":{},\"samples\":{},", self.values, self.samples);
+        for row in &self.rows {
+            json += &format!(
+                "\"{}\":{{\"scalar_samples_per_sec\":{:.0},\
+                 \"batched_samples_per_sec\":{:.0},\"speedup\":{:.3}}},",
+                row.label, row.scalar_samples_per_sec, row.batched_samples_per_sec, row.speedup
+            );
+        }
+        json.pop();
+        json += "}";
+        json
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state >> 12;
+    *state ^= *state << 25;
+    *state ^= *state >> 27;
+    state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Smart-meter-shaped load curve: a daily base pattern plus noise.
+pub fn meter_values(n: usize) -> Vec<f64> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    (0..n)
+        .map(|i| {
+            let hour = (i / 60) % 24;
+            let base = 150.0 + 400.0 * ((hour as f64 - 7.0) / 24.0).sin().abs();
+            let noise = (xorshift(&mut state) & 0xFFFF) as f64 / 65536.0 * 120.0;
+            base + noise
+        })
+        .collect()
+}
+
+/// The legacy encode loop, reconstructed exactly: one binary search and one
+/// checked `Symbol::from_rank` per value.
+fn scalar_encode(table: &LookupTable, values: &[f64], out: &mut Vec<Symbol>) {
+    out.clear();
+    let separators = table.separators();
+    let bits = table.resolution_bits();
+    for &v in values {
+        let rank = def3_bin_index(separators, v) as u16;
+        out.push(Symbol::from_rank(rank, bits).expect("rank fits resolution"));
+    }
+}
+
+/// Median wall time in seconds of `samples` runs of `f`.
+fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+/// [`run_encode_bench`] with explicit sizing — the bench harness calls this
+/// directly so its smoke/full modes and the `repro` scales share one body.
+pub fn run_encode_bench_with(
+    n: usize,
+    samples: usize,
+    reg: &Registry,
+) -> Result<EncodeBenchReport> {
+    let values = meter_values(n);
+    let mut rows = Vec::new();
+    for k in ENCODE_BENCH_ALPHABETS {
+        let table = LookupTable::learn(SeparatorMethod::Median, Alphabet::with_size(k)?, &values)?;
+        let mut out: Vec<Symbol> = Vec::with_capacity(n);
+        // Warm both paths once so page faults and lazy allocs don't land in
+        // the first timed sample.
+        scalar_encode(&table, &values, &mut out);
+        table.encode_batch_into(&values, &mut out)?;
+
+        let label = if k <= 32 { format!("k{k}") } else { format!("k{k}_fallback") };
+        let scalar = {
+            let _span = reg.span(&format!("scalar_{label}"));
+            median_secs(samples, || {
+                scalar_encode(&table, &values, &mut out);
+                assert_eq!(out.len(), n);
+            })
+        };
+        let batched = {
+            let _span = reg.span(&format!("batched_{label}"));
+            median_secs(samples, || {
+                table.encode_batch_into(&values, &mut out).expect("finite bench values");
+                assert_eq!(out.len(), n);
+            })
+        };
+        rows.push(EncodeBenchRow {
+            label,
+            scalar_samples_per_sec: n as f64 / scalar.max(f64::MIN_POSITIVE),
+            batched_samples_per_sec: n as f64 / batched.max(f64::MIN_POSITIVE),
+            speedup: scalar / batched.max(f64::MIN_POSITIVE),
+        });
+    }
+    Ok(EncodeBenchReport { values: n, samples, rows })
+}
+
+/// Runs the sweep at an experiment [`Scale`]: `quick` times a down-scaled
+/// column, `paper` the full two-million-value column the committed
+/// `BENCH_encode.json` was recorded at.
+pub fn run_encode_bench(scale: Scale, reg: &Registry) -> Result<EncodeBenchReport> {
+    let (n, samples) = if scale.days >= 30 { (2_000_000, 9) } else { (200_000, 5) };
+    run_encode_bench_with(n, samples, reg)
+}
+
+/// Human-readable table mirroring the bench harness output.
+pub fn render_encode_bench(report: &EncodeBenchReport) -> String {
+    let mut out = format!(
+        "encode bench: {} values, median of {} passes [per-core Msamples/s]\n",
+        report.values, report.samples
+    );
+    out += &format!("{:<16} {:>10} {:>10} {:>8}\n", "alphabet", "scalar", "batched", "speedup");
+    for row in &report.rows {
+        out += &format!(
+            "{:<16} {:>10.1} {:>10.1} {:>7.2}x\n",
+            row.label,
+            row.scalar_samples_per_sec / 1e6,
+            row.batched_samples_per_sec / 1e6,
+            row.speedup
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_one_row_per_alphabet_and_valid_json() {
+        let reg = Registry::new();
+        let report = run_encode_bench_with(4096, 1, &reg).expect("bench runs");
+        assert_eq!(report.rows.len(), ENCODE_BENCH_ALPHABETS.len());
+        assert_eq!(report.rows[0].label, "k4");
+        assert_eq!(report.rows[3].label, "k64_fallback");
+        for row in &report.rows {
+            assert!(row.scalar_samples_per_sec > 0.0);
+            assert!(row.batched_samples_per_sec > 0.0);
+            assert!(row.speedup > 0.0);
+        }
+
+        // The JSON record parses back and keeps every per-row field the CI
+        // gate reads.
+        let doc = sms_core::json::parse(&report.to_json()).expect("record parses");
+        for row in &report.rows {
+            let entry = doc.get(&row.label).expect("row present");
+            assert!(entry.get("batched_samples_per_sec").and_then(|v| v.as_f64()).is_some());
+        }
+
+        // Both timed sides were recorded as spans.
+        let paths: Vec<String> = reg.span_snapshots().into_iter().map(|s| s.path).collect();
+        assert!(paths.iter().any(|p| p == "scalar_k4"), "spans: {paths:?}");
+        assert!(paths.iter().any(|p| p == "batched_k64_fallback"), "spans: {paths:?}");
+
+        let rendered = render_encode_bench(&report);
+        assert!(rendered.contains("k32"));
+    }
+}

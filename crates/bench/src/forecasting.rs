@@ -211,7 +211,11 @@ impl ForecastFigure {
             for method in SeparatorMethod::ALL {
                 let table = &tables[method.name()][&r.house_id];
                 let encode = |vals: &[f64]| -> Vec<u16> {
-                    vals.iter().map(|&v| table.encode_value(v).rank()).collect()
+                    vals.iter()
+                        .map(|&v| {
+                            table.encode_value(v).expect("train/test values are finite").rank()
+                        })
+                        .collect()
                 };
                 let train_ranks = encode(train_vals);
                 let test_ranks = encode(test_vals);

@@ -25,6 +25,7 @@
 //! | Fig. 3 made executable: SAX comparison | [`sax_exp::run_sax_comparison`] | `sax` |
 //! | §2.3 hostile-transport ingest | [`ingest_exp::run_ingest`] | `ingest [--faults]` |
 //! | Dirty-data quarantine + panic isolation | [`quality_exp::run_quality`] | `quality [--faults]` |
+//! | Encode hot-path throughput (`BENCH_encode.json`) | [`encode_bench::run_encode_bench`] | `encode-bench` |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -33,6 +34,7 @@ pub mod ablation;
 pub mod classification;
 pub mod clustering;
 pub mod drift;
+pub mod encode_bench;
 pub mod export;
 pub mod figures;
 pub mod forecasting;

@@ -156,7 +156,9 @@ pub fn symbolic_day_vectors(
         for (t, v) in agg.iter() {
             let w = (t - day.day_start) / window_secs;
             if (0..n_windows as i64).contains(&w) {
-                row[w as usize] = Value::Nominal(table.encode_value(v).rank() as u32);
+                row[w as usize] = Value::Nominal(
+                    table.encode_value(v).expect("aggregated values are finite").rank() as u32,
+                );
             }
         }
         row[n_windows] = Value::Nominal(classes[&day.house_id]);

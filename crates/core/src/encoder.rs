@@ -103,7 +103,13 @@ impl OnlineEncoder {
         let start = self.window_start?;
         let out = (self.count >= self.min_samples).then(|| EncodedWindow {
             window_start: start,
-            symbol: self.table.encode_value(self.aggregate_current()),
+            // `push` rejects non-finite samples, so the aggregate can
+            // overflow to ±∞ (which encodes to an outer bin) but can never
+            // be NaN — the only value `encode_value` refuses.
+            symbol: self
+                .table
+                .encode_value(self.aggregate_current())
+                .expect("aggregate of finite samples is never NaN"),
             samples: self.count as u32,
         });
         self.count = 0;
@@ -159,6 +165,13 @@ impl OnlineEncoder {
 }
 
 /// Wire messages from sensor to aggregation server.
+///
+/// The size skew between variants is deliberate: a table (which now carries
+/// its inline 32-slot `FlatSeparators`) is a rare control message built on
+/// the stack, handed to the wire encoder and dropped — messages are never
+/// stored in bulk, so boxing would buy nothing and cost an allocation on
+/// the (re)issue path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum SensorMessage {
     /// A (re)issued lookup table; subsequent symbols use it.
@@ -256,6 +269,9 @@ pub struct SensorPipeline {
     state: PipelineState,
 }
 
+// One state per pipeline (not collection-stored), so the variant size skew
+// from the table-carrying encoder is irrelevant.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum PipelineState {
     Training {

@@ -256,6 +256,11 @@ pub struct EngineStats {
     /// Distribution of per-house output symbol counts (quarantined houses
     /// observe their empty placeholder, i.e. `0`).
     pub house_symbols: Log2Histogram,
+    /// Distribution of per-house value counts pushed through the columnar
+    /// encode fast path (one observation per *active* house; quarantined
+    /// houses never reach the encoder). Deterministic — a pure function of
+    /// the input fleet, independent of worker count.
+    pub encode_batch_values: Log2Histogram,
     /// Stage-attribution spans recorded during the run
     /// (`encode_fleet` → `sanitize` / `train` / `encode`), sorted by
     /// path. Paths and call counts are deterministic; the seconds are
@@ -330,6 +335,7 @@ impl EngineStats {
         reg.set_f64("sms_engine_symbols_per_sec", self.symbols_per_sec());
         reg.merge_histogram("sms_engine_house_samples", &self.house_samples);
         reg.merge_histogram("sms_engine_house_symbols", &self.house_symbols);
+        reg.merge_histogram("sms_engine_encode_batch_values", &self.encode_batch_values);
         if let Some(ingest) = &self.ingest {
             ingest.register_into(reg);
         }
@@ -554,6 +560,17 @@ impl FleetEngine {
         for s in &series {
             house_symbols.observe(s.len() as u64);
         }
+        // Columnar fast-path volume: every active house's aggregated series
+        // went through `LookupTable::encode_samples_into` as one batch, so
+        // its value count equals the house's symbol count. Observed here on
+        // the main thread (not in the workers) so the histogram is identical
+        // at every worker count.
+        let mut encode_batch_values = Log2Histogram::new();
+        for (house, s) in series.iter().enumerate() {
+            if !quarantined.iter().any(|q| q.house == house) {
+                encode_batch_values.observe(s.len() as u64);
+            }
+        }
         drop(span_run);
         Ok(FleetEncoding {
             series,
@@ -571,6 +588,7 @@ impl FleetEngine {
                 quality,
                 house_samples,
                 house_symbols,
+                encode_batch_values,
                 spans: telemetry.span_snapshots(),
             },
         })

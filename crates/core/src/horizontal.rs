@@ -189,15 +189,31 @@ pub fn horizontal_segmentation(series: &TimeSeries, table: &LookupTable) -> Resu
 
 /// Allocation-reusing variant of [`horizontal_segmentation`]: resets `out` to
 /// the table's resolution and fills it in place.
+///
+/// This is the encode hot path (every fleet run funnels through here), so
+/// instead of validating per push it runs three column passes that the
+/// compiler can keep branch-free: a timestamp-order check, the batched
+/// separator search of [`LookupTable::encode_batch_into`], and the column
+/// install. Successful outputs are bit-identical to the legacy per-value
+/// `push` loop, and each single defect reports the same index it did there
+/// (an input carrying *both* a NaN and an out-of-order timestamp now
+/// surfaces the timestamp error first).
 pub fn horizontal_segmentation_into(
     series: &TimeSeries,
     table: &LookupTable,
     out: &mut SymbolicSeries,
 ) -> Result<()> {
     out.reset(table.resolution_bits())?;
-    for (t, v) in series.iter() {
-        out.push(t, table.encode_value(v))?;
+    let samples = series.samples();
+    // Same index semantics as `SymbolicSeries::push`: the reported index is
+    // the output position at which the non-monotonic timestamp appeared.
+    for (i, w) in samples.windows(2).enumerate() {
+        if w[1].t < w[0].t {
+            return Err(Error::NonMonotonicTimestamps { index: i + 1 });
+        }
     }
+    table.encode_samples_into(samples, &mut out.symbols)?;
+    out.timestamps.extend(samples.iter().map(|s| s.t));
     Ok(())
 }
 

@@ -12,6 +12,7 @@
 
 use crate::error::{Error, Result};
 use crate::sax::{gaussian_breakpoints, paa, z_normalize};
+use crate::separators::def3_bin_index;
 use crate::symbol::Symbol;
 use std::collections::HashMap;
 
@@ -97,7 +98,9 @@ impl ISax {
         let symbols = segments
             .iter()
             .map(|&v| {
-                let rank = bp.partition_point(|&b| b < v) as u16;
+                // Definition 3 tie rule, shared with `LookupTable` and `Sax`:
+                // a value exactly on a breakpoint takes the lower symbol.
+                let rank = def3_bin_index(bp, v) as u16;
                 Symbol::from_rank(rank, self.base_bits)
             })
             .collect::<Result<Vec<_>>>()?;
@@ -392,6 +395,16 @@ impl ISaxIndex {
 mod tests {
     use super::*;
     use crate::sax::euclidean;
+
+    #[test]
+    fn tie_on_breakpoint_takes_lower_symbol() {
+        // Mirror of the SAX tie regression: a z-score of exactly 0.0 sits on
+        // the middle breakpoint of the 2-bit (k=4) table and must take the
+        // lower symbol (rank 1) under Definition 3's shared tie rule.
+        let isax = ISax::new(3, 2).unwrap();
+        let word = isax.encode(&[-1.0, 0.0, 1.0]).unwrap();
+        assert_eq!(word.symbols[1].rank(), 1, "z-score on β_2 must take the lower symbol");
+    }
 
     fn series(seed: u64, n: usize) -> Vec<f64> {
         let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);

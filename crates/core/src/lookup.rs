@@ -14,9 +14,15 @@ use crate::alphabet::Alphabet;
 use crate::error::{Error, Result};
 use crate::json::{self, JsonValue, JsonWriter};
 use crate::separators::{
-    learn_separators, learn_separators_from_sample, SeparatorMethod, SortedSample,
+    def3_bin_index, learn_separators, learn_separators_from_sample, FlatSeparators,
+    SeparatorMethod, SortedSample, ENCODE_CHUNK,
 };
 use crate::symbol::Symbol;
+
+/// Boundary count at or below which the batch encode uses the columnar
+/// per-boundary kernel; above it the fixed branchless search wins (the
+/// columnar kernel's cost is linear in `k`, the search's is constant).
+const COLUMNAR_MAX_SEPARATORS: usize = 7;
 
 /// How to map a symbol back to a real value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,6 +51,10 @@ pub struct LookupTable {
     value_min: f64,
     /// Largest training value (upper edge of the last bin's effective range).
     value_max: f64,
+    /// Branchless search form of `separators` for k ≤ 32 (a pure function
+    /// of `separators`, rebuilt on construction — derived `PartialEq` stays
+    /// consistent). `None` for larger alphabets, which keep binary search.
+    flat: Option<FlatSeparators>,
 }
 
 impl LookupTable {
@@ -106,7 +116,7 @@ impl LookupTable {
             }
             value_min = value_min.min(v);
             value_max = value_max.max(v);
-            let idx = bin_index(&separators, v);
+            let idx = def3_bin_index(&separators, v);
             sums[idx] += v;
             counts[idx] += 1;
         }
@@ -118,6 +128,7 @@ impl LookupTable {
             value_max += span / k as f64;
         }
 
+        let flat = FlatSeparators::new(&separators);
         let mut table = LookupTable {
             method,
             alphabet,
@@ -126,6 +137,7 @@ impl LookupTable {
             bin_counts: counts,
             value_min,
             value_max,
+            flat,
         };
         for (i, &sum) in sums.iter().enumerate() {
             table.bin_means[i] = if table.bin_counts[i] > 0 {
@@ -242,10 +254,187 @@ impl LookupTable {
 
     /// Encodes one value per Definition 3:
     /// `v ≤ β_1 ⇒ a_1`; `v > β_{k-1} ⇒ a_k`; else `β_{j-1} < v ≤ β_j ⇒ a_j`.
-    pub fn encode_value(&self, v: f64) -> Symbol {
-        let idx = bin_index(&self.separators, v);
-        Symbol::from_rank(idx as u16, self.resolution_bits())
-            .expect("bin index within alphabet size")
+    ///
+    /// `±∞` encode deterministically to the outermost bins (`-∞ ⇒ a_1`,
+    /// `+∞ ⇒ a_k`). `NaN` is rejected with [`Error::NonFiniteValue`]:
+    /// every separator comparison is false for NaN, so the search would
+    /// silently emit `a_1` for a value that belongs to *no* bin (NaN can
+    /// still reach here via `TimeSeries::from_samples_unchecked` and the
+    /// public API even though the normal ingest paths reject it).
+    pub fn encode_value(&self, v: f64) -> Result<Symbol> {
+        if v.is_nan() {
+            return Err(Error::NonFiniteValue { index: 0 });
+        }
+        Ok(Symbol::from_rank_unchecked(self.bin_of(v) as u16, self.resolution_bits()))
+    }
+
+    /// The 0-based bin of a non-NaN `v`: the flat branchless scan for
+    /// k ≤ 32, binary search above, with the search kept as the
+    /// debug-assert reference for the flat path.
+    #[inline]
+    fn bin_of(&self, v: f64) -> usize {
+        match &self.flat {
+            Some(flat) => {
+                let idx = flat.bin_index(v);
+                debug_assert_eq!(
+                    idx,
+                    def3_bin_index(&self.separators, v),
+                    "flat scan diverged from the binary-search reference at v={v}"
+                );
+                idx
+            }
+            None => def3_bin_index(&self.separators, v),
+        }
+    }
+
+    /// Batch [`encode_value`](Self::encode_value) over a whole column:
+    /// clears `out` and fills it with one symbol per value, in order.
+    ///
+    /// This is the encode hot path: the NaN screen runs as one branchless
+    /// pass over the column (the index of the first NaN is only located
+    /// after the scan, in the error case), and the per-value
+    /// `Symbol::from_rank` range re-validation is dropped — the bin index
+    /// of a `k`-bin table always fits the table's own resolution.
+    /// Output is bit-identical to the scalar loop for every non-NaN input,
+    /// `±∞` and subnormals included.
+    pub fn encode_batch_into(&self, values: &[f64], out: &mut Vec<Symbol>) -> Result<()> {
+        self.encode_column_into(values.iter().copied(), values.len(), out)
+    }
+
+    /// Allocating convenience for [`encode_batch_into`](Self::encode_batch_into).
+    pub fn encode_slice(&self, values: &[f64]) -> Result<Vec<Symbol>> {
+        let mut out = Vec::new();
+        self.encode_batch_into(values, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`encode_batch_into`](Self::encode_batch_into) over the value column
+    /// of interleaved samples, so `horizontal_segmentation_into` can feed
+    /// its `(t, v)` storage straight through the batch path without
+    /// gathering a separate `f64` column first.
+    pub(crate) fn encode_samples_into(
+        &self,
+        samples: &[crate::timeseries::Sample],
+        out: &mut Vec<Symbol>,
+    ) -> Result<()> {
+        self.encode_column_into(samples.iter().map(|s| s.v), samples.len(), out)
+    }
+
+    /// The shared batch-encode body: a branchless NaN screen over the whole
+    /// column, then one unvalidated symbol per value (see
+    /// [`encode_batch_into`](Self::encode_batch_into) for the contract).
+    #[inline]
+    fn encode_column_into<I>(&self, values: I, len: usize, out: &mut Vec<Symbol>) -> Result<()>
+    where
+        I: Iterator<Item = f64> + Clone,
+    {
+        let mut nan_seen = false;
+        for v in values.clone() {
+            nan_seen |= v.is_nan();
+        }
+        if nan_seen {
+            let index = values.clone().position(f64::is_nan).expect("NaN was seen");
+            debug_assert!(false, "NaN reached the batch encode path at index {index}");
+            return Err(Error::NonFiniteValue { index });
+        }
+        out.clear();
+        out.reserve(len);
+        let bits = self.resolution_bits();
+        match &self.flat {
+            // Few boundaries: the columnar kernel's `k−1` vectorized passes
+            // beat everything. Gather the iterator into a stack chunk, bin
+            // the whole chunk, then mint the symbols
+            // (see `FlatSeparators::bin_indices`).
+            Some(flat) if flat.len() <= COLUMNAR_MAX_SEPARATORS => {
+                let mut buf = [0.0f64; ENCODE_CHUNK];
+                let mut counts = [0u64; ENCODE_CHUNK];
+                let mut values = values;
+                loop {
+                    let mut m = 0;
+                    for v in values.by_ref() {
+                        buf[m] = v;
+                        m += 1;
+                        if m == ENCODE_CHUNK {
+                            break;
+                        }
+                    }
+                    if m == 0 {
+                        break;
+                    }
+                    flat.bin_indices(&buf[..m], &mut counts);
+                    for (&idx, &v) in counts[..m].iter().zip(&buf[..m]) {
+                        debug_assert_eq!(
+                            idx as usize,
+                            def3_bin_index(&self.separators, v),
+                            "columnar kernel diverged from the reference at v={v}"
+                        );
+                        out.push(Symbol::from_rank_unchecked(idx as u16, bits));
+                    }
+                    if m < ENCODE_CHUNK {
+                        break;
+                    }
+                }
+            }
+            // 8–15 boundaries: the four-step branchless search (one
+            // dependent load shorter than the full ladder). The dispatch
+            // happens here, once per batch — a per-value `len` guard inside
+            // the ladder was measured 4× slower.
+            Some(flat) if flat.len() <= 15 => {
+                self.ladder_chunks(values, bits, out, |v| flat.bin_index_narrow(v));
+            }
+            // More boundaries, still ≤ 32 slots: the fixed five-step
+            // branchless search. Chunking through a stack buffer lets the
+            // independent per-value searches pipeline and the bulk `extend`
+            // skip the per-push capacity check.
+            Some(flat) => {
+                self.ladder_chunks(values, bits, out, |v| flat.bin_index(v));
+            }
+            None => {
+                for v in values {
+                    let idx = def3_bin_index(&self.separators, v);
+                    out.push(Symbol::from_rank_unchecked(idx as u16, bits));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The chunked drive loop shared by both branchless-ladder regimes:
+    /// gathers the iterator into a stack buffer, bins each value with
+    /// `bin` (monomorphized per ladder, so each call site compiles to its
+    /// own straight-line loop), and bulk-extends `out`.
+    #[inline]
+    fn ladder_chunks<I, F>(&self, mut values: I, bits: u8, out: &mut Vec<Symbol>, bin: F)
+    where
+        I: Iterator<Item = f64>,
+        F: Fn(f64) -> usize,
+    {
+        let mut buf = [0.0f64; ENCODE_CHUNK];
+        loop {
+            let mut m = 0;
+            for v in values.by_ref() {
+                buf[m] = v;
+                m += 1;
+                if m == ENCODE_CHUNK {
+                    break;
+                }
+            }
+            if m == 0 {
+                break;
+            }
+            out.extend(buf[..m].iter().map(|&v| {
+                let idx = bin(v);
+                debug_assert_eq!(
+                    idx,
+                    def3_bin_index(&self.separators, v),
+                    "flat search diverged from the reference at v={v}"
+                );
+                Symbol::from_rank_unchecked(idx as u16, bits)
+            }));
+            if m < ENCODE_CHUNK {
+                break;
+            }
+        }
     }
 
     /// Decodes a symbol of the table's own resolution (or any coarser
@@ -358,6 +547,7 @@ impl LookupTable {
             bin_means.push(mean);
             bin_counts.push(total);
         }
+        let flat = FlatSeparators::new(&separators);
         let mut out = LookupTable {
             method: self.method,
             alphabet: Alphabet::with_resolution(to_bits)?,
@@ -366,6 +556,7 @@ impl LookupTable {
             bin_counts,
             value_min: self.value_min,
             value_max: self.value_max,
+            flat,
         };
         for i in 0..new_k {
             if out.bin_means[i].is_nan() {
@@ -478,12 +669,6 @@ impl LookupTable {
     }
 }
 
-/// Definition 3's bin selection: the number of separators strictly below `v`
-/// gives the 0-based bin, which realizes `β_{j-1} < v ≤ β_j`.
-fn bin_index(separators: &[f64], v: f64) -> usize {
-    separators.partition_point(|&b| b < v)
-}
-
 /// JSON tag for a method (the Rust variant name, matching what serde's
 /// derive produced before the offline rewrite — old captures keep parsing).
 fn method_variant(m: SeparatorMethod) -> &'static str {
@@ -536,14 +721,18 @@ mod tests {
             &[0.0, 400.0],
         )
         .unwrap();
-        assert_eq!(t.encode_value(50.0).rank(), 0);
-        assert_eq!(t.encode_value(100.0).rank(), 0, "v ≤ β1 ⇒ a1 (boundary inclusive below)");
-        assert_eq!(t.encode_value(100.1).rank(), 1);
-        assert_eq!(t.encode_value(200.0).rank(), 1);
-        assert_eq!(t.encode_value(300.0).rank(), 2);
-        assert_eq!(t.encode_value(300.1).rank(), 3, "v > β_{{k-1}} ⇒ a_k");
-        assert_eq!(t.encode_value(1e9).rank(), 3);
-        assert_eq!(t.encode_value(-1e9).rank(), 0);
+        assert_eq!(t.encode_value(50.0).unwrap().rank(), 0);
+        assert_eq!(
+            t.encode_value(100.0).unwrap().rank(),
+            0,
+            "v ≤ β1 ⇒ a1 (boundary inclusive below)"
+        );
+        assert_eq!(t.encode_value(100.1).unwrap().rank(), 1);
+        assert_eq!(t.encode_value(200.0).unwrap().rank(), 1);
+        assert_eq!(t.encode_value(300.0).unwrap().rank(), 2);
+        assert_eq!(t.encode_value(300.1).unwrap().rank(), 3, "v > β_{{k-1}} ⇒ a_k");
+        assert_eq!(t.encode_value(1e9).unwrap().rank(), 3);
+        assert_eq!(t.encode_value(-1e9).unwrap().rank(), 0);
     }
 
     #[test]
@@ -622,11 +811,11 @@ mod tests {
             &[0.0, 400.0],
         )
         .unwrap();
-        let s1 = t.encode_value(150.0);
+        let s1 = t.encode_value(150.0).unwrap();
         assert_eq!(t.decode_symbol(s1, SymbolSemantics::RangeCenter).unwrap(), 150.0);
-        let s0 = t.encode_value(10.0);
+        let s0 = t.encode_value(10.0).unwrap();
         assert_eq!(t.decode_symbol(s0, SymbolSemantics::RangeCenter).unwrap(), 50.0);
-        let s3 = t.encode_value(350.0);
+        let s3 = t.encode_value(350.0).unwrap();
         assert_eq!(t.decode_symbol(s3, SymbolSemantics::RangeCenter).unwrap(), 350.0);
     }
 
@@ -639,9 +828,9 @@ mod tests {
             &[10.0, 20.0, 500.0],
         )
         .unwrap();
-        let lo = t.encode_value(15.0);
+        let lo = t.encode_value(15.0).unwrap();
         assert_eq!(t.decode_symbol(lo, SymbolSemantics::RangeMean).unwrap(), 15.0);
-        let hi = t.encode_value(400.0);
+        let hi = t.encode_value(400.0).unwrap();
         assert_eq!(t.decode_symbol(hi, SymbolSemantics::RangeMean).unwrap(), 500.0);
     }
 
@@ -675,9 +864,9 @@ mod tests {
             for to_bits in [1u8, 2, 3] {
                 let coarse = t16.coarsen(to_bits).unwrap();
                 for &v in vals.iter().step_by(17) {
-                    let fine = t16.encode_value(v);
+                    let fine = t16.encode_value(v).unwrap();
                     let truncated = fine.truncate(to_bits).unwrap();
-                    let direct = coarse.encode_value(v);
+                    let direct = coarse.encode_value(v).unwrap();
                     assert_eq!(truncated, direct, "{method} v={v} to_bits={to_bits}");
                 }
             }
@@ -717,8 +906,8 @@ mod tests {
         // §3.2 expert example: low/high threshold at 500 W.
         let t = LookupTable::custom(&[500.0], 0.0, 3000.0).unwrap();
         assert_eq!(t.size(), 2);
-        assert_eq!(t.encode_value(499.0).to_string(), "0");
-        assert_eq!(t.encode_value(501.0).to_string(), "1");
+        assert_eq!(t.encode_value(499.0).unwrap().to_string(), "0");
+        assert_eq!(t.encode_value(501.0).unwrap().to_string(), "1");
         assert_eq!(
             t.decode_symbol("0".parse().unwrap(), SymbolSemantics::RangeCenter).unwrap(),
             250.0
@@ -749,10 +938,10 @@ mod tests {
         for method in SeparatorMethod::ALL {
             let t = LookupTable::learn(method, alphabet(8), &vals).unwrap();
             for (j, &b) in t.separators().iter().enumerate() {
-                assert_eq!(t.encode_value(b).rank() as usize, j, "{method} β_{}", j + 1);
+                assert_eq!(t.encode_value(b).unwrap().rank() as usize, j, "{method} β_{}", j + 1);
                 // Infinitesimally above the boundary belongs to the next bin.
                 assert_eq!(
-                    t.encode_value(b.next_up()).rank() as usize,
+                    t.encode_value(b.next_up()).unwrap().rank() as usize,
                     j + 1,
                     "{method} just above β_{}",
                     j + 1
@@ -765,6 +954,54 @@ mod tests {
     fn constant_data_encodes_to_first_symbol() {
         let vals = vec![42.0; 50];
         let t = LookupTable::learn(SeparatorMethod::Median, alphabet(4), &vals).unwrap();
-        assert_eq!(t.encode_value(42.0).rank(), 0);
+        assert_eq!(t.encode_value(42.0).unwrap().rank(), 0);
+    }
+
+    #[test]
+    fn nan_is_a_typed_error_not_a_silent_a1() {
+        // The old scalar path quietly encoded NaN as a_1 (partition_point
+        // sees every `b < NaN` comparison as false). It is now a typed error.
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let t = LookupTable::learn(SeparatorMethod::Median, alphabet(8), &vals).unwrap();
+        match t.encode_value(f64::NAN) {
+            Err(crate::error::Error::NonFiniteValue { index: 0 }) => {}
+            other => panic!("expected NonFiniteValue, got {other:?}"),
+        }
+        // ±∞ stay encodable: they are ordered and land in the edge bins.
+        assert_eq!(t.encode_value(f64::NEG_INFINITY).unwrap().rank(), 0);
+        assert_eq!(t.encode_value(f64::INFINITY).unwrap().rank() as usize, t.size() - 1);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn batch_nan_reports_the_offending_index() {
+        // Release builds surface the same typed error from the batch path,
+        // pointing at the first NaN. (Debug builds fire a debug_assert
+        // instead — NaN should have been sanitized long before encode.)
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let t = LookupTable::learn(SeparatorMethod::Median, alphabet(8), &vals).unwrap();
+        let mut out = Vec::new();
+        match t.encode_batch_into(&[1.0, 2.0, f64::NAN, 3.0, f64::NAN], &mut out) {
+            Err(crate::error::Error::NonFiniteValue { index: 2 }) => {}
+            other => panic!("expected NonFiniteValue at 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_encode_matches_scalar_encode() {
+        // Batch and scalar paths are the same function of the separators —
+        // including on a k=64 table, which exceeds the 32-slot flat scan and
+        // falls back to binary search.
+        let vals: Vec<f64> = (0..4000).map(|i| ((i * 37) % 1999) as f64 / 3.0).collect();
+        for k in [2usize, 8, 32, 64] {
+            let t = LookupTable::learn(SeparatorMethod::Median, alphabet(k), &vals).unwrap();
+            let mut probes: Vec<f64> = vals.iter().step_by(7).copied().collect();
+            probes.extend_from_slice(t.separators());
+            probes.extend([f64::NEG_INFINITY, f64::INFINITY, 0.0, -0.0]);
+            let batch = t.encode_slice(&probes).unwrap();
+            for (i, &v) in probes.iter().enumerate() {
+                assert_eq!(batch[i], t.encode_value(v).unwrap(), "k={k} v={v}");
+            }
+        }
     }
 }

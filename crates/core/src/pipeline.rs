@@ -107,6 +107,24 @@ impl SymbolicCodec {
         horizontal_segmentation_into(agg_scratch, &self.table, out)
     }
 
+    /// Column-batch encode of already-aggregated values through the table's
+    /// fast path ([`LookupTable::encode_batch_into`]): clears `out` and
+    /// fills it with one symbol per value, skipping the vertical stage and
+    /// all timestamp bookkeeping. This is the raw-speed entry point for
+    /// callers that manage their own columns (benches, re-compression).
+    pub fn encode_batch_into(
+        &self,
+        values: &[f64],
+        out: &mut Vec<crate::symbol::Symbol>,
+    ) -> Result<()> {
+        self.table.encode_batch_into(values, out)
+    }
+
+    /// Allocating convenience for [`Self::encode_batch_into`].
+    pub fn encode_slice(&self, values: &[f64]) -> Result<Vec<crate::symbol::Symbol>> {
+        self.table.encode_slice(values)
+    }
+
     /// Decode back to (aggregated-rate) real values.
     pub fn decode(
         &self,

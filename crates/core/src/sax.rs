@@ -9,6 +9,7 @@
 //! the empirical distribution.
 
 use crate::error::{Error, Result};
+use crate::separators::def3_bin_index;
 use crate::stats::probit;
 
 /// z-normalization: subtract the mean, divide by the standard deviation.
@@ -142,8 +143,9 @@ impl Sax {
             return Err(Error::EmptyInput("Sax::encode"));
         }
         let segments = paa(&z, self.word_length)?;
-        let ranks =
-            segments.iter().map(|&v| self.breakpoints.partition_point(|&b| b < v) as u16).collect();
+        // Same tie rule as the paper's Definition 3 lookup (and iSAX): a PAA
+        // mean landing exactly on a breakpoint β_j takes the *lower* symbol.
+        let ranks = segments.iter().map(|&v| def3_bin_index(&self.breakpoints, v) as u16).collect();
         Ok(SaxWord { ranks, alphabet_size: self.alphabet_size, original_len: values.len() })
     }
 
@@ -194,6 +196,18 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tie_on_breakpoint_takes_lower_symbol() {
+        // A value equal to the series mean z-normalizes to exactly 0.0, the
+        // middle Gaussian breakpoint for alphabet size 4. Definition 3's tie
+        // rule (β_{j-1} < v ≤ β_j ⇒ a_j) must put it in the *lower* bin —
+        // rank 1, not 2 — matching `LookupTable` and `ISax` exactly.
+        let sax = Sax::new(3, 4).unwrap();
+        assert_eq!(sax.breakpoints()[1], 0.0, "middle breakpoint of k=4 is exactly 0");
+        let word = sax.encode(&[-1.0, 0.0, 1.0]).unwrap();
+        assert_eq!(word.ranks[1], 1, "PAA mean on β_2 must take the lower symbol");
+    }
 
     #[test]
     fn z_normalize_zero_mean_unit_var() {

@@ -47,6 +47,17 @@ impl Symbol {
         Ok(Symbol { code: rank, len })
     }
 
+    /// [`Symbol::from_rank`] without the per-call validation, for batch
+    /// encode loops whose rank is already proven in range (a bin index of a
+    /// table whose alphabet fixed `len`). Invariants are still checked in
+    /// debug builds.
+    #[inline]
+    pub(crate) fn from_rank_unchecked(rank: u16, len: u8) -> Self {
+        debug_assert!((1..=MAX_RESOLUTION_BITS).contains(&len), "invalid resolution {len}");
+        debug_assert!(len == 16 || rank < (1u16 << len), "rank {rank} does not fit in {len} bits");
+        Symbol { code: rank, len }
+    }
+
     /// The rank of this symbol within its resolution (its bit pattern read as
     /// an unsigned integer). Rank 0 is the lowest value range.
     pub fn rank(self) -> u16 {

@@ -196,6 +196,14 @@ pub const CATALOG: &[MetricSpec] = &[
         "symbols",
         "Per-house output symbol counts."
     ),
+    spec!(
+        "engine",
+        "encode_batch_values",
+        "sms_engine_encode_batch_values",
+        Histogram,
+        "values",
+        "Per-house value counts pushed through the columnar encode fast path."
+    ),
     // --- ingest -----------------------------------------------------------
     spec!(
         "ingest",

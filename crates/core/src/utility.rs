@@ -250,7 +250,7 @@ mod tests {
         .unwrap();
         let mut seen = std::collections::HashMap::new();
         for (&v, &l) in values.iter().zip(&labels) {
-            let sym = table.encode_value(v).rank();
+            let sym = table.encode_value(v).unwrap().rank();
             let entry = seen.entry(sym).or_insert(l);
             assert_eq!(*entry, l, "symbol {sym} mixes labels");
         }
@@ -281,7 +281,7 @@ mod tests {
             )
             .unwrap();
             let symbols: Vec<crate::symbol::Symbol> =
-                values.iter().map(|&v| table.encode_value(v)).collect();
+                values.iter().map(|&v| table.encode_value(v).unwrap()).collect();
             crate::privacy::mutual_information_bits(&labels, &symbols).unwrap()
         };
         let supervised = mi(supervised_separators(&values, &labels, 4).unwrap());
@@ -313,7 +313,7 @@ mod tests {
         .unwrap();
         // Reconstruction error: every value within 0.5 of its bin mean.
         for &v in &values {
-            let sym = table.encode_value(v);
+            let sym = table.encode_value(v).unwrap();
             let r = table.decode_symbol(sym, crate::lookup::SymbolSemantics::RangeMean).unwrap();
             assert!((r - v).abs() < 0.5, "{v} -> {r}");
         }
@@ -340,7 +340,7 @@ mod tests {
                 .map(|&v| {
                     let r = table
                         .decode_symbol(
-                            table.encode_value(v),
+                            table.encode_value(v).unwrap(),
                             crate::lookup::SymbolSemantics::RangeMean,
                         )
                         .unwrap();

@@ -25,34 +25,56 @@ pub enum Aggregation {
 }
 
 impl Aggregation {
-    fn fold(self, values: impl Iterator<Item = f64>) -> Option<f64> {
-        let mut n = 0usize;
-        let mut acc = 0.0f64;
-        let mut first = None;
-        let mut last = None;
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
-        for v in values {
-            n += 1;
-            acc += v;
-            if first.is_none() {
-                first = Some(v);
+    /// Folds one segment, doing only the work the variant needs (`None` for
+    /// an empty segment). The old fold accumulated sum/first/last/min/max
+    /// unconditionally for *every* variant on every sample; the per-variant
+    /// split keeps the hot Mean loop down to one add per value, a chunked
+    /// body the compiler can keep tight. Mean and Sum still accumulate
+    /// strictly left to right — `f64` addition is not associative, so any
+    /// reordering (including SIMD lane splits) would break the repo-wide
+    /// byte-identical-results contract. Min and Max are order-insensitive
+    /// and free to vectorize.
+    fn fold(self, mut values: impl Iterator<Item = f64>) -> Option<f64> {
+        match self {
+            Aggregation::Mean => {
+                let mut n = 0u64;
+                let mut acc = 0.0f64;
+                for v in values {
+                    n += 1;
+                    acc += v;
+                }
+                (n > 0).then(|| acc / n as f64)
             }
-            last = Some(v);
-            min = min.min(v);
-            max = max.max(v);
+            Aggregation::Sum => {
+                let mut any = false;
+                let mut acc = 0.0f64;
+                for v in values {
+                    any = true;
+                    acc += v;
+                }
+                any.then_some(acc)
+            }
+            Aggregation::Min => {
+                let mut any = false;
+                let mut min = f64::INFINITY;
+                for v in values {
+                    any = true;
+                    min = min.min(v);
+                }
+                any.then_some(min)
+            }
+            Aggregation::Max => {
+                let mut any = false;
+                let mut max = f64::NEG_INFINITY;
+                for v in values {
+                    any = true;
+                    max = max.max(v);
+                }
+                any.then_some(max)
+            }
+            Aggregation::First => values.next(),
+            Aggregation::Last => values.last(),
         }
-        if n == 0 {
-            return None;
-        }
-        Some(match self {
-            Aggregation::Mean => acc / n as f64,
-            Aggregation::Sum => acc,
-            Aggregation::Min => min,
-            Aggregation::Max => max,
-            Aggregation::First => first.unwrap(),
-            Aggregation::Last => last.unwrap(),
-        })
     }
 }
 

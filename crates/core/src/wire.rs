@@ -152,25 +152,44 @@ fn get_table(buf: &mut Reader<'_>) -> Result<LookupTable> {
 
 /// Encodes one message as a binary frame.
 pub fn encode_message(msg: &SensorMessage) -> Result<Vec<u8>> {
-    let mut payload = Vec::new();
+    let mut frame = Vec::new();
+    encode_message_into(msg, &mut frame)?;
+    Ok(frame)
+}
+
+/// Zero-copy variant of [`encode_message`]: **appends** the frame straight
+/// into `out` (no intermediate payload buffer, no post-hoc copy), so a
+/// sensor batching many windows writes every frame into one caller-owned
+/// buffer. The 4 length bytes are reserved up front and patched once the
+/// payload is in place; the emitted bytes are identical to
+/// [`encode_message`]'s.
+pub fn encode_message_into(msg: &SensorMessage, out: &mut Vec<u8>) -> Result<()> {
     let tag = match msg {
         SensorMessage::Table(t) => {
-            put_table(&mut payload, t);
+            out.reserve(HEADER_LEN + table_payload_len(t.resolution_bits()));
             TAG_TABLE
         }
-        SensorMessage::Window(w) => {
-            payload.extend_from_slice(&w.window_start.to_le_bytes());
-            payload.push(w.symbol.resolution_bits());
-            payload.extend_from_slice(&w.symbol.rank().to_le_bytes());
-            payload.extend_from_slice(&w.samples.to_le_bytes());
+        SensorMessage::Window(_) => {
+            out.reserve(HEADER_LEN + WINDOW_PAYLOAD_LEN);
             TAG_WINDOW
         }
     };
-    let mut frame = Vec::with_capacity(5 + payload.len());
-    frame.push(tag);
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&payload);
-    Ok(frame)
+    out.push(tag);
+    let len_at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    let payload_start = out.len();
+    match msg {
+        SensorMessage::Table(t) => put_table(out, t),
+        SensorMessage::Window(w) => {
+            out.extend_from_slice(&w.window_start.to_le_bytes());
+            out.push(w.symbol.resolution_bits());
+            out.extend_from_slice(&w.symbol.rank().to_le_bytes());
+            out.extend_from_slice(&w.samples.to_le_bytes());
+        }
+    }
+    let payload_len = out.len() - payload_start;
+    out[len_at..len_at + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    Ok(())
 }
 
 /// Decodes one payload whose frame header (tag + announced length) already

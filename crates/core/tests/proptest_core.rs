@@ -73,7 +73,7 @@ proptest! {
         )
         .unwrap();
         for &v in &values {
-            let sym = table.encode_value(v);
+            let sym = table.encode_value(v).unwrap();
             prop_assert!(sym.rank() < 8);
             // Definition 3 invariants against the raw separators.
             let r = sym.rank() as usize;

@@ -43,6 +43,13 @@ if [[ $quick -eq 0 ]]; then
     echo "==> ml split-search bench smoke (down-scaled)"
     BENCH_ML_SMOKE=1 cargo bench -q -p sms-bench --bench ml
 
+    echo "==> encode fast path: old-vs-new equivalence proptest (release)"
+    cargo test -q --release --test encode_equivalence
+
+    echo "==> encode bench smoke + per-core regression gate (down-scaled)"
+    BENCH_ENCODE_SMOKE=1 BENCH_ENCODE_BASELINE="$PWD/BENCH_encode.json" \
+        cargo bench -q -p sms-bench --bench encode
+
     echo "==> parallel evaluation determinism"
     cargo test -q -p sms-ml --test eval_determinism
 

@@ -1,0 +1,168 @@
+//! Old-vs-new encode equivalence: the columnar fast path (flat branchless
+//! separator scan + batched `Symbol` construction) must be *bit-identical*
+//! to the legacy per-value binary-search encode — same `SymbolicSeries`,
+//! same wire bytes — for every alphabet the flat scan covers (k ≤ 32),
+//! including exact-separator ties, ±∞, subnormals, and long constant runs,
+//! and at every worker count.
+
+use proptest::prelude::*;
+use smart_meter_symbolics::core::engine::{EngineConfig, FleetEngine};
+use smart_meter_symbolics::core::separators::def3_bin_index;
+use smart_meter_symbolics::core::wire::{encode_message, encode_message_into};
+use smart_meter_symbolics::prelude::*;
+
+/// The pre-fast-path encoder, reconstructed exactly: one binary search per
+/// value (Definition 3 tie rule), one checked `Symbol::from_rank` each.
+fn legacy_scalar_encode(table: &LookupTable, values: &[f64]) -> Vec<Symbol> {
+    values
+        .iter()
+        .map(|&v| {
+            Symbol::from_rank(def3_bin_index(table.separators(), v) as u16, table.resolution_bits())
+                .expect("bin index fits the table's resolution")
+        })
+        .collect()
+}
+
+/// Finite training values for learning a table.
+fn training_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1000.0f64..1000.0, 32..max_len)
+}
+
+/// Probe values weighted toward the hard cases: ±∞, ±0.0, subnormals, and
+/// plain finite values. Exact separators and constant runs are appended in
+/// the test body (they depend on the learned table).
+fn probe_values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((0u8..16, -2000.0f64..2000.0), 1..max_len).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(code, finite)| match code {
+                0 => f64::INFINITY,
+                1 => f64::NEG_INFINITY,
+                2 => f64::MIN_POSITIVE,
+                3 => 5e-324, // smallest positive subnormal
+                4 => -5e-324,
+                5 => 0.0,
+                6 => -0.0,
+                _ => finite,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batched encode == legacy scalar encode, symbol for symbol, over every
+    /// flat-scan alphabet (k = 2, 4, 8, 16, 32), every separator method, and
+    /// a probe set stacked with ties and edge values.
+    #[test]
+    fn batched_encode_is_bit_identical_to_legacy_scalar(
+        train in training_values(400),
+        probes in probe_values(200),
+        bits in 1u8..6,
+        method_idx in 0usize..SeparatorMethod::ALL.len(),
+    ) {
+        let method = SeparatorMethod::ALL[method_idx];
+        let table = LookupTable::learn(
+            method,
+            Alphabet::with_resolution(bits).unwrap(),
+            &train,
+        ).unwrap();
+
+        // Stack the deck: every exact separator (the Definition 3 tie), its
+        // immediate neighbours, and a long constant run.
+        let mut probes = probes;
+        for &b in table.separators() {
+            probes.extend([b, b.next_up(), b.next_down()]);
+        }
+        probes.extend(std::iter::repeat_n(train[0], 64));
+
+        let batched = table.encode_slice(&probes).unwrap();
+        let legacy = legacy_scalar_encode(&table, &probes);
+        prop_assert_eq!(&batched, &legacy, "k={} method={}", table.size(), method);
+
+        // The scalar entry point agrees with both.
+        for (i, &v) in probes.iter().enumerate() {
+            prop_assert_eq!(table.encode_value(v).unwrap(), legacy[i], "v={}", v);
+        }
+    }
+
+    /// Wire framing: the zero-copy `encode_message_into` produces the exact
+    /// bytes of the allocating `encode_message`, for tables and windows, and
+    /// appends (never clobbers) when the buffer already holds frames.
+    #[test]
+    fn zero_copy_wire_encode_matches_allocating_encode(
+        train in training_values(200),
+        bits in 1u8..6,
+        start in 0i64..1_000_000,
+        samples in 0u16..2000,
+    ) {
+        let table = LookupTable::learn(
+            SeparatorMethod::Median,
+            Alphabet::with_resolution(bits).unwrap(),
+            &train,
+        ).unwrap();
+        let rank = (table.size() - 1) as u16;
+        let msgs = [
+            SensorMessage::Table(table.clone()),
+            SensorMessage::Window(EncodedWindow {
+                window_start: start,
+                symbol: Symbol::from_rank(rank, bits).unwrap(),
+                samples: samples as u32,
+            }),
+        ];
+        let mut streamed = Vec::new();
+        let mut expected = Vec::new();
+        for m in &msgs {
+            encode_message_into(m, &mut streamed).unwrap();
+            expected.extend(encode_message(m).unwrap());
+        }
+        prop_assert_eq!(streamed, expected);
+    }
+}
+
+/// The full engine path on the fast encode: identical `SymbolicSeries` and
+/// identical wire bytes at 1, 2, and 8 workers.
+#[test]
+fn fleet_encode_and_wire_bytes_are_worker_count_invariant() {
+    let fleet = meterdata::generator::fleet_series(42, 24, 2, 800).expect("fleet generator");
+    let builder = CodecBuilder::new()
+        .method(SeparatorMethod::Median)
+        .alphabet_size(32)
+        .expect("32 symbols")
+        .window_secs(900);
+
+    let encode = |workers: usize| {
+        FleetEngine::new(builder.clone(), EngineConfig::with_workers(workers))
+            .encode_fleet(&fleet)
+            .expect("encode")
+    };
+
+    let reference = encode(1);
+    let reference_wire = fleet_wire_bytes(&reference.series);
+    assert!(!reference_wire.is_empty());
+    for workers in [2usize, 8] {
+        let enc = encode(workers);
+        assert_eq!(enc.series, reference.series, "series diverge at workers={workers}");
+        assert_eq!(
+            fleet_wire_bytes(&enc.series),
+            reference_wire,
+            "wire bytes diverge at workers={workers}"
+        );
+    }
+}
+
+/// Serializes every house's windows through the zero-copy wire path.
+fn fleet_wire_bytes(series: &[SymbolicSeries]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for s in series {
+        for (t, sym) in s.iter() {
+            encode_message_into(
+                &SensorMessage::Window(EncodedWindow { window_start: t, symbol: sym, samples: 1 }),
+                &mut wire,
+            )
+            .expect("window frame");
+        }
+    }
+    wire
+}

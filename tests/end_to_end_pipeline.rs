@@ -27,7 +27,7 @@ fn codec_roundtrip_error_is_bounded_by_bin_width() {
         assert_eq!(aggregated.len(), decoded.len());
         for ((t1, actual), (t2, approx)) in aggregated.iter().zip(decoded.iter()) {
             assert_eq!(t1, t2);
-            let sym = codec.table().encode_value(actual);
+            let sym = codec.table().encode_value(actual).unwrap();
             let (lo, hi) = codec.table().range_of(sym).unwrap();
             // The decoded center must sit inside the symbol's range, and the
             // actual value can only escape the range at the outer bins.

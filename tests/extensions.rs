@@ -133,7 +133,7 @@ fn utility_separators_work_inside_lookup_tables() {
         .unwrap();
         // Encode/decode stays within range; coarsening still works.
         for &v in values.iter().step_by(13) {
-            let sym = table.encode_value(v);
+            let sym = table.encode_value(v).unwrap();
             let (lo, hi) = table.range_of(sym).unwrap();
             let dec = table.decode_symbol(sym, SymbolSemantics::RangeCenter).unwrap();
             assert!(dec >= lo - 1e-9 && dec <= hi + 1e-9);

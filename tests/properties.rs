@@ -63,8 +63,8 @@ proptest! {
             let mut sorted = values.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
             for w in sorted.windows(2) {
-                let r0 = table.encode_value(w[0]).rank();
-                let r1 = table.encode_value(w[1]).rank();
+                let r0 = table.encode_value(w[0]).unwrap().rank();
+                let r1 = table.encode_value(w[1]).unwrap().rank();
                 prop_assert!(r0 <= r1, "{method}: encode({}) = {r0} > encode({}) = {r1}", w[0], w[1]);
             }
         }
@@ -94,8 +94,8 @@ proptest! {
         let coarse = table.coarsen(to_bits).unwrap();
         for &v in &values {
             prop_assert_eq!(
-                table.encode_value(v).truncate(to_bits).unwrap(),
-                coarse.encode_value(v)
+                table.encode_value(v).unwrap().truncate(to_bits).unwrap(),
+                coarse.encode_value(v).unwrap()
             );
         }
     }

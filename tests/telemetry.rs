@@ -82,6 +82,10 @@ fn engine_stats_are_worker_count_invariant_after_timing_scrub() {
     assert_eq!(stats.house_samples.count(), 40);
     assert_eq!(stats.house_symbols.count(), 40);
     assert_eq!(stats.house_samples.sum(), fleet.iter().map(|h| h.len() as u64).sum::<u64>());
+    // Clean fleet: every house went through the columnar fast path, one
+    // batch per house, pushing exactly its symbol count in values.
+    assert_eq!(stats.encode_batch_values.count(), 40);
+    assert_eq!(stats.encode_batch_values.sum(), stats.house_symbols.sum());
     let pool = stats.pool.expect("pool stats");
     assert_eq!(pool.job_attempts.count(), 40, "one resolved encode job per house");
     assert_eq!(pool.job_attempts.sum(), 40, "clean jobs succeed on attempt 1");
@@ -238,6 +242,7 @@ fn to_json_preserves_legacy_keys_byte_for_byte() {
         "\"histograms\":{",
         "\"sms_engine_house_samples\":{\"unit\":\"samples\",\"count\":0,\"sum\":0,\"buckets\":[]},",
         "\"sms_engine_house_symbols\":{\"unit\":\"symbols\",\"count\":0,\"sum\":0,\"buckets\":[]},",
+        "\"sms_engine_encode_batch_values\":{\"unit\":\"values\",\"count\":0,\"sum\":0,\"buckets\":[]},",
         "\"sms_ingest_frame_bytes\":{\"unit\":\"bytes\",\"count\":0,\"sum\":0,\"buckets\":[]},",
         "\"sms_eval_fold_test_rows\":{\"unit\":\"rows\",\"count\":0,\"sum\":0,\"buckets\":[]},",
         "\"sms_pool_job_attempts\":{\"unit\":\"attempts\",\"count\":0,\"sum\":0,\"buckets\":[]},",
