@@ -155,6 +155,19 @@ pub mod channel {
             self.inner.not_empty.notify_one();
             Ok(())
         }
+
+        /// Number of messages currently sitting in the channel. Exact at the
+        /// instant of the call (taken under the channel lock), like the real
+        /// crossbeam `Sender::len`; for a bounded channel it never exceeds
+        /// the capacity.
+        pub fn len(&self) -> usize {
+            self.inner.state.lock().unwrap().queue.len()
+        }
+
+        /// Whether the channel currently holds no messages.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     impl<T> Receiver<T> {

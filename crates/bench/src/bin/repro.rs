@@ -2,11 +2,11 @@
 //!
 //! ```text
 //! repro <experiment> [--scale quick|paper] [--seed N] [--parallel] [--workers N] [--faults]
-//!                    [--metrics[=FILE]]
+//!                    [--meters N] [--metrics[=FILE]]
 //! repro validate-metrics <FILE>
 //! experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!              table1 classification compression drift privacy fleet ingest
-//!              quality encode-bench all
+//!              gateway quality encode-bench all
 //! ```
 //!
 //! `--parallel` routes the `fleet` experiment through the multi-threaded
@@ -17,6 +17,12 @@
 //! results bit-identical to a serial run at any worker count. `--faults`
 //! makes the `ingest` experiment corrupt its wire streams with the
 //! deterministic fault injector.
+//!
+//! The `gateway` experiment starts the network-facing
+//! [`sms_core::gateway::Gateway`] on loopback TCP and drives it with
+//! `--meters N` synthetic meter connections (`--faults` adds bad tokens,
+//! truncated streams and slow writers); it fails unless the gateway's
+//! decoded fleet is byte-identical to the in-process ingest path.
 //!
 //! `--metrics` exports the run's [`sms_core::telemetry`] registry — every
 //! catalog counter, gauge and histogram plus the recorded spans — after the
@@ -38,6 +44,7 @@ use sms_bench::figures::{
     compression_table, fig1_symbol_tree, fig2_distribution, fig3_normalization, fig4_statistics,
 };
 use sms_bench::forecasting::{ForecastFigure, ForecastModel};
+use sms_bench::gateway_exp::{render_gateway, run_gateway};
 use sms_bench::ingest_exp::{render_ingest, run_ingest};
 use sms_bench::prep::dataset;
 use sms_bench::privacy_exp::{render_privacy, run_privacy};
@@ -51,11 +58,11 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment> [--scale quick|paper] [--seed N] [--parallel] [--workers N] \
-         [--faults] [--metrics[=FILE]]\n\
+         [--faults] [--meters N] [--metrics[=FILE]]\n\
          \x20      repro validate-metrics <FILE>\n\
          experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9\n\
          table1 classification compression drift privacy clustering ablation sax markov fidelity \
-         arff fleet ingest quality encode-bench all\n\
+         arff fleet ingest gateway quality encode-bench all\n\
          --parallel / --workers N: encode the `fleet` experiment through the\n\
          multi-threaded FleetEngine (default: serial codec); also parallelize\n\
          the evaluation-matrix experiments (classification, fig5-7, table1,\n\
@@ -65,6 +72,11 @@ fn usage() -> ! {
          for the `quality` experiment, corrupt generated series at the sample\n\
          level (NaN runs, gaps, duplicates, reset spikes) and seed panicking\n\
          encode jobs — the engine must repair, retry or quarantine, never abort\n\
+         --meters N: fleet size for the `gateway` experiment — N loopback TCP\n\
+         connections through the token handshake and session workers (default\n\
+         64); with --faults the mix adds bad tokens, truncated streams and\n\
+         slow writers, and the run still must match the in-process ingest\n\
+         path byte for byte\n\
          --metrics: after the run, print `metrics_json: {{...}}` plus the\n\
          Prometheus text exposition of every telemetry counter, gauge,\n\
          histogram and span (to FILE instead of stdout with --metrics=FILE);\n\
@@ -80,6 +92,7 @@ struct ParallelOpts {
     parallel: bool,
     workers: Option<usize>,
     faults: bool,
+    meters: usize,
 }
 
 /// Where `--metrics` sends the Prometheus text exposition.
@@ -108,7 +121,7 @@ fn main() {
         return;
     }
     let mut scale = Scale::quick();
-    let mut opts = ParallelOpts { parallel: false, workers: None, faults: false };
+    let mut opts = ParallelOpts { parallel: false, workers: None, faults: false, meters: 64 };
     let mut metrics: Option<MetricsSink> = None;
     let mut i = 1;
     while i < args.len() {
@@ -132,6 +145,10 @@ fn main() {
                 opts.workers =
                     Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
                 opts.parallel = true;
+            }
+            "--meters" => {
+                i += 1;
+                opts.meters = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
             "--metrics" => {
                 metrics = Some(MetricsSink::Stdout);
@@ -219,6 +236,7 @@ fn run_with_opts(
     match experiment {
         "fleet" => run_fleet(scale, opts, reg),
         "ingest" => run_ingest_exp(scale, opts.faults, reg),
+        "gateway" => run_gateway_exp(scale, opts, reg),
         "quality" => run_quality_exp(scale, opts.faults, reg),
         _ => run(experiment, scale, eval_workers, reg),
     }
@@ -234,6 +252,22 @@ fn run_quality_exp(
     let report = run_quality(scale, faults)?;
     report.stats.register_into(reg);
     println!("{}", render_quality(&report));
+    println!("engine_stats: {}", report.stats.to_json());
+    Ok(())
+}
+
+/// Drive the network-facing gateway over loopback TCP with a synthetic
+/// meter fleet, then prove its decoded output byte-identical to the
+/// in-process ingest path.
+fn run_gateway_exp(
+    scale: Scale,
+    opts: ParallelOpts,
+    reg: &Registry,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let workers = opts.workers.unwrap_or(2).max(1);
+    let report = run_gateway(scale, opts.meters, workers, opts.faults)?;
+    report.stats.register_into(reg);
+    println!("{}", render_gateway(&report));
     println!("engine_stats: {}", report.stats.to_json());
     Ok(())
 }
@@ -310,7 +344,8 @@ fn run(
 ) -> Result<(), Box<dyn std::error::Error>> {
     match experiment {
         "fleet" => {
-            run_fleet(scale, ParallelOpts { parallel: false, workers: None, faults: false }, reg)?;
+            let opts = ParallelOpts { parallel: false, workers: None, faults: false, meters: 64 };
+            run_fleet(scale, opts, reg)?;
         }
         "ingest" => {
             run_ingest_exp(scale, false, reg)?;

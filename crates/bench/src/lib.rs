@@ -24,6 +24,7 @@
 //! | Weka interchange (ARFF) | [`export::export_arff`] | `arff <dir>` |
 //! | Fig. 3 made executable: SAX comparison | [`sax_exp::run_sax_comparison`] | `sax` |
 //! | §2.3 hostile-transport ingest | [`ingest_exp::run_ingest`] | `ingest [--faults]` |
+//! | §2.3 fleet gateway over loopback TCP | [`gateway_exp::run_gateway`] | `gateway [--meters N] [--faults]` |
 //! | Dirty-data quarantine + panic isolation | [`quality_exp::run_quality`] | `quality [--faults]` |
 //! | Encode hot-path throughput (`BENCH_encode.json`) | [`encode_bench::run_encode_bench`] | `encode-bench` |
 
@@ -38,6 +39,7 @@ pub mod encode_bench;
 pub mod export;
 pub mod figures;
 pub mod forecasting;
+pub mod gateway_exp;
 pub mod ingest_exp;
 pub mod prep;
 pub mod privacy_exp;

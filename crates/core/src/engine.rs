@@ -249,6 +249,9 @@ pub struct EngineStats {
     pub pool: Option<PoolStats>,
     /// Data-quality counters when the run sanitized or quarantined houses.
     pub quality: Option<QualityStats>,
+    /// Network-gateway counters when the run terminated meter connections
+    /// through [`crate::gateway`] (`None` for in-process runs).
+    pub gateway: Option<crate::gateway::GatewayStats>,
     /// Distribution of per-house input sample counts. Deterministic (a
     /// pure function of the input fleet), rendered in the `"histograms"`
     /// section of [`to_json`](Self::to_json).
@@ -348,6 +351,9 @@ impl EngineStats {
         if let Some(quality) = &self.quality {
             quality.register_into(reg);
         }
+        if let Some(gateway) = &self.gateway {
+            gateway.register_into(reg);
+        }
         for s in &self.spans {
             reg.record_span(&s.path, s.calls, s.secs);
         }
@@ -378,6 +384,10 @@ impl EngineStats {
         if self.quality.is_some() {
             w.key("quality");
             reg.write_block_json(&mut w, "quality");
+        }
+        if self.gateway.is_some() {
+            w.key("gateway");
+            reg.write_block_json(&mut w, "gateway");
         }
         w.key("histograms");
         reg.write_histograms_json(&mut w);
@@ -586,6 +596,7 @@ impl FleetEngine {
                 eval: None,
                 pool: if fleet.is_empty() { None } else { Some(pool_stats) },
                 quality,
+                gateway: None,
                 house_samples,
                 house_symbols,
                 encode_batch_values,

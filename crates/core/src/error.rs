@@ -105,6 +105,26 @@ pub enum Error {
         /// How long the operation waited before giving up, in milliseconds.
         waited_ms: u64,
     },
+    /// A gateway connection was throttled by its token-bucket rate limiter:
+    /// the session's bucket is empty and reads are paused until it refills.
+    /// Counted in [`crate::gateway::GatewayStats::rate_limit_hits`], never
+    /// dropped silently.
+    RateLimited {
+        /// Meter id of the throttled session.
+        meter: u64,
+    },
+    /// A gateway connection exceeded its per-connection byte quota and was
+    /// closed. Counted in
+    /// [`crate::gateway::GatewayStats::quota_closed`], never dropped
+    /// silently.
+    QuotaExceeded {
+        /// Meter id of the closed session.
+        meter: u64,
+        /// Bytes the connection had already sent.
+        received: u64,
+        /// The configured per-connection quota.
+        max: u64,
+    },
     /// (De)serialization of a lookup table failed.
     Serde(String),
     /// The parallel fleet engine failed (worker or channel breakdown).
@@ -160,6 +180,16 @@ impl fmt::Display for Error {
             Error::WouldBlock => write!(f, "operation would block (queue full)"),
             Error::FeedTimeout { waited_ms } => {
                 write!(f, "feed timed out after {waited_ms} ms of backpressure")
+            }
+            Error::RateLimited { meter } => {
+                write!(f, "meter {meter} rate-limited: token bucket empty, reads paused")
+            }
+            Error::QuotaExceeded { meter, received, max } => {
+                write!(
+                    f,
+                    "meter {meter} exceeded its per-connection quota: {received} bytes \
+                     received, cap {max}"
+                )
             }
             Error::Serde(msg) => write!(f, "serde error: {msg}"),
             Error::Engine(msg) => write!(f, "fleet engine error: {msg}"),

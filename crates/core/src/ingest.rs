@@ -136,6 +136,18 @@ pub struct IngestStats {
     pub frames_oversized: u64,
     /// Raw bytes fed into the gateway.
     pub bytes_in: u64,
+    /// Bytes consumed by successfully decoded frames (header + payload).
+    ///
+    /// Together with [`bytes_discarded`](Self::bytes_discarded) and the
+    /// gateway's live [`MeterIngest::buffered`] count, this reconciles
+    /// exactly against [`bytes_in`](Self::bytes_in):
+    /// `bytes_decoded + bytes_discarded + buffered == bytes_in` — every fed
+    /// byte is decoded, discarded by a resync, or still awaiting a frame.
+    pub bytes_decoded: u64,
+    /// Bytes discarded by corruption resyncs while scanning for the next
+    /// plausible frame boundary (see
+    /// [`resync`](crate::wire::FrameDecoder::resync)).
+    pub bytes_discarded: u64,
     /// Times a downstream feed was rejected or had to back off
     /// ([`crate::engine::FleetStream::backpressure_stalls`]).
     pub backpressure_stalls: u64,
@@ -164,6 +176,8 @@ impl IngestStats {
         self.resyncs += other.resyncs;
         self.frames_oversized += other.frames_oversized;
         self.bytes_in += other.bytes_in;
+        self.bytes_decoded += other.bytes_decoded;
+        self.bytes_discarded += other.bytes_discarded;
         self.backpressure_stalls += other.backpressure_stalls;
         self.meters_rejected += other.meters_rejected;
         self.backlog_rejections += other.backlog_rejections;
@@ -181,6 +195,8 @@ impl IngestStats {
         reg.add("sms_ingest_resyncs", self.resyncs);
         reg.add("sms_ingest_frames_oversized", self.frames_oversized);
         reg.add("sms_ingest_bytes_in", self.bytes_in);
+        reg.add("sms_ingest_bytes_decoded", self.bytes_decoded);
+        reg.add("sms_ingest_bytes_discarded", self.bytes_discarded);
         reg.add("sms_ingest_backpressure_stalls", self.backpressure_stalls);
         reg.add("sms_ingest_meters_rejected", self.meters_rejected);
         reg.add("sms_ingest_backlog_rejections", self.backlog_rejections);
@@ -264,9 +280,9 @@ impl MeterIngest {
                     // The decoder consumed exactly this frame's bytes, so
                     // the buffered() delta is its wire size — independent
                     // of how the bytes were chunked on the way in.
-                    self.stats
-                        .frame_bytes
-                        .observe((buffered_before - self.decoder.buffered()) as u64);
+                    let frame_len = (buffered_before - self.decoder.buffered()) as u64;
+                    self.stats.frame_bytes.observe(frame_len);
+                    self.stats.bytes_decoded += frame_len;
                     if let SensorMessage::Table(t) = &msg {
                         self.table = Some(t.clone());
                     }
@@ -284,7 +300,7 @@ impl MeterIngest {
                     }
                     // `resync` always discards at least one byte, so this
                     // loop terminates within the buffered data.
-                    self.decoder.resync();
+                    self.stats.bytes_discarded += self.decoder.resync() as u64;
                     self.stats.resyncs += 1;
                 }
             }
@@ -550,6 +566,41 @@ mod tests {
     }
 
     #[test]
+    fn byte_accounting_reconciles_exactly() {
+        // Every fed byte must be decoded, discarded by a resync, or still
+        // buffered — under clean streams, corruption, truncation, and any
+        // chunking.
+        let (_, clean) = stream(12);
+        let mut corrupt = clean.clone();
+        let table_frame_len = encode_message(&SensorMessage::Table(table())).unwrap().len();
+        // Clobber a mid-stream window frame's tag byte: the decoder rejects
+        // the frame and must resync (a payload flip could still decode as a
+        // different-but-valid window, never exercising the discard arm).
+        corrupt[table_frame_len + 20] ^= 0xFF;
+        let mut truncated = clean.clone();
+        truncated.truncate(clean.len() - 3); // dangling partial frame
+        for wire in [&clean, &corrupt, &truncated] {
+            for chunk_size in [1, 5, 64, wire.len()] {
+                let mut gw = MeterIngest::new(IngestConfig::default());
+                for chunk in wire.chunks(chunk_size) {
+                    gw.ingest(chunk).unwrap();
+                }
+                let s = gw.stats();
+                assert_eq!(
+                    s.bytes_decoded + s.bytes_discarded + gw.buffered() as u64,
+                    s.bytes_in,
+                    "chunk_size={chunk_size}: {s:?}"
+                );
+                assert_eq!(s.bytes_in, wire.len() as u64);
+            }
+        }
+        // The corrupt run must actually exercise the discard arm.
+        let mut gw = MeterIngest::new(IngestConfig::default());
+        gw.ingest(&corrupt).unwrap();
+        assert!(gw.stats().bytes_discarded > 0, "{:?}", gw.stats());
+    }
+
+    #[test]
     fn stats_json_has_every_counter() {
         let stats = IngestStats {
             frames_ok: 1,
@@ -557,6 +608,8 @@ mod tests {
             resyncs: 3,
             frames_oversized: 4,
             bytes_in: 5,
+            bytes_decoded: 9,
+            bytes_discarded: 10,
             backpressure_stalls: 6,
             meters_rejected: 7,
             backlog_rejections: 8,
@@ -571,6 +624,8 @@ mod tests {
             "resyncs",
             "frames_oversized",
             "bytes_in",
+            "bytes_decoded",
+            "bytes_discarded",
             "backpressure_stalls",
             "meters_rejected",
             "backlog_rejections",

@@ -53,6 +53,7 @@ pub mod distance;
 pub mod encoder;
 pub mod engine;
 pub mod error;
+pub mod gateway;
 pub mod horizontal;
 pub mod ingest;
 pub mod isax;
@@ -78,6 +79,7 @@ pub mod prelude {
     pub use crate::compression::CompressionReport;
     pub use crate::encoder::{EncodedWindow, OnlineEncoder, SensorMessage, SensorPipeline};
     pub use crate::error::{Error, Result};
+    pub use crate::gateway::{Gateway, GatewayConfig, GatewayReport, GatewayStats};
     pub use crate::horizontal::{horizontal_segmentation, reconstruct, SymbolicSeries};
     pub use crate::ingest::{FleetIngest, IngestConfig, IngestStats, MeterIngest};
     pub use crate::lookup::{LookupTable, SymbolSemantics};

@@ -276,9 +276,10 @@ pub struct PoolStats {
     /// Capacity of the bounded job queue.
     pub queue_capacity: usize,
     /// High-water mark of jobs enqueued but not yet claimed by a worker.
-    /// Tracked with a relaxed atomic gauge (the compat channel has no
-    /// `len()`), so it can transiently overshoot `queue_capacity` by up to
-    /// the worker count plus the one job the feeder is blocked on.
+    /// Sampled from the bounded channel's exact length (taken under the
+    /// channel lock) after each enqueue, so it can never exceed
+    /// `queue_capacity`; being a sample, it may undershoot the
+    /// instantaneous peak but never overshoots it.
     pub max_queue_depth: usize,
     /// Job attempts that panicked (caught by the supervisor; includes
     /// attempts that were later retried successfully).
@@ -389,7 +390,6 @@ where
     }
 
     let mut results: Vec<Option<R>> = (0..n_jobs).map(|_| None).collect();
-    let queued = AtomicUsize::new(0);
     let high_water = AtomicUsize::new(0);
     let shards = ShardSet::new(workers);
     // `std::thread::scope` (under the compat crossbeam wrapper) re-raises a
@@ -405,11 +405,10 @@ where
             for w in 0..workers {
                 let job_rx = job_rx.clone();
                 let res_tx = res_tx.clone();
-                let (init, job, queued, shards) = (&init, &job, &queued, &shards);
+                let (init, job, shards) = (&init, &job, &shards);
                 s.spawn(move |_| {
                     let mut state = init();
                     for idx in job_rx.iter() {
-                        queued.fetch_sub(1, Ordering::Relaxed);
                         let r = job(&mut state, idx);
                         // Every fast-path job resolves on its first try;
                         // the shard still records per worker so the merge
@@ -425,16 +424,16 @@ where
             drop(job_rx);
             drop(res_tx);
             for idx in 0..n_jobs {
-                // Count before sending so a fast worker's decrement can
-                // never underflow the gauge.
-                let depth = queued.fetch_add(1, Ordering::Relaxed) + 1;
-                high_water.fetch_max(depth, Ordering::Relaxed);
                 if job_tx.send(idx).is_err() {
                     // Workers only vanish by panicking; the panic will
                     // surface when the scope joins them, so just stop
                     // feeding and let that error win.
                     break;
                 }
+                // Sample the channel's exact depth after each enqueue. A
+                // sample can only undershoot the instantaneous peak, never
+                // report more jobs than the bounded channel can hold.
+                high_water.fetch_max(job_tx.len(), Ordering::Relaxed);
             }
             drop(job_tx);
             for (idx, r) in res_rx.iter() {
@@ -512,7 +511,6 @@ where
     let deadline_at = policy.deadline.map(|d| Instant::now() + d);
     let retry = policy.retry;
     let mut results: Vec<Option<Outcome<R>>> = (0..n_jobs).map(|_| None).collect();
-    let queued = AtomicUsize::new(0);
     let high_water = AtomicUsize::new(0);
     let panics = AtomicU64::new(0);
     let retries = AtomicU64::new(0);
@@ -528,8 +526,8 @@ where
             let job_rx = job_rx.clone();
             let res_tx = res_tx.clone();
             let (init, job, shards) = (&init, &job, &shards);
-            let (queued, panics, retries, gave_up, deadline_exceeded, respawns) =
-                (&queued, &panics, &retries, &gave_up, &deadline_exceeded, &respawns);
+            let (panics, retries, gave_up, deadline_exceeded, respawns) =
+                (&panics, &retries, &gave_up, &deadline_exceeded, &respawns);
             s.spawn(move |_| {
                 // Respawn-in-place loop: should the worker body below ever
                 // panic outside the per-attempt catch (an `init` panic, or a
@@ -541,7 +539,6 @@ where
                     let body = catch_unwind(AssertUnwindSafe(|| {
                         let mut state = init();
                         for idx in job_rx.iter() {
-                            queued.fetch_sub(1, Ordering::Relaxed);
                             let mut attempt = 0u32;
                             let outcome = loop {
                                 if let Some(t) = deadline_at {
@@ -609,11 +606,11 @@ where
         drop(job_rx);
         drop(res_tx);
         for idx in 0..n_jobs {
-            let depth = queued.fetch_add(1, Ordering::Relaxed) + 1;
-            high_water.fetch_max(depth, Ordering::Relaxed);
             if job_tx.send(idx).is_err() {
                 break; // all workers gone (only possible via repeated crashes)
             }
+            // Exact post-enqueue sample; see `run_indexed_with`.
+            high_water.fetch_max(job_tx.len(), Ordering::Relaxed);
         }
         drop(job_tx);
         for (idx, outcome) in res_rx.iter() {
@@ -684,8 +681,33 @@ mod tests {
             assert_eq!(got, expected, "workers={workers}");
             assert_eq!(stats.jobs, 97);
             assert_eq!(stats.workers, workers);
-            assert!(stats.max_queue_depth <= stats.queue_capacity + stats.workers + 1);
+            assert!(
+                stats.max_queue_depth <= stats.queue_capacity,
+                "exact gauge must never report depth above capacity: {} > {}",
+                stats.max_queue_depth,
+                stats.queue_capacity
+            );
         }
+    }
+
+    #[test]
+    fn queue_depth_gauge_never_exceeds_capacity_under_slow_workers() {
+        // Slow workers against a tiny queue force the feeder to block on a
+        // full channel — the exact regime where the old atomic
+        // increment-before-send gauge overshot capacity by up to workers+1.
+        let config = PoolConfig { workers: 2, channel_capacity: 4 };
+        let (got, stats) = run_indexed(64, &config, |i| {
+            std::thread::sleep(Duration::from_micros(200));
+            i
+        })
+        .unwrap();
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+        assert!(
+            stats.max_queue_depth <= 4,
+            "sampled gauge exceeded capacity: {}",
+            stats.max_queue_depth
+        );
+        assert!(stats.max_queue_depth >= 1, "a 64-job run must observe at least one queued job");
     }
 
     #[test]

@@ -247,6 +247,22 @@ pub const CATALOG: &[MetricSpec] = &[
     ),
     spec!(
         "ingest",
+        "bytes_decoded",
+        "sms_ingest_bytes_decoded",
+        Counter,
+        "bytes",
+        "Bytes consumed by successfully decoded frames (header + payload)."
+    ),
+    spec!(
+        "ingest",
+        "bytes_discarded",
+        "sms_ingest_bytes_discarded",
+        Counter,
+        "bytes",
+        "Bytes discarded by corruption resyncs scanning for a frame boundary."
+    ),
+    spec!(
+        "ingest",
         "backpressure_stalls",
         "sms_ingest_backpressure_stalls",
         Counter,
@@ -531,6 +547,95 @@ pub const CATALOG: &[MetricSpec] = &[
         Histogram,
         "defects",
         "Per-house defect totals found by the sanitizer."
+    ),
+    // --- gateway ----------------------------------------------------------
+    spec!(
+        "gateway",
+        "connections_accepted",
+        "sms_gateway_connections_accepted",
+        Counter,
+        "connections",
+        "Meter connections accepted and handed to a session worker."
+    ),
+    spec!(
+        "gateway",
+        "connections_rejected",
+        "sms_gateway_connections_rejected",
+        Counter,
+        "connections",
+        "Connections refused at accept time (cap reached or draining)."
+    ),
+    spec!(
+        "gateway",
+        "connections_active",
+        "sms_gateway_connections_active",
+        Gauge,
+        "connections",
+        "Currently open meter sessions."
+    ),
+    spec!(
+        "gateway",
+        "auth_failures",
+        "sms_gateway_auth_failures",
+        Counter,
+        "handshakes",
+        "Handshakes presenting a wrong auth token."
+    ),
+    spec!(
+        "gateway",
+        "handshake_errors",
+        "sms_gateway_handshake_errors",
+        Counter,
+        "handshakes",
+        "Malformed handshakes (bad magic or oversized token)."
+    ),
+    spec!(
+        "gateway",
+        "rate_limit_hits",
+        "sms_gateway_rate_limit_hits",
+        Counter,
+        "episodes",
+        "Rate-limit throttle episodes (typed RateLimited errors)."
+    ),
+    spec!(
+        "gateway",
+        "quota_closed",
+        "sms_gateway_quota_closed",
+        Counter,
+        "connections",
+        "Connections closed for exceeding their byte quota."
+    ),
+    spec!(
+        "gateway",
+        "idle_closed",
+        "sms_gateway_idle_closed",
+        Counter,
+        "connections",
+        "Connections closed by the idle timeout."
+    ),
+    spec!(
+        "gateway",
+        "bytes_in",
+        "sms_gateway_bytes_in",
+        Counter,
+        "bytes",
+        "Bytes read from meter sockets (handshakes included)."
+    ),
+    spec!(
+        "gateway",
+        "frames_acked",
+        "sms_gateway_frames_acked",
+        Counter,
+        "frames",
+        "Frames decoded, committed to the fleet output, and acknowledged."
+    ),
+    spec!(
+        "gateway",
+        "drain_secs",
+        "sms_gateway_drain_secs",
+        GaugeF64,
+        "seconds",
+        "Wall time graceful shutdown spent draining in-flight sessions."
     ),
 ];
 

@@ -157,6 +157,21 @@ pub fn encode_message(msg: &SensorMessage) -> Result<Vec<u8>> {
     Ok(frame)
 }
 
+/// Validates a payload length against the 4-byte header field, returning the
+/// little-endian header bytes.
+///
+/// The header stores the payload length as a `u32`; a payload above
+/// [`u32::MAX`] bytes used to be written as `payload_len as u32`, silently
+/// truncating the announced length and emitting a frame no decoder could
+/// ever reconcile with its actual size. Such a payload is now a typed
+/// [`Error::FrameTooLarge`] at **encode** time, mirroring the decode-side
+/// cap.
+fn header_len_bytes(payload_len: usize) -> Result<[u8; 4]> {
+    let len = u32::try_from(payload_len)
+        .map_err(|_| Error::FrameTooLarge { len: payload_len, max: u32::MAX as usize })?;
+    Ok(len.to_le_bytes())
+}
+
 /// Zero-copy variant of [`encode_message`]: **appends** the frame straight
 /// into `out` (no intermediate payload buffer, no post-hoc copy), so a
 /// sensor batching many windows writes every frame into one caller-owned
@@ -164,6 +179,7 @@ pub fn encode_message(msg: &SensorMessage) -> Result<Vec<u8>> {
 /// payload is in place; the emitted bytes are identical to
 /// [`encode_message`]'s.
 pub fn encode_message_into(msg: &SensorMessage, out: &mut Vec<u8>) -> Result<()> {
+    let frame_start = out.len();
     let tag = match msg {
         SensorMessage::Table(t) => {
             out.reserve(HEADER_LEN + table_payload_len(t.resolution_bits()));
@@ -188,7 +204,16 @@ pub fn encode_message_into(msg: &SensorMessage, out: &mut Vec<u8>) -> Result<()>
         }
     }
     let payload_len = out.len() - payload_start;
-    out[len_at..len_at + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    let len_bytes = match header_len_bytes(payload_len) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            // Roll the partial frame back so a batching caller's buffer is
+            // left exactly as it was — no undecodable half-frame appended.
+            out.truncate(frame_start);
+            return Err(e);
+        }
+    };
+    out[len_at..len_at + 4].copy_from_slice(&len_bytes);
     Ok(())
 }
 
@@ -604,6 +629,32 @@ mod tests {
         assert_eq!(dec.buffered(), frame.len());
         assert_eq!(dec.next_message().unwrap(), Some(window(0, 1)));
         assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn oversized_payload_is_a_typed_encode_error_not_a_truncated_header() {
+        // Regression: the header writer used to emit `payload_len as u32`,
+        // so a payload over u32::MAX bytes wrote a silently wrapped length
+        // and produced an undecodable frame. The length computation is
+        // checked directly — no 4 GiB allocation needed to hit the path.
+        assert_eq!(header_len_bytes(0).unwrap(), [0, 0, 0, 0]);
+        assert_eq!(header_len_bytes(WINDOW_PAYLOAD_LEN).unwrap(), [15, 0, 0, 0]);
+        assert_eq!(header_len_bytes(u32::MAX as usize).unwrap(), [0xFF; 4]);
+        assert_eq!(
+            header_len_bytes(u32::MAX as usize + 1),
+            Err(Error::FrameTooLarge { len: u32::MAX as usize + 1, max: u32::MAX as usize })
+        );
+        // The wrapped value the old cast would have produced: 2^32 + 20
+        // became a 20-byte announcement. That exact corruption is now the
+        // error above rather than [20, 0, 0, 0].
+        assert_ne!(header_len_bytes((1usize << 32) + 20).ok(), Some([20, 0, 0, 0]));
+        // Every legitimate message stays far below the limit and still
+        // encodes; a failed encode leaves the caller's buffer untouched
+        // (asserted indirectly: encode_message_into never rolls back here).
+        let mut buf = b"prefix".to_vec();
+        encode_message_into(&window(0, 1), &mut buf).unwrap();
+        assert!(buf.starts_with(b"prefix"));
+        assert_eq!(buf.len(), 6 + HEADER_LEN + WINDOW_PAYLOAD_LEN);
     }
 
     #[test]

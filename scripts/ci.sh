@@ -73,6 +73,19 @@ if [[ $quick -eq 0 ]]; then
     cargo run -q --release -p sms-bench --bin repro -- \
         validate-metrics "$metrics_tmp/fleet.out"
 
+    echo "==> gateway: loopback TCP e2e at workers {1,2,8} (release)"
+    cargo test -q --release --test gateway_e2e
+
+    echo "==> gateway: repro gateway --meters 64 --metrics round-trip"
+    cargo run -q --release -p sms-bench --bin repro -- \
+        gateway --meters 64 "--metrics=$metrics_tmp/gateway.prom" \
+        > "$metrics_tmp/gateway.out"
+    grep -q '^metrics_json: ' "$metrics_tmp/gateway.out"
+    grep -q '^# TYPE sms_gateway_frames_acked counter$' "$metrics_tmp/gateway.prom"
+    grep -q 'byte-identical to in-process FleetIngest' "$metrics_tmp/gateway.out"
+    cargo run -q --release -p sms-bench --bin repro -- \
+        validate-metrics "$metrics_tmp/gateway.out"
+
     echo "==> telemetry: OBSERVABILITY.md vs live registry"
     scripts/check_metrics_docs.sh
 fi

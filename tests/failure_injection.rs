@@ -223,6 +223,17 @@ fn mutation_fuzz_recovers_the_uncorrupted_stream() {
             offset += len;
         }
 
+        // Byte-accounting invariant: every byte fed to the gateway is
+        // consumed by a decoded frame, discarded by a resync, or still
+        // buffered awaiting frame completion — nothing leaks, on every one
+        // of the seeded mutations.
+        let s = gw.stats();
+        assert_eq!(
+            s.bytes_decoded + s.bytes_discarded + gw.buffered() as u64,
+            s.bytes_in,
+            "byte accounting drifted on mutation {n} ({fault:?} at {at}): {s:?}"
+        );
+
         expected_total += untouched.len() as u64;
         recovered_total += untouched.iter().filter(|id| decoded.contains(id)).count() as u64;
     }

@@ -171,6 +171,8 @@ fn to_json_preserves_legacy_keys_byte_for_byte() {
             resyncs: 7,
             frames_oversized: 6,
             bytes_in: 5,
+            bytes_decoded: 11,
+            bytes_discarded: 10,
             backpressure_stalls: 4,
             meters_rejected: 3,
             backlog_rejections: 2,
@@ -227,7 +229,8 @@ fn to_json_preserves_legacy_keys_byte_for_byte() {
         "\"train_secs\":1.0,\"encode_secs\":0.75,",
         "\"samples_per_sec\":2000.0,\"symbols_per_sec\":200.0,",
         "\"ingest\":{\"frames_ok\":9,\"frames_corrupt\":8,\"resyncs\":7,",
-        "\"frames_oversized\":6,\"bytes_in\":5,\"backpressure_stalls\":4,",
+        "\"frames_oversized\":6,\"bytes_in\":5,\"bytes_decoded\":11,",
+        "\"bytes_discarded\":10,\"backpressure_stalls\":4,",
         "\"meters_rejected\":3,\"backlog_rejections\":2,",
         "\"decode_secs\":0.5,\"feed_secs\":0.25},",
         "\"eval\":{\"cells\":26,\"folds\":260,\"train_secs\":1.5,\"test_secs\":2.5,",
