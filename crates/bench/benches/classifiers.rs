@@ -16,7 +16,7 @@ use sms_ml::forest::RandomForest;
 use sms_ml::naive_bayes::NaiveBayes;
 
 fn bench_scale() -> Scale {
-    Scale { days: 8, interval_secs: 300, forest_trees: 10, cv_folds: 5, seed: 21 }
+    Scale { days: 8, interval_secs: 300, forest_trees: 10, cv_folds: 5, seed: 21, ..Scale::quick() }
 }
 
 fn bench_fit_predict(c: &mut Criterion) {

@@ -11,7 +11,7 @@ use sms_bench::Scale;
 use sms_core::separators::SeparatorMethod;
 
 fn bench_scale() -> Scale {
-    Scale { days: 8, interval_secs: 300, forest_trees: 8, cv_folds: 3, seed: 17 }
+    Scale { days: 8, interval_secs: 300, forest_trees: 8, cv_folds: 3, seed: 17, ..Scale::quick() }
 }
 
 fn bench_figures(c: &mut Criterion) {

@@ -1,0 +1,73 @@
+//! Fleet-scale benchmark: the sharded engine + bit-packed segment store
+//! pipeline behind `repro scale`. The experiment body lives in
+//! [`sms_bench::scale_exp`]; this harness adds the machine-readable record
+//! and the CI gate, mirroring `benches/encode.rs`:
+//!
+//! * `BENCH_SCALE_SMOKE=1` — down-scaled CI pass (20k houses);
+//! * `BENCH_SCALE_OUT=PATH` — write the `BENCH_scale.json` record;
+//! * `BENCH_SCALE_BASELINE=PATH` — regression gate: fail if end-to-end
+//!   encode throughput drops more than 20% below the committed baseline
+//!   (more than 50% in smoke mode), or if packed bytes/house grows — the
+//!   packing format is deterministic, so any growth is a format
+//!   regression, not noise.
+
+use sms_bench::scale_exp::{render_scale, run_scale};
+use sms_bench::Scale;
+use sms_core::json::parse;
+
+fn main() {
+    let smoke = std::env::var("BENCH_SCALE_SMOKE").is_ok();
+    let houses = if smoke { 20_000 } else { 200_000 };
+    let scale = Scale { houses, ..Scale::quick() };
+    let report = run_scale(scale, 4, 2).expect("scale bench runs");
+    print!("{}", render_scale(&report));
+
+    if let Ok(path) = std::env::var("BENCH_SCALE_OUT") {
+        std::fs::write(&path, format!("{}\n", report.to_json())).unwrap();
+        println!("wrote {path}");
+    }
+
+    let floor = if smoke { 0.5 } else { 0.8 };
+    if let Ok(path) = std::env::var("BENCH_SCALE_BASELINE") {
+        let doc = parse(&std::fs::read_to_string(&path).expect("baseline file readable"))
+            .expect("baseline file parses");
+        let mut failed = false;
+        if let Some(baseline) = doc.get("samples_per_sec").and_then(|v| v.as_f64()) {
+            let ratio = report.samples_per_sec() / baseline.max(f64::MIN_POSITIVE);
+            if ratio < floor {
+                println!(
+                    "gate: encode throughput REGRESSED {:.1}% ({:.0} -> {:.0} samples/s)",
+                    (1.0 - ratio) * 100.0,
+                    baseline,
+                    report.samples_per_sec()
+                );
+                failed = true;
+            } else {
+                println!("gate: encode throughput ok ({ratio:.2}x baseline)");
+            }
+        } else {
+            println!("gate: no samples_per_sec baseline, skipping");
+        }
+        if let Some(baseline) = doc.get("packed_bytes_per_house").and_then(|v| v.as_f64()) {
+            // Deterministic format: any growth at all is a regression.
+            if report.packed_bytes_per_house > baseline + 0.5 {
+                println!(
+                    "gate: packed bytes/house REGRESSED ({baseline:.1} -> {:.1})",
+                    report.packed_bytes_per_house
+                );
+                failed = true;
+            } else {
+                println!(
+                    "gate: packed bytes/house ok ({:.1} vs baseline {baseline:.1})",
+                    report.packed_bytes_per_house
+                );
+            }
+        } else {
+            println!("gate: no packed_bytes_per_house baseline, skipping");
+        }
+        if failed {
+            eprintln!("scale bench: regressed >{:.0}% vs {path}", (1.0 - floor) * 100.0);
+            std::process::exit(1);
+        }
+    }
+}

@@ -163,7 +163,14 @@ mod tests {
     use super::*;
 
     fn scale() -> Scale {
-        Scale { days: 6, interval_secs: 300, forest_trees: 4, cv_folds: 2, seed: 23 }
+        Scale {
+            days: 6,
+            interval_secs: 300,
+            forest_trees: 4,
+            cv_folds: 2,
+            seed: 23,
+            ..Scale::quick()
+        }
     }
 
     #[test]
@@ -196,7 +203,14 @@ mod tests {
         // values, so quantile estimates landing inside a point mass can flip
         // a whole bin — the ablation's finding is that the constant-memory
         // sketch is usable but noticeably lossy on discrete distributions.
-        let fine = Scale { days: 3, interval_secs: 30, forest_trees: 4, cv_folds: 2, seed: 23 };
+        let fine = Scale {
+            days: 3,
+            interval_secs: 30,
+            forest_trees: 4,
+            cv_folds: 2,
+            seed: 23,
+            ..Scale::quick()
+        };
         let a = run_streaming_ablation(fine).unwrap();
         assert!(a.max_relative_deviation < 0.25, "P² deviation {}", a.max_relative_deviation);
         assert!(a.symbol_disagreement < 0.5, "disagreement {}", a.symbol_disagreement);

@@ -1,12 +1,12 @@
 //! `repro` — regenerate any table or figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--scale quick|paper] [--seed N] [--parallel] [--workers N] [--faults]
-//!                    [--meters N] [--metrics[=FILE]]
+//! repro <experiment> [--scale quick|paper|k=v,...] [--seed N] [--parallel] [--workers N]
+//!                    [--faults] [--meters N] [--houses N] [--shards N] [--metrics[=FILE]]
 //! repro validate-metrics <FILE>
 //! experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!              table1 classification compression drift privacy fleet ingest
-//!              gateway quality encode-bench all
+//!              gateway quality encode-bench scale all
 //! ```
 //!
 //! `--parallel` routes the `fleet` experiment through the multi-threaded
@@ -23,6 +23,14 @@
 //! `--meters N` synthetic meter connections (`--faults` adds bad tokens,
 //! truncated streams and slow writers); it fails unless the gateway's
 //! decoded fleet is byte-identical to the in-process ingest path.
+//!
+//! The `scale` experiment streams `--houses N` synthetic houses (default
+//! from `--scale`, up to a million) through the sharded fleet engine
+//! ([`sms_core::shard`]) into the bit-packed segment store
+//! ([`sms_core::segstore`]), reporting end-to-end throughput, bytes/house
+//! (raw vs packed vs re-compressed) and query latency percentiles, and
+//! verifying byte-identity against the serial codec and across shard/worker
+//! topologies. `--shards N` sets the main run's shard count.
 //!
 //! `--metrics` exports the run's [`sms_core::telemetry`] registry — every
 //! catalog counter, gauge and histogram plus the recorded spans — after the
@@ -57,12 +65,15 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment> [--scale quick|paper] [--seed N] [--parallel] [--workers N] \
-         [--faults] [--meters N] [--metrics[=FILE]]\n\
+        "usage: repro <experiment> [--scale quick|paper|k=v,...] [--seed N] [--parallel] \
+         [--workers N] [--faults] [--meters N] [--houses N] [--shards N] [--metrics[=FILE]]\n\
          \x20      repro validate-metrics <FILE>\n\
          experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9\n\
          table1 classification compression drift privacy clustering ablation sax markov fidelity \
-         arff fleet ingest gateway quality encode-bench all\n\
+         arff fleet ingest gateway quality encode-bench scale all\n\
+         --scale: a preset (`quick`, `paper`) optionally followed by comma-\n\
+         separated key=value overrides (days/interval/trees/folds/seed/houses),\n\
+         e.g. `--scale paper,houses=1000000`\n\
          --parallel / --workers N: encode the `fleet` experiment through the\n\
          multi-threaded FleetEngine (default: serial codec); also parallelize\n\
          the evaluation-matrix experiments (classification, fig5-7, table1,\n\
@@ -77,6 +88,10 @@ fn usage() -> ! {
          64); with --faults the mix adds bad tokens, truncated streams and\n\
          slow writers, and the run still must match the in-process ingest\n\
          path byte for byte\n\
+         --houses N: fleet size for the `scale` experiment (shorthand for\n\
+         `--scale ...,houses=N`); a million houses streams in bounded memory\n\
+         --shards N: shard count for the `scale` experiment's main run (the\n\
+         byte-identity sweep always covers {{1,4,16}} shards x {{1,2,8}} workers)\n\
          --metrics: after the run, print `metrics_json: {{...}}` plus the\n\
          Prometheus text exposition of every telemetry counter, gauge,\n\
          histogram and span (to FILE instead of stdout with --metrics=FILE);\n\
@@ -93,6 +108,7 @@ struct ParallelOpts {
     workers: Option<usize>,
     faults: bool,
     meters: usize,
+    shards: Option<usize>,
 }
 
 /// Where `--metrics` sends the Prometheus text exposition.
@@ -121,14 +137,19 @@ fn main() {
         return;
     }
     let mut scale = Scale::quick();
-    let mut opts = ParallelOpts { parallel: false, workers: None, faults: false, meters: 64 };
+    let mut opts =
+        ParallelOpts { parallel: false, workers: None, faults: false, meters: 64, shards: None };
     let mut metrics: Option<MetricsSink> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = args.get(i).and_then(|s| Scale::parse(s)).unwrap_or_else(|| usage());
+                let spec = args.get(i).unwrap_or_else(|| usage());
+                scale = Scale::parse(spec).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                });
             }
             "--seed" => {
                 i += 1;
@@ -149,6 +170,23 @@ fn main() {
             "--meters" => {
                 i += 1;
                 opts.meters = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--houses" => {
+                i += 1;
+                scale.houses = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&h: &usize| h > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--shards" => {
+                i += 1;
+                opts.shards = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| usage()),
+                );
             }
             "--metrics" => {
                 metrics = Some(MetricsSink::Stdout);
@@ -238,8 +276,29 @@ fn run_with_opts(
         "ingest" => run_ingest_exp(scale, opts.faults, reg),
         "gateway" => run_gateway_exp(scale, opts, reg),
         "quality" => run_quality_exp(scale, opts.faults, reg),
+        "scale" => run_scale_exp(scale, opts, reg),
         _ => run(experiment, scale, eval_workers, reg),
     }
+}
+
+/// Stream a synthetic fleet through the sharded engine into the bit-packed
+/// segment store, report throughput / bytes-per-house / query latency, and
+/// verify byte-identity against the serial codec and across topologies.
+fn run_scale_exp(
+    scale: Scale,
+    opts: ParallelOpts,
+    reg: &Registry,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use sms_bench::scale_exp::{render_scale, run_scale};
+
+    let shards = opts.shards.unwrap_or(4);
+    let workers = opts.workers.unwrap_or(2).max(1);
+    let report = run_scale(scale, shards, workers)?;
+    report.stats.register_into(reg);
+    print!("{}", render_scale(&report));
+    println!("scale_bench: {}", report.to_json());
+    println!("engine_stats: {}", report.stats.to_json());
+    Ok(())
 }
 
 /// Corrupt a fleet's samples and panic-seed its encode jobs, then prove the
@@ -299,8 +358,10 @@ fn run_fleet(
     use sms_core::pipeline::CodecBuilder;
     use sms_core::separators::SeparatorMethod;
 
-    let houses = if scale.days >= 30 { 200 } else { 50 };
-    let fleet = fleet_series(scale.seed, houses, scale.days.clamp(1, 7), scale.interval_secs)?;
+    let houses = scale.houses;
+    let houses_u32 = u32::try_from(houses)
+        .map_err(|_| format!("fleet generator caps at u32 houses, got {houses}"))?;
+    let fleet = fleet_series(scale.seed, houses_u32, scale.days.clamp(1, 7), scale.interval_secs)?;
     let samples: usize = fleet.iter().map(|h| h.len()).sum();
     let builder =
         CodecBuilder::new().method(SeparatorMethod::Median).alphabet_size(16)?.window_secs(3600);
@@ -344,7 +405,13 @@ fn run(
 ) -> Result<(), Box<dyn std::error::Error>> {
     match experiment {
         "fleet" => {
-            let opts = ParallelOpts { parallel: false, workers: None, faults: false, meters: 64 };
+            let opts = ParallelOpts {
+                parallel: false,
+                workers: None,
+                faults: false,
+                meters: 64,
+                shards: None,
+            };
             run_fleet(scale, opts, reg)?;
         }
         "ingest" => {

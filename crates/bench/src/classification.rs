@@ -373,7 +373,14 @@ mod tests {
     use crate::prep::dataset;
 
     fn tiny_scale() -> Scale {
-        Scale { days: 6, interval_secs: 600, forest_trees: 8, cv_folds: 3, seed: 3 }
+        Scale {
+            days: 6,
+            interval_secs: 600,
+            forest_trees: 8,
+            cv_folds: 3,
+            seed: 3,
+            ..Scale::quick()
+        }
     }
 
     #[test]

@@ -91,7 +91,14 @@ mod tests {
 
     #[test]
     fn clustering_recovers_house_structure() {
-        let scale = Scale { days: 10, interval_secs: 300, forest_trees: 4, cv_folds: 2, seed: 19 };
+        let scale = Scale {
+            days: 10,
+            interval_secs: 300,
+            forest_trees: 4,
+            cv_folds: 2,
+            seed: 19,
+            ..Scale::quick()
+        };
         let ds = dataset(scale).unwrap();
         let results = run_clustering(&ds, scale).unwrap();
         assert_eq!(results.len(), 4, "three symbolic + one raw configuration");

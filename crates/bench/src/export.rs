@@ -53,7 +53,14 @@ mod tests {
 
     #[test]
     fn export_writes_parseable_arff() {
-        let scale = Scale { days: 5, interval_secs: 600, forest_trees: 4, cv_folds: 2, seed: 3 };
+        let scale = Scale {
+            days: 5,
+            interval_secs: 600,
+            forest_trees: 4,
+            cv_folds: 2,
+            seed: 3,
+            ..Scale::quick()
+        };
         let ds = dataset(scale).unwrap();
         let dir = std::env::temp_dir().join(format!("sms_arff_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);

@@ -264,8 +264,15 @@ mod tests {
     use crate::prep::dataset;
 
     fn small_ds() -> MeterDataset {
-        dataset(Scale { days: 3, interval_secs: 60, forest_trees: 4, cv_folds: 2, seed: 11 })
-            .unwrap()
+        dataset(Scale {
+            days: 3,
+            interval_secs: 60,
+            forest_trees: 4,
+            cv_folds: 2,
+            seed: 11,
+            ..Scale::quick()
+        })
+        .unwrap()
     }
 
     #[test]
@@ -305,9 +312,15 @@ mod tests {
     fn fig4_statistics_converge() {
         // Finer sampling than the other tests: the distinct-value set needs
         // volume to saturate (1 W quantization keeps it finite).
-        let ds =
-            dataset(Scale { days: 3, interval_secs: 20, forest_trees: 4, cv_folds: 2, seed: 11 })
-                .unwrap();
+        let ds = dataset(Scale {
+            days: 3,
+            interval_secs: 20,
+            forest_trees: 4,
+            cv_folds: 2,
+            seed: 11,
+            ..Scale::quick()
+        })
+        .unwrap();
         let f = fig4_statistics(&ds, 1, 3, 2000).unwrap();
         assert!(f.series.len() > 4);
         let (dm, dmed, ddm) = f.final_quarter_drift();
@@ -322,7 +335,14 @@ mod tests {
     #[test]
     fn compression_table_reports_three_orders() {
         let ds = small_ds();
-        let scale = Scale { days: 3, interval_secs: 60, forest_trees: 4, cv_folds: 2, seed: 11 };
+        let scale = Scale {
+            days: 3,
+            interval_secs: 60,
+            forest_trees: 4,
+            cv_folds: 2,
+            seed: 11,
+            ..Scale::quick()
+        };
         let s = compression_table(&ds, scale).unwrap();
         assert!(s.contains("15m × 16 sym"));
         // The paper's flagship configuration compresses by ≥3 orders of magnitude.

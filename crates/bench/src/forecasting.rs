@@ -295,7 +295,14 @@ mod tests {
     use crate::prep::dataset;
 
     fn scale() -> Scale {
-        Scale { days: 10, interval_secs: 600, forest_trees: 8, cv_folds: 2, seed: 9 }
+        Scale {
+            days: 10,
+            interval_secs: 600,
+            forest_trees: 8,
+            cv_folds: 2,
+            seed: 9,
+            ..Scale::quick()
+        }
     }
 
     #[test]

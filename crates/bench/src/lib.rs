@@ -27,6 +27,7 @@
 //! | §2.3 fleet gateway over loopback TCP | [`gateway_exp::run_gateway`] | `gateway [--meters N] [--faults]` |
 //! | Dirty-data quarantine + panic isolation | [`quality_exp::run_quality`] | `quality [--faults]` |
 //! | Encode hot-path throughput (`BENCH_encode.json`) | [`encode_bench::run_encode_bench`] | `encode-bench` |
+//! | Million-house sharded fleet + segment store (`BENCH_scale.json`) | [`scale_exp::run_scale`] | `scale [--houses N]` |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -46,6 +47,7 @@ pub mod privacy_exp;
 pub mod quality_exp;
 pub mod sax_exp;
 pub mod scale;
+pub mod scale_exp;
 pub mod table1;
 
 pub use scale::Scale;

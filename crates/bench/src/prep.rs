@@ -223,7 +223,14 @@ mod tests {
     use super::*;
 
     fn small() -> (Scale, MeterDataset) {
-        let scale = Scale { days: 4, interval_secs: 300, forest_trees: 5, cv_folds: 2, seed: 7 };
+        let scale = Scale {
+            days: 4,
+            interval_secs: 300,
+            forest_trees: 5,
+            cv_folds: 2,
+            seed: 7,
+            ..Scale::quick()
+        };
         let ds = dataset(scale).unwrap();
         (scale, ds)
     }

@@ -75,7 +75,14 @@ mod tests {
 
     #[test]
     fn privacy_sweep_shapes() {
-        let scale = Scale { days: 6, interval_secs: 600, forest_trees: 4, cv_folds: 2, seed: 13 };
+        let scale = Scale {
+            days: 6,
+            interval_secs: 600,
+            forest_trees: 4,
+            cv_folds: 2,
+            seed: 13,
+            ..Scale::quick()
+        };
         let ds = dataset(scale).unwrap();
         let reports = run_privacy(&ds, scale).unwrap();
         assert_eq!(reports.len(), 4);

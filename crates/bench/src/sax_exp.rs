@@ -159,7 +159,14 @@ mod tests {
 
     #[test]
     fn sax_day_vectors_shape() {
-        let scale = Scale { days: 6, interval_secs: 300, forest_trees: 4, cv_folds: 3, seed: 29 };
+        let scale = Scale {
+            days: 6,
+            interval_secs: 300,
+            forest_trees: 4,
+            cv_folds: 3,
+            seed: 29,
+            ..Scale::quick()
+        };
         let ds = dataset(scale).unwrap();
         let inst = sax_day_vectors(&ds, 3600, 16, true).unwrap();
         assert_eq!(inst.attributes().len(), 25);
@@ -176,7 +183,14 @@ mod tests {
     #[test]
     fn normalization_hurts_reidentification() {
         // The executable version of the paper's Fig. 3 argument.
-        let scale = Scale { days: 10, interval_secs: 300, forest_trees: 6, cv_folds: 5, seed: 29 };
+        let scale = Scale {
+            days: 10,
+            interval_secs: 300,
+            forest_trees: 6,
+            cv_folds: 5,
+            seed: 29,
+            ..Scale::quick()
+        };
         let ds = dataset(scale).unwrap();
         let c = run_sax_comparison(&ds, scale, 1).unwrap();
         assert!(

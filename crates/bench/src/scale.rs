@@ -3,6 +3,11 @@
 //! paper's data volumes (REDD: 1–2 months at 1 Hz — we default to 36 days at
 //! 10 s sampling, which preserves every distributional property the
 //! experiments measure while keeping the full Table 1 grid tractable).
+//! Arbitrary sizes parse as comma-separated `key=value` overrides on top of
+//! a preset — `repro scale --scale paper,houses=1000000` — with a typed
+//! [`ScaleParseError`] on junk input.
+
+use std::fmt;
 
 /// Data volume and evaluation effort for one experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,26 +22,93 @@ pub struct Scale {
     pub cv_folds: usize,
     /// Master seed for the simulator and learners.
     pub seed: u64,
+    /// Houses in fleet-wide experiments (`repro scale`, fleet encodes).
+    pub houses: usize,
 }
+
+/// Why a `--scale` argument failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleParseError {
+    /// The argument as given.
+    pub input: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for ScaleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid scale {:?}: {} (expected `quick`, `paper`, or comma-separated \
+             key=value overrides of days/interval/trees/folds/seed/houses, e.g. \
+             `paper,houses=1000000`)",
+            self.input, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ScaleParseError {}
 
 impl Scale {
     /// Seconds-fast scale for smoke tests.
     pub fn quick() -> Self {
-        Scale { days: 8, interval_secs: 120, forest_trees: 10, cv_folds: 5, seed: 42 }
+        Scale { days: 8, interval_secs: 120, forest_trees: 10, cv_folds: 5, seed: 42, houses: 50 }
     }
 
     /// Paper-comparable scale.
     pub fn paper() -> Self {
-        Scale { days: 36, interval_secs: 10, forest_trees: 30, cv_folds: 10, seed: 42 }
+        Scale { days: 36, interval_secs: 10, forest_trees: 30, cv_folds: 10, seed: 42, houses: 200 }
     }
 
-    /// Parses `"quick"` / `"paper"`.
-    pub fn parse(s: &str) -> Option<Self> {
-        match s {
-            "quick" => Some(Self::quick()),
-            "paper" => Some(Self::paper()),
-            _ => None,
+    /// Parses a scale spec: a preset name (`"quick"`, `"paper"`), a bare
+    /// override list applied to `quick` (`"houses=5000"`), or a preset
+    /// followed by overrides (`"paper,days=10,houses=100000"`). Keys:
+    /// `days`, `interval`, `trees`, `folds`, `seed`, `houses`.
+    pub fn parse(s: &str) -> Result<Self, ScaleParseError> {
+        let err = |reason: String| ScaleParseError { input: s.to_string(), reason };
+        if s.is_empty() {
+            return Err(err("empty spec".to_string()));
         }
+        let mut parts = s.split(',');
+        let first = parts.next().expect("split yields at least one part");
+        let mut scale = match first {
+            "quick" => Self::quick(),
+            "paper" => Self::paper(),
+            _ if first.contains('=') => {
+                // No preset named: overrides apply to `quick`.
+                parts = s.split(',');
+                Self::quick()
+            }
+            other => return Err(err(format!("unknown preset `{other}`"))),
+        };
+        for part in parts {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| err(format!("expected key=value, got `{part}`")))?;
+            let parse_pos = |what: &str| -> Result<u64, ScaleParseError> {
+                let v: u64 = value.parse().map_err(|_| {
+                    err(format!("`{key}` needs a non-negative integer, got `{value}`"))
+                })?;
+                if v == 0 {
+                    return Err(err(format!("`{what}` must be at least 1")));
+                }
+                Ok(v)
+            };
+            match key {
+                "days" => scale.days = parse_pos("days")? as i64,
+                "interval" | "interval_secs" => scale.interval_secs = parse_pos("interval")? as i64,
+                "trees" | "forest_trees" => scale.forest_trees = parse_pos("trees")? as usize,
+                "folds" | "cv_folds" => scale.cv_folds = parse_pos("folds")? as usize,
+                "seed" => {
+                    scale.seed = value
+                        .parse()
+                        .map_err(|_| err(format!("`seed` needs an integer, got `{value}`")))?
+                }
+                "houses" => scale.houses = parse_pos("houses")? as usize,
+                other => return Err(err(format!("unknown key `{other}`"))),
+            }
+        }
+        Ok(scale)
     }
 
     /// Training prefix the paper uses for separator learning: the first two
@@ -52,9 +124,38 @@ mod tests {
 
     #[test]
     fn parse_known_scales() {
-        assert_eq!(Scale::parse("quick"), Some(Scale::quick()));
-        assert_eq!(Scale::parse("paper"), Some(Scale::paper()));
-        assert_eq!(Scale::parse("huge"), None);
+        assert_eq!(Scale::parse("quick"), Ok(Scale::quick()));
+        assert_eq!(Scale::parse("paper"), Ok(Scale::paper()));
+        assert!(Scale::parse("huge").is_err());
+    }
+
+    #[test]
+    fn parse_overrides() {
+        let s = Scale::parse("paper,houses=1000000,days=1").unwrap();
+        assert_eq!(s.houses, 1_000_000);
+        assert_eq!(s.days, 1);
+        assert_eq!(s.interval_secs, Scale::paper().interval_secs);
+        // Bare overrides apply to quick.
+        let s = Scale::parse("houses=5000").unwrap();
+        assert_eq!(s.houses, 5000);
+        assert_eq!(s.days, Scale::quick().days);
+    }
+
+    #[test]
+    fn parse_junk_is_a_typed_error() {
+        for junk in [
+            "",
+            "mega",
+            "paper,houses=",
+            "paper,houses=abc",
+            "paper,houses=0",
+            "paper,wat=3",
+            "paper,houses",
+        ] {
+            let e = Scale::parse(junk).unwrap_err();
+            assert_eq!(e.input, junk);
+            assert!(e.to_string().contains("invalid scale"), "{e}");
+        }
     }
 
     #[test]
@@ -63,6 +164,7 @@ mod tests {
         let p = Scale::paper();
         assert!(p.days > q.days);
         assert!(p.interval_secs < q.interval_secs);
+        assert!(p.houses > q.houses);
         assert_eq!(p.cv_folds, 10, "the paper's protocol");
     }
 }

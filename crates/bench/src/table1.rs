@@ -156,7 +156,14 @@ mod tests {
     #[test]
     fn runs_at_tiny_scale_with_expected_shape() {
         // Deliberately tiny: this exercises the full code path, not accuracy.
-        let scale = Scale { days: 5, interval_secs: 900, forest_trees: 4, cv_folds: 2, seed: 5 };
+        let scale = Scale {
+            days: 5,
+            interval_secs: 900,
+            forest_trees: 4,
+            cv_folds: 2,
+            seed: 5,
+            ..Scale::quick()
+        };
         let ds = dataset(scale).unwrap();
         let t = Table1::run(&ds, scale, 2).unwrap();
         assert_eq!(t.rows.len(), 24);

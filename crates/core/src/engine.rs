@@ -252,6 +252,12 @@ pub struct EngineStats {
     /// Network-gateway counters when the run terminated meter connections
     /// through [`crate::gateway`] (`None` for in-process runs).
     pub gateway: Option<crate::gateway::GatewayStats>,
+    /// Sharding counters when the run partitioned fleet state through
+    /// [`crate::shard`] (`None` for monolithic runs).
+    pub shard: Option<crate::shard::ShardStats>,
+    /// Segment-store counters when the run persisted encoded output
+    /// through [`crate::segstore`] (`None` when output stayed in memory).
+    pub store: Option<crate::segstore::StoreStats>,
     /// Distribution of per-house input sample counts. Deterministic (a
     /// pure function of the input fleet), rendered in the `"histograms"`
     /// section of [`to_json`](Self::to_json).
@@ -354,6 +360,12 @@ impl EngineStats {
         if let Some(gateway) = &self.gateway {
             gateway.register_into(reg);
         }
+        if let Some(shard) = &self.shard {
+            shard.register_into(reg);
+        }
+        if let Some(store) = &self.store {
+            store.register_into(reg);
+        }
         for s in &self.spans {
             reg.record_span(&s.path, s.calls, s.secs);
         }
@@ -388,6 +400,14 @@ impl EngineStats {
         if self.gateway.is_some() {
             w.key("gateway");
             reg.write_block_json(&mut w, "gateway");
+        }
+        if self.shard.is_some() {
+            w.key("shard");
+            reg.write_block_json(&mut w, "shard");
+        }
+        if self.store.is_some() {
+            w.key("store");
+            reg.write_block_json(&mut w, "store");
         }
         w.key("histograms");
         reg.write_histograms_json(&mut w);
@@ -597,6 +617,8 @@ impl FleetEngine {
                 pool: if fleet.is_empty() { None } else { Some(pool_stats) },
                 quality,
                 gateway: None,
+                shard: None,
+                store: None,
                 house_samples,
                 house_symbols,
                 encode_batch_values,

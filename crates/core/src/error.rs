@@ -129,6 +129,13 @@ pub enum Error {
     Serde(String),
     /// The parallel fleet engine failed (worker or channel breakdown).
     Engine(String),
+    /// A [`crate::segstore::SegmentStore`] operation failed: an irregular
+    /// series that cannot be packed as `(start, interval, count)`, a query
+    /// outside a segment's resolution, or a persisted image whose announced
+    /// lengths do not reconcile with the buffer (validated **before** any
+    /// allocation, like the wire decoder's
+    /// [`FrameTooLarge`](Self::FrameTooLarge) path).
+    Store(String),
 }
 
 impl fmt::Display for Error {
@@ -193,6 +200,7 @@ impl fmt::Display for Error {
             }
             Error::Serde(msg) => write!(f, "serde error: {msg}"),
             Error::Engine(msg) => write!(f, "fleet engine error: {msg}"),
+            Error::Store(msg) => write!(f, "segment store error: {msg}"),
         }
     }
 }

@@ -47,7 +47,7 @@
 use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -60,6 +60,7 @@ use crate::error::{Error, Result};
 use crate::ingest::{FleetIngest, IngestConfig, IngestStats};
 use crate::json::JsonWriter;
 use crate::pool::{self, PoolConfig, PoolStats, SupervisorPolicy};
+use crate::shard::ShardRouter;
 use crate::telemetry::Registry;
 
 /// Handshake magic: the first four bytes of every meter connection.
@@ -115,6 +116,11 @@ pub struct GatewayConfig {
     pub drain_timeout: Duration,
     /// Policy for the shared [`FleetIngest`] behind the sessions.
     pub ingest: IngestConfig,
+    /// Shards the ingest state is partitioned into — consistent hashing of
+    /// meter id through [`crate::shard::ShardRouter`], one lock per shard,
+    /// so sessions on different shards commit concurrently. `1` restores
+    /// the single-lock layout.
+    pub ingest_shards: usize,
     /// Serve the HTTP sidecar (`/metrics`, `/healthz`, `/readyz`) on its
     /// own ephemeral loopback port.
     pub http_metrics: bool,
@@ -133,6 +139,7 @@ impl Default for GatewayConfig {
             idle_timeout: Duration::from_secs(30),
             drain_timeout: Duration::from_secs(5),
             ingest: IngestConfig::default(),
+            ingest_shards: 4,
             http_metrics: false,
         }
     }
@@ -179,6 +186,12 @@ impl GatewayConfig {
     /// Enables the HTTP metrics sidecar.
     pub fn http_metrics(mut self, on: bool) -> Self {
         self.http_metrics = on;
+        self
+    }
+
+    /// Sets the ingest shard count (clamped to ≥ 1).
+    pub fn ingest_shards(mut self, shards: usize) -> Self {
+        self.ingest_shards = shards.max(1);
         self
     }
 }
@@ -286,12 +299,126 @@ impl Counters {
     }
 }
 
-/// The ingest state every session feeds: one [`FleetIngest`] plus the
-/// per-meter decoded output, mutated under one lock so the decoded stream
-/// is identical to an in-process run over the same per-meter bytes.
+/// One shard of ingest state: a [`FleetIngest`] plus the per-meter decoded
+/// output, mutated under the shard's lock so a meter's decoded stream is
+/// identical to an in-process run over the same per-meter bytes.
 struct Core {
     fleet: FleetIngest,
     output: BTreeMap<u64, Vec<SensorMessage>>,
+}
+
+/// The ingest state behind every session, partitioned by meter id through
+/// a [`ShardRouter`]: each shard holds its own [`Core`] under its own
+/// lock, so sessions whose meters land on different shards commit
+/// concurrently instead of serializing on one mutex.
+///
+/// The **global** `max_meters` / `max_buffered_bytes` caps are enforced
+/// here with atomic counters, in [`FleetIngest::ingest`]'s check order
+/// (backlog first, then the meter cap); the per-shard instances run
+/// uncapped so a shard can never double-reject. Under concurrent sessions
+/// the atomic check is advisory-exact — a race can overshoot a cap by at
+/// most the chunks in flight — and a rejected chunk still changes no
+/// state. Per-meter output stays byte-identical to the single-lock
+/// layout: a meter maps to exactly one shard and its session serializes
+/// its own bytes.
+struct IngestShards {
+    router: ShardRouter,
+    cores: Vec<Mutex<Core>>,
+    /// Distinct meters across every shard.
+    meters: AtomicUsize,
+    /// Bytes buffered across every shard awaiting frame completion.
+    buffered: AtomicUsize,
+    meters_rejected: AtomicU64,
+    backlog_rejections: AtomicU64,
+    max_meters: usize,
+    max_buffered_bytes: usize,
+}
+
+impl IngestShards {
+    fn new(shards: usize, config: IngestConfig) -> Result<Self> {
+        let router = ShardRouter::new(shards.max(1))?;
+        let uncapped = config.max_meters(usize::MAX).max_buffered_bytes(usize::MAX);
+        let cores = (0..router.shards())
+            .map(|_| {
+                Mutex::new(Core { fleet: FleetIngest::new(uncapped), output: BTreeMap::new() })
+            })
+            .collect();
+        Ok(IngestShards {
+            router,
+            cores,
+            meters: AtomicUsize::new(0),
+            buffered: AtomicUsize::new(0),
+            meters_rejected: AtomicU64::new(0),
+            backlog_rejections: AtomicU64::new(0),
+            max_meters: config.max_meters,
+            max_buffered_bytes: config.max_buffered_bytes,
+        })
+    }
+
+    /// Feeds `bytes` through the meter's shard, commits the decoded frames
+    /// to that shard's output map, and returns the decoded count — `None`
+    /// on any rejection (the counters record why; the session closes).
+    fn ingest_commit(&self, meter: u64, bytes: &[u8]) -> Option<u64> {
+        if self.buffered.load(Ordering::Acquire).saturating_add(bytes.len())
+            > self.max_buffered_bytes
+        {
+            self.backlog_rejections.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut core = self.cores[self.router.route(meter)].lock().unwrap();
+        let is_new = core.fleet.meter(meter).is_none();
+        if is_new && self.meters.load(Ordering::Acquire) >= self.max_meters {
+            self.meters_rejected.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let before = core.fleet.buffered_total();
+        let result = core.fleet.ingest(meter, bytes);
+        let after = core.fleet.buffered_total();
+        if after >= before {
+            self.buffered.fetch_add(after - before, Ordering::AcqRel);
+        } else {
+            self.buffered.fetch_sub(before - after, Ordering::AcqRel);
+        }
+        if is_new && core.fleet.meter(meter).is_some() {
+            self.meters.fetch_add(1, Ordering::AcqRel);
+        }
+        match result {
+            Ok(msgs) => {
+                let n = msgs.len() as u64;
+                core.output.entry(meter).or_default().extend(msgs);
+                Some(n)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Counters merged across every shard, with the fleet-level rejection
+    /// counters taken from the global checks here.
+    fn stats(&self) -> IngestStats {
+        let mut total = IngestStats::default();
+        for core in &self.cores {
+            total.merge(&core.lock().unwrap().fleet.stats());
+        }
+        total.meters_rejected = self.meters_rejected.load(Ordering::Relaxed);
+        total.backlog_rejections = self.backlog_rejections.load(Ordering::Relaxed);
+        total
+    }
+
+    /// Drains every shard's output (meter keys are disjoint across shards,
+    /// so the merged map is exactly their union) and merges the final
+    /// ingest counters.
+    fn take_report(&self) -> (BTreeMap<u64, Vec<SensorMessage>>, IngestStats) {
+        let mut output = BTreeMap::new();
+        let mut ingest = IngestStats::default();
+        for core in &self.cores {
+            let mut core = core.lock().unwrap();
+            output.append(&mut core.output);
+            ingest.merge(&core.fleet.stats());
+        }
+        ingest.meters_rejected = self.meters_rejected.load(Ordering::Relaxed);
+        ingest.backlog_rejections = self.backlog_rejections.load(Ordering::Relaxed);
+        (output, ingest)
+    }
 }
 
 struct Shared {
@@ -301,7 +428,7 @@ struct Shared {
     /// When the shutdown flag was set (drain deadline anchor).
     shutdown_at: Mutex<Option<Instant>>,
     counters: Counters,
-    core: Mutex<Core>,
+    shards: IngestShards,
 }
 
 impl Shared {
@@ -552,27 +679,21 @@ impl Session {
         }
     }
 
-    /// Feeds `bytes` through the shared fleet, commits the decoded frames
-    /// to the output map, and queues a cumulative ack — in that order,
-    /// under one lock, so an acknowledged frame is always in the output.
+    /// Feeds `bytes` through the meter's ingest shard, commits the decoded
+    /// frames to that shard's output map, and queues a cumulative ack — in
+    /// that order, under the shard's lock, so an acknowledged frame is
+    /// always in the output.
     fn ingest_bytes(&mut self, shared: &Shared, bytes: &[u8]) -> Option<CloseReason> {
         let (meter, prev_acked) = match &self.state {
             SessionState::Streaming { meter, acked } => (*meter, *acked),
             _ => return Some(CloseReason::IoError),
         };
-        let decoded = {
-            let mut core = shared.core.lock().unwrap();
-            match core.fleet.ingest(meter, bytes) {
-                Ok(msgs) => {
-                    let n = msgs.len() as u64;
-                    core.output.entry(meter).or_default().extend(msgs);
-                    n
-                }
-                // Fleet-level resource caps (or a fail-fast decode error in
-                // non-recover mode) close the connection; the fleet's own
-                // IngestStats count the rejection.
-                Err(_) => return Some(CloseReason::IoError),
-            }
+        // Fleet-level resource caps (or a fail-fast decode error in
+        // non-recover mode) close the connection; the shard counters and
+        // the fleet's own IngestStats record the rejection.
+        let decoded = match shared.shards.ingest_commit(meter, bytes) {
+            Some(n) => n,
+            None => return Some(CloseReason::IoError),
         };
         if decoded > 0 {
             let acked = prev_acked + decoded;
@@ -751,7 +872,7 @@ fn route_http(
             let reg = Registry::with_catalog();
             let stats = shared.counters.snapshot(0.0);
             stats.register_into(&reg);
-            shared.core.lock().unwrap().fleet.stats().register_into(&reg);
+            shared.shards.stats().register_into(&reg);
             ("200 OK", "text/plain; version=0.0.4; charset=utf-8", reg.render_prometheus())
         }
         b"/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".into()),
@@ -830,12 +951,13 @@ impl Gateway {
 
         let workers = config.workers.max(1);
         let ingest = config.ingest;
+        let ingest_shards = config.ingest_shards;
         let shared = Arc::new(Shared {
             config,
             shutdown: AtomicBool::new(false),
             shutdown_at: Mutex::new(None),
             counters: Counters::default(),
-            core: Mutex::new(Core { fleet: FleetIngest::new(ingest), output: BTreeMap::new() }),
+            shards: IngestShards::new(ingest_shards, ingest)?,
         });
 
         let (conn_tx, conn_rx) = channel::bounded::<TcpStream>(workers * 8);
@@ -928,9 +1050,7 @@ impl Gateway {
             h.join().ok();
         }
         let drain_secs = drain_started.elapsed().as_secs_f64();
-        let mut core = self.shared.core.lock().unwrap();
-        let output = std::mem::take(&mut core.output);
-        let ingest = core.fleet.stats();
+        let (output, ingest) = self.shared.shards.take_report();
         GatewayReport {
             output,
             stats: self.shared.counters.snapshot(drain_secs),

@@ -64,7 +64,9 @@ pub mod pool;
 pub mod privacy;
 pub mod quality;
 pub mod sax;
+pub mod segstore;
 pub mod separators;
+pub mod shard;
 pub mod stats;
 pub mod symbol;
 pub mod telemetry;
@@ -85,7 +87,9 @@ pub mod prelude {
     pub use crate::lookup::{LookupTable, SymbolSemantics};
     pub use crate::pipeline::{CodecBuilder, SymbolicCodec, VerticalPolicy};
     pub use crate::quality::{Policy, QualityReport, Sanitizer, SanitizerConfig};
+    pub use crate::segstore::{SegmentStore, StoreStats};
     pub use crate::separators::SeparatorMethod;
+    pub use crate::shard::{ShardRouter, ShardStats, ShardedFleetEngine, ShardedIngest};
     pub use crate::symbol::Symbol;
     pub use crate::timeseries::{Sample, TimeSeries, Timestamp};
     pub use crate::vertical::{aggregate_by_window, vertical_segmentation, Aggregation};

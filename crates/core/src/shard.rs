@@ -1,0 +1,699 @@
+//! Sharded fleet state: consistent hashing of house → shard, per-shard
+//! lookup-table caches, and shard-local supervised pools feeding a
+//! deterministic merge stage.
+//!
+//! The monolithic [`crate::engine::FleetEngine`] holds one flat state for
+//! the whole fleet; at the ROADMAP's million-house scale that is one giant
+//! allocation, one pool, and one lock for everything. This module
+//! partitions that state:
+//!
+//! * [`ShardRouter`] — a consistent-hash ring (32 virtual nodes per shard,
+//!   [`splitmix64`]-placed) maps each house id to a shard. Adding a shard
+//!   moves only `~1/n` of the houses, so shard counts can grow without a
+//!   full reshuffle.
+//! * [`TableCache`] — per-shard LRU of learned [`LookupTable`]s keyed by
+//!   house, so re-encoding a house it has seen before skips the training
+//!   pass entirely.
+//! * [`ShardedFleetEngine`] — per shard: a serial cache pre-pass, a
+//!   shard-local supervised pool ([`crate::pool`]) running the pure
+//!   train+encode jobs, then a **serial merge stage** that places results
+//!   by input index and applies cache inserts in index order.
+//!
+//! ## Determinism contract
+//!
+//! Fleet output is **byte-identical at any shard count and any worker
+//! count**. Three properties make that hold:
+//!
+//! 1. Routing is a pure function of the house id (no `RandomState`, no
+//!    iteration-order dependence).
+//! 2. Encode jobs are pure per house; the merge stage places each result
+//!    by its input index, so scheduling order never shows.
+//! 3. The cache can only substitute work that would have produced the same
+//!    bytes: entries are keyed by house, and a hit replays the table
+//!    learned from that house's own history — retraining on the same
+//!    series yields the same table. (A house whose series *changes*
+//!    between batches keeps its first-learned table until evicted: the
+//!    cache implements train-once-per-house semantics, not
+//!    drift-tracking — that is [`crate::adaptive`]'s job.)
+//!
+//! Eviction order and hit counts *do* vary with shard count (capacity is
+//! per shard); only the [`ShardStats`] counters see that, never the
+//! encoded bytes.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::engine::{QuarantineReason, Quarantined};
+use crate::error::{Error, Result};
+use crate::horizontal::SymbolicSeries;
+use crate::ingest::{FleetIngest, IngestConfig, IngestStats};
+use crate::lookup::LookupTable;
+use crate::pipeline::CodecBuilder;
+use crate::pool::{Outcome, PoolConfig, PoolStats, RetryPolicy, SupervisorPolicy};
+use crate::telemetry::Registry;
+use crate::timeseries::TimeSeries;
+
+/// Virtual nodes each shard places on the consistent-hash ring. 32 keeps
+/// the worst shard within a few percent of the mean at 16 shards while the
+/// whole ring still fits in one cache line per shard.
+pub const VNODES_PER_SHARD: usize = 32;
+
+/// SplitMix64 — the finalizer used across the crate for deterministic,
+/// seed-stable hashing (same constants as [`crate::pool`]'s internal
+/// copy). Public here because shard routing *is* the hash: callers
+/// verifying placement externally need bit-identical values.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Consistent-hash ring mapping house ids to shards.
+///
+/// ```
+/// use sms_core::shard::ShardRouter;
+/// let r4 = ShardRouter::new(4).unwrap();
+/// let r5 = ShardRouter::new(5).unwrap();
+/// let moved = (0..10_000u64).filter(|&h| r4.route(h) != r5.route(h)).count();
+/// assert!(moved < 4_000, "consistent hashing moved {moved}/10000 houses");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    /// `(ring position, shard)` sorted by position.
+    ring: Vec<(u64, u32)>,
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// A ring of `shards` shards (must be ≥ 1).
+    pub fn new(shards: usize) -> Result<Self> {
+        if shards == 0 || shards > u32::MAX as usize {
+            return Err(Error::InvalidParameter {
+                name: "shards",
+                reason: format!("must be in 1..=u32::MAX, got {shards}"),
+            });
+        }
+        let mut ring = Vec::with_capacity(shards * VNODES_PER_SHARD);
+        for shard in 0..shards as u32 {
+            for v in 0..VNODES_PER_SHARD as u64 {
+                // Mix shard and vnode through two rounds so vnode points of
+                // one shard spread rather than cluster.
+                let pos = splitmix64(splitmix64(shard as u64) ^ (v.wrapping_mul(0x9e37_79b9)));
+                ring.push((pos, shard));
+            }
+        }
+        // Ties (astronomically unlikely) resolve to the lower shard id so
+        // the ring is a pure function of `shards`.
+        ring.sort_unstable();
+        Ok(ShardRouter { ring, shards })
+    }
+
+    /// Number of shards behind the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `house`: the first ring point at or after the
+    /// house's hash, wrapping at the top.
+    pub fn route(&self, house: u64) -> usize {
+        let h = splitmix64(house);
+        let i = self.ring.partition_point(|&(pos, _)| pos < h);
+        let (_, shard) = self.ring[if i == self.ring.len() { 0 } else { i }];
+        shard as usize
+    }
+}
+
+/// Per-shard LRU cache of learned lookup tables, keyed by house id.
+///
+/// Recency is a monotonically increasing sequence number per entry with a
+/// `BTreeMap<seq, house>` recency index, so both `get` and `insert` are
+/// `O(log n)` — no linked lists, no per-access `Vec` scans.
+#[derive(Debug, Clone, Default)]
+pub struct TableCache {
+    capacity: usize,
+    entries: HashMap<u64, (LookupTable, u64)>,
+    recency: BTreeMap<u64, u64>,
+    next_seq: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl TableCache {
+    /// A cache holding at most `capacity` tables (`0` disables caching).
+    pub fn new(capacity: usize) -> Self {
+        TableCache { capacity, ..TableCache::default() }
+    }
+
+    /// Tables currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses, evictions)` counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// The cached table for `house`, refreshing its recency.
+    pub fn get(&mut self, house: u64) -> Option<&LookupTable> {
+        match self.entries.get_mut(&house) {
+            Some((_, seq)) => {
+                self.recency.remove(seq);
+                *seq = self.next_seq;
+                self.recency.insert(self.next_seq, house);
+                self.next_seq += 1;
+                self.hits += 1;
+                self.entries.get(&house).map(|(t, _)| t)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Caches `table` for `house`, evicting the least-recently-used entry
+    /// when full. A no-op at capacity 0.
+    pub fn insert(&mut self, house: u64, table: LookupTable) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some((_, seq)) = self.entries.remove(&house) {
+            self.recency.remove(&seq);
+        } else if self.entries.len() >= self.capacity {
+            if let Some((&oldest, &victim)) = self.recency.iter().next() {
+                self.recency.remove(&oldest);
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(house, (table, self.next_seq));
+        self.recency.insert(self.next_seq, house);
+        self.next_seq += 1;
+    }
+}
+
+/// Counters for one sharded run; rendered as the `"shard"` block of
+/// [`crate::engine::EngineStats::to_json`] and the Prometheus exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ShardStats {
+    /// Shards in the ring.
+    pub shards: usize,
+    /// Houses routed through the ring (cumulative over batches).
+    pub houses_routed: u64,
+    /// Lookup-table cache hits across every shard.
+    pub cache_hits: u64,
+    /// Lookup-table cache misses across every shard.
+    pub cache_misses: u64,
+    /// Tables evicted from the per-shard LRU caches.
+    pub cache_evictions: u64,
+    /// Houses on the most loaded shard in the latest batch (ring-balance
+    /// witness).
+    pub max_shard_houses: u64,
+    /// Wall time the deterministic merge stage spent placing results and
+    /// applying cache inserts, seconds.
+    pub merge_wait_secs: f64,
+}
+
+impl ShardStats {
+    /// Registers this block's [`crate::telemetry::CATALOG`] metrics into
+    /// `reg` and loads their current values.
+    pub fn register_into(&self, reg: &Registry) {
+        reg.register_block("shard");
+        reg.set("sms_shard_shards", self.shards as u64);
+        reg.add("sms_shard_houses_routed", self.houses_routed);
+        reg.add("sms_shard_cache_hits", self.cache_hits);
+        reg.add("sms_shard_cache_misses", self.cache_misses);
+        reg.add("sms_shard_cache_evictions", self.cache_evictions);
+        reg.set_max("sms_shard_max_shard_houses", self.max_shard_houses);
+        reg.set_f64("sms_shard_merge_wait_secs", self.merge_wait_secs);
+    }
+}
+
+/// Configuration of a [`ShardedFleetEngine`].
+#[derive(Debug, Clone)]
+pub struct ShardedEngineConfig {
+    /// Shards on the ring.
+    pub shards: usize,
+    /// Worker threads per shard pool (`0` = one per core).
+    pub workers: usize,
+    /// Lookup tables each shard's cache retains.
+    pub table_cache_capacity: usize,
+    /// Retry schedule for panicking encode jobs.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ShardedEngineConfig {
+    fn default() -> Self {
+        ShardedEngineConfig {
+            shards: 4,
+            workers: 1,
+            table_cache_capacity: 4096,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl ShardedEngineConfig {
+    /// Config with an explicit shard count and defaults otherwise.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardedEngineConfig { shards, ..Self::default() }
+    }
+
+    /// Sets the per-shard worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the per-shard table-cache capacity.
+    pub fn table_cache_capacity(mut self, capacity: usize) -> Self {
+        self.table_cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the retry schedule for panicking encode jobs.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+/// The result of one sharded batch: per-house series in input order plus
+/// the houses that failed.
+#[derive(Debug, Clone)]
+pub struct ShardedEncoding {
+    /// `series[i]` encodes the `i`-th input house. Failed houses hold an
+    /// empty placeholder at the codec resolution (indices stay aligned).
+    pub series: Vec<SymbolicSeries>,
+    /// Houses whose job failed, in input-index order.
+    pub quarantined: Vec<Quarantined>,
+}
+
+/// A fleet encoder whose state is partitioned by the consistent-hash ring:
+/// per-shard table caches and per-shard supervised pools, merged
+/// deterministically.
+///
+/// Call [`encode_batch`](Self::encode_batch) repeatedly with chunks of
+/// `(house, series)` pairs — the caches persist across batches, so a
+/// million-house run streams through in bounded memory while houses seen
+/// before skip training.
+#[derive(Debug)]
+pub struct ShardedFleetEngine {
+    builder: CodecBuilder,
+    config: ShardedEngineConfig,
+    router: ShardRouter,
+    caches: Vec<TableCache>,
+    stats: ShardStats,
+    pool_stats: PoolStats,
+}
+
+impl ShardedFleetEngine {
+    /// An engine over `builder`'s codec with `config`'s topology.
+    pub fn new(builder: CodecBuilder, config: ShardedEngineConfig) -> Result<Self> {
+        let router = ShardRouter::new(config.shards)?;
+        let caches =
+            (0..config.shards).map(|_| TableCache::new(config.table_cache_capacity)).collect();
+        Ok(ShardedFleetEngine {
+            builder,
+            config,
+            router,
+            caches,
+            stats: ShardStats::default(),
+            pool_stats: PoolStats::default(),
+        })
+    }
+
+    /// The ring routing houses to shards.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Cumulative shard counters over every batch so far.
+    pub fn stats(&self) -> ShardStats {
+        let mut s = self.stats;
+        s.shards = self.config.shards;
+        for c in &self.caches {
+            let (h, m, e) = c.counters();
+            s.cache_hits += h;
+            s.cache_misses += m;
+            s.cache_evictions += e;
+        }
+        s
+    }
+
+    /// Cumulative pool counters over every shard pool of every batch.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool_stats
+    }
+
+    /// Encodes one batch of houses. Output is byte-identical for any
+    /// `shards`/`workers` setting (see the module determinism contract);
+    /// failed houses are quarantined with an empty placeholder, matching
+    /// [`crate::engine::QuarantinePolicy::Isolate`].
+    pub fn encode_batch(&mut self, fleet: &[(u64, TimeSeries)]) -> Result<ShardedEncoding> {
+        let resolution = self.builder.resolution();
+        let mut series: Vec<Option<SymbolicSeries>> = vec![None; fleet.len()];
+        let mut quarantined: Vec<Quarantined> = Vec::new();
+
+        // Partition input indices by ring position.
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.config.shards];
+        for (i, (house, _)) in fleet.iter().enumerate() {
+            by_shard[self.router.route(*house)].push(i);
+        }
+        self.stats.houses_routed += fleet.len() as u64;
+        let peak = by_shard.iter().map(Vec::len).max().unwrap_or(0) as u64;
+        self.stats.max_shard_houses = self.stats.max_shard_houses.max(peak);
+
+        let policy = SupervisorPolicy::with_retry(self.config.retry);
+        let pool_cfg = PoolConfig::with_workers(self.config.workers);
+        for (shard, idxs) in by_shard.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            // Serial cache pre-pass: decide per house, *before* the pool
+            // runs, whether training is skipped — the pool never touches
+            // the cache, so worker scheduling cannot reorder its state.
+            let cached: Vec<Option<LookupTable>> =
+                idxs.iter().map(|&i| self.caches[shard].get(fleet[i].0).cloned()).collect();
+
+            let builder = &self.builder;
+            let report = crate::pool::run_indexed_supervised_with(
+                idxs.len(),
+                &pool_cfg,
+                &policy,
+                || (),
+                |(), j, _attempt| -> Result<(SymbolicSeries, Option<LookupTable>)> {
+                    let (_, ts) = &fleet[idxs[j]];
+                    match &cached[j] {
+                        Some(table) => {
+                            let codec = builder.clone().with_table(table.clone());
+                            Ok((codec.encode(ts)?, None))
+                        }
+                        None => {
+                            let codec = builder.train(ts)?;
+                            let table = codec.table().clone();
+                            Ok((codec.encode(ts)?, Some(table)))
+                        }
+                    }
+                },
+            );
+
+            // Deterministic merge: placement by input index, cache inserts
+            // in index order, failures quarantined in index order.
+            let merge_t = std::time::Instant::now();
+            for (j, outcome) in report.results.into_iter().enumerate() {
+                let idx = idxs[j];
+                let house = fleet[idx].0;
+                let reason = match outcome {
+                    Outcome::Ok(Ok((s, table)))
+                    | Outcome::Retried { value: Ok((s, table)), .. } => {
+                        if let Some(table) = table {
+                            self.caches[shard].insert(house, table);
+                        }
+                        series[idx] = Some(s);
+                        continue;
+                    }
+                    Outcome::Ok(Err(e)) | Outcome::Retried { value: Err(e), .. } => {
+                        QuarantineReason::EncodeError(e)
+                    }
+                    Outcome::Panicked { message, attempts } => {
+                        QuarantineReason::Panicked { message, attempts }
+                    }
+                    Outcome::TimedOut => QuarantineReason::TimedOut,
+                };
+                quarantined.push(Quarantined { house: idx, reason });
+            }
+            self.stats.merge_wait_secs += merge_t.elapsed().as_secs_f64();
+
+            self.pool_stats.workers = self.pool_stats.workers.max(report.stats.workers);
+            self.pool_stats.jobs += report.stats.jobs;
+            self.pool_stats.queue_capacity = report.stats.queue_capacity;
+            self.pool_stats.max_queue_depth =
+                self.pool_stats.max_queue_depth.max(report.stats.max_queue_depth);
+            self.pool_stats.panics += report.stats.panics;
+            self.pool_stats.retries += report.stats.retries;
+            self.pool_stats.gave_up += report.stats.gave_up;
+            self.pool_stats.deadline_exceeded += report.stats.deadline_exceeded;
+            self.pool_stats.respawns += report.stats.respawns;
+            self.pool_stats.job_attempts.merge(&report.stats.job_attempts);
+        }
+
+        quarantined.sort_by_key(|q| q.house);
+        let series = series
+            .into_iter()
+            .map(|s| match s {
+                Some(s) => Ok(s),
+                None => SymbolicSeries::new(resolution),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedEncoding { series, quarantined })
+    }
+}
+
+/// [`FleetIngest`] partitioned by the ring: per-shard meter maps and
+/// backlog accounting, with the **global** `max_meters` /
+/// `max_buffered_bytes` caps still enforced exactly, in
+/// [`FleetIngest::ingest`]'s check order (backlog first, then the meter
+/// cap, then delegation — a rejected chunk changes no state).
+#[derive(Debug)]
+pub struct ShardedIngest {
+    config: IngestConfig,
+    router: ShardRouter,
+    shards: Vec<FleetIngest>,
+    meters_rejected: u64,
+    backlog_rejections: u64,
+}
+
+impl ShardedIngest {
+    /// A sharded router enforcing `config`'s caps globally.
+    pub fn new(shards: usize, config: IngestConfig) -> Result<Self> {
+        let router = ShardRouter::new(shards)?;
+        // Per-shard instances run uncapped — the global caps are enforced
+        // here, before delegation, so a shard can never double-reject.
+        let uncapped = config.max_meters(usize::MAX).max_buffered_bytes(usize::MAX);
+        let shards = (0..router.shards()).map(|_| FleetIngest::new(uncapped)).collect();
+        Ok(ShardedIngest { config, router, shards, meters_rejected: 0, backlog_rejections: 0 })
+    }
+
+    /// Feeds bytes received from one meter; see [`FleetIngest::ingest`].
+    pub fn ingest(
+        &mut self,
+        meter: u64,
+        bytes: &[u8],
+    ) -> Result<Vec<crate::encoder::SensorMessage>> {
+        let buffered = self.buffered_total();
+        if buffered.saturating_add(bytes.len()) > self.config.max_buffered_bytes {
+            self.backlog_rejections += 1;
+            return Err(Error::BacklogExceeded {
+                buffered,
+                incoming: bytes.len(),
+                max: self.config.max_buffered_bytes,
+            });
+        }
+        let shard = self.router.route(meter);
+        if self.shards[shard].meter(meter).is_none() && self.meter_count() >= self.config.max_meters
+        {
+            self.meters_rejected += 1;
+            return Err(Error::TooManyMeters { max: self.config.max_meters });
+        }
+        self.shards[shard].ingest(meter, bytes)
+    }
+
+    /// Distinct meters across every shard.
+    pub fn meter_count(&self) -> usize {
+        self.shards.iter().map(FleetIngest::meter_count).sum()
+    }
+
+    /// Bytes buffered across every shard (an `O(shards)` sum — each shard
+    /// tracks its own total in `O(1)`).
+    pub fn buffered_total(&self) -> usize {
+        self.shards.iter().map(FleetIngest::buffered_total).sum()
+    }
+
+    /// The shard index owning `meter`.
+    pub fn shard_of(&self, meter: u64) -> usize {
+        self.router.route(meter)
+    }
+
+    /// Counters merged across every shard, with the fleet-level rejection
+    /// counters taken from the global checks here.
+    pub fn stats(&self) -> IngestStats {
+        let mut total = IngestStats::default();
+        for s in &self.shards {
+            total.merge(&s.stats());
+        }
+        total.meters_rejected = self.meters_rejected;
+        total.backlog_rejections = self.backlog_rejections;
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, FleetEngine};
+    use crate::timeseries::TimeSeries;
+
+    fn house_series(house: u64, n: usize) -> TimeSeries {
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = splitmix64(house.wrapping_mul(31).wrapping_add(i as u64));
+                (x % 4000) as f64 / 10.0
+            })
+            .collect();
+        TimeSeries::from_regular(0, 900, &values).unwrap()
+    }
+
+    fn fleet(n: usize) -> Vec<(u64, TimeSeries)> {
+        (0..n as u64).map(|h| (h * 7 + 3, house_series(h, 96))).collect()
+    }
+
+    fn builder() -> CodecBuilder {
+        CodecBuilder::new().alphabet_size(16).unwrap().no_aggregation()
+    }
+
+    #[test]
+    fn router_is_total_and_balanced() {
+        let r = ShardRouter::new(16).unwrap();
+        let mut load = vec![0usize; 16];
+        for h in 0..100_000u64 {
+            load[r.route(h)] += 1;
+        }
+        let (min, max) = (load.iter().min().unwrap(), load.iter().max().unwrap());
+        assert!(*min > 0, "empty shard: {load:?}");
+        assert!(*max < 3 * 100_000 / 16, "hot shard: {load:?}");
+    }
+
+    #[test]
+    fn router_rejects_zero_shards() {
+        assert!(matches!(ShardRouter::new(0), Err(Error::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn consistent_hashing_moves_few_houses() {
+        let a = ShardRouter::new(8).unwrap();
+        let b = ShardRouter::new(9).unwrap();
+        let moved = (0..20_000u64).filter(|&h| a.route(h) != b.route(h)).count();
+        // Ideal is 1/9 ≈ 11%; allow slack for vnode placement variance.
+        assert!(moved < 20_000 / 4, "{moved} moved");
+    }
+
+    #[test]
+    fn table_cache_lru_evicts_oldest() {
+        let table = || {
+            crate::lookup::LookupTable::learn(
+                crate::separators::SeparatorMethod::Median,
+                crate::alphabet::Alphabet::with_size(4).unwrap(),
+                &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+            )
+            .unwrap()
+        };
+        let mut c = TableCache::new(2);
+        c.insert(1, table());
+        c.insert(2, table());
+        assert!(c.get(1).is_some()); // refresh 1 → LRU victim is 2
+        c.insert(3, table());
+        assert!(c.get(2).is_none(), "refreshed entry was evicted instead of the LRU one");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        let (hits, misses, evictions) = c.counters();
+        assert_eq!((hits, misses, evictions), (3, 1, 1));
+    }
+
+    #[test]
+    fn sharded_output_is_byte_identical_across_topologies_and_to_serial() {
+        let fleet = fleet(60);
+        let plain: Vec<TimeSeries> = fleet.iter().map(|(_, ts)| ts.clone()).collect();
+        let serial = FleetEngine::new(builder(), EngineConfig::with_workers(1))
+            .encode_fleet(&plain)
+            .unwrap();
+        for shards in [1usize, 4, 16] {
+            for workers in [1usize, 2, 8] {
+                let cfg = ShardedEngineConfig::with_shards(shards).workers(workers);
+                let mut eng = ShardedFleetEngine::new(builder(), cfg).unwrap();
+                let out = eng.encode_batch(&fleet).unwrap();
+                assert!(out.quarantined.is_empty());
+                for (i, s) in out.series.iter().enumerate() {
+                    assert_eq!(
+                        s.symbols(),
+                        serial.series[i].symbols(),
+                        "house {i} differs at {shards} shards × {workers} workers"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_skip_training_without_changing_output() {
+        let fleet = fleet(20);
+        let mut eng =
+            ShardedFleetEngine::new(builder(), ShardedEngineConfig::with_shards(4)).unwrap();
+        let first = eng.encode_batch(&fleet).unwrap();
+        let hits_before = eng.stats().cache_hits;
+        let second = eng.encode_batch(&fleet).unwrap();
+        assert_eq!(eng.stats().cache_hits, hits_before + fleet.len() as u64);
+        for (a, b) in first.series.iter().zip(&second.series) {
+            assert_eq!(a.symbols(), b.symbols());
+        }
+    }
+
+    #[test]
+    fn failed_houses_quarantine_with_placeholders() {
+        let mut fleet = fleet(10);
+        fleet[3].1 = TimeSeries::new(); // empty → typed encode error
+        let mut eng =
+            ShardedFleetEngine::new(builder(), ShardedEngineConfig::with_shards(4)).unwrap();
+        let out = eng.encode_batch(&fleet).unwrap();
+        assert_eq!(out.quarantined.len(), 1);
+        assert_eq!(out.quarantined[0].house, 3);
+        assert!(out.series[3].is_empty());
+        assert!(!out.series[4].is_empty());
+    }
+
+    #[test]
+    fn sharded_ingest_enforces_global_caps_in_fleet_order() {
+        let cfg = IngestConfig::default().max_meters(2).max_buffered_bytes(8);
+        let mut s = ShardedIngest::new(4, cfg).unwrap();
+        // Partial frames stay buffered (a valid window tag, header cut short).
+        s.ingest(1, &[0x02, 0]).unwrap();
+        s.ingest(2, &[0x02, 0]).unwrap();
+        // Backlog check fires before the meter cap (FleetIngest order).
+        match s.ingest(3, &[0; 16]) {
+            Err(Error::BacklogExceeded { buffered, incoming, max }) => {
+                assert_eq!((buffered, incoming, max), (4, 16, 8));
+            }
+            other => panic!("expected BacklogExceeded, got {other:?}"),
+        }
+        // Small chunk from a third meter trips the global meter cap even
+        // though its shard has capacity.
+        match s.ingest(3, &[0]) {
+            Err(Error::TooManyMeters { max }) => assert_eq!(max, 2),
+            other => panic!("expected TooManyMeters, got {other:?}"),
+        }
+        // Existing meters keep flowing.
+        s.ingest(1, &[0]).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.meters_rejected, 1);
+        assert_eq!(stats.backlog_rejections, 1);
+    }
+
+    #[test]
+    fn shard_stats_register_into_catalog() {
+        let stats =
+            ShardStats { shards: 4, houses_routed: 100, cache_hits: 7, ..Default::default() };
+        let reg = Registry::new();
+        stats.register_into(&reg);
+        let text = reg.render_prometheus();
+        assert!(text.contains("sms_shard_shards 4"));
+        assert!(text.contains("sms_shard_cache_hits 7"));
+    }
+}

@@ -637,6 +637,128 @@ pub const CATALOG: &[MetricSpec] = &[
         "seconds",
         "Wall time graceful shutdown spent draining in-flight sessions."
     ),
+    // --- shard: consistent-hash fleet partitioning (sms_core::shard) ----
+    spec!(
+        "shard",
+        "shards",
+        "sms_shard_shards",
+        Gauge,
+        "shards",
+        "Shards on the consistent-hash ring."
+    ),
+    spec!(
+        "shard",
+        "houses_routed",
+        "sms_shard_houses_routed",
+        Counter,
+        "houses",
+        "Houses routed through the ring across every batch."
+    ),
+    spec!(
+        "shard",
+        "cache_hits",
+        "sms_shard_cache_hits",
+        Counter,
+        "lookups",
+        "Per-shard lookup-table cache hits (training skipped)."
+    ),
+    spec!(
+        "shard",
+        "cache_misses",
+        "sms_shard_cache_misses",
+        Counter,
+        "lookups",
+        "Per-shard lookup-table cache misses (house trained)."
+    ),
+    spec!(
+        "shard",
+        "cache_evictions",
+        "sms_shard_cache_evictions",
+        Counter,
+        "tables",
+        "Tables evicted from the per-shard LRU caches."
+    ),
+    spec!(
+        "shard",
+        "max_shard_houses",
+        "sms_shard_max_shard_houses",
+        Gauge,
+        "houses",
+        "Houses on the most loaded shard (ring-balance witness)."
+    ),
+    spec!(
+        "shard",
+        "merge_wait_secs",
+        "sms_shard_merge_wait_secs",
+        GaugeF64,
+        "seconds",
+        "Wall time the deterministic merge stage spent placing results."
+    ),
+    // --- store: bit-packed segment store (sms_core::segstore) -----------
+    spec!(
+        "store",
+        "segments_written",
+        "sms_store_segments_written",
+        Counter,
+        "segments",
+        "Segments appended to the store."
+    ),
+    spec!(
+        "store",
+        "symbols_written",
+        "sms_store_symbols_written",
+        Counter,
+        "symbols",
+        "Symbols appended across every segment."
+    ),
+    spec!(
+        "store",
+        "packed_bytes",
+        "sms_store_packed_bytes",
+        Counter,
+        "bytes",
+        "Bit-packed payload bytes in the store arena."
+    ),
+    spec!(
+        "store",
+        "recompressed_bytes",
+        "sms_store_recompressed_bytes",
+        Counter,
+        "bytes",
+        "Total bytes after the second-stage RLE + dictionary pass."
+    ),
+    spec!(
+        "store",
+        "reads",
+        "sms_store_reads",
+        Counter,
+        "queries",
+        "Full-resolution time-range reads served."
+    ),
+    spec!(
+        "store",
+        "truncated_reads",
+        "sms_store_truncated_reads",
+        Counter,
+        "queries",
+        "Resolution-truncating reads served (pure bit-slice, no re-decode)."
+    ),
+    spec!(
+        "store",
+        "segments_pruned",
+        "sms_store_segments_pruned",
+        Counter,
+        "segments",
+        "Segments answered from footer bounds without a payload scan."
+    ),
+    spec!(
+        "store",
+        "query_secs",
+        "sms_store_query_secs",
+        GaugeF64,
+        "seconds",
+        "Wall time spent serving store queries."
+    ),
 ];
 
 /// Looks up a metric's [`CATALOG`] declaration by Prometheus name.

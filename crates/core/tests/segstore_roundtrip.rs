@@ -1,0 +1,115 @@
+//! Property tests for the bit-packed segment store: for every alphabet up
+//! to k = 64 (6-bit symbols), packing a series and reading it back
+//! truncated to any coarser resolution r must equal BOTH the in-memory
+//! `truncate_resolution` of the original series AND a fresh encode of the
+//! raw values through the coarsened lookup table — the paper's prefix
+//! partial order made into a storage-level law (a truncated read is a pure
+//! bit-slice, never a decode-then-truncate). The persisted image must
+//! preserve all of it byte for byte.
+
+use proptest::prelude::*;
+use sms_core::alphabet::Alphabet;
+use sms_core::horizontal::SymbolicSeries;
+use sms_core::lookup::LookupTable;
+use sms_core::segstore::SegmentStore;
+use sms_core::separators::SeparatorMethod;
+use sms_core::timeseries::TimeSeries;
+
+/// Encodes `values` at `bits` resolution into a regular 900 s series.
+fn encode_series(values: &[f64], bits: u8) -> (LookupTable, SymbolicSeries) {
+    let table = LookupTable::learn(
+        SeparatorMethod::Median,
+        Alphabet::with_resolution(bits).unwrap(),
+        values,
+    )
+    .unwrap();
+    let ts = TimeSeries::from_regular(0, 900, values).unwrap();
+    let series = sms_core::horizontal::horizontal_segmentation(&ts, &table).unwrap();
+    (table, series)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_read_equals_reencode_at_coarser_resolution(
+        values in prop::collection::vec(0.0f64..3000.0, 8..200),
+        bits in 1u8..=6,
+    ) {
+        let (table, series) = encode_series(&values, bits);
+        let mut store = SegmentStore::new();
+        store.append(7, &series).unwrap();
+
+        for r in 1..=bits {
+            // pack → truncate-to-r → unpack ...
+            let packed = store.read_truncated(7, i64::MIN, i64::MAX, r).unwrap();
+            prop_assert_eq!(packed.resolution_bits(), r);
+            // ... equals the in-memory truncation of the packed series ...
+            let truncated = series.truncate_resolution(r).unwrap();
+            prop_assert_eq!(packed.symbols(), truncated.symbols());
+            prop_assert_eq!(packed.timestamps(), truncated.timestamps());
+            // ... and equals encoding the raw values at resolution r.
+            let coarse = table.coarsen(r).unwrap();
+            for (i, &v) in values.iter().enumerate() {
+                prop_assert_eq!(
+                    packed.symbols()[i],
+                    coarse.encode_value(v).unwrap(),
+                    "value {v} at index {i}, {bits} -> {r} bits"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn persisted_image_preserves_truncated_reads(
+        values in prop::collection::vec(0.0f64..3000.0, 8..120),
+        bits in 1u8..=6,
+        r in 1u8..=6,
+    ) {
+        let r = r.min(bits);
+        let (_, series) = encode_series(&values, bits);
+        let mut store = SegmentStore::new();
+        store.append(3, &series).unwrap();
+        let mut restored = SegmentStore::from_bytes(&store.to_bytes()).unwrap();
+        let a = store.read_truncated(3, i64::MIN, i64::MAX, r).unwrap();
+        let b = restored.read_truncated(3, i64::MIN, i64::MAX, r).unwrap();
+        prop_assert_eq!(a.symbols(), b.symbols());
+        prop_assert_eq!(a.timestamps(), b.timestamps());
+    }
+
+    #[test]
+    fn time_window_reads_slice_exactly(
+        values in prop::collection::vec(0.0f64..3000.0, 8..120),
+        bits in 1u8..=6,
+        lo in 0usize..100,
+        span in 1usize..100,
+    ) {
+        let (_, series) = encode_series(&values, bits);
+        let n = series.len();
+        let lo = lo % n;
+        let hi = (lo + span).min(n - 1);
+        let mut store = SegmentStore::new();
+        store.append(11, &series).unwrap();
+        let t0 = series.timestamps()[lo];
+        let t1 = series.timestamps()[hi];
+        let window = store.read_range(11, t0, t1).unwrap();
+        prop_assert_eq!(window.symbols(), &series.symbols()[lo..=hi]);
+        prop_assert_eq!(window.timestamps(), &series.timestamps()[lo..=hi]);
+    }
+
+    #[test]
+    fn recompression_roundtrips_any_alphabet(
+        values in prop::collection::vec(0.0f64..3000.0, 8..200),
+        bits in 1u8..=6,
+    ) {
+        let (_, series) = encode_series(&values, bits);
+        let mut store = SegmentStore::new();
+        store.append(1, &series).unwrap();
+        store.recompress().unwrap();
+        let m = store.segments()[0];
+        let blob = store.recompress_segment(&m).unwrap();
+        let (got_bits, ranks) = sms_core::segstore::decompress_segment(&blob).unwrap();
+        prop_assert_eq!(got_bits, bits);
+        prop_assert_eq!(ranks, series.ranks());
+    }
+}

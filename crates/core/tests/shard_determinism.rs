@@ -1,0 +1,123 @@
+//! Cross-topology determinism for the sharded fleet engine: a fleet with
+//! injected faults (empty series that fail encoding) must produce
+//! byte-identical output — same symbols, same timestamps, same quarantine
+//! set, and a byte-identical persisted segment-store image — at every
+//! shard count in {1, 4, 16} crossed with every worker count in {1, 2, 8}.
+//! Shard topology is an operational knob; it must never leak into data.
+
+use sms_core::pipeline::CodecBuilder;
+use sms_core::segstore::SegmentStore;
+use sms_core::separators::SeparatorMethod;
+use sms_core::shard::{splitmix64, ShardedEngineConfig, ShardedFleetEngine};
+use sms_core::timeseries::TimeSeries;
+
+fn builder() -> CodecBuilder {
+    CodecBuilder::new().method(SeparatorMethod::Median).alphabet_size(16).unwrap().no_aggregation()
+}
+
+/// 120 houses; 13, 47 and 88 are faulted with empty series, which fail
+/// encoding with a typed error and must quarantine identically everywhere.
+fn faulted_fleet() -> Vec<(u64, TimeSeries)> {
+    (0..120u64)
+        .map(|house| {
+            if house == 13 || house == 47 || house == 88 {
+                return (house, TimeSeries::new());
+            }
+            let values: Vec<f64> = (0..96)
+                .map(|i| {
+                    let x = splitmix64(house.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64));
+                    50.0 + (x % 4000) as f64 / 10.0
+                })
+                .collect();
+            (house, TimeSeries::from_regular(0, 900, &values).expect("regular series"))
+        })
+        .collect()
+}
+
+/// Per-topology witness: every house's ranks, the quarantine set, and the
+/// persisted store image.
+type Witness = (Vec<Vec<u16>>, Vec<usize>, Vec<u8>);
+
+#[test]
+fn faulted_fleet_is_byte_identical_across_shard_and_worker_topologies() {
+    let fleet = faulted_fleet();
+    let mut reference: Option<Witness> = None;
+
+    for shards in [1usize, 4, 16] {
+        for workers in [1usize, 2, 8] {
+            let cfg = ShardedEngineConfig::with_shards(shards).workers(workers);
+            let mut engine = ShardedFleetEngine::new(builder(), cfg).unwrap();
+            let out = engine.encode_batch(&fleet).unwrap();
+
+            assert_eq!(out.series.len(), fleet.len(), "indices stay aligned");
+            let ranks: Vec<Vec<u16>> = out.series.iter().map(|s| s.ranks()).collect();
+            let quarantined: Vec<usize> = out.quarantined.iter().map(|q| q.house).collect();
+            assert_eq!(
+                quarantined,
+                vec![13, 47, 88],
+                "exactly the faulted houses quarantine, in input order, at {shards}x{workers}"
+            );
+            for &q in &quarantined {
+                assert!(out.series[q].is_empty(), "quarantined house {q} gets a placeholder");
+            }
+
+            let mut store = SegmentStore::new();
+            for (i, s) in out.series.iter().enumerate() {
+                if !s.is_empty() {
+                    store.append(fleet[i].0, s).unwrap();
+                }
+            }
+            let image = store.to_bytes();
+
+            match &reference {
+                None => reference = Some((ranks, quarantined, image)),
+                Some((r_ranks, r_quar, r_image)) => {
+                    assert_eq!(
+                        &quarantined, r_quar,
+                        "quarantine set differs at {shards} shards x {workers} workers"
+                    );
+                    assert_eq!(
+                        &ranks, r_ranks,
+                        "symbols differ at {shards} shards x {workers} workers"
+                    );
+                    assert_eq!(
+                        &image, r_image,
+                        "store image differs at {shards} shards x {workers} workers"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_in_chunks_matches_one_shot_encode() {
+    let fleet: Vec<(u64, TimeSeries)> =
+        faulted_fleet().into_iter().filter(|(_, ts)| !ts.is_empty()).collect();
+
+    let cfg = ShardedEngineConfig::with_shards(4).workers(2);
+    let mut one_shot = ShardedFleetEngine::new(builder(), cfg.clone()).unwrap();
+    let whole = one_shot.encode_batch(&fleet).unwrap();
+
+    let mut chunked = ShardedFleetEngine::new(builder(), cfg).unwrap();
+    let mut store_whole = SegmentStore::new();
+    let mut store_chunked = SegmentStore::new();
+    for (i, s) in whole.series.iter().enumerate() {
+        if !s.is_empty() {
+            store_whole.append(fleet[i].0, s).unwrap();
+        }
+    }
+    for chunk in fleet.chunks(17) {
+        let out = chunked.encode_batch(chunk).unwrap();
+        for (i, s) in out.series.iter().enumerate() {
+            if !s.is_empty() {
+                store_chunked.append(chunk[i].0, s).unwrap();
+            }
+        }
+    }
+    assert_eq!(
+        store_whole.to_bytes(),
+        store_chunked.to_bytes(),
+        "chunked streaming must persist the identical image"
+    );
+}

@@ -12,7 +12,14 @@ use sms_bench::prep::dataset;
 use sms_bench::Scale;
 
 fn main() -> Result<()> {
-    let scale = Scale { days: 10, interval_secs: 120, forest_trees: 20, cv_folds: 10, seed: 7 };
+    let scale = Scale {
+        days: 10,
+        interval_secs: 120,
+        forest_trees: 20,
+        cv_folds: 10,
+        seed: 7,
+        ..Scale::quick()
+    };
     println!("generating {} days × 6 houses at {}s sampling…", scale.days, scale.interval_secs);
     let ds = dataset(scale)?;
 

@@ -11,7 +11,14 @@ use sms_bench::prep::dataset;
 use sms_bench::Scale;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale = Scale { days: 10, interval_secs: 120, forest_trees: 20, cv_folds: 10, seed: 7 };
+    let scale = Scale {
+        days: 10,
+        interval_secs: 120,
+        forest_trees: 20,
+        cv_folds: 10,
+        seed: 7,
+        ..Scale::quick()
+    };
     println!("generating {} days × 6 houses…", scale.days);
     let ds = dataset(scale)?;
 

@@ -15,7 +15,14 @@ use sms_bench::privacy_exp::{render_privacy, run_privacy};
 use sms_bench::Scale;
 
 fn main() -> Result<()> {
-    let scale = Scale { days: 10, interval_secs: 120, forest_trees: 15, cv_folds: 5, seed: 31 };
+    let scale = Scale {
+        days: 10,
+        interval_secs: 120,
+        forest_trees: 15,
+        cv_folds: 5,
+        seed: 31,
+        ..Scale::quick()
+    };
     println!("generating {} days × 6 houses…", scale.days);
     let ds = dataset(scale)?;
 

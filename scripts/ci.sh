@@ -50,6 +50,10 @@ if [[ $quick -eq 0 ]]; then
     BENCH_ENCODE_SMOKE=1 BENCH_ENCODE_BASELINE="$PWD/BENCH_encode.json" \
         cargo bench -q -p sms-bench --bench encode
 
+    echo "==> sharded fleet + segment store: scale bench smoke + regression gate"
+    BENCH_SCALE_SMOKE=1 BENCH_SCALE_BASELINE="$PWD/BENCH_scale.json" \
+        cargo bench -q -p sms-bench --bench scale
+
     echo "==> parallel evaluation determinism"
     cargo test -q -p sms-ml --test eval_determinism
 

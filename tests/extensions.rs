@@ -94,7 +94,14 @@ fn markov_forecaster_competitive_on_meter_data() {
     use sms_bench::prep::dataset;
     use sms_bench::Scale;
 
-    let scale = Scale { days: 10, interval_secs: 300, forest_trees: 8, cv_folds: 3, seed: 77 };
+    let scale = Scale {
+        days: 10,
+        interval_secs: 300,
+        forest_trees: 8,
+        cv_folds: 3,
+        seed: 77,
+        ..Scale::quick()
+    };
     let ds = dataset(scale).unwrap();
     let markov = ForecastFigure::run(&ds, scale, ForecastModel::Markov).unwrap();
     assert!(markov.skipped.contains(&5));
@@ -148,7 +155,14 @@ fn feature_ranking_identifies_informative_hours() {
     use sms_bench::prep::{dataset, per_house_tables, symbolic_day_vectors, PAPER_MIN_COVERAGE};
     use sms_bench::Scale;
 
-    let scale = Scale { days: 10, interval_secs: 300, forest_trees: 4, cv_folds: 2, seed: 55 };
+    let scale = Scale {
+        days: 10,
+        interval_secs: 300,
+        forest_trees: 4,
+        cv_folds: 2,
+        seed: 55,
+        ..Scale::quick()
+    };
     let ds = dataset(scale).unwrap();
     let tables =
         per_house_tables(&ds, SeparatorMethod::Median, 4, scale.training_prefix_secs()).unwrap();
@@ -165,7 +179,14 @@ fn reports_render_on_real_evaluation() {
     use sms_bench::Scale;
     use sms_ml::naive_bayes::NaiveBayes;
 
-    let scale = Scale { days: 8, interval_secs: 300, forest_trees: 4, cv_folds: 3, seed: 91 };
+    let scale = Scale {
+        days: 8,
+        interval_secs: 300,
+        forest_trees: 4,
+        cv_folds: 3,
+        seed: 91,
+        ..Scale::quick()
+    };
     let ds = dataset(scale).unwrap();
     let tables =
         per_house_tables(&ds, SeparatorMethod::Median, 4, scale.training_prefix_secs()).unwrap();
@@ -185,7 +206,14 @@ fn arff_roundtrip_preserves_cv_results() {
     use sms_bench::Scale;
     use sms_ml::naive_bayes::NaiveBayes;
 
-    let scale = Scale { days: 8, interval_secs: 300, forest_trees: 4, cv_folds: 3, seed: 13 };
+    let scale = Scale {
+        days: 8,
+        interval_secs: 300,
+        forest_trees: 4,
+        cv_folds: 3,
+        seed: 13,
+        ..Scale::quick()
+    };
     let ds = dataset(scale).unwrap();
     let tables =
         per_house_tables(&ds, SeparatorMethod::Median, 3, scale.training_prefix_secs()).unwrap();

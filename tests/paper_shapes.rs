@@ -9,7 +9,14 @@ use sms_bench::prep::dataset;
 use sms_bench::Scale;
 
 fn scale() -> Scale {
-    Scale { days: 10, interval_secs: 180, forest_trees: 12, cv_folds: 5, seed: 2013 }
+    Scale {
+        days: 10,
+        interval_secs: 180,
+        forest_trees: 12,
+        cv_folds: 5,
+        seed: 2013,
+        ..Scale::quick()
+    }
 }
 
 fn spec(method: SeparatorMethod, window_secs: i64, bits: u8) -> EncodingSpec {
@@ -114,7 +121,14 @@ fn symbolic_processing_is_not_slower_than_fullrate_raw() {
     // slower by two orders of magnitude." The gap scales with the sampling
     // rate, so this check uses finer sampling than the other shape tests
     // (the full REDD rate of 1 Hz widens it further).
-    let scale = Scale { days: 8, interval_secs: 20, forest_trees: 8, cv_folds: 5, seed: 2013 };
+    let scale = Scale {
+        days: 8,
+        interval_secs: 20,
+        forest_trees: 8,
+        cv_folds: 5,
+        seed: 2013,
+        ..Scale::quick()
+    };
     let ds = dataset(scale).unwrap();
     let symbolic = run_symbolic(
         &ds,
