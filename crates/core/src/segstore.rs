@@ -65,6 +65,12 @@ const HEADER_BYTES: u64 = 4 + 8 + 8;
 /// overload because `resolution_bits ≤ 16 < 0x80`.
 const RECOMPRESS_RAW_ESCAPE: u8 = 0x80;
 
+/// Hard ceiling on the symbol count a re-compressed segment may announce.
+/// [`decompress_segment`] sizes its output from an untrusted varint; this cap
+/// bounds that allocation (2^27 ranks = 256 MiB) against hostile headers. Far
+/// above any real segment — a year of 1-second readings is ~31.5 M symbols.
+const MAX_DECODE_SYMBOLS: u64 = 1 << 27;
+
 /// Counters for one [`SegmentStore`]; rendered as the `"store"` block of
 /// [`crate::engine::EngineStats::to_json`] and the Prometheus exposition.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -145,8 +151,10 @@ impl SegmentMeta {
             0
         } else {
             // self.interval > 0 here: count == 1 segments were handled by
-            // the disjointness check above (start == end).
-            ((t0 - self.start + self.interval - 1) / self.interval) as u64
+            // the disjointness check above (start == end). Widen to i128:
+            // t0 - start fits i64 (t0 <= end, extent validated), but adding
+            // interval - 1 can pass i64::MAX for near-extent intervals.
+            (((t0 - self.start) as i128 + self.interval as i128 - 1) / self.interval as i128) as u64
         };
         let last = if t1 >= self.end() {
             self.count - 1
@@ -472,7 +480,9 @@ impl SegmentStore {
             // truncation preserves rank order, so the footer prunes.
             let shift = m.resolution_bits - plen;
             let lo = prefix.rank() << shift;
-            let hi = ((prefix.rank() as u32 + 1) << shift) as u16 - 1;
+            // In u32: at 16-bit resolution the top prefix's exclusive bound
+            // is 65536, which wraps to 0 in u16 and would underflow below.
+            let hi = (((prefix.rank() as u32 + 1) << shift) - 1) as u16;
             if m.max_rank < lo || m.min_rank > hi {
                 pruned += 1;
                 continue;
@@ -758,6 +768,18 @@ fn validate_meta(m: &SegmentMeta, arena_len: u64) -> Result<()> {
             m.interval
         )));
     }
+    // `end()` computes start + (count-1)*interval unchecked; a hostile meta
+    // (e.g. interval = i64::MAX, count >= 2) must not reach query arithmetic.
+    let end_in_range = i64::try_from(m.count - 1)
+        .ok()
+        .and_then(|rows| rows.checked_mul(m.interval))
+        .and_then(|span| m.start.checked_add(span));
+    if end_in_range.is_none() {
+        return Err(Error::Store(format!(
+            "segment time extent overflows i64 (start {}, interval {}, count {})",
+            m.start, m.interval, m.count
+        )));
+    }
     let bits = m
         .count
         .checked_mul(m.resolution_bits as u64)
@@ -884,6 +906,11 @@ pub fn decompress_segment(bytes: &[u8]) -> Result<(u8, Vec<u16>)> {
         return Err(Error::Store(format!("re-compressed resolution {bits} invalid")));
     }
     let count = read_varint(bytes, &mut at)?;
+    if count > MAX_DECODE_SYMBOLS {
+        return Err(Error::Store(format!(
+            "re-compressed segment announces {count} symbols (cap {MAX_DECODE_SYMBOLS})"
+        )));
+    }
     if first & RECOMPRESS_RAW_ESCAPE != 0 {
         // Raw escape: the bit-packed payload follows verbatim. Reconcile
         // the announced count against the buffer before any allocation.
@@ -939,6 +966,13 @@ pub fn decompress_segment(bytes: &[u8]) -> Result<(u8, Vec<u16>)> {
         let (rank, run) = *dict
             .get(idx)
             .ok_or_else(|| Error::Store(format!("token index {idx} outside the dictionary")))?;
+        // Hostile run lengths must not expand past the announced count —
+        // check before pushing so a single token can't exhaust memory.
+        if run > count - out.len() as u64 {
+            return Err(Error::Store(format!(
+                "run of {run} overflows the announced {count} symbols"
+            )));
+        }
         for _ in 0..run {
             out.push(rank);
         }
@@ -1118,6 +1152,64 @@ mod tests {
         let off_at = HEADER_BYTES as usize + 32;
         evil[off_at..off_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(matches!(SegmentStore::from_bytes(&evil), Err(Error::Store(_))));
+        // Hostile interval: i64::MAX on a multi-symbol segment would make
+        // end() = start + (count-1)*interval overflow in every later query.
+        let mut evil = img.clone();
+        let ivl_at = HEADER_BYTES as usize + 16;
+        evil[ivl_at..ivl_at + 8].copy_from_slice(&i64::MAX.to_le_bytes());
+        assert!(matches!(SegmentStore::from_bytes(&evil), Err(Error::Store(_))));
+    }
+
+    #[test]
+    fn count_prefix_at_max_resolution_does_not_overflow() {
+        // 16-bit segments: the top prefix's exclusive rank bound is 65536,
+        // which wraps to 0 as u16 — the old hi computation underflowed.
+        let mut s = SymbolicSeries::new(16).unwrap();
+        for i in 0..32u16 {
+            s.push(i as i64 * 900, Symbol::from_rank(i * 2048, 16).unwrap()).unwrap();
+        }
+        let mut store = SegmentStore::new();
+        store.append(11, &s).unwrap();
+        for plen in 1..=3u8 {
+            for code in 0..(1u16 << plen) {
+                let prefix = Symbol::from_rank(code, plen).unwrap();
+                let got = store.count_prefix(11, i64::MIN, i64::MAX, prefix).unwrap();
+                let expected =
+                    s.symbols().iter().filter(|sym| prefix.covers(**sym)).count() as u64;
+                assert_eq!(got, expected, "prefix {code}/{plen}");
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_recompressed_buffers_are_typed_errors() {
+        // Announced count far past the decode cap: must error before the
+        // output allocation, not panic on with_capacity.
+        let mut evil = vec![4u8];
+        write_varint(&mut evil, u64::MAX); // count
+        write_varint(&mut evil, 1); // tokens
+        write_varint(&mut evil, 1); // dict entries
+        write_varint(&mut evil, 0); // rank
+        write_varint(&mut evil, u64::MAX); // run
+        evil.push(0); // index stream
+        assert!(matches!(decompress_segment(&evil), Err(Error::Store(_))));
+
+        // Count under the cap but a dictionary run that expands way past
+        // it: must error at the offending token, not push 2^40 ranks.
+        let mut evil = vec![4u8];
+        write_varint(&mut evil, 10); // count
+        write_varint(&mut evil, 2); // tokens
+        write_varint(&mut evil, 1); // dict entries
+        write_varint(&mut evil, 3); // rank
+        write_varint(&mut evil, 1u64 << 40); // run
+        evil.push(0); // index stream
+        assert!(matches!(decompress_segment(&evil), Err(Error::Store(_))));
+
+        // Raw escape with a count its body can't carry.
+        let mut evil = vec![RECOMPRESS_RAW_ESCAPE | 4u8];
+        write_varint(&mut evil, u64::MAX / 32); // count
+        evil.push(0);
+        assert!(matches!(decompress_segment(&evil), Err(Error::Store(_))));
     }
 
     #[test]
