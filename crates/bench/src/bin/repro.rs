@@ -6,7 +6,7 @@
 //! repro validate-metrics <FILE>
 //! experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!              table1 classification compression drift privacy fleet ingest
-//!              gateway quality encode-bench scale all
+//!              gateway quality encode-bench scale crash all
 //! ```
 //!
 //! `--parallel` routes the `fleet` experiment through the multi-threaded
@@ -31,6 +31,15 @@
 //! (raw vs packed vs re-compressed) and query latency percentiles, and
 //! verifying byte-identity against the serial codec and across shard/worker
 //! topologies. `--shards N` sets the main run's shard count.
+//!
+//! The `crash` experiment sweeps crash points over the durable segment
+//! store ([`sms_core::durable`]): the storage backend is killed after every
+//! Nth mutating operation across a faulted fleet run, the store is
+//! recovered from the surviving bytes, and the recovered image (full
+//! resolution and truncated reads) must be byte-identical to an uncrashed
+//! reference. A shard-failover leg and a loopback-gateway leg prove zero
+//! acknowledged-frame loss end to end; `--houses N` and `--shards N` size
+//! the sweep.
 //!
 //! `--metrics` exports the run's [`sms_core::telemetry`] registry — every
 //! catalog counter, gauge and histogram plus the recorded spans — after the
@@ -70,7 +79,7 @@ fn usage() -> ! {
          \x20      repro validate-metrics <FILE>\n\
          experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9\n\
          table1 classification compression drift privacy clustering ablation sax markov fidelity \
-         arff fleet ingest gateway quality encode-bench scale all\n\
+         arff fleet ingest gateway quality encode-bench scale crash all\n\
          --scale: a preset (`quick`, `paper`) optionally followed by comma-\n\
          separated key=value overrides (days/interval/trees/folds/seed/houses),\n\
          e.g. `--scale paper,houses=1000000`\n\
@@ -277,8 +286,30 @@ fn run_with_opts(
         "gateway" => run_gateway_exp(scale, opts, reg),
         "quality" => run_quality_exp(scale, opts.faults, reg),
         "scale" => run_scale_exp(scale, opts, reg),
+        "crash" => run_crash_exp(scale, opts, reg),
         _ => run(experiment, scale, eval_workers, reg),
     }
+}
+
+/// Sweep crash points over the durable segment store: kill the storage
+/// backend after every Nth operation, recover, and prove the recovered
+/// store byte-identical to an uncrashed reference — plus the shard-failover
+/// and gateway-path legs.
+fn run_crash_exp(
+    scale: Scale,
+    opts: ParallelOpts,
+    reg: &Registry,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use sms_bench::crash_exp::{render_crash, run_crash};
+
+    let shards = opts.shards.unwrap_or(3);
+    let workers = opts.workers.unwrap_or(2).max(1);
+    let report = run_crash(scale, shards, workers)?;
+    report.stats.register_into(reg);
+    print!("{}", render_crash(&report));
+    println!("crash_bench: {}", report.to_json());
+    println!("engine_stats: {}", report.stats.to_json());
+    Ok(())
 }
 
 /// Stream a synthetic fleet through the sharded engine into the bit-packed

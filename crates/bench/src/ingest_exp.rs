@@ -23,7 +23,7 @@ use std::collections::BTreeSet;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 use crate::scale::Scale;
 use meterdata::generator::fleet_series;
@@ -78,6 +78,32 @@ pub const ALL_SERIES_FAULTS: [SeriesFault; 4] =
 
 /// Longest sample run a single series fault touches.
 const MAX_SERIES_SPAN: usize = 8;
+
+/// One kind of deterministic storage-level fault, expressed as a
+/// [`sms_core::durable::FaultPlan`] for the durable layer's
+/// [`FaultStorage`](sms_core::durable::FaultStorage) backend: where [`Fault`]
+/// corrupts bytes *in flight* and [`SeriesFault`] corrupts samples *before
+/// encoding*, these corrupt bytes *at rest* — a disk that dies mid-write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// The backend fails hard at a seeded mutating call (power loss).
+    FailAtOp,
+    /// The crashing append persists a seeded prefix of its bytes before
+    /// failing (a short write into the log tail).
+    ShortWrite,
+    /// Like [`StorageFault::ShortWrite`], but the last surviving un-synced
+    /// byte is also bit-flipped, so recovery must take the CRC path rather
+    /// than the short-record path.
+    TornTail,
+}
+
+/// All storage fault kinds, in the order
+/// [`FaultInjector::storage_plan_nth`] cycles them.
+pub const ALL_STORAGE_FAULTS: [StorageFault; 3] =
+    [StorageFault::FailAtOp, StorageFault::ShortWrite, StorageFault::TornTail];
+
+/// Longest short-write prefix a storage fault keeps.
+const MAX_SHORT_WRITE_KEEP: u64 = 32;
 
 /// Wattage of an injected reset spike — far above any plausible household
 /// draw, so the sanitizer's spike policy always sees it.
@@ -191,6 +217,43 @@ impl FaultInjector {
     ) -> (SeriesFault, usize) {
         let fault = ALL_SERIES_FAULTS[(n % ALL_SERIES_FAULTS.len() as u64) as usize];
         (fault, self.corrupt_series(fault, samples))
+    }
+
+    /// Builds a seeded [`sms_core::durable::FaultPlan`] for `fault`,
+    /// crashing at a mutating call drawn from `1..=max_ops` (`max_ops` is
+    /// clamped to at least 1). The tear seed comes from the same RNG stream
+    /// as every other draw, so a `(seed, call sequence)` pair replays the
+    /// exact crash.
+    pub fn storage_plan(
+        &mut self,
+        fault: StorageFault,
+        max_ops: u64,
+    ) -> sms_core::durable::FaultPlan {
+        let op = self.rng.gen_range(1..=max_ops.max(1));
+        let mut plan = sms_core::durable::FaultPlan::crash_at(op, self.rng.next_u64());
+        match fault {
+            StorageFault::FailAtOp => {}
+            StorageFault::ShortWrite => {
+                plan.short_write_keep = Some(self.rng.gen_range(0..=MAX_SHORT_WRITE_KEEP));
+            }
+            StorageFault::TornTail => {
+                plan.short_write_keep = Some(self.rng.gen_range(0..=MAX_SHORT_WRITE_KEEP));
+                plan.corrupt_torn_byte = true;
+            }
+        }
+        plan
+    }
+
+    /// Builds the `n`-th storage plan of the cycling schedule
+    /// (fail, short-write, torn-tail, fail, …); see
+    /// [`storage_plan`](Self::storage_plan).
+    pub fn storage_plan_nth(
+        &mut self,
+        n: u64,
+        max_ops: u64,
+    ) -> (StorageFault, sms_core::durable::FaultPlan) {
+        let fault = ALL_STORAGE_FAULTS[(n % ALL_STORAGE_FAULTS.len() as u64) as usize];
+        (fault, self.storage_plan(fault, max_ops))
     }
 
     /// Draws `count` distinct house indices out of `0..n_houses`
@@ -372,6 +435,38 @@ mod tests {
         };
         assert_eq!(mutate(7), mutate(7));
         assert_ne!(mutate(7).0, mutate(8).0);
+    }
+
+    #[test]
+    fn storage_plans_are_deterministic_and_shaped_per_fault() {
+        let plans = |seed: u64| -> Vec<(StorageFault, sms_core::durable::FaultPlan)> {
+            let mut inj = FaultInjector::new(seed);
+            (0..9).map(|n| inj.storage_plan_nth(n, 100)).collect()
+        };
+        assert_eq!(plans(7), plans(7));
+        assert_ne!(plans(7), plans(8));
+        for (i, (fault, plan)) in plans(7).iter().enumerate() {
+            assert_eq!(*fault, ALL_STORAGE_FAULTS[i % ALL_STORAGE_FAULTS.len()]);
+            let op = plan.crash_at_op.expect("every storage plan crashes");
+            assert!((1..=100).contains(&op));
+            match fault {
+                StorageFault::FailAtOp => {
+                    assert_eq!(plan.short_write_keep, None);
+                    assert!(!plan.corrupt_torn_byte);
+                }
+                StorageFault::ShortWrite => {
+                    assert!(plan.short_write_keep.unwrap() <= MAX_SHORT_WRITE_KEEP);
+                    assert!(!plan.corrupt_torn_byte);
+                }
+                StorageFault::TornTail => {
+                    assert!(plan.short_write_keep.unwrap() <= MAX_SHORT_WRITE_KEEP);
+                    assert!(plan.corrupt_torn_byte);
+                }
+            }
+        }
+        // max_ops = 0 is clamped, not a panic.
+        let mut inj = FaultInjector::new(1);
+        assert_eq!(inj.storage_plan(StorageFault::FailAtOp, 0).crash_at_op, Some(1));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! | Dirty-data quarantine + panic isolation | [`quality_exp::run_quality`] | `quality [--faults]` |
 //! | Encode hot-path throughput (`BENCH_encode.json`) | [`encode_bench::run_encode_bench`] | `encode-bench` |
 //! | Million-house sharded fleet + segment store (`BENCH_scale.json`) | [`scale_exp::run_scale`] | `scale [--houses N]` |
+//! | Crash-point sweep over the durable store (`BENCH_crash.json`) | [`crash_exp::run_crash`] | `crash [--houses N]` |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,6 +36,7 @@
 pub mod ablation;
 pub mod classification;
 pub mod clustering;
+pub mod crash_exp;
 pub mod drift;
 pub mod encode_bench;
 pub mod export;

@@ -1,0 +1,1327 @@
+//! Crash-safe durability under the segment store: a write-ahead log,
+//! atomic generation-numbered checkpoints, and deterministic recovery.
+//!
+//! PR 8's [`crate::segstore::SegmentStore`] "persists" only as an
+//! in-memory image — a process crash loses every acknowledged symbol,
+//! contradicting the gateway's ack-after-commit contract. This module
+//! closes that gap with the classic WAL + checkpoint discipline:
+//!
+//! * [`Storage`] — the backend trait (`open`/`append`/`read`/`sync`/
+//!   `rename`/`truncate`/…). [`FsStorage`] implements it over `std::fs`;
+//!   [`FaultStorage`] is a deterministic in-memory double that can fail,
+//!   short-write, or tear any operation at the Nth call, so every crash
+//!   point is replayable bit-for-bit.
+//! * [`DurableStore`] — a [`SegmentStore`] fronted by a WAL of
+//!   length-prefixed, CRC32-checksummed records with a group-commit
+//!   fsync policy ([`DurableConfig::group_commit`]) and periodic atomic
+//!   checkpoints: temp file + checksum footer + rename + directory sync,
+//!   tracked by a generation-numbered manifest. The old generation's WAL
+//!   is dropped only **after** its successor checkpoint is durable.
+//! * Recovery ([`DurableStore::open`]) = latest valid checkpoint + WAL
+//!   replay. A torn WAL tail is scanned, verified, and truncated at the
+//!   first bad record — a typed count in [`RecoveryReport::discarded`],
+//!   never a panic. A corrupt newest checkpoint falls back one
+//!   generation (whose WAL is still on disk, because WAL disposal waits
+//!   for checkpoint durability).
+//! * [`DurableFleet`] — one durable store per shard behind the
+//!   consistent-hash ring of [`crate::shard::ShardRouter`]. A shard whose
+//!   backend returns [`Error::Io`] is marked dead; its houses
+//!   deterministically re-route to the successor vnodes
+//!   ([`crate::shard::ShardRouter::route_alive`]).
+//!
+//! ## Durability invariants
+//!
+//! 1. **Acknowledged ⇒ durable.** [`DurableStore::commit`] returns only
+//!    after the WAL is fsynced; a record is ack-able to its producer only
+//!    after the commit covering it returns `Ok`.
+//! 2. **Recovered state is a prefix.** Recovery yields exactly the store
+//!    produced by the first `j` appended records for some `j ≥` the
+//!    number of committed records — never a reordering, never a torn
+//!    segment. The paper's prefix-truncation law makes the check crisp:
+//!    the recovered image must be byte-identical to the reference prefix
+//!    at **every** resolution `r ∈ 1..=b`.
+//! 3. **Checkpoints are atomic.** A checkpoint is visible only after its
+//!    image (with the CRC32 footer of [`SegmentStore::to_bytes`]) is
+//!    fully synced, renamed into place, the directory synced, and its
+//!    generation appended to the manifest — so recovery can always trust
+//!    a manifest-listed generation or fall back one.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+
+use crate::error::{Error, Result};
+use crate::horizontal::SymbolicSeries;
+use crate::segstore::SegmentStore;
+use crate::shard::ShardRouter;
+use crate::telemetry::Registry;
+
+// --- CRC32 ----------------------------------------------------------------
+
+/// The CRC32 (IEEE 802.3, reflected, `0xEDB88320`) lookup table, built at
+/// compile time — the workspace has no crates.io access, so the checksum
+/// is hand-rolled here and shared by the WAL, the manifest, and the
+/// segment-store image footer.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `data`.
+///
+/// ```
+/// // Check value from the CRC catalogue: crc32("123456789") = 0xCBF43926.
+/// assert_eq!(sms_core::durable::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// --- storage backends -----------------------------------------------------
+
+/// A flat-namespace storage backend: named append-only-ish files in one
+/// directory. Every mutating call may return [`Error::Io`]; callers must
+/// then treat the backend as torn until recovery re-opens it.
+pub trait Storage {
+    /// Creates `file` empty if it does not exist (leaves existing content
+    /// intact). The new directory entry is durable only after
+    /// [`sync_dir`](Self::sync_dir).
+    fn open(&mut self, file: &str) -> Result<()>;
+    /// Appends `data` to `file`. Durable only after [`sync`](Self::sync).
+    fn append(&mut self, file: &str, data: &[u8]) -> Result<()>;
+    /// The full content of `file`.
+    fn read(&mut self, file: &str) -> Result<Vec<u8>>;
+    /// Whether `file` exists (metadata-only; never fault-injected).
+    fn exists(&self, file: &str) -> bool;
+    /// Makes `file`'s content durable (fsync).
+    fn sync(&mut self, file: &str) -> Result<()>;
+    /// Makes pending namespace changes (creates, renames, removes)
+    /// durable (fsync of the directory).
+    fn sync_dir(&mut self) -> Result<()>;
+    /// Atomically replaces `to` with `from`. Durable only after
+    /// [`sync_dir`](Self::sync_dir).
+    fn rename(&mut self, from: &str, to: &str) -> Result<()>;
+    /// Truncates `file` to `len` bytes.
+    fn truncate(&mut self, file: &str, len: u64) -> Result<()>;
+    /// Removes `file` if present. Durable only after
+    /// [`sync_dir`](Self::sync_dir).
+    fn remove(&mut self, file: &str) -> Result<()>;
+}
+
+impl<S: Storage + ?Sized> Storage for &mut S {
+    fn open(&mut self, file: &str) -> Result<()> {
+        (**self).open(file)
+    }
+    fn append(&mut self, file: &str, data: &[u8]) -> Result<()> {
+        (**self).append(file, data)
+    }
+    fn read(&mut self, file: &str) -> Result<Vec<u8>> {
+        (**self).read(file)
+    }
+    fn exists(&self, file: &str) -> bool {
+        (**self).exists(file)
+    }
+    fn sync(&mut self, file: &str) -> Result<()> {
+        (**self).sync(file)
+    }
+    fn sync_dir(&mut self) -> Result<()> {
+        (**self).sync_dir()
+    }
+    fn rename(&mut self, from: &str, to: &str) -> Result<()> {
+        (**self).rename(from, to)
+    }
+    fn truncate(&mut self, file: &str, len: u64) -> Result<()> {
+        (**self).truncate(file, len)
+    }
+    fn remove(&mut self, file: &str) -> Result<()> {
+        (**self).remove(file)
+    }
+}
+
+fn io_err(op: &str, file: &str, e: std::io::Error) -> Error {
+    Error::Io(format!("{op} {file}: {e}"))
+}
+
+/// [`Storage`] over a real directory via `std::fs`.
+#[derive(Debug)]
+pub struct FsStorage {
+    root: std::path::PathBuf,
+}
+
+impl FsStorage {
+    /// A backend rooted at `root`, creating the directory if needed.
+    pub fn new(root: impl Into<std::path::PathBuf>) -> Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| io_err("create_dir_all", &root.display().to_string(), e))?;
+        Ok(FsStorage { root })
+    }
+
+    fn path(&self, file: &str) -> std::path::PathBuf {
+        self.root.join(file)
+    }
+}
+
+impl Storage for FsStorage {
+    fn open(&mut self, file: &str) -> Result<()> {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(file))
+            .map(|_| ())
+            .map_err(|e| io_err("open", file, e))
+    }
+
+    fn append(&mut self, file: &str, data: &[u8]) -> Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(file))
+            .map_err(|e| io_err("open", file, e))?;
+        f.write_all(data).map_err(|e| io_err("append", file, e))
+    }
+
+    fn read(&mut self, file: &str) -> Result<Vec<u8>> {
+        std::fs::read(self.path(file)).map_err(|e| io_err("read", file, e))
+    }
+
+    fn exists(&self, file: &str) -> bool {
+        self.path(file).exists()
+    }
+
+    fn sync(&mut self, file: &str) -> Result<()> {
+        std::fs::File::open(self.path(file))
+            .and_then(|f| f.sync_all())
+            .map_err(|e| io_err("sync", file, e))
+    }
+
+    fn sync_dir(&mut self) -> Result<()> {
+        // Windows cannot open a directory as a File; directory sync is a
+        // POSIX notion. Failing soft there would hide bugs on the platform
+        // CI actually runs on, so only non-Unix downgrades to a no-op.
+        #[cfg(unix)]
+        {
+            std::fs::File::open(&self.root)
+                .and_then(|f| f.sync_all())
+                .map_err(|e| io_err("sync_dir", &self.root.display().to_string(), e))
+        }
+        #[cfg(not(unix))]
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<()> {
+        std::fs::rename(self.path(from), self.path(to)).map_err(|e| io_err("rename", from, e))
+    }
+
+    fn truncate(&mut self, file: &str, len: u64) -> Result<()> {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.path(file))
+            .map_err(|e| io_err("open", file, e))?;
+        f.set_len(len).map_err(|e| io_err("truncate", file, e))
+    }
+
+    fn remove(&mut self, file: &str) -> Result<()> {
+        match std::fs::remove_file(self.path(file)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err("remove", file, e)),
+        }
+    }
+}
+
+/// A deterministic fault plan for [`FaultStorage`]: which mutating call
+/// fails, and what the injected crash leaves behind.
+///
+/// Plans are plain data so [`sms_bench`'s fault
+/// injector](../../sms_bench/ingest_exp) can generate them from the same
+/// seeded machinery as its stream/series faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// 1-based index of the mutating call that fails (the "crash"). Every
+    /// later mutating call also fails. `None` = never fail.
+    pub crash_at_op: Option<u64>,
+    /// If the crashing call is an `append`, persist this many of its bytes
+    /// (a short write) before failing. `None` = the crashing append writes
+    /// nothing.
+    pub short_write_keep: Option<u64>,
+    /// Seed deciding, per file, how much of the un-synced tail survives
+    /// into [`FaultStorage::crash_view`] — the torn-tail dial.
+    pub tear_seed: u64,
+    /// Additionally flip one bit in the last surviving un-synced byte, so
+    /// torn tails exercise the CRC path, not just the length check.
+    pub corrupt_torn_byte: bool,
+}
+
+impl FaultPlan {
+    /// A plan that crashes at mutating call `op` (1-based) with `seed`
+    /// driving tail survival.
+    pub fn crash_at(op: u64, seed: u64) -> Self {
+        FaultPlan { crash_at_op: Some(op), tear_seed: seed, ..FaultPlan::default() }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct MemFile {
+    data: Vec<u8>,
+    synced_len: usize,
+}
+
+/// Deterministic in-memory [`Storage`] with fault injection.
+///
+/// Models a crash-consistent device: content synced via [`Storage::sync`]
+/// and namespace changes synced via [`Storage::sync_dir`] survive a
+/// crash; anything newer may be lost or torn. Mutating calls are counted,
+/// and the call whose 1-based index equals
+/// [`FaultPlan::crash_at_op`] fails with [`Error::Io`] — as does every
+/// mutating call after it. [`crash_view`](Self::crash_view) then produces
+/// the storage a restarted process would find, with un-synced tails
+/// deterministically torn by [`FaultPlan::tear_seed`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultStorage {
+    /// Live namespace: name → file id.
+    live: BTreeMap<String, u64>,
+    /// Namespace at the last `sync_dir` — what a crash preserves.
+    durable: BTreeMap<String, u64>,
+    /// File contents by id (never garbage-collected; ids are unique).
+    contents: BTreeMap<u64, MemFile>,
+    next_id: u64,
+    plan: FaultPlan,
+    ops: u64,
+    crashed: bool,
+}
+
+impl FaultStorage {
+    /// Fault-free storage (useful as the recovery target of
+    /// [`crash_view`](Self::crash_view)).
+    pub fn new() -> Self {
+        FaultStorage::default()
+    }
+
+    /// Storage that fails per `plan`.
+    pub fn with_plan(plan: FaultPlan) -> Self {
+        FaultStorage { plan, ..FaultStorage::default() }
+    }
+
+    /// Mutating calls observed so far (the sweep axis of `repro crash`).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Whether the injected crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Counts one mutating call; returns the injected error at and after
+    /// the planned crash point.
+    fn tick(&mut self, op: &str) -> Result<()> {
+        if self.crashed {
+            return Err(Error::Io(format!("{op}: storage crashed (injected)")));
+        }
+        self.ops += 1;
+        if Some(self.ops) == self.plan.crash_at_op {
+            self.crashed = true;
+            return Err(Error::Io(format!("{op}: injected crash at op {}", self.ops)));
+        }
+        Ok(())
+    }
+
+    fn live_file(&mut self, file: &str) -> Result<&mut MemFile> {
+        let id = *self.live.get(file).ok_or_else(|| Error::Io(format!("{file}: no such file")))?;
+        Ok(self.contents.get_mut(&id).expect("live id has content"))
+    }
+
+    /// The storage a restarted process finds after the crash: the durable
+    /// namespace, each file cut to its synced length plus a
+    /// `tear_seed`-determined prefix of its un-synced tail (optionally
+    /// with one flipped bit). Deterministic — the same plan and history
+    /// always yield the same view. The view itself is fault-free.
+    pub fn crash_view(&self) -> FaultStorage {
+        let mut out = FaultStorage::new();
+        for (name, &id) in &self.durable {
+            let f = &self.contents[&id];
+            let unsynced = f.data.len() - f.synced_len;
+            let survive = if unsynced == 0 {
+                0
+            } else {
+                let mut h = self.plan.tear_seed ^ crc32(name.as_bytes()) as u64;
+                h = crate::shard::splitmix64(h);
+                (h % (unsynced as u64 + 1)) as usize
+            };
+            let mut data = f.data[..f.synced_len + survive].to_vec();
+            if self.plan.corrupt_torn_byte && survive > 0 {
+                let at = data.len() - 1;
+                data[at] ^= 1;
+            }
+            let new_id = out.next_id;
+            out.next_id += 1;
+            out.contents.insert(new_id, MemFile { synced_len: data.len(), data });
+            out.live.insert(name.clone(), new_id);
+            out.durable.insert(name.clone(), new_id);
+        }
+        out
+    }
+}
+
+impl Storage for FaultStorage {
+    fn open(&mut self, file: &str) -> Result<()> {
+        self.tick("open")?;
+        if !self.live.contains_key(file) {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.contents.insert(id, MemFile::default());
+            self.live.insert(file.to_string(), id);
+        }
+        Ok(())
+    }
+
+    fn append(&mut self, file: &str, data: &[u8]) -> Result<()> {
+        if let Err(e) = self.tick("append") {
+            // The crashing append may short-write a prefix before failing.
+            if self.ops == self.plan.crash_at_op.unwrap_or(0) {
+                if let Some(keep) = self.plan.short_write_keep {
+                    let keep = (keep as usize).min(data.len());
+                    if let Ok(f) = self.live_file(file) {
+                        f.data.extend_from_slice(&data[..keep]);
+                    }
+                }
+            }
+            return Err(e);
+        }
+        self.live_file(file)?.data.extend_from_slice(data);
+        Ok(())
+    }
+
+    fn read(&mut self, file: &str) -> Result<Vec<u8>> {
+        Ok(self.live_file(file)?.data.clone())
+    }
+
+    fn exists(&self, file: &str) -> bool {
+        self.live.contains_key(file)
+    }
+
+    fn sync(&mut self, file: &str) -> Result<()> {
+        self.tick("sync")?;
+        let f = self.live_file(file)?;
+        f.synced_len = f.data.len();
+        Ok(())
+    }
+
+    fn sync_dir(&mut self) -> Result<()> {
+        self.tick("sync_dir")?;
+        self.durable = self.live.clone();
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<()> {
+        self.tick("rename")?;
+        let id =
+            self.live.remove(from).ok_or_else(|| Error::Io(format!("{from}: no such file")))?;
+        self.live.insert(to.to_string(), id);
+        Ok(())
+    }
+
+    fn truncate(&mut self, file: &str, len: u64) -> Result<()> {
+        self.tick("truncate")?;
+        let f = self.live_file(file)?;
+        let len = (len as usize).min(f.data.len());
+        f.data.truncate(len);
+        f.synced_len = f.synced_len.min(len);
+        Ok(())
+    }
+
+    fn remove(&mut self, file: &str) -> Result<()> {
+        self.tick("remove")?;
+        self.live.remove(file);
+        Ok(())
+    }
+}
+
+// --- WAL + manifest wire formats ------------------------------------------
+
+/// Manifest file name (append-only generation records).
+const MANIFEST: &str = "MANIFEST";
+/// Checkpoint temp file (renamed into place on commit).
+const CKPT_TMP: &str = "ckpt.tmp";
+
+fn ckpt_name(generation: u64) -> String {
+    format!("ckpt-{generation:016x}.img")
+}
+
+fn wal_name(generation: u64) -> String {
+    format!("wal-{generation:016x}.log")
+}
+
+/// One WAL/manifest record header: payload length then CRC32 of the
+/// payload, both LE u32.
+const RECORD_HEADER: usize = 8;
+
+fn encode_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Outcome of scanning a record stream: byte offset of the last valid
+/// record's end, the valid payload slices, and whether a bad/torn record
+/// stopped the scan.
+struct RecordScan<'a> {
+    payloads: Vec<&'a [u8]>,
+    valid_len: u64,
+    torn: bool,
+}
+
+/// Scans `len | crc | payload` records, stopping (never panicking) at the
+/// first record whose length runs past the buffer or whose CRC fails.
+fn scan_records(buf: &[u8]) -> RecordScan<'_> {
+    let mut payloads = Vec::new();
+    let mut at = 0usize;
+    while buf.len() - at >= RECORD_HEADER {
+        let len = u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes")) as usize;
+        let want = u32::from_le_bytes(buf[at + 4..at + 8].try_into().expect("4 bytes"));
+        let Some(end) = at.checked_add(RECORD_HEADER).and_then(|s| s.checked_add(len)) else {
+            return RecordScan { payloads, valid_len: at as u64, torn: true };
+        };
+        if end > buf.len() {
+            return RecordScan { payloads, valid_len: at as u64, torn: true };
+        }
+        let payload = &buf[at + RECORD_HEADER..end];
+        if crc32(payload) != want {
+            return RecordScan { payloads, valid_len: at as u64, torn: true };
+        }
+        payloads.push(payload);
+        at = end;
+    }
+    RecordScan { payloads, valid_len: at as u64, torn: at != buf.len() }
+}
+
+/// Fixed prefix of a WAL segment record:
+/// `house u64 | start i64 | interval i64 | count u64 | bits u8`.
+const WAL_SEG_FIXED: usize = 8 + 8 + 8 + 8 + 1;
+
+fn encode_segment_record(house: u64, series: &SymbolicSeries) -> Vec<u8> {
+    let ts = series.timestamps();
+    let interval = if ts.len() >= 2 { ts[1] - ts[0] } else { 0 };
+    let packed = series.pack_symbols();
+    let mut payload = Vec::with_capacity(WAL_SEG_FIXED + packed.len());
+    payload.extend_from_slice(&house.to_le_bytes());
+    payload.extend_from_slice(&ts[0].to_le_bytes());
+    payload.extend_from_slice(&interval.to_le_bytes());
+    payload.extend_from_slice(&(series.len() as u64).to_le_bytes());
+    payload.push(series.resolution_bits());
+    payload.extend_from_slice(&packed);
+    payload
+}
+
+fn decode_segment_record(payload: &[u8]) -> Result<(u64, SymbolicSeries)> {
+    if payload.len() < WAL_SEG_FIXED {
+        return Err(Error::Io(format!("WAL record of {} bytes is too short", payload.len())));
+    }
+    let house = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
+    let start = i64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+    let interval = i64::from_le_bytes(payload[16..24].try_into().expect("8 bytes"));
+    let count = u64::from_le_bytes(payload[24..32].try_into().expect("8 bytes"));
+    let bits = payload[32];
+    let count = usize::try_from(count)
+        .map_err(|_| Error::Io(format!("WAL record announces {count} symbols")))?;
+    let expect = count
+        .checked_mul(bits as usize)
+        .map(|b| b.div_ceil(8))
+        .ok_or_else(|| Error::Io("WAL record payload size overflows".to_string()))?;
+    if payload.len() - WAL_SEG_FIXED != expect {
+        return Err(Error::Io(format!(
+            "WAL record holds {} payload bytes, {count} symbols at {bits} bits need {expect}",
+            payload.len() - WAL_SEG_FIXED
+        )));
+    }
+    let series =
+        SymbolicSeries::unpack_symbols(&payload[WAL_SEG_FIXED..], bits, count, start, interval)
+            .map_err(|e| Error::Io(format!("WAL record decode: {e}")))?;
+    Ok((house, series))
+}
+
+// --- the durable store ----------------------------------------------------
+
+/// Tuning for [`DurableStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableConfig {
+    /// Group-commit width: fsync the WAL after this many appended records
+    /// (`1` = sync every record). [`DurableStore::commit`] always syncs
+    /// whatever is pending.
+    pub group_commit: usize,
+    /// Take a checkpoint after this many records since the last one
+    /// (`0` = only on explicit [`DurableStore::checkpoint`] calls).
+    pub checkpoint_every: u64,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        DurableConfig { group_commit: 32, checkpoint_every: 0 }
+    }
+}
+
+impl DurableConfig {
+    /// Sets the group-commit width (clamped to ≥ 1).
+    pub fn group_commit(mut self, records: usize) -> Self {
+        self.group_commit = records.max(1);
+        self
+    }
+
+    /// Sets the automatic checkpoint cadence (`0` disables).
+    pub fn checkpoint_every(mut self, records: u64) -> Self {
+        self.checkpoint_every = records;
+        self
+    }
+}
+
+/// What [`DurableStore::open`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Whether prior on-disk state existed (false = fresh initialization).
+    pub recovered: bool,
+    /// Generation of the checkpoint the store was rebuilt from (`0` =
+    /// no checkpoint, empty base).
+    pub generation: u64,
+    /// WAL records replayed on top of the checkpoint.
+    pub replayed: u64,
+    /// Torn/corrupt tail records discarded from the WAL (the WAL file was
+    /// truncated at the first bad record).
+    pub discarded: u64,
+    /// Checkpoint generations that were listed in the manifest but
+    /// unreadable/corrupt, forcing a one-generation fallback.
+    pub fallbacks: u64,
+}
+
+/// Counters for the durability layer; rendered as the `"durable"` block
+/// of [`crate::engine::EngineStats::to_json`] and the Prometheus
+/// exposition. Every field is a deterministic function of the append
+/// sequence and the fault plan — no wall-clock quantities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DurableStats {
+    /// Records appended to the write-ahead log.
+    pub wal_appends: u64,
+    /// Bytes appended to the write-ahead log (headers included).
+    pub wal_bytes: u64,
+    /// Backend sync calls issued (WAL group commits, checkpoint and
+    /// manifest syncs, directory syncs).
+    pub fsyncs: u64,
+    /// Torn/corrupt WAL tail records discarded during recovery.
+    pub torn_records_dropped: u64,
+    /// Checkpoints committed (manifest record durable).
+    pub checkpoints: u64,
+    /// Recoveries performed over existing on-disk state.
+    pub recoveries: u64,
+    /// WAL records replayed during recovery.
+    pub replayed_records: u64,
+    /// Shards marked dead and failed over to successor vnodes.
+    pub shard_failovers: u64,
+}
+
+impl DurableStats {
+    /// Registers this block's [`crate::telemetry::CATALOG`] metrics into
+    /// `reg` and loads their current values.
+    pub fn register_into(&self, reg: &Registry) {
+        reg.register_block("durable");
+        reg.add("sms_durable_wal_appends", self.wal_appends);
+        reg.add("sms_durable_wal_bytes", self.wal_bytes);
+        reg.add("sms_durable_fsyncs", self.fsyncs);
+        reg.add("sms_durable_torn_records_dropped", self.torn_records_dropped);
+        reg.add("sms_durable_checkpoints", self.checkpoints);
+        reg.add("sms_durable_recoveries", self.recoveries);
+        reg.add("sms_durable_replayed_records", self.replayed_records);
+        reg.add("sms_durable_shard_failovers", self.shard_failovers);
+    }
+
+    /// Adds `other`'s counters into `self` (for aggregating shards or
+    /// sweep iterations).
+    pub fn merge(&mut self, other: &DurableStats) {
+        self.wal_appends += other.wal_appends;
+        self.wal_bytes += other.wal_bytes;
+        self.fsyncs += other.fsyncs;
+        self.torn_records_dropped += other.torn_records_dropped;
+        self.checkpoints += other.checkpoints;
+        self.recoveries += other.recoveries;
+        self.replayed_records += other.replayed_records;
+        self.shard_failovers += other.shard_failovers;
+    }
+}
+
+/// A [`SegmentStore`] with a write-ahead log and atomic checkpoints on a
+/// [`Storage`] backend.
+///
+/// Appends go WAL-first (in memory second); [`commit`](Self::commit) —
+/// called automatically every [`DurableConfig::group_commit`] records —
+/// fsyncs the WAL and makes everything appended so far ack-able.
+/// [`open`](Self::open) runs recovery. Any backend [`Error::Io`] poisons
+/// the store: the in-memory image may then be ahead of the log, so every
+/// later call fails and the caller must discard the instance and
+/// re-`open` over the (possibly torn) backend.
+#[derive(Debug)]
+pub struct DurableStore<S: Storage> {
+    storage: S,
+    store: SegmentStore,
+    config: DurableConfig,
+    /// Generation whose WAL is being appended to.
+    generation: u64,
+    /// Newest generation ever listed in the manifest (checkpoints continue
+    /// from here even after a fallback, so a corrupt checkpoint is never
+    /// silently overwritten-in-place).
+    newest_gen: u64,
+    /// Records appended but not yet covered by a WAL fsync.
+    unsynced: u64,
+    /// Records durable (covered by a commit) in this store's lifetime plus
+    /// everything recovered at open.
+    durable_records: u64,
+    /// Records appended since the last checkpoint.
+    since_checkpoint: u64,
+    poisoned: bool,
+    stats: DurableStats,
+}
+
+impl<S: Storage> DurableStore<S> {
+    /// Opens (recovering) or initializes a durable store on `storage`.
+    pub fn open(storage: S, config: DurableConfig) -> Result<(Self, RecoveryReport)> {
+        let mut this = DurableStore {
+            storage,
+            store: SegmentStore::new(),
+            config,
+            generation: 0,
+            newest_gen: 0,
+            unsynced: 0,
+            durable_records: 0,
+            since_checkpoint: 0,
+            poisoned: false,
+            stats: DurableStats::default(),
+        };
+        let report = this.recover()?;
+        Ok((this, report))
+    }
+
+    fn recover(&mut self) -> Result<RecoveryReport> {
+        let mut report = RecoveryReport::default();
+        if !self.storage.exists(MANIFEST) {
+            // Fresh directory: manifest with generation 0, empty WAL.
+            self.storage.open(MANIFEST)?;
+            self.storage.append(MANIFEST, &encode_record(&0u64.to_le_bytes()))?;
+            self.sync(MANIFEST)?;
+            self.storage.open(&wal_name(0))?;
+            self.sync_dir()?;
+            return Ok(report);
+        }
+        report.recovered = true;
+        self.stats.recoveries += 1;
+
+        // Manifest: last valid generation record wins; a torn tail is
+        // repaired in place so the next checkpoint appends cleanly.
+        let manifest = self.storage.read(MANIFEST)?;
+        let scan = scan_records(&manifest);
+        if scan.torn {
+            self.storage.truncate(MANIFEST, scan.valid_len)?;
+            self.sync(MANIFEST)?;
+        }
+        let newest = scan
+            .payloads
+            .iter()
+            .rev()
+            .find(|p| p.len() == 8)
+            .map(|p| u64::from_le_bytes((*p).try_into().expect("8 bytes")))
+            .unwrap_or(0);
+        self.newest_gen = newest;
+
+        // Latest valid checkpoint, falling back one generation if the
+        // newest is unreadable or fails its image checksum.
+        let mut base = None;
+        for generation in [Some(newest), newest.checked_sub(1)].into_iter().flatten() {
+            if generation == 0 {
+                base = Some((0, SegmentStore::new()));
+                break;
+            }
+            let loaded = self
+                .storage
+                .read(&ckpt_name(generation))
+                .and_then(|img| SegmentStore::from_bytes(&img));
+            match loaded {
+                Ok(store) => {
+                    base = Some((generation, store));
+                    break;
+                }
+                Err(_) => report.fallbacks += 1,
+            }
+        }
+        let Some((generation, store)) = base else {
+            return Err(Error::Io(format!(
+                "no valid checkpoint at generation {newest} or {}",
+                newest.saturating_sub(1)
+            )));
+        };
+        report.generation = generation;
+        self.generation = generation;
+        self.store = store;
+
+        // WAL replay with torn-tail repair. A missing WAL (crash between
+        // the manifest sync and the WAL create) is an empty one.
+        let wal = wal_name(generation);
+        if !self.storage.exists(&wal) {
+            self.storage.open(&wal)?;
+            self.sync_dir()?;
+        }
+        let bytes = self.storage.read(&wal)?;
+        let scan = scan_records(&bytes);
+        for payload in &scan.payloads {
+            let (house, series) = decode_segment_record(payload)?;
+            self.store.append(house, &series)?;
+            report.replayed += 1;
+        }
+        if scan.torn {
+            report.discarded += 1;
+            self.stats.torn_records_dropped += 1;
+            self.storage.truncate(&wal, scan.valid_len)?;
+            self.sync(&wal)?;
+        }
+        self.stats.replayed_records = report.replayed;
+        self.durable_records = self.store.stats().segments_written;
+        Ok(report)
+    }
+
+    fn sync(&mut self, file: &str) -> Result<()> {
+        self.storage.sync(file)?;
+        self.stats.fsyncs += 1;
+        Ok(())
+    }
+
+    fn sync_dir(&mut self) -> Result<()> {
+        self.storage.sync_dir()?;
+        self.stats.fsyncs += 1;
+        Ok(())
+    }
+
+    fn guard(&self) -> Result<()> {
+        if self.poisoned {
+            return Err(Error::Io(
+                "durable store poisoned by an earlier backend failure; re-open to recover"
+                    .to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Appends `series` as one segment of `house`: validates and applies
+    /// it to the in-memory store, logs it to the WAL, and group-commits
+    /// per [`DurableConfig`]. The record is durable (ack-able) only once
+    /// a [`commit`](Self::commit) covering it returns `Ok`.
+    pub fn append(&mut self, house: u64, series: &SymbolicSeries) -> Result<usize> {
+        self.guard()?;
+        // The in-memory append runs first: it owns validation, so the WAL
+        // only ever holds records that replay cleanly.
+        let id = self.store.append(house, series)?;
+        let record = encode_record(&encode_segment_record(house, series));
+        if let Err(e) = self.storage.append(&wal_name(self.generation), &record) {
+            self.poisoned = true;
+            return Err(e);
+        }
+        self.stats.wal_appends += 1;
+        self.stats.wal_bytes += record.len() as u64;
+        self.unsynced += 1;
+        self.since_checkpoint += 1;
+        if self.unsynced >= self.config.group_commit as u64 {
+            self.commit()?;
+        }
+        if self.config.checkpoint_every > 0 && self.since_checkpoint >= self.config.checkpoint_every
+        {
+            self.checkpoint()?;
+        }
+        Ok(id)
+    }
+
+    /// Fsyncs the WAL, making every record appended so far durable.
+    pub fn commit(&mut self) -> Result<()> {
+        self.guard()?;
+        if self.unsynced == 0 {
+            return Ok(());
+        }
+        if let Err(e) = self.sync(&wal_name(self.generation)) {
+            self.poisoned = true;
+            return Err(e);
+        }
+        self.durable_records += self.unsynced;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Takes an atomic checkpoint: commits the WAL, writes the store image
+    /// (CRC32-footed by [`SegmentStore::to_bytes`]) to a temp file, syncs,
+    /// renames into place, syncs the directory, appends the new generation
+    /// to the manifest, and only then starts a fresh WAL and drops the old
+    /// one.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.commit()?;
+        let result = self.checkpoint_inner();
+        if result.is_err() {
+            self.poisoned = true;
+        }
+        result
+    }
+
+    fn checkpoint_inner(&mut self) -> Result<()> {
+        let old_gen = self.generation;
+        let generation = self.newest_gen + 1;
+        let img = self.store.to_bytes();
+        self.storage.open(CKPT_TMP)?;
+        self.storage.truncate(CKPT_TMP, 0)?;
+        self.storage.append(CKPT_TMP, &img)?;
+        self.sync(CKPT_TMP)?;
+        self.storage.rename(CKPT_TMP, &ckpt_name(generation))?;
+        self.sync_dir()?;
+        // The manifest record is the commit point: recovery trusts the
+        // checkpoint from here on.
+        self.storage.append(MANIFEST, &encode_record(&generation.to_le_bytes()))?;
+        self.sync(MANIFEST)?;
+        self.stats.checkpoints += 1;
+        // Fresh WAL for the new generation; the old generation's WAL and
+        // the checkpoint two generations back are disposable only now.
+        self.storage.open(&wal_name(generation))?;
+        self.sync_dir()?;
+        self.storage.remove(&wal_name(old_gen))?;
+        if generation >= 2 {
+            self.storage.remove(&ckpt_name(generation - 2))?;
+        }
+        self.sync_dir()?;
+        self.generation = generation;
+        self.newest_gen = generation;
+        self.since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// The in-memory store (includes records not yet committed).
+    pub fn store(&self) -> &SegmentStore {
+        &self.store
+    }
+
+    /// Mutable access for queries (query methods count stats on `&mut`).
+    pub fn store_mut(&mut self) -> &mut SegmentStore {
+        &mut self.store
+    }
+
+    /// Records covered by a durable commit (recovered + committed). The
+    /// ack watermark: everything at or below this count survives a crash.
+    pub fn durable_records(&self) -> u64 {
+        self.durable_records
+    }
+
+    /// Whether an earlier backend failure poisoned this instance.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// This store's durability counters.
+    pub fn stats(&self) -> DurableStats {
+        self.stats
+    }
+
+    /// Consumes the store, returning the backend (e.g. to take a
+    /// [`FaultStorage::crash_view`] after a sweep run).
+    pub fn into_storage(self) -> S {
+        self.storage
+    }
+}
+
+// --- sharded fleet with failover ------------------------------------------
+
+/// One durable store per shard behind the consistent-hash ring, with
+/// deterministic failover: a shard whose backend returns [`Error::Io`] is
+/// marked dead and its houses re-route to the next live successor vnode
+/// ([`ShardRouter::route_alive`] — a pure function of house id and the
+/// alive set, so every replica of a run fails over identically).
+///
+/// Failover redirects **new appends**; segments already durable on a dead
+/// shard are recovered by re-`open`ing its backend, not by migration.
+#[derive(Debug)]
+pub struct DurableFleet<S: Storage> {
+    router: ShardRouter,
+    shards: Vec<DurableStore<S>>,
+    alive: Vec<bool>,
+    failovers: u64,
+}
+
+impl<S: Storage> DurableFleet<S> {
+    /// A fleet over per-shard stores (one vnode group per store).
+    pub fn new(shards: Vec<DurableStore<S>>) -> Result<Self> {
+        let router = ShardRouter::new(shards.len())?;
+        let alive = vec![true; shards.len()];
+        Ok(DurableFleet { router, shards, alive, failovers: 0 })
+    }
+
+    /// The ring routing houses to shards.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Per-shard liveness (false = marked dead after a backend failure).
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Shards currently marked dead.
+    pub fn dead_shards(&self) -> usize {
+        self.alive.iter().filter(|a| !**a).count()
+    }
+
+    /// The shard index that would serve `house` right now.
+    pub fn route(&self, house: u64) -> Option<usize> {
+        self.router.route_alive(house, &self.alive)
+    }
+
+    /// Borrow one shard's store.
+    pub fn shard(&self, shard: usize) -> &DurableStore<S> {
+        &self.shards[shard]
+    }
+
+    /// Appends to the live shard owning `house`, failing over across
+    /// successor vnodes on backend errors. Returns the shard that took the
+    /// record. Non-I/O errors (e.g. an irregular series) propagate without
+    /// killing any shard.
+    pub fn append(&mut self, house: u64, series: &SymbolicSeries) -> Result<usize> {
+        loop {
+            let Some(shard) = self.router.route_alive(house, &self.alive) else {
+                return Err(Error::Io("all shards dead".to_string()));
+            };
+            match self.shards[shard].append(house, series) {
+                Ok(_) => return Ok(shard),
+                Err(Error::Io(_)) => {
+                    self.alive[shard] = false;
+                    self.failovers += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Commits every live shard. A shard failing its commit is marked dead
+    /// (its uncommitted tail was never ack-able); the call errors only
+    /// when **no** shard remains alive.
+    pub fn commit(&mut self) -> Result<()> {
+        for shard in 0..self.shards.len() {
+            if !self.alive[shard] {
+                continue;
+            }
+            if let Err(Error::Io(_)) = self.shards[shard].commit() {
+                self.alive[shard] = false;
+                self.failovers += 1;
+            }
+        }
+        if self.alive.iter().any(|a| *a) {
+            Ok(())
+        } else {
+            Err(Error::Io("all shards dead".to_string()))
+        }
+    }
+
+    /// Aggregated durability counters across every shard, with the fleet's
+    /// failover count.
+    pub fn stats(&self) -> DurableStats {
+        let mut total = DurableStats::default();
+        for s in &self.shards {
+            total.merge(&s.stats());
+        }
+        total.shard_failovers = self.failovers;
+        total
+    }
+
+    /// Consumes the fleet, returning the per-shard stores.
+    pub fn into_shards(self) -> Vec<DurableStore<S>> {
+        self.shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::CodecBuilder;
+    use crate::timeseries::TimeSeries;
+
+    fn series(house: u64, n: usize) -> SymbolicSeries {
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = crate::shard::splitmix64(house.wrapping_mul(97).wrapping_add(i as u64));
+                (x % 4000) as f64 / 10.0
+            })
+            .collect();
+        let ts = TimeSeries::from_regular(0, 900, &values).unwrap();
+        let codec =
+            CodecBuilder::new().alphabet_size(16).unwrap().no_aggregation().train(&ts).unwrap();
+        codec.encode(&ts).unwrap()
+    }
+
+    fn reference_prefix(houses: u64, upto: u64) -> SegmentStore {
+        let mut store = SegmentStore::new();
+        for h in 0..upto.min(houses) {
+            store.append(h, &series(h, 48)).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn wal_record_roundtrip() {
+        let s = series(7, 48);
+        let payload = encode_segment_record(7, &s);
+        let (house, back) = decode_segment_record(&payload).unwrap();
+        assert_eq!(house, 7);
+        assert_eq!(back.symbols(), s.symbols());
+        assert_eq!(back.timestamps(), s.timestamps());
+    }
+
+    #[test]
+    fn fresh_open_append_reopen_replays_wal() {
+        let storage = FaultStorage::new();
+        let (mut store, report) = DurableStore::open(storage, DurableConfig::default()).unwrap();
+        assert!(!report.recovered);
+        for h in 0..10u64 {
+            store.append(h, &series(h, 48)).unwrap();
+        }
+        store.commit().unwrap();
+        assert_eq!(store.durable_records(), 10);
+
+        let (back, report) =
+            DurableStore::open(store.into_storage(), DurableConfig::default()).unwrap();
+        assert!(report.recovered);
+        assert_eq!(report.replayed, 10);
+        assert_eq!(report.discarded, 0);
+        assert_eq!(back.store().to_bytes(), reference_prefix(10, 10).to_bytes());
+    }
+
+    #[test]
+    fn checkpoint_then_reopen_uses_checkpoint_plus_wal() {
+        let storage = FaultStorage::new();
+        let config = DurableConfig::default().group_commit(1).checkpoint_every(4);
+        let (mut store, _) = DurableStore::open(storage, config).unwrap();
+        for h in 0..10u64 {
+            store.append(h, &series(h, 48)).unwrap();
+        }
+        assert_eq!(store.stats().checkpoints, 2);
+
+        let (back, report) = DurableStore::open(store.into_storage(), config).unwrap();
+        assert_eq!(report.generation, 2);
+        assert_eq!(report.replayed, 2, "only the post-checkpoint tail replays");
+        assert_eq!(back.store().to_bytes(), reference_prefix(10, 10).to_bytes());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_with_typed_count() {
+        let storage = FaultStorage::new();
+        let (mut store, _) =
+            DurableStore::open(storage, DurableConfig::default().group_commit(1)).unwrap();
+        for h in 0..5u64 {
+            store.append(h, &series(h, 48)).unwrap();
+        }
+        // Tear the WAL by hand: append garbage half-record bytes.
+        let mut storage = store.into_storage();
+        storage.append(&wal_name(0), &[0xAB; 7]).unwrap();
+        let (back, report) = DurableStore::open(storage, DurableConfig::default()).unwrap();
+        assert_eq!(report.replayed, 5);
+        assert_eq!(report.discarded, 1);
+        assert_eq!(back.stats().torn_records_dropped, 1);
+        assert_eq!(back.store().to_bytes(), reference_prefix(5, 5).to_bytes());
+        // The tail was physically truncated: a further reopen is clean.
+        let (_, report) =
+            DurableStore::open(back.into_storage(), DurableConfig::default()).unwrap();
+        assert_eq!(report.discarded, 0);
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_one_generation() {
+        let storage = FaultStorage::new();
+        let config = DurableConfig::default().group_commit(1).checkpoint_every(3);
+        let (mut store, _) = DurableStore::open(storage, config).unwrap();
+        for h in 0..7u64 {
+            store.append(h, &series(h, 48)).unwrap();
+        }
+        // Generations 1 and 2 exist; corrupt generation 2's image.
+        let mut storage = store.into_storage();
+        let mut img = storage.read(&ckpt_name(2)).unwrap();
+        let mid = img.len() / 2;
+        img[mid] ^= 0x40;
+        storage.truncate(&ckpt_name(2), 0).unwrap();
+        storage.append(&ckpt_name(2), &img).unwrap();
+
+        let (back, report) = DurableStore::open(storage, config).unwrap();
+        assert_eq!(report.generation, 1);
+        assert_eq!(report.fallbacks, 1);
+        // Records 3..6 were in wal-1 (still on disk: wal disposal waits
+        // for checkpoint durability — but checkpoint 2 removed it). The
+        // fallback recovers checkpoint 1's three records.
+        assert_eq!(back.store().to_bytes(), reference_prefix(7, 3).to_bytes());
+        // The next checkpoint does not clobber the corrupt generation 2.
+        let mut back = back;
+        back.append(100, &series(100, 48)).unwrap();
+        back.checkpoint().unwrap();
+        assert_eq!(back.stats().checkpoints, 1);
+        let (again, report) = DurableStore::open(back.into_storage(), config).unwrap();
+        assert_eq!(report.generation, 3);
+        assert!(again.store().contains_house(100));
+    }
+
+    #[test]
+    fn every_crash_point_recovers_a_committed_prefix() {
+        let houses = 12u64;
+        let config = DurableConfig::default().group_commit(3).checkpoint_every(5);
+        // Baseline run to learn the op count.
+        let (mut baseline, _) = DurableStore::open(FaultStorage::new(), config).unwrap();
+        for h in 0..houses {
+            baseline.append(h, &series(h, 48)).unwrap();
+        }
+        baseline.commit().unwrap();
+        let total_ops = baseline.into_storage().ops();
+        assert!(total_ops > 10);
+
+        for crash_at in 1..=total_ops {
+            let mut plan = FaultPlan::crash_at(crash_at, 0x5EED ^ crash_at);
+            if crash_at % 3 == 0 {
+                plan.short_write_keep = Some(crash_at % 11);
+            }
+            if crash_at % 2 == 0 {
+                plan.corrupt_torn_byte = true;
+            }
+            // The harness keeps backend ownership via the `&mut S` impl,
+            // so the crash view survives a failed run.
+            let mut storage = FaultStorage::with_plan(plan);
+            let mut acked = 0u64;
+            let _ = (|| -> Result<()> {
+                let (mut store, _) = DurableStore::open(&mut storage, config)?;
+                for h in 0..houses {
+                    store.append(h, &series(h, 48))?;
+                    acked = store.durable_records();
+                }
+                store.commit()?;
+                acked = store.durable_records();
+                Ok(())
+            })();
+            let view = storage.crash_view();
+            let (recovered, _) = DurableStore::open(view, config)
+                .unwrap_or_else(|e| panic!("recovery failed at crash op {crash_at}: {e}"));
+            let j = recovered.store().stats().segments_written;
+            assert!(j >= acked, "crash at op {crash_at}: {j} recovered < {acked} acked records");
+            assert_eq!(
+                recovered.store().to_bytes(),
+                reference_prefix(houses, j).to_bytes(),
+                "crash at op {crash_at}: recovered store is not the {j}-record prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_fails_over_dead_shard_deterministically() {
+        let mk_fleet = |plans: [FaultPlan; 3]| {
+            let shards = plans
+                .into_iter()
+                .map(|p| {
+                    DurableStore::open(FaultStorage::with_plan(p), DurableConfig::default())
+                        .unwrap()
+                        .0
+                })
+                .collect();
+            DurableFleet::new(shards).unwrap()
+        };
+        // Shard 1 dies a few appends in (fresh init takes 5 ops; op 9 is
+        // mid-workload); the others never fail.
+        let plans = [FaultPlan::default(), FaultPlan::crash_at(9, 1), FaultPlan::default()];
+        let run = |mut fleet: DurableFleet<FaultStorage>| {
+            for h in 0..40u64 {
+                fleet.append(h, &series(h, 48)).unwrap();
+            }
+            fleet.commit().unwrap();
+            let stats = fleet.stats();
+            let images: Vec<Vec<u8>> =
+                fleet.into_shards().into_iter().map(|s| s.store().to_bytes()).collect();
+            (stats, images)
+        };
+        let (stats_a, images_a) = run(mk_fleet(plans));
+        let (stats_b, images_b) = run(mk_fleet(plans));
+        assert!(stats_a.shard_failovers >= 1);
+        assert_eq!(stats_a, stats_b, "failover counters must be deterministic");
+        assert_eq!(images_a, images_b, "failover placement must be deterministic");
+    }
+
+    #[test]
+    fn fleet_routes_around_dead_shards_only() {
+        let shards = (0..4)
+            .map(|_| DurableStore::open(FaultStorage::new(), DurableConfig::default()).unwrap().0)
+            .collect();
+        let mut fleet = DurableFleet::new(shards).unwrap();
+        // With everyone alive, fleet routing matches the plain ring.
+        for h in 0..200u64 {
+            assert_eq!(fleet.route(h), Some(fleet.router().route(h)));
+        }
+        fleet.alive[2] = false;
+        for h in 0..200u64 {
+            let s = fleet.route(h).unwrap();
+            assert_ne!(s, 2, "house {h} routed to a dead shard");
+            if fleet.router().route(h) != 2 {
+                assert_eq!(s, fleet.router().route(h), "live houses must not move");
+            }
+        }
+    }
+
+    #[test]
+    fn fs_storage_roundtrip_and_recovery() {
+        let dir = std::env::temp_dir().join(format!(
+            "sms-durable-test-{}-{:x}",
+            std::process::id(),
+            crate::shard::splitmix64(0xD15C)
+        ));
+        let storage = FsStorage::new(&dir).unwrap();
+        let config = DurableConfig::default().group_commit(2).checkpoint_every(4);
+        let (mut store, report) = DurableStore::open(storage, config).unwrap();
+        assert!(!report.recovered);
+        for h in 0..9u64 {
+            store.append(h, &series(h, 48)).unwrap();
+        }
+        store.commit().unwrap();
+        drop(store);
+
+        let storage = FsStorage::new(&dir).unwrap();
+        let (back, report) = DurableStore::open(storage, config).unwrap();
+        assert!(report.recovered);
+        assert_eq!(back.store().to_bytes(), reference_prefix(9, 9).to_bytes());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_stats_register_into_catalog() {
+        let stats = DurableStats {
+            wal_appends: 10,
+            wal_bytes: 640,
+            fsyncs: 3,
+            checkpoints: 1,
+            ..DurableStats::default()
+        };
+        let reg = Registry::new();
+        stats.register_into(&reg);
+        let text = reg.render_prometheus();
+        assert!(text.contains("sms_durable_wal_appends 10"));
+        assert!(text.contains("sms_durable_checkpoints 1"));
+    }
+}

@@ -258,6 +258,9 @@ pub struct EngineStats {
     /// Segment-store counters when the run persisted encoded output
     /// through [`crate::segstore`] (`None` when output stayed in memory).
     pub store: Option<crate::segstore::StoreStats>,
+    /// Durability counters when the run wrote through the WAL + checkpoint
+    /// layer of [`crate::durable`] (`None` for in-memory stores).
+    pub durable: Option<crate::durable::DurableStats>,
     /// Distribution of per-house input sample counts. Deterministic (a
     /// pure function of the input fleet), rendered in the `"histograms"`
     /// section of [`to_json`](Self::to_json).
@@ -366,6 +369,9 @@ impl EngineStats {
         if let Some(store) = &self.store {
             store.register_into(reg);
         }
+        if let Some(durable) = &self.durable {
+            durable.register_into(reg);
+        }
         for s in &self.spans {
             reg.record_span(&s.path, s.calls, s.secs);
         }
@@ -408,6 +414,10 @@ impl EngineStats {
         if self.store.is_some() {
             w.key("store");
             reg.write_block_json(&mut w, "store");
+        }
+        if self.durable.is_some() {
+            w.key("durable");
+            reg.write_block_json(&mut w, "durable");
         }
         w.key("histograms");
         reg.write_histograms_json(&mut w);
@@ -619,6 +629,7 @@ impl FleetEngine {
                 gateway: None,
                 shard: None,
                 store: None,
+                durable: None,
                 house_samples,
                 house_symbols,
                 encode_batch_values,

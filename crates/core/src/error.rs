@@ -136,6 +136,14 @@ pub enum Error {
     /// allocation, like the wire decoder's
     /// [`FrameTooLarge`](Self::FrameTooLarge) path).
     Store(String),
+    /// A durable-storage backend operation ([`crate::durable::Storage`])
+    /// failed. The operation may have partially applied — the backend's
+    /// on-disk state must be treated as torn until recovery re-opens it.
+    /// Carried as a message because `std::io::Error` is neither `Clone`
+    /// nor `PartialEq`. The shard layer treats this variant (and only
+    /// this variant) as grounds to mark a shard dead and fail its houses
+    /// over to successor vnodes.
+    Io(String),
 }
 
 impl fmt::Display for Error {
@@ -201,6 +209,7 @@ impl fmt::Display for Error {
             Error::Serde(msg) => write!(f, "serde error: {msg}"),
             Error::Engine(msg) => write!(f, "fleet engine error: {msg}"),
             Error::Store(msg) => write!(f, "segment store error: {msg}"),
+            Error::Io(msg) => write!(f, "storage i/o error: {msg}"),
         }
     }
 }

@@ -425,6 +425,10 @@ struct Shared {
     config: GatewayConfig,
     /// Set by [`Gateway::shutdown`]: acceptor stops, workers drain.
     shutdown: AtomicBool,
+    /// Set by [`Gateway::set_degraded`]: the instance still serves (e.g.
+    /// durable-store shards failed over) but `/readyz` reports `degraded`
+    /// so operators see impaired capacity without pulling the node.
+    degraded: AtomicBool,
     /// When the shutdown flag was set (drain deadline anchor).
     shutdown_at: Mutex<Option<Instant>>,
     counters: Counters,
@@ -497,6 +501,24 @@ enum HandshakeStep {
     Accept { meter: u64, rest: Vec<u8> },
 }
 
+/// Constant-time byte-slice equality: XOR-folds **every** byte pair, so
+/// the comparison's duration is independent of where the first mismatch
+/// sits — an early-exit `==` here would let a client binary-search the
+/// auth token one byte at a time from response timing. Lengths are
+/// compared up front because the handshake announces the token length on
+/// the wire anyway; only the contents are secret. `black_box` keeps the
+/// accumulator loop from being collapsed back into a short-circuit.
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        acc = std::hint::black_box(acc | (x ^ y));
+    }
+    acc == 0
+}
+
 fn parse_handshake(buf: &mut Vec<u8>, expected_token: &[u8]) -> HandshakeStep {
     if buf.len() < HANDSHAKE_FIXED_LEN {
         return HandshakeStep::NeedMore;
@@ -512,7 +534,7 @@ fn parse_handshake(buf: &mut Vec<u8>, expected_token: &[u8]) -> HandshakeStep {
         return HandshakeStep::NeedMore;
     }
     let meter = u64::from_le_bytes(buf[4..12].try_into().unwrap());
-    if &buf[HANDSHAKE_FIXED_LEN..HANDSHAKE_FIXED_LEN + tok_len] != expected_token {
+    if !constant_time_eq(&buf[HANDSHAKE_FIXED_LEN..HANDSHAKE_FIXED_LEN + tok_len], expected_token) {
         return HandshakeStep::Reject(CloseReason::AuthFailure);
     }
     let rest = buf.split_off(HANDSHAKE_FIXED_LEN + tok_len);
@@ -879,6 +901,13 @@ fn route_http(
         b"/readyz" if draining => {
             ("503 Service Unavailable", "text/plain; charset=utf-8", "draining\n".into())
         }
+        // Degraded ≠ draining: the node still serves (storage shards
+        // failed over to successors) and must stay in rotation, so the
+        // status is 200 — but the body tells operators capacity is
+        // impaired. Draining wins when both are set.
+        b"/readyz" if shared.degraded.load(Ordering::Relaxed) => {
+            ("200 OK", "text/plain; charset=utf-8", "degraded\n".into())
+        }
         b"/readyz" => ("200 OK", "text/plain; charset=utf-8", "ready\n".into()),
         _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".into()),
     }
@@ -955,6 +984,7 @@ impl Gateway {
         let shared = Arc::new(Shared {
             config,
             shutdown: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
             shutdown_at: Mutex::new(None),
             counters: Counters::default(),
             shards: IngestShards::new(ingest_shards, ingest)?,
@@ -1028,6 +1058,19 @@ impl Gateway {
     /// A live snapshot of the gateway counters.
     pub fn stats(&self) -> GatewayStats {
         self.shared.counters.snapshot(0.0)
+    }
+
+    /// Flips the degraded flag: `/readyz` answers `200 degraded` instead
+    /// of `200 ready` while set (draining still wins with its 503). Wired
+    /// by the durability layer when a storage shard dies and its houses
+    /// fail over ([`crate::durable::DurableFleet`]).
+    pub fn set_degraded(&self, degraded: bool) {
+        self.shared.degraded.store(degraded, Ordering::SeqCst);
+    }
+
+    /// Whether the degraded flag is currently set.
+    pub fn degraded(&self) -> bool {
+        self.shared.degraded.load(Ordering::Relaxed)
     }
 
     /// Graceful shutdown: stop accepting, flip `/readyz` to 503, drain
@@ -1170,6 +1213,28 @@ mod tests {
     }
 
     #[test]
+    fn token_compare_is_constant_time_shaped_and_rejects_same_length_tokens() {
+        // Unit properties of the comparator itself: equality, and mismatches
+        // at the first byte, the last byte, and in length.
+        assert!(constant_time_eq(b"", b""));
+        assert!(constant_time_eq(b"smg-local-dev", b"smg-local-dev"));
+        assert!(!constant_time_eq(b"Xmg-local-dev", b"smg-local-dev"));
+        assert!(!constant_time_eq(b"smg-local-deX", b"smg-local-dev"));
+        assert!(!constant_time_eq(b"smg-local-de", b"smg-local-dev"));
+        // Regression for the early-exit `==` compare: a same-length token
+        // differing only in the final byte must still be NAKed.
+        let gw = Gateway::start(GatewayConfig::default().workers(1)).unwrap();
+        let mut conn = TcpStream::connect(gw.local_addr()).unwrap();
+        conn.write_all(&encode_handshake(7, b"smg-local-deX")).unwrap();
+        let mut ack = [0u8; 1];
+        conn.read_exact(&mut ack).unwrap();
+        assert_eq!(ack[0], HANDSHAKE_NAK);
+        let report = gw.shutdown();
+        assert_eq!(report.stats.auth_failures, 1);
+        assert!(report.output.is_empty());
+    }
+
+    #[test]
     fn bad_magic_is_a_handshake_error() {
         let gw = Gateway::start(GatewayConfig::default().workers(1)).unwrap();
         let mut conn = TcpStream::connect(gw.local_addr()).unwrap();
@@ -1232,6 +1297,37 @@ mod tests {
         let mut out = String::new();
         conn.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.1 405"));
+        gw.shutdown();
+    }
+
+    #[test]
+    fn readyz_reports_degraded_but_stays_in_rotation() {
+        let gw = Gateway::start(GatewayConfig::default().workers(1).http_metrics(true)).unwrap();
+        let addr = gw.metrics_addr().expect("sidecar enabled");
+        let get = |path: &str| -> String {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes()).unwrap();
+            let mut out = String::new();
+            conn.read_to_string(&mut out).unwrap();
+            out
+        };
+        let ready = get("/readyz");
+        assert!(ready.starts_with("HTTP/1.1 200"), "{ready}");
+        assert!(ready.ends_with("ready\n"), "{ready}");
+        assert!(!gw.degraded());
+        gw.set_degraded(true);
+        assert!(gw.degraded());
+        // Degraded is a 200: the node still serves and must stay in the
+        // load-balancer rotation, but operators see the impaired state.
+        let degraded = get("/readyz");
+        assert!(degraded.starts_with("HTTP/1.1 200"), "{degraded}");
+        assert!(degraded.ends_with("degraded\n"), "{degraded}");
+        // Health stays green; degradation is a readiness concern.
+        assert!(get("/healthz").starts_with("HTTP/1.1 200"));
+        gw.set_degraded(false);
+        assert!(get("/readyz").ends_with("ready\n"));
+        // Draining wins over degraded: once shutdown starts, /readyz is 503.
+        gw.set_degraded(true);
         gw.shutdown();
     }
 

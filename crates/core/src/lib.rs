@@ -50,6 +50,7 @@ pub mod adaptive;
 pub mod alphabet;
 pub mod compression;
 pub mod distance;
+pub mod durable;
 pub mod encoder;
 pub mod engine;
 pub mod error;
@@ -79,6 +80,10 @@ pub mod wire;
 pub mod prelude {
     pub use crate::alphabet::Alphabet;
     pub use crate::compression::CompressionReport;
+    pub use crate::durable::{
+        DurableConfig, DurableFleet, DurableStats, DurableStore, FaultPlan, FaultStorage,
+        FsStorage, RecoveryReport, Storage,
+    };
     pub use crate::encoder::{EncodedWindow, OnlineEncoder, SensorMessage, SensorPipeline};
     pub use crate::error::{Error, Result};
     pub use crate::gateway::{Gateway, GatewayConfig, GatewayReport, GatewayStats};

@@ -59,6 +59,9 @@ const META_WIRE_BYTES: u64 = 8 + 8 + 8 + 8 + 8 + 8 + 2 + 2 + 1;
 /// Fixed header size of a persisted image (magic + meta count + arena len).
 const HEADER_BYTES: u64 = 4 + 8 + 8;
 
+/// Trailing CRC32 footer of a persisted image (over everything before it).
+const FOOTER_BYTES: u64 = 4;
+
 /// High bit of a re-compressed segment's leading byte: the RLE + dictionary
 /// tokenization would have expanded this segment (short or high-entropy
 /// payloads), so the bit-packed payload follows verbatim instead. Safe to
@@ -658,10 +661,15 @@ impl SegmentStore {
 
     // --- persistence ------------------------------------------------------
 
-    /// Serializes the whole store (header, metas, arena) into one image.
+    /// Serializes the whole store (header, metas, arena) into one image,
+    /// closed by a CRC32 footer over everything before it — bit-rot
+    /// anywhere in the image (header, metas, or mid-arena) fails
+    /// [`from_bytes`](Self::from_bytes) with a typed error instead of
+    /// round-tripping silently as wrong symbols.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out =
-            Vec::with_capacity((HEADER_BYTES + META_WIRE_BYTES * self.metas.len() as u64) as usize);
+        let mut out = Vec::with_capacity(
+            (HEADER_BYTES + META_WIRE_BYTES * self.metas.len() as u64 + FOOTER_BYTES) as usize,
+        );
         out.extend_from_slice(STORE_MAGIC);
         out.extend_from_slice(&(self.metas.len() as u64).to_le_bytes());
         out.extend_from_slice(&(self.arena.len() as u64).to_le_bytes());
@@ -680,19 +688,34 @@ impl SegmentStore {
             out.push(m.resolution_bits);
         }
         out.extend_from_slice(&self.arena);
+        let crc = crate::durable::crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
         out
     }
 
     /// Deserializes an image produced by [`to_bytes`](Self::to_bytes).
     ///
-    /// Every announced length is validated against the actual buffer
+    /// The CRC32 footer is verified first (whole-image integrity), then
+    /// every announced length is validated against the actual buffer
     /// **before** any allocation: a hostile header cannot make this
-    /// function reserve memory it will never fill.
+    /// function reserve memory it will never fill, and bit-rot anywhere
+    /// in the image is a typed [`Error::Store`], not silent corruption.
     pub fn from_bytes(buf: &[u8]) -> Result<Self> {
-        let total = buf.len() as u64;
-        if total < HEADER_BYTES || &buf[..4] != STORE_MAGIC {
+        if (buf.len() as u64) < HEADER_BYTES + FOOTER_BYTES || &buf[..4] != STORE_MAGIC {
             return Err(Error::Store("image too short or bad magic".to_string()));
         }
+        // Whole-image integrity first: the CRC32 footer covers header,
+        // metas, and arena, so bit-rot anywhere fails here — before any
+        // length is trusted.
+        let (buf, footer) = buf.split_at(buf.len() - FOOTER_BYTES as usize);
+        let want = u32::from_le_bytes(footer.try_into().expect("4 bytes"));
+        let got = crate::durable::crc32(buf);
+        if got != want {
+            return Err(Error::Store(format!(
+                "image checksum mismatch: footer {want:#010x}, computed {got:#010x}"
+            )));
+        }
+        let total = buf.len() as u64;
         let meta_count = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes"));
         let arena_len = u64::from_le_bytes(buf[12..20].try_into().expect("8 bytes"));
         let metas_bytes = meta_count
@@ -1137,27 +1160,55 @@ mod tests {
         let b = back.read_range(1, i64::MIN, i64::MAX).unwrap();
         assert_eq!(a.symbols(), b.symbols());
 
+        // Re-seals a poked image's CRC32 footer so the poke reaches the
+        // structural validation it targets (a stale footer would trip the
+        // checksum first and mask the real check).
+        let refoot = |mut evil: Vec<u8>| {
+            let body = evil.len() - FOOTER_BYTES as usize;
+            let crc = crate::durable::crc32(&evil[..body]);
+            evil[body..].copy_from_slice(&crc.to_le_bytes());
+            evil
+        };
         // Hostile meta count: announced bytes no longer reconcile.
         let mut evil = img.clone();
         evil[4..12].copy_from_slice(&u64::MAX.to_le_bytes());
-        assert!(matches!(SegmentStore::from_bytes(&evil), Err(Error::Store(_))));
+        assert!(matches!(SegmentStore::from_bytes(&refoot(evil)), Err(Error::Store(_))));
         // Hostile arena length.
         let mut evil = img.clone();
         evil[12..20].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
-        assert!(matches!(SegmentStore::from_bytes(&evil), Err(Error::Store(_))));
+        assert!(matches!(SegmentStore::from_bytes(&refoot(evil)), Err(Error::Store(_))));
         // Truncated image.
         assert!(matches!(SegmentStore::from_bytes(&img[..10]), Err(Error::Store(_))));
         // Segment extent poked outside the arena.
         let mut evil = img.clone();
         let off_at = HEADER_BYTES as usize + 32;
         evil[off_at..off_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
-        assert!(matches!(SegmentStore::from_bytes(&evil), Err(Error::Store(_))));
+        assert!(matches!(SegmentStore::from_bytes(&refoot(evil)), Err(Error::Store(_))));
         // Hostile interval: i64::MAX on a multi-symbol segment would make
         // end() = start + (count-1)*interval overflow in every later query.
         let mut evil = img.clone();
         let ivl_at = HEADER_BYTES as usize + 16;
         evil[ivl_at..ivl_at + 8].copy_from_slice(&i64::MAX.to_le_bytes());
-        assert!(matches!(SegmentStore::from_bytes(&evil), Err(Error::Store(_))));
+        assert!(matches!(SegmentStore::from_bytes(&refoot(evil)), Err(Error::Store(_))));
+    }
+
+    #[test]
+    fn bit_rot_anywhere_in_the_image_fails_the_checksum() {
+        let mut store = SegmentStore::new();
+        for h in 0..4u64 {
+            store.append(h, &series(4, 24, 0)).unwrap();
+        }
+        let img = store.to_bytes();
+        // Flip one bit at every position: header, metas, mid-arena, footer.
+        for at in [0, 5, HEADER_BYTES as usize + 3, img.len() - 10, img.len() - 1] {
+            let mut evil = img.clone();
+            evil[at] ^= 0x10;
+            match SegmentStore::from_bytes(&evil) {
+                Err(Error::Store(_)) => {}
+                other => panic!("bit flip at byte {at} was not detected: {other:?}"),
+            }
+        }
+        assert!(SegmentStore::from_bytes(&img).is_ok());
     }
 
     #[test]
@@ -1174,8 +1225,7 @@ mod tests {
             for code in 0..(1u16 << plen) {
                 let prefix = Symbol::from_rank(code, plen).unwrap();
                 let got = store.count_prefix(11, i64::MIN, i64::MAX, prefix).unwrap();
-                let expected =
-                    s.symbols().iter().filter(|sym| prefix.covers(**sym)).count() as u64;
+                let expected = s.symbols().iter().filter(|sym| prefix.covers(**sym)).count() as u64;
                 assert_eq!(got, expected, "prefix {code}/{plen}");
             }
         }

@@ -122,6 +122,29 @@ impl ShardRouter {
         let (_, shard) = self.ring[if i == self.ring.len() { 0 } else { i }];
         shard as usize
     }
+
+    /// The live shard owning `house`: walks the ring forward from the
+    /// house's position, skipping vnodes of shards whose `alive[shard]` is
+    /// `false`, wrapping at the top. `None` when no live shard remains.
+    ///
+    /// This is the failover rule of [`crate::durable::DurableFleet`]: a
+    /// pure function of `(house, alive)`, so every replica of a run moves
+    /// a dead shard's houses to the **same** successor vnodes — and a
+    /// house whose owner is alive routes exactly as [`route`](Self::route)
+    /// does.
+    pub fn route_alive(&self, house: u64, alive: &[bool]) -> Option<usize> {
+        let h = splitmix64(house);
+        let start = self.ring.partition_point(|&(pos, _)| pos < h);
+        for k in 0..self.ring.len() {
+            let at = start + k;
+            let (_, shard) =
+                self.ring[if at >= self.ring.len() { at - self.ring.len() } else { at }];
+            if alive.get(shard as usize).copied().unwrap_or(false) {
+                return Some(shard as usize);
+            }
+        }
+        None
+    }
 }
 
 /// Per-shard LRU cache of learned lookup tables, keyed by house id.
@@ -584,6 +607,26 @@ mod tests {
         let moved = (0..20_000u64).filter(|&h| a.route(h) != b.route(h)).count();
         // Ideal is 1/9 ≈ 11%; allow slack for vnode placement variance.
         assert!(moved < 20_000 / 4, "{moved} moved");
+    }
+
+    #[test]
+    fn route_alive_skips_dead_shards_and_matches_route_when_all_live() {
+        let r = ShardRouter::new(8).unwrap();
+        let all = vec![true; 8];
+        for h in 0..5_000u64 {
+            assert_eq!(r.route_alive(h, &all), Some(r.route(h)));
+        }
+        let mut alive = all.clone();
+        alive[3] = false;
+        alive[6] = false;
+        for h in 0..5_000u64 {
+            let s = r.route_alive(h, &alive).unwrap();
+            assert!(s != 3 && s != 6, "house {h} routed to dead shard {s}");
+            if !matches!(r.route(h), 3 | 6) {
+                assert_eq!(s, r.route(h), "live house {h} moved");
+            }
+        }
+        assert_eq!(r.route_alive(42, &[false; 8]), None);
     }
 
     #[test]

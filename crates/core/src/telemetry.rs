@@ -759,6 +759,71 @@ pub const CATALOG: &[MetricSpec] = &[
         "seconds",
         "Wall time spent serving store queries."
     ),
+    // --- durable: WAL + checkpoint durability layer (sms_core::durable) --
+    spec!(
+        "durable",
+        "wal_appends",
+        "sms_durable_wal_appends",
+        Counter,
+        "records",
+        "Records appended to the write-ahead log."
+    ),
+    spec!(
+        "durable",
+        "wal_bytes",
+        "sms_durable_wal_bytes",
+        Counter,
+        "bytes",
+        "Bytes appended to the write-ahead log, record headers included."
+    ),
+    spec!(
+        "durable",
+        "fsyncs",
+        "sms_durable_fsyncs",
+        Counter,
+        "syncs",
+        "Backend sync calls (WAL group commits, checkpoint/manifest/directory syncs)."
+    ),
+    spec!(
+        "durable",
+        "torn_records_dropped",
+        "sms_durable_torn_records_dropped",
+        Counter,
+        "records",
+        "Torn or corrupt WAL tail records discarded (and truncated away) during recovery."
+    ),
+    spec!(
+        "durable",
+        "checkpoints",
+        "sms_durable_checkpoints",
+        Counter,
+        "checkpoints",
+        "Atomic checkpoints committed (image synced, renamed, manifest record durable)."
+    ),
+    spec!(
+        "durable",
+        "recoveries",
+        "sms_durable_recoveries",
+        Counter,
+        "recoveries",
+        "Recoveries performed over existing on-disk state at open."
+    ),
+    spec!(
+        "durable",
+        "replayed_records",
+        "sms_durable_replayed_records",
+        Counter,
+        "records",
+        "WAL records replayed on top of a checkpoint during recovery."
+    ),
+    spec!(
+        "durable",
+        "shard_failovers",
+        "sms_durable_shard_failovers",
+        Counter,
+        "failovers",
+        "Shards marked dead after backend I/O errors, houses re-routed to successor vnodes."
+    ),
 ];
 
 /// Looks up a metric's [`CATALOG`] declaration by Prometheus name.

@@ -90,6 +90,20 @@ if [[ $quick -eq 0 ]]; then
     cargo run -q --release -p sms-bench --bin repro -- \
         validate-metrics "$metrics_tmp/gateway.out"
 
+    echo "==> durability: crash-point sweep + torn-tail proptests (release)"
+    cargo test -q --release -p sms-core --test durable_recovery
+
+    echo "==> durability: repro crash --metrics smoke"
+    cargo run -q --release -p sms-bench --bin repro -- \
+        crash --houses 30 "--metrics=$metrics_tmp/crash.prom" \
+        > "$metrics_tmp/crash.out"
+    grep -q '^metrics_json: ' "$metrics_tmp/crash.out"
+    grep -q '^# TYPE sms_durable_wal_appends counter$' "$metrics_tmp/crash.prom"
+    grep -q '^# TYPE sms_durable_shard_failovers counter$' "$metrics_tmp/crash.prom"
+    grep -q 'byte-for-byte' "$metrics_tmp/crash.out"
+    cargo run -q --release -p sms-bench --bin repro -- \
+        validate-metrics "$metrics_tmp/crash.out"
+
     echo "==> telemetry: OBSERVABILITY.md vs live registry"
     scripts/check_metrics_docs.sh
 fi
