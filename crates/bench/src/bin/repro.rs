@@ -41,6 +41,16 @@
 //! acknowledged-frame loss end to end; `--houses N` and `--shards N` size
 //! the sweep.
 //!
+//! The `drift` experiment injects a mid-stream distribution change into a
+//! CER-like fleet ([`meterdata::generator::cer_drifted`]) and measures
+//! reconstruction accuracy before/during/after it, with the static day-one
+//! table and with the sketch-backed adaptive path
+//! ([`sms_core::adaptive`]) that re-learns separators and ships each
+//! rebuilt table under a new epoch. A sharded-engine leg proves the drift
+//! gate cuts every house over, and a topology sweep proves symbols and
+//! epochs byte-identical at {1,4,16} shards × {1,2,8} workers across the
+//! cutover. `--shards N` / `--workers N` size the main fleet run.
+//!
 //! `--metrics` exports the run's [`sms_core::telemetry`] registry — every
 //! catalog counter, gauge and histogram plus the recorded spans — after the
 //! experiment finishes: one `metrics_json: {...}` line on stdout followed by
@@ -54,7 +64,7 @@ use sms_bench::ablation::{
 };
 use sms_bench::classification::{ClassifierKind, FigureRun, TableMode};
 use sms_bench::clustering::{render_clustering, run_clustering};
-use sms_bench::drift::run_drift;
+use sms_bench::drift::{render_drift, run_drift};
 use sms_bench::encode_bench::{render_encode_bench, run_encode_bench};
 use sms_bench::export::export_arff;
 use sms_bench::figures::{
@@ -287,8 +297,28 @@ fn run_with_opts(
         "quality" => run_quality_exp(scale, opts.faults, reg),
         "scale" => run_scale_exp(scale, opts, reg),
         "crash" => run_crash_exp(scale, opts, reg),
+        "drift" => run_drift_exp(scale, opts, reg),
         _ => run(experiment, scale, eval_workers, reg),
     }
+}
+
+/// Inject a mid-stream distribution change into a CER-like fleet and measure
+/// reconstruction accuracy before/during/after it, with and without the
+/// sketch-backed adaptive re-learning path — plus the sharded drift-gate leg
+/// and the topology byte-identity sweep across the epoch cutover.
+fn run_drift_exp(
+    scale: Scale,
+    opts: ParallelOpts,
+    reg: &Registry,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let shards = opts.shards.unwrap_or(4);
+    let workers = opts.workers.unwrap_or(2).max(1);
+    let report = run_drift(scale, shards, workers)?;
+    report.stats.register_into(reg);
+    print!("{}", render_drift(&report));
+    println!("drift_bench: {}", report.to_json());
+    println!("engine_stats: {}", report.stats.to_json());
+    Ok(())
 }
 
 /// Sweep crash points over the durable segment store: kill the storage
@@ -537,8 +567,14 @@ fn run(
             println!("{}", compression_table(&ds, scale)?);
         }
         "drift" => {
-            let days = if scale.days >= 30 { 365 } else { 180 };
-            println!("{}", run_drift(scale.seed, days, 86_400)?.render());
+            let opts = ParallelOpts {
+                parallel: false,
+                workers: None,
+                faults: false,
+                meters: 64,
+                shards: None,
+            };
+            run_drift_exp(scale, opts, reg)?;
         }
         "privacy" => {
             let ds = dataset(scale)?;

@@ -178,12 +178,24 @@ pub enum SensorMessage {
     Table(LookupTable),
     /// One encoded window.
     Window(EncodedWindow),
+    /// An epoch-versioned lookup table, shipped when the adaptive path cuts
+    /// over after drift. The epoch is a per-meter monotonic version: stored
+    /// segments record which epoch encoded them, so old epochs remain
+    /// decodable after a cutover. Epoch 0 is reserved for the pre-drift
+    /// table implied by [`SensorMessage::Table`].
+    EpochTable {
+        /// Monotonic per-meter table version (first cutover ships epoch 1).
+        epoch: u32,
+        /// The rebuilt table taking effect at this epoch.
+        table: LookupTable,
+    },
 }
 
 impl SensorMessage {
-    /// JSON wire encoding: externally tagged, `{"Table":{…}}` or
+    /// JSON wire encoding: externally tagged, `{"Table":{…}}`,
     /// `{"Window":{…}}` (the shape serde's derive produced before the
-    /// offline rewrite, so old captures keep parsing).
+    /// offline rewrite, so old captures keep parsing) or
+    /// `{"EpochTable":{"epoch":N,"table":{…}}}`.
     pub fn to_json(&self) -> Result<String> {
         let mut w = JsonWriter::new();
         w.begin_object();
@@ -191,6 +203,13 @@ impl SensorMessage {
             SensorMessage::Table(t) => {
                 w.key("Table");
                 t.write_json(&mut w);
+            }
+            SensorMessage::EpochTable { epoch, table } => {
+                w.key("EpochTable").begin_object();
+                w.key("epoch").u64(*epoch as u64);
+                w.key("table");
+                table.write_json(&mut w);
+                w.end_object();
             }
             SensorMessage::Window(win) => {
                 w.key("Window").begin_object();
@@ -212,6 +231,19 @@ impl SensorMessage {
         let doc = json::parse(s).map_err(Error::Serde)?;
         if let Some(table) = doc.get("Table") {
             return Ok(SensorMessage::Table(LookupTable::from_json_value(table)?));
+        }
+        if let Some(et) = doc.get("EpochTable") {
+            let epoch = et
+                .get("epoch")
+                .and_then(JsonValue::as_u64)
+                .filter(|&e| e <= u32::MAX as u64)
+                .ok_or_else(|| Error::Serde("invalid `epoch`".to_string()))?;
+            let table =
+                et.get("table").ok_or_else(|| Error::Serde("missing `table`".to_string()))?;
+            return Ok(SensorMessage::EpochTable {
+                epoch: epoch as u32,
+                table: LookupTable::from_json_value(table)?,
+            });
         }
         if let Some(win) = doc.get("Window") {
             let int_field = |key: &str| {
@@ -247,7 +279,7 @@ impl SensorMessage {
                 samples: samples as u32,
             }));
         }
-        Err(Error::Serde("expected a `Table` or `Window` message".to_string()))
+        Err(Error::Serde("expected a `Table`, `EpochTable` or `Window` message".to_string()))
     }
 }
 
@@ -488,7 +520,11 @@ mod tests {
         let t = SensorMessage::Table(table());
         let j = t.to_json().unwrap();
         assert_eq!(SensorMessage::from_json(&j).unwrap(), t);
+        let e = SensorMessage::EpochTable { epoch: 7, table: table() };
+        let j = e.to_json().unwrap();
+        assert_eq!(SensorMessage::from_json(&j).unwrap(), e);
         assert!(SensorMessage::from_json("{}").is_err());
+        assert!(SensorMessage::from_json(r#"{"EpochTable":{"epoch":5000000000}}"#).is_err());
     }
 
     #[test]

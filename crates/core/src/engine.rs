@@ -261,6 +261,9 @@ pub struct EngineStats {
     /// Durability counters when the run wrote through the WAL + checkpoint
     /// layer of [`crate::durable`] (`None` for in-memory stores).
     pub durable: Option<crate::durable::DurableStats>,
+    /// Drift-adaptation counters when the run re-learned separators online
+    /// through [`crate::adaptive`] (`None` when drift detection was off).
+    pub adaptive: Option<crate::adaptive::AdaptiveStats>,
     /// Distribution of per-house input sample counts. Deterministic (a
     /// pure function of the input fleet), rendered in the `"histograms"`
     /// section of [`to_json`](Self::to_json).
@@ -372,6 +375,9 @@ impl EngineStats {
         if let Some(durable) = &self.durable {
             durable.register_into(reg);
         }
+        if let Some(adaptive) = &self.adaptive {
+            adaptive.register_into(reg);
+        }
         for s in &self.spans {
             reg.record_span(&s.path, s.calls, s.secs);
         }
@@ -418,6 +424,10 @@ impl EngineStats {
         if self.durable.is_some() {
             w.key("durable");
             reg.write_block_json(&mut w, "durable");
+        }
+        if self.adaptive.is_some() {
+            w.key("adaptive");
+            reg.write_block_json(&mut w, "adaptive");
         }
         w.key("histograms");
         reg.write_histograms_json(&mut w);
@@ -630,6 +640,7 @@ impl FleetEngine {
                 shard: None,
                 store: None,
                 durable: None,
+                adaptive: None,
                 house_samples,
                 house_symbols,
                 encode_batch_values,

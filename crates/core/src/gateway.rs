@@ -1197,6 +1197,35 @@ mod tests {
     }
 
     #[test]
+    fn epoch_table_cutover_flows_through_the_gateway() {
+        // A meter that re-learns its separators mid-stream ships the new
+        // table as an epoch frame; the gateway must commit it in order so
+        // the server decodes pre-cutover windows under epoch 0 and
+        // post-cutover windows under epoch 1.
+        let win = |i: i64| {
+            SensorMessage::Window(EncodedWindow {
+                window_start: i * 900,
+                symbol: Symbol::from_rank((i % 8) as u16, 3).unwrap(),
+                samples: 900,
+            })
+        };
+        let msgs = vec![
+            SensorMessage::Table(table()),
+            win(0),
+            win(1),
+            SensorMessage::EpochTable { epoch: 1, table: table() },
+            win(2),
+        ];
+        let wire: Vec<u8> = msgs.iter().flat_map(|m| encode_message(m).unwrap()).collect();
+        let gw = Gateway::start(GatewayConfig::default().workers(1)).unwrap();
+        connect_and_stream(gw.local_addr(), 9, b"smg-local-dev", &wire, msgs.len() as u64);
+        let report = gw.shutdown();
+        assert_eq!(report.output[&9], msgs, "cutover frame must arrive in stream order");
+        assert_eq!(report.ingest.frames_ok, msgs.len() as u64);
+        assert_eq!(report.ingest.frames_corrupt, 0);
+    }
+
+    #[test]
     fn bad_token_is_nakked_and_counted() {
         let gw = Gateway::start(GatewayConfig::default().workers(1)).unwrap();
         let mut conn = TcpStream::connect(gw.local_addr()).unwrap();

@@ -246,6 +246,7 @@ pub struct MeterIngest {
     config: IngestConfig,
     stats: IngestStats,
     table: Option<LookupTable>,
+    epoch: u32,
 }
 
 impl MeterIngest {
@@ -256,6 +257,7 @@ impl MeterIngest {
             config,
             stats: IngestStats::default(),
             table: None,
+            epoch: 0,
         }
     }
 
@@ -283,8 +285,21 @@ impl MeterIngest {
                     let frame_len = (buffered_before - self.decoder.buffered()) as u64;
                     self.stats.frame_bytes.observe(frame_len);
                     self.stats.bytes_decoded += frame_len;
-                    if let SensorMessage::Table(t) = &msg {
-                        self.table = Some(t.clone());
+                    match &msg {
+                        // A bare table is the pre-drift separator set: it
+                        // resets the meter to epoch 0 (the only epoch the
+                        // legacy frame can describe).
+                        SensorMessage::Table(t) => {
+                            self.table = Some(t.clone());
+                            self.epoch = 0;
+                        }
+                        // An epoch table is a drift cutover: subsequent
+                        // windows decode under this table until the next one.
+                        SensorMessage::EpochTable { epoch, table } => {
+                            self.table = Some(table.clone());
+                            self.epoch = *epoch;
+                        }
+                        SensorMessage::Window(_) => {}
                     }
                     out.push(msg);
                 }
@@ -317,6 +332,13 @@ impl MeterIngest {
     /// The most recent lookup table this meter shipped, if any survived.
     pub fn table(&self) -> Option<&LookupTable> {
         self.table.as_ref()
+    }
+
+    /// The separator epoch the meter is currently encoding under: `0` until
+    /// an [`SensorMessage::EpochTable`] frame arrives, then that frame's
+    /// epoch. Windows ingested now decode under this epoch's table.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
     }
 
     /// Bytes buffered awaiting a frame completion.
@@ -460,6 +482,25 @@ mod tests {
             assert_eq!(s.frame_success_rate(), 1.0);
             assert!(gw.table().is_some());
         }
+    }
+
+    #[test]
+    fn epoch_tables_advance_and_bare_tables_reset_the_epoch() {
+        let mut wire = encode_message(&SensorMessage::Table(table())).unwrap();
+        wire.extend(encode_message(&window(0)).unwrap());
+        wire.extend(
+            encode_message(&SensorMessage::EpochTable { epoch: 3, table: table() }).unwrap(),
+        );
+        wire.extend(encode_message(&window(1)).unwrap());
+        let mut gw = MeterIngest::new(IngestConfig::default());
+        assert_eq!(gw.epoch(), 0);
+        let out = gw.ingest(&wire).unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(gw.epoch(), 3, "epoch table must move the gateway forward");
+        assert!(gw.table().is_some());
+        // A bare (legacy) table frame can only describe epoch 0.
+        gw.ingest(&encode_message(&SensorMessage::Table(table())).unwrap()).unwrap();
+        assert_eq!(gw.epoch(), 0);
     }
 
     #[test]

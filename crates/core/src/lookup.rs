@@ -17,6 +17,7 @@ use crate::separators::{
     def3_bin_index, learn_separators, learn_separators_from_sample, FlatSeparators,
     SeparatorMethod, SortedSample, ENCODE_CHUNK,
 };
+use crate::stats::QuantileSketch;
 use crate::symbol::Symbol;
 
 /// Boundary count at or below which the batch encode uses the columnar
@@ -76,6 +77,80 @@ impl LookupTable {
     ) -> Result<Self> {
         let separators = learn_separators_from_sample(method, sample, alphabet.size())?;
         Self::from_parts(method, alphabet, separators, sample.values())
+    }
+
+    /// Learns a table from a bounded-memory [`QuantileSketch`] instead of a
+    /// retained sample — the drift path's constructor, since no raw history
+    /// survives at fleet scale.
+    ///
+    /// Separators come from sketch quantiles (`Median`: the `j/k` rank
+    /// quantiles; `Uniform`: an even grid over the sketch's value range;
+    /// `DistinctMedian` falls back to `Median`-over-the-sketch — a mergeable
+    /// sketch cannot track distinct values, and once ranks are approximate
+    /// the duplicate-bias correction is noise). Bin means come from mid-mass
+    /// quantiles, bin counts from the sketch's rank mass per bin. Collapsed
+    /// boundaries (constant runs, heavy duplicates) are nudged apart by ULPs
+    /// so the result keeps the strictly-increasing wire invariant.
+    ///
+    /// Errors on an empty sketch or one whose value range reaches ±∞ (the
+    /// sketch accepts infinities as data, but a table's range must be
+    /// finite).
+    pub fn learn_from_sketch(
+        method: SeparatorMethod,
+        alphabet: Alphabet,
+        sketch: &QuantileSketch,
+    ) -> Result<Self> {
+        if sketch.is_empty() {
+            return Err(Error::EmptyInput("learn_from_sketch"));
+        }
+        let k = alphabet.size();
+        let lo = sketch.quantile(0.0).expect("non-empty sketch");
+        let hi = sketch.quantile(1.0).expect("non-empty sketch");
+        if !(lo.is_finite() && hi.is_finite()) {
+            return Err(Error::InvalidParameter {
+                name: "sketch",
+                reason: format!("value range [{lo}, {hi}] is not finite"),
+            });
+        }
+        let mut separators: Vec<f64> = Vec::with_capacity(k - 1);
+        for j in 1..k {
+            let s = match method {
+                SeparatorMethod::Uniform => lo + (hi - lo) * j as f64 / k as f64,
+                SeparatorMethod::Median | SeparatorMethod::DistinctMedian => {
+                    sketch.quantile(j as f64 / k as f64).expect("non-empty sketch")
+                }
+            };
+            let s = match separators.last() {
+                Some(&prev) if s <= prev => next_up(prev),
+                _ => s,
+            };
+            separators.push(s);
+        }
+
+        let mut t = Self::from_parts(method, alphabet, separators, &[])?;
+        t.value_min = lo;
+        t.value_max = hi.max(t.separators[k - 2]);
+
+        // Rank-mass boundaries per bin (monotone by construction).
+        let total = sketch.count();
+        let mut cum = Vec::with_capacity(k + 1);
+        cum.push(0u64);
+        for i in 0..k - 1 {
+            let r = sketch.rank(t.separators[i]).min(total);
+            cum.push(r.max(cum[i]));
+        }
+        cum.push(total);
+        for i in 0..k {
+            t.bin_counts[i] = cum[i + 1] - cum[i];
+            t.bin_means[i] = if t.bin_counts[i] > 0 {
+                let mid = (cum[i] + cum[i + 1]) as f64 / 2.0 / total as f64;
+                let m = sketch.quantile(mid).expect("non-empty sketch");
+                m.max(t.lower_edge(i)).min(t.upper_edge(i))
+            } else {
+                t.center_of_bin(i)
+            };
+        }
+        Ok(t)
     }
 
     /// Builds a table from pre-computed separators, filling bin statistics
@@ -688,6 +763,19 @@ fn method_from_variant(s: &str) -> Option<SeparatorMethod> {
     })
 }
 
+/// Smallest float strictly greater than finite `x` (bit-increment nudge used
+/// to pull collapsed sketch separators apart).
+fn next_up(x: f64) -> f64 {
+    if x == 0.0 {
+        return f64::from_bits(1); // smallest positive subnormal
+    }
+    if x > 0.0 {
+        f64::from_bits(x.to_bits() + 1)
+    } else {
+        f64::from_bits(x.to_bits() - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -709,6 +797,67 @@ mod tests {
                 assert_eq!(direct.bin_means(), cached.bin_means(), "{method} k={k}");
             }
         }
+    }
+
+    #[test]
+    fn learn_from_sketch_tracks_exact_learn() {
+        let values: Vec<f64> = (0..4000).map(|i| ((i * 37) % 997) as f64).collect();
+        let mut sk = QuantileSketch::new(256).unwrap();
+        for &v in &values {
+            sk.update(v).unwrap();
+        }
+        for method in [SeparatorMethod::Median, SeparatorMethod::Uniform] {
+            let exact = LookupTable::learn(method, alphabet(8), &values).unwrap();
+            let approx = LookupTable::learn_from_sketch(method, alphabet(8), &sk).unwrap();
+            let (elo, ehi) = exact.value_range();
+            let (alo, ahi) = approx.value_range();
+            assert_eq!((alo, ahi), (elo, ehi), "{method}: range is exact (min/max survive)");
+            for (e, a) in exact.separators().iter().zip(approx.separators()) {
+                assert!(
+                    (e - a).abs() < 997.0 * 0.1,
+                    "{method}: separator {a} strays from exact {e}"
+                );
+            }
+            // Every separator strictly increasing — the wire invariant.
+            for w in approx.separators().windows(2) {
+                assert!(w[1] > w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn learn_from_sketch_handles_constant_and_duplicate_streams() {
+        let mut sk = QuantileSketch::new(32).unwrap();
+        for _ in 0..5000 {
+            sk.update(42.0).unwrap();
+        }
+        let t = LookupTable::learn_from_sketch(SeparatorMethod::Median, alphabet(4), &sk).unwrap();
+        for w in t.separators().windows(2) {
+            assert!(w[1] > w[0], "collapsed separators must be nudged strictly apart");
+        }
+        assert_eq!(t.encode_value(42.0).unwrap().resolution_bits(), 2);
+        // The table survives a wire roundtrip (strict separator validation).
+        let rt = LookupTable::from_wire_parts(
+            t.method(),
+            t.alphabet(),
+            t.separators().to_vec(),
+            t.bin_means().to_vec(),
+            t.bin_counts().to_vec(),
+            t.value_range().0,
+            t.value_range().1,
+        )
+        .unwrap();
+        assert_eq!(rt.separators(), t.separators());
+    }
+
+    #[test]
+    fn learn_from_sketch_rejects_empty_and_infinite_range() {
+        let sk = QuantileSketch::new(16).unwrap();
+        assert!(LookupTable::learn_from_sketch(SeparatorMethod::Median, alphabet(4), &sk).is_err());
+        let mut sk = QuantileSketch::new(16).unwrap();
+        sk.update(f64::INFINITY).unwrap();
+        sk.update(1.0).unwrap();
+        assert!(LookupTable::learn_from_sketch(SeparatorMethod::Median, alphabet(4), &sk).is_err());
     }
 
     #[test]

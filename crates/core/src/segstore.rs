@@ -50,11 +50,22 @@ use crate::symbol::{Symbol, MAX_RESOLUTION_BITS};
 use crate::telemetry::Registry;
 use crate::timeseries::Timestamp;
 
-/// Magic prefix of a persisted store image.
-pub const STORE_MAGIC: &[u8; 4] = b"SMS1";
+/// Magic prefix of a persisted store image (v2: epoch-tagged segments).
+pub const STORE_MAGIC: &[u8; 4] = b"SMS2";
 
-/// Fixed wire size of one serialized [`SegmentMeta`].
-const META_WIRE_BYTES: u64 = 8 + 8 + 8 + 8 + 8 + 8 + 2 + 2 + 1;
+/// Magic prefix of the epoch-less v1 image layout. Still readable:
+/// [`SegmentStore::from_bytes`] decodes v1 images with every segment at
+/// epoch 0, so stores persisted before drift adaptation existed keep
+/// loading (the "old epochs remain decodable" invariant extends to disk).
+pub const STORE_MAGIC_V1: &[u8; 4] = b"SMS1";
+
+/// Fixed wire size of one serialized v1 [`SegmentMeta`] (no epoch).
+const META_V1_WIRE_BYTES: u64 = 8 + 8 + 8 + 8 + 8 + 8 + 2 + 2 + 1;
+
+/// Fixed wire size of one serialized [`SegmentMeta`]: the v1 layout with
+/// the separator epoch (`u32`) appended **last**, so every v1 field sits at
+/// the same offset in both versions.
+const META_WIRE_BYTES: u64 = META_V1_WIRE_BYTES + 4;
 
 /// Fixed header size of a persisted image (magic + meta count + arena len).
 const HEADER_BYTES: u64 = 4 + 8 + 8;
@@ -136,6 +147,11 @@ pub struct SegmentMeta {
     pub offset: u64,
     /// Packed payload length in bytes.
     pub len: u64,
+    /// Separator epoch the segment's symbols were encoded under (`0` for
+    /// pre-drift tables and every v1 image). Symbols from different epochs
+    /// are not comparable — their separators differ — so queries mixing
+    /// epochs must re-decode through the matching epoch's table.
+    pub epoch: u32,
 }
 
 impl SegmentMeta {
@@ -266,11 +282,23 @@ impl SegmentStore {
         self.stats
     }
 
-    /// Appends `series` as one segment of `house`. The series must be
+    /// Appends `series` as one segment of `house` at epoch 0 (the pre-drift
+    /// separator table). See [`append_epoch`](Self::append_epoch).
+    pub fn append(&mut self, house: u64, series: &SymbolicSeries) -> Result<usize> {
+        self.append_epoch(house, 0, series)
+    }
+
+    /// Appends `series` as one segment of `house`, recording the separator
+    /// `epoch` its symbols were encoded under. The series must be
     /// **regular** — consecutive timestamps a constant positive interval
     /// apart — because the segment stores only `(start, interval, count)`;
     /// irregular series get a typed [`Error::Store`].
-    pub fn append(&mut self, house: u64, series: &SymbolicSeries) -> Result<usize> {
+    pub fn append_epoch(
+        &mut self,
+        house: u64,
+        epoch: u32,
+        series: &SymbolicSeries,
+    ) -> Result<usize> {
         if series.is_empty() {
             return Err(Error::EmptyInput("segment series"));
         }
@@ -313,6 +341,7 @@ impl SegmentStore {
             max_rank,
             offset,
             len,
+            epoch,
         };
         let id = self.metas.len();
         self.metas.push(meta);
@@ -370,8 +399,37 @@ impl SegmentStore {
         }
         let bits = self.house_segments(house).next().map(|m| m.resolution_bits).unwrap_or(1);
         let t = Instant::now();
-        let result = self.read_at(house, t0, t1, bits, true);
+        let result = self.read_at(house, t0, t1, bits, true, None);
         self.stats.reads += 1;
+        self.stats.query_secs += t.elapsed().as_secs_f64();
+        result
+    }
+
+    /// Separator epochs with at least one segment for `house`, ascending.
+    pub fn house_epochs(&self, house: u64) -> Vec<u32> {
+        let mut epochs: Vec<u32> = self.house_segments(house).map(|m| m.epoch).collect();
+        epochs.sort_unstable();
+        epochs.dedup();
+        epochs
+    }
+
+    /// Reads `house`'s symbols in `[t0, t1]` restricted to segments of one
+    /// separator `epoch`, truncated to `to_bits`. Like
+    /// [`read_truncated`](Self::read_truncated) this is a pure bit-slice of
+    /// the packed payloads — segments of other epochs are skipped entirely,
+    /// never decoded, so a stored image holding both pre- and post-cutover
+    /// segments serves each epoch independently.
+    pub fn read_epoch_truncated(
+        &mut self,
+        house: u64,
+        epoch: u32,
+        t0: Timestamp,
+        t1: Timestamp,
+        to_bits: u8,
+    ) -> Result<SymbolicSeries> {
+        let t = Instant::now();
+        let result = self.read_at(house, t0, t1, to_bits, false, Some(epoch));
+        self.stats.truncated_reads += 1;
         self.stats.query_secs += t.elapsed().as_secs_f64();
         result
     }
@@ -387,7 +445,7 @@ impl SegmentStore {
         to_bits: u8,
     ) -> Result<SymbolicSeries> {
         let t = Instant::now();
-        let result = self.read_at(house, t0, t1, to_bits, false);
+        let result = self.read_at(house, t0, t1, to_bits, false, None);
         self.stats.truncated_reads += 1;
         self.stats.query_secs += t.elapsed().as_secs_f64();
         result
@@ -400,6 +458,7 @@ impl SegmentStore {
         t1: Timestamp,
         read_bits: u8,
         exact: bool,
+        epoch: Option<u32>,
     ) -> Result<SymbolicSeries> {
         if read_bits == 0 || read_bits > MAX_RESOLUTION_BITS {
             return Err(Error::InvalidResolution(read_bits));
@@ -407,6 +466,9 @@ impl SegmentStore {
         let mut out = SymbolicSeries::new(read_bits)?;
         let mut rows: Vec<(u64, u64, &SegmentMeta)> = Vec::new();
         for m in self.house_segments(house) {
+            if epoch.is_some_and(|e| m.epoch != e) {
+                continue;
+            }
             if exact && m.resolution_bits != read_bits {
                 return Err(Error::ResolutionMismatch {
                     left: m.resolution_bits,
@@ -686,6 +748,8 @@ impl SegmentStore {
             out.extend_from_slice(&m.min_rank.to_le_bytes());
             out.extend_from_slice(&m.max_rank.to_le_bytes());
             out.push(m.resolution_bits);
+            // v2: the epoch goes LAST so every v1 field keeps its offset.
+            out.extend_from_slice(&m.epoch.to_le_bytes());
         }
         out.extend_from_slice(&self.arena);
         let crc = crate::durable::crc32(&out);
@@ -701,9 +765,16 @@ impl SegmentStore {
     /// function reserve memory it will never fill, and bit-rot anywhere
     /// in the image is a typed [`Error::Store`], not silent corruption.
     pub fn from_bytes(buf: &[u8]) -> Result<Self> {
-        if (buf.len() as u64) < HEADER_BYTES + FOOTER_BYTES || &buf[..4] != STORE_MAGIC {
+        if (buf.len() as u64) < HEADER_BYTES + FOOTER_BYTES {
             return Err(Error::Store("image too short or bad magic".to_string()));
         }
+        // v1 images predate drift adaptation: same layout minus the
+        // trailing epoch in each meta, every segment at epoch 0.
+        let meta_wire = match &buf[..4] {
+            m if m == STORE_MAGIC => META_WIRE_BYTES,
+            m if m == STORE_MAGIC_V1 => META_V1_WIRE_BYTES,
+            _ => return Err(Error::Store("image too short or bad magic".to_string())),
+        };
         // Whole-image integrity first: the CRC32 footer covers header,
         // metas, and arena, so bit-rot anywhere fails here — before any
         // length is trusted.
@@ -719,7 +790,7 @@ impl SegmentStore {
         let meta_count = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes"));
         let arena_len = u64::from_le_bytes(buf[12..20].try_into().expect("8 bytes"));
         let metas_bytes = meta_count
-            .checked_mul(META_WIRE_BYTES)
+            .checked_mul(meta_wire)
             .ok_or_else(|| Error::Store(format!("meta count {meta_count} overflows")))?;
         let announced = HEADER_BYTES
             .checked_add(metas_bytes)
@@ -743,7 +814,7 @@ impl SegmentStore {
         let mut metas = Vec::with_capacity(n);
         let mut at = HEADER_BYTES as usize;
         for _ in 0..n {
-            let f = &buf[at..at + META_WIRE_BYTES as usize];
+            let f = &buf[at..at + meta_wire as usize];
             let m = SegmentMeta {
                 house: u64::from_le_bytes(f[0..8].try_into().expect("8 bytes")),
                 start: i64::from_le_bytes(f[8..16].try_into().expect("8 bytes")),
@@ -754,10 +825,15 @@ impl SegmentStore {
                 min_rank: u16::from_le_bytes(f[48..50].try_into().expect("2 bytes")),
                 max_rank: u16::from_le_bytes(f[50..52].try_into().expect("2 bytes")),
                 resolution_bits: f[52],
+                epoch: if meta_wire == META_WIRE_BYTES {
+                    u32::from_le_bytes(f[53..57].try_into().expect("4 bytes"))
+                } else {
+                    0
+                },
             };
             validate_meta(&m, arena_len)?;
             metas.push(m);
-            at += META_WIRE_BYTES as usize;
+            at += meta_wire as usize;
         }
         let arena = buf[at..].to_vec();
         let mut store =
@@ -1190,6 +1266,64 @@ mod tests {
         let ivl_at = HEADER_BYTES as usize + 16;
         evil[ivl_at..ivl_at + 8].copy_from_slice(&i64::MAX.to_le_bytes());
         assert!(matches!(SegmentStore::from_bytes(&refoot(evil)), Err(Error::Store(_))));
+    }
+
+    #[test]
+    fn epoch_segments_roundtrip_and_read_per_epoch() {
+        let pre = series(4, 48, 0);
+        let post = series(4, 48, 48 * 900);
+        let mut store = SegmentStore::new();
+        store.append(5, &pre).unwrap(); // epoch 0
+        store.append_epoch(5, 1, &post).unwrap();
+        assert_eq!(store.house_epochs(5), vec![0, 1]);
+
+        // Persist and reload: epochs survive the image.
+        let img = store.to_bytes();
+        assert_eq!(&img[..4], STORE_MAGIC);
+        let mut back = SegmentStore::from_bytes(&img).unwrap();
+        assert_eq!(back.segments().iter().map(|m| m.epoch).collect::<Vec<_>>(), vec![0, 1]);
+
+        // Per-epoch reads are pure bit-slices over that epoch's segments
+        // only — the other epoch's payloads are never touched.
+        for bits in 1..=4u8 {
+            let e0 = back.read_epoch_truncated(5, 0, i64::MIN, i64::MAX, bits).unwrap();
+            assert_eq!(e0.symbols(), pre.truncate_resolution(bits).unwrap().symbols());
+            let e1 = back.read_epoch_truncated(5, 1, i64::MIN, i64::MAX, bits).unwrap();
+            assert_eq!(e1.symbols(), post.truncate_resolution(bits).unwrap().symbols());
+        }
+        let none = back.read_epoch_truncated(5, 9, i64::MIN, i64::MAX, 4).unwrap();
+        assert!(none.is_empty(), "an unknown epoch reads as empty, not as a mix");
+    }
+
+    #[test]
+    fn v1_images_without_epochs_still_load() {
+        // Build the v2 image, then rewrite it into the v1 layout by hand:
+        // magic SMS1, each meta minus its trailing 4-byte epoch, re-sealed
+        // CRC. from_bytes must load it with every segment at epoch 0.
+        let mut store = SegmentStore::new();
+        store.append(1, &series(4, 96, 0)).unwrap();
+        store.append(2, &series(3, 48, 0)).unwrap();
+        let v2 = store.to_bytes();
+        let n = store.segment_count();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(STORE_MAGIC_V1);
+        v1.extend_from_slice(&v2[4..HEADER_BYTES as usize]);
+        let metas_at = HEADER_BYTES as usize;
+        for i in 0..n {
+            let rec = &v2[metas_at + i * META_WIRE_BYTES as usize..];
+            v1.extend_from_slice(&rec[..META_V1_WIRE_BYTES as usize]);
+        }
+        let arena_at = metas_at + n * META_WIRE_BYTES as usize;
+        v1.extend_from_slice(&v2[arena_at..v2.len() - FOOTER_BYTES as usize]);
+        let crc = crate::durable::crc32(&v1);
+        v1.extend_from_slice(&crc.to_le_bytes());
+
+        let mut back = SegmentStore::from_bytes(&v1).unwrap();
+        assert_eq!(back.segment_count(), 2);
+        assert!(back.segments().iter().all(|m| m.epoch == 0));
+        let a = store.read_range(1, i64::MIN, i64::MAX).unwrap();
+        let b = back.read_range(1, i64::MIN, i64::MAX).unwrap();
+        assert_eq!(a.symbols(), b.symbols());
     }
 
     #[test]

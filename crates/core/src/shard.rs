@@ -42,6 +42,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use crate::adaptive::{AdaptiveStats, DriftDetector};
 use crate::engine::{QuarantineReason, Quarantined};
 use crate::error::{Error, Result};
 use crate::horizontal::SymbolicSeries;
@@ -221,6 +222,19 @@ impl TableCache {
         self.recency.insert(self.next_seq, house);
         self.next_seq += 1;
     }
+
+    /// Drops `house`'s cached table, if present — the drift cutover path:
+    /// the next batch retrains from the house's *current* history instead
+    /// of replaying the stale pre-drift table.
+    pub fn remove(&mut self, house: u64) -> bool {
+        match self.entries.remove(&house) {
+            Some((_, seq)) => {
+                self.recency.remove(&seq);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Counters for one sharded run; rendered as the `"shard"` block of
@@ -271,6 +285,32 @@ pub struct ShardedEngineConfig {
     pub table_cache_capacity: usize,
     /// Retry schedule for panicking encode jobs.
     pub retry: RetryPolicy,
+    /// Online drift adaptation, `None` (the default) disables it. When set,
+    /// a serial pre-pass feeds every house's samples into a per-house
+    /// sketch-backed [`DriftDetector`]; a confirmed drift evicts the
+    /// house's cached table and bumps its separator epoch, so the next
+    /// encode retrains on post-drift data. The pre-pass runs on the main
+    /// thread **in input order**, so the decisions — and therefore the
+    /// output bytes — are identical at any shards × workers topology.
+    pub drift: Option<DriftConfig>,
+}
+
+/// Drift-detection policy of a sharded engine (see
+/// [`ShardedEngineConfig::drift`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// KS-statistic threshold above which drift fires (hysteresis re-arms
+    /// below `threshold / 2`).
+    pub threshold: f64,
+    /// Sliding-window length in samples; also the minimum sample interval
+    /// between consecutive rebuilds of one house.
+    pub window: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig { threshold: 0.3, window: 512 }
+    }
 }
 
 impl Default for ShardedEngineConfig {
@@ -280,6 +320,7 @@ impl Default for ShardedEngineConfig {
             workers: 1,
             table_cache_capacity: 4096,
             retry: RetryPolicy::default(),
+            drift: None,
         }
     }
 }
@@ -307,6 +348,12 @@ impl ShardedEngineConfig {
         self.retry = retry;
         self
     }
+
+    /// Enables online drift adaptation with the given policy.
+    pub fn drift(mut self, drift: DriftConfig) -> Self {
+        self.drift = Some(drift);
+        self
+    }
 }
 
 /// The result of one sharded batch: per-house series in input order plus
@@ -318,6 +365,36 @@ pub struct ShardedEncoding {
     pub series: Vec<SymbolicSeries>,
     /// Houses whose job failed, in input-index order.
     pub quarantined: Vec<Quarantined>,
+    /// `epochs[i]` is the separator epoch the `i`-th input house was
+    /// encoded under in this batch: `0` until its first drift cutover,
+    /// incremented at each confirmed rebuild. All zeros when
+    /// [`ShardedEngineConfig::drift`] is off. Feed this to
+    /// [`crate::segstore::SegmentStore::append_epoch`] so stored segments
+    /// record which separator generation their bits mean.
+    pub epochs: Vec<u32>,
+}
+
+/// Per-house drift-tracking state of a drift-enabled sharded engine. Lives
+/// in one house-keyed map owned by the engine (not the shards), mutated
+/// only by the serial pre-pass — so its evolution is a pure function of
+/// the input stream, independent of topology.
+#[derive(Debug)]
+struct HouseDrift {
+    detector: DriftDetector,
+    /// Separator epoch the house currently encodes under.
+    epoch: u32,
+    /// Hysteresis arm: a firing dis-arms; re-arms when the statistic falls
+    /// below half the threshold, or once the detection window has fully
+    /// turned over since the rebuild (so a rebuild trained on a window
+    /// straddling the drift cannot suppress its correction forever).
+    armed: bool,
+    /// Samples since the last rebuild (gates the min-interval).
+    since_rebuild: u64,
+    /// Lifetime samples pushed for this house.
+    samples: u64,
+    /// Sample count at the first min-interval-suppressed over-threshold
+    /// reading, for the cutover-lag histogram.
+    pending_since: Option<u64>,
 }
 
 /// A fleet encoder whose state is partitioned by the consistent-hash ring:
@@ -336,6 +413,9 @@ pub struct ShardedFleetEngine {
     caches: Vec<TableCache>,
     stats: ShardStats,
     pool_stats: PoolStats,
+    /// Per-house drift state, present only when `config.drift` is set.
+    drift_state: BTreeMap<u64, HouseDrift>,
+    adaptive_stats: AdaptiveStats,
 }
 
 impl ShardedFleetEngine {
@@ -351,6 +431,8 @@ impl ShardedFleetEngine {
             caches,
             stats: ShardStats::default(),
             pool_stats: PoolStats::default(),
+            drift_state: BTreeMap::new(),
+            adaptive_stats: AdaptiveStats::default(),
         })
     }
 
@@ -377,6 +459,103 @@ impl ShardedFleetEngine {
         self.pool_stats
     }
 
+    /// Cumulative drift-adaptation counters over every batch. Zeroes when
+    /// [`ShardedEngineConfig::drift`] is off.
+    pub fn adaptive_stats(&self) -> AdaptiveStats {
+        self.adaptive_stats
+    }
+
+    /// The separator epoch `house` currently encodes under (`0` for houses
+    /// never seen or never drifted).
+    pub fn house_epoch(&self, house: u64) -> u32 {
+        self.drift_state.get(&house).map_or(0, |d| d.epoch)
+    }
+
+    /// The drift pre-pass: feeds each house's batch samples through its
+    /// sketch detector **serially, in input order**, and on a confirmed
+    /// drift evicts the house's cached table and bumps its epoch — so the
+    /// encode stage retrains that house on its post-drift data. Every
+    /// decision here is a pure function of the per-house sample stream;
+    /// nothing downstream (shard partitioning, worker scheduling) can
+    /// change it, which preserves byte-identical output across topologies.
+    fn drift_prepass(&mut self, fleet: &[(u64, TimeSeries)], drift: DriftConfig) {
+        for (house, ts) in fleet {
+            let values = ts.values();
+            let state = match self.drift_state.get_mut(house) {
+                Some(state) => state,
+                None => {
+                    // First sight: the batch becomes the reference
+                    // distribution. A house whose history can't seed a
+                    // detector (empty, or NaN — the encoder will surface
+                    // that) simply goes untracked.
+                    let finite: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+                    let Ok(det) = DriftDetector::new(&finite, drift.window) else {
+                        continue;
+                    };
+                    self.adaptive_stats.samples += values.len() as u64;
+                    self.drift_state.insert(
+                        *house,
+                        HouseDrift {
+                            detector: det,
+                            epoch: 0,
+                            armed: true,
+                            since_rebuild: 0,
+                            samples: values.len() as u64,
+                            pending_since: None,
+                        },
+                    );
+                    continue;
+                }
+            };
+            for &v in &values {
+                state.detector.push(v);
+            }
+            state.samples += values.len() as u64;
+            state.since_rebuild += values.len() as u64;
+            self.adaptive_stats.samples += values.len() as u64;
+            let Some(stat) = state.detector.statistic() else {
+                continue;
+            };
+            // Re-arm when the statistic settles, or once the detection
+            // window has fully turned over since the rebuild: a rebuild that
+            // fired on a window straddling the drift leaves a mixed
+            // reference the statistic never settles against, and the
+            // corrective rebuild must not be suppressed forever.
+            if !state.armed
+                && (stat < drift.threshold / 2.0 || state.since_rebuild >= 2 * drift.window as u64)
+            {
+                state.armed = true;
+            }
+            if stat <= drift.threshold {
+                continue;
+            }
+            if !state.armed {
+                self.adaptive_stats.suppressed_hysteresis += 1;
+                continue;
+            }
+            if state.since_rebuild < drift.window as u64 {
+                self.adaptive_stats.suppressed_min_interval += 1;
+                state.pending_since.get_or_insert(state.samples);
+                continue;
+            }
+            // Confirmed drift: cut over. The cached pre-drift table is
+            // evicted so the encode stage retrains this house; the epoch
+            // bump versions everything downstream (wire frames, stored
+            // segments).
+            let lag = state.samples - state.pending_since.take().unwrap_or(state.samples);
+            self.adaptive_stats.cutover_lag.observe(lag);
+            state.detector.rebase();
+            state.epoch += 1;
+            state.armed = false;
+            state.since_rebuild = 0;
+            self.adaptive_stats.rebuilds += 1;
+            self.adaptive_stats.epochs_shipped += 1;
+            self.caches[self.router.route(*house)].remove(*house);
+        }
+        self.adaptive_stats.sketch_bytes =
+            self.drift_state.values().map(|d| d.detector.sketch_bytes() as u64).sum();
+    }
+
     /// Encodes one batch of houses. Output is byte-identical for any
     /// `shards`/`workers` setting (see the module determinism contract);
     /// failed houses are quarantined with an empty placeholder, matching
@@ -385,6 +564,13 @@ impl ShardedFleetEngine {
         let resolution = self.builder.resolution();
         let mut series: Vec<Option<SymbolicSeries>> = vec![None; fleet.len()];
         let mut quarantined: Vec<Quarantined> = Vec::new();
+
+        // Drift detection happens before partitioning, serially, in input
+        // order — see `drift_prepass` for why this keeps the determinism
+        // contract intact.
+        if let Some(drift) = self.config.drift {
+            self.drift_prepass(fleet, drift);
+        }
 
         // Partition input indices by ring position.
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.config.shards];
@@ -477,7 +663,11 @@ impl ShardedFleetEngine {
                 None => SymbolicSeries::new(resolution),
             })
             .collect::<Result<Vec<_>>>()?;
-        Ok(ShardedEncoding { series, quarantined })
+        if self.config.drift.is_some() {
+            self.adaptive_stats.symbols += series.iter().map(|s| s.len() as u64).sum::<u64>();
+        }
+        let epochs = fleet.iter().map(|(house, _)| self.house_epoch(*house)).collect();
+        Ok(ShardedEncoding { series, quarantined, epochs })
     }
 }
 
@@ -700,6 +890,87 @@ mod tests {
         assert_eq!(out.quarantined[0].house, 3);
         assert!(out.series[3].is_empty());
         assert!(!out.series[4].is_empty());
+    }
+
+    fn shifted_fleet(n: usize, offset: f64) -> Vec<(u64, TimeSeries)> {
+        (0..n as u64)
+            .map(|h| {
+                let values: Vec<f64> = (0..96)
+                    .map(|i| {
+                        let x = splitmix64(h.wrapping_mul(31).wrapping_add(i as u64 + 7919));
+                        (x % 4000) as f64 / 10.0 + offset
+                    })
+                    .collect();
+                (h * 7 + 3, TimeSeries::from_regular(0, 900, &values).unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn drift_cutover_bumps_epochs_and_retrains() {
+        let pre = fleet(8);
+        let post = shifted_fleet(8, 500.0);
+        let drift = DriftConfig { threshold: 0.3, window: 64 };
+
+        let cfg = ShardedEngineConfig::with_shards(4).drift(drift);
+        let mut eng = ShardedFleetEngine::new(builder(), cfg).unwrap();
+        let b1 = eng.encode_batch(&pre).unwrap();
+        assert!(b1.epochs.iter().all(|&e| e == 0), "no drift on the reference batch");
+        assert_eq!(eng.adaptive_stats().rebuilds, 0);
+
+        let b2 = eng.encode_batch(&post).unwrap();
+        assert!(b2.epochs.iter().all(|&e| e == 1), "every house cut over: {:?}", b2.epochs);
+        let stats = eng.adaptive_stats();
+        assert_eq!(stats.rebuilds, 8);
+        assert_eq!(stats.epochs_shipped, 8);
+        assert!(stats.sketch_bytes > 0);
+        assert!(stats.sketch_bytes < 8 * 64 * 1024, "sketches must stay bounded");
+        for h in 0..8u64 {
+            assert_eq!(eng.house_epoch(h * 7 + 3), 1);
+        }
+
+        // Without adaptation the cached pre-drift table is replayed over
+        // the shifted data; with adaptation the house retrained, so the
+        // symbols must differ somewhere.
+        let mut frozen =
+            ShardedFleetEngine::new(builder(), ShardedEngineConfig::with_shards(4)).unwrap();
+        frozen.encode_batch(&pre).unwrap();
+        let f2 = frozen.encode_batch(&post).unwrap();
+        assert!(f2.epochs.iter().all(|&e| e == 0));
+        assert!(
+            b2.series.iter().zip(&f2.series).any(|(a, b)| a.symbols() != b.symbols()),
+            "cutover produced the same symbols as the stale table"
+        );
+    }
+
+    #[test]
+    fn drift_output_is_byte_identical_across_topologies_including_cutover() {
+        let pre = fleet(24);
+        let post = shifted_fleet(24, 500.0);
+        let drift = DriftConfig { threshold: 0.3, window: 64 };
+        let reference = {
+            let cfg = ShardedEngineConfig::with_shards(1).workers(1).drift(drift);
+            let mut eng = ShardedFleetEngine::new(builder(), cfg).unwrap();
+            let b1 = eng.encode_batch(&pre).unwrap();
+            let b2 = eng.encode_batch(&post).unwrap();
+            (b1, b2)
+        };
+        for shards in [1usize, 4, 16] {
+            for workers in [1usize, 2, 8] {
+                let cfg = ShardedEngineConfig::with_shards(shards).workers(workers).drift(drift);
+                let mut eng = ShardedFleetEngine::new(builder(), cfg).unwrap();
+                let b1 = eng.encode_batch(&pre).unwrap();
+                let b2 = eng.encode_batch(&post).unwrap();
+                assert_eq!(b1.epochs, reference.0.epochs, "{shards}x{workers}");
+                assert_eq!(b2.epochs, reference.1.epochs, "{shards}x{workers}");
+                for (i, (a, b)) in b1.series.iter().zip(&reference.0.series).enumerate() {
+                    assert_eq!(a.symbols(), b.symbols(), "pre house {i} at {shards}x{workers}");
+                }
+                for (i, (a, b)) in b2.series.iter().zip(&reference.1.series).enumerate() {
+                    assert_eq!(a.symbols(), b.symbols(), "post house {i} at {shards}x{workers}");
+                }
+            }
+        }
     }
 
     #[test]

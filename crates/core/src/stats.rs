@@ -357,6 +357,203 @@ impl OrderedMultiset {
     }
 }
 
+/// Deterministic bounded-memory streaming quantile sketch (KLL/MRL-style).
+///
+/// Items live in levels; an item at level `l` represents `2^l` stream values.
+/// When a level fills, it is sorted and every other item survives at doubled
+/// weight (one compaction). The surviving parity comes from a [splitmix64]
+/// counter — no wall clock, no OS RNG — so the same stream always produces
+/// the same sketch, which is what lets the fleet engine keep its byte-identity
+/// witness across shard/worker topologies.
+///
+/// Each compaction at level `l` perturbs any rank by at most `2^l`; the sketch
+/// tracks the running sum in [`rank_error_bound`](Self::rank_error_bound), so
+/// callers get a *provable* per-instance bound rather than a probabilistic
+/// one. Memory is `O(k · log(n/k))` for `n` stream values.
+///
+/// NaN is rejected at [`update`](Self::update) (the PR 6 policy: ±∞ is data,
+/// NaN is an error); ±∞ order correctly via total ordering.
+///
+/// [splitmix64]: crate::shard::splitmix64
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    /// Per-level buffer capacity.
+    k: usize,
+    /// `levels[l]` holds items of weight `2^l`. Only kept sorted right after
+    /// compaction; queries sort on demand.
+    levels: Vec<Vec<f64>>,
+    count: u64,
+    err_bound: u64,
+    /// splitmix64 state advanced once per compaction (parity source).
+    rng: u64,
+}
+
+/// Default per-level capacity: ±0.5% rank error per compaction level at
+/// a few KiB per sketch.
+pub const SKETCH_DEFAULT_K: usize = 128;
+
+impl QuantileSketch {
+    /// Creates an empty sketch with per-level capacity `k` (must be ≥ 2).
+    pub fn new(k: usize) -> Result<Self> {
+        if k < 2 {
+            return Err(Error::InvalidParameter {
+                name: "k",
+                reason: format!("sketch level capacity must be at least 2, got {k}"),
+            });
+        }
+        Ok(QuantileSketch {
+            k,
+            levels: vec![Vec::new()],
+            count: 0,
+            err_bound: 0,
+            // Fixed seed: mixes k so differently-sized sketches decorrelate,
+            // but stays a pure function of the constructor arguments.
+            rng: crate::shard::splitmix64(0x5157_4b45_5443_4821 ^ k as u64),
+        })
+    }
+
+    /// Creates a sketch with [`SKETCH_DEFAULT_K`].
+    pub fn with_default_capacity() -> Self {
+        QuantileSketch::new(SKETCH_DEFAULT_K).expect("default capacity is valid")
+    }
+
+    /// Feeds one value. NaN is rejected (`Error::NonFiniteValue`); ±∞ is
+    /// accepted and ordered at the extremes.
+    pub fn update(&mut self, v: f64) -> Result<()> {
+        if v.is_nan() {
+            return Err(Error::NonFiniteValue { index: self.count as usize });
+        }
+        self.count += 1;
+        self.levels[0].push(v);
+        self.compact_cascade();
+        Ok(())
+    }
+
+    /// Merges another sketch into this one (counts and error bounds add).
+    /// Deterministic: the result depends only on the two operands and the
+    /// merge order, never on wall clock or OS randomness.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        while self.levels.len() < other.levels.len() {
+            self.levels.push(Vec::new());
+        }
+        for (l, items) in other.levels.iter().enumerate() {
+            self.levels[l].extend_from_slice(items);
+        }
+        self.count += other.count;
+        self.err_bound += other.err_bound;
+        // Overfull levels compact immediately so memory stays bounded.
+        for l in 0.. {
+            if l >= self.levels.len() {
+                break;
+            }
+            while self.levels[l].len() >= self.level_capacity(l) {
+                self.compact_level(l);
+            }
+        }
+    }
+
+    fn compact_cascade(&mut self) {
+        let mut l = 0;
+        while l < self.levels.len() {
+            if self.levels[l].len() < self.level_capacity(l) {
+                break;
+            }
+            self.compact_level(l);
+            l += 1;
+        }
+    }
+
+    fn level_capacity(&self, _l: usize) -> usize {
+        self.k
+    }
+
+    /// Sorts level `l`, keeps every other item at doubled weight (parity from
+    /// the deterministic counter), and charges `2^l` to the error bound.
+    fn compact_level(&mut self, l: usize) {
+        if self.levels.len() == l + 1 {
+            self.levels.push(Vec::new());
+        }
+        let mut items = std::mem::take(&mut self.levels[l]);
+        items.sort_by(|a, b| a.total_cmp(b));
+        // An odd item count would drop half a weight; leave the last (largest)
+        // item behind at this level so weights always balance exactly.
+        if items.len() % 2 == 1 {
+            self.levels[l].push(items.pop().expect("non-empty after parity check"));
+        }
+        if items.is_empty() {
+            return;
+        }
+        self.rng = crate::shard::splitmix64(self.rng);
+        let offset = (self.rng & 1) as usize;
+        for (i, v) in items.into_iter().enumerate() {
+            if i % 2 == offset {
+                self.levels[l + 1].push(v);
+            }
+        }
+        self.err_bound += 1u64 << l;
+    }
+
+    /// Number of stream values folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no values have been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Provable absolute rank-error bound for this instance: for any `v`,
+    /// `|rank(v) - true_rank(v)| <= rank_error_bound()`, where `true_rank`
+    /// counts stream values `<= v`.
+    pub fn rank_error_bound(&self) -> u64 {
+        self.err_bound
+    }
+
+    /// Approximate number of stream values `<= v` (weighted item count).
+    pub fn rank(&self, v: f64) -> u64 {
+        let mut r = 0u64;
+        for (l, items) in self.levels.iter().enumerate() {
+            let w = 1u64 << l;
+            r += w * items.iter().filter(|x| x.total_cmp(&v).is_le()).count() as u64;
+        }
+        r
+    }
+
+    /// Approximate `q`-quantile for `q` in `[0, 1]` (`None` when empty):
+    /// the smallest retained value whose cumulative weight reaches
+    /// `ceil(q * count)`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let mut pairs: Vec<(f64, u64)> = Vec::new();
+        for (l, items) in self.levels.iter().enumerate() {
+            let w = 1u64 << l;
+            pairs.extend(items.iter().map(|&v| (v, w)));
+        }
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (v, w) in &pairs {
+            cum += w;
+            if cum >= target {
+                return Some(*v);
+            }
+        }
+        pairs.last().map(|(v, _)| *v)
+    }
+
+    /// Bytes of heap + inline state currently held (the O(log n) budget the
+    /// fleet engine accounts per house).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.levels.iter().map(|l| l.capacity() * std::mem::size_of::<f64>()).sum::<usize>()
+            + self.levels.capacity() * std::mem::size_of::<Vec<f64>>()
+    }
+}
+
 /// Fixed-width histogram over `[0, max)`, as used for the Fig. 2 power-level
 /// distribution plot (100 W bins from 0 to 2400 W in the paper).
 #[derive(Debug, Clone)]
@@ -716,6 +913,127 @@ mod tests {
         assert!((fit.sigma - sigma).abs() < 0.02, "sigma {}", fit.sigma);
         let ks = fit.ks_statistic(&vals).unwrap();
         assert!(ks < 0.01, "ks {ks}");
+    }
+
+    fn lcg_stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 * 1000.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sketch_rank_stays_within_tracked_bound() {
+        let vals = lcg_stream(7, 50_000);
+        let mut sk = QuantileSketch::new(64).unwrap();
+        for &v in &vals {
+            sk.update(v).unwrap();
+        }
+        assert_eq!(sk.count(), vals.len() as u64);
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let v = sorted[((q * (sorted.len() - 1) as f64) as usize).min(sorted.len() - 1)];
+            let true_rank = sorted.partition_point(|&x| x <= v) as i64;
+            let est = sk.rank(v) as i64;
+            let bound = sk.rank_error_bound() as i64;
+            assert!(
+                (est - true_rank).abs() <= bound,
+                "q={q}: est rank {est} vs true {true_rank}, bound {bound}"
+            );
+        }
+        // Worst-case tracked bound is ~levels·n/k; sanity-check it stays a
+        // fraction of n rather than degenerating to n itself.
+        assert!(
+            sk.rank_error_bound() < vals.len() as u64 / 4,
+            "bound {} too loose for n={}",
+            sk.rank_error_bound(),
+            vals.len()
+        );
+    }
+
+    #[test]
+    fn sketch_memory_stays_logarithmic() {
+        let mut sk = QuantileSketch::new(64).unwrap();
+        for v in lcg_stream(3, 200_000) {
+            sk.update(v).unwrap();
+        }
+        // 200k values, k=64: ~log2(200k/64) ≈ 12 levels of ≤64 f64s each.
+        assert!(sk.memory_bytes() < 32 * 1024, "memory {} bytes", sk.memory_bytes());
+    }
+
+    #[test]
+    fn sketch_merge_matches_single_stream_count_and_bound() {
+        let vals = lcg_stream(11, 8_192);
+        let (a_half, b_half) = vals.split_at(vals.len() / 2);
+        let mut a = QuantileSketch::new(32).unwrap();
+        let mut b = QuantileSketch::new(32).unwrap();
+        for &v in a_half {
+            a.update(v).unwrap();
+        }
+        for &v in b_half {
+            b.update(v).unwrap();
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), vals.len() as u64);
+        let mut sorted = vals.clone();
+        sorted.sort_by(|x, y| x.total_cmp(y));
+        let mid = sorted[sorted.len() / 2];
+        let true_rank = sorted.partition_point(|&x| x <= mid) as i64;
+        assert!((a.rank(mid) as i64 - true_rank).abs() <= a.rank_error_bound() as i64);
+    }
+
+    #[test]
+    fn sketch_is_deterministic() {
+        let vals = lcg_stream(5, 10_000);
+        let mut a = QuantileSketch::new(32).unwrap();
+        let mut b = QuantileSketch::new(32).unwrap();
+        for &v in &vals {
+            a.update(v).unwrap();
+            b.update(v).unwrap();
+        }
+        for q in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(a.quantile(q), b.quantile(q), "same stream, same sketch at q={q}");
+        }
+        assert_eq!(a.rank_error_bound(), b.rank_error_bound());
+    }
+
+    #[test]
+    fn sketch_rejects_nan_accepts_infinities() {
+        let mut sk = QuantileSketch::new(8).unwrap();
+        assert!(sk.update(f64::NAN).is_err());
+        assert!(sk.is_empty(), "rejected NaN must not count");
+        sk.update(f64::NEG_INFINITY).unwrap();
+        sk.update(0.0).unwrap();
+        sk.update(f64::INFINITY).unwrap();
+        assert_eq!(sk.quantile(0.0), Some(f64::NEG_INFINITY));
+        assert_eq!(sk.quantile(1.0), Some(f64::INFINITY));
+        assert_eq!(sk.rank(0.0), 2);
+    }
+
+    #[test]
+    fn sketch_constant_stream_is_exact() {
+        let mut sk = QuantileSketch::new(16).unwrap();
+        for _ in 0..10_000 {
+            sk.update(42.0).unwrap();
+        }
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(sk.quantile(q), Some(42.0));
+        }
+        assert_eq!(sk.rank(42.0), 10_000);
+        assert_eq!(sk.rank(41.9), 0);
+    }
+
+    #[test]
+    fn sketch_validates_capacity() {
+        assert!(QuantileSketch::new(0).is_err());
+        assert!(QuantileSketch::new(1).is_err());
+        assert!(QuantileSketch::new(2).is_ok());
+        assert!(QuantileSketch::with_default_capacity().is_empty());
+        assert_eq!(QuantileSketch::new(8).unwrap().quantile(0.5), None);
     }
 
     #[test]

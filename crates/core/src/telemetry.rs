@@ -824,6 +824,71 @@ pub const CATALOG: &[MetricSpec] = &[
         "failovers",
         "Shards marked dead after backend I/O errors, houses re-routed to successor vnodes."
     ),
+    // --- adaptive ---------------------------------------------------------
+    spec!(
+        "adaptive",
+        "rebuilds",
+        "sms_adaptive_rebuilds",
+        Counter,
+        "rebuilds",
+        "Lookup-table rebuilds triggered by the drift detector."
+    ),
+    spec!(
+        "adaptive",
+        "suppressed_hysteresis",
+        "sms_adaptive_suppressed_hysteresis",
+        Counter,
+        "decisions",
+        "Over-threshold drift readings suppressed because the detector was not re-armed."
+    ),
+    spec!(
+        "adaptive",
+        "suppressed_min_interval",
+        "sms_adaptive_suppressed_min_interval",
+        Counter,
+        "decisions",
+        "Over-threshold drift readings suppressed by the minimum rebuild interval."
+    ),
+    spec!(
+        "adaptive",
+        "epochs_shipped",
+        "sms_adaptive_epochs_shipped",
+        Counter,
+        "epochs",
+        "Epoch-versioned lookup tables shipped after drift cutover."
+    ),
+    spec!(
+        "adaptive",
+        "sketch_bytes",
+        "sms_adaptive_sketch_bytes",
+        Gauge,
+        "bytes",
+        "Bytes held by streaming quantile sketches across all drift detectors."
+    ),
+    spec!(
+        "adaptive",
+        "samples",
+        "sms_adaptive_samples",
+        Counter,
+        "samples",
+        "Raw samples folded into drift detectors."
+    ),
+    spec!(
+        "adaptive",
+        "symbols",
+        "sms_adaptive_symbols",
+        Counter,
+        "symbols",
+        "Symbols emitted by adaptive encoders."
+    ),
+    spec!(
+        "adaptive",
+        "cutover_lag",
+        "sms_adaptive_cutover_lag",
+        Histogram,
+        "samples",
+        "Samples between a suppressed over-threshold drift reading and the eventual rebuild."
+    ),
 ];
 
 /// Looks up a metric's [`CATALOG`] declaration by Prometheus name.

@@ -15,7 +15,16 @@
 //! tag 0x01 = lookup table:  payload = bincode-free hand-rolled table body
 //! tag 0x02 = window:        payload = i64 window_start, u8 bits, u16 rank,
 //!                                      u32 samples
+//! tag 0x03 = epoch table:   payload = u32 epoch, then the tag-0x01 table
+//!                                      body (drift cutover, see
+//!                                      `crate::adaptive`)
 //! ```
+//!
+//! Tag 0x03 versions the table without breaking old decoders' *captures*:
+//! a tag-0x01 frame is still emitted by non-adaptive sensors and still
+//! decodes byte-for-byte — old epochs (and pre-epoch streams) remain
+//! decodable forever; the epoch tag only adds a monotonic version so stored
+//! segments can record which table encoded them.
 
 use crate::alphabet::Alphabet;
 use crate::encoder::{EncodedWindow, SensorMessage};
@@ -26,6 +35,10 @@ use crate::symbol::Symbol;
 
 const TAG_TABLE: u8 = 0x01;
 const TAG_WINDOW: u8 = 0x02;
+const TAG_EPOCH_TABLE: u8 = 0x03;
+
+/// Bytes the epoch prefix adds to a table body in a tag-0x03 payload.
+const EPOCH_PREFIX_LEN: usize = 4;
 
 /// Frame header size: one tag byte plus a little-endian `u32` payload length.
 pub const HEADER_LEN: usize = 5;
@@ -189,6 +202,10 @@ pub fn encode_message_into(msg: &SensorMessage, out: &mut Vec<u8>) -> Result<()>
             out.reserve(HEADER_LEN + WINDOW_PAYLOAD_LEN);
             TAG_WINDOW
         }
+        SensorMessage::EpochTable { table, .. } => {
+            out.reserve(HEADER_LEN + EPOCH_PREFIX_LEN + table_payload_len(table.resolution_bits()));
+            TAG_EPOCH_TABLE
+        }
     };
     out.push(tag);
     let len_at = out.len();
@@ -196,6 +213,10 @@ pub fn encode_message_into(msg: &SensorMessage, out: &mut Vec<u8>) -> Result<()>
     let payload_start = out.len();
     match msg {
         SensorMessage::Table(t) => put_table(out, t),
+        SensorMessage::EpochTable { epoch, table } => {
+            out.extend_from_slice(&epoch.to_le_bytes());
+            put_table(out, table);
+        }
         SensorMessage::Window(w) => {
             out.extend_from_slice(&w.window_start.to_le_bytes());
             out.push(w.symbol.resolution_bits());
@@ -223,6 +244,13 @@ fn decode_payload(tag: u8, payload_bytes: &[u8]) -> Result<SensorMessage> {
     let mut payload = Reader::new(payload_bytes);
     match tag {
         TAG_TABLE => Ok(SensorMessage::Table(get_table(&mut payload)?)),
+        TAG_EPOCH_TABLE => {
+            if payload.remaining() < EPOCH_PREFIX_LEN {
+                return Err(Error::WireFormat("epoch-table frame truncated".to_string()));
+            }
+            let epoch = payload.get_u32_le();
+            Ok(SensorMessage::EpochTable { epoch, table: get_table(&mut payload)? })
+        }
         TAG_WINDOW => {
             if payload.remaining() != WINDOW_PAYLOAD_LEN {
                 return Err(Error::WireFormat(format!(
@@ -254,7 +282,7 @@ fn decode_payload(tag: u8, payload_bytes: &[u8]) -> Result<SensorMessage> {
 /// which simply triggers another resync.
 fn plausible_frame_at(buf: &[u8], max_frame_len: usize) -> bool {
     let Some(&tag) = buf.first() else { return false };
-    if tag != TAG_TABLE && tag != TAG_WINDOW {
+    if tag != TAG_TABLE && tag != TAG_WINDOW && tag != TAG_EPOCH_TABLE {
         return false;
     }
     if buf.len() < HEADER_LEN {
@@ -266,15 +294,20 @@ fn plausible_frame_at(buf: &[u8], max_frame_len: usize) -> bool {
     }
     match tag {
         TAG_WINDOW if len != WINDOW_PAYLOAD_LEN => return false,
-        TAG_TABLE => {
+        TAG_TABLE | TAG_EPOCH_TABLE => {
             // method byte ≤ 2, resolution in 1..=16, and the announced
-            // length must match the one the resolution dictates.
-            if buf.len() > HEADER_LEN && buf[HEADER_LEN] > 2 {
+            // length must match the one the resolution dictates. An epoch
+            // table carries a 4-byte epoch before the table body, shifting
+            // those bytes (any u32 is a valid epoch, so it is not checked).
+            let body =
+                if tag == TAG_EPOCH_TABLE { HEADER_LEN + EPOCH_PREFIX_LEN } else { HEADER_LEN };
+            let prefix = body - HEADER_LEN;
+            if buf.len() > body && buf[body] > 2 {
                 return false;
             }
-            if buf.len() > HEADER_LEN + 1 {
-                let bits = buf[HEADER_LEN + 1];
-                if !(1..=16).contains(&bits) || len != table_payload_len(bits) {
+            if buf.len() > body + 1 {
+                let bits = buf[body + 1];
+                if !(1..=16).contains(&bits) || len != prefix + table_payload_len(bits) {
                     return false;
                 }
             }
@@ -363,7 +396,7 @@ impl FrameDecoder {
     pub fn next_message(&mut self) -> Result<Option<SensorMessage>> {
         let avail = &self.buf[self.pos..];
         let Some(&tag) = avail.first() else { return Ok(None) };
-        if tag != TAG_TABLE && tag != TAG_WINDOW {
+        if tag != TAG_TABLE && tag != TAG_WINDOW && tag != TAG_EPOCH_TABLE {
             return Err(Error::WireFormat(format!("unknown frame tag {tag:#x}")));
         }
         if avail.len() < HEADER_LEN {
@@ -456,6 +489,70 @@ mod tests {
             out.extend(dec.drain().unwrap());
         }
         assert_eq!(out, msgs);
+    }
+
+    #[test]
+    fn roundtrip_epoch_tables_interleaved_with_legacy_frames() {
+        // Epoch cutover mid-stream: legacy tag-0x01 table, symbols under it,
+        // then epoch-versioned tables. All tags decode from one stream.
+        let msgs = vec![
+            SensorMessage::Table(table()),
+            window(0, 3),
+            SensorMessage::EpochTable { epoch: 1, table: table() },
+            window(900, 9),
+            SensorMessage::EpochTable { epoch: u32::MAX, table: table() },
+        ];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend(encode_message(m).unwrap());
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        assert_eq!(dec.drain().unwrap(), msgs);
+        assert_eq!(dec.buffered(), 0);
+
+        // An epoch frame costs exactly 4 bytes more than the legacy frame.
+        let legacy = encode_message(&SensorMessage::Table(table())).unwrap();
+        let epoch =
+            encode_message(&SensorMessage::EpochTable { epoch: 1, table: table() }).unwrap();
+        assert_eq!(epoch.len(), legacy.len() + 4);
+    }
+
+    #[test]
+    fn truncated_epoch_table_frame_is_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[TAG_EPOCH_TABLE, 3, 0, 0, 0, 1, 0, 0]); // payload < epoch prefix
+        assert!(dec.next_message().is_err());
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[TAG_EPOCH_TABLE, 5, 0, 0, 0, 1, 0, 0, 0, 9]); // table body truncated
+        assert!(dec.next_message().is_err());
+    }
+
+    #[test]
+    fn resync_lands_on_epoch_table_frames() {
+        let msgs = vec![
+            window(0, 1),
+            SensorMessage::EpochTable { epoch: 2, table: table() },
+            window(900, 2),
+        ];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend(encode_message(m).unwrap());
+        }
+        wire[0] = 0xEE; // corrupt the first frame's tag
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        let mut out = Vec::new();
+        loop {
+            match dec.next_message() {
+                Ok(Some(m)) => out.push(m),
+                Ok(None) => break,
+                Err(_) => {
+                    dec.resync();
+                }
+            }
+        }
+        assert_eq!(out, msgs[1..], "resync must recover the epoch table and what follows");
     }
 
     #[test]

@@ -119,7 +119,9 @@ fn main() -> Result<()> {
     let mut watts = Vec::new();
     for m in messages {
         match m {
-            SensorMessage::Table(t) => current_table = Some(t),
+            SensorMessage::Table(t) | SensorMessage::EpochTable { table: t, .. } => {
+                current_table = Some(t)
+            }
             SensorMessage::Window(w) => {
                 let t: &LookupTable = current_table.as_ref().expect("table first");
                 watts.push(t.decode_symbol(w.symbol, SymbolSemantics::RangeCenter)?);

@@ -66,6 +66,10 @@ fn main() -> Result<()> {
                     );
                     table = Some(t);
                 }
+                SensorMessage::EpochTable { epoch, table: t } => {
+                    println!("server: received epoch-{epoch} lookup table ({} symbols)", t.size());
+                    table = Some(t);
+                }
                 SensorMessage::Window(w) => {
                     let t = table.as_ref().expect("table precedes symbols");
                     watt_sum += t.decode_symbol(w.symbol, SymbolSemantics::RangeMean)?;

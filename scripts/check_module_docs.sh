@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Docs-freshness gate: every public module of `sms_core` must be mentioned
+# in both README.md and DESIGN.md. New subsystems keep landing (engine,
+# ingest, gateway, shard, segstore, durable, adaptive, …) and the docs have
+# drifted before — this makes "document the module map" a CI property
+# instead of a review hope.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+lib=crates/core/src/lib.rs
+modules=$(sed -n 's/^pub mod \([a-z_]*\);$/\1/p' "$lib")
+[[ -n "$modules" ]] || { echo "error: no public modules found in $lib" >&2; exit 1; }
+
+# `error` and `prelude` are structural (the error type and the re-export
+# surface), not subsystems a reader looks up by name.
+skip="error prelude"
+
+fail=0
+for m in $modules; do
+    [[ " $skip " == *" $m "* ]] && continue
+    for doc in README.md DESIGN.md; do
+        # Match the module as a word: `adaptive`, `sms_core::adaptive`,
+        # a table row, or a tree listing all count. Case-insensitive so
+        # prose spellings like "iSAX" satisfy `isax`.
+        if ! grep -qiw "$m" "$doc"; then
+            echo "MISSING: module \`$m\` is not mentioned in $doc" >&2
+            fail=1
+        fi
+    done
+done
+
+if [[ $fail -ne 0 ]]; then
+    echo "==> docs are stale: add the missing modules to the README module" >&2
+    echo "    map and the DESIGN.md §3 inventory (see existing entries)." >&2
+    exit 1
+fi
+
+count=$(echo "$modules" | wc -w)
+echo "==> README.md and DESIGN.md mention all $count public sms_core modules"

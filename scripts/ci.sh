@@ -104,8 +104,28 @@ if [[ $quick -eq 0 ]]; then
     cargo run -q --release -p sms-bench --bin repro -- \
         validate-metrics "$metrics_tmp/crash.out"
 
+    echo "==> drift path: sketch bounds + epoch determinism suite (release)"
+    cargo test -q --release -p sms-core --test drift_determinism
+
+    echo "==> drift path: repro drift --metrics smoke"
+    cargo run -q --release -p sms-bench --bin repro -- \
+        drift "--metrics=$metrics_tmp/drift.prom" \
+        > "$metrics_tmp/drift.out"
+    grep -q '^metrics_json: ' "$metrics_tmp/drift.out"
+    grep -q '^# TYPE sms_adaptive_rebuilds counter$' "$metrics_tmp/drift.prom"
+    grep -q '^# TYPE sms_adaptive_epochs_shipped counter$' "$metrics_tmp/drift.prom"
+    grep -q '^# TYPE sms_adaptive_sketch_bytes gauge$' "$metrics_tmp/drift.prom"
+    grep -q '"recovered":1' "$metrics_tmp/drift.out"
+    grep -q 'post-drift recovery to within 5% of baseline: yes' "$metrics_tmp/drift.out"
+    grep -q 'topology combos byte-identical' "$metrics_tmp/drift.out"
+    cargo run -q --release -p sms-bench --bin repro -- \
+        validate-metrics "$metrics_tmp/drift.out"
+
     echo "==> telemetry: OBSERVABILITY.md vs live registry"
     scripts/check_metrics_docs.sh
 fi
+
+echo "==> docs freshness: README/DESIGN.md vs sms_core public modules"
+scripts/check_module_docs.sh
 
 echo "==> CI green"

@@ -58,7 +58,9 @@ fn online_pipeline_matches_batch_encoding() {
     for (t, v) in series.iter() {
         for m in pipeline.push(t, v).unwrap() {
             match m {
-                SensorMessage::Table(t) => table = Some(t),
+                SensorMessage::Table(t) | SensorMessage::EpochTable { table: t, .. } => {
+                    table = Some(t)
+                }
                 SensorMessage::Window(w) => online.push((w.window_start, w.symbol)),
             }
         }

@@ -78,7 +78,9 @@ fn binary_wire_carries_a_whole_sensor_session() {
         dec.feed(chunk);
         for m in dec.drain().unwrap() {
             match m {
-                SensorMessage::Table(t) => restored_table = Some(t),
+                SensorMessage::Table(t) | SensorMessage::EpochTable { table: t, .. } => {
+                    restored_table = Some(t)
+                }
                 SensorMessage::Window(w) => restored.push((w.window_start, w.symbol)),
             }
         }
